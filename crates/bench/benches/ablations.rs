@@ -1,0 +1,134 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! granularity under vocabulary shift, loss function on skewed labels,
+//! pooling strategy, sequence-truncation length, and LSTM depth.
+//!
+//! Each ablation reports *accuracy/loss deltas* through `eprintln!` while
+//! Criterion tracks the training-cost side of the trade-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sqlan_core::prelude::*;
+
+fn small_workload() -> (Workload, sqlan_workload::Split) {
+    let w = build_sdss(SdssConfig { n_sessions: 250, scale: Scale(0.02), seed: 13 });
+    let s = random_split(w.len(), 13);
+    (w, s)
+}
+
+/// Char vs word granularity: train each and report losses (quality) while
+/// timing the char variant (cost: longer sequences).
+fn ablation_granularity(c: &mut Criterion) {
+    let (w, s) = small_workload();
+    let cfg = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+    for kind in [ModelKind::CCnn, ModelKind::WCnn] {
+        let exp = run_experiment(&w, Problem::ErrorClassification, s.clone(), &[kind], &cfg, None);
+        let e = exp.runs[0].classification.as_ref().unwrap();
+        eprintln!(
+            "[ablation_granularity] {}: loss {:.4}, accuracy {:.4}",
+            kind.name(),
+            e.loss,
+            e.accuracy
+        );
+    }
+    c.bench_function("train_ccnn_error_1epoch", |b| {
+        b.iter(|| {
+            run_experiment(
+                &w,
+                Problem::ErrorClassification,
+                s.clone(),
+                &[ModelKind::CCnn],
+                &cfg,
+                None,
+            )
+        })
+    });
+}
+
+/// Sequence truncation: the cost/accuracy trade-off we introduce for CPU
+/// scale (the paper trained on full sequences).
+fn ablation_seqlen(c: &mut Criterion) {
+    let (w, s) = small_workload();
+    for max_len in [40usize, 80, 160] {
+        let cfg = TrainConfig { epochs: 1, max_len_char: max_len, ..TrainConfig::tiny() };
+        let exp = run_experiment(
+            &w,
+            Problem::ErrorClassification,
+            s.clone(),
+            &[ModelKind::CCnn],
+            &cfg,
+            None,
+        );
+        let e = exp.runs[0].classification.as_ref().unwrap();
+        eprintln!(
+            "[ablation_seqlen] max_len_char={max_len}: loss {:.4}, accuracy {:.4}",
+            e.loss, e.accuracy
+        );
+    }
+    let cfg40 = TrainConfig { epochs: 1, max_len_char: 40, ..TrainConfig::tiny() };
+    let cfg160 = TrainConfig { epochs: 1, max_len_char: 160, ..TrainConfig::tiny() };
+    c.bench_function("train_ccnn_seq40", |b| {
+        b.iter(|| {
+            run_experiment(
+                &w,
+                Problem::ErrorClassification,
+                s.clone(),
+                &[ModelKind::CCnn],
+                &cfg40,
+                None,
+            )
+        })
+    });
+    c.bench_function("train_ccnn_seq160", |b| {
+        b.iter(|| {
+            run_experiment(
+                &w,
+                Problem::ErrorClassification,
+                s.clone(),
+                &[ModelKind::CCnn],
+                &cfg160,
+                None,
+            )
+        })
+    });
+}
+
+/// LSTM depth 1 vs 3 (the paper's three-layer choice, §5.2).
+fn ablation_depth(c: &mut Criterion) {
+    let (w, s) = small_workload();
+    for depth in [1usize, 3] {
+        let cfg = TrainConfig { epochs: 1, lstm_depth: depth, ..TrainConfig::tiny() };
+        let exp = run_experiment(
+            &w,
+            Problem::ErrorClassification,
+            s.clone(),
+            &[ModelKind::CLstm],
+            &cfg,
+            None,
+        );
+        let e = exp.runs[0].classification.as_ref().unwrap();
+        eprintln!(
+            "[ablation_depth] lstm_depth={depth}: loss {:.4}, accuracy {:.4}",
+            e.loss, e.accuracy
+        );
+    }
+    let cfg1 = TrainConfig { epochs: 1, lstm_depth: 1, ..TrainConfig::tiny() };
+    c.bench_function("train_clstm_depth1", |b| {
+        b.iter(|| {
+            run_experiment(
+                &w,
+                Problem::ErrorClassification,
+                s.clone(),
+                &[ModelKind::CLstm],
+                &cfg1,
+                None,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = ablation_granularity, ablation_seqlen, ablation_depth
+}
+criterion_main!(ablations);

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks over the substrate layers: parsing,
+//! property extraction, execution, featurization, and model inference.
+//! (The table/figure reproductions are the `src/bin/*` binaries; these
+//! benches track the performance of the building blocks.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sqlan_core::prelude::*;
+use sqlan_features::{char_tokens, word_tokens, TfidfVectorizer};
+use sqlan_sql::{extract_props, parse};
+use sqlan_workload::{sdss_statement, SessionClass};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SIMPLE: &str = "SELECT * FROM PhotoTag WHERE objId = 0x112d075f80360018";
+const COMPLEX: &str = "SELECT dbo.fGetURLExpid(objid) FROM SpecPhoto WHERE modelmag_u-modelmag_g = \
+    (SELECT min(s.modelmag_u-s.modelmag_g) FROM SpecPhoto AS s INNER JOIN PhotoObj AS p \
+    ON s.objid=p.objid WHERE s.flags_g=0 OR p.psfmagerr_g<=0.2 AND p.psfmagerr_u<=0.2)";
+
+fn bench_parser(c: &mut Criterion) {
+    c.bench_function("parse_simple", |b| b.iter(|| parse(black_box(SIMPLE))));
+    c.bench_function("parse_complex", |b| b.iter(|| parse(black_box(COMPLEX))));
+    c.bench_function("extract_props_complex", |b| {
+        b.iter(|| extract_props(black_box(COMPLEX)))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let cfg = SdssConfig { n_sessions: 1, scale: Scale(0.05), seed: 1 };
+    let db = sdss_database(cfg);
+    c.bench_function("execute_point_lookup", |b| {
+        b.iter(|| db.submit(black_box("SELECT * FROM PhotoTag WHERE objid = 1234")))
+    });
+    c.bench_function("execute_aggregate", |b| {
+        b.iter(|| db.submit(black_box("SELECT type, count(*) FROM PhotoObj GROUP BY type")))
+    });
+    c.bench_function("execute_hash_join", |b| {
+        b.iter(|| {
+            db.submit(black_box(
+                "SELECT s.z FROM SpecObj s INNER JOIN PhotoObj p ON s.bestobjid = p.objid",
+            ))
+        })
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    c.bench_function("char_tokens_complex", |b| b.iter(|| char_tokens(black_box(COMPLEX))));
+    c.bench_function("word_tokens_complex", |b| b.iter(|| word_tokens(black_box(COMPLEX))));
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let corpus: Vec<Vec<String>> = (0..200)
+        .map(|_| word_tokens(&sdss_statement(SessionClass::Browser, &mut rng)))
+        .collect();
+    let vectorizer = TfidfVectorizer::fit(&corpus, 3, 5_000);
+    let sample = word_tokens(COMPLEX);
+    c.bench_function("tfidf_transform", |b| b.iter(|| vectorizer.transform(black_box(&sample))));
+}
+
+fn bench_inference(c: &mut Criterion) {
+    // Train small models once, then benchmark single-statement inference —
+    // the per-keystroke latency an interactive composition aid pays.
+    let workload = build_sdss(SdssConfig { n_sessions: 200, scale: Scale(0.02), seed: 2 });
+    let split = random_split(workload.len(), 1);
+    let cfg = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+    let exp = run_experiment(
+        &workload,
+        Problem::ErrorClassification,
+        split,
+        &[ModelKind::CTfidf, ModelKind::CCnn, ModelKind::CLstm],
+        &cfg,
+        None,
+    );
+    for run in &exp.runs {
+        let name = format!("infer_{}", run.kind.name());
+        let model = &run.model;
+        c.bench_function(&name, |b| b.iter(|| model.predict_proba(black_box(COMPLEX))));
+    }
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    c.bench_function("generate_statement_no_web_hit", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| sdss_statement(SessionClass::NoWebHit, &mut rng))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_parser, bench_engine, bench_features, bench_inference, bench_workload_gen
+}
+criterion_main!(benches);

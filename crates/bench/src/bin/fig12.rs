@@ -1,0 +1,76 @@
+//! Figure 12: MSE of the regression problems broken down by session class
+//! (Homogeneous Instance, SDSS) — CPU time (12a) and answer size (12b).
+
+use sqlan_bench::{f, regression_models, save_json, Harness, TablePrinter};
+use sqlan_core::prelude::*;
+use sqlan_metrics::squared_error;
+use sqlan_workload::SessionClass;
+
+fn by_class_mse(exp: &Experiment, workload: &Workload) -> Vec<Vec<f64>> {
+    // rows = models, cols = session classes (+ overall in the last col).
+    let mut out = Vec::new();
+    for run in &exp.runs {
+        let eval = run.regression.as_ref().expect("regression eval");
+        let mut sums = vec![0.0f64; 8];
+        let mut counts = vec![0usize; 8];
+        for (k, &i) in exp.split.test.iter().enumerate() {
+            let class = workload.entries[i].session_class.expect("SDSS has classes");
+            let se = squared_error(exp.dataset.log_labels[i], eval.preds_log[k]);
+            sums[class.index()] += se;
+            counts[class.index()] += 1;
+            sums[7] += se;
+            counts[7] += 1;
+        }
+        out.push(
+            sums.iter()
+                .zip(&counts)
+                .map(|(s, &c)| if c > 0 { s / c as f64 } else { f64::NAN })
+                .collect(),
+        );
+    }
+    out
+}
+
+fn print_panel(title: &str, exp: &Experiment, workload: &Workload) -> Vec<serde_json::Value> {
+    let table = by_class_mse(exp, workload);
+    let mut header: Vec<String> = vec!["Model".into()];
+    header.extend(SessionClass::ALL.iter().map(|c| c.name().to_string()));
+    header.push("overall MSE".into());
+    let headers: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TablePrinter::new(&headers);
+    let mut json = Vec::new();
+    for (run, row) in exp.runs.iter().zip(&table) {
+        let mut cells = vec![run.kind.name().to_string()];
+        cells.extend(row.iter().map(|&v| f(v)));
+        t.row(cells);
+        json.push(serde_json::json!({"model": run.kind.name(), "mse_by_class": row}));
+    }
+    t.print(title);
+    json
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let cfg = h.train_config();
+    eprintln!("[fig12] building SDSS workload...");
+    let workload = h.sdss_workload();
+    let split = random_split(workload.len(), h.seed);
+
+    eprintln!("[fig12] CPU time...");
+    let cpu = run_experiment(
+        &workload,
+        Problem::CpuTime,
+        split.clone(),
+        &regression_models(),
+        &cfg,
+        None,
+    );
+    let a = print_panel("Figure 12a: CPU time MSE by session class", &cpu, &workload);
+
+    eprintln!("[fig12] answer size...");
+    let ans =
+        run_experiment(&workload, Problem::AnswerSize, split, &regression_models(), &cfg, None);
+    let b = print_panel("Figure 12b: answer size MSE by session class", &ans, &workload);
+
+    save_json("fig12", &serde_json::json!({"cpu_time": a, "answer_size": b}));
+}

@@ -1,0 +1,214 @@
+//! Figures 13 & 14: squared error of the regression models broken down by
+//! structural properties.
+//!
+//! Fig. 13: answer-size error vs #characters / #functions / #joins /
+//! nestedness / nested aggregation (Homogeneous Instance).
+//! Fig. 14: CPU-time error vs #characters and nestedness across all three
+//! problem settings (error grows with heterogeneity).
+
+use sqlan_bench::{f, regression_models, regression_models_with_opt, save_json, Harness, TablePrinter};
+use sqlan_core::prelude::*;
+use sqlan_metrics::squared_error;
+use sqlan_sql::{extract_props, StructuralProps};
+
+/// Log-spaced #chars buckets, as in the figures' log-x panels.
+fn char_bucket(chars: u32) -> usize {
+    match chars {
+        0..=31 => 0,
+        32..=63 => 1,
+        64..=127 => 2,
+        128..=255 => 3,
+        256..=511 => 4,
+        _ => 5,
+    }
+}
+
+const CHAR_BUCKET_NAMES: [&str; 6] = ["<32", "32-63", "64-127", "128-255", "256-511", "≥512"];
+
+struct Breakdown {
+    /// (bucket name, per-model mean squared error, support).
+    rows: Vec<(String, Vec<f64>, usize)>,
+}
+
+fn breakdown(
+    exp: &Experiment,
+    props: &[StructuralProps],
+    n_buckets: usize,
+    bucket_of: impl Fn(&StructuralProps) -> usize,
+    names: &dyn Fn(usize) -> String,
+) -> Breakdown {
+    let n_models = exp.runs.len();
+    let mut sums = vec![vec![0.0f64; n_models]; n_buckets];
+    let mut counts = vec![0usize; n_buckets];
+    for (k, &i) in exp.split.test.iter().enumerate() {
+        let b = bucket_of(&props[i]).min(n_buckets - 1);
+        counts[b] += 1;
+        for (m, run) in exp.runs.iter().enumerate() {
+            let eval = run.regression.as_ref().expect("regression eval");
+            sums[b][m] += squared_error(exp.dataset.log_labels[i], eval.preds_log[k]);
+        }
+    }
+    let rows = (0..n_buckets)
+        .map(|b| {
+            let mse: Vec<f64> = sums[b]
+                .iter()
+                .map(|s| if counts[b] > 0 { s / counts[b] as f64 } else { f64::NAN })
+                .collect();
+            (names(b), mse, counts[b])
+        })
+        .collect();
+    Breakdown { rows }
+}
+
+fn print_breakdown(title: &str, exp: &Experiment, bd: &Breakdown) -> Vec<serde_json::Value> {
+    let mut header: Vec<String> = vec!["Bucket".into(), "n".into()];
+    header.extend(exp.runs.iter().map(|r| r.kind.name().to_string()));
+    let headers: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TablePrinter::new(&headers);
+    let mut json = Vec::new();
+    for (name, mses, n) in &bd.rows {
+        let mut cells = vec![name.clone(), n.to_string()];
+        cells.extend(mses.iter().map(|&v| f(v)));
+        t.row(cells);
+        json.push(serde_json::json!({"bucket": name, "n": n, "mse": mses}));
+    }
+    t.print(title);
+    json
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let cfg = h.train_config();
+    let mut out = serde_json::Map::new();
+
+    // ---- Figure 13: answer size on SDSS -----------------------------
+    eprintln!("[fig13_14] SDSS workload + answer-size models...");
+    let sdss = h.sdss_workload();
+    let props: Vec<StructuralProps> =
+        sdss.entries.iter().map(|e| extract_props(&e.statement)).collect();
+    let split = random_split(sdss.len(), h.seed);
+    let ans = run_experiment(
+        &sdss,
+        Problem::AnswerSize,
+        split.clone(),
+        &regression_models(),
+        &cfg,
+        None,
+    );
+
+    let by_chars = breakdown(&ans, &props, 6, |p| char_bucket(p.num_chars), &|b| {
+        CHAR_BUCKET_NAMES[b].to_string()
+    });
+    out.insert(
+        "fig13a_by_chars".into(),
+        print_breakdown("Figure 13a: answer-size squared error by #characters", &ans, &by_chars)
+            .into(),
+    );
+    let by_fns = breakdown(&ans, &props, 4, |p| p.num_functions.min(3) as usize, &|b| {
+        if b < 3 { b.to_string() } else { "≥3".into() }
+    });
+    out.insert(
+        "fig13b_by_functions".into(),
+        print_breakdown("Figure 13b: answer-size squared error by #functions", &ans, &by_fns)
+            .into(),
+    );
+    let by_joins = breakdown(&ans, &props, 3, |p| p.num_joins.min(2) as usize, &|b| {
+        if b < 2 { b.to_string() } else { "≥2".into() }
+    });
+    out.insert(
+        "fig13c_by_joins".into(),
+        print_breakdown("Figure 13c: answer-size squared error by #joins", &ans, &by_joins)
+            .into(),
+    );
+    let by_nest = breakdown(&ans, &props, 4, |p| p.nestedness_level.min(3) as usize, &|b| {
+        if b < 3 { b.to_string() } else { "≥3".into() }
+    });
+    out.insert(
+        "fig13d_by_nestedness".into(),
+        print_breakdown("Figure 13d: answer-size squared error by nestedness", &ans, &by_nest)
+            .into(),
+    );
+    let by_nagg = breakdown(&ans, &props, 2, |p| p.nested_aggregation as usize, &|b| {
+        if b == 0 { "false".into() } else { "true".into() }
+    });
+    out.insert(
+        "fig13e_by_nested_aggregation".into(),
+        print_breakdown(
+            "Figure 13e: answer-size squared error by nested aggregation",
+            &ans,
+            &by_nagg,
+        )
+        .into(),
+    );
+
+    // ---- Figure 14: CPU time across the three settings ---------------
+    eprintln!("[fig13_14] CPU time, Homogeneous Instance...");
+    let cpu_hi =
+        run_experiment(&sdss, Problem::CpuTime, split, &regression_models(), &cfg, None);
+    let hi_chars = breakdown(&cpu_hi, &props, 6, |p| char_bucket(p.num_chars), &|b| {
+        CHAR_BUCKET_NAMES[b].to_string()
+    });
+    out.insert(
+        "fig14a_hi_by_chars".into(),
+        print_breakdown(
+            "Figure 14a: CPU-time squared error by #characters (Homogeneous Instance)",
+            &cpu_hi,
+            &hi_chars,
+        )
+        .into(),
+    );
+    let hi_nest = breakdown(&cpu_hi, &props, 4, |p| p.nestedness_level.min(3) as usize, &|b| {
+        if b < 3 { b.to_string() } else { "≥3".into() }
+    });
+    out.insert(
+        "fig14b_hi_by_nestedness".into(),
+        print_breakdown(
+            "Figure 14b: CPU-time squared error by nestedness (Homogeneous Instance)",
+            &cpu_hi,
+            &hi_nest,
+        )
+        .into(),
+    );
+
+    eprintln!("[fig13_14] CPU time, SQLShare settings...");
+    let share = h.sqlshare_workload();
+    let share_props: Vec<StructuralProps> =
+        share.entries.iter().map(|e| extract_props(&e.statement)).collect();
+    let db = h.sqlshare_db();
+    for (key, title, split) in [
+        (
+            "fig14cd_homschema",
+            "Figure 14c/d: CPU-time squared error (Homogeneous Schema)",
+            random_split(share.len(), h.seed ^ 1),
+        ),
+        (
+            "fig14ef_hetschema",
+            "Figure 14e/f: CPU-time squared error (Heterogeneous Schema)",
+            split_by_user(&share.entries, 0.8, 0.07, h.seed ^ 2),
+        ),
+    ] {
+        let exp = run_experiment(
+            &share,
+            Problem::CpuTime,
+            split,
+            &regression_models_with_opt(),
+            &cfg,
+            Some(&db),
+        );
+        let by_chars = breakdown(&exp, &share_props, 6, |p| char_bucket(p.num_chars), &|b| {
+            CHAR_BUCKET_NAMES[b].to_string()
+        });
+        let chars_json = print_breakdown(&format!("{title} by #characters"), &exp, &by_chars);
+        let by_nest =
+            breakdown(&exp, &share_props, 4, |p| p.nestedness_level.min(3) as usize, &|b| {
+                if b < 3 { b.to_string() } else { "≥3".into() }
+            });
+        let nest_json = print_breakdown(&format!("{title} by nestedness"), &exp, &by_nest);
+        out.insert(
+            key.into(),
+            serde_json::json!({"by_chars": chars_json, "by_nestedness": nest_json}),
+        );
+    }
+
+    save_json("fig13_14", &out);
+}

@@ -1,0 +1,36 @@
+//! Figure 20 (Appendix B.3): histogram of how many times each unique
+//! query statement repeats in the per-session sample before dedup, plus
+//! the headline share of statements appearing in more than one log.
+
+use sqlan_bench::{save_json, Harness, TablePrinter};
+use sqlan_workload::repetition_histogram;
+
+fn main() {
+    let h = Harness::from_env();
+    eprintln!("[fig20] building SDSS workload...");
+    let w = h.sdss_workload();
+
+    let hist = repetition_histogram(&w.repetitions);
+    let mut t = TablePrinter::new(&["Repetitions", "#unique statements"]);
+    for (bucket, n) in &hist {
+        t.row(vec![bucket.clone(), n.to_string()]);
+    }
+    t.print("Figure 20: repetition of query statements in the per-session sample");
+
+    let repeated = w.repetitions.iter().filter(|&&r| r > 1).count();
+    println!(
+        "sampled log entries: {}; unique statements: {}; statements in >1 log entry: {:.1}%",
+        w.sampled_logs,
+        w.len(),
+        repeated as f64 / w.len().max(1) as f64 * 100.0
+    );
+
+    save_json(
+        "fig20",
+        &serde_json::json!({
+            "histogram": hist.iter().map(|(b, n)| (b.clone(), n)).collect::<Vec<_>>(),
+            "sampled_logs": w.sampled_logs,
+            "unique_statements": w.len(),
+        }),
+    );
+}

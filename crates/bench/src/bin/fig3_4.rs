@@ -1,0 +1,83 @@
+//! Figures 3 & 4: distributions of the ten structural properties of query
+//! statements — SDSS (Fig. 3) and SQLShare (Fig. 4). Prints each panel's
+//! summary line (µ, σ, min, max, mode, median) plus a log-bucket histogram,
+//! and the §4.3.1 statement-type shares.
+
+use sqlan_bench::{f, save_json, Harness, TablePrinter};
+use sqlan_sql::StructuralProps;
+use sqlan_workload::{statement_type_shares, LogHistogram, PropsMatrix, SummaryStats, Workload};
+
+fn report(title: &str, workload: &Workload) -> Vec<serde_json::Value> {
+    let props = PropsMatrix::extract(&workload.entries);
+    let mut t = TablePrinter::new(&["Property", "mean", "std", "min", "max", "mode", "median"]);
+    let mut json = Vec::new();
+    for (k, name) in StructuralProps::NAMES.iter().enumerate() {
+        let col = props.column(k);
+        let s = SummaryStats::compute(&col);
+        t.row(vec![
+            name.to_string(),
+            f(s.mean),
+            f(s.std),
+            f(s.min),
+            f(s.max),
+            f(s.mode),
+            f(s.median),
+        ]);
+        let hist = LogHistogram::compute(&col);
+        json.push(serde_json::json!({
+            "property": name,
+            "stats": s,
+            "histogram": hist.buckets,
+        }));
+    }
+    t.print(title);
+
+    // §4.3.1 headline shares.
+    let n = workload.len() as f64;
+    let joins =
+        props.props.iter().filter(|p| p.num_joins > 0).count() as f64 / n * 100.0;
+    let multi_table =
+        props.props.iter().filter(|p| p.num_tables > 1).count() as f64 / n * 100.0;
+    let nested =
+        props.props.iter().filter(|p| p.nestedness_level > 0).count() as f64 / n * 100.0;
+    let nested_agg =
+        props.props.iter().filter(|p| p.nested_aggregation).count() as f64 / n * 100.0;
+    println!(
+        "queries with ≥1 join operator: {joins:.2}%; accessing >1 table: {multi_table:.2}%; \
+         nested: {nested:.2}%; nested with aggregation: {nested_agg:.2}%"
+    );
+    let shares = statement_type_shares(&workload.entries);
+    print!("statement types:");
+    for (ty, share) in &shares {
+        print!(" {ty} {:.2}%", share * 100.0);
+    }
+    println!();
+    json
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "both".to_string());
+
+    let mut out = serde_json::Map::new();
+    if arg == "sdss" || arg == "both" {
+        eprintln!("[fig3_4] building SDSS workload...");
+        let w = h.sdss_workload();
+        out.insert(
+            "fig3_sdss".into(),
+            serde_json::Value::Array(report("Figure 3: structural properties of SDSS query statements", &w)),
+        );
+    }
+    if arg == "sqlshare" || arg == "both" {
+        eprintln!("[fig3_4] building SQLShare workload...");
+        let w = h.sqlshare_workload();
+        out.insert(
+            "fig4_sqlshare".into(),
+            serde_json::Value::Array(report(
+                "Figure 4: structural properties of SQLShare query statements",
+                &w,
+            )),
+        );
+    }
+    save_json("fig3_4", &out);
+}

@@ -1,0 +1,84 @@
+//! Figure 6: label distributions — error classes (6a) and session classes
+//! (6b) on SDSS; answer size (6c) and CPU time (6d) on SDSS; CPU time on
+//! SQLShare (6e).
+
+use sqlan_bench::{f, save_json, Harness, TablePrinter};
+use sqlan_workload::{ErrorClass, LogHistogram, SessionClass, SummaryStats};
+
+fn main() {
+    let h = Harness::from_env();
+    eprintln!("[fig6] building workloads...");
+    let sdss = h.sdss_workload();
+    let sqlshare = h.sqlshare_workload();
+
+    // 6a: error classes.
+    let mut err_counts = [0usize; 3];
+    for e in &sdss.entries {
+        err_counts[e.error_class.index()] += 1;
+    }
+    let n = sdss.len() as f64;
+    let mut t = TablePrinter::new(&["Error class", "#queries", "share"]);
+    for c in ErrorClass::ALL {
+        t.row(vec![
+            c.name().into(),
+            err_counts[c.index()].to_string(),
+            format!("{:.2}%", err_counts[c.index()] as f64 / n * 100.0),
+        ]);
+    }
+    t.print("Figure 6a: SDSS error class distribution");
+
+    // 6b: session classes.
+    let mut sess_counts = [0usize; 7];
+    for e in &sdss.entries {
+        if let Some(c) = e.session_class {
+            sess_counts[c.index()] += 1;
+        }
+    }
+    let mut t = TablePrinter::new(&["Session class", "#queries", "share"]);
+    for c in SessionClass::ALL {
+        t.row(vec![
+            c.name().into(),
+            sess_counts[c.index()].to_string(),
+            format!("{:.2}%", sess_counts[c.index()] as f64 / n * 100.0),
+        ]);
+    }
+    t.print("Figure 6b: SDSS session class distribution");
+
+    // 6c–6e: regression label distributions.
+    let answer: Vec<f64> = sdss.entries.iter().map(|e| e.answer_size).collect();
+    let cpu_sdss: Vec<f64> = sdss.entries.iter().map(|e| e.cpu_seconds).collect();
+    let cpu_share: Vec<f64> = sqlshare.entries.iter().map(|e| e.cpu_seconds).collect();
+    let mut t = TablePrinter::new(&["Label", "mean", "std", "min", "max", "mode", "median"]);
+    let mut json_labels = Vec::new();
+    for (name, vals) in [
+        ("SDSS answer size (#tuples)", &answer),
+        ("SDSS CPU time (sec)", &cpu_sdss),
+        ("SQLShare CPU time (sec)", &cpu_share),
+    ] {
+        let s = SummaryStats::compute(vals);
+        t.row(vec![
+            name.into(),
+            f(s.mean),
+            f(s.std),
+            f(s.min),
+            f(s.max),
+            f(s.mode),
+            f(s.median),
+        ]);
+        json_labels.push(serde_json::json!({
+            "label": name,
+            "stats": s,
+            "histogram": LogHistogram::compute(vals).buckets,
+        }));
+    }
+    t.print("Figures 6c-6e: regression label distributions");
+
+    save_json(
+        "fig6",
+        &serde_json::json!({
+            "error_classes": ErrorClass::ALL.iter().map(|c| (c.name(), err_counts[c.index()])).collect::<Vec<_>>(),
+            "session_classes": SessionClass::ALL.iter().map(|c| (c.name(), sess_counts[c.index()])).collect::<Vec<_>>(),
+            "labels": json_labels,
+        }),
+    );
+}

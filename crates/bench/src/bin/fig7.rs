@@ -1,0 +1,57 @@
+//! Figure 7: Pearson correlation matrices of the ten structural
+//! properties, for SDSS (7a) and SQLShare (7b).
+
+use sqlan_bench::{save_json, Harness};
+use sqlan_sql::StructuralProps;
+use sqlan_workload::{PropsMatrix, Workload};
+
+fn print_matrix(title: &str, w: &Workload) -> [[f64; 10]; 10] {
+    let m = PropsMatrix::extract(&w.entries).correlation_matrix();
+    println!("\n== {title} ==");
+    // Short column labels.
+    let short: Vec<String> = StructuralProps::NAMES
+        .iter()
+        .map(|n| {
+            n.split_whitespace()
+                .map(|w| &w[..1])
+                .collect::<Vec<_>>()
+                .join("")
+                .to_uppercase()
+        })
+        .collect();
+    print!("{:28}", "");
+    for s in &short {
+        print!("{:>6}", s);
+    }
+    println!();
+    for (i, name) in StructuralProps::NAMES.iter().enumerate() {
+        print!("{:28}", name);
+        for j in 0..10 {
+            print!("{:>6.2}", m[i][j]);
+        }
+        println!();
+    }
+    m
+}
+
+fn main() {
+    let h = Harness::from_env();
+    eprintln!("[fig7] building workloads...");
+    let sdss = h.sdss_workload();
+    let share = h.sqlshare_workload();
+    let a = print_matrix("Figure 7a: correlation matrix of structural properties (SDSS)", &sdss);
+    let b =
+        print_matrix("Figure 7b: correlation matrix of structural properties (SQLShare)", &share);
+
+    // The §4.4.2 observation: #chars correlates with #words strongly.
+    println!(
+        "\ncorr(#chars, #words): SDSS {:.2}, SQLShare {:.2}",
+        a[0][1], b[0][1]
+    );
+
+    let to_vec = |m: [[f64; 10]; 10]| -> Vec<Vec<f64>> { m.iter().map(|r| r.to_vec()).collect() };
+    save_json(
+        "fig7",
+        &serde_json::json!({"sdss": to_vec(a), "sqlshare": to_vec(b)}),
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 8: SDSS analysis by session class — box statistics (q1, median,
+//! q3, mean) of answer size, CPU time, number of characters and number of
+//! words, per class.
+
+use sqlan_bench::{f, save_json, Harness, TablePrinter};
+use sqlan_sql::extract_props;
+use sqlan_workload::{by_session_class, Workload};
+
+fn panel(
+    title: &str,
+    w: &Workload,
+    value: impl Fn(&sqlan_workload::WorkloadEntry) -> Option<f64>,
+) -> Vec<serde_json::Value> {
+    let stats = by_session_class(&w.entries, value);
+    let mut t = TablePrinter::new(&["Session class", "q1", "median", "q3", "mean", "n"]);
+    let mut json = Vec::new();
+    for (class, b) in &stats {
+        t.row(vec![
+            class.name().into(),
+            f(b.q1),
+            f(b.median),
+            f(b.q3),
+            f(b.mean),
+            b.count.to_string(),
+        ]);
+        json.push(serde_json::json!({"class": class.name(), "box": b}));
+    }
+    t.print(title);
+    json
+}
+
+fn main() {
+    let h = Harness::from_env();
+    eprintln!("[fig8] building SDSS workload...");
+    let w = h.sdss_workload();
+
+    let a = panel("Figure 8a: answer size by session class", &w, |e| {
+        (e.answer_size >= 0.0).then_some(e.answer_size)
+    });
+    let b = panel("Figure 8b: CPU time by session class", &w, |e| Some(e.cpu_seconds));
+    let c = panel("Figure 8c: number of characters by session class", &w, |e| {
+        Some(extract_props(&e.statement).num_chars as f64)
+    });
+    let d = panel("Figure 8d: number of words by session class", &w, |e| {
+        Some(extract_props(&e.statement).num_words as f64)
+    });
+
+    save_json(
+        "fig8",
+        &serde_json::json!({"answer_size": a, "cpu_time": b, "num_chars": c, "num_words": d}),
+    );
+}

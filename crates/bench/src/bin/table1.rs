@@ -1,0 +1,55 @@
+//! Table 1: dataset sizes and splits for the three problem settings.
+
+use sqlan_bench::{save_json, Harness, TablePrinter};
+use sqlan_core::prelude::*;
+
+fn main() {
+    let h = Harness::from_env();
+    let sdss = h.sdss_workload();
+    let sqlshare = h.sqlshare_workload();
+
+    let hi = random_split(sdss.len(), h.seed);
+    let hs = random_split(sqlshare.len(), h.seed ^ 1);
+    let het = split_by_user(&sqlshare.entries, 0.8, 0.07, h.seed ^ 2);
+
+    let mut t = TablePrinter::new(&[
+        "",
+        "Homogeneous Instance",
+        "Homogeneous Schema",
+        "Heterogeneous Schema",
+    ]);
+    t.row(vec![
+        "Total".into(),
+        sdss.len().to_string(),
+        sqlshare.len().to_string(),
+        het.total().to_string(),
+    ]);
+    t.row(vec![
+        "Train".into(),
+        hi.train.len().to_string(),
+        hs.train.len().to_string(),
+        het.train.len().to_string(),
+    ]);
+    t.row(vec![
+        "Valid.".into(),
+        hi.valid.len().to_string(),
+        hs.valid.len().to_string(),
+        het.valid.len().to_string(),
+    ]);
+    t.row(vec![
+        "Test".into(),
+        hi.test.len().to_string(),
+        hs.test.len().to_string(),
+        het.test.len().to_string(),
+    ]);
+    t.print("Table 1: number of queries and data split");
+
+    save_json(
+        "table1",
+        &serde_json::json!({
+            "homogeneous_instance": {"total": sdss.len(), "train": hi.train.len(), "valid": hi.valid.len(), "test": hi.test.len()},
+            "homogeneous_schema": {"total": sqlshare.len(), "train": hs.train.len(), "valid": hs.valid.len(), "test": hs.test.len()},
+            "heterogeneous_schema": {"total": het.total(), "train": het.train.len(), "valid": het.valid.len(), "test": het.test.len()},
+        }),
+    );
+}

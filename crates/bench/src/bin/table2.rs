@@ -1,0 +1,100 @@
+//! Table 2: error classification (accuracy, per-class F, loss), CPU time
+//! prediction, and answer size prediction in Homogeneous Instance (SDSS),
+//! for all seven models.
+
+use sqlan_bench::{classification_models, f, regression_models, save_json, Harness, TablePrinter};
+use sqlan_core::prelude::*;
+use sqlan_engine::ErrorClass;
+
+fn main() {
+    let h = Harness::from_env();
+    let cfg = h.train_config();
+    eprintln!("[table2] building SDSS workload ({} sessions)...", h.sdss_sessions);
+    let workload = h.sdss_workload();
+    let split = random_split(workload.len(), h.seed);
+
+    // ---- left: error classification --------------------------------
+    eprintln!("[table2] error classification...");
+    let cls = run_experiment(
+        &workload,
+        Problem::ErrorClassification,
+        split.clone(),
+        &classification_models(),
+        &cfg,
+        None,
+    );
+
+    let mut t = TablePrinter::new(&[
+        "Model", "v", "p", "Accuracy", "Fsevere", "Fsuccess", "Fnon_severe", "Loss",
+    ]);
+    for r in &cls.runs {
+        let c = r.classification.as_ref().expect("classification eval");
+        t.row(vec![
+            if r.kind == ModelKind::MFreq { "baseline".into() } else { r.kind.name().into() },
+            r.vocab_size.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+            r.n_parameters.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            f(c.accuracy),
+            f(c.per_class[ErrorClass::Severe.index()].f_measure),
+            f(c.per_class[ErrorClass::Success.index()].f_measure),
+            f(c.per_class[ErrorClass::NonSevere.index()].f_measure),
+            f(c.loss),
+        ]);
+    }
+    t.print("Table 2 (left): query error classification, Homogeneous Instance (SDSS)");
+
+    // Class supports, as the caption reports.
+    let test_labels: Vec<usize> =
+        split.test.iter().map(|&i| cls.dataset.class_labels[i]).collect();
+    let mut support = [0usize; 3];
+    for &l in &test_labels {
+        support[l] += 1;
+    }
+    println!(
+        "#test samples per class: severe = {}, success = {}, non_severe = {}",
+        support[0], support[1], support[2]
+    );
+
+    // ---- middle: CPU time ------------------------------------------
+    eprintln!("[table2] CPU time regression...");
+    let cpu = run_experiment(
+        &workload,
+        Problem::CpuTime,
+        split.clone(),
+        &regression_models(),
+        &cfg,
+        None,
+    );
+    // ---- right: answer size ----------------------------------------
+    eprintln!("[table2] answer size regression...");
+    let ans = run_experiment(
+        &workload,
+        Problem::AnswerSize,
+        split,
+        &regression_models(),
+        &cfg,
+        None,
+    );
+
+    let mut t2 = TablePrinter::new(&["Model", "p", "CPU Loss", "p", "Answer Loss"]);
+    for (rc, ra) in cpu.runs.iter().zip(&ans.runs) {
+        let lc = rc.regression.as_ref().expect("cpu eval");
+        let la = ra.regression.as_ref().expect("answer eval");
+        t2.row(vec![
+            if rc.kind == ModelKind::Median { "baseline".into() } else { rc.kind.name().into() },
+            rc.n_parameters.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            f(lc.loss),
+            ra.n_parameters.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            f(la.loss),
+        ]);
+    }
+    t2.print("Table 2 (middle/right): CPU time and answer size loss, Homogeneous Instance");
+
+    save_json(
+        "table2",
+        &serde_json::json!({
+            "error_classification": cls.summary_rows(),
+            "cpu_time": cpu.summary_rows(),
+            "answer_size": ans.summary_rows(),
+        }),
+    );
+}

@@ -1,0 +1,60 @@
+//! Table 4: query session classification in Homogeneous Instance (SDSS) —
+//! loss, per-class F-measure for the seven session classes, accuracy.
+
+use sqlan_bench::{classification_models, f, save_json, Harness, TablePrinter};
+use sqlan_core::prelude::*;
+use sqlan_workload::SessionClass;
+
+fn main() {
+    let h = Harness::from_env();
+    let cfg = h.train_config();
+    eprintln!("[table4] building SDSS workload...");
+    let workload = h.sdss_workload();
+    let split = random_split(workload.len(), h.seed);
+
+    let exp = run_experiment(
+        &workload,
+        Problem::SessionClassification,
+        split.clone(),
+        &classification_models(),
+        &cfg,
+        None,
+    );
+
+    let mut header: Vec<String> = vec!["Model".into(), "v".into(), "p".into(), "Loss".into()];
+    header.extend(SessionClass::ALL.iter().map(|c| format!("F{}", c.name())));
+    header.push("Accuracy".into());
+    let headers: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TablePrinter::new(&headers);
+
+    for r in &exp.runs {
+        let c = r.classification.as_ref().expect("classification eval");
+        let mut cells = vec![
+            r.kind.name().to_string(),
+            r.vocab_size.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+            r.n_parameters.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            f(c.loss),
+        ];
+        for class in SessionClass::ALL {
+            cells.push(f(c.per_class[class.index()].f_measure));
+        }
+        cells.push(f(c.accuracy));
+        t.row(cells);
+    }
+    t.print("Table 4: query session classification, Homogeneous Instance (SDSS)");
+
+    // Per-class test supports, as the caption reports.
+    let test_labels: Vec<usize> =
+        split.test.iter().map(|&i| exp.dataset.class_labels[i]).collect();
+    let mut support = [0usize; 7];
+    for &l in &test_labels {
+        support[l] += 1;
+    }
+    print!("#test samples per class:");
+    for class in SessionClass::ALL {
+        print!(" {} = {},", class.name(), support[class.index()]);
+    }
+    println!();
+
+    save_json("table4", &exp.summary_rows());
+}

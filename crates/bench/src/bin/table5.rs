@@ -1,0 +1,59 @@
+//! Table 5: CPU time prediction on SQLShare under Homogeneous Schema
+//! (random split) and Heterogeneous Schema (split by user), including the
+//! `opt` optimizer-estimate baseline.
+
+use sqlan_bench::{f, regression_models_with_opt, save_json, Harness, TablePrinter};
+use sqlan_core::prelude::*;
+
+fn main() {
+    let h = Harness::from_env();
+    let cfg = h.train_config();
+    eprintln!("[table5] building SQLShare workload ({} queries)...", h.sqlshare_queries);
+    let workload = h.sqlshare_workload();
+    let db = h.sqlshare_db();
+
+    // Homogeneous Schema: random split.
+    eprintln!("[table5] Homogeneous Schema...");
+    let hs_split = random_split(workload.len(), h.seed ^ 1);
+    let hs = run_experiment(
+        &workload,
+        Problem::CpuTime,
+        hs_split,
+        &regression_models_with_opt(),
+        &cfg,
+        Some(&db),
+    );
+
+    // Heterogeneous Schema: split by user.
+    eprintln!("[table5] Heterogeneous Schema...");
+    let het_split = split_by_user(&workload.entries, 0.8, 0.07, h.seed ^ 2);
+    let het = run_experiment(
+        &workload,
+        Problem::CpuTime,
+        het_split,
+        &regression_models_with_opt(),
+        &cfg,
+        Some(&db),
+    );
+
+    let mut t = TablePrinter::new(&["Model", "v", "p", "HomSchema Loss", "HetSchema Loss"]);
+    for (a, b) in hs.runs.iter().zip(&het.runs) {
+        assert_eq!(a.kind, b.kind);
+        t.row(vec![
+            a.kind.name().into(),
+            a.vocab_size.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+            a.n_parameters.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            f(a.regression.as_ref().expect("eval").loss),
+            f(b.regression.as_ref().expect("eval").loss),
+        ]);
+    }
+    t.print("Table 5: query CPU time prediction (SQLShare)");
+
+    save_json(
+        "table5",
+        &serde_json::json!({
+            "homogeneous_schema": hs.summary_rows(),
+            "heterogeneous_schema": het.summary_rows(),
+        }),
+    );
+}

@@ -1,0 +1,81 @@
+//! Tables 6 & 7: CPU time prediction qerror percentiles on SQLShare —
+//! Homogeneous Schema (Table 6) and Heterogeneous Schema (Table 7).
+
+use sqlan_bench::{regression_models_with_opt, save_json, Harness, TablePrinter};
+use sqlan_core::prelude::*;
+use sqlan_metrics::QErrorTable;
+
+fn qerror_row(name: &str, q: &sqlan_metrics::QErrorTable, wanted: &[f64]) -> Vec<String> {
+    let mut cells = vec![name.to_string()];
+    for &w in wanted {
+        let v = q.rows.iter().find(|(p, _)| *p == w).map(|(_, v)| *v).unwrap_or(f64::NAN);
+        cells.push(QErrorTable::display_value(v, 5e4));
+    }
+    cells
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let cfg = h.train_config();
+    eprintln!("[table6_7] building SQLShare workload...");
+    let workload = h.sqlshare_workload();
+    let db = h.sqlshare_db();
+
+    // Table 6 — Homogeneous Schema, percentiles 40..80.
+    let hs_split = random_split(workload.len(), h.seed ^ 1);
+    let hs = run_experiment(
+        &workload,
+        Problem::CpuTime,
+        hs_split,
+        &regression_models_with_opt(),
+        &cfg,
+        Some(&db),
+    );
+    let wanted6 = [40.0, 50.0, 60.0, 75.0];
+    let mut t6 = TablePrinter::new(&["Model", "40%", "50%", "60%", "75%"]);
+    for r in &hs.runs {
+        t6.row(qerror_row(
+            r.kind.name(),
+            &r.regression.as_ref().expect("eval").qerror,
+            &wanted6,
+        ));
+    }
+    t6.print("Table 6: CPU time prediction qerror (SQLShare, Homogeneous Schema)");
+
+    // Table 7 — Heterogeneous Schema, percentiles 10..60.
+    let het_split = split_by_user(&workload.entries, 0.8, 0.07, h.seed ^ 2);
+    let het = run_experiment(
+        &workload,
+        Problem::CpuTime,
+        het_split,
+        &regression_models_with_opt(),
+        &cfg,
+        Some(&db),
+    );
+    let wanted7 = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0];
+    let mut t7 = TablePrinter::new(&["Model", "10%", "20%", "30%", "40%", "50%", "60%"]);
+    for r in &het.runs {
+        t7.row(qerror_row(
+            r.kind.name(),
+            &r.regression.as_ref().expect("eval").qerror,
+            &wanted7,
+        ));
+    }
+    t7.print("Table 7: CPU time prediction qerror (SQLShare, Heterogeneous Schema)");
+
+    let dump = |exp: &Experiment| -> Vec<serde_json::Value> {
+        exp.runs
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "model": r.kind.name(),
+                    "qerror": r.regression.as_ref().unwrap().qerror.rows,
+                })
+            })
+            .collect()
+    };
+    save_json(
+        "table6_7",
+        &serde_json::json!({"table6": dump(&hs), "table7": dump(&het)}),
+    );
+}

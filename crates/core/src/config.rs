@@ -1,0 +1,134 @@
+//! Model and training configuration.
+//!
+//! Defaults are scaled for a single-core laptop run of the full experiment
+//! harness (the paper trained on GPUs with embedding 100 / hidden 150–300;
+//! we default to embedding 24 / hidden 32 — EXPERIMENTS.md records the
+//! exact configuration behind every reported number).
+
+use serde::{Deserialize, Serialize};
+
+/// Token granularity: the paper's `c*` vs `w*` model families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    Char,
+    Word,
+}
+
+impl Granularity {
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Granularity::Char => "c",
+            Granularity::Word => "w",
+        }
+    }
+}
+
+/// Hyper-parameters shared by the neural and traditional models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    // Sequence handling.
+    pub max_len_char: usize,
+    pub max_len_word: usize,
+    // Neural architecture.
+    pub embed_dim: usize,
+    pub hidden: usize,
+    pub lstm_depth: usize,
+    pub kernels_per_width: usize,
+    pub dropout: f32,
+    // Optimization (paper §6.1: lr 1e-3, batch 16, clip 0.25).
+    pub lr: f32,
+    pub batch: usize,
+    pub epochs: usize,
+    pub clip: f32,
+    pub huber_delta: f32,
+    /// Early stopping patience in epochs (0 disables).
+    pub patience: usize,
+    // Vocabularies.
+    pub vocab_cap_char: usize,
+    pub vocab_cap_word: usize,
+    pub tfidf_features: usize,
+    pub tfidf_max_ngram: usize,
+    // Infrastructure.
+    pub seed: u64,
+    pub threads: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            max_len_char: 160,
+            max_len_word: 48,
+            embed_dim: 24,
+            hidden: 32,
+            lstm_depth: 3,
+            kernels_per_width: 32,
+            dropout: 0.5,
+            lr: 1e-3,
+            batch: 16,
+            epochs: 3,
+            clip: 0.25,
+            huber_delta: 1.0,
+            patience: 2,
+            vocab_cap_char: 512,
+            vocab_cap_word: 8_000,
+            tfidf_features: 20_000,
+            tfidf_max_ngram: 5,
+            seed: 20,
+            threads: 1,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A tiny configuration for unit tests (seconds, not minutes).
+    pub fn tiny() -> TrainConfig {
+        TrainConfig {
+            max_len_char: 60,
+            max_len_word: 24,
+            embed_dim: 8,
+            hidden: 12,
+            lstm_depth: 2,
+            kernels_per_width: 8,
+            epochs: 2,
+            vocab_cap_word: 1_000,
+            tfidf_features: 2_000,
+            tfidf_max_ngram: 3,
+            ..TrainConfig::default()
+        }
+    }
+
+    pub fn max_len(&self, g: Granularity) -> usize {
+        match g {
+            Granularity::Char => self.max_len_char,
+            Granularity::Word => self.max_len_word,
+        }
+    }
+
+    pub fn vocab_cap(&self, g: Granularity) -> usize {
+        match g {
+            Granularity::Char => self.vocab_cap_char,
+            Granularity::Word => self.vocab_cap_word,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = TrainConfig::default();
+        assert!(c.max_len_char > c.max_len_word);
+        assert!(c.dropout > 0.0 && c.dropout < 1.0);
+        assert_eq!(c.lstm_depth, 3); // the paper's three-layer LSTM
+    }
+
+    #[test]
+    fn granularity_accessors() {
+        let c = TrainConfig::default();
+        assert_eq!(c.max_len(Granularity::Char), c.max_len_char);
+        assert_eq!(c.vocab_cap(Granularity::Word), c.vocab_cap_word);
+        assert_eq!(Granularity::Char.prefix(), "c");
+    }
+}

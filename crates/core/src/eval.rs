@@ -1,0 +1,163 @@
+//! Evaluation of trained models with the paper's metrics (§6.1).
+
+use serde::{Deserialize, Serialize};
+
+use sqlan_metrics::{
+    accuracy, huber_loss, mean_cross_entropy, mse, per_class_f_measure,
+    qerror_percentiles_with_shift, ClassReport, ConfusionMatrix, QErrorTable,
+};
+
+use crate::dataset::LogTransform;
+use crate::models::zoo::TrainedModel;
+
+/// Classification results: test loss (cross-entropy), accuracy, per-class
+/// precision/recall/F.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassificationEval {
+    pub loss: f64,
+    pub accuracy: f64,
+    pub per_class: Vec<ClassReport>,
+    pub preds: Vec<usize>,
+}
+
+/// Regression results: test loss (mean Huber), MSE (both over transformed
+/// labels), raw-scale qerror percentiles, and the per-query predictions
+/// (log space) for the qualitative breakdowns of §6.3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionEval {
+    pub loss: f64,
+    pub mse: f64,
+    pub qerror: QErrorTable,
+    pub preds_log: Vec<f64>,
+}
+
+/// Evaluate a classifier on test statements.
+pub fn evaluate_classifier(
+    model: &TrainedModel,
+    statements: &[String],
+    labels: &[usize],
+    n_classes: usize,
+) -> ClassificationEval {
+    assert_eq!(statements.len(), labels.len());
+    let mut preds = Vec::with_capacity(statements.len());
+    let mut probs = Vec::with_capacity(statements.len());
+    for s in statements {
+        let p = model.predict_proba(s);
+        preds.push(sqlan_ml::argmax(&p));
+        probs.push(p);
+    }
+    let cm = ConfusionMatrix::compute(n_classes, labels, &preds);
+    ClassificationEval {
+        loss: mean_cross_entropy(labels, &probs),
+        accuracy: accuracy(labels, &preds),
+        per_class: per_class_f_measure(&cm),
+        preds,
+    }
+}
+
+/// qerror percentiles reported by the paper's Tables 3/6/7.
+pub const QERROR_PERCENTILES: [f64; 9] =
+    [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 75.0, 90.0, 95.0];
+
+/// Evaluate a regressor on test statements; `log_labels`/`raw_labels` are
+/// the transformed and raw truths, `transform` maps predictions back for
+/// qerror.
+pub fn evaluate_regressor(
+    model: &TrainedModel,
+    statements: &[String],
+    log_labels: &[f64],
+    raw_labels: &[f64],
+    transform: LogTransform,
+    huber_delta: f64,
+) -> RegressionEval {
+    evaluate_regressor_with_shift(
+        model, statements, log_labels, raw_labels, transform, huber_delta, 1.0,
+    )
+}
+
+/// [`evaluate_regressor`] with an explicit qerror shift: 1.0 for row
+/// counts, ~0.01 for CPU seconds (whose medians sit far below 1 s).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_regressor_with_shift(
+    model: &TrainedModel,
+    statements: &[String],
+    log_labels: &[f64],
+    raw_labels: &[f64],
+    transform: LogTransform,
+    huber_delta: f64,
+    qerror_shift: f64,
+) -> RegressionEval {
+    assert_eq!(statements.len(), log_labels.len());
+    assert_eq!(statements.len(), raw_labels.len());
+    let preds_log: Vec<f64> = statements.iter().map(|s| model.predict_value(s)).collect();
+    let loss = if preds_log.is_empty() {
+        f64::NAN
+    } else {
+        preds_log
+            .iter()
+            .zip(log_labels)
+            .map(|(&p, &y)| huber_loss(y, p, huber_delta))
+            .sum::<f64>()
+            / preds_log.len() as f64
+    };
+    let preds_raw: Vec<f64> = preds_log.iter().map(|&p| transform.invert(p)).collect();
+    RegressionEval {
+        loss,
+        mse: mse(log_labels, &preds_log),
+        qerror: qerror_percentiles_with_shift(
+            raw_labels,
+            &preds_raw,
+            &QERROR_PERCENTILES,
+            qerror_shift,
+        ),
+        preds_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::models::neural::{Labels, Task};
+    use crate::models::zoo::{train_model, ModelKind, TrainData};
+
+    #[test]
+    fn mfreq_eval_matches_class_share() {
+        let xs: Vec<String> = (0..50).map(|i| format!("SELECT {i}")).collect();
+        let ys: Vec<usize> = (0..50).map(|i| usize::from(i % 5 == 0)).collect();
+        let data = TrainData {
+            statements: &xs,
+            labels: Labels::Classes(&ys),
+            valid_statements: &xs,
+            valid_labels: Labels::Classes(&ys),
+        };
+        let m = train_model(ModelKind::MFreq, Task::Classify(2), &data, &TrainConfig::tiny(), None);
+        let e = evaluate_classifier(&m, &xs, &ys, 2);
+        // Majority class share = 40/50.
+        assert!((e.accuracy - 0.8).abs() < 1e-9);
+        // Minority F is 0, majority F is high.
+        assert_eq!(e.per_class[1].f_measure, 0.0);
+        assert!(e.per_class[0].f_measure > 0.85);
+    }
+
+    #[test]
+    fn median_eval_has_finite_metrics() {
+        let xs: Vec<String> = (0..30).map(|i| format!("SELECT {i}")).collect();
+        let raw: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let t = LogTransform::fit(&raw);
+        let logs: Vec<f64> = raw.iter().map(|&y| t.apply(y)).collect();
+        let data = TrainData {
+            statements: &xs,
+            labels: Labels::Values(&logs),
+            valid_statements: &xs,
+            valid_labels: Labels::Values(&logs),
+        };
+        let m = train_model(ModelKind::Median, Task::Regress, &data, &TrainConfig::tiny(), None);
+        let e = evaluate_regressor(&m, &xs, &logs, &raw, t, 1.0);
+        assert!(e.loss.is_finite());
+        assert!(e.mse.is_finite());
+        assert!(!e.qerror.rows.is_empty());
+        // Median-of-log predicts every query identically.
+        assert!(e.preds_log.windows(2).all(|w| w[0] == w[1]));
+    }
+}

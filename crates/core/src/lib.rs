@@ -1,0 +1,68 @@
+//! # sqlan-core
+//!
+//! The public API of `sqlan` — a from-scratch Rust reproduction of
+//! *"Facilitating SQL Query Composition and Analysis"* (Zolaktaf, Milani,
+//! Pottinger; SIGMOD 2020): predicting SQL query properties **prior to
+//! execution** from the raw statement text and a historical workload,
+//! with no access to database statistics or execution plans.
+//!
+//! Four problems (Definition 4): error classification, session
+//! classification, CPU-time and answer-size regression. Three settings
+//! (Definition 5): Homogeneous Instance / Homogeneous Schema /
+//! Heterogeneous Schema. Nine models (§5–6): `mfreq`, `median`, `opt`,
+//! `ctfidf`, `wtfidf`, `ccnn`, `wcnn`, `clstm`, `wlstm`.
+//!
+//! ```
+//! use sqlan_core::prelude::*;
+//!
+//! // A tiny synthetic SDSS-like workload (see sqlan-workload).
+//! let workload = build_sdss(SdssConfig { n_sessions: 120, scale: Scale(0.02), seed: 5 });
+//! let split = random_split(workload.len(), 1);
+//! let cfg = TrainConfig::tiny();
+//!
+//! let exp = run_experiment(
+//!     &workload,
+//!     Problem::ErrorClassification,
+//!     split,
+//!     &[ModelKind::MFreq, ModelKind::CTfidf],
+//!     &cfg,
+//!     None,
+//! );
+//! assert_eq!(exp.runs.len(), 2);
+//! ```
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod dataset;
+pub mod eval;
+pub mod models;
+pub mod pipeline;
+pub mod problem;
+pub mod text;
+
+pub use config::{Granularity, TrainConfig};
+pub use dataset::{Dataset, LogTransform};
+pub use eval::{
+    evaluate_classifier, evaluate_regressor, evaluate_regressor_with_shift,
+    ClassificationEval, RegressionEval, QERROR_PERCENTILES,
+};
+pub use models::neural::{ArchKind, Labels, NeuralModel, Task};
+pub use models::traditional::TfidfModel;
+pub use models::zoo::{train_model, ModelKind, TrainData, TrainedModel};
+pub use pipeline::{run_experiment, Experiment, ModelRun, SummaryRow};
+pub use problem::{Problem, Setting};
+
+/// Convenient glob import for examples and the experiment harness.
+pub mod prelude {
+    pub use crate::{
+        run_experiment, train_model, ClassificationEval, Dataset, Experiment, Granularity,
+        Labels, LogTransform, ModelKind, ModelRun, Problem, RegressionEval, Setting, Task,
+        TrainConfig, TrainData, TrainedModel,
+    };
+    pub use sqlan_workload::{
+        build_sdss, build_sqlshare, random_split, sdss_database, split_by_user,
+        sqlshare_database, Scale, SdssConfig, SqlShareConfig, Workload,
+    };
+}

@@ -1,0 +1,6 @@
+//! The model zoo (§5): neural encoders, traditional TF-IDF models, and
+//! baselines, unified behind [`zoo::TrainedModel`].
+
+pub mod neural;
+pub mod traditional;
+pub mod zoo;

@@ -1,0 +1,163 @@
+//! The traditional TF-IDF models (`ctfidf` / `wtfidf`, §5.1): two-stage
+//! feature extraction (bag-of-ngrams up to 5-grams, TF-IDF weighting) plus
+//! a linear prediction model.
+
+use serde::{Deserialize, Serialize};
+use sqlan_features::{SparseVec, TfidfVectorizer};
+use sqlan_ml::{HuberRegression, LinearConfig, LogisticRegression};
+
+use crate::config::{Granularity, TrainConfig};
+use crate::text::tokenize;
+
+/// A trained TF-IDF model (classifier or regressor).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct TfidfModel {
+    pub granularity: Granularity,
+    vectorizer: TfidfVectorizer,
+    kind: TfidfKind,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+enum TfidfKind {
+    Classifier(LogisticRegression),
+    Regressor(HuberRegression),
+}
+
+impl TfidfModel {
+    pub fn name(&self) -> String {
+        format!("{}tfidf", self.granularity.prefix())
+    }
+
+    pub fn vocab_size(&self) -> usize {
+        self.vectorizer.dim()
+    }
+
+    pub fn n_parameters(&self) -> usize {
+        match &self.kind {
+            TfidfKind::Classifier(m) => m.n_parameters(),
+            TfidfKind::Regressor(m) => m.n_parameters(),
+        }
+    }
+
+    fn featurize(&self, statement: &str) -> SparseVec {
+        self.vectorizer.transform(&tokenize(statement, self.granularity))
+    }
+
+    /// Train a classifier.
+    pub fn train_classifier(
+        granularity: Granularity,
+        statements: &[String],
+        labels: &[usize],
+        n_classes: usize,
+        cfg: &TrainConfig,
+    ) -> TfidfModel {
+        let streams: Vec<Vec<String>> =
+            statements.iter().map(|s| tokenize(s, granularity)).collect();
+        let vectorizer = TfidfVectorizer::fit(&streams, cfg.tfidf_max_ngram, cfg.tfidf_features);
+        let xs: Vec<SparseVec> = streams.iter().map(|t| vectorizer.transform(t)).collect();
+        let lcfg = LinearConfig { seed: cfg.seed, ..LinearConfig::default() };
+        let model =
+            LogisticRegression::train(&xs, labels, n_classes, vectorizer.dim(), lcfg);
+        TfidfModel { granularity, vectorizer, kind: TfidfKind::Classifier(model) }
+    }
+
+    /// Train a regressor on log-transformed labels.
+    pub fn train_regressor(
+        granularity: Granularity,
+        statements: &[String],
+        labels: &[f64],
+        cfg: &TrainConfig,
+    ) -> TfidfModel {
+        let streams: Vec<Vec<String>> =
+            statements.iter().map(|s| tokenize(s, granularity)).collect();
+        let vectorizer = TfidfVectorizer::fit(&streams, cfg.tfidf_max_ngram, cfg.tfidf_features);
+        let xs: Vec<SparseVec> = streams.iter().map(|t| vectorizer.transform(t)).collect();
+        let ys: Vec<f32> = labels.iter().map(|&y| y as f32).collect();
+        let lcfg = LinearConfig {
+            seed: cfg.seed,
+            huber_delta: cfg.huber_delta,
+            ..LinearConfig::default()
+        };
+        let model = HuberRegression::train(&xs, &ys, vectorizer.dim(), lcfg);
+        TfidfModel { granularity, vectorizer, kind: TfidfKind::Regressor(model) }
+    }
+
+    pub fn predict_proba(&self, statement: &str) -> Vec<f32> {
+        match &self.kind {
+            TfidfKind::Classifier(m) => m.predict_proba(&self.featurize(statement)),
+            TfidfKind::Regressor(_) => panic!("regression model has no class probabilities"),
+        }
+    }
+
+    pub fn predict_class(&self, statement: &str) -> usize {
+        match &self.kind {
+            TfidfKind::Classifier(m) => m.predict(&self.featurize(statement)),
+            TfidfKind::Regressor(_) => panic!("regression model has no classes"),
+        }
+    }
+
+    pub fn predict_value(&self, statement: &str) -> f64 {
+        match &self.kind {
+            TfidfKind::Regressor(m) => m.predict(&self.featurize(statement)) as f64,
+            TfidfKind::Classifier(_) => panic!("classifier has no scalar output"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tfidf_classifier_separates_statement_types() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..100 {
+            if i % 2 == 0 {
+                xs.push(format!("SELECT a{} FROM t", i));
+                ys.push(0usize);
+            } else {
+                xs.push(format!("DROP TABLE t{}", i));
+                ys.push(1usize);
+            }
+        }
+        let cfg = TrainConfig::tiny();
+        let m = TfidfModel::train_classifier(Granularity::Word, &xs, &ys, 2, &cfg);
+        assert_eq!(m.name(), "wtfidf");
+        assert_eq!(m.predict_class("SELECT zz FROM t"), 0);
+        assert_eq!(m.predict_class("DROP TABLE zz"), 1);
+        assert!(m.vocab_size() > 0);
+        assert!(m.n_parameters() > 0);
+    }
+
+    #[test]
+    fn tfidf_regressor_tracks_textual_signal() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..100usize {
+            let heavy = i % 2 == 0;
+            xs.push(if heavy {
+                format!("SELECT * FROM big_table WHERE f(x) > {i}")
+            } else {
+                format!("SELECT 1 FROM small WHERE id = {i}")
+            });
+            ys.push(if heavy { 5.0 } else { 1.0 });
+        }
+        let cfg = TrainConfig::tiny();
+        let m = TfidfModel::train_regressor(Granularity::Char, &xs, &ys, &cfg);
+        assert_eq!(m.name(), "ctfidf");
+        let heavy = m.predict_value("SELECT * FROM big_table WHERE f(x) > 3");
+        let light = m.predict_value("SELECT 1 FROM small WHERE id = 7");
+        assert!(heavy > light, "heavy {heavy} vs light {light}");
+    }
+
+    #[test]
+    fn unknown_text_predicts_without_panicking() {
+        let xs: Vec<String> = (0..20).map(|i| format!("SELECT {i}")).collect();
+        let ys = vec![0usize; 20];
+        let m =
+            TfidfModel::train_classifier(Granularity::Word, &xs, &ys, 2, &TrainConfig::tiny());
+        let _ = m.predict_class("całkowicie nieznany tekst");
+        let _ = m.predict_class("");
+    }
+}

@@ -1,0 +1,442 @@
+//! The model zoo: every model of §5/§6.1 behind one enum —
+//! `mfreq`/`median` baselines, `opt`, `ctfidf`/`wtfidf`, `ccnn`/`wcnn`,
+//! `clstm`/`wlstm`.
+
+use serde::{Deserialize, Serialize};
+
+use sqlan_engine::Database;
+use sqlan_ml::{MedianBaseline, MostFrequent, OptBaseline};
+
+use crate::config::{Granularity, TrainConfig};
+use crate::models::neural::{ArchKind, Labels, NeuralModel, Task};
+use crate::models::traditional::TfidfModel;
+
+/// Every model the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ModelKind {
+    MFreq,
+    Median,
+    Opt,
+    CTfidf,
+    WTfidf,
+    CCnn,
+    WCnn,
+    CLstm,
+    WLstm,
+}
+
+impl ModelKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::MFreq => "mfreq",
+            ModelKind::Median => "median",
+            ModelKind::Opt => "opt",
+            ModelKind::CTfidf => "ctfidf",
+            ModelKind::WTfidf => "wtfidf",
+            ModelKind::CCnn => "ccnn",
+            ModelKind::WCnn => "wcnn",
+            ModelKind::CLstm => "clstm",
+            ModelKind::WLstm => "wlstm",
+        }
+    }
+
+    /// The learned models (everything except the trivial baselines), in
+    /// the row order of Table 2.
+    pub const LEARNED: [ModelKind; 6] = [
+        ModelKind::CTfidf,
+        ModelKind::CCnn,
+        ModelKind::CLstm,
+        ModelKind::WTfidf,
+        ModelKind::WCnn,
+        ModelKind::WLstm,
+    ];
+
+    pub fn granularity(self) -> Option<Granularity> {
+        match self {
+            ModelKind::CTfidf | ModelKind::CCnn | ModelKind::CLstm => Some(Granularity::Char),
+            ModelKind::WTfidf | ModelKind::WCnn | ModelKind::WLstm => Some(Granularity::Word),
+            _ => None,
+        }
+    }
+}
+
+/// Bundled training inputs.
+#[derive(Debug, Clone)]
+pub struct TrainData<'a> {
+    pub statements: &'a [String],
+    pub labels: Labels<'a>,
+    pub valid_statements: &'a [String],
+    pub valid_labels: Labels<'a>,
+}
+
+/// A trained model of any kind.
+#[derive(Debug)]
+pub struct TrainedModel {
+    pub kind: ModelKind,
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    MFreq(MostFrequent),
+    Median(f64),
+    Opt { model: OptBaseline, db: Database },
+    Tfidf(TfidfModel),
+    Neural(NeuralModel),
+}
+
+impl TrainedModel {
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// `v` column of Tables 2/4/5: vocabulary / feature-space size.
+    pub fn vocab_size(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::Tfidf(m) => Some(m.vocab_size()),
+            Inner::Neural(m) => Some(m.vocab_size()),
+            _ => None,
+        }
+    }
+
+    /// `p` column: learned parameter count.
+    pub fn n_parameters(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::Tfidf(m) => Some(m.n_parameters()),
+            Inner::Neural(m) => Some(m.n_parameters()),
+            Inner::Opt { model, .. } => Some(model.weights.len() + 1),
+            _ => None,
+        }
+    }
+
+    pub fn predict_class(&self, statement: &str) -> usize {
+        match &self.inner {
+            Inner::MFreq(m) => m.predict(),
+            Inner::Tfidf(m) => m.predict_class(statement),
+            Inner::Neural(m) => m.predict_class(statement),
+            _ => panic!("{} is not a classifier", self.name()),
+        }
+    }
+
+    pub fn predict_proba(&self, statement: &str) -> Vec<f32> {
+        match &self.inner {
+            Inner::MFreq(m) => m.predict_proba(),
+            Inner::Tfidf(m) => m.predict_proba(statement),
+            Inner::Neural(m) => m.predict_proba(statement),
+            _ => panic!("{} is not a classifier", self.name()),
+        }
+    }
+
+    /// Regression prediction in log-label space.
+    pub fn predict_value(&self, statement: &str) -> f64 {
+        match &self.inner {
+            Inner::Median(v) => *v,
+            Inner::Opt { model, db } => {
+                let feats = db
+                    .estimate(statement)
+                    .map(|e| e.features().to_vec())
+                    .unwrap_or_else(|| vec![0.0, 0.0]);
+                model.predict(&feats)
+            }
+            Inner::Tfidf(m) => m.predict_value(statement),
+            Inner::Neural(m) => m.predict_value(statement),
+            Inner::MFreq(_) => panic!("mfreq is not a regressor"),
+        }
+    }
+}
+
+/// Serializable snapshot of a trained model (everything except `opt`,
+/// whose predictions depend on live catalog statistics).
+#[derive(Debug, Serialize, Deserialize)]
+enum SavedModel {
+    MFreq(MostFrequent),
+    Median(f64),
+    Tfidf(TfidfModel),
+    Neural(NeuralModel),
+}
+
+/// Error from [`TrainedModel::save_json`] / [`TrainedModel::load_json`].
+#[derive(Debug)]
+pub enum PersistError {
+    /// `opt` cannot be persisted: it reads catalog statistics at predict
+    /// time.
+    NotPersistable(&'static str),
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::NotPersistable(name) => {
+                write!(f, "model `{name}` cannot be persisted")
+            }
+            PersistError::Json(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl TrainedModel {
+    /// Serialize the trained model to JSON.
+    pub fn save_json(&self) -> Result<String, PersistError> {
+        let saved = match &self.inner {
+            Inner::MFreq(m) => serde_json::to_value(SavedModel::MFreq(*m)),
+            Inner::Median(v) => serde_json::to_value(SavedModel::Median(*v)),
+            Inner::Tfidf(m) => {
+                // Serialize by reference through the enum's shape.
+                return serde_json::to_string(&serde_json::json!({
+                    "kind": self.kind,
+                    "model": {"Tfidf": m},
+                }))
+                .map_err(PersistError::Json);
+            }
+            Inner::Neural(m) => {
+                return serde_json::to_string(&serde_json::json!({
+                    "kind": self.kind,
+                    "model": {"Neural": m},
+                }))
+                .map_err(PersistError::Json);
+            }
+            Inner::Opt { .. } => return Err(PersistError::NotPersistable("opt")),
+        }
+        .map_err(PersistError::Json)?;
+        serde_json::to_string(&serde_json::json!({"kind": self.kind, "model": saved}))
+            .map_err(PersistError::Json)
+    }
+
+    /// Restore a model saved with [`TrainedModel::save_json`].
+    pub fn load_json(json: &str) -> Result<TrainedModel, PersistError> {
+        #[derive(Deserialize)]
+        struct Envelope {
+            kind: ModelKind,
+            model: SavedModel,
+        }
+        let env: Envelope = serde_json::from_str(json).map_err(PersistError::Json)?;
+        let inner = match env.model {
+            SavedModel::MFreq(m) => Inner::MFreq(m),
+            SavedModel::Median(v) => Inner::Median(v),
+            SavedModel::Tfidf(m) => Inner::Tfidf(m),
+            SavedModel::Neural(m) => Inner::Neural(m),
+        };
+        Ok(TrainedModel { kind: env.kind, inner })
+    }
+}
+
+/// Train one model. `task` must match the label kind in `data`; `opt_db`
+/// is required only for [`ModelKind::Opt`] (the optimizer-estimate
+/// baseline needs catalog statistics).
+pub fn train_model(
+    kind: ModelKind,
+    task: Task,
+    data: &TrainData<'_>,
+    cfg: &TrainConfig,
+    opt_db: Option<&Database>,
+) -> TrainedModel {
+    let inner = match kind {
+        ModelKind::MFreq => {
+            let (labels, n) = match (&data.labels, task) {
+                (Labels::Classes(ys), Task::Classify(n)) => (*ys, n),
+                _ => panic!("mfreq requires classification labels"),
+            };
+            Inner::MFreq(MostFrequent::fit(labels, n))
+        }
+        ModelKind::Median => {
+            let ys = match &data.labels {
+                Labels::Values(ys) => *ys,
+                _ => panic!("median requires regression labels"),
+            };
+            Inner::Median(MedianBaseline::fit(ys).predict())
+        }
+        ModelKind::Opt => {
+            let ys = match &data.labels {
+                Labels::Values(ys) => *ys,
+                _ => panic!("opt requires regression labels"),
+            };
+            let db = opt_db.expect("opt baseline needs a Database for estimates").clone();
+            let xs: Vec<Vec<f64>> = data
+                .statements
+                .iter()
+                .map(|s| {
+                    db.estimate(s)
+                        .map(|e| e.features().to_vec())
+                        .unwrap_or_else(|| vec![0.0, 0.0])
+                })
+                .collect();
+            Inner::Opt { model: OptBaseline::fit(&xs, ys), db }
+        }
+        ModelKind::CTfidf | ModelKind::WTfidf => {
+            let g = kind.granularity().expect("tfidf has granularity");
+            let m = match (&data.labels, task) {
+                (Labels::Classes(ys), Task::Classify(n)) => {
+                    TfidfModel::train_classifier(g, data.statements, ys, n, cfg)
+                }
+                (Labels::Values(ys), Task::Regress) => {
+                    TfidfModel::train_regressor(g, data.statements, ys, cfg)
+                }
+                _ => panic!("label/task mismatch for {}", kind.name()),
+            };
+            Inner::Tfidf(m)
+        }
+        ModelKind::CCnn | ModelKind::WCnn | ModelKind::CLstm | ModelKind::WLstm => {
+            let g = kind.granularity().expect("neural has granularity");
+            let arch = match kind {
+                ModelKind::CCnn | ModelKind::WCnn => ArchKind::Cnn,
+                _ => ArchKind::Lstm,
+            };
+            Inner::Neural(NeuralModel::train(
+                arch,
+                g,
+                task,
+                data.statements,
+                data.labels.clone(),
+                data.valid_statements,
+                data.valid_labels.clone(),
+                cfg,
+            ))
+        }
+    };
+    TrainedModel { kind, inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Vec<String>, Vec<usize>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut cls = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..60 {
+            let heavy = i % 3 == 0;
+            xs.push(if heavy {
+                format!("SELECT * FROM huge WHERE f(x) > {i}")
+            } else {
+                format!("SELECT 1 FROM small WHERE id = {i}")
+            });
+            cls.push(heavy as usize);
+            vals.push(if heavy { 4.0 } else { 1.0 });
+        }
+        (xs, cls, vals)
+    }
+
+    #[test]
+    fn zoo_trains_all_classifier_kinds() {
+        let (xs, ys, _) = toy();
+        let cfg = TrainConfig { epochs: 2, ..TrainConfig::tiny() };
+        let data = TrainData {
+            statements: &xs[..40],
+            labels: Labels::Classes(&ys[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Classes(&ys[40..]),
+        };
+        for kind in [ModelKind::MFreq, ModelKind::CTfidf, ModelKind::WCnn, ModelKind::CLstm] {
+            let m = train_model(kind, Task::Classify(2), &data, &cfg, None);
+            let c = m.predict_class(&xs[0]);
+            assert!(c < 2, "{}: class {c}", m.name());
+            let p = m.predict_proba(&xs[0]);
+            assert_eq!(p.len(), 2);
+        }
+    }
+
+    #[test]
+    fn zoo_trains_all_regressor_kinds() {
+        let (xs, _, ys) = toy();
+        let cfg = TrainConfig { epochs: 2, ..TrainConfig::tiny() };
+        let data = TrainData {
+            statements: &xs[..40],
+            labels: Labels::Values(&ys[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Values(&ys[40..]),
+        };
+        let db = sqlan_workload::sdss_database(sqlan_workload::SdssConfig {
+            n_sessions: 1,
+            scale: sqlan_workload::Scale(0.01),
+            seed: 1,
+        });
+        for kind in [ModelKind::Median, ModelKind::Opt, ModelKind::WTfidf, ModelKind::CCnn] {
+            let m = train_model(kind, Task::Regress, &data, &cfg, Some(&db));
+            let v = m.predict_value(&xs[0]);
+            assert!(v.is_finite(), "{}: {v}", m.name());
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let (xs, ys, vals) = toy();
+        let cfg = TrainConfig { epochs: 2, ..TrainConfig::tiny() };
+        let cls_data = TrainData {
+            statements: &xs[..40],
+            labels: Labels::Classes(&ys[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Classes(&ys[40..]),
+        };
+        let reg_data = TrainData {
+            statements: &xs[..40],
+            labels: Labels::Values(&vals[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Values(&vals[40..]),
+        };
+        for kind in [ModelKind::MFreq, ModelKind::CTfidf, ModelKind::WCnn, ModelKind::CLstm] {
+            let m = train_model(kind, Task::Classify(2), &cls_data, &cfg, None);
+            let restored = TrainedModel::load_json(&m.save_json().unwrap()).unwrap();
+            for s in &xs[40..50] {
+                assert_eq!(m.predict_class(s), restored.predict_class(s), "{}", kind.name());
+                let (a, b) = (m.predict_proba(s), restored.predict_proba(s));
+                for (x, y) in a.iter().zip(&b) {
+                    assert!((x - y).abs() < 1e-6);
+                }
+            }
+        }
+        for kind in [ModelKind::Median, ModelKind::WTfidf, ModelKind::CCnn] {
+            let m = train_model(kind, Task::Regress, &reg_data, &cfg, None);
+            let restored = TrainedModel::load_json(&m.save_json().unwrap()).unwrap();
+            for s in &xs[40..50] {
+                let (a, b) = (m.predict_value(s), restored.predict_value(s));
+                assert!((a - b).abs() < 1e-9, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn opt_is_not_persistable() {
+        let (xs, _, vals) = toy();
+        let cfg = TrainConfig::tiny();
+        let data = TrainData {
+            statements: &xs[..40],
+            labels: Labels::Values(&vals[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Values(&vals[40..]),
+        };
+        let db = sqlan_workload::sdss_database(sqlan_workload::SdssConfig {
+            n_sessions: 1,
+            scale: sqlan_workload::Scale(0.01),
+            seed: 1,
+        });
+        let m = train_model(ModelKind::Opt, Task::Regress, &data, &cfg, Some(&db));
+        assert!(matches!(m.save_json(), Err(PersistError::NotPersistable(_))));
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ModelKind::CCnn.name(), "ccnn");
+        assert_eq!(ModelKind::WLstm.name(), "wlstm");
+        assert_eq!(ModelKind::LEARNED.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a classifier")]
+    fn regressor_rejects_class_prediction() {
+        let (xs, _, ys) = toy();
+        let cfg = TrainConfig::tiny();
+        let data = TrainData {
+            statements: &xs[..40],
+            labels: Labels::Values(&ys[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Values(&ys[40..]),
+        };
+        let m = train_model(ModelKind::Median, Task::Regress, &data, &cfg, None);
+        let _ = m.predict_class("SELECT 1");
+    }
+}

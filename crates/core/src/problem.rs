@@ -1,0 +1,97 @@
+//! The four query facilitation problems (Definition 4) and three problem
+//! settings (Definition 5).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Definition 4: predict a query's label prior to execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Problem {
+    /// 3-class: severe / success / non_severe.
+    ErrorClassification,
+    /// 7-class client identification (SDSS only).
+    SessionClassification,
+    /// Regression on log-transformed CPU seconds.
+    CpuTime,
+    /// Regression on log-transformed answer sizes (SDSS only).
+    AnswerSize,
+}
+
+impl Problem {
+    pub fn is_classification(self) -> bool {
+        matches!(self, Problem::ErrorClassification | Problem::SessionClassification)
+    }
+
+    /// Number of classes for classification problems.
+    pub fn n_classes(self) -> usize {
+        match self {
+            Problem::ErrorClassification => 3,
+            Problem::SessionClassification => 7,
+            _ => 0,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Problem::ErrorClassification => "error_classification",
+            Problem::SessionClassification => "session_classification",
+            Problem::CpuTime => "cpu_time",
+            Problem::AnswerSize => "answer_size",
+        }
+    }
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Definition 5: how related are the workload and the new query?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Setting {
+    /// Same database instance (SDSS, random split).
+    HomogeneousInstance,
+    /// Same schema, different instances (SQLShare, random split — every
+    /// user's uploads share the platform's conventions).
+    HomogeneousSchema,
+    /// Different schemas (SQLShare, split by user).
+    HeterogeneousSchema,
+}
+
+impl Setting {
+    pub fn name(self) -> &'static str {
+        match self {
+            Setting::HomogeneousInstance => "Homogeneous Instance",
+            Setting::HomogeneousSchema => "Homogeneous Schema",
+            Setting::HeterogeneousSchema => "Heterogeneous Schema",
+        }
+    }
+}
+
+impl fmt::Display for Setting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_flags() {
+        assert!(Problem::ErrorClassification.is_classification());
+        assert!(Problem::SessionClassification.is_classification());
+        assert!(!Problem::CpuTime.is_classification());
+        assert_eq!(Problem::ErrorClassification.n_classes(), 3);
+        assert_eq!(Problem::SessionClassification.n_classes(), 7);
+        assert_eq!(Problem::AnswerSize.n_classes(), 0);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(Problem::CpuTime.to_string(), "cpu_time");
+        assert_eq!(Setting::HomogeneousInstance.to_string(), "Homogeneous Instance");
+    }
+}

@@ -1,0 +1,58 @@
+//! Statement → token-id encoding shared by the neural models.
+
+use sqlan_features::{char_tokens, word_tokens, Vocab};
+
+use crate::config::{Granularity, TrainConfig};
+
+/// Tokenize one statement at the given granularity.
+pub fn tokenize(statement: &str, g: Granularity) -> Vec<String> {
+    match g {
+        Granularity::Char => char_tokens(statement),
+        Granularity::Word => word_tokens(statement),
+    }
+}
+
+/// Build a vocabulary from training statements.
+pub fn build_vocab(statements: &[String], g: Granularity, cfg: &TrainConfig) -> Vocab {
+    let streams: Vec<Vec<String>> = statements.iter().map(|s| tokenize(s, g)).collect();
+    Vocab::build(streams.iter().map(Vec::as_slice), cfg.vocab_cap(g), 1)
+}
+
+/// Encode a statement to padded/truncated token ids. `min_len` covers the
+/// CNN's widest kernel; empty statements become all-PAD sequences.
+pub fn encode(statement: &str, g: Granularity, vocab: &Vocab, cfg: &TrainConfig, min_len: usize) -> Vec<u32> {
+    let tokens = tokenize(statement, g);
+    vocab.encode(&tokens, cfg.max_len(g), min_len.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_and_word_granularities_differ() {
+        let s = "SELECT * FROM PhotoObj".to_string();
+        let c = tokenize(&s, Granularity::Char);
+        let w = tokenize(&s, Granularity::Word);
+        assert!(c.len() > w.len());
+        assert_eq!(w[0], "select");
+    }
+
+    #[test]
+    fn encode_pads_empty_statements() {
+        let cfg = TrainConfig::tiny();
+        let vocab = build_vocab(&["SELECT 1".to_string()], Granularity::Word, &cfg);
+        let ids = encode("", Granularity::Word, &vocab, &cfg, 5);
+        assert_eq!(ids.len(), 5);
+        assert!(ids.iter().all(|&i| i == sqlan_features::PAD));
+    }
+
+    #[test]
+    fn encode_truncates_long_statements() {
+        let cfg = TrainConfig::tiny();
+        let long = "x ".repeat(500);
+        let vocab = build_vocab(&[long.clone()], Granularity::Word, &cfg);
+        let ids = encode(&long, Granularity::Word, &vocab, &cfg, 1);
+        assert_eq!(ids.len(), cfg.max_len_word);
+    }
+}

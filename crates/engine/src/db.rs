@@ -1,0 +1,475 @@
+//! The top-level `Database`: parse → execute → labeled outcome.
+//!
+//! This is the label generator for synthesized workloads: given arbitrary
+//! statement text it produces exactly the three properties the paper
+//! extracts from the SDSS logs — error class, answer size (`rows`), and
+//! CPU time (`busy`) — deterministically.
+
+use serde::{Deserialize, Serialize};
+
+use sqlan_sql::{parse, Query, Statement};
+
+use crate::catalog::Catalog;
+use crate::cost::{estimate_cost, CostCounter, CostEstimate};
+use crate::error::{ErrorClass, RuntimeError};
+use crate::exec::{ExecCtx, ExecLimits};
+use crate::functions::FnRegistry;
+use crate::relation::Relation;
+
+/// The observable outcome of submitting one statement to the database —
+/// the ground-truth labels of one workload entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// Success / non-severe / severe (§4.1).
+    pub error_class: ErrorClass,
+    /// Rows retrieved; `-1` when the query did not run (matches the SDSS
+    /// convention: "ranges from a minimum of -1 (the query did not run due
+    /// to an error)", Figure 6c).
+    pub answer_size: i64,
+    /// Deterministic CPU seconds (`SqlLog.busy` analogue).
+    pub cpu_seconds: f64,
+    /// Human-readable error description, if any.
+    pub error_message: Option<String>,
+}
+
+/// An executable database instance.
+#[derive(Debug, Clone)]
+pub struct Database {
+    pub catalog: Catalog,
+    pub fns: FnRegistry,
+    pub limits: ExecLimits,
+}
+
+impl Database {
+    pub fn new(catalog: Catalog) -> Self {
+        Database { catalog, fns: FnRegistry::standard(), limits: ExecLimits::default() }
+    }
+
+    pub fn with_limits(mut self, limits: ExecLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Submit raw statement text, as an end user would. Never panics.
+    pub fn submit(&self, text: &str) -> QueryOutcome {
+        let outcome = parse(text);
+        let script = match outcome.result {
+            Err(e) => {
+                // Rejected before reaching the server: severe (§4.1).
+                return QueryOutcome {
+                    error_class: ErrorClass::Severe,
+                    answer_size: -1,
+                    cpu_seconds: 0.0,
+                    error_message: Some(e.to_string()),
+                };
+            }
+            Ok(s) => s,
+        };
+        // An unterminated string is a portal-level rejection too.
+        if outcome.lex_report.unterminated_string || outcome.lex_report.unterminated_comment {
+            return QueryOutcome {
+                error_class: ErrorClass::Severe,
+                answer_size: -1,
+                cpu_seconds: 0.0,
+                error_message: Some("unterminated literal".into()),
+            };
+        }
+
+        let mut counter = CostCounter::default();
+        let mut answer: i64 = 0;
+        for stmt in &script.statements {
+            match self.run_statement(stmt, &mut counter) {
+                Ok(rows) => answer = rows,
+                Err(e) => {
+                    return QueryOutcome {
+                        error_class: ErrorClass::NonSevere,
+                        answer_size: -1,
+                        cpu_seconds: counter.cpu_seconds(),
+                        error_message: Some(e.to_string()),
+                    };
+                }
+            }
+        }
+        QueryOutcome {
+            error_class: ErrorClass::Success,
+            answer_size: answer,
+            cpu_seconds: counter.cpu_seconds(),
+            error_message: None,
+        }
+    }
+
+    /// Execute one parsed statement, returning its answer size.
+    pub fn run_statement(
+        &self,
+        stmt: &Statement,
+        counter: &mut CostCounter,
+    ) -> Result<i64, RuntimeError> {
+        match stmt {
+            Statement::Select(q) => {
+                let rel = self.run_query(q, counter)?;
+                Ok(rel.len() as i64)
+            }
+            Statement::Execute { name, arg_count } => {
+                // Stored procedures: known `sp`-prefixed names succeed with
+                // a fixed moderate cost; anything else is unknown.
+                let base = name.base().to_ascii_lowercase();
+                if base.starts_with("sp") || base.starts_with("usp") {
+                    counter.eval_units += 5_000 + (*arg_count as u64) * 500;
+                    Ok(1)
+                } else {
+                    Err(RuntimeError::UnknownFunction(name.canonical()))
+                }
+            }
+            Statement::Ddl { verb: _, object } => {
+                // DDL against "MyDB"-style user namespaces succeeds; DDL
+                // against shared catalog tables is denied (the portal's
+                // read-only enforcement).
+                match object {
+                    Some(o)
+                        if self.catalog.get(&o.canonical()).is_some()
+                            && !o.canonical().contains("mydb") =>
+                    {
+                        Err(RuntimeError::Unsupported(format!(
+                            "cannot modify shared table `{}`",
+                            o.canonical()
+                        )))
+                    }
+                    _ => {
+                        counter.eval_units += 1_000;
+                        Ok(0)
+                    }
+                }
+            }
+            Statement::Dml { verb, table, query } => {
+                use sqlan_sql::DmlVerb;
+                // Target must be writable (MyDB); shared tables are denied.
+                if let Some(t) = table {
+                    if self.catalog.get(&t.canonical()).is_some()
+                        && !t.canonical().contains("mydb")
+                    {
+                        return Err(RuntimeError::Unsupported(format!(
+                            "cannot modify shared table `{}`",
+                            t.canonical()
+                        )));
+                    }
+                }
+                match verb {
+                    DmlVerb::Insert => match query {
+                        Some(q) if !q.select.is_empty() => {
+                            let rel = self.run_query(q, counter)?;
+                            Ok(rel.len() as i64)
+                        }
+                        _ => {
+                            counter.eval_units += 10;
+                            Ok(1)
+                        }
+                    },
+                    DmlVerb::Update | DmlVerb::Delete => {
+                        // Affected rows = rows matching the WHERE clause of
+                        // a scan over the target, when the target exists.
+                        match (table, query) {
+                            (Some(t), Some(q)) => {
+                                if let Some(tab) = self.catalog.get(&t.canonical()) {
+                                    let mut scan = Query::empty();
+                                    scan.select.push(sqlan_sql::SelectItem {
+                                        expr: sqlan_sql::Expr::Wildcard(None),
+                                        alias: None,
+                                    });
+                                    scan.from.push(sqlan_sql::FromItem {
+                                        factor: sqlan_sql::TableFactor::Table {
+                                            name: sqlan_sql::QualifiedName::single(
+                                                tab.name.clone(),
+                                            ),
+                                            alias: None,
+                                        },
+                                        joins: Vec::new(),
+                                    });
+                                    scan.where_clause = q.where_clause.clone();
+                                    let rel = self.run_query(&scan, counter)?;
+                                    Ok(rel.len() as i64)
+                                } else {
+                                    // Unknown user table: pretend empty.
+                                    counter.eval_units += 10;
+                                    Ok(0)
+                                }
+                            }
+                            _ => Ok(0),
+                        }
+                    }
+                }
+            }
+            Statement::Procedural => {
+                counter.eval_units += 10;
+                Ok(0)
+            }
+        }
+    }
+
+    /// Execute a SELECT and return the full relation.
+    pub fn run_query(
+        &self,
+        q: &Query,
+        counter: &mut CostCounter,
+    ) -> Result<Relation, RuntimeError> {
+        let mut ctx = ExecCtx::new(&self.catalog, &self.fns, self.limits);
+        let result = ctx.exec_query(q, &[]);
+        counter.add(&ctx.counter);
+        result.map(|(rel, _)| rel)
+    }
+
+    /// Optimizer cost estimate for the `opt` baseline. Works even for
+    /// statements that would fail at runtime (the real optimizer estimates
+    /// before execution), and returns `None` only for unparseable text.
+    pub fn estimate(&self, text: &str) -> Option<CostEstimate> {
+        let script = parse(text).result.ok()?;
+        let mut total = CostEstimate::default();
+        for stmt in &script.statements {
+            let e = estimate_cost(stmt, &self.catalog);
+            total.total_cost += e.total_cost;
+            total.est_rows = e.est_rows;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnSpec, TableSpec};
+
+    fn db() -> Database {
+        let specs = vec![
+            TableSpec::new("PhotoObj", 2_000)
+                .column("objid", ColumnSpec::SeqId)
+                .column("ra", ColumnSpec::Uniform(0.0, 360.0))
+                .column("dec", ColumnSpec::Uniform(-90.0, 90.0))
+                .column("type", ColumnSpec::Categorical(7))
+                .column("flags", ColumnSpec::Bitmask(20))
+                .column("u", ColumnSpec::Normal(19.0, 2.0))
+                .column("g", ColumnSpec::Normal(18.5, 2.0)),
+            TableSpec::new("SpecObj", 500)
+                .column("specobjid", ColumnSpec::SeqId)
+                .column("bestobjid", ColumnSpec::IntUniform(0, 1_999))
+                .column("z", ColumnSpec::Uniform(0.0, 3.0))
+                .column("class", ColumnSpec::StrChoice(&["GALAXY", "STAR", "QSO"])),
+        ];
+        Database::new(Catalog::generate(&specs, 42))
+    }
+
+    #[test]
+    fn select_star_returns_all_rows() {
+        let out = db().submit("SELECT * FROM PhotoObj");
+        assert_eq!(out.error_class, ErrorClass::Success);
+        assert_eq!(out.answer_size, 2_000);
+        assert!(out.cpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn filters_reduce_answer_size() {
+        let d = db();
+        let all = d.submit("SELECT * FROM PhotoObj").answer_size;
+        let some = d.submit("SELECT * FROM PhotoObj WHERE ra < 180").answer_size;
+        let none = d.submit("SELECT * FROM PhotoObj WHERE ra < -5").answer_size;
+        assert!(some < all);
+        assert!(some > 0);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn count_star() {
+        let d = db();
+        let out = d.submit("SELECT count(*) FROM PhotoObj WHERE type = 0");
+        assert_eq!(out.error_class, ErrorClass::Success);
+        assert_eq!(out.answer_size, 1);
+    }
+
+    #[test]
+    fn group_by_and_having() {
+        let d = db();
+        let rel = {
+            let mut c = CostCounter::default();
+            let q = match sqlan_sql::parse_script(
+                "SELECT type, count(*) AS n FROM PhotoObj GROUP BY type HAVING count(*) > 10 ORDER BY n DESC",
+            )
+            .unwrap()
+            .statements
+            .remove(0)
+            {
+                Statement::Select(q) => q,
+                _ => unreachable!(),
+            };
+            d.run_query(&q, &mut c).unwrap()
+        };
+        assert!(!rel.is_empty());
+        // Sorted descending by count.
+        let counts: Vec<i64> = rel.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(counts, sorted);
+    }
+
+    #[test]
+    fn equijoin_comma_style_matches_explicit_join() {
+        let d = db();
+        let a = d.submit(
+            "SELECT s.z FROM SpecObj s, PhotoObj p WHERE s.bestobjid = p.objid AND p.type = 0",
+        );
+        let b = d.submit(
+            "SELECT s.z FROM SpecObj s INNER JOIN PhotoObj p ON s.bestobjid = p.objid WHERE p.type = 0",
+        );
+        assert_eq!(a.error_class, ErrorClass::Success);
+        assert_eq!(a.answer_size, b.answer_size);
+        assert!(a.answer_size > 0);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched() {
+        let d = db();
+        let inner = d.submit(
+            "SELECT p.objid FROM PhotoObj p INNER JOIN SpecObj s ON p.objid = s.bestobjid",
+        );
+        let left = d.submit(
+            "SELECT p.objid FROM PhotoObj p LEFT JOIN SpecObj s ON p.objid = s.bestobjid",
+        );
+        assert!(left.answer_size >= inner.answer_size);
+        assert!(left.answer_size >= 2_000);
+    }
+
+    #[test]
+    fn scalar_subquery_and_in_subquery() {
+        let d = db();
+        let out = d.submit(
+            "SELECT objid FROM PhotoObj WHERE ra > (SELECT avg(ra) FROM PhotoObj)",
+        );
+        assert_eq!(out.error_class, ErrorClass::Success);
+        assert!(out.answer_size > 0 && out.answer_size < 2_000);
+
+        let out2 = d.submit(
+            "SELECT z FROM SpecObj WHERE bestobjid IN (SELECT objid FROM PhotoObj WHERE type = 0)",
+        );
+        assert_eq!(out2.error_class, ErrorClass::Success);
+        assert!(out2.answer_size > 0);
+    }
+
+    #[test]
+    fn correlated_exists() {
+        let d = db();
+        let out = d.submit(
+            "SELECT p.objid FROM PhotoObj p WHERE EXISTS \
+             (SELECT 1 FROM SpecObj s WHERE s.bestobjid = p.objid)",
+        );
+        assert_eq!(out.error_class, ErrorClass::Success);
+        assert!(out.answer_size > 0 && out.answer_size <= 500);
+    }
+
+    #[test]
+    fn syntax_error_is_severe() {
+        let out = db().submit("SELEC * FROMM PhotoObj");
+        assert_eq!(out.error_class, ErrorClass::Severe);
+        assert_eq!(out.answer_size, -1);
+        assert_eq!(out.cpu_seconds, 0.0);
+    }
+
+    #[test]
+    fn natural_language_is_severe() {
+        let out = db().submit("show me all galaxies brighter than 18th magnitude");
+        assert_eq!(out.error_class, ErrorClass::Severe);
+    }
+
+    #[test]
+    fn unknown_table_is_non_severe() {
+        let out = db().submit("SELECT * FROM NoSuchTable");
+        assert_eq!(out.error_class, ErrorClass::NonSevere);
+        assert_eq!(out.answer_size, -1);
+    }
+
+    #[test]
+    fn unknown_column_is_non_severe() {
+        let out = db().submit("SELECT nocolumn FROM PhotoObj");
+        assert_eq!(out.error_class, ErrorClass::NonSevere);
+    }
+
+    #[test]
+    fn division_by_zero_is_non_severe() {
+        let out = db().submit("SELECT 1/0 FROM PhotoObj");
+        assert_eq!(out.error_class, ErrorClass::NonSevere);
+    }
+
+    #[test]
+    fn functions_in_where_charge_per_row() {
+        let d = db();
+        let plain = d.submit("SELECT objid FROM PhotoObj WHERE flags > 0");
+        let heavy = d.submit(
+            "SELECT objid FROM PhotoObj WHERE flags & dbo.fPhotoFlags('BLENDED') > 0",
+        );
+        assert_eq!(heavy.error_class, ErrorClass::Success);
+        assert!(
+            heavy.cpu_seconds > plain.cpu_seconds,
+            "per-row function call must cost more: {} vs {}",
+            heavy.cpu_seconds,
+            plain.cpu_seconds
+        );
+    }
+
+    #[test]
+    fn top_and_order_by() {
+        let d = db();
+        let out = d.submit("SELECT TOP 7 objid FROM PhotoObj ORDER BY ra DESC");
+        assert_eq!(out.answer_size, 7);
+    }
+
+    #[test]
+    fn distinct_reduces_rows() {
+        let d = db();
+        let all = d.submit("SELECT type FROM PhotoObj").answer_size;
+        let distinct = d.submit("SELECT DISTINCT type FROM PhotoObj").answer_size;
+        assert!(distinct <= 7);
+        assert!(distinct < all);
+    }
+
+    #[test]
+    fn exec_known_proc_succeeds_unknown_fails() {
+        let d = db();
+        assert_eq!(d.submit("EXEC dbo.spGetNeighbors 1, 2").error_class, ErrorClass::Success);
+        assert_eq!(d.submit("EXEC dbo.blah 1").error_class, ErrorClass::NonSevere);
+    }
+
+    #[test]
+    fn ddl_on_mydb_succeeds_on_shared_fails() {
+        let d = db();
+        assert_eq!(d.submit("DROP TABLE mydb.results").error_class, ErrorClass::Success);
+        assert_eq!(d.submit("DROP TABLE PhotoObj").error_class, ErrorClass::NonSevere);
+    }
+
+    #[test]
+    fn outcome_is_deterministic() {
+        let d = db();
+        let sql = "SELECT type, count(*) FROM PhotoObj WHERE ra BETWEEN 10 AND 250 GROUP BY type";
+        let a = d.submit(sql);
+        let b = d.submit(sql);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn estimate_available_for_failing_queries() {
+        let d = db();
+        assert!(d.estimate("SELECT * FROM NoSuchTable").is_some());
+        assert!(d.estimate("complete garbage ~~~").is_none());
+    }
+
+    #[test]
+    fn select_without_from() {
+        let out = db().submit("SELECT 1");
+        assert_eq!(out.error_class, ErrorClass::Success);
+        assert_eq!(out.answer_size, 1);
+    }
+
+    #[test]
+    fn update_counts_affected_rows() {
+        // Shared tables are write-denied; unknown user tables affect 0 rows.
+        let d = db();
+        let out = d.submit("UPDATE mydb.mytable SET x = 1 WHERE y > 0");
+        assert_eq!(out.error_class, ErrorClass::Success);
+        assert_eq!(out.answer_size, 0);
+    }
+}

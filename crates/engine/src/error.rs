@@ -1,0 +1,138 @@
+//! Engine error taxonomy and its mapping to the paper's error classes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised while *executing* a query that reached the engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuntimeError {
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A referenced column does not resolve in scope.
+    UnknownColumn(String),
+    /// A column reference matches more than one table in scope.
+    AmbiguousColumn(String),
+    /// A called function is not in the registry.
+    UnknownFunction(String),
+    /// Wrong number of arguments for a registered function.
+    BadArity { function: String, expected: usize, got: usize },
+    /// Operand types don't fit the operator.
+    TypeError(String),
+    /// Integer or float division by zero.
+    DivideByZero,
+    /// The query exceeded the executor's row/probe budget (a stand-in for
+    /// the server-side timeouts SDSS enforces on the web portal).
+    ResourceExhausted,
+    /// A scalar subquery returned more than one row.
+    ScalarSubqueryCardinality,
+    /// Statement kind the engine does not execute (DDL against system
+    /// tables, procedural statements, ...).
+    Unsupported(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            RuntimeError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            RuntimeError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            RuntimeError::UnknownFunction(x) => write!(f, "unknown function `{x}`"),
+            RuntimeError::BadArity { function, expected, got } => {
+                write!(f, "function `{function}` expects {expected} args, got {got}")
+            }
+            RuntimeError::TypeError(m) => write!(f, "type error: {m}"),
+            RuntimeError::DivideByZero => write!(f, "division by zero"),
+            RuntimeError::ResourceExhausted => write!(f, "query exceeded resource limits"),
+            RuntimeError::ScalarSubqueryCardinality => {
+                write!(f, "scalar subquery returned more than one row")
+            }
+            RuntimeError::Unsupported(m) => write!(f, "unsupported statement: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The three error classes of the SDSS workload (§4.1):
+///
+/// * `Success` — "the numeric value 0 means that the query successfully
+///   executed".
+/// * `NonSevere` — "the numeric value 1": the statement reached the
+///   database server and failed there (semantic errors, runtime errors,
+///   resource limits).
+/// * `Severe` — "the numeric value −1, indicates an invalid query that was
+///   rejected by the web portal and was not submitted to the database
+///   server": lexical/syntactic rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ErrorClass {
+    Severe,
+    Success,
+    NonSevere,
+}
+
+impl ErrorClass {
+    /// Numeric encoding used in the SDSS logs.
+    pub fn code(self) -> i32 {
+        match self {
+            ErrorClass::Success => 0,
+            ErrorClass::NonSevere => 1,
+            ErrorClass::Severe => -1,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorClass::Severe => "severe",
+            ErrorClass::Success => "success",
+            ErrorClass::NonSevere => "non_severe",
+        }
+    }
+
+    /// All classes in the order the paper's Table 2 reports them.
+    pub const ALL: [ErrorClass; 3] = [ErrorClass::Severe, ErrorClass::Success, ErrorClass::NonSevere];
+
+    /// Class index used as the training label.
+    pub fn index(self) -> usize {
+        match self {
+            ErrorClass::Severe => 0,
+            ErrorClass::Success => 1,
+            ErrorClass::NonSevere => 2,
+        }
+    }
+
+    pub fn from_index(i: usize) -> Option<ErrorClass> {
+        Self::ALL.get(i).copied()
+    }
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_class_codes_match_sdss_convention() {
+        assert_eq!(ErrorClass::Success.code(), 0);
+        assert_eq!(ErrorClass::NonSevere.code(), 1);
+        assert_eq!(ErrorClass::Severe.code(), -1);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for c in ErrorClass::ALL {
+            assert_eq!(ErrorClass::from_index(c.index()), Some(c));
+        }
+        assert_eq!(ErrorClass::from_index(3), None);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = RuntimeError::UnknownTable("PhotoObj".into());
+        assert!(e.to_string().contains("PhotoObj"));
+    }
+}

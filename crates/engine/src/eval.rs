@@ -1,0 +1,313 @@
+//! Scalar expression evaluation against one row, with correlated-subquery
+//! support and uncorrelated-subquery caching.
+
+use std::collections::HashSet;
+
+use sqlan_sql::{Expr, Literal, Op, UnaryOp};
+
+use crate::error::RuntimeError;
+use crate::exec::{CachedSubquery as SubqueryCacheEntry, ExecCtx, Scope};
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// Evaluate `expr` for `row` of `rel`; `outer` carries enclosing scopes for
+/// correlated references (innermost last). Sets `used_outer` when an outer
+/// scope actually supplied a column.
+pub fn eval(
+    ctx: &mut ExecCtx<'_>,
+    expr: &Expr,
+    rel: &Relation,
+    row: &[Value],
+    outer: &[Scope<'_>],
+    used_outer: &mut bool,
+) -> Result<Value, RuntimeError> {
+    match expr {
+        Expr::Literal(l) => Ok(literal_value(l)),
+        Expr::Column(name) => {
+            // Current row first, then outer scopes from innermost out.
+            if let Some(i) = rel.resolve(&name.parts)? {
+                return Ok(row.get(i).cloned().unwrap_or(Value::Null));
+            }
+            for scope in outer.iter().rev() {
+                if let Some(i) = scope.rel.resolve(&name.parts)? {
+                    *used_outer = true;
+                    return Ok(scope.row.get(i).cloned().unwrap_or(Value::Null));
+                }
+            }
+            Err(RuntimeError::UnknownColumn(name.canonical()))
+        }
+        Expr::Wildcard(_) => Err(RuntimeError::TypeError(
+            "wildcard is not a scalar expression".into(),
+        )),
+        Expr::Unary { op, expr } => {
+            let v = eval(ctx, expr, rel, row, outer, used_outer)?;
+            match op {
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::Plus => Ok(v),
+                UnaryOp::Not => Ok(Value::Bool(!v.is_truthy())),
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval(ctx, left, rel, row, outer, used_outer)?;
+            let r = eval(ctx, right, rel, row, outer, used_outer)?;
+            apply_binary(&l, *op, &r)
+        }
+        Expr::Logical { left, and, right } => {
+            let l = eval(ctx, left, rel, row, outer, used_outer)?;
+            // Short-circuit, charging only what we evaluate.
+            if *and && !l.is_truthy() {
+                return Ok(Value::Bool(false));
+            }
+            if !*and && l.is_truthy() {
+                return Ok(Value::Bool(true));
+            }
+            let r = eval(ctx, right, rel, row, outer, used_outer)?;
+            Ok(Value::Bool(r.is_truthy()))
+        }
+        Expr::Between { expr, negated, low, high } => {
+            let v = eval(ctx, expr, rel, row, outer, used_outer)?;
+            let lo = eval(ctx, low, rel, row, outer, used_outer)?;
+            let hi = eval(ctx, high, rel, row, outer, used_outer)?;
+            let inside = matches!(
+                v.sql_cmp(&lo),
+                Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+            ) && matches!(
+                v.sql_cmp(&hi),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            );
+            Ok(Value::Bool(inside != *negated))
+        }
+        Expr::InList { expr, negated, list } => {
+            let v = eval(ctx, expr, rel, row, outer, used_outer)?;
+            let mut found = false;
+            for item in list {
+                let w = eval(ctx, item, rel, row, outer, used_outer)?;
+                if matches!(v.sql_cmp(&w), Some(std::cmp::Ordering::Equal)) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::Like { expr, negated, pattern } => {
+            let v = eval(ctx, expr, rel, row, outer, used_outer)?;
+            let p = eval(ctx, pattern, rel, row, outer, used_outer)?;
+            ctx.counter.eval_units += 1;
+            let m = v.like(&p)?;
+            Ok(Value::Bool(m.is_truthy() != *negated))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(ctx, expr, rel, row, outer, used_outer)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Function(f) => {
+            let mut args = Vec::with_capacity(f.args.len());
+            for a in &f.args {
+                args.push(eval(ctx, a, rel, row, outer, used_outer)?);
+            }
+            if f.aggregate.is_some() {
+                // Aggregate outside GROUP BY context (e.g. in WHERE):
+                // T-SQL rejects this; we surface it as a type error, which
+                // maps to a non-severe execution failure.
+                return Err(RuntimeError::TypeError(format!(
+                    "aggregate {}() not allowed here",
+                    f.name.base()
+                )));
+            }
+            let (v, cost) = ctx.fns.call(&f.name.canonical(), &args)?;
+            ctx.counter.fn_units += cost;
+            Ok(v)
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            let op_val = match operand {
+                Some(o) => Some(eval(ctx, o, rel, row, outer, used_outer)?),
+                None => None,
+            };
+            for (cond, result) in branches {
+                let c = eval(ctx, cond, rel, row, outer, used_outer)?;
+                let hit = match &op_val {
+                    Some(v) => matches!(v.sql_cmp(&c), Some(std::cmp::Ordering::Equal)),
+                    None => c.is_truthy(),
+                };
+                if hit {
+                    return eval(ctx, result, rel, row, outer, used_outer);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(ctx, e, rel, row, outer, used_outer),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Cast { expr, ty } => {
+            let v = eval(ctx, expr, rel, row, outer, used_outer)?;
+            cast_value(v, ty)
+        }
+        Expr::Subquery(q) => {
+            let key = (&**q) as *const _ as usize;
+            if let Some(SubqueryCacheEntry::Scalar(v)) = ctx.cached_subquery(key) {
+                return Ok(v.clone());
+            }
+            ctx.counter.subquery_execs += 1;
+            let scope = Scope { rel, row };
+            let mut scopes: Vec<Scope<'_>> = outer.to_vec();
+            scopes.push(scope);
+            let (result, sub_used_outer) = ctx.exec_query(q, &scopes)?;
+            let v = scalar_from_relation(&result)?;
+            if !sub_used_outer {
+                ctx.cache_scalar(key, v.clone());
+            } else {
+                *used_outer = true;
+            }
+            Ok(v)
+        }
+        Expr::InSubquery { expr, negated, subquery } => {
+            let v = eval(ctx, expr, rel, row, outer, used_outer)?;
+            let key = (&**subquery) as *const _ as usize;
+            let set = match ctx.cached_subquery(key) {
+                Some(SubqueryCacheEntry::Set(s)) => s.clone(),
+                _ => {
+                    ctx.counter.subquery_execs += 1;
+                    let scope = Scope { rel, row };
+                    let mut scopes: Vec<Scope<'_>> = outer.to_vec();
+                    scopes.push(scope);
+                    let (result, sub_used_outer) = ctx.exec_query(subquery, &scopes)?;
+                    let mut s: HashSet<Vec<u8>> = HashSet::with_capacity(result.len());
+                    for r in &result.rows {
+                        if let Some(first) = r.first() {
+                            if !first.is_null() {
+                                let mut k = Vec::new();
+                                first.group_key(&mut k);
+                                s.insert(k);
+                            }
+                        }
+                    }
+                    if !sub_used_outer {
+                        ctx.cache_set(key, s.clone());
+                    } else {
+                        *used_outer = true;
+                    }
+                    s
+                }
+            };
+            let found = if v.is_null() {
+                false
+            } else {
+                let mut k = Vec::new();
+                v.group_key(&mut k);
+                set.contains(&k)
+            };
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::Exists { negated, subquery } => {
+            let key = (&**subquery) as *const _ as usize;
+            let nonempty = match ctx.cached_subquery(key) {
+                Some(SubqueryCacheEntry::NonEmpty(b)) => *b,
+                _ => {
+                    ctx.counter.subquery_execs += 1;
+                    let scope = Scope { rel, row };
+                    let mut scopes: Vec<Scope<'_>> = outer.to_vec();
+                    scopes.push(scope);
+                    let (result, sub_used_outer) = ctx.exec_query(subquery, &scopes)?;
+                    let b = !result.is_empty();
+                    if !sub_used_outer {
+                        ctx.cache_nonempty(key, b);
+                    } else {
+                        *used_outer = true;
+                    }
+                    b
+                }
+            };
+            Ok(Value::Bool(nonempty != *negated))
+        }
+    }
+}
+
+/// Apply a binary operator to already-evaluated operands.
+pub fn apply_binary(l: &Value, op: Op, r: &Value) -> Result<Value, RuntimeError> {
+    match op {
+        Op::Plus => l.add(r),
+        Op::Minus => l.sub(r),
+        Op::Star => l.mul(r),
+        Op::Slash => l.div(r),
+        Op::Percent => l.rem(r),
+        Op::BitAnd => l.bit_and(r),
+        Op::BitOr => l.bit_or(r),
+        Op::BitXor => l.bit_xor(r),
+        Op::Concat => l.concat(r),
+        Op::Eq => Ok(Value::Bool(matches!(l.sql_cmp(r), Some(std::cmp::Ordering::Equal)))),
+        Op::Neq => Ok(Value::Bool(matches!(
+            l.sql_cmp(r),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Greater)
+        ))),
+        Op::Lt => Ok(Value::Bool(matches!(l.sql_cmp(r), Some(std::cmp::Ordering::Less)))),
+        Op::Lte => Ok(Value::Bool(matches!(
+            l.sql_cmp(r),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        ))),
+        Op::Gt => Ok(Value::Bool(matches!(l.sql_cmp(r), Some(std::cmp::Ordering::Greater)))),
+        Op::Gte => Ok(Value::Bool(matches!(
+            l.sql_cmp(r),
+            Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+        ))),
+    }
+}
+
+fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Number(v, text) => {
+            // Integers stay integers.
+            if !text.contains('.') && !text.contains('e') && !text.contains('E') {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Value::Int(i);
+                }
+            }
+            Value::Float(*v)
+        }
+        Literal::Hex(v, _) => Value::Int(*v as i64),
+        Literal::String(s) => Value::Str(s.clone()),
+        Literal::Null => Value::Null,
+    }
+}
+
+fn cast_value(v: Value, ty: &str) -> Result<Value, RuntimeError> {
+    let base = ty.split('(').next().unwrap_or(ty).trim().to_ascii_lowercase();
+    match base.as_str() {
+        "int" | "bigint" | "smallint" | "tinyint" => match &v {
+            Value::Null => Ok(Value::Null),
+            Value::Str(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(|f| Value::Int(f as i64))
+                .map_err(|_| RuntimeError::TypeError(format!("cannot cast '{s}' to {base}"))),
+            other => other
+                .as_i64()
+                .map(Value::Int)
+                .ok_or_else(|| RuntimeError::TypeError(format!("cannot cast to {base}"))),
+        },
+        "float" | "real" | "decimal" | "numeric" => match &v {
+            Value::Null => Ok(Value::Null),
+            Value::Str(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| RuntimeError::TypeError(format!("cannot cast '{s}' to {base}"))),
+            other => other
+                .as_f64()
+                .map(Value::Float)
+                .ok_or_else(|| RuntimeError::TypeError(format!("cannot cast to {base}"))),
+        },
+        "varchar" | "char" | "nvarchar" | "nchar" | "text" => match &v {
+            Value::Null => Ok(Value::Null),
+            other => Ok(Value::Str(other.display())),
+        },
+        _ => Err(RuntimeError::TypeError(format!("unknown cast target `{ty}`"))),
+    }
+}
+
+fn scalar_from_relation(rel: &Relation) -> Result<Value, RuntimeError> {
+    match rel.len() {
+        0 => Ok(Value::Null),
+        1 => Ok(rel.rows[0].first().cloned().unwrap_or(Value::Null)),
+        _ => Err(RuntimeError::ScalarSubqueryCardinality),
+    }
+}

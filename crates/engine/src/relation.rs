@@ -1,0 +1,184 @@
+//! Materialized relations and column-name resolution.
+
+use crate::error::RuntimeError;
+use crate::value::Value;
+
+/// Metadata for one column of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// The binding alias (`p` in `PhotoObj AS p`), lower-cased.
+    pub qualifier: Option<String>,
+    /// The base table name, lower-cased (`photoobj`), if from a base table.
+    pub table: Option<String>,
+    /// The column name, original casing preserved.
+    pub name: String,
+}
+
+impl ColRef {
+    /// Does `qual` (lower-cased) refer to this column's binding?
+    fn matches_qualifier(&self, qual: &str) -> bool {
+        self.qualifier.as_deref() == Some(qual)
+            || (self.qualifier.is_none() && self.table.as_deref() == Some(qual))
+            || self.table.as_deref() == Some(qual) && self.qualifier.is_none()
+    }
+}
+
+/// A fully materialized relation: column metadata plus row-major values.
+///
+/// Row-major keeps the executor simple; the engine's job is producing
+/// *labels* for ML training, not raw throughput, and tables are capped by
+/// [`crate::exec::ExecLimits`].
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    pub cols: Vec<ColRef>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// A relation with a single empty row — identity for FROM-less SELECTs.
+    pub fn unit() -> Self {
+        Relation { cols: Vec::new(), rows: vec![Vec::new()] }
+    }
+
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Resolve a column reference.
+    ///
+    /// `parts` is the qualified name split (`["p", "ra"]` for `p.ra`).
+    /// Returns `Ok(None)` when the name simply isn't here (the caller may
+    /// try an outer scope); `Err` on ambiguity.
+    pub fn resolve(&self, parts: &[String]) -> Result<Option<usize>, RuntimeError> {
+        let (qual, name) = match parts {
+            [] => return Ok(None),
+            [name] => (None, name.as_str()),
+            many => (Some(many[many.len() - 2].to_ascii_lowercase()), many.last().unwrap().as_str()),
+        };
+        let mut found: Option<usize> = None;
+        for (i, c) in self.cols.iter().enumerate() {
+            if !c.name.eq_ignore_ascii_case(name) {
+                continue;
+            }
+            if let Some(q) = &qual {
+                if !c.matches_qualifier(q) {
+                    continue;
+                }
+            }
+            if let Some(prev) = found {
+                // Same physical binding seen twice can't happen; two
+                // different bindings with the same column name is ambiguous
+                // only for unqualified references.
+                if qual.is_none() {
+                    return Err(RuntimeError::AmbiguousColumn(name.to_string()));
+                }
+                // Qualified and still two matches (self-join with the same
+                // alias is rejected upstream); prefer the first.
+                let _ = prev;
+            } else {
+                found = Some(i);
+            }
+        }
+        Ok(found)
+    }
+
+    /// Columns visible through a `q.*` wildcard (all when `q` is `None`).
+    pub fn wildcard_columns(&self, qual: Option<&str>) -> Vec<usize> {
+        match qual {
+            None => (0..self.cols.len()).collect(),
+            Some(q) => {
+                let q = q.to_ascii_lowercase();
+                (0..self.cols.len())
+                    .filter(|&i| self.cols[i].matches_qualifier(&q))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        Relation {
+            cols: vec![
+                ColRef { qualifier: Some("p".into()), table: Some("photoobj".into()), name: "ra".into() },
+                ColRef { qualifier: Some("p".into()), table: Some("photoobj".into()), name: "dec".into() },
+                ColRef { qualifier: Some("s".into()), table: Some("specobj".into()), name: "ra".into() },
+                ColRef { qualifier: None, table: Some("field".into()), name: "fid".into() },
+            ],
+            rows: vec![vec![
+                Value::Float(1.0),
+                Value::Float(2.0),
+                Value::Float(3.0),
+                Value::Int(4),
+            ]],
+        }
+    }
+
+    fn parts(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let r = rel();
+        assert_eq!(r.resolve(&parts(&["p", "ra"])).unwrap(), Some(0));
+        assert_eq!(r.resolve(&parts(&["s", "ra"])).unwrap(), Some(2));
+        assert_eq!(r.resolve(&parts(&["p", "dec"])).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn table_name_works_as_qualifier_when_unaliased() {
+        let r = rel();
+        assert_eq!(r.resolve(&parts(&["field", "fid"])).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn unqualified_unique_resolves() {
+        let r = rel();
+        assert_eq!(r.resolve(&parts(&["dec"])).unwrap(), Some(1));
+        assert_eq!(r.resolve(&parts(&["fid"])).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn unqualified_duplicate_is_ambiguous() {
+        let r = rel();
+        assert!(matches!(
+            r.resolve(&parts(&["ra"])),
+            Err(RuntimeError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn missing_column_is_none_not_error() {
+        let r = rel();
+        assert_eq!(r.resolve(&parts(&["nope"])).unwrap(), None);
+        assert_eq!(r.resolve(&parts(&["z", "ra"])).unwrap(), None);
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let r = rel();
+        assert_eq!(r.wildcard_columns(None), vec![0, 1, 2, 3]);
+        assert_eq!(r.wildcard_columns(Some("p")), vec![0, 1]);
+        assert_eq!(r.wildcard_columns(Some("S")), vec![2]);
+        assert_eq!(r.wildcard_columns(Some("field")), vec![3]);
+    }
+
+    #[test]
+    fn multipart_qualifier_uses_last_segment() {
+        let r = rel();
+        // mydb.dbo.p.ra → qualifier segment before the column is `p`.
+        assert_eq!(r.resolve(&parts(&["mydb", "p", "ra"])).unwrap(), Some(0));
+    }
+}

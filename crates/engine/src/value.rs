@@ -1,0 +1,429 @@
+//! Runtime values and their SQL-flavoured semantics.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::RuntimeError;
+
+/// A scalar runtime value.
+///
+/// The engine uses a simplified SQL type system: 64-bit integers, 64-bit
+/// floats, strings, booleans (predicate results) and NULL. NULL propagates
+/// through arithmetic; comparisons involving NULL evaluate to `false`
+/// (two-valued logic — a documented simplification, adequate because the
+/// label generator never relies on three-valued edge cases).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+impl Value {
+    /// Truthiness for WHERE/HAVING: only `Bool(true)` and non-zero numbers
+    /// pass rows.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(_) | Value::Null => false,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view; integers widen to floats.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison. NULLs compare as unknown → `None`.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Str(_), _) | (_, Value::Str(_)) => {
+                // Mixed string/number: compare via numeric parse when the
+                // string looks numeric, else strings sort after numbers.
+                let an = self.coerce_f64();
+                let bn = other.coerce_f64();
+                match (an, bn) {
+                    (Some(a), Some(b)) => a.partial_cmp(&b),
+                    _ => None,
+                }
+            }
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    fn coerce_f64(&self) -> Option<f64> {
+        match self {
+            Value::Str(s) => s.trim().parse::<f64>().ok(),
+            other => other.as_f64(),
+        }
+    }
+
+    /// Total order used for ORDER BY and grouping keys: NULLs first, then
+    /// numbers, then booleans, then strings. Unlike [`Value::sql_cmp`], this
+    /// is total so sorts are well-defined.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Bool(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        let (ra, rb) = (rank(self), rank(other));
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => {
+                let a = self.as_f64().unwrap_or(f64::NAN);
+                let b = other.as_f64().unwrap_or(f64::NAN);
+                a.total_cmp(&b)
+            }
+        }
+    }
+
+    /// Grouping/DISTINCT key: a canonical byte representation.
+    pub fn group_key(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Int(i) => {
+                out.push(1);
+                out.extend_from_slice(&(*i as f64).to_bits().to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(1);
+                // Normalize -0.0 to 0.0 so grouping treats them equal.
+                let f = if *f == 0.0 { 0.0 } else { *f };
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(2);
+                out.push(*b as u8);
+            }
+            Value::Str(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    // ---- arithmetic --------------------------------------------------
+
+    pub fn add(&self, other: &Value) -> Result<Value, RuntimeError> {
+        self.numeric_binop(other, "+", |a, b| a + b, |a, b| a.checked_add(b))
+    }
+
+    pub fn sub(&self, other: &Value) -> Result<Value, RuntimeError> {
+        self.numeric_binop(other, "-", |a, b| a - b, |a, b| a.checked_sub(b))
+    }
+
+    pub fn mul(&self, other: &Value) -> Result<Value, RuntimeError> {
+        self.numeric_binop(other, "*", |a, b| a * b, |a, b| a.checked_mul(b))
+    }
+
+    pub fn div(&self, other: &Value) -> Result<Value, RuntimeError> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Err(RuntimeError::DivideByZero)
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            _ => {
+                let a = self.num("/")?;
+                let b = other.num("/")?;
+                if b == 0.0 {
+                    Err(RuntimeError::DivideByZero)
+                } else {
+                    Ok(Value::Float(a / b))
+                }
+            }
+        }
+    }
+
+    pub fn rem(&self, other: &Value) -> Result<Value, RuntimeError> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        let a = self.int("%")?;
+        let b = other.int("%")?;
+        if b == 0 {
+            Err(RuntimeError::DivideByZero)
+        } else {
+            Ok(Value::Int(a % b))
+        }
+    }
+
+    pub fn bit_and(&self, other: &Value) -> Result<Value, RuntimeError> {
+        self.int_binop(other, "&", |a, b| a & b)
+    }
+
+    pub fn bit_or(&self, other: &Value) -> Result<Value, RuntimeError> {
+        self.int_binop(other, "|", |a, b| a | b)
+    }
+
+    pub fn bit_xor(&self, other: &Value) -> Result<Value, RuntimeError> {
+        self.int_binop(other, "^", |a, b| a ^ b)
+    }
+
+    pub fn concat(&self, other: &Value) -> Result<Value, RuntimeError> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(Value::Str(format!("{}{}", self.display(), other.display())))
+    }
+
+    pub fn neg(&self) -> Result<Value, RuntimeError> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            _ => Err(RuntimeError::TypeError("cannot negate non-number".into())),
+        }
+    }
+
+    fn numeric_binop(
+        &self,
+        other: &Value,
+        op: &str,
+        ff: impl Fn(f64, f64) -> f64,
+        fi: impl Fn(i64, i64) -> Option<i64>,
+    ) -> Result<Value, RuntimeError> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => match fi(*a, *b) {
+                Some(v) => Ok(Value::Int(v)),
+                None => Ok(Value::Float(ff(*a as f64, *b as f64))),
+            },
+            _ => {
+                let a = self.num(op)?;
+                let b = other.num(op)?;
+                Ok(Value::Float(ff(a, b)))
+            }
+        }
+    }
+
+    fn int_binop(
+        &self,
+        other: &Value,
+        op: &str,
+        f: impl Fn(i64, i64) -> i64,
+    ) -> Result<Value, RuntimeError> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(Value::Int(f(self.int(op)?, other.int(op)?)))
+    }
+
+    fn num(&self, op: &str) -> Result<f64, RuntimeError> {
+        self.as_f64().ok_or_else(|| {
+            RuntimeError::TypeError(format!("operand of `{op}` is not numeric"))
+        })
+    }
+
+    fn int(&self, op: &str) -> Result<i64, RuntimeError> {
+        self.as_i64().ok_or_else(|| {
+            RuntimeError::TypeError(format!("operand of `{op}` is not an integer"))
+        })
+    }
+
+    /// SQL LIKE with `%` and `_` wildcards, case-insensitive (T-SQL default
+    /// collation behaviour).
+    pub fn like(&self, pattern: &Value) -> Result<Value, RuntimeError> {
+        match (self, pattern) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Bool(false)),
+            (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(like_match(s, p))),
+            (a, Value::Str(p)) => Ok(Value::Bool(like_match(&a.display(), p))),
+            _ => Err(RuntimeError::TypeError("LIKE pattern must be a string".into())),
+        }
+    }
+
+    /// Render for display / concat.
+    pub fn display(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{}", f),
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => (*b as u8).to_string(),
+            Value::Null => "NULL".into(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+/// Iterative LIKE matcher (no regex dependency, no recursion).
+fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().flat_map(|c| c.to_lowercase()).collect();
+    let p: Vec<char> = pattern.chars().flat_map(|c| c.to_lowercase()).collect();
+    // Classic two-pointer algorithm with backtracking on the last `%`.
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut star_si) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = pi;
+            star_si = si;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_si += 1;
+            si = star_si;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(2).mul(&Value::Float(1.5)).unwrap(), Value::Float(3.0));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(Value::Float(7.0).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+    }
+
+    #[test]
+    fn int_overflow_widens_to_float() {
+        let v = Value::Int(i64::MAX).add(&Value::Int(1)).unwrap();
+        assert!(matches!(v, Value::Float(_)));
+    }
+
+    #[test]
+    fn divide_by_zero_is_an_error() {
+        assert!(matches!(
+            Value::Int(1).div(&Value::Int(0)),
+            Err(RuntimeError::DivideByZero)
+        ));
+        assert!(matches!(
+            Value::Int(1).rem(&Value::Int(0)),
+            Err(RuntimeError::DivideByZero)
+        ));
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(1).div(&Value::Null).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert!(!Value::Null.is_truthy());
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(Value::Int(0b1100).bit_and(&Value::Int(0b1010)).unwrap(), Value::Int(0b1000));
+        assert_eq!(Value::Int(0b1100).bit_or(&Value::Int(0b1010)).unwrap(), Value::Int(0b1110));
+        assert_eq!(Value::Int(0b1100).bit_xor(&Value::Int(0b1010)).unwrap(), Value::Int(0b0110));
+    }
+
+    #[test]
+    fn like_wildcards() {
+        let s = |x: &str| Value::Str(x.into());
+        assert_eq!(s("QUERY_FAST").like(&s("%QUERY%")).unwrap(), Value::Bool(true));
+        assert_eq!(s("abc").like(&s("a_c")).unwrap(), Value::Bool(true));
+        assert_eq!(s("abc").like(&s("a_d")).unwrap(), Value::Bool(false));
+        assert_eq!(s("ABC").like(&s("abc")).unwrap(), Value::Bool(true)); // case-insensitive
+        assert_eq!(s("").like(&s("%")).unwrap(), Value::Bool(true));
+        assert_eq!(s("x").like(&s("")).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn total_order_is_total() {
+        let vals = [
+            Value::Null,
+            Value::Int(-1),
+            Value::Float(0.5),
+            Value::Bool(true),
+            Value::Str("a".into()),
+        ];
+        for a in &vals {
+            for b in &vals {
+                // antisymmetry
+                assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+            }
+            assert_eq!(a.total_cmp(a), Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn group_keys_distinguish_types_but_not_int_float_equal_values() {
+        let mut k1 = Vec::new();
+        let mut k2 = Vec::new();
+        Value::Int(3).group_key(&mut k1);
+        Value::Float(3.0).group_key(&mut k2);
+        assert_eq!(k1, k2, "3 and 3.0 should group together");
+
+        k1.clear();
+        k2.clear();
+        Value::Str("3".into()).group_key(&mut k1);
+        Value::Int(3).group_key(&mut k2);
+        assert_ne!(k1, k2, "'3' and 3 are different group keys");
+    }
+
+    #[test]
+    fn mixed_string_number_comparison_parses_numeric_strings() {
+        assert_eq!(
+            Value::Str("6".into()).sql_cmp(&Value::Int(6)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Value::Str("abc".into()).sql_cmp(&Value::Int(6)), None);
+    }
+}

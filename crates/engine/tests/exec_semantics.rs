@@ -1,0 +1,247 @@
+//! Focused execution-semantics tests: corner cases of joins, grouping,
+//! ordering, subqueries and the error taxonomy that the property tests
+//! don't pin down exactly.
+
+use sqlan_engine::{
+    Catalog, ColumnVec, CostCounter, Database, ErrorClass, Table, Value,
+};
+use sqlan_sql::Statement;
+
+/// A tiny hand-built catalog with exactly known contents.
+fn db() -> Database {
+    let mut cat = Catalog::new();
+    cat.insert(Table {
+        name: "emp".into(),
+        columns: vec![
+            sqlan_engine::ColumnDef { name: "id".into(), ty: sqlan_engine::ColType::Int },
+            sqlan_engine::ColumnDef { name: "dept".into(), ty: sqlan_engine::ColType::Int },
+            sqlan_engine::ColumnDef { name: "salary".into(), ty: sqlan_engine::ColType::Float },
+            sqlan_engine::ColumnDef { name: "name".into(), ty: sqlan_engine::ColType::Str },
+        ],
+        data: vec![
+            ColumnVec::Int(vec![1, 2, 3, 4, 5]),
+            ColumnVec::Int(vec![10, 10, 20, 20, 30]),
+            ColumnVec::Float(vec![100.0, 200.0, 300.0, 400.0, 500.0]),
+            ColumnVec::Str(vec![
+                "ann".into(),
+                "bob".into(),
+                "cal".into(),
+                "dee".into(),
+                "eve".into(),
+            ]),
+        ],
+    });
+    cat.insert(Table {
+        name: "dept".into(),
+        columns: vec![
+            sqlan_engine::ColumnDef { name: "did".into(), ty: sqlan_engine::ColType::Int },
+            sqlan_engine::ColumnDef { name: "dname".into(), ty: sqlan_engine::ColType::Str },
+        ],
+        data: vec![
+            ColumnVec::Int(vec![10, 20, 40]),
+            ColumnVec::Str(vec!["sales".into(), "eng".into(), "empty".into()]),
+        ],
+    });
+    Database::new(cat)
+}
+
+fn rows(db: &Database, sql: &str) -> Vec<Vec<Value>> {
+    let script = sqlan_sql::parse_script(sql).expect("parse");
+    let q = match &script.statements[0] {
+        Statement::Select(q) => q.clone(),
+        other => panic!("expected select, got {other:?}"),
+    };
+    let mut c = CostCounter::default();
+    db.run_query(&q, &mut c).expect("run").rows
+}
+
+#[test]
+fn projection_and_aliases() {
+    let d = db();
+    let r = rows(&d, "SELECT name AS who, salary * 2 AS double FROM emp WHERE id = 3");
+    assert_eq!(r, vec![vec![Value::Str("cal".into()), Value::Float(600.0)]]);
+}
+
+#[test]
+fn group_by_with_having_and_order() {
+    let d = db();
+    let r = rows(
+        &d,
+        "SELECT dept, count(*) AS n, avg(salary) AS pay FROM emp \
+         GROUP BY dept HAVING count(*) > 1 ORDER BY pay DESC",
+    );
+    // dept 20 (avg 350) then dept 10 (avg 150); dept 30 filtered (n=1).
+    assert_eq!(r.len(), 2);
+    assert_eq!(r[0][0], Value::Int(20));
+    assert_eq!(r[0][1], Value::Int(2));
+    assert_eq!(r[0][2], Value::Float(350.0));
+    assert_eq!(r[1][0], Value::Int(10));
+}
+
+#[test]
+fn aggregate_over_empty_input() {
+    let d = db();
+    let r = rows(&d, "SELECT count(*), sum(salary), min(salary) FROM emp WHERE id > 99");
+    assert_eq!(r, vec![vec![Value::Int(0), Value::Null, Value::Null]]);
+}
+
+#[test]
+fn left_join_pads_nulls_and_counts() {
+    let d = db();
+    // dept 40 has no employees: LEFT JOIN from dept keeps it with NULLs.
+    let r = rows(
+        &d,
+        "SELECT d.dname, e.name FROM dept d LEFT JOIN emp e ON d.did = e.dept ORDER BY d.dname",
+    );
+    // sales×2 + eng×2 + empty×1 = 5 rows.
+    assert_eq!(r.len(), 5);
+    let empty_row = r.iter().find(|row| row[0] == Value::Str("empty".into())).unwrap();
+    assert_eq!(empty_row[1], Value::Null);
+}
+
+#[test]
+fn right_and_full_joins() {
+    let d = db();
+    // RIGHT JOIN keeps the unmatched dept 30 employee from the right side.
+    let right = rows(
+        &d,
+        "SELECT d.dname, e.name FROM dept d RIGHT JOIN emp e ON d.did = e.dept",
+    );
+    assert_eq!(right.len(), 5); // 4 matched + eve (dept 30, no dept row)
+    assert!(right.iter().any(|r| r[0] == Value::Null && r[1] == Value::Str("eve".into())));
+
+    let full = rows(
+        &d,
+        "SELECT d.dname, e.name FROM dept d FULL JOIN emp e ON d.did = e.dept",
+    );
+    assert_eq!(full.len(), 6); // 4 matched + empty-dept + eve
+}
+
+#[test]
+fn in_list_and_not_in_subquery() {
+    let d = db();
+    let r = rows(&d, "SELECT name FROM emp WHERE dept IN (10, 30) ORDER BY name");
+    let names: Vec<_> = r.iter().map(|x| x[0].display()).collect();
+    assert_eq!(names, vec!["ann", "bob", "eve"]);
+
+    let r2 = rows(
+        &d,
+        "SELECT name FROM emp WHERE dept NOT IN (SELECT did FROM dept) ORDER BY name",
+    );
+    assert_eq!(r2.len(), 1); // only eve (dept 30 not in dept table)
+    assert_eq!(r2[0][0], Value::Str("eve".into()));
+}
+
+#[test]
+fn correlated_scalar_subquery() {
+    let d = db();
+    // Employees above their own department's average.
+    let r = rows(
+        &d,
+        "SELECT name FROM emp e WHERE salary > \
+         (SELECT avg(salary) FROM emp i WHERE i.dept = e.dept) ORDER BY name",
+    );
+    let names: Vec<_> = r.iter().map(|x| x[0].display()).collect();
+    assert_eq!(names, vec!["bob", "dee"]); // 200>150, 400>350; eve == avg
+}
+
+#[test]
+fn case_expression_buckets() {
+    let d = db();
+    let r = rows(
+        &d,
+        "SELECT CASE WHEN salary >= 400 THEN 'high' WHEN salary >= 200 THEN 'mid' \
+         ELSE 'low' END AS band, count(*) FROM emp GROUP BY \
+         CASE WHEN salary >= 400 THEN 'high' WHEN salary >= 200 THEN 'mid' ELSE 'low' END \
+         ORDER BY band",
+    );
+    // high: 400,500 → 2; low: 100 → 1; mid: 200,300 → 2.
+    assert_eq!(r.len(), 3);
+    assert_eq!(r[0], vec![Value::Str("high".into()), Value::Int(2)]);
+    assert_eq!(r[1], vec![Value::Str("low".into()), Value::Int(1)]);
+    assert_eq!(r[2], vec![Value::Str("mid".into()), Value::Int(2)]);
+}
+
+#[test]
+fn distinct_top_and_order_by_alias() {
+    let d = db();
+    let r = rows(&d, "SELECT DISTINCT dept FROM emp ORDER BY dept DESC");
+    assert_eq!(
+        r,
+        vec![vec![Value::Int(30)], vec![Value::Int(20)], vec![Value::Int(10)]]
+    );
+    let r2 = rows(&d, "SELECT TOP 2 salary AS pay FROM emp ORDER BY pay DESC");
+    assert_eq!(r2, vec![vec![Value::Float(500.0)], vec![Value::Float(400.0)]]);
+}
+
+#[test]
+fn like_and_string_predicates() {
+    let d = db();
+    let r = rows(&d, "SELECT name FROM emp WHERE name LIKE '%e%' ORDER BY name");
+    let names: Vec<_> = r.iter().map(|x| x[0].display()).collect();
+    assert_eq!(names, vec!["dee", "eve"]);
+}
+
+#[test]
+fn ambiguous_column_is_an_error() {
+    let d = db();
+    let out = d.submit("SELECT id FROM emp a, emp b WHERE a.id = b.id");
+    assert_eq!(out.error_class, ErrorClass::NonSevere);
+    assert!(out.error_message.unwrap().contains("ambiguous"));
+}
+
+#[test]
+fn aggregate_in_where_is_rejected() {
+    let d = db();
+    let out = d.submit("SELECT name FROM emp WHERE count(*) > 1");
+    assert_eq!(out.error_class, ErrorClass::NonSevere);
+}
+
+#[test]
+fn scalar_subquery_cardinality_error() {
+    let d = db();
+    let out = d.submit("SELECT name FROM emp WHERE salary = (SELECT salary FROM emp)");
+    assert_eq!(out.error_class, ErrorClass::NonSevere);
+    assert!(out.error_message.unwrap().contains("more than one row"));
+}
+
+#[test]
+fn derived_table_with_aggregate() {
+    let d = db();
+    let r = rows(
+        &d,
+        "SELECT t.dept FROM (SELECT dept, count(*) AS n FROM emp GROUP BY dept) t \
+         WHERE t.n = 2 ORDER BY t.dept",
+    );
+    assert_eq!(r, vec![vec![Value::Int(10)], vec![Value::Int(20)]]);
+}
+
+#[test]
+fn exists_and_not_exists() {
+    let d = db();
+    let r = rows(
+        &d,
+        "SELECT dname FROM dept d WHERE NOT EXISTS \
+         (SELECT 1 FROM emp e WHERE e.dept = d.did)",
+    );
+    assert_eq!(r, vec![vec![Value::Str("empty".into())]]);
+}
+
+#[test]
+fn union_like_multi_statement_returns_last() {
+    // Multi-statement scripts: answer size comes from the last statement.
+    let d = db();
+    let out = d.submit("SELECT 1; SELECT name FROM emp");
+    assert_eq!(out.error_class, ErrorClass::Success);
+    assert_eq!(out.answer_size, 5);
+}
+
+#[test]
+fn cost_monotone_in_work() {
+    let d = db();
+    let cheap = d.submit("SELECT id FROM emp WHERE id = 1").cpu_seconds;
+    let dear = d
+        .submit("SELECT e.name FROM emp e, emp b WHERE e.salary > b.salary")
+        .cpu_seconds;
+    assert!(dear > cheap);
+}

@@ -1,0 +1,190 @@
+//! Bag-of-ngrams + TF-IDF features (§5.1).
+//!
+//! "For the Bag-of-ngrams, we select the most frequent n-grams (up to
+//! 5-grams) from the training set. … the weight of token tᵢ is computed
+//! using TFIDF(tᵢ,Q,𝒬) = TF(tᵢ,Q) × IDF(tᵢ,𝒬)", with TF the normalized
+//! in-query frequency and IDF = log(|𝒬| / (1 + |{Q : tᵢ ∈ Q}|)).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sparse feature vector: sorted (feature id, weight) pairs.
+pub type SparseVec = Vec<(u32, f32)>;
+
+/// Generate all n-grams of `tokens` for n in `1..=max_n`, rendered as
+/// separator-joined strings.
+pub fn ngrams(tokens: &[String], max_n: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for n in 1..=max_n {
+        if tokens.len() < n {
+            break;
+        }
+        for w in tokens.windows(n) {
+            out.push(w.join("\u{1f}"));
+        }
+    }
+    out
+}
+
+/// A fitted bag-of-ngrams TF-IDF vectorizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TfidfVectorizer {
+    pub max_n: usize,
+    /// n-gram → feature id.
+    vocab: HashMap<String, u32>,
+    /// Per-feature inverse document frequency.
+    idf: Vec<f32>,
+}
+
+impl TfidfVectorizer {
+    /// Fit on training token streams: select the `max_features` most
+    /// frequent n-grams and compute their IDF.
+    pub fn fit(streams: &[Vec<String>], max_n: usize, max_features: usize) -> TfidfVectorizer {
+        // Document frequency and collection frequency per n-gram.
+        let mut cf: HashMap<String, usize> = HashMap::new();
+        let mut df: HashMap<String, usize> = HashMap::new();
+        for stream in streams {
+            let grams = ngrams(stream, max_n);
+            let mut seen: HashMap<&str, ()> = HashMap::new();
+            for g in &grams {
+                *cf.entry(g.clone()).or_default() += 1;
+            }
+            for g in &grams {
+                if seen.insert(g.as_str(), ()).is_none() {
+                    *df.entry(g.clone()).or_default() += 1;
+                }
+            }
+        }
+        let mut ranked: Vec<(String, usize)> = cf.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(max_features);
+
+        let n_docs = streams.len().max(1) as f32;
+        let mut vocab = HashMap::with_capacity(ranked.len());
+        let mut idf = Vec::with_capacity(ranked.len());
+        for (i, (gram, _)) in ranked.into_iter().enumerate() {
+            let d = df.get(&gram).copied().unwrap_or(0) as f32;
+            idf.push((n_docs / (1.0 + d)).ln().max(0.0));
+            vocab.insert(gram, i as u32);
+        }
+        TfidfVectorizer { max_n, vocab, idf }
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// Transform one token stream into a sparse TF-IDF vector.
+    ///
+    /// TF is the count of the n-gram divided by the total number of
+    /// n-grams in the query ("the normalization prevents bias towards
+    /// longer queries").
+    pub fn transform(&self, tokens: &[String]) -> SparseVec {
+        let grams = ngrams(tokens, self.max_n);
+        if grams.is_empty() {
+            return Vec::new();
+        }
+        let total = grams.len() as f32;
+        let mut counts: HashMap<u32, f32> = HashMap::new();
+        for g in &grams {
+            if let Some(&id) = self.vocab.get(g) {
+                *counts.entry(id).or_default() += 1.0;
+            }
+        }
+        let mut out: SparseVec = counts
+            .into_iter()
+            .map(|(id, c)| (id, (c / total) * self.idf[id as usize]))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn ngrams_up_to_three() {
+        let t = toks(&["a", "b", "c"]);
+        let g = ngrams(&t, 3);
+        assert_eq!(g.len(), 3 + 2 + 1);
+        assert!(g.contains(&"a\u{1f}b".to_string()));
+        assert!(g.contains(&"a\u{1f}b\u{1f}c".to_string()));
+    }
+
+    #[test]
+    fn ngrams_short_input() {
+        let t = toks(&["a"]);
+        assert_eq!(ngrams(&t, 5), vec!["a".to_string()]);
+        assert!(ngrams(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn fit_transform_roundtrip() {
+        let corpus = vec![
+            toks(&["select", "x", "from", "t"]),
+            toks(&["select", "y", "from", "u"]),
+            toks(&["drop", "table", "t"]),
+        ];
+        let v = TfidfVectorizer::fit(&corpus, 2, 100);
+        assert!(v.dim() > 0);
+        let f = v.transform(&corpus[0]);
+        assert!(!f.is_empty());
+        // Sorted by feature id.
+        for w in f.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn common_tokens_have_lower_idf_weight() {
+        // "select" appears in every doc; "drop" in one.
+        let corpus = vec![
+            toks(&["select", "a"]),
+            toks(&["select", "b"]),
+            toks(&["select", "c"]),
+            toks(&["drop", "d"]),
+        ];
+        let v = TfidfVectorizer::fit(&corpus, 1, 100);
+        let common = v.transform(&toks(&["select"]));
+        let rare = v.transform(&toks(&["drop"]));
+        let wc = common.first().map(|x| x.1).unwrap_or(0.0);
+        let wr = rare.first().map(|x| x.1).unwrap_or(0.0);
+        assert!(
+            wr > wc,
+            "rare n-gram should out-weigh common one: rare={wr}, common={wc}"
+        );
+    }
+
+    #[test]
+    fn unknown_ngrams_are_dropped() {
+        let corpus = vec![toks(&["a", "b"])];
+        let v = TfidfVectorizer::fit(&corpus, 1, 10);
+        let f = v.transform(&toks(&["zzz"]));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn max_features_caps_dimensionality() {
+        let corpus: Vec<Vec<String>> =
+            (0..50).map(|i| toks(&["t", &format!("x{i}")])).collect();
+        let v = TfidfVectorizer::fit(&corpus, 1, 5);
+        assert_eq!(v.dim(), 5);
+    }
+
+    #[test]
+    fn tf_normalization_prevents_length_bias() {
+        let corpus = vec![toks(&["a", "b"]), toks(&["c"])];
+        let v = TfidfVectorizer::fit(&corpus, 1, 10);
+        let short = v.transform(&toks(&["a"]));
+        let long = v.transform(&toks(&["a", "a", "a", "a"]));
+        // Same relative frequency (1.0) → same weight.
+        assert!((short[0].1 - long[0].1).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,140 @@
+//! Token vocabularies with frequency-based capping (§4.4.1's open-
+//! vocabulary control) and sequence encoding for the neural models.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Reserved token ids.
+pub const PAD: u32 = 0;
+pub const UNK: u32 = 1;
+/// First id available for real tokens.
+pub const FIRST_TOKEN_ID: u32 = 2;
+
+/// A frozen token → id mapping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    map: HashMap<String, u32>,
+    items: Vec<String>,
+}
+
+impl Vocab {
+    /// Build from an iterator of token streams: count frequencies, keep
+    /// the `max_size` most frequent tokens with count ≥ `min_count`.
+    /// Ties break lexicographically for determinism.
+    pub fn build<'a>(
+        streams: impl IntoIterator<Item = &'a [String]>,
+        max_size: usize,
+        min_count: usize,
+    ) -> Vocab {
+        let mut counts: HashMap<&'a str, usize> = HashMap::new();
+        for stream in streams {
+            for t in stream {
+                *counts.entry(t.as_str()).or_default() += 1;
+            }
+        }
+        let mut ranked: Vec<(&str, usize)> =
+            counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        ranked.truncate(max_size);
+
+        let mut items = vec!["<PAD>".to_string(), "<UNK>".to_string()];
+        items.extend(ranked.into_iter().map(|(t, _)| t.to_string()));
+        let map = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+        Vocab { map, items }
+    }
+
+    /// Number of entries including the reserved PAD/UNK.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.len() <= 2
+    }
+
+    pub fn id(&self, token: &str) -> u32 {
+        self.map.get(token).copied().unwrap_or(UNK)
+    }
+
+    pub fn token(&self, id: u32) -> &str {
+        self.items.get(id as usize).map(String::as_str).unwrap_or("<UNK>")
+    }
+
+    /// Encode a token stream, truncating to `max_len` and padding up to
+    /// `min_len` with PAD (the CNN needs sequences at least as long as its
+    /// widest kernel).
+    pub fn encode(&self, tokens: &[String], max_len: usize, min_len: usize) -> Vec<u32> {
+        let mut ids: Vec<u32> =
+            tokens.iter().take(max_len).map(|t| self.id(t)).collect();
+        while ids.len() < min_len {
+            ids.push(PAD);
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn streams(data: &[&[&str]]) -> Vec<Vec<String>> {
+        data.iter().map(|s| s.iter().map(|t| t.to_string()).collect()).collect()
+    }
+
+    #[test]
+    fn build_orders_by_frequency() {
+        let s = streams(&[&["a", "b", "a"], &["a", "c"]]);
+        let v = Vocab::build(s.iter().map(Vec::as_slice), 10, 1);
+        assert_eq!(v.id("a"), FIRST_TOKEN_ID);
+        assert_eq!(v.token(FIRST_TOKEN_ID), "a");
+        assert_eq!(v.len(), 5); // PAD, UNK, a, b, c
+    }
+
+    #[test]
+    fn max_size_caps_vocab() {
+        let s = streams(&[&["a", "a", "b", "b", "c"]]);
+        let v = Vocab::build(s.iter().map(Vec::as_slice), 2, 1);
+        assert_eq!(v.len(), 4); // PAD, UNK + 2
+        assert_eq!(v.id("c"), UNK);
+    }
+
+    #[test]
+    fn min_count_filters_rare() {
+        let s = streams(&[&["a", "a", "rare"]]);
+        let v = Vocab::build(s.iter().map(Vec::as_slice), 10, 2);
+        assert_eq!(v.id("rare"), UNK);
+        assert_ne!(v.id("a"), UNK);
+    }
+
+    #[test]
+    fn encode_truncates_and_pads() {
+        let s = streams(&[&["a", "b"]]);
+        let v = Vocab::build(s.iter().map(Vec::as_slice), 10, 1);
+        let toks: Vec<String> = ["a", "b", "a", "b"].iter().map(|t| t.to_string()).collect();
+        let e = v.encode(&toks, 3, 0);
+        assert_eq!(e.len(), 3);
+        let short = v.encode(&toks[..1], 10, 5);
+        assert_eq!(short.len(), 5);
+        assert_eq!(short[1], PAD);
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let s = streams(&[&["a"]]);
+        let v = Vocab::build(s.iter().map(Vec::as_slice), 10, 1);
+        assert_eq!(v.id("zzz"), UNK);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let s = streams(&[&["b", "a"]]);
+        let v1 = Vocab::build(s.iter().map(Vec::as_slice), 10, 1);
+        let v2 = Vocab::build(s.iter().map(Vec::as_slice), 10, 1);
+        assert_eq!(v1.id("a"), v2.id("a"));
+        assert_eq!(v1.id("a"), FIRST_TOKEN_ID); // lexicographic tie-break
+    }
+}

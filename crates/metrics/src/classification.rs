@@ -1,0 +1,153 @@
+//! Classification metrics: accuracy, confusion matrix, per-class
+//! precision/recall/F-measure, mean cross-entropy.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions equal to the label.
+pub fn accuracy(labels: &[usize], preds: &[usize]) -> f64 {
+    assert_eq!(labels.len(), preds.len());
+    if labels.is_empty() {
+        return f64::NAN;
+    }
+    let correct = labels.iter().zip(preds).filter(|(a, b)| a == b).count();
+    correct as f64 / labels.len() as f64
+}
+
+/// A confusion matrix over `n_classes`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    pub n_classes: usize,
+    /// `counts[label][pred]`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    pub fn compute(n_classes: usize, labels: &[usize], preds: &[usize]) -> ConfusionMatrix {
+        assert_eq!(labels.len(), preds.len());
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&l, &p) in labels.iter().zip(preds) {
+            assert!(l < n_classes && p < n_classes, "class index out of range");
+            counts[l][p] += 1;
+        }
+        ConfusionMatrix { n_classes, counts }
+    }
+
+    /// Number of samples with this true label.
+    pub fn support(&self, class: usize) -> usize {
+        self.counts[class].iter().sum()
+    }
+
+    /// Number of predictions of this class.
+    pub fn predicted(&self, class: usize) -> usize {
+        self.counts.iter().map(|row| row[class]).sum()
+    }
+
+    pub fn true_positives(&self, class: usize) -> usize {
+        self.counts[class][class]
+    }
+}
+
+/// Per-class precision/recall/F plus support (§6.1: "for every class C,
+/// we report the per class F-measure").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    pub precision: f64,
+    pub recall: f64,
+    pub f_measure: f64,
+    pub support: usize,
+}
+
+/// Per-class reports for all classes. Classes with zero support or zero
+/// predictions get 0 precision/recall/F — matching the paper's convention
+/// (`Fadmin` is 0 with 2 test queries, `Funknown` 0 for several models).
+pub fn per_class_f_measure(cm: &ConfusionMatrix) -> Vec<ClassReport> {
+    (0..cm.n_classes)
+        .map(|c| {
+            let tp = cm.true_positives(c) as f64;
+            let pred = cm.predicted(c) as f64;
+            let sup = cm.support(c) as f64;
+            let precision = if pred > 0.0 { tp / pred } else { 0.0 };
+            let recall = if sup > 0.0 { tp / sup } else { 0.0 };
+            let f_measure = if precision + recall > 0.0 {
+                2.0 * precision * recall / (precision + recall)
+            } else {
+                0.0
+            };
+            ClassReport { precision, recall, f_measure, support: cm.support(c) }
+        })
+        .collect()
+}
+
+/// Mean cross-entropy of predicted class distributions (Eq. A.3).
+pub fn mean_cross_entropy(labels: &[usize], probs: &[Vec<f32>]) -> f64 {
+    assert_eq!(labels.len(), probs.len());
+    if labels.is_empty() {
+        return f64::NAN;
+    }
+    let mut total = 0.0f64;
+    for (&l, p) in labels.iter().zip(probs) {
+        let pl = p.get(l).copied().unwrap_or(0.0).max(1e-12);
+        total += -(pl as f64).ln();
+    }
+    total / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]), 0.75);
+        assert!(accuracy(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = ConfusionMatrix::compute(3, &[0, 0, 1, 2, 2], &[0, 1, 1, 2, 0]);
+        assert_eq!(cm.counts[0], vec![1, 1, 0]);
+        assert_eq!(cm.support(2), 2);
+        assert_eq!(cm.predicted(0), 2);
+        assert_eq!(cm.true_positives(1), 1);
+    }
+
+    #[test]
+    fn f_measure_perfect_and_zero() {
+        let cm = ConfusionMatrix::compute(2, &[0, 0, 1, 1], &[0, 0, 1, 1]);
+        let r = per_class_f_measure(&cm);
+        assert_eq!(r[0].f_measure, 1.0);
+        assert_eq!(r[1].f_measure, 1.0);
+
+        // Never predicting class 1 → F1 = 0 for class 1.
+        let cm = ConfusionMatrix::compute(2, &[0, 0, 1, 1], &[0, 0, 0, 0]);
+        let r = per_class_f_measure(&cm);
+        assert_eq!(r[1].f_measure, 0.0);
+        assert_eq!(r[1].support, 2);
+    }
+
+    #[test]
+    fn f_measure_known_value() {
+        // class 0: tp=2, fp=1, fn=1 → p=2/3, r=2/3, f=2/3.
+        let cm = ConfusionMatrix::compute(2, &[0, 0, 0, 1, 1], &[0, 0, 1, 0, 1]);
+        let r = per_class_f_measure(&cm);
+        assert!((r[0].precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r[0].recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r[0].f_measure - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_class_is_zero_not_nan() {
+        let cm = ConfusionMatrix::compute(3, &[0, 0], &[0, 0]);
+        let r = per_class_f_measure(&cm);
+        assert_eq!(r[1].f_measure, 0.0);
+        assert_eq!(r[2].support, 0);
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_is_small() {
+        let ce = mean_cross_entropy(&[0], &[vec![0.99, 0.01]]);
+        assert!(ce < 0.02);
+        let ce_bad = mean_cross_entropy(&[1], &[vec![0.99, 0.01]]);
+        assert!(ce_bad > 4.0);
+    }
+}

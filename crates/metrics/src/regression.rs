@@ -1,0 +1,81 @@
+//! Regression metrics over log-transformed labels (§4.4.1, §6.1).
+
+/// Squared error of one prediction.
+pub fn squared_error(label: f64, pred: f64) -> f64 {
+    let d = label - pred;
+    d * d
+}
+
+/// Mean squared error (the paper's MSE: over log-transformed labels).
+pub fn mse(labels: &[f64], preds: &[f64]) -> f64 {
+    assert_eq!(labels.len(), preds.len());
+    if labels.is_empty() {
+        return f64::NAN;
+    }
+    labels
+        .iter()
+        .zip(preds)
+        .map(|(&y, &p)| squared_error(y, p))
+        .sum::<f64>()
+        / labels.len() as f64
+}
+
+/// Huber loss of one residual (Eq. A.2), with threshold `delta`.
+pub fn huber_loss(label: f64, pred: f64, delta: f64) -> f64 {
+    let r = (pred - label).abs();
+    if r <= delta {
+        0.5 * r * r
+    } else {
+        delta * (r - 0.5 * delta)
+    }
+}
+
+/// Mean Huber loss — the `Loss` column of Tables 2 and 5.
+pub fn mean_huber_loss(labels: &[f64], preds: &[f64], delta: f64) -> f64 {
+    assert_eq!(labels.len(), preds.len());
+    if labels.is_empty() {
+        return f64::NAN;
+    }
+    labels
+        .iter()
+        .zip(preds)
+        .map(|(&y, &p)| huber_loss(y, p, delta))
+        .sum::<f64>()
+        / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert!(mse(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn huber_quadratic_and_linear_regions() {
+        // |r| <= delta → 0.5 r².
+        assert_eq!(huber_loss(0.0, 0.5, 1.0), 0.125);
+        // |r| > delta → delta(|r| - delta/2).
+        assert_eq!(huber_loss(0.0, 3.0, 1.0), 2.5);
+        // Continuous at the boundary.
+        let at = huber_loss(0.0, 1.0, 1.0);
+        let just_past = huber_loss(0.0, 1.0001, 1.0);
+        assert!((at - just_past).abs() < 1e-3);
+    }
+
+    #[test]
+    fn huber_is_symmetric() {
+        assert_eq!(huber_loss(2.0, 5.0, 1.0), huber_loss(5.0, 2.0, 1.0));
+    }
+
+    #[test]
+    fn mean_huber_bounded_by_mse_half() {
+        // For small residuals, huber = mse/2.
+        let y = [1.0, 2.0, 3.0];
+        let p = [1.1, 2.1, 2.9];
+        assert!((mean_huber_loss(&y, &p, 1.0) - mse(&y, &p) / 2.0).abs() < 1e-12);
+    }
+}

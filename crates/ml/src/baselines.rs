@@ -1,0 +1,209 @@
+//! The paper's simple baselines (§6.1): `mfreq` predicts the most frequent
+//! training class; `median` predicts the training median; `opt` fits a
+//! linear regression from optimizer cost estimates to CPU time.
+
+use serde::{Deserialize, Serialize};
+
+/// `mfreq`: predicts the most frequent class in the training labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MostFrequent {
+    pub class: usize,
+    pub n_classes: usize,
+}
+
+impl MostFrequent {
+    pub fn fit(labels: &[usize], n_classes: usize) -> MostFrequent {
+        let mut counts = vec![0usize; n_classes];
+        for &l in labels {
+            counts[l] += 1;
+        }
+        // First-wins on ties so empty inputs deterministically pick 0.
+        let mut class = 0;
+        for (i, &n) in counts.iter().enumerate() {
+            if n > counts[class] {
+                class = i;
+            }
+        }
+        MostFrequent { class, n_classes }
+    }
+
+    pub fn predict(&self) -> usize {
+        self.class
+    }
+
+    /// Degenerate "probabilities": all mass on the majority class.
+    pub fn predict_proba(&self) -> Vec<f32> {
+        let mut p = vec![1e-12f32; self.n_classes];
+        p[self.class] = 1.0;
+        p
+    }
+}
+
+/// `median`: predicts the median of the training labels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MedianBaseline {
+    pub median: f64,
+}
+
+impl MedianBaseline {
+    pub fn fit(labels: &[f64]) -> MedianBaseline {
+        if labels.is_empty() {
+            return MedianBaseline { median: 0.0 };
+        }
+        let mut sorted = labels.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        MedianBaseline { median }
+    }
+
+    pub fn predict(&self) -> f64 {
+        self.median
+    }
+}
+
+/// `opt`: ordinary least squares from a small dense feature vector
+/// (log-scaled optimizer cost estimates) to the label, solved with the
+/// normal equations + ridge damping. Mirrors "an opt model which uses
+/// linear regression to predict CPU time from the query optimizer cost
+/// estimates" (§6.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptBaseline {
+    pub weights: Vec<f64>,
+    pub bias: f64,
+}
+
+impl OptBaseline {
+    /// Fit `y ≈ w·x + b` on dense feature rows.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> OptBaseline {
+        assert_eq!(xs.len(), ys.len());
+        let d = xs.first().map(Vec::len).unwrap_or(0);
+        let da = d + 1; // augmented with the bias column
+        // Normal equations: (XᵀX + λI) w = Xᵀy.
+        let mut xtx = vec![0.0f64; da * da];
+        let mut xty = vec![0.0f64; da];
+        for (x, &y) in xs.iter().zip(ys) {
+            let mut row = x.clone();
+            row.push(1.0);
+            for i in 0..da {
+                xty[i] += row[i] * y;
+                for j in 0..da {
+                    xtx[i * da + j] += row[i] * row[j];
+                }
+            }
+        }
+        let lambda = 1e-6 * xs.len().max(1) as f64;
+        for i in 0..da {
+            xtx[i * da + i] += lambda;
+        }
+        let w = solve_gaussian(&mut xtx, &mut xty, da);
+        OptBaseline { bias: w[d], weights: w[..d].to_vec() }
+    }
+
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut acc = self.bias;
+        for (w, v) in self.weights.iter().zip(x) {
+            acc += w * v;
+        }
+        acc
+    }
+}
+
+/// In-place Gaussian elimination with partial pivoting for the small dense
+/// systems `opt` needs (d ≤ 4).
+fn solve_gaussian(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r * n + col].abs() > a[piv * n + col].abs() {
+                piv = r;
+            }
+        }
+        if piv != col {
+            for c in 0..n {
+                a.swap(col * n + c, piv * n + c);
+            }
+            b.swap(col, piv);
+        }
+        let diag = a[col * n + col];
+        if diag.abs() < 1e-12 {
+            continue; // singular direction; ridge term should prevent this
+        }
+        for r in col + 1..n {
+            let f = a[r * n + col] / diag;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r * n + c] -= f * a[col * n + c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in col + 1..n {
+            acc -= a[col * n + c] * x[c];
+        }
+        let diag = a[col * n + col];
+        x[col] = if diag.abs() < 1e-12 { 0.0 } else { acc / diag };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mfreq_picks_majority() {
+        let m = MostFrequent::fit(&[0, 1, 1, 1, 2], 3);
+        assert_eq!(m.predict(), 1);
+        let p = m.predict_proba();
+        assert_eq!(p.len(), 3);
+        assert!(p[1] > 0.99);
+    }
+
+    #[test]
+    fn mfreq_empty_defaults_to_zero() {
+        assert_eq!(MostFrequent::fit(&[], 3).predict(), 0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(MedianBaseline::fit(&[3.0, 1.0, 2.0]).predict(), 2.0);
+        assert_eq!(MedianBaseline::fit(&[1.0, 2.0, 3.0, 4.0]).predict(), 2.5);
+        assert_eq!(MedianBaseline::fit(&[]).predict(), 0.0);
+    }
+
+    #[test]
+    fn opt_recovers_exact_linear_relation() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 0.5 * x[1] + 7.0).collect();
+        let m = OptBaseline::fit(&xs, &ys);
+        assert!((m.weights[0] - 3.0).abs() < 1e-3, "{:?}", m);
+        assert!((m.weights[1] + 0.5).abs() < 1e-3);
+        assert!((m.bias - 7.0).abs() < 1e-2);
+        assert!((m.predict(&[10.0, 100.0]) - (30.0 - 50.0 + 7.0)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn opt_handles_degenerate_inputs() {
+        // Constant features: weight irrelevant, bias should fit the mean.
+        let xs: Vec<Vec<f64>> = (0..10).map(|_| vec![1.0]).collect();
+        let ys = vec![5.0f64; 10];
+        let m = OptBaseline::fit(&xs, &ys);
+        // The ridge term shrinks the (collinear) solution slightly.
+        assert!((m.predict(&[1.0]) - 5.0).abs() < 1e-3);
+        // Empty training set must not panic.
+        let e = OptBaseline::fit(&[], &[]);
+        assert_eq!(e.predict(&[]), 0.0);
+    }
+}

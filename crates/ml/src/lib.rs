@@ -1,0 +1,17 @@
+//! # sqlan-ml
+//!
+//! Traditional machine-learning models for the `sqlan` reproduction of
+//! *"Facilitating SQL Query Composition and Analysis"* (SIGMOD 2020):
+//! the TF-IDF linear models (`ctfidf`/`wtfidf` of §5.1 — multinomial
+//! logistic regression and Huber linear regression over sparse
+//! bag-of-ngrams features) and the `mfreq`/`median`/`opt` baselines of
+//! §6.1.
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod linear;
+
+pub use baselines::{MedianBaseline, MostFrequent, OptBaseline};
+pub use linear::{argmax, HuberRegression, LinearConfig, LogisticRegression};

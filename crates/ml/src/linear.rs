@@ -1,0 +1,250 @@
+//! Traditional models over sparse TF-IDF features (§5.1): multinomial
+//! logistic regression for classification, Huber-loss linear regression
+//! for the regression problems, both trained with mini-batch SGD.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use sqlan_features::SparseVec;
+
+/// Training hyper-parameters for the sparse linear models.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearConfig {
+    pub lr: f32,
+    pub epochs: usize,
+    pub l2: f32,
+    pub seed: u64,
+    /// Huber transition point (regression only).
+    pub huber_delta: f32,
+}
+
+impl Default for LinearConfig {
+    fn default() -> Self {
+        LinearConfig { lr: 0.5, epochs: 12, l2: 1e-6, seed: 17, huber_delta: 1.0 }
+    }
+}
+
+/// Multinomial logistic regression over sparse features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    pub n_classes: usize,
+    pub dim: usize,
+    /// Row-major (n_classes × dim).
+    w: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl LogisticRegression {
+    pub fn n_parameters(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Train with SGD on unweighted cross-entropy ("we treat all classes
+    /// equally and use an unweighted cross entropy loss", §4.4.1).
+    pub fn train(
+        xs: &[SparseVec],
+        ys: &[usize],
+        n_classes: usize,
+        dim: usize,
+        cfg: LinearConfig,
+    ) -> LogisticRegression {
+        assert_eq!(xs.len(), ys.len());
+        let mut model = LogisticRegression {
+            n_classes,
+            dim,
+            w: vec![0.0; n_classes * dim],
+            b: vec![0.0; n_classes],
+        };
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let lr = cfg.lr / (1.0 + epoch as f32 * 0.3);
+            for &i in &order {
+                let p = model.predict_proba(&xs[i]);
+                for c in 0..n_classes {
+                    let err = p[c] - if c == ys[i] { 1.0 } else { 0.0 };
+                    if err == 0.0 {
+                        continue;
+                    }
+                    let row = &mut model.w[c * dim..(c + 1) * dim];
+                    for &(id, v) in &xs[i] {
+                        let w = &mut row[id as usize];
+                        *w -= lr * (err * v + cfg.l2 * *w);
+                    }
+                    model.b[c] -= lr * err;
+                }
+            }
+        }
+        model
+    }
+
+    /// Class probabilities for one sparse vector.
+    pub fn predict_proba(&self, x: &SparseVec) -> Vec<f32> {
+        let mut logits = self.b.clone();
+        for c in 0..self.n_classes {
+            let row = &self.w[c * self.dim..(c + 1) * self.dim];
+            let mut acc = 0.0f32;
+            for &(id, v) in x {
+                acc += row[id as usize] * v;
+            }
+            logits[c] += acc;
+        }
+        sqlan_nn_softmax(&logits)
+    }
+
+    pub fn predict(&self, x: &SparseVec) -> usize {
+        let p = self.predict_proba(x);
+        argmax(&p)
+    }
+}
+
+/// Linear regression trained with Huber loss over sparse features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HuberRegression {
+    pub dim: usize,
+    w: Vec<f32>,
+    b: f32,
+}
+
+impl HuberRegression {
+    pub fn n_parameters(&self) -> usize {
+        self.w.len() + 1
+    }
+
+    pub fn train(xs: &[SparseVec], ys: &[f32], dim: usize, cfg: LinearConfig) -> HuberRegression {
+        assert_eq!(xs.len(), ys.len());
+        let mut model = HuberRegression { dim, w: vec![0.0; dim], b: 0.0 };
+        // Initialize the bias at the label *median*: the minimizer of the
+        // Huber objective's linear region, robust to the outliers these
+        // skewed targets carry (§4.4.1).
+        if !ys.is_empty() {
+            let mut sorted = ys.to_vec();
+            sorted.sort_by(f32::total_cmp);
+            model.b = sorted[sorted.len() / 2];
+        }
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let lr = cfg.lr / (1.0 + epoch as f32 * 0.3);
+            for &i in &order {
+                let pred = model.predict(&xs[i]);
+                let r = pred - ys[i];
+                // Huber gradient: r in the quadratic region, ±delta beyond.
+                let g = r.clamp(-cfg.huber_delta, cfg.huber_delta);
+                if g == 0.0 {
+                    continue;
+                }
+                for &(id, v) in &xs[i] {
+                    let w = &mut model.w[id as usize];
+                    *w -= lr * (g * v + cfg.l2 * *w);
+                }
+                model.b -= lr * g;
+            }
+        }
+        model
+    }
+
+    pub fn predict(&self, x: &SparseVec) -> f32 {
+        let mut acc = self.b;
+        for &(id, v) in x {
+            acc += self.w[id as usize] * v;
+        }
+        acc
+    }
+}
+
+fn sqlan_nn_softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum.max(1e-12)).collect()
+}
+
+/// Index of the maximum element (first wins ties).
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_hot(id: u32) -> SparseVec {
+        vec![(id, 1.0)]
+    }
+
+    #[test]
+    fn logreg_learns_separable_classes() {
+        // Feature 0 → class 0, feature 1 → class 1.
+        let xs: Vec<SparseVec> = (0..100).map(|i| one_hot(i % 2)).collect();
+        let ys: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let m = LogisticRegression::train(&xs, &ys, 2, 2, LinearConfig::default());
+        assert_eq!(m.predict(&one_hot(0)), 0);
+        assert_eq!(m.predict(&one_hot(1)), 1);
+        let p = m.predict_proba(&one_hot(0));
+        assert!(p[0] > 0.9, "confident: {p:?}");
+    }
+
+    #[test]
+    fn logreg_probabilities_sum_to_one() {
+        let xs = vec![one_hot(0), one_hot(1), one_hot(2)];
+        let ys = vec![0, 1, 2];
+        let m = LogisticRegression::train(&xs, &ys, 3, 3, LinearConfig::default());
+        let p = m.predict_proba(&one_hot(1));
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn huber_regression_fits_linear_target() {
+        // y = 2·x0 + 1·x1 + 0.5
+        let xs: Vec<SparseVec> = (0..200)
+            .map(|i| vec![(0u32, (i % 5) as f32), (1u32, (i % 3) as f32)])
+            .collect();
+        let ys: Vec<f32> =
+            xs.iter().map(|x| 2.0 * x[0].1 + 1.0 * x[1].1 + 0.5).collect();
+        let cfg = LinearConfig { epochs: 60, lr: 0.1, ..Default::default() };
+        let m = HuberRegression::train(&xs, &ys, 2, cfg);
+        let pred = m.predict(&vec![(0u32, 3.0), (1u32, 2.0)]);
+        assert!((pred - 8.5).abs() < 0.4, "pred {pred}");
+    }
+
+    #[test]
+    fn huber_regression_resists_outliers() {
+        // Constant target 1.0 with one absurd outlier; huber keeps the
+        // prediction near the bulk, squared loss would be dragged away.
+        let xs: Vec<SparseVec> = (0..100).map(|_| Vec::new()).collect();
+        let mut ys = vec![1.0f32; 100];
+        ys[0] = 1e6;
+        let m = HuberRegression::train(&xs, &ys, 1, LinearConfig { epochs: 50, ..Default::default() });
+        let pred = m.predict(&Vec::new());
+        // Bias init at the (outlier-inflated) mean, then Huber pulls it to
+        // the bulk.
+        assert!(pred < 100.0, "huber should resist the outlier, pred={pred}");
+    }
+
+    #[test]
+    fn argmax_first_wins_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn empty_features_predict_prior() {
+        // With no features, logreg must fall back to the bias — the class
+        // prior under training.
+        let xs: Vec<SparseVec> = (0..90).map(|_| Vec::new()).collect();
+        let ys: Vec<usize> = (0..90).map(|i| if i % 3 == 0 { 1 } else { 0 }).collect();
+        let m = LogisticRegression::train(&xs, &ys, 2, 1, LinearConfig::default());
+        assert_eq!(m.predict(&Vec::new()), 0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Reusable layers built on the autograd tape: Linear, Embedding, the
+//! multi-width convolution bank of the paper's shallow CNN (§5.3), and the
+//! LSTM stack of §5.2 / Appendix A.2.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use rand::Rng;
+
+use crate::graph::{Graph, Var};
+use crate::params::{ParamId, Params};
+use crate::tensor::Tensor;
+
+/// Fully connected layer: `x @ W + b`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Linear {
+    pub w: ParamId,
+    pub b: ParamId,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut StdRng,
+    ) -> Linear {
+        Linear {
+            w: params.add_xavier(format!("{name}.w"), in_dim, out_dim, rng),
+            b: params.add_zeros(format!("{name}.b"), 1, out_dim),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        let w = g.param(self.w);
+        let b = g.param(self.b);
+        let xw = g.matmul(x, w);
+        g.add_row(xw, b)
+    }
+}
+
+/// Token embedding table.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Embedding {
+    pub table: ParamId,
+    pub vocab: usize,
+    pub dim: usize,
+}
+
+impl Embedding {
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> Embedding {
+        // Slightly tighter init than Xavier for lookup tables.
+        let bound = (3.0 / dim as f64).sqrt() as f32;
+        let data = (0..vocab * dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        Embedding {
+            table: params.add(format!("{name}.emb"), Tensor::from_vec(vocab, dim, data)),
+            vocab,
+            dim,
+        }
+    }
+
+    /// Embed a token sequence → (seq, dim).
+    pub fn forward(&self, g: &mut Graph<'_>, tokens: &[u32]) -> Var {
+        g.embed(self.table, tokens)
+    }
+}
+
+/// The paper's shallow-CNN feature extractor: parallel 1-D convolutions
+/// with kernel widths {3,4,5}, ReLU, max-over-time pooling, concatenated
+/// into a fixed-size vector of `kernels_per_width × widths.len()`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv1dBank {
+    pub widths: Vec<usize>,
+    pub kernels_per_width: usize,
+    weights: Vec<ParamId>,
+    biases: Vec<ParamId>,
+}
+
+impl Conv1dBank {
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        widths: &[usize],
+        kernels_per_width: usize,
+        embed_dim: usize,
+        rng: &mut StdRng,
+    ) -> Conv1dBank {
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for &w in widths {
+            weights.push(params.add_xavier(
+                format!("{name}.conv{w}.w"),
+                kernels_per_width,
+                w * embed_dim,
+                rng,
+            ));
+            biases.push(params.add_zeros(format!("{name}.conv{w}.b"), 1, kernels_per_width));
+        }
+        Conv1dBank { widths: widths.to_vec(), kernels_per_width, weights, biases }
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.widths.len() * self.kernels_per_width
+    }
+
+    /// Apply to an embedded sequence (seq, d). The caller must pad the
+    /// sequence to at least `max(widths)` tokens.
+    pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        let mut pooled = Vec::with_capacity(self.widths.len());
+        for (i, &w) in self.widths.iter().enumerate() {
+            let weight = g.param(self.weights[i]);
+            let bias = g.param(self.biases[i]);
+            let conv = g.conv1d(x, weight, bias, w);
+            let act = g.relu(conv);
+            pooled.push(g.max_over_time(act));
+        }
+        g.concat_cols(&pooled)
+    }
+}
+
+/// One LSTM layer (Appendix A.2): the four gates packed into single
+/// `(in, 4k)` / `(k, 4k)` matrices, gate order `[c̃, u, f, o]`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LstmLayer {
+    pub wx: ParamId,
+    pub wh: ParamId,
+    pub b: ParamId,
+    pub in_dim: usize,
+    pub hidden: usize,
+}
+
+impl LstmLayer {
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut StdRng,
+    ) -> LstmLayer {
+        let b = {
+            // Forget-gate bias starts at 1.0 (standard trick for gradient
+            // flow through early training).
+            let mut data = vec![0.0f32; 4 * hidden];
+            for v in data.iter_mut().skip(2 * hidden).take(hidden) {
+                *v = 1.0;
+            }
+            params.add(format!("{name}.b"), Tensor::from_vec(1, 4 * hidden, data))
+        };
+        LstmLayer {
+            wx: params.add_xavier(format!("{name}.wx"), in_dim, 4 * hidden, rng),
+            wh: params.add_xavier(format!("{name}.wh"), hidden, 4 * hidden, rng),
+            b,
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// One timestep: `(x_t, h_{t-1}, c_{t-1}) → (h_t, c_t)`.
+    pub fn step(&self, g: &mut Graph<'_>, x: Var, h: Var, c: Var) -> (Var, Var) {
+        let k = self.hidden;
+        let wx = g.param(self.wx);
+        let wh = g.param(self.wh);
+        let b = g.param(self.b);
+        let xw = g.matmul(x, wx);
+        let hw = g.matmul(h, wh);
+        let sum = g.add(xw, hw);
+        let gates = g.add_row(sum, b);
+        let c_tilde_lin = g.slice_cols(gates, 0, k);
+        let u_lin = g.slice_cols(gates, k, 2 * k);
+        let f_lin = g.slice_cols(gates, 2 * k, 3 * k);
+        let o_lin = g.slice_cols(gates, 3 * k, 4 * k);
+        let c_tilde = g.tanh(c_tilde_lin);
+        let u = g.sigmoid(u_lin);
+        let f = g.sigmoid(f_lin);
+        let o = g.sigmoid(o_lin);
+        let uc = g.mul(u, c_tilde);
+        let fc = g.mul(f, c);
+        let c_next = g.add(uc, fc);
+        let c_act = g.tanh(c_next);
+        let h_next = g.mul(o, c_act);
+        (h_next, c_next)
+    }
+}
+
+/// A stack of LSTM layers (the paper uses three); the last layer's final
+/// hidden state is the sequence representation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmStack {
+    pub layers: Vec<LstmLayer>,
+}
+
+impl LstmStack {
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> LstmStack {
+        let mut layers = Vec::with_capacity(depth);
+        for l in 0..depth {
+            let d_in = if l == 0 { in_dim } else { hidden };
+            layers.push(LstmLayer::new(params, &format!("{name}.l{l}"), d_in, hidden, rng));
+        }
+        LstmStack { layers }
+    }
+
+    /// Run the full stack over an embedded sequence (seq, d); returns the
+    /// top layer's final hidden state (1, hidden).
+    pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        let seq = g.value(x).rows;
+        let hidden = self.layers[0].hidden;
+        // Per-layer state.
+        let mut hs: Vec<Var> = Vec::with_capacity(self.layers.len());
+        let mut cs: Vec<Var> = Vec::with_capacity(self.layers.len());
+        for _ in &self.layers {
+            hs.push(g.input(Tensor::zeros(1, hidden)));
+            cs.push(g.input(Tensor::zeros(1, hidden)));
+        }
+        for t in 0..seq {
+            let mut inp = g.select_row(x, t);
+            for (l, layer) in self.layers.iter().enumerate() {
+                let (h, c) = layer.step(g, inp, hs[l], cs[l]);
+                hs[l] = h;
+                cs[l] = c;
+                inp = h;
+            }
+        }
+        hs[self.layers.len() - 1]
+    }
+}
+
+/// Draw a dropout mask of `n` elements with keep-probability `keep`.
+pub fn dropout_mask(n: usize, keep: f32, rng: &mut StdRng) -> Vec<bool> {
+    (0..n).map(|_| rng.gen_bool(keep as f64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn linear_shapes() {
+        let mut r = rng();
+        let mut params = Params::new();
+        let lin = Linear::new(&mut params, "fc", 4, 3, &mut r);
+        let mut g = Graph::new(&params);
+        let x = g.input(Tensor::row(vec![1.0; 4]));
+        let y = lin.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), (1, 3));
+    }
+
+    #[test]
+    fn embedding_shapes_and_clamping() {
+        let mut r = rng();
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 10, 6, &mut r);
+        let mut g = Graph::new(&params);
+        let x = emb.forward(&mut g, &[0, 5, 9, 99]); // 99 clamps to last row
+        assert_eq!(g.value(x).shape(), (4, 6));
+        assert_eq!(g.value(x).row_slice(2), g.value(x).row_slice(3));
+    }
+
+    #[test]
+    fn conv_bank_output_is_fixed_size_regardless_of_seq_len() {
+        let mut r = rng();
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 10, 8, &mut r);
+        let bank = Conv1dBank::new(&mut params, "cnn", &[3, 4, 5], 16, 8, &mut r);
+        for seq_len in [5usize, 12, 80] {
+            let mut g = Graph::new(&params);
+            let tokens: Vec<u32> = (0..seq_len as u32).map(|i| i % 10).collect();
+            let x = emb.forward(&mut g, &tokens);
+            let y = bank.forward(&mut g, x);
+            assert_eq!(g.value(y).shape(), (1, 48));
+        }
+    }
+
+    #[test]
+    fn lstm_stack_final_state_shape() {
+        let mut r = rng();
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 20, 8, &mut r);
+        let stack = LstmStack::new(&mut params, "lstm", 8, 12, 3, &mut r);
+        let mut g = Graph::new(&params);
+        let x = emb.forward(&mut g, &[1, 2, 3, 4, 5, 6]);
+        let h = stack.forward(&mut g, x);
+        assert_eq!(g.value(h).shape(), (1, 12));
+        // Values bounded by tanh ∘ sigmoid composition.
+        assert!(g.value(h).data.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn lstm_is_sensitive_to_token_order() {
+        let mut r = rng();
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 20, 8, &mut r);
+        let stack = LstmStack::new(&mut params, "lstm", 8, 12, 2, &mut r);
+        let run = |tokens: &[u32], params: &Params| -> Vec<f32> {
+            let mut g = Graph::new(params);
+            let x = emb.forward(&mut g, tokens);
+            let h = stack.forward(&mut g, x);
+            g.value(h).data.clone()
+        };
+        let a = run(&[1, 2, 3, 4], &params);
+        let b = run(&[4, 3, 2, 1], &params);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cnn_pooling_is_shift_insensitive_for_contained_patterns() {
+        // Max-over-time pooling should produce similar features when the
+        // same n-gram appears at different positions (padding elsewhere).
+        let mut r = rng();
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 10, 4, &mut r);
+        let bank = Conv1dBank::new(&mut params, "cnn", &[3], 8, 4, &mut r);
+        let run = |tokens: &[u32], params: &Params| -> Vec<f32> {
+            let mut g = Graph::new(params);
+            let x = emb.forward(&mut g, tokens);
+            let y = bank.forward(&mut g, x);
+            g.value(y).data.clone()
+        };
+        // The pattern window [7,8,9] appears in both padded runs, so each
+        // pooled max dominates the activation of the pattern alone — no
+        // matter where the pattern sits.
+        let pat = run(&[7, 8, 9], &params);
+        let a = run(&[7, 8, 9, 0, 0, 0], &params);
+        let b = run(&[0, 0, 0, 7, 8, 9], &params);
+        for k in 0..pat.len() {
+            assert!(a[k] >= pat[k] - 1e-5, "a[{k}]={} < pat={}", a[k], pat[k]);
+            assert!(b[k] >= pat[k] - 1e-5, "b[{k}]={} < pat={}", b[k], pat[k]);
+        }
+    }
+
+    #[test]
+    fn dropout_mask_respects_keep_probability() {
+        let mut r = rng();
+        let mask = dropout_mask(10_000, 0.8, &mut r);
+        let kept = mask.iter().filter(|&&m| m).count();
+        assert!((kept as f64 / 10_000.0 - 0.8).abs() < 0.02);
+    }
+}

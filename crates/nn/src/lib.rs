@@ -1,0 +1,39 @@
+//! # sqlan-nn
+//!
+//! A compact neural-network substrate for the `sqlan` reproduction of
+//! *"Facilitating SQL Query Composition and Analysis"* (SIGMOD 2020):
+//! dense 2-D tensors, a tape-based reverse-mode autograd, the layers the
+//! paper's models need (embeddings, multi-width 1-D convolutions with
+//! max-over-time pooling, stacked LSTMs, linear heads, dropout), and the
+//! SGD/Adam/AdaMax optimizers with global-norm gradient clipping.
+//!
+//! Gradient correctness for every op is property-tested against central
+//! finite differences (`tests/prop_grad.rs`).
+//!
+//! ```
+//! use sqlan_nn::{Graph, Params, Tensor};
+//!
+//! let mut params = Params::new();
+//! let w = params.add("w", Tensor::scalar(3.0));
+//! let mut grads = params.zero_grads();
+//! let mut g = Graph::new(&params);
+//! let wv = g.param(w);
+//! let loss = g.huber(wv, 1.0, 1.0); // residual 2 > delta → linear region
+//! g.backward(loss, 1.0, &mut grads);
+//! assert_eq!(grads.get(w).item(), 1.0);
+//! ```
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod graph;
+pub mod layers;
+pub mod optim;
+pub mod params;
+pub mod tensor;
+
+pub use graph::{softmax_row, Graph, Var};
+pub use layers::{dropout_mask, Conv1dBank, Embedding, Linear, LstmLayer, LstmStack};
+pub use optim::{AdaMax, Adam, Optimizer, Sgd};
+pub use params::{Grads, ParamId, Params};
+pub use tensor::Tensor;

@@ -1,0 +1,198 @@
+//! Parameter and gradient stores, separated from the tape so that a fresh
+//! graph can be built per example while parameters persist across steps
+//! (and so data-parallel workers can hold private gradient buffers).
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Handle to one parameter tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// The trainable state of a model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Params {
+    tensors: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl Params {
+    pub fn new() -> Params {
+        Params::default()
+    }
+
+    /// Register a parameter with an explicit initial value.
+    pub fn add(&mut self, name: impl Into<String>, t: Tensor) -> ParamId {
+        self.tensors.push(t);
+        self.names.push(name.into());
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// Xavier/Glorot-uniform initialized matrix.
+    pub fn add_xavier(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut StdRng,
+    ) -> ParamId {
+        let bound = (6.0 / (rows + cols) as f64).sqrt() as f32;
+        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        self.add(name, Tensor::from_vec(rows, cols, data))
+    }
+
+    /// Zero-initialized (biases).
+    pub fn add_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Tensor::zeros(rows, cols))
+    }
+
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total scalar parameter count (the paper's Table 2 `p` column).
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// A zeroed gradient buffer matching this parameter set.
+    pub fn zero_grads(&self) -> Grads {
+        Grads {
+            bufs: self.tensors.iter().map(|t| Tensor::zeros(t.rows, t.cols)).collect(),
+        }
+    }
+
+    pub fn iter_ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.tensors.len()).map(ParamId)
+    }
+}
+
+/// Gradient buffers aligned with a [`Params`].
+#[derive(Debug, Clone)]
+pub struct Grads {
+    pub(crate) bufs: Vec<Tensor>,
+}
+
+impl Grads {
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.bufs[id.0]
+    }
+
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.bufs[id.0]
+    }
+
+    pub fn zero(&mut self) {
+        for b in &mut self.bufs {
+            b.zero();
+        }
+    }
+
+    /// Merge another worker's gradients into this buffer.
+    pub fn merge(&mut self, other: &Grads) {
+        assert_eq!(self.bufs.len(), other.bufs.len());
+        for (a, b) in self.bufs.iter_mut().zip(&other.bufs) {
+            a.add_assign(b);
+        }
+    }
+
+    /// Scale all gradients (e.g. by 1/batch).
+    pub fn scale(&mut self, k: f32) {
+        for b in &mut self.bufs {
+            b.scale_assign(k);
+        }
+    }
+
+    /// Global L2 norm across every gradient element.
+    pub fn global_norm(&self) -> f32 {
+        self.bufs.iter().map(|b| {
+            let n = b.norm();
+            n * n
+        }).sum::<f32>().sqrt()
+    }
+
+    /// Clip by global norm (the paper's "clipping rate"); no-op when the
+    /// norm is under `max_norm` or `max_norm <= 0`.
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        if max_norm <= 0.0 {
+            return;
+        }
+        let norm = self.global_norm();
+        if norm > max_norm && norm.is_finite() {
+            self.scale(max_norm / norm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut p = Params::new();
+        let id = p.add("w", Tensor::row(vec![1.0, 2.0]));
+        assert_eq!(p.get(id).data, vec![1.0, 2.0]);
+        assert_eq!(p.name(id), "w");
+        assert_eq!(p.num_scalars(), 2);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = Params::new();
+        let id = p.add_xavier("w", 10, 10, &mut rng);
+        let bound = (6.0f64 / 20.0).sqrt() as f32;
+        assert!(p.get(id).data.iter().all(|v| v.abs() <= bound));
+        // And not all zero.
+        assert!(p.get(id).norm() > 0.0);
+    }
+
+    #[test]
+    fn grads_merge_and_scale() {
+        let mut p = Params::new();
+        let id = p.add("w", Tensor::row(vec![0.0, 0.0]));
+        let mut g1 = p.zero_grads();
+        let mut g2 = p.zero_grads();
+        g1.get_mut(id).data[0] = 1.0;
+        g2.get_mut(id).data[0] = 3.0;
+        g1.merge(&g2);
+        assert_eq!(g1.get(id).data[0], 4.0);
+        g1.scale(0.5);
+        assert_eq!(g1.get(id).data[0], 2.0);
+    }
+
+    #[test]
+    fn clip_global_norm_caps() {
+        let mut p = Params::new();
+        let id = p.add("w", Tensor::row(vec![0.0, 0.0]));
+        let mut g = p.zero_grads();
+        g.get_mut(id).data.copy_from_slice(&[3.0, 4.0]);
+        g.clip_global_norm(1.0);
+        assert!((g.global_norm() - 1.0).abs() < 1e-5);
+        // Already small: untouched.
+        let before = g.get(id).data.clone();
+        g.clip_global_norm(10.0);
+        assert_eq!(g.get(id).data, before);
+    }
+}

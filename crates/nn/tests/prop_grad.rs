@@ -1,0 +1,203 @@
+//! Finite-difference verification of every autograd op.
+//!
+//! For a scalar loss L(θ), the analytic gradient from `Graph::backward`
+//! must match the central difference (L(θ+ε) − L(θ−ε)) / 2ε on every
+//! parameter coordinate. Each test builds a small network exercising one
+//! op (plus the plumbing ops), with randomized parameters via proptest.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sqlan_nn::{Conv1dBank, Embedding, Graph, Linear, LstmStack, Params, Tensor};
+
+/// Relative/absolute tolerance appropriate for f32 central differences.
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+/// Compare analytic and numeric gradients for a loss closure.
+fn check_gradients(
+    params: &mut Params,
+    loss_fn: &dyn Fn(&Params) -> (f32, sqlan_nn::Grads),
+) -> Result<(), TestCaseError> {
+    let (_, grads) = loss_fn(params);
+    let ids: Vec<_> = params.iter_ids().collect();
+    for id in ids {
+        let n = params.get(id).data.len();
+        // Probe a few coordinates per parameter, not all (speed).
+        let probes: Vec<usize> =
+            if n <= 4 { (0..n).collect() } else { vec![0, n / 3, n / 2, n - 1] };
+        let (l0, _) = loss_fn(params);
+        for k in probes {
+            let orig = params.get(id).data[k];
+            params.get_mut(id).data[k] = orig + EPS;
+            let (lp, _) = loss_fn(params);
+            params.get_mut(id).data[k] = orig - EPS;
+            let (lm, _) = loss_fn(params);
+            params.get_mut(id).data[k] = orig;
+            let central = (lp - lm) / (2.0 * EPS);
+            let fwd = (lp - l0) / EPS;
+            let bwd = (l0 - lm) / EPS;
+            let analytic = grads.get(id).data[k];
+            let scale = 1.0f32.max(central.abs()).max(analytic.abs());
+            // ReLU / max-pool kinks make finite differences invalid; at a
+            // kink the one-sided slopes disagree. Skip those coordinates —
+            // the op is genuinely non-differentiable there.
+            if (fwd - bwd).abs() / scale > TOL {
+                continue;
+            }
+            prop_assert!(
+                (central - analytic).abs() / scale < TOL,
+                "param {} [{}]: numeric {} vs analytic {}",
+                params.name(id),
+                k,
+                central,
+                analytic
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Linear + sigmoid + Huber regression head.
+    #[test]
+    fn grad_linear_sigmoid_huber(seed in 0u64..1000, target in -2.0f32..2.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let lin = Linear::new(&mut params, "fc", 3, 1, &mut rng);
+        let x = vec![0.5f32, -1.0, 2.0];
+        let f = move |p: &Params| {
+            let mut g = Graph::new(p);
+            let xin = g.input(Tensor::row(x.clone()));
+            let h = lin.forward(&mut g, xin);
+            let s = g.sigmoid(h);
+            let loss = g.huber(s, target, 1.0);
+            let mut grads = p.zero_grads();
+            let l = g.value(loss).item();
+            g.backward(loss, 1.0, &mut grads);
+            (l, grads)
+        };
+        check_gradients(&mut params, &f)?;
+    }
+
+    /// Two-layer tanh/relu MLP with softmax cross-entropy.
+    #[test]
+    fn grad_mlp_softmax_ce(seed in 0u64..1000, target in 0usize..3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let l1 = Linear::new(&mut params, "l1", 4, 5, &mut rng);
+        let l2 = Linear::new(&mut params, "l2", 5, 3, &mut rng);
+        let x = vec![1.0f32, -0.5, 0.25, 2.0];
+        let f = move |p: &Params| {
+            let mut g = Graph::new(p);
+            let xin = g.input(Tensor::row(x.clone()));
+            let h1 = l1.forward(&mut g, xin);
+            let a1 = g.tanh(h1);
+            let h2 = l2.forward(&mut g, a1);
+            let r = g.relu(h2);
+            let loss = g.softmax_ce(r, target);
+            let mut grads = p.zero_grads();
+            let l = g.value(loss).item();
+            g.backward(loss, 1.0, &mut grads);
+            (l, grads)
+        };
+        check_gradients(&mut params, &f)?;
+    }
+
+    /// Embedding → CNN bank (conv1d, relu, max-over-time, concat) → head.
+    #[test]
+    fn grad_cnn_pipeline(seed in 0u64..1000, target in 0usize..2) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 7, 4, &mut rng);
+        let bank = Conv1dBank::new(&mut params, "cnn", &[2, 3], 3, 4, &mut rng);
+        let head = Linear::new(&mut params, "head", 6, 2, &mut rng);
+        let tokens: Vec<u32> = vec![1, 4, 2, 6, 0, 3];
+        let f = move |p: &Params| {
+            let mut g = Graph::new(p);
+            let x = emb.forward(&mut g, &tokens);
+            let feats = bank.forward(&mut g, x);
+            let logits = head.forward(&mut g, feats);
+            let loss = g.softmax_ce(logits, target);
+            let mut grads = p.zero_grads();
+            let l = g.value(loss).item();
+            g.backward(loss, 1.0, &mut grads);
+            (l, grads)
+        };
+        check_gradients(&mut params, &f)?;
+    }
+
+    /// Embedding → 2-layer LSTM → Huber head: exercises matmul, add,
+    /// add_row, slice_cols, select_row, mul, tanh, sigmoid through time.
+    #[test]
+    fn grad_lstm_pipeline(seed in 0u64..1000, target in -1.0f32..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 6, 3, &mut rng);
+        let lstm = LstmStack::new(&mut params, "lstm", 3, 4, 2, &mut rng);
+        let head = Linear::new(&mut params, "head", 4, 1, &mut rng);
+        let tokens: Vec<u32> = vec![2, 5, 1, 3];
+        let f = move |p: &Params| {
+            let mut g = Graph::new(p);
+            let x = emb.forward(&mut g, &tokens);
+            let h = lstm.forward(&mut g, x);
+            let y = head.forward(&mut g, h);
+            let loss = g.huber(y, target, 1.0);
+            let mut grads = p.zero_grads();
+            let l = g.value(loss).item();
+            g.backward(loss, 1.0, &mut grads);
+            (l, grads)
+        };
+        check_gradients(&mut params, &f)?;
+    }
+
+    /// Dropout with a fixed mask is differentiable through kept elements.
+    #[test]
+    fn grad_dropout(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let lin = Linear::new(&mut params, "fc", 3, 4, &mut rng);
+        let head = Linear::new(&mut params, "head", 4, 1, &mut rng);
+        let mask = vec![true, false, true, true];
+        let f = move |p: &Params| {
+            let mut g = Graph::new(p);
+            let xin = g.input(Tensor::row(vec![1.0, 2.0, -0.5]));
+            let h = lin.forward(&mut g, xin);
+            let d = g.dropout(h, mask.clone(), 0.75);
+            let y = head.forward(&mut g, d);
+            let loss = g.huber(y, 0.3, 1.0);
+            let mut grads = p.zero_grads();
+            let l = g.value(loss).item();
+            g.backward(loss, 1.0, &mut grads);
+            (l, grads)
+        };
+        check_gradients(&mut params, &f)?;
+    }
+
+    /// Elementwise mul and scale ops.
+    #[test]
+    fn grad_mul_scale(seed in 0u64..1000, k in -2.0f32..2.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let a = params.add_xavier("a", 1, 4, &mut rng);
+        let b = params.add_xavier("b", 1, 4, &mut rng);
+        let head = Linear::new(&mut params, "head", 4, 1, &mut rng);
+        let f = move |p: &Params| {
+            let mut g = Graph::new(p);
+            let av = g.param(a);
+            let bv = g.param(b);
+            let m = g.mul(av, bv);
+            let s = g.scale(m, k);
+            let y = head.forward(&mut g, s);
+            let loss = g.huber(y, 0.5, 1.0);
+            let mut grads = p.zero_grads();
+            let l = g.value(loss).item();
+            g.backward(loss, 1.0, &mut grads);
+            (l, grads)
+        };
+        check_gradients(&mut params, &f)?;
+    }
+}

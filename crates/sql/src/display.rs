@@ -1,0 +1,366 @@
+//! Rendering of the AST back to SQL text.
+//!
+//! The workload generator builds queries as ASTs and renders them through
+//! this module; round-tripping (`parse(render(q)) == q` modulo spans) is
+//! property-tested in the crate tests.
+
+use std::fmt::{self, Write};
+
+use crate::ast::*;
+
+impl fmt::Display for QualifiedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                f.write_char('.')?;
+            }
+            f.write_str(p)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(_, text) => f.write_str(text),
+            Literal::Hex(_, text) => f.write_str(text),
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(name) => write!(f, "{}", name),
+            Expr::Wildcard(None) => f.write_str("*"),
+            Expr::Wildcard(Some(q)) => write!(f, "{}.*", q),
+            Expr::Literal(l) => write!(f, "{}", l),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => write!(f, "-{}", paren_unary(expr)),
+                UnaryOp::Plus => write!(f, "+{}", paren_unary(expr)),
+                UnaryOp::Not => write!(f, "NOT ({})", expr),
+            },
+            Expr::Binary { left, op, right } => {
+                write!(f, "{} {} {}", paren_operand(left), op, paren_operand(right))
+            }
+            Expr::Logical { left, and, right } => {
+                let kw = if *and { "AND" } else { "OR" };
+                write!(f, "{} {} {}", paren_logical(left, *and), kw, paren_logical(right, *and))
+            }
+            Expr::Between { expr, negated, low, high } => write!(
+                f,
+                "{}{} BETWEEN {} AND {}",
+                paren_operand(expr),
+                if *negated { " NOT" } else { "" },
+                paren_operand(low),
+                paren_operand(high)
+            ),
+            Expr::InList { expr, negated, list } => {
+                write!(f, "{}{} IN (", paren_operand(expr), if *negated { " NOT" } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}", e)?;
+                }
+                f.write_char(')')
+            }
+            Expr::InSubquery { expr, negated, subquery } => write!(
+                f,
+                "{}{} IN ({})",
+                paren_operand(expr),
+                if *negated { " NOT" } else { "" },
+                subquery
+            ),
+            Expr::Like { expr, negated, pattern } => write!(
+                f,
+                "{}{} LIKE {}",
+                paren_operand(expr),
+                if *negated { " NOT" } else { "" },
+                pattern
+            ),
+            Expr::IsNull { expr, negated } => write!(
+                f,
+                "{} IS{} NULL",
+                paren_operand(expr),
+                if *negated { " NOT" } else { "" }
+            ),
+            Expr::Exists { negated, subquery } => {
+                if *negated {
+                    f.write_str("NOT ")?;
+                }
+                write!(f, "EXISTS ({})", subquery)
+            }
+            Expr::Subquery(q) => write!(f, "({})", q),
+            Expr::Function(call) => {
+                write!(f, "{}(", call.name)?;
+                if call.distinct {
+                    f.write_str("DISTINCT ")?;
+                }
+                for (i, a) in call.args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}", a)?;
+                }
+                f.write_char(')')
+            }
+            Expr::Case { operand, branches, else_expr } => {
+                f.write_str("CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {}", op)?;
+                }
+                for (c, v) in branches {
+                    write!(f, " WHEN {} THEN {}", c, v)?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {}", e)?;
+                }
+                f.write_str(" END")
+            }
+            Expr::Cast { expr, ty } => write!(f, "CAST({} AS {})", expr, ty),
+        }
+    }
+}
+
+/// Parenthesize operands that would reparse at a different precedence.
+fn paren_operand(e: &Expr) -> String {
+    match e {
+        Expr::Binary { .. } | Expr::Logical { .. } | Expr::Between { .. } | Expr::Case { .. } => {
+            format!("({})", e)
+        }
+        _ => format!("{}", e),
+    }
+}
+
+fn paren_unary(e: &Expr) -> String {
+    match e {
+        Expr::Column(_) | Expr::Literal(_) | Expr::Function(_) => format!("{}", e),
+        _ => format!("({})", e),
+    }
+}
+
+/// AND binds tighter than OR; parenthesize an OR under an AND.
+fn paren_logical(e: &Expr, parent_is_and: bool) -> String {
+    match e {
+        Expr::Logical { and: false, .. } if parent_is_and => format!("({})", e),
+        Expr::Unary { op: UnaryOp::Not, .. } => format!("({})", e),
+        _ => format!("{}", e),
+    }
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JoinKind::Inner => "INNER JOIN",
+            JoinKind::Left => "LEFT JOIN",
+            JoinKind::Right => "RIGHT JOIN",
+            JoinKind::Full => "FULL JOIN",
+            JoinKind::Cross => "CROSS JOIN",
+        })
+    }
+}
+
+impl fmt::Display for TableFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableFactor::Table { name, alias } => {
+                write!(f, "{}", name)?;
+                if let Some(a) = alias {
+                    write!(f, " AS {}", a)?;
+                }
+                Ok(())
+            }
+            TableFactor::Derived { subquery, alias } => {
+                write!(f, "({})", subquery)?;
+                if let Some(a) = alias {
+                    write!(f, " AS {}", a)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        if let Some(n) = self.top {
+            write!(f, "TOP {} ", n)?;
+        }
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}", item.expr)?;
+            if let Some(a) = &item.alias {
+                write!(f, " AS {}", a)?;
+            }
+        }
+        if let Some(into) = &self.into {
+            write!(f, " INTO {}", into)?;
+        }
+        if !self.from.is_empty() {
+            f.write_str(" FROM ")?;
+            for (i, fi) in self.from.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", fi.factor)?;
+                for j in &fi.joins {
+                    write!(f, " {} {}", j.kind, j.factor)?;
+                    if let Some(on) = &j.on {
+                        write!(f, " ON {}", on)?;
+                    }
+                }
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {}", w)?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", g)?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {}", h)?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.desc {
+                    f.write_str(" DESC")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(q) => write!(f, "{}", q),
+            Statement::Execute { name, arg_count } => {
+                write!(f, "EXEC {}", name)?;
+                for i in 0..*arg_count {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, " {}", i)?;
+                }
+                Ok(())
+            }
+            Statement::Ddl { verb, object } => {
+                let v = match verb {
+                    DdlVerb::Create => "CREATE TABLE",
+                    DdlVerb::Drop => "DROP TABLE",
+                    DdlVerb::Alter => "ALTER TABLE",
+                    DdlVerb::Truncate => "TRUNCATE TABLE",
+                };
+                write!(f, "{}", v)?;
+                if let Some(o) = object {
+                    write!(f, " {}", o)?;
+                }
+                Ok(())
+            }
+            Statement::Dml { verb, table, query } => {
+                match verb {
+                    DmlVerb::Insert => {
+                        f.write_str("INSERT INTO")?;
+                        if let Some(t) = table {
+                            write!(f, " {}", t)?;
+                        }
+                        if let Some(q) = query {
+                            write!(f, " {}", q)?;
+                        }
+                    }
+                    DmlVerb::Update => {
+                        f.write_str("UPDATE")?;
+                        if let Some(t) = table {
+                            write!(f, " {}", t)?;
+                        }
+                        f.write_str(" SET x = 0")?;
+                        if let Some(q) = query {
+                            if let Some(w) = &q.where_clause {
+                                write!(f, " WHERE {}", w)?;
+                            }
+                        }
+                    }
+                    DmlVerb::Delete => {
+                        f.write_str("DELETE FROM")?;
+                        if let Some(t) = table {
+                            write!(f, " {}", t)?;
+                        }
+                        if let Some(q) = query {
+                            if let Some(w) = &q.where_clause {
+                                write!(f, " WHERE {}", w)?;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Statement::Procedural => f.write_str("DECLARE @x int"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_script;
+
+    /// Render → parse → render must be a fixed point.
+    fn roundtrip(sql: &str) {
+        let s1 = parse_script(sql).unwrap();
+        let text1 = format!("{}", s1.statements[0]);
+        let s2 = parse_script(&text1)
+            .unwrap_or_else(|e| panic!("rendered SQL failed to reparse: {text1}: {e}"));
+        let text2 = format!("{}", s2.statements[0]);
+        assert_eq!(text1, text2, "display not idempotent for {sql}");
+    }
+
+    #[test]
+    fn roundtrips_simple() {
+        roundtrip("SELECT * FROM PhotoTag WHERE objId = 0x112d075f80360018");
+        roundtrip("SELECT a, b AS c FROM t WHERE x > 1 AND y < 2 OR z = 3");
+        roundtrip("SELECT DISTINCT TOP 5 x FROM t ORDER BY x DESC");
+    }
+
+    #[test]
+    fn roundtrips_joins_and_subqueries() {
+        roundtrip("SELECT a.x FROM t a INNER JOIN u b ON a.i = b.i WHERE a.y BETWEEN 1 AND 2");
+        roundtrip("SELECT x FROM t WHERE y = (SELECT min(y) FROM u)");
+        roundtrip("SELECT x FROM (SELECT x FROM t) d WHERE x IN (1, 2, 3)");
+        roundtrip("SELECT x FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.i = t.i)");
+    }
+
+    #[test]
+    fn roundtrips_functions_case_cast() {
+        roundtrip("SELECT dbo.fPhotoFlags('BLENDED'), count(DISTINCT x) FROM t GROUP BY g");
+        roundtrip("SELECT CASE WHEN x > 0 THEN 1 ELSE 0 END FROM t");
+        roundtrip("SELECT CAST(x AS varchar(32)) FROM t");
+        roundtrip("SELECT x FROM t WHERE flags & dbo.fPhotoFlags('SATURATED') > 0");
+    }
+
+    #[test]
+    fn roundtrips_or_under_and() {
+        roundtrip("SELECT x FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+        roundtrip("SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3");
+    }
+}

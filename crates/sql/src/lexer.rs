@@ -1,0 +1,472 @@
+//! A tolerant SQL lexer.
+//!
+//! Real workloads contain arbitrary text — the SDSS portal accepts anything
+//! from valid T-SQL to pasted natural language. The lexer therefore never
+//! fails: unclassifiable bytes become [`Tok::Unknown`] and unterminated
+//! strings are recorded via [`LexReport::unterminated_string`] while still
+//! producing a token stream, so downstream consumers (feature extractors,
+//! the error model) always have something to work with.
+
+use crate::token::{Keyword, Op, Span, SpannedTok, Tok};
+
+/// Diagnostics gathered while lexing; these feed the error model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LexReport {
+    /// A string literal reached end-of-input without a closing quote.
+    pub unterminated_string: bool,
+    /// A block comment reached end-of-input without `*/`.
+    pub unterminated_comment: bool,
+    /// Number of bytes that could not be classified.
+    pub unknown_bytes: usize,
+}
+
+impl LexReport {
+    /// True when the input lexed without any irregularity.
+    pub fn is_clean(&self) -> bool {
+        !self.unterminated_string && !self.unterminated_comment && self.unknown_bytes == 0
+    }
+}
+
+/// Lex `input` completely. Never fails; see [`LexReport`].
+pub fn lex(input: &str) -> (Vec<SpannedTok>, LexReport) {
+    let mut lx = Lexer { src: input.as_bytes(), pos: 0, report: LexReport::default() };
+    let mut out = Vec::with_capacity(input.len() / 4 + 4);
+    while let Some(t) = lx.next_token(input) {
+        out.push(t);
+    }
+    (out, lx.report)
+}
+
+/// Convenience: tokens only, dropping the report.
+pub fn lex_tokens(input: &str) -> Vec<SpannedTok> {
+    lex(input).0
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    report: LexReport,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // -- line comment
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                // /* block comment */
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.pos += 2;
+                    let mut closed = false;
+                    while let Some(b) = self.bump() {
+                        if b == b'*' && self.peek() == Some(b'/') {
+                            self.pos += 1;
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        self.report.unterminated_comment = true;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self, input: &str) -> Option<SpannedTok> {
+        self.skip_trivia();
+        let start = self.pos;
+        let b = self.peek()?;
+
+        let tok = match b {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b';' => {
+                self.pos += 1;
+                Tok::Semicolon
+            }
+            b'.' => {
+                // `.5` is a number; `a.b` is a dot.
+                if self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                    self.lex_number(input)
+                } else {
+                    self.pos += 1;
+                    Tok::Dot
+                }
+            }
+            b'\'' => self.lex_string(input),
+            b'[' => self.lex_bracketed(input),
+            b'"' => self.lex_quoted_ident(input),
+            b'0' if self.peek2() == Some(b'x') || self.peek2() == Some(b'X') => {
+                self.lex_hex(input)
+            }
+            b'0'..=b'9' => self.lex_number(input),
+            b'=' => {
+                self.pos += 1;
+                Tok::Op(Op::Eq)
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        Tok::Op(Op::Lte)
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        Tok::Op(Op::Neq)
+                    }
+                    _ => Tok::Op(Op::Lt),
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Tok::Op(Op::Gte)
+                } else {
+                    Tok::Op(Op::Gt)
+                }
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Tok::Op(Op::Neq)
+                } else {
+                    self.report.unknown_bytes += 1;
+                    Tok::Unknown('!')
+                }
+            }
+            b'+' => {
+                self.pos += 1;
+                Tok::Op(Op::Plus)
+            }
+            b'-' => {
+                self.pos += 1;
+                Tok::Op(Op::Minus)
+            }
+            b'*' => {
+                self.pos += 1;
+                Tok::Op(Op::Star)
+            }
+            b'/' => {
+                self.pos += 1;
+                Tok::Op(Op::Slash)
+            }
+            b'%' => {
+                self.pos += 1;
+                Tok::Op(Op::Percent)
+            }
+            b'&' => {
+                self.pos += 1;
+                Tok::Op(Op::BitAnd)
+            }
+            b'|' => {
+                self.pos += 1;
+                if self.peek() == Some(b'|') {
+                    self.pos += 1;
+                    Tok::Op(Op::Concat)
+                } else {
+                    Tok::Op(Op::BitOr)
+                }
+            }
+            b'^' => {
+                self.pos += 1;
+                Tok::Op(Op::BitXor)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'@' || c == b'#' => {
+                self.lex_word(input)
+            }
+            _ => {
+                // Multi-byte UTF-8 or stray punctuation: emit one char as
+                // Unknown so arbitrary text survives.
+                let s = &input[self.pos..];
+                let ch = s.chars().next().expect("non-empty by peek");
+                self.pos += ch.len_utf8();
+                self.report.unknown_bytes += ch.len_utf8();
+                Tok::Unknown(ch)
+            }
+        };
+
+        Some(SpannedTok { tok, span: Span::new(start, self.pos) })
+    }
+
+    fn lex_word(&mut self, input: &str) -> Tok {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'@' || b == b'#' || b == b'$' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word = &input[start..self.pos];
+        match Keyword::parse(word) {
+            Some(kw) => Tok::Keyword(kw),
+            None => Tok::Ident(word.to_string()),
+        }
+    }
+
+    fn lex_number(&mut self, input: &str) -> Tok {
+        let start = self.pos;
+        let mut seen_dot = false;
+        let mut seen_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !seen_dot && !seen_exp => {
+                    seen_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !seen_exp => {
+                    // Only an exponent if followed by digit or sign+digit.
+                    let next = self.peek2();
+                    let next2 = self.src.get(self.pos + 2).copied();
+                    let is_exp = match next {
+                        Some(d) if d.is_ascii_digit() => true,
+                        Some(b'+') | Some(b'-') => next2.is_some_and(|d| d.is_ascii_digit()),
+                        _ => false,
+                    };
+                    if !is_exp {
+                        break;
+                    }
+                    seen_exp = true;
+                    self.pos += 2; // e and sign-or-digit
+                    if next == Some(b'+') || next == Some(b'-') {
+                        // consumed sign; digit comes via the loop
+                    }
+                }
+                _ => break,
+            }
+        }
+        Tok::Number(input[start..self.pos].to_string())
+    }
+
+    fn lex_hex(&mut self, input: &str) -> Tok {
+        let start = self.pos;
+        self.pos += 2; // 0x
+        while let Some(b) = self.peek() {
+            if b.is_ascii_hexdigit() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Tok::HexNumber(input[start..self.pos].to_string())
+    }
+
+    fn lex_string(&mut self, input: &str) -> Tok {
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    self.report.unterminated_string = true;
+                    break;
+                }
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        // '' escape
+                        value.push('\'');
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Some(b) if b.is_ascii() => value.push(b as char),
+                Some(_) => {
+                    // Re-decode the full UTF-8 char.
+                    let prev = self.pos - 1;
+                    let s = &input[prev..];
+                    let ch = s.chars().next().expect("non-empty");
+                    value.push(ch);
+                    self.pos = prev + ch.len_utf8();
+                }
+            }
+        }
+        Tok::String(value)
+    }
+
+    fn lex_bracketed(&mut self, input: &str) -> Tok {
+        self.pos += 1; // [
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b']' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let name = input[start..self.pos].to_string();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+        } else {
+            self.report.unterminated_string = true;
+        }
+        Tok::Ident(name)
+    }
+
+    fn lex_quoted_ident(&mut self, input: &str) -> Tok {
+        self.pos += 1; // "
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let name = input[start..self.pos].to_string();
+        if self.peek() == Some(b'"') {
+            self.pos += 1;
+        } else {
+            self.report.unterminated_string = true;
+        }
+        Tok::Ident(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Keyword as K;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex_tokens(s).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let t = toks("SELECT * FROM PhotoTag WHERE objId=0x112d075f80360018");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Keyword(K::Select),
+                Tok::Op(Op::Star),
+                Tok::Keyword(K::From),
+                Tok::Ident("PhotoTag".into()),
+                Tok::Keyword(K::Where),
+                Tok::Ident("objId".into()),
+                Tok::Op(Op::Eq),
+                Tok::HexNumber("0x112d075f80360018".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("1 2.5 .5 1e3 1.5e-2 62.835405"), vec![
+            Tok::Number("1".into()),
+            Tok::Number("2.5".into()),
+            Tok::Number(".5".into()),
+            Tok::Number("1e3".into()),
+            Tok::Number("1.5e-2".into()),
+            Tok::Number("62.835405".into()),
+        ]);
+    }
+
+    #[test]
+    fn number_then_dot_then_ident_is_not_exponent() {
+        // `1.e` would be ambiguous; ensure `12e` with no digits stays split.
+        assert_eq!(toks("12easter"), vec![
+            Tok::Number("12".into()),
+            Tok::Ident("easter".into()),
+        ]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(toks("'BLENDED' 'it''s'"), vec![
+            Tok::String("BLENDED".into()),
+            Tok::String("it's".into()),
+        ]);
+    }
+
+    #[test]
+    fn unterminated_string_is_reported_not_fatal() {
+        let (t, rep) = lex("SELECT 'oops");
+        assert!(rep.unterminated_string);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lexes_comments() {
+        let t = toks("SELECT 1 -- trailing\n/* block */ FROM x");
+        assert_eq!(t[0], Tok::Keyword(K::Select));
+        assert!(t.iter().any(|x| x.is_kw(K::From)));
+    }
+
+    #[test]
+    fn bracketed_and_quoted_identifiers() {
+        assert_eq!(toks("[My Table] \"col name\""), vec![
+            Tok::Ident("My Table".into()),
+            Tok::Ident("col name".into()),
+        ]);
+    }
+
+    #[test]
+    fn bitwise_and_comparison_operators() {
+        assert_eq!(toks("a & b <> c <= d != e || f"), vec![
+            Tok::Ident("a".into()),
+            Tok::Op(Op::BitAnd),
+            Tok::Ident("b".into()),
+            Tok::Op(Op::Neq),
+            Tok::Ident("c".into()),
+            Tok::Op(Op::Lte),
+            Tok::Ident("d".into()),
+            Tok::Op(Op::Neq),
+            Tok::Ident("e".into()),
+            Tok::Op(Op::Concat),
+            Tok::Ident("f".into()),
+        ]);
+    }
+
+    #[test]
+    fn arbitrary_text_survives() {
+        let (t, rep) = lex("please show me the galaxies ¿que?");
+        assert!(!t.is_empty());
+        assert!(rep.unknown_bytes > 0); // the ¿ character
+    }
+
+    #[test]
+    fn at_variables_lex_as_idents() {
+        assert_eq!(toks("@x #tmp"), vec![
+            Tok::Ident("@x".into()),
+            Tok::Ident("#tmp".into()),
+        ]);
+    }
+}

@@ -1,0 +1,1060 @@
+//! Recursive-descent parser for the supported SQL dialect.
+//!
+//! Design goals, in order:
+//! 1. Parse the SELECT dialect used by SDSS/SQLShare-style workloads fully
+//!    (joins, subqueries, aggregates, CASE, CAST, TOP, INTO, bitwise ops).
+//! 2. Never crash on arbitrary input — parsing returns `Result` and a
+//!    depth guard bounds recursion.
+//! 3. Classify non-SELECT statements (EXECUTE/DDL/DML) shallowly; the
+//!    prediction tasks only need their kind.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexReport};
+use crate::token::{Keyword as K, Op, Span, SpannedTok, Tok};
+
+/// Maximum expression/query nesting before the parser bails out. Protects
+/// against stack overflow on pathological input (e.g. thousands of `(`).
+/// Each level costs ~11 stack frames through the precedence chain, and
+/// debug-build test threads get a 2 MiB stack, so this must stay small;
+/// real workload queries nest below 10 (the paper's max nestedness is 8).
+const MAX_DEPTH: u32 = 48;
+
+/// A parse failure with location information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.span.start, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result of parsing, bundling lexer diagnostics with the outcome.
+#[derive(Debug, Clone)]
+pub struct ParseOutcome {
+    pub result: Result<Script, ParseError>,
+    pub lex_report: LexReport,
+}
+
+/// Parse a complete script. Never panics.
+pub fn parse(input: &str) -> ParseOutcome {
+    let (toks, lex_report) = lex(input);
+    let mut p = Parser { toks: &toks, pos: 0, depth: 0 };
+    let result = p.parse_script();
+    ParseOutcome { result, lex_report }
+}
+
+/// Parse and return just the script, for tests and internal callers.
+pub fn parse_script(input: &str) -> Result<Script, ParseError> {
+    parse(input).result
+}
+
+struct Parser<'a> {
+    toks: &'a [SpannedTok],
+    pos: usize,
+    depth: u32,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl<'a> Parser<'a> {
+    // ---- token utilities -------------------------------------------------
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + n).map(|t| &t.tok)
+    }
+
+    fn span(&self) -> Span {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.span)
+            .unwrap_or(Span::new(0, 0))
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.pos).map(|t| &t.tok);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: K) -> bool {
+        if matches!(self.peek(), Some(Tok::Keyword(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_tok(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: K) -> PResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", kw)))
+        }
+    }
+
+    fn expect_tok(&mut self, tok: &Tok) -> PResult<()> {
+        if self.eat_tok(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}", tok)))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { message, span: self.span() }
+    }
+
+    fn enter(&mut self) -> PResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.err("nesting too deep".into()))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    // ---- script / statements --------------------------------------------
+
+    fn parse_script(&mut self) -> PResult<Script> {
+        let mut statements = Vec::new();
+        // Skip leading semicolons.
+        while self.eat_tok(&Tok::Semicolon) {}
+        if self.peek().is_none() {
+            return Err(ParseError { message: "empty statement".into(), span: Span::new(0, 0) });
+        }
+        while self.peek().is_some() {
+            statements.push(self.parse_statement()?);
+            while self.eat_tok(&Tok::Semicolon) {}
+        }
+        Ok(Script { statements })
+    }
+
+    fn parse_statement(&mut self) -> PResult<Statement> {
+        match self.peek() {
+            Some(Tok::Keyword(K::Select)) => Ok(Statement::Select(self.parse_query()?)),
+            Some(Tok::LParen) if self.starts_subquery() => {
+                // A parenthesized SELECT at statement level.
+                self.expect_tok(&Tok::LParen)?;
+                let q = self.parse_query()?;
+                self.expect_tok(&Tok::RParen)?;
+                Ok(Statement::Select(q))
+            }
+            Some(Tok::Keyword(K::Execute)) | Some(Tok::Keyword(K::Exec)) => {
+                self.bump();
+                let name = self.parse_qualified_name()?;
+                // Arguments: comma-separated scalars until end/semicolon.
+                let mut arg_count = 0;
+                if !matches!(self.peek(), None | Some(Tok::Semicolon)) {
+                    loop {
+                        self.parse_expr()?;
+                        arg_count += 1;
+                        if !self.eat_tok(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                Ok(Statement::Execute { name, arg_count })
+            }
+            Some(Tok::Keyword(K::Create)) => self.parse_ddl(DdlVerb::Create),
+            Some(Tok::Keyword(K::Drop)) => self.parse_ddl(DdlVerb::Drop),
+            Some(Tok::Keyword(K::Alter)) => self.parse_ddl(DdlVerb::Alter),
+            Some(Tok::Keyword(K::Truncate)) => self.parse_ddl(DdlVerb::Truncate),
+            Some(Tok::Keyword(K::Insert)) => self.parse_insert(),
+            Some(Tok::Keyword(K::Update)) => self.parse_update(),
+            Some(Tok::Keyword(K::Delete)) => self.parse_delete(),
+            Some(Tok::Keyword(K::Declare)) | Some(Tok::Keyword(K::Set)) => {
+                // Procedural noise: swallow until semicolon or next statement
+                // keyword at depth zero.
+                self.bump();
+                self.skip_until_statement_boundary();
+                Ok(Statement::Procedural)
+            }
+            Some(t) => Err(self.err(format!("unexpected token {}", t))),
+            None => Err(self.err("unexpected end of input".into())),
+        }
+    }
+
+    fn skip_until_statement_boundary(&mut self) {
+        let mut paren = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                Tok::Semicolon if paren == 0 => break,
+                Tok::Keyword(
+                    K::Select
+                    | K::Insert
+                    | K::Update
+                    | K::Delete
+                    | K::Create
+                    | K::Drop
+                    | K::Alter
+                    | K::Declare,
+                ) if paren == 0 => break,
+                Tok::LParen => {
+                    paren += 1;
+                    self.pos += 1;
+                }
+                Tok::RParen => {
+                    paren -= 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn parse_ddl(&mut self, verb: DdlVerb) -> PResult<Statement> {
+        self.bump(); // the verb
+        // Optional object class keyword.
+        let _ = self.eat_kw(K::Table)
+            || self.eat_kw(K::View)
+            || self.eat_kw(K::Index)
+            || self.eat_kw(K::Database)
+            || self.eat_kw(K::Procedure)
+            || self.eat_kw(K::Function);
+        let object = self.parse_qualified_name().ok();
+        self.skip_until_statement_boundary();
+        Ok(Statement::Ddl { verb, object })
+    }
+
+    fn parse_insert(&mut self) -> PResult<Statement> {
+        self.expect_kw(K::Insert)?;
+        let _ = self.eat_kw(K::Into);
+        let table = self.parse_qualified_name().ok();
+        // Optional column list.
+        if self.peek() == Some(&Tok::LParen) && !self.starts_subquery() {
+            self.expect_tok(&Tok::LParen)?;
+            loop {
+                self.parse_qualified_name()?;
+                if !self.eat_tok(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect_tok(&Tok::RParen)?;
+        }
+        let query = if matches!(self.peek(), Some(Tok::Keyword(K::Select))) {
+            Some(self.parse_query()?)
+        } else {
+            if self.eat_kw(K::Values) {
+                self.expect_tok(&Tok::LParen)?;
+                loop {
+                    self.parse_expr()?;
+                    if !self.eat_tok(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect_tok(&Tok::RParen)?;
+            }
+            None
+        };
+        Ok(Statement::Dml { verb: DmlVerb::Insert, table, query })
+    }
+
+    fn parse_update(&mut self) -> PResult<Statement> {
+        self.expect_kw(K::Update)?;
+        let table = self.parse_qualified_name().ok();
+        self.expect_kw(K::Set)?;
+        loop {
+            self.parse_qualified_name()?;
+            self.expect_tok(&Tok::Op(Op::Eq))?;
+            self.parse_expr()?;
+            if !self.eat_tok(&Tok::Comma) {
+                break;
+            }
+        }
+        let mut query = Query::empty();
+        if self.eat_kw(K::Where) {
+            query.where_clause = Some(self.parse_expr()?);
+        }
+        Ok(Statement::Dml { verb: DmlVerb::Update, table, query: Some(query) })
+    }
+
+    fn parse_delete(&mut self) -> PResult<Statement> {
+        self.expect_kw(K::Delete)?;
+        let _ = self.eat_kw(K::From);
+        let table = self.parse_qualified_name().ok();
+        let mut query = Query::empty();
+        if self.eat_kw(K::Where) {
+            query.where_clause = Some(self.parse_expr()?);
+        }
+        Ok(Statement::Dml { verb: DmlVerb::Delete, table, query: Some(query) })
+    }
+
+    // ---- SELECT ----------------------------------------------------------
+
+    fn parse_query(&mut self) -> PResult<Query> {
+        self.enter()?;
+        let r = self.parse_query_inner();
+        self.leave();
+        r
+    }
+
+    fn parse_query_inner(&mut self) -> PResult<Query> {
+        self.expect_kw(K::Select)?;
+        let mut q = Query::empty();
+
+        if self.eat_kw(K::Distinct) {
+            q.distinct = true;
+        } else {
+            let _ = self.eat_kw(K::All);
+        }
+        if self.eat_kw(K::Top) {
+            // TOP n or TOP (n)
+            let parened = self.eat_tok(&Tok::LParen);
+            match self.bump() {
+                Some(Tok::Number(n)) => {
+                    q.top = Some(n.parse::<f64>().unwrap_or(0.0).max(0.0) as u64);
+                }
+                _ => return Err(self.err("expected number after TOP".into())),
+            }
+            if parened {
+                self.expect_tok(&Tok::RParen)?;
+            }
+        }
+
+        // Select list.
+        loop {
+            let expr = self.parse_expr()?;
+            let alias = self.parse_alias()?;
+            q.select.push(SelectItem { expr, alias });
+            if !self.eat_tok(&Tok::Comma) {
+                break;
+            }
+        }
+
+        if self.eat_kw(K::Into) {
+            q.into = Some(self.parse_qualified_name()?);
+        }
+
+        if self.eat_kw(K::From) {
+            loop {
+                q.from.push(self.parse_from_item()?);
+                if !self.eat_tok(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_kw(K::Where) {
+            q.where_clause = Some(self.parse_expr()?);
+        }
+
+        if self.eat_kw(K::Group) {
+            self.expect_kw(K::By)?;
+            loop {
+                q.group_by.push(self.parse_expr()?);
+                if !self.eat_tok(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_kw(K::Having) {
+            q.having = Some(self.parse_expr()?);
+        }
+
+        if self.eat_kw(K::Order) {
+            self.expect_kw(K::By)?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw(K::Desc) {
+                    true
+                } else {
+                    let _ = self.eat_kw(K::Asc);
+                    false
+                };
+                q.order_by.push(OrderByItem { expr, desc });
+                if !self.eat_tok(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+
+        Ok(q)
+    }
+
+    fn parse_alias(&mut self) -> PResult<Option<String>> {
+        if self.eat_kw(K::As) {
+            match self.bump() {
+                Some(Tok::Ident(name)) => Ok(Some(name.clone())),
+                Some(Tok::String(name)) => Ok(Some(name.clone())),
+                _ => Err(self.err("expected alias after AS".into())),
+            }
+        } else if let Some(Tok::Ident(name)) = self.peek() {
+            let name = name.clone();
+            self.pos += 1;
+            Ok(Some(name))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parse_from_item(&mut self) -> PResult<FromItem> {
+        let factor = self.parse_table_factor()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.eat_kw(K::Inner) {
+                self.expect_kw(K::Join)?;
+                JoinKind::Inner
+            } else if self.eat_kw(K::Left) {
+                let _ = self.eat_kw(K::Outer);
+                self.expect_kw(K::Join)?;
+                JoinKind::Left
+            } else if self.eat_kw(K::Right) {
+                let _ = self.eat_kw(K::Outer);
+                self.expect_kw(K::Join)?;
+                JoinKind::Right
+            } else if self.eat_kw(K::Full) {
+                let _ = self.eat_kw(K::Outer);
+                self.expect_kw(K::Join)?;
+                JoinKind::Full
+            } else if self.eat_kw(K::Cross) {
+                self.expect_kw(K::Join)?;
+                JoinKind::Cross
+            } else if self.eat_kw(K::Join) {
+                JoinKind::Inner
+            } else {
+                break;
+            };
+            let factor = self.parse_table_factor()?;
+            let on = if kind != JoinKind::Cross {
+                self.expect_kw(K::On)?;
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            joins.push(Join { kind, factor, on });
+        }
+        Ok(FromItem { factor, joins })
+    }
+
+    fn parse_table_factor(&mut self) -> PResult<TableFactor> {
+        if self.peek() == Some(&Tok::LParen) {
+            if self.starts_subquery() {
+                self.expect_tok(&Tok::LParen)?;
+                let subquery = Box::new(self.parse_query()?);
+                self.expect_tok(&Tok::RParen)?;
+                let alias = self.parse_alias()?;
+                return Ok(TableFactor::Derived { subquery, alias });
+            }
+            // Parenthesized table factor `(t)`.
+            self.expect_tok(&Tok::LParen)?;
+            let inner = self.parse_table_factor()?;
+            self.expect_tok(&Tok::RParen)?;
+            return Ok(inner);
+        }
+        let name = self.parse_qualified_name()?;
+        let alias = self.parse_alias()?;
+        Ok(TableFactor::Table { name, alias })
+    }
+
+    /// Does the token stream at the current position start `( SELECT`?
+    /// Allows extra `(` nesting: `((SELECT ...))`.
+    fn starts_subquery(&self) -> bool {
+        let mut i = 0;
+        while self.peek_at(i) == Some(&Tok::LParen) {
+            i += 1;
+        }
+        i > 0 && matches!(self.peek_at(i), Some(Tok::Keyword(K::Select)))
+    }
+
+    fn parse_qualified_name(&mut self) -> PResult<QualifiedName> {
+        let mut parts = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(name)) => {
+                    parts.push(name.clone());
+                    self.pos += 1;
+                }
+                // Aggregate keywords can appear as identifiers in names like
+                // `a.min`; accept them as name parts when qualified.
+                Some(Tok::Keyword(k)) if k.is_aggregate() && !parts.is_empty() => {
+                    parts.push(format!("{:?}", k).to_lowercase());
+                    self.pos += 1;
+                }
+                _ => {
+                    if parts.is_empty() {
+                        return Err(self.err("expected identifier".into()));
+                    }
+                    break;
+                }
+            }
+            if !self.eat_tok(&Tok::Dot) {
+                break;
+            }
+            // `alias.*` — leave the dot consumed and let the caller see Star.
+            if matches!(self.peek(), Some(Tok::Op(Op::Star))) {
+                parts.push("*".into());
+                self.pos += 1;
+                break;
+            }
+        }
+        Ok(QualifiedName::new(parts))
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn parse_expr(&mut self) -> PResult<Expr> {
+        self.enter()?;
+        let r = self.parse_or();
+        self.leave();
+        r
+    }
+
+    fn parse_or(&mut self) -> PResult<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw(K::Or) {
+            let right = self.parse_and()?;
+            left = Expr::Logical { left: Box::new(left), and: false, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> PResult<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw(K::And) {
+            let right = self.parse_not()?;
+            left = Expr::Logical { left: Box::new(left), and: true, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> PResult<Expr> {
+        if self.eat_kw(K::Not) {
+            self.enter()?;
+            let inner = self.parse_not();
+            self.leave();
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner?) });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> PResult<Expr> {
+        let left = self.parse_bit_or()?;
+
+        // Postfix predicate forms.
+        let negated = self.eat_kw(K::Not);
+
+        if self.eat_kw(K::Between) {
+            let low = self.parse_bit_or()?;
+            self.expect_kw(K::And)?;
+            let high = self.parse_bit_or()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                negated,
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        if self.eat_kw(K::In) {
+            self.expect_tok(&Tok::LParen)?;
+            if matches!(self.peek(), Some(Tok::Keyword(K::Select))) {
+                let q = self.parse_query()?;
+                self.expect_tok(&Tok::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    negated,
+                    subquery: Box::new(q),
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_tok(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect_tok(&Tok::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), negated, list });
+        }
+        if self.eat_kw(K::Like) {
+            let pattern = self.parse_bit_or()?;
+            return Ok(Expr::Like { expr: Box::new(left), negated, pattern: Box::new(pattern) });
+        }
+        if negated {
+            return Err(self.err("expected BETWEEN, IN or LIKE after NOT".into()));
+        }
+        if self.eat_kw(K::Is) {
+            let negated = self.eat_kw(K::Not);
+            self.expect_kw(K::Null)?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+
+        // Binary comparison operators (non-associative chain, applied
+        // left-to-right as in T-SQL).
+        if let Some(Tok::Op(op)) = self.peek() {
+            let op = *op;
+            if matches!(op, Op::Eq | Op::Neq | Op::Lt | Op::Lte | Op::Gt | Op::Gte) {
+                self.pos += 1;
+                let right = self.parse_bit_or()?;
+                return Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) });
+            }
+        }
+        Ok(left)
+    }
+
+    fn parse_bit_or(&mut self) -> PResult<Expr> {
+        let mut left = self.parse_bit_and()?;
+        while let Some(Tok::Op(op @ (Op::BitOr | Op::BitXor))) = self.peek() {
+            let op = *op;
+            self.pos += 1;
+            let right = self.parse_bit_and()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_bit_and(&mut self) -> PResult<Expr> {
+        let mut left = self.parse_additive()?;
+        while let Some(Tok::Op(Op::BitAnd)) = self.peek() {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            left = Expr::Binary { left: Box::new(left), op: Op::BitAnd, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> PResult<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        while let Some(Tok::Op(op @ (Op::Plus | Op::Minus | Op::Concat))) = self.peek() {
+            let op = *op;
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> PResult<Expr> {
+        let mut left = self.parse_unary()?;
+        while let Some(Tok::Op(op @ (Op::Star | Op::Slash | Op::Percent))) = self.peek() {
+            let op = *op;
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        match self.peek() {
+            Some(Tok::Op(Op::Minus)) => {
+                self.pos += 1;
+                self.enter()?;
+                let inner = self.parse_unary();
+                self.leave();
+                Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner?) })
+            }
+            Some(Tok::Op(Op::Plus)) => {
+                self.pos += 1;
+                self.enter()?;
+                let inner = self.parse_unary();
+                self.leave();
+                Ok(Expr::Unary { op: UnaryOp::Plus, expr: Box::new(inner?) })
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        match self.peek() {
+            Some(Tok::Number(n)) => {
+                let text = n.clone();
+                self.pos += 1;
+                let v = text.parse::<f64>().unwrap_or(f64::NAN);
+                Ok(Expr::Literal(Literal::Number(v, text)))
+            }
+            Some(Tok::HexNumber(h)) => {
+                let text = h.clone();
+                self.pos += 1;
+                // Strip 0x, truncate to last 16 hex digits for u64.
+                let digits = &text[2..];
+                let tail = &digits[digits.len().saturating_sub(16)..];
+                let v = u64::from_str_radix(tail, 16).unwrap_or(0);
+                Ok(Expr::Literal(Literal::Hex(v, text)))
+            }
+            Some(Tok::String(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::String(s)))
+            }
+            Some(Tok::Keyword(K::Null)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Null))
+            }
+            Some(Tok::Op(Op::Star)) => {
+                self.pos += 1;
+                Ok(Expr::Wildcard(None))
+            }
+            Some(Tok::Keyword(K::Exists)) => {
+                self.pos += 1;
+                self.expect_tok(&Tok::LParen)?;
+                let q = self.parse_query()?;
+                self.expect_tok(&Tok::RParen)?;
+                Ok(Expr::Exists { negated: false, subquery: Box::new(q) })
+            }
+            Some(Tok::Keyword(K::Case)) => self.parse_case(),
+            Some(Tok::Keyword(K::Cast)) => self.parse_cast(),
+            Some(Tok::Keyword(k)) if k.is_aggregate() => {
+                let k = *k;
+                self.pos += 1;
+                if self.peek() == Some(&Tok::LParen) {
+                    self.parse_call_args(QualifiedName::single(format!("{:?}", k).to_lowercase()))
+                } else {
+                    // Bare aggregate keyword used as a column name.
+                    Ok(Expr::Column(QualifiedName::single(format!("{:?}", k).to_lowercase())))
+                }
+            }
+            Some(Tok::LParen) => {
+                if self.starts_subquery() {
+                    self.expect_tok(&Tok::LParen)?;
+                    // Peel extra parens: ((SELECT ...)).
+                    if self.starts_subquery() {
+                        let inner = self.parse_primary()?;
+                        self.expect_tok(&Tok::RParen)?;
+                        return Ok(inner);
+                    }
+                    let q = self.parse_query()?;
+                    self.expect_tok(&Tok::RParen)?;
+                    return Ok(Expr::Subquery(Box::new(q)));
+                }
+                self.expect_tok(&Tok::LParen)?;
+                let inner = self.parse_expr()?;
+                self.expect_tok(&Tok::RParen)?;
+                Ok(inner)
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.parse_qualified_name()?;
+                if name.base() == "*" {
+                    let mut parts = name.parts;
+                    parts.pop();
+                    let qual = if parts.is_empty() { None } else { Some(parts.join(".")) };
+                    return Ok(Expr::Wildcard(qual));
+                }
+                if self.peek() == Some(&Tok::LParen) {
+                    self.parse_call_args(name)
+                } else {
+                    Ok(Expr::Column(name))
+                }
+            }
+            Some(t) => Err(self.err(format!("unexpected token {} in expression", t))),
+            None => Err(self.err("unexpected end of expression".into())),
+        }
+    }
+
+    fn parse_call_args(&mut self, name: QualifiedName) -> PResult<Expr> {
+        self.expect_tok(&Tok::LParen)?;
+        let aggregate = match name.base().to_ascii_lowercase().as_str() {
+            "count" => Some(Aggregate::Count),
+            "min" => Some(Aggregate::Min),
+            "max" => Some(Aggregate::Max),
+            "avg" => Some(Aggregate::Avg),
+            "sum" => Some(Aggregate::Sum),
+            _ => None,
+        };
+        let distinct = self.eat_kw(K::Distinct);
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                args.push(self.parse_expr()?);
+                if !self.eat_tok(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_tok(&Tok::RParen)?;
+        Ok(Expr::Function(FunctionCall { name, aggregate, distinct, args }))
+    }
+
+    fn parse_case(&mut self) -> PResult<Expr> {
+        self.expect_kw(K::Case)?;
+        let operand = if !matches!(self.peek(), Some(Tok::Keyword(K::When))) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        let mut branches = Vec::new();
+        while self.eat_kw(K::When) {
+            let cond = self.parse_expr()?;
+            self.expect_kw(K::Then)?;
+            let value = self.parse_expr()?;
+            branches.push((cond, value));
+        }
+        if branches.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN".into()));
+        }
+        let else_expr =
+            if self.eat_kw(K::Else) { Some(Box::new(self.parse_expr()?)) } else { None };
+        self.expect_kw(K::End)?;
+        Ok(Expr::Case { operand, branches, else_expr })
+    }
+
+    fn parse_cast(&mut self) -> PResult<Expr> {
+        self.expect_kw(K::Cast)?;
+        self.expect_tok(&Tok::LParen)?;
+        let expr = self.parse_expr()?;
+        self.expect_kw(K::As)?;
+        // Type: ident possibly with (n) or (p, s).
+        let ty_name = match self.bump() {
+            Some(Tok::Ident(t)) => t.clone(),
+            _ => return Err(self.err("expected type name in CAST".into())),
+        };
+        let mut ty = ty_name;
+        if self.eat_tok(&Tok::LParen) {
+            ty.push('(');
+            loop {
+                match self.bump() {
+                    Some(Tok::Number(n)) => ty.push_str(n),
+                    Some(t) => return Err(self.err(format!("unexpected {} in type", t))),
+                    None => return Err(self.err("unterminated type".into())),
+                }
+                if self.eat_tok(&Tok::Comma) {
+                    ty.push(',');
+                } else {
+                    break;
+                }
+            }
+            self.expect_tok(&Tok::RParen)?;
+            ty.push(')');
+        }
+        self.expect_tok(&Tok::RParen)?;
+        Ok(Expr::Cast { expr: Box::new(expr), ty })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(sql: &str) -> Query {
+        match parse_script(sql).unwrap().statements.remove(0) {
+            Statement::Select(q) => q,
+            other => panic!("expected SELECT, got {:?}", other),
+        }
+    }
+
+    trait Remove0 {
+        fn remove(self, i: usize) -> Statement;
+    }
+    impl Remove0 for Vec<Statement> {
+        fn remove(mut self, i: usize) -> Statement {
+            Vec::remove(&mut self, i)
+        }
+    }
+
+    #[test]
+    fn parses_figure_2a_query() {
+        let query = q("SELECT * FROM PhotoTag WHERE objId=0x112d075f80360018");
+        assert_eq!(query.select.len(), 1);
+        assert!(matches!(query.select[0].expr, Expr::Wildcard(None)));
+        assert_eq!(query.from.len(), 1);
+        assert!(query.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_figure_2b_query() {
+        let sql = "SELECT p.objid,p.ra,p.dec,p.u,p.g,p.r,p.i,p.z \
+                   FROM PhotoObj AS p \
+                   WHERE type=6 \
+                   AND p.ra BETWEEN (156.519031-0.200000) AND (156.519031+0.200000) \
+                   AND p.dec BETWEEN (62.835405-0.200000) AND (62.835405+0.200000) \
+                   ORDER BY p.objid";
+        let query = q(sql);
+        assert_eq!(query.select.len(), 8);
+        assert_eq!(query.order_by.len(), 1);
+        assert!(!query.order_by[0].desc);
+    }
+
+    #[test]
+    fn parses_figure_1b_bitwise_function_predicate() {
+        let sql = "SELECT objid FROM PhotoObj WHERE flags & dbo.fPhotoFlags('BLENDED') > 0";
+        let query = q(sql);
+        // (flags & f(...)) > 0
+        match query.where_clause.unwrap() {
+            Expr::Binary { op: Op::Gt, left, .. } => match *left {
+                Expr::Binary { op: Op::BitAnd, right, .. } => {
+                    assert!(matches!(*right, Expr::Function(_)));
+                }
+                other => panic!("expected bitand, got {:?}", other),
+            },
+            other => panic!("expected >, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parses_figure_5_nested_aggregate() {
+        let sql = "SELECT dbo.fGetURLExpid(objid) FROM SpecPhoto \
+                   WHERE modelmag_u-modelmag_g = \
+                   (SELECT min(modelmag_u-modelmag_g) \
+                    FROM SpecPhoto AS s INNER JOIN PhotoObj AS p ON s.objid=p.objid \
+                    WHERE (s.flags_g=0 OR p.psfmagerr_g<=0.2 AND p.psfmagerr_u<=0.2))";
+        let query = q(sql);
+        assert!(matches!(query.select[0].expr, Expr::Function(_)));
+        match query.where_clause.unwrap() {
+            Expr::Binary { right, .. } => assert!(matches!(*right, Expr::Subquery(_))),
+            other => panic!("expected binary with subquery, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parses_joins() {
+        let query = q("SELECT a.x FROM t1 a LEFT OUTER JOIN t2 b ON a.id = b.id \
+                       CROSS JOIN t3 WHERE a.x > 1");
+        assert_eq!(query.from.len(), 1);
+        assert_eq!(query.from[0].joins.len(), 2);
+        assert_eq!(query.from[0].joins[0].kind, JoinKind::Left);
+        assert_eq!(query.from[0].joins[1].kind, JoinKind::Cross);
+        assert!(query.from[0].joins[1].on.is_none());
+    }
+
+    #[test]
+    fn parses_comma_join_with_derived_table() {
+        let sql = "SELECT j.target FROM Jobs j, Users u, \
+                   (SELECT DISTINCT target FROM Servers s1) b WHERE j.x LIKE '%QUERY%'";
+        let query = q(sql);
+        assert_eq!(query.from.len(), 3);
+        assert!(matches!(query.from[2].factor, TableFactor::Derived { .. }));
+    }
+
+    #[test]
+    fn parses_group_by_having_top_distinct_into() {
+        let sql = "SELECT DISTINCT TOP 10 type, count(*) cnt INTO mydb.results \
+                   FROM PhotoObj GROUP BY type HAVING count(*) > 100 ORDER BY cnt DESC";
+        let query = q(sql);
+        assert!(query.distinct);
+        assert_eq!(query.top, Some(10));
+        assert!(query.into.is_some());
+        assert_eq!(query.group_by.len(), 1);
+        assert!(query.having.is_some());
+        assert!(query.order_by[0].desc);
+    }
+
+    #[test]
+    fn parses_case_and_cast() {
+        let sql = "SELECT CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END, \
+                   cast(j.estimate AS varchar) AS queue FROM Jobs j";
+        let query = q(sql);
+        assert!(matches!(query.select[0].expr, Expr::Case { .. }));
+        assert!(matches!(query.select[1].expr, Expr::Cast { .. }));
+    }
+
+    #[test]
+    fn parses_in_exists_isnull() {
+        let sql = "SELECT x FROM t WHERE a IN (1,2,3) AND b NOT IN (SELECT b FROM u) \
+                   AND EXISTS (SELECT 1 FROM v) AND c IS NOT NULL";
+        let query = q(sql);
+        assert!(query.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_execute() {
+        let s = parse_script("EXEC dbo.spGetNeighbors 185.0, -0.5").unwrap();
+        match &s.statements[0] {
+            Statement::Execute { name, arg_count } => {
+                assert_eq!(name.canonical(), "dbo.spgetneighbors");
+                assert_eq!(*arg_count, 2);
+            }
+            other => panic!("expected EXECUTE, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parses_ddl_and_dml() {
+        assert!(matches!(
+            parse_script("CREATE TABLE mydb.t (x int)").unwrap().statements[0],
+            Statement::Ddl { verb: DdlVerb::Create, .. }
+        ));
+        assert!(matches!(
+            parse_script("DROP TABLE mydb.t").unwrap().statements[0],
+            Statement::Ddl { verb: DdlVerb::Drop, .. }
+        ));
+        assert!(matches!(
+            parse_script("INSERT INTO t (a, b) VALUES (1, 'x')").unwrap().statements[0],
+            Statement::Dml { verb: DmlVerb::Insert, .. }
+        ));
+        assert!(matches!(
+            parse_script("UPDATE t SET a = 1 WHERE b = 2").unwrap().statements[0],
+            Statement::Dml { verb: DmlVerb::Update, .. }
+        ));
+        assert!(matches!(
+            parse_script("DELETE FROM t WHERE a = 1").unwrap().statements[0],
+            Statement::Dml { verb: DmlVerb::Delete, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_natural_language() {
+        assert!(parse_script("please show me all the galaxies").is_err());
+        assert!(parse_script("").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_sql() {
+        assert!(parse_script("SELECT * FROM").is_err());
+        assert!(parse_script("SELECT * FROM t WHERE").is_err());
+        assert!(parse_script("SELECT FROM t").is_err());
+    }
+
+    #[test]
+    fn depth_guard_prevents_stack_overflow() {
+        let mut sql = String::from("SELECT ");
+        for _ in 0..10_000 {
+            sql.push('(');
+        }
+        sql.push('1');
+        // Must return an error rather than overflow the stack.
+        assert!(parse_script(&sql).is_err());
+    }
+
+    #[test]
+    fn multi_statement_script() {
+        let s = parse_script("SELECT 1; SELECT 2;").unwrap();
+        assert_eq!(s.statements.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_keyword_as_function() {
+        let query = q("SELECT min(queue) FROM Servers GROUP BY target");
+        match &query.select[0].expr {
+            Expr::Function(f) => assert_eq!(f.aggregate, Some(Aggregate::Min)),
+            other => panic!("expected function, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let query = q("SELECT p.* FROM PhotoObj p");
+        assert!(matches!(&query.select[0].expr, Expr::Wildcard(Some(a)) if a == "p"));
+    }
+
+    #[test]
+    fn top_with_parens() {
+        let query = q("SELECT TOP (5) x FROM t");
+        assert_eq!(query.top, Some(5));
+    }
+}

@@ -1,0 +1,206 @@
+//! Lightweight AST walkers.
+//!
+//! The property extractor and the engine both need to traverse expressions
+//! and queries; centralizing the recursion here keeps the traversal order
+//! consistent and avoids four separate hand-rolled walkers drifting apart.
+
+use crate::ast::*;
+
+/// Walk every sub-expression of `expr` (including `expr` itself), calling
+/// `f` on each. Subqueries are **not** entered; use [`walk_expr_queries`]
+/// to find them.
+pub fn walk_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(expr);
+    match expr {
+        Expr::Column(_) | Expr::Wildcard(_) | Expr::Literal(_) => {}
+        Expr::Unary { expr, .. } => walk_expr(expr, f),
+        Expr::Binary { left, right, .. } => {
+            walk_expr(left, f);
+            walk_expr(right, f);
+        }
+        Expr::Logical { left, right, .. } => {
+            walk_expr(left, f);
+            walk_expr(right, f);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            walk_expr(expr, f);
+            walk_expr(low, f);
+            walk_expr(high, f);
+        }
+        Expr::InList { expr, list, .. } => {
+            walk_expr(expr, f);
+            for e in list {
+                walk_expr(e, f);
+            }
+        }
+        Expr::InSubquery { expr, .. } => walk_expr(expr, f),
+        Expr::Like { expr, pattern, .. } => {
+            walk_expr(expr, f);
+            walk_expr(pattern, f);
+        }
+        Expr::IsNull { expr, .. } => walk_expr(expr, f),
+        Expr::Exists { .. } => {}
+        Expr::Subquery(_) => {}
+        Expr::Function(call) => {
+            for a in &call.args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            if let Some(op) = operand {
+                walk_expr(op, f);
+            }
+            for (c, v) in branches {
+                walk_expr(c, f);
+                walk_expr(v, f);
+            }
+            if let Some(e) = else_expr {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Cast { expr, .. } => walk_expr(expr, f),
+    }
+}
+
+/// Call `f` on each immediate subquery contained in `expr` (not recursing
+/// into the subqueries themselves).
+pub fn walk_expr_queries<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Query)) {
+    walk_expr(expr, &mut |e| match e {
+        Expr::InSubquery { subquery, .. }
+        | Expr::Exists { subquery, .. }
+        | Expr::Subquery(subquery) => f(subquery),
+        _ => {}
+    });
+}
+
+/// Call `f` on every expression appearing directly in `query` (select list,
+/// join conditions, where, group by, having, order by) without entering
+/// subqueries.
+pub fn walk_query_exprs<'a>(query: &'a Query, f: &mut impl FnMut(&'a Expr)) {
+    for item in &query.select {
+        walk_expr(&item.expr, f);
+    }
+    for fi in &query.from {
+        for j in &fi.joins {
+            if let Some(on) = &j.on {
+                walk_expr(on, f);
+            }
+        }
+    }
+    if let Some(w) = &query.where_clause {
+        walk_expr(w, f);
+    }
+    for g in &query.group_by {
+        walk_expr(g, f);
+    }
+    if let Some(h) = &query.having {
+        walk_expr(h, f);
+    }
+    for o in &query.order_by {
+        walk_expr(&o.expr, f);
+    }
+}
+
+/// Call `f` on each immediate child query of `query`: derived tables in
+/// FROM plus subqueries in any expression position.
+pub fn walk_child_queries<'a>(query: &'a Query, f: &mut impl FnMut(&'a Query)) {
+    for fi in &query.from {
+        if let TableFactor::Derived { subquery, .. } = &fi.factor {
+            f(subquery);
+        }
+        for j in &fi.joins {
+            if let TableFactor::Derived { subquery, .. } = &j.factor {
+                f(subquery);
+            }
+        }
+    }
+    walk_query_exprs(query, &mut |e| {
+        walk_expr_queries_shallow(e, f);
+    });
+}
+
+// walk_query_exprs already recurses through each expression tree, so here we
+// only need to look at the node itself to avoid double-visiting subqueries.
+fn walk_expr_queries_shallow<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Query)) {
+    match e {
+        Expr::InSubquery { subquery, .. }
+        | Expr::Exists { subquery, .. }
+        | Expr::Subquery(subquery) => f(subquery),
+        _ => {}
+    }
+}
+
+/// All queries in a statement, paired with their nesting depth (the
+/// outermost query has depth 0). Traversal is breadth-first.
+pub fn queries_with_depth(stmt: &Statement) -> Vec<(&Query, u32)> {
+    let mut out = Vec::new();
+    let mut frontier: Vec<(&Query, u32)> = Vec::new();
+    match stmt {
+        Statement::Select(q) => frontier.push((q, 0)),
+        Statement::Dml { query: Some(q), .. } => frontier.push((q, 0)),
+        _ => {}
+    }
+    while let Some((q, d)) = frontier.pop() {
+        out.push((q, d));
+        walk_child_queries(q, &mut |c| frontier.push((c, d + 1)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_script;
+
+    fn first(stmt: &str) -> Statement {
+        parse_script(stmt).unwrap().statements.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn depth_of_flat_query_is_zero() {
+        let s = first("SELECT x FROM t WHERE y = 1");
+        let qs = queries_with_depth(&s);
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].1, 0);
+    }
+
+    #[test]
+    fn depth_counts_nested_subqueries() {
+        let s = first(
+            "SELECT x FROM t WHERE y = (SELECT max(y) FROM u WHERE z IN (SELECT z FROM v))",
+        );
+        let qs = queries_with_depth(&s);
+        let max = qs.iter().map(|(_, d)| *d).max().unwrap();
+        assert_eq!(qs.len(), 3);
+        assert_eq!(max, 2);
+    }
+
+    #[test]
+    fn derived_tables_count_as_depth() {
+        let s = first("SELECT a FROM (SELECT a FROM t) d");
+        let qs = queries_with_depth(&s);
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs.iter().map(|(_, d)| *d).max().unwrap(), 1);
+    }
+
+    #[test]
+    fn walk_query_exprs_visits_all_clauses() {
+        let s = first(
+            "SELECT a + 1 FROM t JOIN u ON t.i = u.i WHERE b > 2 \
+             GROUP BY c HAVING count(*) > 3 ORDER BY d DESC",
+        );
+        let q = match &s {
+            Statement::Select(q) => q,
+            _ => unreachable!(),
+        };
+        let mut cols = Vec::new();
+        walk_query_exprs(q, &mut |e| {
+            if let Expr::Column(c) = e {
+                cols.push(c.canonical());
+            }
+        });
+        for want in ["a", "t.i", "u.i", "b", "c", "d"] {
+            assert!(cols.iter().any(|c| c == want), "missing {want} in {cols:?}");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the lexer/parser/property-extractor.
+//!
+//! The central robustness invariant of the whole system: *any* byte string
+//! is a legal workload entry (the SDSS portal accepts free text), so none
+//! of the text-handling layers may panic, and their outputs must satisfy
+//! basic structural invariants.
+
+use proptest::prelude::*;
+use sqlan_sql::{extract_props, lex, parse, parse_script};
+
+proptest! {
+    /// Lexing arbitrary strings never panics, spans are in-bounds,
+    /// non-overlapping, and monotonically increasing.
+    #[test]
+    fn lex_total_and_spans_monotonic(input in ".{0,400}") {
+        let (toks, _report) = lex(&input);
+        let mut prev_end = 0u32;
+        for t in &toks {
+            prop_assert!(t.span.start >= prev_end, "overlapping spans");
+            prop_assert!(t.span.end >= t.span.start);
+            prop_assert!((t.span.end as usize) <= input.len());
+            prev_end = t.span.start.max(prev_end); // tokens are ordered
+            prev_end = t.span.end;
+        }
+    }
+
+    /// Parsing arbitrary strings never panics.
+    #[test]
+    fn parse_total(input in ".{0,400}") {
+        let _ = parse(&input);
+    }
+
+    /// Property extraction never panics, and text-level counts hold.
+    #[test]
+    fn props_total_and_consistent(input in ".{0,400}") {
+        let p = extract_props(&input);
+        prop_assert_eq!(p.num_chars as usize, input.chars().count());
+        // Column references inside predicates cannot exceed total words.
+        prop_assert!(p.num_predicate_columns <= p.num_words.max(1) * 2);
+    }
+
+    /// SQL-shaped fuzzing: random SQL-ish token soup never panics and,
+    /// when it parses, the rendered form reparses to the same rendering
+    /// (display is a fixed point after one round).
+    #[test]
+    fn render_reparse_fixed_point(
+        raw_cols in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..5),
+        raw_tbl in "[A-Za-z][A-Za-z0-9_]{0,12}",
+        n in 0u32..1000,
+        use_where in any::<bool>(),
+    ) {
+        // Random identifiers can collide with reserved keywords ("by",
+        // "on", ...); prefix them so the generated SQL is well-formed.
+        let cols: Vec<String> = raw_cols.iter().map(|c| format!("c_{c}")).collect();
+        let tbl = format!("t_{raw_tbl}");
+        let select = cols.join(", ");
+        let sql = if use_where {
+            format!("SELECT {select} FROM {tbl} WHERE {} > {n}", cols[0])
+        } else {
+            format!("SELECT {select} FROM {tbl}")
+        };
+        let s1 = parse_script(&sql).expect("generated SQL must parse");
+        let text1 = format!("{}", s1.statements[0]);
+        let s2 = parse_script(&text1).expect("rendered SQL must reparse");
+        let text2 = format!("{}", s2.statements[0]);
+        prop_assert_eq!(text1, text2);
+    }
+
+    /// Parenthesizing a whole WHERE expression never changes predicate
+    /// counts (parentheses are structural no-ops at the boolean level).
+    #[test]
+    fn parens_do_not_change_predicate_count(
+        a in 0u32..100, b in 0u32..100,
+    ) {
+        let q1 = format!("SELECT x FROM t WHERE a = {a} AND b = {b}");
+        let q2 = format!("SELECT x FROM t WHERE (a = {a} AND b = {b})");
+        let p1 = extract_props(&q1);
+        let p2 = extract_props(&q2);
+        prop_assert_eq!(p1.num_predicates, p2.num_predicates);
+        prop_assert_eq!(p1.num_predicate_columns, p2.num_predicate_columns);
+    }
+
+    /// Keyword case never affects the parse result.
+    #[test]
+    fn keyword_case_insensitive(upper in any::<bool>()) {
+        let sql = if upper {
+            "SELECT X FROM T WHERE Y = 1 ORDER BY X DESC"
+        } else {
+            "select X from T where Y = 1 order by X desc"
+        };
+        let s = parse_script(sql).expect("must parse");
+        assert_eq!(s.statement_type(), "SELECT");
+    }
+}

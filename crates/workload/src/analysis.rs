@@ -1,0 +1,345 @@
+//! Workload analysis (§4.3): summary statistics, histograms, correlation
+//! matrices, and per-session-class breakdowns — the machinery behind
+//! Figures 3, 4, 6, 7, 8 and 20.
+
+use serde::{Deserialize, Serialize};
+
+use sqlan_sql::{extract_props, StructuralProps};
+
+use crate::labels::{SessionClass, WorkloadEntry};
+
+/// The summary line printed in each panel of Figures 3/4/6:
+/// mean (µ), std (σ), min, max, mode, median.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+    pub mode: f64,
+    pub median: f64,
+    pub count: usize,
+}
+
+impl SummaryStats {
+    /// Compute over a sample; empty input yields all-NaN stats.
+    pub fn compute(values: &[f64]) -> SummaryStats {
+        let n = values.len();
+        if n == 0 {
+            return SummaryStats {
+                mean: f64::NAN,
+                std: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                mode: f64::NAN,
+                median: f64::NAN,
+                count: 0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        // Mode over the sorted run-lengths (values are mostly small ints).
+        let mut mode = sorted[0];
+        let mut best_run = 0usize;
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j < n && sorted[j] == sorted[i] {
+                j += 1;
+            }
+            if j - i > best_run {
+                best_run = j - i;
+                mode = sorted[i];
+            }
+            i = j;
+        }
+        SummaryStats {
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            mode,
+            median,
+            count: n,
+        }
+    }
+}
+
+/// Quartile box (Figure 8's box plots): q1, median, q3, plus mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub mean: f64,
+    pub count: usize,
+}
+
+impl BoxStats {
+    pub fn compute(values: &[f64]) -> BoxStats {
+        let n = values.len();
+        if n == 0 {
+            return BoxStats { q1: f64::NAN, median: f64::NAN, q3: f64::NAN, mean: f64::NAN, count: 0 };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let q = |p: f64| -> f64 {
+            let idx = p * (n - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+        BoxStats {
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            mean: values.iter().sum::<f64>() / n as f64,
+            count: n,
+        }
+    }
+}
+
+/// Log-spaced histogram for heavy-tailed quantities (the paper's log-log
+/// panels). Buckets: [0,1), [1,2), [2,4), [4,8), ...
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// (bucket lower bound, count) pairs.
+    pub buckets: Vec<(f64, usize)>,
+}
+
+impl LogHistogram {
+    pub fn compute(values: &[f64]) -> LogHistogram {
+        let mut counts: std::collections::BTreeMap<i32, usize> = Default::default();
+        for &v in values {
+            let b = if v < 1.0 { -1 } else { v.log2().floor() as i32 };
+            *counts.entry(b).or_default() += 1;
+        }
+        LogHistogram {
+            buckets: counts
+                .into_iter()
+                .map(|(b, n)| (if b < 0 { 0.0 } else { 2f64.powi(b) }, n))
+                .collect(),
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        self.buckets.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// All ten structural-property vectors of a workload, extracted once.
+#[derive(Debug, Clone)]
+pub struct PropsMatrix {
+    pub props: Vec<StructuralProps>,
+}
+
+impl PropsMatrix {
+    pub fn extract(entries: &[WorkloadEntry]) -> PropsMatrix {
+        PropsMatrix { props: entries.iter().map(|e| extract_props(&e.statement)).collect() }
+    }
+
+    /// Column `k` of the property matrix (see [`StructuralProps::NAMES`]).
+    pub fn column(&self, k: usize) -> Vec<f64> {
+        self.props.iter().map(|p| p.as_vector()[k]).collect()
+    }
+
+    /// Pearson correlation matrix over the ten properties (Figure 7).
+    pub fn correlation_matrix(&self) -> [[f64; 10]; 10] {
+        let cols: Vec<Vec<f64>> = (0..10).map(|k| self.column(k)).collect();
+        let mut m = [[0.0f64; 10]; 10];
+        for i in 0..10 {
+            for j in 0..10 {
+                m[i][j] = pearson(&cols[i], &cols[j]);
+            }
+        }
+        m
+    }
+}
+
+/// Pearson correlation; returns 0 for degenerate (constant) inputs and 1 on
+/// the diagonal-by-identity case.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for k in 0..n {
+        let da = a[k] - ma;
+        let db = b[k] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        if std::ptr::eq(a.as_ptr(), b.as_ptr()) {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Per-session-class breakdown of a numeric quantity (Figure 8).
+pub fn by_session_class(
+    entries: &[WorkloadEntry],
+    value: impl Fn(&WorkloadEntry) -> Option<f64>,
+) -> Vec<(SessionClass, BoxStats)> {
+    SessionClass::ALL
+        .iter()
+        .map(|&class| {
+            let vals: Vec<f64> = entries
+                .iter()
+                .filter(|e| e.session_class == Some(class))
+                .filter_map(&value)
+                .collect();
+            (class, BoxStats::compute(&vals))
+        })
+        .collect()
+}
+
+/// Figure 20's repetition histogram buckets: 1, 2, 3, 4–20, 21–100,
+/// 101–1000, >1000.
+pub fn repetition_histogram(repetitions: &[u32]) -> [(String, usize); 7] {
+    let mut out = [
+        ("1".to_string(), 0),
+        ("2".to_string(), 0),
+        ("3".to_string(), 0),
+        ("4-20".to_string(), 0),
+        ("21-100".to_string(), 0),
+        ("101-1000".to_string(), 0),
+        (">1000".to_string(), 0),
+    ];
+    for &r in repetitions {
+        let slot = match r {
+            0 | 1 => 0,
+            2 => 1,
+            3 => 2,
+            4..=20 => 3,
+            21..=100 => 4,
+            101..=1000 => 5,
+            _ => 6,
+        };
+        out[slot].1 += 1;
+    }
+    out
+}
+
+/// Statement-type shares (§4.3.1: SELECT ≈ 96.5% on SDSS).
+pub fn statement_type_shares(entries: &[WorkloadEntry]) -> Vec<(String, f64)> {
+    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+    for e in entries {
+        let ty = match sqlan_sql::parse(&e.statement).result {
+            Ok(script) => script.statement_type().to_string(),
+            Err(_) => "UNPARSEABLE".to_string(),
+        };
+        *counts.entry(ty).or_default() += 1;
+    }
+    let total = entries.len().max(1) as f64;
+    counts.into_iter().map(|(k, v)| (k, v as f64 / total)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_stats_basic() {
+        let s = SummaryStats::compute(&[1.0, 2.0, 2.0, 3.0, 10.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.mode, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert!((s.mean - 3.6).abs() < 1e-12);
+        assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn summary_stats_empty_is_nan() {
+        let s = SummaryStats::compute(&[]);
+        assert!(s.mean.is_nan());
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn box_stats_quartiles() {
+        let b = BoxStats::compute(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn log_histogram_counts_everything() {
+        let h = LogHistogram::compute(&[0.0, 0.5, 1.0, 3.0, 100.0, 1e6]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn repetition_buckets() {
+        let h = repetition_histogram(&[1, 1, 2, 3, 7, 50, 500, 5000]);
+        assert_eq!(h[0].1, 2);
+        assert_eq!(h[1].1, 1);
+        assert_eq!(h[2].1, 1);
+        assert_eq!(h[3].1, 1);
+        assert_eq!(h[4].1, 1);
+        assert_eq!(h[5].1, 1);
+        assert_eq!(h[6].1, 1);
+    }
+
+    #[test]
+    fn correlation_matrix_diagonal_is_one_for_varying_props() {
+        use crate::labels::ErrorClass;
+        let entries: Vec<WorkloadEntry> = (0..20)
+            .map(|i| WorkloadEntry {
+                statement: format!("SELECT a{} FROM t WHERE x > {}", "a".repeat(i), i),
+                error_class: ErrorClass::Success,
+                session_class: None,
+                answer_size: 1.0,
+                cpu_seconds: 0.0,
+                user_id: None,
+            })
+            .collect();
+        let m = PropsMatrix::extract(&entries).correlation_matrix();
+        // num_chars varies → diagonal 1; constant columns are defined as 1
+        // on the diagonal via the self-pointer check.
+        assert!((m[0][0] - 1.0).abs() < 1e-9);
+        // Symmetry.
+        for i in 0..10 {
+            for j in 0..10 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-9);
+            }
+        }
+    }
+}

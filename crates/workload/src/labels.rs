@@ -1,0 +1,118 @@
+//! Label types: session classes and workload entries.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use sqlan_engine::ErrorClass;
+
+/// The seven session classes of the SDSS workload (§4.1 and Appendix B.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SessionClass {
+    /// The session was not established through the Web (direct SQL access,
+    /// e.g. CasJobs batch queries).
+    NoWebHit,
+    /// Web session with no agent string reported.
+    Unknown,
+    /// Search-engine crawlers and similar automation.
+    Bot,
+    /// Administrative services (performance monitors etc.).
+    Admin,
+    /// User programs, e.g. data downloaders.
+    Program,
+    /// Web sessions flagged anonymous by the agent tables.
+    Anonymous,
+    /// Interactive web browsers.
+    Browser,
+}
+
+impl SessionClass {
+    /// Paper ordering (Figure 6b / Table 4 columns).
+    pub const ALL: [SessionClass; 7] = [
+        SessionClass::NoWebHit,
+        SessionClass::Unknown,
+        SessionClass::Bot,
+        SessionClass::Admin,
+        SessionClass::Program,
+        SessionClass::Anonymous,
+        SessionClass::Browser,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionClass::NoWebHit => "no_web_hit",
+            SessionClass::Unknown => "unknown",
+            SessionClass::Bot => "bot",
+            SessionClass::Admin => "admin",
+            SessionClass::Program => "program",
+            SessionClass::Anonymous => "anonymous",
+            SessionClass::Browser => "browser",
+        }
+    }
+
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("class in ALL")
+    }
+
+    pub fn from_index(i: usize) -> Option<SessionClass> {
+        Self::ALL.get(i).copied()
+    }
+}
+
+impl fmt::Display for SessionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One labeled workload entry after extraction (Definition 3: a query
+/// statement plus the properties obtained by submitting it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadEntry {
+    pub statement: String,
+    pub error_class: ErrorClass,
+    /// `None` for SQLShare, which records no session metadata (§4.2).
+    pub session_class: Option<SessionClass>,
+    /// Rows retrieved; `-1` when the query did not run.
+    pub answer_size: f64,
+    /// CPU seconds (`busy`).
+    pub cpu_seconds: f64,
+    /// SQLShare only: the owning user id, used for the Heterogeneous
+    /// Schema split.
+    pub user_id: Option<u32>,
+}
+
+/// One raw hit in the simulated log, before extraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hit {
+    /// Seconds since the simulation epoch.
+    pub timestamp: f64,
+    /// Simulated client IP (opaque id).
+    pub ip: u32,
+    /// The submitted statement.
+    pub statement: String,
+    /// The class of the generating agent (ground truth, later recovered by
+    /// the session labeler through the agent-string tables).
+    pub agent_class: SessionClass,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_order_matches_paper() {
+        let names: Vec<&str> = SessionClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec!["no_web_hit", "unknown", "bot", "admin", "program", "anonymous", "browser"]
+        );
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for c in SessionClass::ALL {
+            assert_eq!(SessionClass::from_index(c.index()), Some(c));
+        }
+        assert_eq!(SessionClass::from_index(7), None);
+    }
+}

@@ -1,0 +1,282 @@
+//! Synthetic database schemas: an SDSS-like astronomy catalog and
+//! per-user SQLShare-like instances.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sqlan_engine::{Catalog, ColumnSpec, TableSpec};
+
+/// Scale factor applied to all table row counts. 1.0 ≈ the default
+/// laptop-friendly sizes below; the real SDSS is ~4 orders of magnitude
+/// larger, which only stretches the CPU-time axis, not the learning
+/// problem's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale(pub f64);
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(1.0)
+    }
+}
+
+fn rows(base: usize, scale: Scale) -> usize {
+    ((base as f64) * scale.0).round().max(8.0) as usize
+}
+
+/// Photometric magnitude columns shared by several SDSS tables.
+fn mag_columns(spec: TableSpec) -> TableSpec {
+    spec.column("u", ColumnSpec::Normal(19.5, 1.8))
+        .column("g", ColumnSpec::Normal(18.8, 1.7))
+        .column("r", ColumnSpec::Normal(18.2, 1.6))
+        .column("i", ColumnSpec::Normal(17.9, 1.6))
+        .column("z", ColumnSpec::Normal(17.6, 1.7))
+        .column("modelmag_u", ColumnSpec::Normal(19.4, 1.9))
+        .column("modelmag_g", ColumnSpec::Normal(18.7, 1.8))
+        .column("psfmag_r", ColumnSpec::Normal(18.3, 1.7))
+        .column("psfmagerr_g", ColumnSpec::Uniform(0.0, 0.5))
+        .column("psfmagerr_u", ColumnSpec::Uniform(0.0, 0.6))
+}
+
+/// The SDSS-like catalog: the tables the paper's motivating examples and
+/// our query templates reference. Row counts keep the *ratios* of the real
+/// archive (PhotoObj ≫ SpecObj ≫ admin tables).
+pub fn sdss_table_specs(scale: Scale) -> Vec<TableSpec> {
+    let photo = rows(60_000, scale);
+    let spec = rows(8_000, scale);
+    vec![
+        mag_columns(
+            TableSpec::new("PhotoObj", photo)
+                .column("objid", ColumnSpec::SeqId)
+                .column("ra", ColumnSpec::Uniform(0.0, 360.0))
+                .column("dec", ColumnSpec::Uniform(-25.0, 85.0))
+                .column("type", ColumnSpec::Categorical(7))
+                .column("flags", ColumnSpec::Bitmask(20))
+                .column("status", ColumnSpec::Bitmask(12))
+                .column("mode", ColumnSpec::IntUniform(1, 3))
+                .column("field", ColumnSpec::IntUniform(0, 800)),
+        ),
+        // PhotoTag: same objects, fewer columns (the "tag" table).
+        TableSpec::new("PhotoTag", photo)
+            .column("objid", ColumnSpec::SeqId)
+            .column("ra", ColumnSpec::Uniform(0.0, 360.0))
+            .column("dec", ColumnSpec::Uniform(-25.0, 85.0))
+            .column("type", ColumnSpec::Categorical(7))
+            .column("flags", ColumnSpec::Bitmask(20)),
+        mag_columns(
+            TableSpec::new("Galaxy", rows(30_000, scale))
+                .column("objid", ColumnSpec::SeqId)
+                .column("ra", ColumnSpec::Uniform(0.0, 360.0))
+                .column("dec", ColumnSpec::Uniform(-25.0, 85.0))
+                .column("flags", ColumnSpec::Bitmask(20))
+                .column("petror50_r", ColumnSpec::Uniform(0.2, 30.0)),
+        ),
+        mag_columns(
+            TableSpec::new("Star", rows(25_000, scale))
+                .column("objid", ColumnSpec::SeqId)
+                .column("ra", ColumnSpec::Uniform(0.0, 360.0))
+                .column("dec", ColumnSpec::Uniform(-25.0, 85.0))
+                .column("flags", ColumnSpec::Bitmask(20)),
+        ),
+        TableSpec::new("SpecObj", spec)
+            .column("specobjid", ColumnSpec::SeqId)
+            .column("bestobjid", ColumnSpec::IntUniform(0, photo as i64 - 1))
+            .column("z", ColumnSpec::Uniform(0.0, 3.5))
+            .column("zerr", ColumnSpec::Uniform(0.0, 0.01))
+            .column("zconf", ColumnSpec::Uniform(0.5, 1.0))
+            .column("ra", ColumnSpec::Uniform(0.0, 360.0))
+            .column("dec", ColumnSpec::Uniform(-25.0, 85.0))
+            .column("specclass", ColumnSpec::Categorical(6))
+            .column("plate", ColumnSpec::IntUniform(266, 2974))
+            .column("fiberid", ColumnSpec::IntUniform(1, 640)),
+        TableSpec::new("SpecPhoto", spec)
+            .column("specobjid", ColumnSpec::SeqId)
+            .column("objid", ColumnSpec::IntUniform(0, photo as i64 - 1))
+            .column("z", ColumnSpec::Uniform(0.0, 3.5))
+            .column("ra", ColumnSpec::Uniform(0.0, 360.0))
+            .column("dec", ColumnSpec::Uniform(-25.0, 85.0))
+            .column("modelmag_u", ColumnSpec::Normal(19.4, 1.9))
+            .column("modelmag_g", ColumnSpec::Normal(18.7, 1.8))
+            .column("flags_g", ColumnSpec::Bitmask(8))
+            .column("flags_s", ColumnSpec::Bitmask(8))
+            .column("type", ColumnSpec::Categorical(7)),
+        TableSpec::new("Neighbors", rows(40_000, scale))
+            .column("objid", ColumnSpec::IntUniform(0, photo as i64 - 1))
+            .column("neighborobjid", ColumnSpec::IntUniform(0, photo as i64 - 1))
+            .column("distance", ColumnSpec::Uniform(0.0, 2.0))
+            .column("neighbortype", ColumnSpec::Categorical(7)),
+        TableSpec::new("Field", rows(900, scale))
+            .column("fieldid", ColumnSpec::SeqId)
+            .column("run", ColumnSpec::IntUniform(94, 8000))
+            .column("camcol", ColumnSpec::IntUniform(1, 6))
+            .column("quality", ColumnSpec::Categorical(4))
+            .column("ra", ColumnSpec::Uniform(0.0, 360.0))
+            .column("dec", ColumnSpec::Uniform(-25.0, 85.0)),
+        // CasJobs administrative tables (Figure 16 of the paper queries
+        // Jobs/Users/Status/Servers).
+        TableSpec::new("Jobs", rows(2_000, scale))
+            .column("jobid", ColumnSpec::SeqId)
+            .column("userid", ColumnSpec::IntUniform(0, 499))
+            .column("target", ColumnSpec::StrChoice(&["DR5", "DR7", "DR8", "MYDB"]))
+            .column("queue", ColumnSpec::IntUniform(1, 5))
+            .column("estimate", ColumnSpec::Uniform(0.0, 500.0))
+            .column("status", ColumnSpec::Categorical(6))
+            .column("outputtype", ColumnSpec::StrChoice(&["QUERY", "TABLE", "FILE"])),
+        TableSpec::new("Users", rows(500, scale))
+            .column("userid", ColumnSpec::SeqId)
+            .column("privilege", ColumnSpec::Categorical(3))
+            .column("webservicesid", ColumnSpec::IntUniform(0, 9)),
+        TableSpec::new("Servers", rows(40, scale))
+            .column("serverid", ColumnSpec::SeqId)
+            .column("name", ColumnSpec::TaggedSeq("srv"))
+            .column("target", ColumnSpec::StrChoice(&["DR5", "DR7", "DR8", "MYDB"]))
+            .column("queue", ColumnSpec::IntUniform(1, 5)),
+        TableSpec::new("Status", rows(64, scale))
+            .column("statusid", ColumnSpec::SeqId)
+            .column("name", ColumnSpec::StrChoice(&[
+                "ready", "started", "finished", "failed", "cancelled", "queued",
+            ])),
+    ]
+}
+
+/// Build the SDSS-like catalog.
+pub fn sdss_catalog(scale: Scale, seed: u64) -> Catalog {
+    Catalog::generate(&sdss_table_specs(scale), seed)
+}
+
+/// Vocabulary pools for synthesizing SQLShare-style user schemas: short-term
+/// ad-hoc analytics over uploaded CSVs (genomics, oceanography, sensor
+/// dumps — the domains reported in the SQLShare paper).
+const SQLSHARE_TABLE_STEMS: &[&str] = &[
+    "samples", "reads", "genes", "proteins", "taxa", "stations", "casts", "sensors",
+    "measurements", "observations", "results", "metadata", "runs", "trials", "plates",
+    "wells", "counts", "abundance", "alignment", "variants", "sites", "events",
+];
+
+const SQLSHARE_COL_STEMS: &[&str] = &[
+    "id", "name", "value", "score", "count", "depth", "temp", "salinity", "lat", "lon",
+    "time", "qc", "flag", "group", "batch", "conc", "ph", "ratio", "length", "width",
+    "mass", "seq", "gc", "cov", "freq", "pval", "fold", "rank",
+];
+
+/// One SQLShare user's uploaded dataset: a private little schema.
+#[derive(Debug, Clone)]
+pub struct UserSchema {
+    pub user_id: u32,
+    pub table_names: Vec<String>,
+    /// Column names per table.
+    pub table_columns: Vec<Vec<String>>,
+}
+
+/// Generate `n_users` SQLShare-like user schemas and a combined catalog
+/// holding all their tables (each table name is prefixed with the user id,
+/// as SQLShare scopes uploads per user).
+pub fn sqlshare_catalog(
+    n_users: u32,
+    scale: Scale,
+    seed: u64,
+) -> (Catalog, Vec<UserSchema>) {
+    let mut specs = Vec::new();
+    let mut users = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for user_id in 0..n_users {
+        let n_tables = rng.gen_range(1..=5);
+        let mut table_names = Vec::with_capacity(n_tables);
+        let mut table_columns = Vec::with_capacity(n_tables);
+        for t in 0..n_tables {
+            let stem = SQLSHARE_TABLE_STEMS[rng.gen_range(0..SQLSHARE_TABLE_STEMS.len())];
+            let name = format!("u{user_id}_{stem}_{t}");
+            let n_cols = rng.gen_range(3..=10);
+            // Log-uniform row counts: user uploads span paste-sized CSVs to
+            // multi-GB instrument dumps, and this spread is what gives the
+            // CPU-time labels their dynamic range.
+            let n_rows = 10f64.powf(rng.gen_range(2.3..4.3)) as usize;
+            let mut spec = TableSpec::new(name.clone(), rows(n_rows, scale));
+            let mut cols = Vec::with_capacity(n_cols + 1);
+            spec = spec.column("rowid", ColumnSpec::SeqId);
+            cols.push("rowid".to_string());
+            for c in 0..n_cols {
+                // Column names carry a per-user random tag: real SQLShare
+                // uploads use each scientist's private naming conventions,
+                // so word-level vocabularies do NOT transfer across users —
+                // the mechanism behind the paper's Heterogeneous-Schema
+                // degradation (§6.2.3). The shared stem keeps a subword
+                // signal that character-level models can still exploit.
+                let stem = SQLSHARE_COL_STEMS[rng.gen_range(0..SQLSHARE_COL_STEMS.len())];
+                let col = format!("{stem}_{:04x}_{c}", rng.gen::<u16>());
+                let cspec = match rng.gen_range(0..4) {
+                    0 => ColumnSpec::IntUniform(0, rng.gen_range(10..5_000)),
+                    1 => ColumnSpec::Uniform(0.0, rng.gen_range(1.0..1_000.0)),
+                    2 => ColumnSpec::Categorical(rng.gen_range(2..20)),
+                    _ => ColumnSpec::Normal(rng.gen_range(-10.0..100.0), rng.gen_range(0.5..20.0)),
+                };
+                spec = spec.column(col.clone(), cspec);
+                cols.push(col);
+            }
+            specs.push(spec);
+            table_names.push(name);
+            table_columns.push(cols);
+        }
+        users.push(UserSchema { user_id, table_names, table_columns });
+    }
+    (Catalog::generate(&specs, seed ^ 0xD1CE), users)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdss_catalog_has_expected_tables() {
+        let cat = sdss_catalog(Scale(0.02), 1);
+        for t in ["PhotoObj", "PhotoTag", "SpecObj", "SpecPhoto", "Galaxy", "Jobs", "Servers"] {
+            assert!(cat.get(t).is_some(), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn scale_changes_row_counts() {
+        let small = sdss_catalog(Scale(0.01), 1);
+        let large = sdss_catalog(Scale(0.1), 1);
+        assert!(large.get("PhotoObj").unwrap().row_count() > small.get("PhotoObj").unwrap().row_count());
+    }
+
+    #[test]
+    fn photoobj_and_spectro_ratio_preserved() {
+        let cat = sdss_catalog(Scale(0.05), 2);
+        let photo = cat.get("PhotoObj").unwrap().row_count();
+        let spec = cat.get("SpecObj").unwrap().row_count();
+        assert!(photo > 5 * spec, "PhotoObj ({photo}) should dwarf SpecObj ({spec})");
+    }
+
+    #[test]
+    fn sqlshare_users_have_private_tables() {
+        let (cat, users) = sqlshare_catalog(10, Scale(0.2), 3);
+        assert_eq!(users.len(), 10);
+        for u in &users {
+            assert!(!u.table_names.is_empty());
+            for t in &u.table_names {
+                assert!(cat.get(t).is_some(), "missing user table {t}");
+                assert!(t.starts_with(&format!("u{}_", u.user_id)));
+            }
+        }
+    }
+
+    #[test]
+    fn sqlshare_schemas_differ_between_users() {
+        let (_, users) = sqlshare_catalog(20, Scale(0.1), 4);
+        let a: std::collections::BTreeSet<_> = users[0].table_columns.concat().into_iter().collect();
+        let b: std::collections::BTreeSet<_> = users[1].table_columns.concat().into_iter().collect();
+        assert_ne!(a, b, "independent users should draw different columns");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (c1, u1) = sqlshare_catalog(5, Scale(0.1), 9);
+        let (c2, u2) = sqlshare_catalog(5, Scale(0.1), 9);
+        assert_eq!(c1.len(), c2.len());
+        assert_eq!(u1.len(), u2.len());
+        for (a, b) in u1.iter().zip(&u2) {
+            assert_eq!(a.table_names, b.table_names);
+        }
+    }
+}

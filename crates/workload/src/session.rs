@@ -1,0 +1,266 @@
+//! Session simulation and identification.
+//!
+//! The paper (following Raddick et al. and Szalay et al.) defines a session
+//! as "an ordered sequence of hits from a single IP address, such that the
+//! gaps between hits in the sequence is no longer than 30 minutes". We
+//! simulate agents emitting hit streams, then *re-identify* sessions with
+//! exactly that rule — the generator and the identifier are independent
+//! code paths, and their agreement is property-tested.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::labels::{Hit, SessionClass};
+use crate::templates::sdss_statement;
+
+/// The 30-minute session gap, in seconds.
+pub const SESSION_GAP_SECONDS: f64 = 30.0 * 60.0;
+
+/// Mixture weights for session classes, tuned to the paper's Table 4 /
+/// Figure 6b empirical distribution (no_web_hit 44.8%, bot 26.1%,
+/// browser 20.4%, program 7.9%, anonymous 0.76%, unknown 0.07%, admin ~0).
+pub fn class_weights() -> [(SessionClass, f64); 7] {
+    [
+        (SessionClass::NoWebHit, 0.4478),
+        (SessionClass::Unknown, 0.0007),
+        (SessionClass::Bot, 0.2613),
+        (SessionClass::Admin, 0.0004),
+        (SessionClass::Program, 0.0790),
+        (SessionClass::Anonymous, 0.0076),
+        (SessionClass::Browser, 0.2032),
+    ]
+}
+
+fn sample_class(rng: &mut StdRng) -> SessionClass {
+    let total: f64 = class_weights().iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (c, w) in class_weights() {
+        if x < w {
+            return c;
+        }
+        x -= w;
+    }
+    SessionClass::Browser
+}
+
+/// Typical per-class session length (number of SQL hits) and intra-session
+/// think time. Bots and programs fire long mechanical bursts; browsers are
+/// short interactive bursts.
+fn session_shape(class: SessionClass) -> (f64 /* mean hits */, f64 /* mean gap s */) {
+    match class {
+        SessionClass::Bot => (20.0, 5.0),
+        SessionClass::Admin => (10.0, 60.0),
+        SessionClass::Program => (15.0, 20.0),
+        SessionClass::Browser => (4.0, 120.0),
+        SessionClass::NoWebHit => (3.0, 300.0),
+        SessionClass::Anonymous => (2.0, 90.0),
+        SessionClass::Unknown => (3.0, 100.0),
+    }
+}
+
+/// Draw from a geometric-ish distribution with the given mean (≥ 1).
+fn draw_count(mean: f64, rng: &mut StdRng) -> usize {
+    let p = 1.0 / mean.max(1.0);
+    let mut n = 1usize;
+    while n < 500 && !rng.gen_bool(p) {
+        n += 1;
+    }
+    n
+}
+
+/// Exponential inter-arrival with the given mean, truncated below the
+/// session gap so generated sessions never self-split.
+fn draw_gap(mean: f64, rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-u.ln() * mean).min(SESSION_GAP_SECONDS * 0.9)
+}
+
+/// A generated session with ground truth attached.
+#[derive(Debug, Clone)]
+pub struct GeneratedSession {
+    pub class: SessionClass,
+    pub hits: Vec<Hit>,
+}
+
+/// Simulate `n_sessions` sessions' worth of SQL hits.
+///
+/// Each session gets its own IP; session start times are spread over a
+/// simulated year so that distinct sessions from the same IP pool don't
+/// merge. (The real logs have IP reuse — we also reuse a small fraction of
+/// IPs with start times far apart, to exercise the splitter.)
+pub fn simulate_sessions(n_sessions: usize, seed: u64) -> Vec<GeneratedSession> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_sessions);
+    for s in 0..n_sessions {
+        let class = sample_class(&mut rng);
+        let (mean_hits, mean_gap) = session_shape(class);
+        let n_hits = draw_count(mean_hits, &mut rng);
+        // 10% of sessions reuse an earlier IP (far apart in time).
+        let ip = if s > 10 && rng.gen_bool(0.1) {
+            rng.gen_range(0..s as u32)
+        } else {
+            s as u32
+        };
+        let mut t = s as f64 * 3.0 * SESSION_GAP_SECONDS + rng.gen_range(0.0..SESSION_GAP_SECONDS);
+        let mut hits = Vec::with_capacity(n_hits);
+        for _ in 0..n_hits {
+            hits.push(Hit {
+                timestamp: t,
+                ip,
+                statement: sdss_statement(class, &mut rng),
+                agent_class: class,
+            });
+            t += draw_gap(mean_gap, &mut rng);
+        }
+        out.push(GeneratedSession { class, hits });
+    }
+    out
+}
+
+/// An identified session: indices into the original hit slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdentifiedSession {
+    pub hit_indices: Vec<usize>,
+    pub label: SessionClass,
+}
+
+/// Re-identify sessions from a flat hit log using the 30-minute gap rule,
+/// then label each session the way SDSS does (Appendix B.1): majority vote
+/// over the hits' agent classes, except that *any* bot hit marks the whole
+/// session as bot.
+pub fn identify_sessions(hits: &[Hit]) -> Vec<IdentifiedSession> {
+    // Sort hit indices by (ip, timestamp).
+    let mut order: Vec<usize> = (0..hits.len()).collect();
+    order.sort_by(|&a, &b| {
+        hits[a]
+            .ip
+            .cmp(&hits[b].ip)
+            .then(hits[a].timestamp.total_cmp(&hits[b].timestamp))
+    });
+
+    let mut sessions = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut last: Option<(u32, f64)> = None;
+    for idx in order {
+        let h = &hits[idx];
+        let same_session = match last {
+            Some((ip, t)) => ip == h.ip && (h.timestamp - t) <= SESSION_GAP_SECONDS,
+            None => false,
+        };
+        if !same_session && !current.is_empty() {
+            sessions.push(close_session(std::mem::take(&mut current), hits));
+        }
+        current.push(idx);
+        last = Some((h.ip, h.timestamp));
+    }
+    if !current.is_empty() {
+        sessions.push(close_session(current, hits));
+    }
+    sessions
+}
+
+fn close_session(hit_indices: Vec<usize>, hits: &[Hit]) -> IdentifiedSession {
+    // Majority vote with BOT override.
+    let mut counts = [0usize; 7];
+    let mut any_bot = false;
+    for &i in &hit_indices {
+        let c = hits[i].agent_class;
+        counts[c.index()] += 1;
+        any_bot |= c == SessionClass::Bot;
+    }
+    let label = if any_bot {
+        SessionClass::Bot
+    } else {
+        let best = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, n)| **n)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        SessionClass::from_index(best).unwrap_or(SessionClass::Unknown)
+    };
+    IdentifiedSession { hit_indices, label }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_produces_requested_sessions() {
+        let s = simulate_sessions(50, 1);
+        assert_eq!(s.len(), 50);
+        assert!(s.iter().all(|x| !x.hits.is_empty()));
+    }
+
+    #[test]
+    fn identification_recovers_generated_sessions() {
+        let generated = simulate_sessions(100, 2);
+        let all_hits: Vec<Hit> = generated.iter().flat_map(|s| s.hits.clone()).collect();
+        let identified = identify_sessions(&all_hits);
+        // Some IP reuse merges sessions only when they're close in time —
+        // our spacing guarantees they aren't, so counts should match the
+        // number of generated sessions that have distinct (ip, window)s.
+        let total_hits: usize = identified.iter().map(|s| s.hit_indices.len()).sum();
+        assert_eq!(total_hits, all_hits.len(), "every hit lands in exactly one session");
+        assert!(identified.len() >= 95, "over-merged: {}", identified.len());
+        assert!(identified.len() <= 100, "over-split: {}", identified.len());
+    }
+
+    #[test]
+    fn gap_rule_splits_distant_hits() {
+        let mk = |t: f64| Hit {
+            timestamp: t,
+            ip: 1,
+            statement: "SELECT 1".into(),
+            agent_class: SessionClass::Browser,
+        };
+        let hits = vec![mk(0.0), mk(100.0), mk(100.0 + SESSION_GAP_SECONDS + 1.0)];
+        let sessions = identify_sessions(&hits);
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].hit_indices.len(), 2);
+        assert_eq!(sessions[1].hit_indices.len(), 1);
+    }
+
+    #[test]
+    fn bot_override_wins_majority_vote() {
+        let mk = |class: SessionClass| Hit {
+            timestamp: 0.0,
+            ip: 1,
+            statement: "SELECT 1".into(),
+            agent_class: class,
+        };
+        let hits = vec![
+            mk(SessionClass::Browser),
+            mk(SessionClass::Browser),
+            mk(SessionClass::Bot),
+        ];
+        let sessions = identify_sessions(&hits);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].label, SessionClass::Bot);
+    }
+
+    #[test]
+    fn class_mixture_is_roughly_calibrated() {
+        let s = simulate_sessions(3000, 3);
+        let frac = |c: SessionClass| {
+            s.iter().filter(|x| x.class == c).count() as f64 / s.len() as f64
+        };
+        assert!((frac(SessionClass::NoWebHit) - 0.4478).abs() < 0.05);
+        assert!((frac(SessionClass::Bot) - 0.2613).abs() < 0.05);
+        assert!((frac(SessionClass::Browser) - 0.2032).abs() < 0.05);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = simulate_sessions(20, 9);
+        let b = simulate_sessions(20, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.hits.len(), y.hits.len());
+            for (h1, h2) in x.hits.iter().zip(&y.hits) {
+                assert_eq!(h1.statement, h2.statement);
+            }
+        }
+    }
+}

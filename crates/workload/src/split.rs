@@ -1,0 +1,184 @@
+//! Train/validation/test splits for the three problem settings (Table 1).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::labels::WorkloadEntry;
+
+/// Index-based split of a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    pub train: Vec<usize>,
+    pub valid: Vec<usize>,
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    pub fn total(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+}
+
+/// Random 80/10/10 split (Homogeneous Instance and Homogeneous Schema —
+/// the paper splits SDSS and SQLShare "randomly", Table 1).
+pub fn random_split(n: usize, seed: u64) -> Split {
+    split_with_fractions(n, 0.8, 0.1, seed)
+}
+
+/// Random split with explicit train/valid fractions (test gets the rest).
+pub fn split_with_fractions(n: usize, train: f64, valid: f64, seed: u64) -> Split {
+    assert!(train >= 0.0 && valid >= 0.0 && train + valid <= 1.0, "bad fractions");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_train = (n as f64 * train).round() as usize;
+    let n_valid = (n as f64 * valid).round() as usize;
+    let n_train = n_train.min(n);
+    let n_valid = n_valid.min(n - n_train);
+    Split {
+        train: idx[..n_train].to_vec(),
+        valid: idx[n_train..n_train + n_valid].to_vec(),
+        test: idx[n_train + n_valid..].to_vec(),
+    }
+}
+
+/// Split by user (Heterogeneous Schema): whole users land in exactly one
+/// of train/valid/test, "so as to decrease the likelihood of data sharing"
+/// (§6.1). Entries without a user id are dropped.
+pub fn split_by_user(entries: &[WorkloadEntry], train: f64, valid: f64, seed: u64) -> Split {
+    let mut users: Vec<u32> = entries.iter().filter_map(|e| e.user_id).collect();
+    users.sort_unstable();
+    users.dedup();
+    users.shuffle(&mut StdRng::seed_from_u64(seed));
+
+    // Assign users greedily by quota measured in *entries*, so heavy users
+    // don't blow up the train fraction.
+    let n = entries.iter().filter(|e| e.user_id.is_some()).count();
+    let mut per_user: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for e in entries {
+        if let Some(u) = e.user_id {
+            *per_user.entry(u).or_default() += 1;
+        }
+    }
+    let target_train = (n as f64 * train).round() as usize;
+    let target_valid = (n as f64 * valid).round() as usize;
+
+    let mut train_users = std::collections::HashSet::new();
+    let mut valid_users = std::collections::HashSet::new();
+    let mut test_users = std::collections::HashSet::new();
+    let (mut got_train, mut got_valid) = (0usize, 0usize);
+    let n_users = users.len();
+    for (i, u) in users.into_iter().enumerate() {
+        let k = per_user[&u];
+        // Greedy quota fill, but guarantee valid and test each receive at
+        // least one user when there are ≥3 users: a zipf-heavy head can
+        // otherwise exhaust the list before the quotas trip.
+        let remaining = n_users - i;
+        let need_valid = valid_users.is_empty() as usize;
+        let need_test = test_users.is_empty() as usize;
+        if remaining <= need_valid + need_test {
+            if valid_users.is_empty() {
+                valid_users.insert(u);
+                got_valid += k;
+            } else {
+                test_users.insert(u);
+            }
+        } else if got_train < target_train {
+            train_users.insert(u);
+            got_train += k;
+        } else if got_valid < target_valid {
+            valid_users.insert(u);
+            got_valid += k;
+        } else {
+            test_users.insert(u);
+        }
+    }
+
+    let mut split = Split { train: Vec::new(), valid: Vec::new(), test: Vec::new() };
+    for (i, e) in entries.iter().enumerate() {
+        match e.user_id {
+            Some(u) if train_users.contains(&u) => split.train.push(i),
+            Some(u) if valid_users.contains(&u) => split.valid.push(i),
+            Some(u) if test_users.contains(&u) => split.test.push(i),
+            _ => {}
+        }
+    }
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::{ErrorClass, WorkloadEntry};
+
+    fn entry(user: u32) -> WorkloadEntry {
+        WorkloadEntry {
+            statement: format!("SELECT {user}"),
+            error_class: ErrorClass::Success,
+            session_class: None,
+            answer_size: 1.0,
+            cpu_seconds: 0.0,
+            user_id: Some(user),
+        }
+    }
+
+    #[test]
+    fn random_split_partitions() {
+        let s = random_split(1000, 1);
+        assert_eq!(s.total(), 1000);
+        let mut all: Vec<usize> =
+            s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+        assert!((s.train.len() as f64 - 800.0).abs() <= 1.0);
+        assert!((s.valid.len() as f64 - 100.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn random_split_is_seeded() {
+        assert_eq!(random_split(100, 5), random_split(100, 5));
+        assert_ne!(random_split(100, 5), random_split(100, 6));
+    }
+
+    #[test]
+    fn user_split_keeps_users_whole() {
+        let entries: Vec<WorkloadEntry> =
+            (0..30).flat_map(|u| (0..10).map(move |_| entry(u))).collect();
+        let s = split_by_user(&entries, 0.8, 0.07, 3);
+        assert_eq!(s.total(), 300);
+        let users_of = |idxs: &[usize]| -> std::collections::HashSet<u32> {
+            idxs.iter().map(|&i| entries[i].user_id.unwrap()).collect()
+        };
+        let (tr, va, te) = (users_of(&s.train), users_of(&s.valid), users_of(&s.test));
+        assert!(tr.is_disjoint(&va));
+        assert!(tr.is_disjoint(&te));
+        assert!(va.is_disjoint(&te));
+        assert!(!te.is_empty());
+    }
+
+    #[test]
+    fn user_split_never_leaves_test_empty() {
+        // A zipf-heavy head used to exhaust the quota before test got
+        // anyone; the split must still produce non-empty valid and test.
+        let entries: Vec<WorkloadEntry> = (0..10u32)
+            .flat_map(|u| {
+                let n = if u == 0 { 400 } else { 10 };
+                (0..n).map(move |_| entry(u))
+            })
+            .collect();
+        for seed in 0..10 {
+            let s = split_by_user(&entries, 0.8, 0.07, seed);
+            assert!(!s.test.is_empty(), "seed {seed}: empty test");
+            assert!(!s.valid.is_empty(), "seed {seed}: empty valid");
+            assert!(!s.train.is_empty(), "seed {seed}: empty train");
+        }
+    }
+
+    #[test]
+    fn tiny_split_does_not_panic() {
+        let s = random_split(3, 1);
+        assert_eq!(s.total(), 3);
+        let s0 = random_split(0, 1);
+        assert_eq!(s0.total(), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for session identification and the extraction
+//! pipeline invariants.
+
+use proptest::prelude::*;
+use sqlan_workload::{
+    identify_sessions, repetition_histogram, split_with_fractions, Hit, SessionClass,
+    SESSION_GAP_SECONDS,
+};
+
+fn mk_hit(t: f64, ip: u32, class: SessionClass) -> Hit {
+    Hit { timestamp: t, ip, statement: format!("SELECT {t}"), agent_class: class }
+}
+
+proptest! {
+    /// Identification partitions the hit set: every hit in exactly one
+    /// session, sessions non-empty.
+    #[test]
+    fn identification_is_a_partition(
+        times in prop::collection::vec(0.0f64..500_000.0, 1..60),
+        ips in prop::collection::vec(0u32..5, 1..60),
+    ) {
+        let n = times.len().min(ips.len());
+        let hits: Vec<Hit> = (0..n)
+            .map(|i| mk_hit(times[i], ips[i], SessionClass::Browser))
+            .collect();
+        let sessions = identify_sessions(&hits);
+        let mut seen = vec![false; n];
+        for s in &sessions {
+            prop_assert!(!s.hit_indices.is_empty());
+            for &i in &s.hit_indices {
+                prop_assert!(!seen[i], "hit {} assigned twice", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b), "all hits assigned");
+    }
+
+    /// Within one identified session: single IP, time-sorted, gaps ≤ 30min.
+    /// Across consecutive sessions of the same IP: gap > 30min.
+    #[test]
+    fn gap_rule_holds(
+        times in prop::collection::vec(0.0f64..1_000_000.0, 1..80),
+        ip_count in 1u32..4,
+    ) {
+        let hits: Vec<Hit> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| mk_hit(t, i as u32 % ip_count, SessionClass::Program))
+            .collect();
+        let sessions = identify_sessions(&hits);
+        for s in &sessions {
+            let ip = hits[s.hit_indices[0]].ip;
+            for w in s.hit_indices.windows(2) {
+                prop_assert_eq!(hits[w[0]].ip, ip);
+                prop_assert_eq!(hits[w[1]].ip, ip);
+                let gap = hits[w[1]].timestamp - hits[w[0]].timestamp;
+                prop_assert!(gap >= 0.0, "sorted within session");
+                prop_assert!(gap <= SESSION_GAP_SECONDS, "gap rule inside session");
+            }
+        }
+        // Consecutive sessions on the same IP are separated by > gap.
+        for a in 0..sessions.len() {
+            for b in 0..sessions.len() {
+                if a == b { continue; }
+                let (sa, sb) = (&sessions[a], &sessions[b]);
+                let ip_a = hits[sa.hit_indices[0]].ip;
+                let ip_b = hits[sb.hit_indices[0]].ip;
+                if ip_a != ip_b { continue; }
+                let last_a = hits[*sa.hit_indices.last().unwrap()].timestamp;
+                let first_b = hits[sb.hit_indices[0]].timestamp;
+                if first_b >= last_a {
+                    prop_assert!(
+                        first_b - last_a > SESSION_GAP_SECONDS,
+                        "distinct sessions of one IP must be > 30min apart"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Bot override: any session containing a bot hit is labeled bot.
+    #[test]
+    fn bot_always_wins(classes in prop::collection::vec(0usize..7, 1..20)) {
+        let hits: Vec<Hit> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| mk_hit(i as f64, 0, SessionClass::from_index(c).unwrap()))
+            .collect();
+        let sessions = identify_sessions(&hits);
+        prop_assert_eq!(sessions.len(), 1);
+        let has_bot = classes.contains(&SessionClass::Bot.index());
+        if has_bot {
+            prop_assert_eq!(sessions[0].label, SessionClass::Bot);
+        }
+    }
+
+    /// The repetition histogram conserves mass.
+    #[test]
+    fn repetition_histogram_conserves(reps in prop::collection::vec(1u32..3000, 0..200)) {
+        let h = repetition_histogram(&reps);
+        let total: usize = h.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(total, reps.len());
+    }
+
+    /// Splits partition indices for any fractions.
+    #[test]
+    fn split_partitions(n in 0usize..500, train in 0.0f64..0.9, valid in 0.0f64..0.1) {
+        let s = split_with_fractions(n, train, valid, 3);
+        let mut all: Vec<usize> =
+            s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}

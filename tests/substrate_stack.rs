@@ -1,0 +1,136 @@
+//! Integration across the substrate crates: the parser, property
+//! extractor, engine, and workload layers must agree with each other on
+//! shared invariants.
+
+use sqlan_engine::{CostCounter, Database, ErrorClass};
+use sqlan_sql::{extract_props, parse, Statement};
+use sqlan_workload::{
+    build_sdss, sdss_database, sdss_statement, PropsMatrix, Scale, SdssConfig, SessionClass,
+};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every statement the SDSS generator emits either parses, or is labeled
+/// severe by the engine — never a crash, never a disagreement.
+#[test]
+fn generator_parser_engine_agree_on_severity() {
+    let cfg = SdssConfig { n_sessions: 1, scale: Scale(0.01), seed: 1 };
+    let db = sdss_database(cfg);
+    let mut rng = StdRng::seed_from_u64(77);
+    for i in 0..400 {
+        let class = SessionClass::ALL[i % 7];
+        let stmt = sdss_statement(class, &mut rng);
+        let parsed = parse(&stmt);
+        let outcome = db.submit(&stmt);
+        match outcome.error_class {
+            ErrorClass::Severe => {
+                // Severe ⇒ rejected before execution: parse error or
+                // unterminated literal.
+                assert!(
+                    parsed.result.is_err() || !parsed.lex_report.is_clean(),
+                    "severe statement should be a portal rejection: {stmt}"
+                );
+            }
+            _ => {
+                assert!(parsed.result.is_ok(), "executed statement must parse: {stmt}");
+            }
+        }
+    }
+}
+
+/// The workload pipeline's labels match a fresh execution of the same
+/// statement (single database version ⇒ labels are reproducible).
+#[test]
+fn workload_labels_match_reexecution() {
+    let cfg = SdssConfig { n_sessions: 120, scale: Scale(0.02), seed: 5 };
+    let w = build_sdss(cfg);
+    let db = sdss_database(cfg);
+    for e in w.entries.iter().take(60) {
+        let out = db.submit(&e.statement);
+        assert_eq!(out.error_class, e.error_class, "{}", e.statement);
+        assert_eq!(out.answer_size as f64, e.answer_size, "{}", e.statement);
+        assert!((out.cpu_seconds - e.cpu_seconds).abs() < 1e-12, "{}", e.statement);
+    }
+}
+
+/// Structural properties correlate with execution cost: queries with more
+/// joins+functions+nesting cost more CPU on average.
+#[test]
+fn complexity_correlates_with_cost() {
+    let cfg = SdssConfig { n_sessions: 400, scale: Scale(0.02), seed: 6 };
+    let w = build_sdss(cfg);
+    let props = PropsMatrix::extract(&w.entries);
+    let (mut cheap, mut cheap_n) = (0.0f64, 0u32);
+    let (mut dear, mut dear_n) = (0.0f64, 0u32);
+    for (p, e) in props.props.iter().zip(&w.entries) {
+        if e.error_class != ErrorClass::Success {
+            continue;
+        }
+        let complexity = p.num_joins + p.num_functions + p.nestedness_level;
+        if complexity == 0 {
+            cheap += e.cpu_seconds;
+            cheap_n += 1;
+        } else {
+            dear += e.cpu_seconds;
+            dear_n += 1;
+        }
+    }
+    assert!(cheap_n > 10 && dear_n > 10, "both cohorts populated");
+    let cheap_avg = cheap / cheap_n as f64;
+    let dear_avg = dear / dear_n as f64;
+    assert!(
+        dear_avg > cheap_avg,
+        "complex queries should cost more: {dear_avg} vs {cheap_avg}"
+    );
+}
+
+/// The paper's Figure 8 claim: no_web_hit queries are textually the most
+/// complex class; bots the least.
+#[test]
+fn session_class_complexity_ordering() {
+    let cfg = SdssConfig { n_sessions: 500, scale: Scale(0.02), seed: 7 };
+    let w = build_sdss(cfg);
+    let avg_chars = |class: SessionClass| -> f64 {
+        let xs: Vec<f64> = w
+            .entries
+            .iter()
+            .filter(|e| e.session_class == Some(class))
+            .map(|e| e.statement.chars().count() as f64)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    };
+    let bot = avg_chars(SessionClass::Bot);
+    let nwh = avg_chars(SessionClass::NoWebHit);
+    assert!(nwh > bot * 1.5, "no_web_hit ({nwh:.0}) ≫ bot ({bot:.0})");
+}
+
+/// Engine cost accounting and the optimizer estimate rank table scans the
+/// same way even though their absolute values differ (the `opt` premise).
+#[test]
+fn estimates_rank_scans_like_execution() {
+    let cfg = SdssConfig { n_sessions: 1, scale: Scale(0.05), seed: 8 };
+    let db: Database = sdss_database(cfg);
+    let small = "SELECT * FROM Field";
+    let large = "SELECT * FROM PhotoObj";
+    let mut c1 = CostCounter::default();
+    let mut c2 = CostCounter::default();
+    let q = |s: &str| match sqlan_sql::parse_script(s).unwrap().statements.remove(0) {
+        Statement::Select(q) => q,
+        _ => unreachable!(),
+    };
+    db.run_query(&q(small), &mut c1).unwrap();
+    db.run_query(&q(large), &mut c2).unwrap();
+    assert!(c2.units() > c1.units());
+    let e1 = db.estimate(small).unwrap();
+    let e2 = db.estimate(large).unwrap();
+    assert!(e2.total_cost > e1.total_cost);
+}
+
+/// Property extraction is cheap enough to run over whole workloads and is
+/// stable across identical statements.
+#[test]
+fn props_are_pure() {
+    let s = "SELECT a, count(*) FROM t INNER JOIN u ON t.i = u.i GROUP BY a HAVING count(*) > 2";
+    assert_eq!(extract_props(s), extract_props(s));
+}
