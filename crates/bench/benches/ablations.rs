@@ -10,7 +10,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use sqlan_core::prelude::*;
 
 fn small_workload() -> (Workload, sqlan_workload::Split) {
-    let w = build_sdss(SdssConfig { n_sessions: 250, scale: Scale(0.02), seed: 13 });
+    let w = build_sdss(SdssConfig {
+        n_sessions: 250,
+        scale: Scale(0.02),
+        seed: 13,
+    });
     let s = random_split(w.len(), 13);
     (w, s)
 }
@@ -19,9 +23,19 @@ fn small_workload() -> (Workload, sqlan_workload::Split) {
 /// timing the char variant (cost: longer sequences).
 fn ablation_granularity(c: &mut Criterion) {
     let (w, s) = small_workload();
-    let cfg = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::tiny()
+    };
     for kind in [ModelKind::CCnn, ModelKind::WCnn] {
-        let exp = run_experiment(&w, Problem::ErrorClassification, s.clone(), &[kind], &cfg, None);
+        let exp = run_experiment(
+            &w,
+            Problem::ErrorClassification,
+            s.clone(),
+            &[kind],
+            &cfg,
+            None,
+        );
         let e = exp.runs[0].classification.as_ref().unwrap();
         eprintln!(
             "[ablation_granularity] {}: loss {:.4}, accuracy {:.4}",
@@ -49,7 +63,11 @@ fn ablation_granularity(c: &mut Criterion) {
 fn ablation_seqlen(c: &mut Criterion) {
     let (w, s) = small_workload();
     for max_len in [40usize, 80, 160] {
-        let cfg = TrainConfig { epochs: 1, max_len_char: max_len, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            max_len_char: max_len,
+            ..TrainConfig::tiny()
+        };
         let exp = run_experiment(
             &w,
             Problem::ErrorClassification,
@@ -64,8 +82,16 @@ fn ablation_seqlen(c: &mut Criterion) {
             e.loss, e.accuracy
         );
     }
-    let cfg40 = TrainConfig { epochs: 1, max_len_char: 40, ..TrainConfig::tiny() };
-    let cfg160 = TrainConfig { epochs: 1, max_len_char: 160, ..TrainConfig::tiny() };
+    let cfg40 = TrainConfig {
+        epochs: 1,
+        max_len_char: 40,
+        ..TrainConfig::tiny()
+    };
+    let cfg160 = TrainConfig {
+        epochs: 1,
+        max_len_char: 160,
+        ..TrainConfig::tiny()
+    };
     c.bench_function("train_ccnn_seq40", |b| {
         b.iter(|| {
             run_experiment(
@@ -96,7 +122,11 @@ fn ablation_seqlen(c: &mut Criterion) {
 fn ablation_depth(c: &mut Criterion) {
     let (w, s) = small_workload();
     for depth in [1usize, 3] {
-        let cfg = TrainConfig { epochs: 1, lstm_depth: depth, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            lstm_depth: depth,
+            ..TrainConfig::tiny()
+        };
         let exp = run_experiment(
             &w,
             Problem::ErrorClassification,
@@ -111,7 +141,11 @@ fn ablation_depth(c: &mut Criterion) {
             e.loss, e.accuracy
         );
     }
-    let cfg1 = TrainConfig { epochs: 1, lstm_depth: 1, ..TrainConfig::tiny() };
+    let cfg1 = TrainConfig {
+        epochs: 1,
+        lstm_depth: 1,
+        ..TrainConfig::tiny()
+    };
     c.bench_function("train_clstm_depth1", |b| {
         b.iter(|| {
             run_experiment(

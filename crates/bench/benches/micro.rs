@@ -14,7 +14,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const SIMPLE: &str = "SELECT * FROM PhotoTag WHERE objId = 0x112d075f80360018";
-const COMPLEX: &str = "SELECT dbo.fGetURLExpid(objid) FROM SpecPhoto WHERE modelmag_u-modelmag_g = \
+const COMPLEX: &str =
+    "SELECT dbo.fGetURLExpid(objid) FROM SpecPhoto WHERE modelmag_u-modelmag_g = \
     (SELECT min(s.modelmag_u-s.modelmag_g) FROM SpecPhoto AS s INNER JOIN PhotoObj AS p \
     ON s.objid=p.objid WHERE s.flags_g=0 OR p.psfmagerr_g<=0.2 AND p.psfmagerr_u<=0.2)";
 
@@ -27,13 +28,21 @@ fn bench_parser(c: &mut Criterion) {
 }
 
 fn bench_engine(c: &mut Criterion) {
-    let cfg = SdssConfig { n_sessions: 1, scale: Scale(0.05), seed: 1 };
+    let cfg = SdssConfig {
+        n_sessions: 1,
+        scale: Scale(0.05),
+        seed: 1,
+    };
     let db = sdss_database(cfg);
     c.bench_function("execute_point_lookup", |b| {
         b.iter(|| db.submit(black_box("SELECT * FROM PhotoTag WHERE objid = 1234")))
     });
     c.bench_function("execute_aggregate", |b| {
-        b.iter(|| db.submit(black_box("SELECT type, count(*) FROM PhotoObj GROUP BY type")))
+        b.iter(|| {
+            db.submit(black_box(
+                "SELECT type, count(*) FROM PhotoObj GROUP BY type",
+            ))
+        })
     });
     c.bench_function("execute_hash_join", |b| {
         b.iter(|| {
@@ -45,8 +54,12 @@ fn bench_engine(c: &mut Criterion) {
 }
 
 fn bench_features(c: &mut Criterion) {
-    c.bench_function("char_tokens_complex", |b| b.iter(|| char_tokens(black_box(COMPLEX))));
-    c.bench_function("word_tokens_complex", |b| b.iter(|| word_tokens(black_box(COMPLEX))));
+    c.bench_function("char_tokens_complex", |b| {
+        b.iter(|| char_tokens(black_box(COMPLEX)))
+    });
+    c.bench_function("word_tokens_complex", |b| {
+        b.iter(|| word_tokens(black_box(COMPLEX)))
+    });
 
     let mut rng = StdRng::seed_from_u64(1);
     let corpus: Vec<Vec<String>> = (0..200)
@@ -54,15 +67,24 @@ fn bench_features(c: &mut Criterion) {
         .collect();
     let vectorizer = TfidfVectorizer::fit(&corpus, 3, 5_000);
     let sample = word_tokens(COMPLEX);
-    c.bench_function("tfidf_transform", |b| b.iter(|| vectorizer.transform(black_box(&sample))));
+    c.bench_function("tfidf_transform", |b| {
+        b.iter(|| vectorizer.transform(black_box(&sample)))
+    });
 }
 
 fn bench_inference(c: &mut Criterion) {
     // Train small models once, then benchmark single-statement inference —
     // the per-keystroke latency an interactive composition aid pays.
-    let workload = build_sdss(SdssConfig { n_sessions: 200, scale: Scale(0.02), seed: 2 });
+    let workload = build_sdss(SdssConfig {
+        n_sessions: 200,
+        scale: Scale(0.02),
+        seed: 2,
+    });
     let split = random_split(workload.len(), 1);
-    let cfg = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::tiny()
+    };
     let exp = run_experiment(
         &workload,
         Problem::ErrorClassification,
@@ -74,7 +96,9 @@ fn bench_inference(c: &mut Criterion) {
     for run in &exp.runs {
         let name = format!("infer_{}", run.kind.name());
         let model = &run.model;
-        c.bench_function(&name, |b| b.iter(|| model.predict_proba(black_box(COMPLEX))));
+        c.bench_function(&name, |b| {
+            b.iter(|| model.predict_proba(black_box(COMPLEX)))
+        });
     }
 }
 

@@ -68,9 +68,22 @@ fn main() {
     let a = print_panel("Figure 12a: CPU time MSE by session class", &cpu, &workload);
 
     eprintln!("[fig12] answer size...");
-    let ans =
-        run_experiment(&workload, Problem::AnswerSize, split, &regression_models(), &cfg, None);
-    let b = print_panel("Figure 12b: answer size MSE by session class", &ans, &workload);
+    let ans = run_experiment(
+        &workload,
+        Problem::AnswerSize,
+        split,
+        &regression_models(),
+        &cfg,
+        None,
+    );
+    let b = print_panel(
+        "Figure 12b: answer size MSE by session class",
+        &ans,
+        &workload,
+    );
 
-    save_json("fig12", &serde_json::json!({"cpu_time": a, "answer_size": b}));
+    save_json(
+        "fig12",
+        &serde_json::json!({"cpu_time": a, "answer_size": b}),
+    );
 }

@@ -6,7 +6,9 @@
 //! Fig. 14: CPU-time error vs #characters and nestedness across all three
 //! problem settings (error grows with heterogeneity).
 
-use sqlan_bench::{f, regression_models, regression_models_with_opt, save_json, Harness, TablePrinter};
+use sqlan_bench::{
+    f, regression_models, regression_models_with_opt, save_json, Harness, TablePrinter,
+};
 use sqlan_core::prelude::*;
 use sqlan_metrics::squared_error;
 use sqlan_sql::{extract_props, StructuralProps};
@@ -52,7 +54,13 @@ fn breakdown(
         .map(|b| {
             let mse: Vec<f64> = sums[b]
                 .iter()
-                .map(|s| if counts[b] > 0 { s / counts[b] as f64 } else { f64::NAN })
+                .map(|s| {
+                    if counts[b] > 0 {
+                        s / counts[b] as f64
+                    } else {
+                        f64::NAN
+                    }
+                })
                 .collect();
             (names(b), mse, counts[b])
         })
@@ -84,8 +92,11 @@ fn main() {
     // ---- Figure 13: answer size on SDSS -----------------------------
     eprintln!("[fig13_14] SDSS workload + answer-size models...");
     let sdss = h.sdss_workload();
-    let props: Vec<StructuralProps> =
-        sdss.entries.iter().map(|e| extract_props(&e.statement)).collect();
+    let props: Vec<StructuralProps> = sdss
+        .entries
+        .iter()
+        .map(|e| extract_props(&e.statement))
+        .collect();
     let split = random_split(sdss.len(), h.seed);
     let ans = run_experiment(
         &sdss,
@@ -101,35 +112,73 @@ fn main() {
     });
     out.insert(
         "fig13a_by_chars".into(),
-        print_breakdown("Figure 13a: answer-size squared error by #characters", &ans, &by_chars)
-            .into(),
+        print_breakdown(
+            "Figure 13a: answer-size squared error by #characters",
+            &ans,
+            &by_chars,
+        )
+        .into(),
     );
     let by_fns = breakdown(&ans, &props, 4, |p| p.num_functions.min(3) as usize, &|b| {
-        if b < 3 { b.to_string() } else { "≥3".into() }
+        if b < 3 {
+            b.to_string()
+        } else {
+            "≥3".into()
+        }
     });
     out.insert(
         "fig13b_by_functions".into(),
-        print_breakdown("Figure 13b: answer-size squared error by #functions", &ans, &by_fns)
-            .into(),
+        print_breakdown(
+            "Figure 13b: answer-size squared error by #functions",
+            &ans,
+            &by_fns,
+        )
+        .into(),
     );
     let by_joins = breakdown(&ans, &props, 3, |p| p.num_joins.min(2) as usize, &|b| {
-        if b < 2 { b.to_string() } else { "≥2".into() }
+        if b < 2 {
+            b.to_string()
+        } else {
+            "≥2".into()
+        }
     });
     out.insert(
         "fig13c_by_joins".into(),
-        print_breakdown("Figure 13c: answer-size squared error by #joins", &ans, &by_joins)
-            .into(),
+        print_breakdown(
+            "Figure 13c: answer-size squared error by #joins",
+            &ans,
+            &by_joins,
+        )
+        .into(),
     );
-    let by_nest = breakdown(&ans, &props, 4, |p| p.nestedness_level.min(3) as usize, &|b| {
-        if b < 3 { b.to_string() } else { "≥3".into() }
-    });
+    let by_nest = breakdown(
+        &ans,
+        &props,
+        4,
+        |p| p.nestedness_level.min(3) as usize,
+        &|b| {
+            if b < 3 {
+                b.to_string()
+            } else {
+                "≥3".into()
+            }
+        },
+    );
     out.insert(
         "fig13d_by_nestedness".into(),
-        print_breakdown("Figure 13d: answer-size squared error by nestedness", &ans, &by_nest)
-            .into(),
+        print_breakdown(
+            "Figure 13d: answer-size squared error by nestedness",
+            &ans,
+            &by_nest,
+        )
+        .into(),
     );
     let by_nagg = breakdown(&ans, &props, 2, |p| p.nested_aggregation as usize, &|b| {
-        if b == 0 { "false".into() } else { "true".into() }
+        if b == 0 {
+            "false".into()
+        } else {
+            "true".into()
+        }
     });
     out.insert(
         "fig13e_by_nested_aggregation".into(),
@@ -143,8 +192,14 @@ fn main() {
 
     // ---- Figure 14: CPU time across the three settings ---------------
     eprintln!("[fig13_14] CPU time, Homogeneous Instance...");
-    let cpu_hi =
-        run_experiment(&sdss, Problem::CpuTime, split, &regression_models(), &cfg, None);
+    let cpu_hi = run_experiment(
+        &sdss,
+        Problem::CpuTime,
+        split,
+        &regression_models(),
+        &cfg,
+        None,
+    );
     let hi_chars = breakdown(&cpu_hi, &props, 6, |p| char_bucket(p.num_chars), &|b| {
         CHAR_BUCKET_NAMES[b].to_string()
     });
@@ -157,9 +212,19 @@ fn main() {
         )
         .into(),
     );
-    let hi_nest = breakdown(&cpu_hi, &props, 4, |p| p.nestedness_level.min(3) as usize, &|b| {
-        if b < 3 { b.to_string() } else { "≥3".into() }
-    });
+    let hi_nest = breakdown(
+        &cpu_hi,
+        &props,
+        4,
+        |p| p.nestedness_level.min(3) as usize,
+        &|b| {
+            if b < 3 {
+                b.to_string()
+            } else {
+                "≥3".into()
+            }
+        },
+    );
     out.insert(
         "fig14b_hi_by_nestedness".into(),
         print_breakdown(
@@ -172,8 +237,11 @@ fn main() {
 
     eprintln!("[fig13_14] CPU time, SQLShare settings...");
     let share = h.sqlshare_workload();
-    let share_props: Vec<StructuralProps> =
-        share.entries.iter().map(|e| extract_props(&e.statement)).collect();
+    let share_props: Vec<StructuralProps> = share
+        .entries
+        .iter()
+        .map(|e| extract_props(&e.statement))
+        .collect();
     let db = h.sqlshare_db();
     for (key, title, split) in [
         (
@@ -199,10 +267,19 @@ fn main() {
             CHAR_BUCKET_NAMES[b].to_string()
         });
         let chars_json = print_breakdown(&format!("{title} by #characters"), &exp, &by_chars);
-        let by_nest =
-            breakdown(&exp, &share_props, 4, |p| p.nestedness_level.min(3) as usize, &|b| {
-                if b < 3 { b.to_string() } else { "≥3".into() }
-            });
+        let by_nest = breakdown(
+            &exp,
+            &share_props,
+            4,
+            |p| p.nestedness_level.min(3) as usize,
+            &|b| {
+                if b < 3 {
+                    b.to_string()
+                } else {
+                    "≥3".into()
+                }
+            },
+        );
         let nest_json = print_breakdown(&format!("{title} by nestedness"), &exp, &by_nest);
         out.insert(
             key.into(),

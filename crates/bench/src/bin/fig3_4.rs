@@ -34,14 +34,16 @@ fn report(title: &str, workload: &Workload) -> Vec<serde_json::Value> {
 
     // §4.3.1 headline shares.
     let n = workload.len() as f64;
-    let joins =
-        props.props.iter().filter(|p| p.num_joins > 0).count() as f64 / n * 100.0;
-    let multi_table =
-        props.props.iter().filter(|p| p.num_tables > 1).count() as f64 / n * 100.0;
-    let nested =
-        props.props.iter().filter(|p| p.nestedness_level > 0).count() as f64 / n * 100.0;
-    let nested_agg =
-        props.props.iter().filter(|p| p.nested_aggregation).count() as f64 / n * 100.0;
+    let joins = props.props.iter().filter(|p| p.num_joins > 0).count() as f64 / n * 100.0;
+    let multi_table = props.props.iter().filter(|p| p.num_tables > 1).count() as f64 / n * 100.0;
+    let nested = props
+        .props
+        .iter()
+        .filter(|p| p.nestedness_level > 0)
+        .count() as f64
+        / n
+        * 100.0;
+    let nested_agg = props.props.iter().filter(|p| p.nested_aggregation).count() as f64 / n * 100.0;
     println!(
         "queries with ≥1 join operator: {joins:.2}%; accessing >1 table: {multi_table:.2}%; \
          nested: {nested:.2}%; nested with aggregation: {nested_agg:.2}%"
@@ -57,7 +59,9 @@ fn report(title: &str, workload: &Workload) -> Vec<serde_json::Value> {
 
 fn main() {
     let h = Harness::from_env();
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "both".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "both".to_string());
 
     let mut out = serde_json::Map::new();
     if arg == "sdss" || arg == "both" {
@@ -65,7 +69,10 @@ fn main() {
         let w = h.sdss_workload();
         out.insert(
             "fig3_sdss".into(),
-            serde_json::Value::Array(report("Figure 3: structural properties of SDSS query statements", &w)),
+            serde_json::Value::Array(report(
+                "Figure 3: structural properties of SDSS query statements",
+                &w,
+            )),
         );
     }
     if arg == "sqlshare" || arg == "both" {

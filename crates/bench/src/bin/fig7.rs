@@ -39,9 +39,14 @@ fn main() {
     eprintln!("[fig7] building workloads...");
     let sdss = h.sdss_workload();
     let share = h.sqlshare_workload();
-    let a = print_matrix("Figure 7a: correlation matrix of structural properties (SDSS)", &sdss);
-    let b =
-        print_matrix("Figure 7b: correlation matrix of structural properties (SQLShare)", &share);
+    let a = print_matrix(
+        "Figure 7a: correlation matrix of structural properties (SDSS)",
+        &sdss,
+    );
+    let b = print_matrix(
+        "Figure 7b: correlation matrix of structural properties (SQLShare)",
+        &share,
+    );
 
     // The §4.4.2 observation: #chars correlates with #words strongly.
     println!(

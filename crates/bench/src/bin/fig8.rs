@@ -37,10 +37,14 @@ fn main() {
     let a = panel("Figure 8a: answer size by session class", &w, |e| {
         (e.answer_size >= 0.0).then_some(e.answer_size)
     });
-    let b = panel("Figure 8b: CPU time by session class", &w, |e| Some(e.cpu_seconds));
-    let c = panel("Figure 8c: number of characters by session class", &w, |e| {
-        Some(extract_props(&e.statement).num_chars as f64)
+    let b = panel("Figure 8b: CPU time by session class", &w, |e| {
+        Some(e.cpu_seconds)
     });
+    let c = panel(
+        "Figure 8c: number of characters by session class",
+        &w,
+        |e| Some(extract_props(&e.statement).num_chars as f64),
+    );
     let d = panel("Figure 8d: number of words by session class", &w, |e| {
         Some(extract_props(&e.statement).num_words as f64)
     });

@@ -9,7 +9,10 @@ use sqlan_engine::ErrorClass;
 fn main() {
     let h = Harness::from_env();
     let cfg = h.train_config();
-    eprintln!("[table2] building SDSS workload ({} sessions)...", h.sdss_sessions);
+    eprintln!(
+        "[table2] building SDSS workload ({} sessions)...",
+        h.sdss_sessions
+    );
     let workload = h.sdss_workload();
     let split = random_split(workload.len(), h.seed);
 
@@ -25,14 +28,29 @@ fn main() {
     );
 
     let mut t = TablePrinter::new(&[
-        "Model", "v", "p", "Accuracy", "Fsevere", "Fsuccess", "Fnon_severe", "Loss",
+        "Model",
+        "v",
+        "p",
+        "Accuracy",
+        "Fsevere",
+        "Fsuccess",
+        "Fnon_severe",
+        "Loss",
     ]);
     for r in &cls.runs {
         let c = r.classification.as_ref().expect("classification eval");
         t.row(vec![
-            if r.kind == ModelKind::MFreq { "baseline".into() } else { r.kind.name().into() },
-            r.vocab_size.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
-            r.n_parameters.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            if r.kind == ModelKind::MFreq {
+                "baseline".into()
+            } else {
+                r.kind.name().into()
+            },
+            r.vocab_size
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.n_parameters
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
             f(c.accuracy),
             f(c.per_class[ErrorClass::Severe.index()].f_measure),
             f(c.per_class[ErrorClass::Success.index()].f_measure),
@@ -43,8 +61,11 @@ fn main() {
     t.print("Table 2 (left): query error classification, Homogeneous Instance (SDSS)");
 
     // Class supports, as the caption reports.
-    let test_labels: Vec<usize> =
-        split.test.iter().map(|&i| cls.dataset.class_labels[i]).collect();
+    let test_labels: Vec<usize> = split
+        .test
+        .iter()
+        .map(|&i| cls.dataset.class_labels[i])
+        .collect();
     let mut support = [0usize; 3];
     for &l in &test_labels {
         support[l] += 1;
@@ -80,10 +101,18 @@ fn main() {
         let lc = rc.regression.as_ref().expect("cpu eval");
         let la = ra.regression.as_ref().expect("answer eval");
         t2.row(vec![
-            if rc.kind == ModelKind::Median { "baseline".into() } else { rc.kind.name().into() },
-            rc.n_parameters.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            if rc.kind == ModelKind::Median {
+                "baseline".into()
+            } else {
+                rc.kind.name().into()
+            },
+            rc.n_parameters
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
             f(lc.loss),
-            ra.n_parameters.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            ra.n_parameters
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
             f(la.loss),
         ]);
     }

@@ -29,7 +29,12 @@ fn main() {
         let q = &r.regression.as_ref().expect("regression eval").qerror;
         let mut cells = vec![r.kind.name().to_string()];
         for w in wanted {
-            let v = q.rows.iter().find(|(p, _)| *p == w).map(|(_, v)| *v).unwrap_or(f64::NAN);
+            let v = q
+                .rows
+                .iter()
+                .find(|(p, _)| *p == w)
+                .map(|(_, v)| *v)
+                .unwrap_or(f64::NAN);
             cells.push(QErrorTable::display_value(v, 5e4));
         }
         t.row(cells);

@@ -31,8 +31,12 @@ fn main() {
         let c = r.classification.as_ref().expect("classification eval");
         let mut cells = vec![
             r.kind.name().to_string(),
-            r.vocab_size.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
-            r.n_parameters.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            r.vocab_size
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.n_parameters
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
             f(c.loss),
         ];
         for class in SessionClass::ALL {
@@ -44,8 +48,11 @@ fn main() {
     t.print("Table 4: query session classification, Homogeneous Instance (SDSS)");
 
     // Per-class test supports, as the caption reports.
-    let test_labels: Vec<usize> =
-        split.test.iter().map(|&i| exp.dataset.class_labels[i]).collect();
+    let test_labels: Vec<usize> = split
+        .test
+        .iter()
+        .map(|&i| exp.dataset.class_labels[i])
+        .collect();
     let mut support = [0usize; 7];
     for &l in &test_labels {
         support[l] += 1;

@@ -8,7 +8,10 @@ use sqlan_core::prelude::*;
 fn main() {
     let h = Harness::from_env();
     let cfg = h.train_config();
-    eprintln!("[table5] building SQLShare workload ({} queries)...", h.sqlshare_queries);
+    eprintln!(
+        "[table5] building SQLShare workload ({} queries)...",
+        h.sqlshare_queries
+    );
     let workload = h.sqlshare_workload();
     let db = h.sqlshare_db();
 
@@ -41,8 +44,12 @@ fn main() {
         assert_eq!(a.kind, b.kind);
         t.row(vec![
             a.kind.name().into(),
-            a.vocab_size.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
-            a.n_parameters.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            a.vocab_size
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+            a.n_parameters
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
             f(a.regression.as_ref().expect("eval").loss),
             f(b.regression.as_ref().expect("eval").loss),
         ]);

@@ -8,7 +8,12 @@ use sqlan_metrics::QErrorTable;
 fn qerror_row(name: &str, q: &sqlan_metrics::QErrorTable, wanted: &[f64]) -> Vec<String> {
     let mut cells = vec![name.to_string()];
     for &w in wanted {
-        let v = q.rows.iter().find(|(p, _)| *p == w).map(|(_, v)| *v).unwrap_or(f64::NAN);
+        let v = q
+            .rows
+            .iter()
+            .find(|(p, _)| *p == w)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
         cells.push(QErrorTable::display_value(v, 5e4));
     }
     cells

@@ -1,0 +1,158 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the `bench_function` / `Bencher::iter` surface with plain
+//! wall-clock timing (median of a few batches) instead of criterion's
+//! statistical machinery. Supports both `criterion_group!` forms (plain
+//! target list and `name/config/targets`). Without the `--bench` CLI flag
+//! each benchmark runs one short batch, so bench targets stay
+//! compile-and-smoke-checked cheaply.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    quick: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: false,
+            sample_size: 7,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            batch_ns: Vec::new(),
+            quick: self.quick,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    batch_ns: Vec<f64>,
+    quick: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(f());
+            self.batch_ns.push(start.elapsed().as_nanos() as f64);
+            return;
+        }
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+        }
+        // Measure: batches until sample_size or the time budget runs out.
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.batch_ns.push(start.elapsed().as_nanos() as f64);
+            if measure_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.batch_ns.is_empty() {
+            return;
+        }
+        let mut ns = self.batch_ns.clone();
+        ns.sort_by(f64::total_cmp);
+        let median = ns[ns.len() / 2];
+        eprintln!("bench {name:<40} {median:>14.0} ns/iter");
+    }
+}
+
+#[doc(hidden)]
+pub fn run_group(name: &str, config: Criterion, fns: &mut [&mut dyn FnMut(&mut Criterion)]) {
+    // Under `cargo test` (no `--bench` flag) run a minimal smoke pass.
+    let quick = !std::env::args().any(|a| a == "--bench");
+    let mut c = Criterion { quick, ..config };
+    eprintln!(
+        "running benchmark group `{name}`{}",
+        if quick { " (quick)" } else { "" }
+    );
+    for f in fns {
+        f(&mut c);
+    }
+}
+
+/// Define a benchmark group, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $group:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $group() {
+            $crate::run_group(stringify!($group), $config, &mut [$(&mut $target),+]);
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            $crate::run_group(
+                stringify!($group),
+                $crate::Criterion::default(),
+                &mut [$(&mut $target),+],
+            );
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,448 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use:
+//!
+//! * `proptest! { #[test] fn name(x in strategy, ...) { ... } }` with an
+//!   optional `#![proptest_config(...)]` header,
+//! * strategies: numeric ranges, `any::<bool>()`,
+//!   `prop::collection::vec(strategy, size_range)`, and string literals
+//!   interpreted as a small regex-like pattern language (`.`, `[a-z0-9_]`
+//!   classes, `{m,n}` repetition, `*`, `+`, `?`, literals),
+//! * `prop_assert!` / `prop_assert_eq!` and `TestCaseError`.
+//!
+//! No shrinking: a failing case panics immediately, printing the inputs
+//! and the case's deterministic seed. Cases derive from a fixed per-test
+//! seed, so failures reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    pub use crate::collection_mod as collection;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+        TestRunner,
+    };
+}
+
+/// `prop::...` paths used inside `proptest!` bodies.
+pub mod prop {
+    pub use crate::collection_mod as collection;
+}
+
+#[doc(hidden)]
+pub mod collection_mod {
+    use super::*;
+
+    /// Strategy for `Vec<T>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// A failing test case (what `prop_assert!` returns).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test runner used by the `proptest!` expansion.
+#[derive(Debug)]
+pub struct TestRunner {
+    pub config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, test_name: &str) -> TestRunner {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner { config, seed: h }
+    }
+
+    pub fn case_rng(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ ((case as u64) << 32 | 0x9E37))
+    }
+}
+
+/// Value generators. Unlike real proptest there is no shrinking tree —
+/// `generate` yields the final value directly.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// `any::<T>()` for the types the tests draw "anything" of.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub trait Arbitrary {
+    type Strategy: Strategy;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ================= string pattern strategies =================
+
+/// String literals act as regex-like generators (proptest's `&str`
+/// strategy). Supported: literal chars, `.`, `[...]` classes with ranges,
+/// `{m,n}` / `{n}` repetition, `*` (0–8), `+` (1–8), `?`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.rep.sample(rng);
+            for _ in 0..n {
+                atom.kind.push_one(rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    kind: AtomKind,
+    rep: Rep,
+}
+
+#[derive(Debug, Clone)]
+enum AtomKind {
+    Literal(char),
+    /// `.` — printable ASCII plus a sprinkle of newlines/unicode, so
+    /// "arbitrary input" tests still explore edge characters.
+    Any,
+    /// `[...]` — expanded set of candidate chars.
+    Class(Vec<char>),
+}
+
+impl AtomKind {
+    fn push_one(&self, rng: &mut StdRng, out: &mut String) {
+        match self {
+            AtomKind::Literal(c) => out.push(*c),
+            AtomKind::Any => {
+                let roll = rng.gen_range(0..100u32);
+                let c = if roll < 92 {
+                    // printable ASCII
+                    char::from(rng.gen_range(0x20u8..0x7f))
+                } else if roll < 96 {
+                    ['\n', '\t', '\r'][rng.gen_range(0..3usize)]
+                } else {
+                    ['é', 'λ', '中', '🦀', '\u{0}'][rng.gen_range(0..5usize)]
+                };
+                out.push(c);
+            }
+            AtomKind::Class(cs) => {
+                if !cs.is_empty() {
+                    out.push(cs[rng.gen_range(0..cs.len())]);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Rep {
+    Exactly(u32),
+    Between(u32, u32),
+}
+
+impl Rep {
+    fn sample(self, rng: &mut StdRng) -> u32 {
+        match self {
+            Rep::Exactly(n) => n,
+            Rep::Between(lo, hi) => rng.gen_range(lo..=hi),
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let kind = match chars[i] {
+            '.' => {
+                i += 1;
+                AtomKind::Any
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ]
+                AtomKind::Class(set)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                AtomKind::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                AtomKind::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let rep = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                let body: String = match close {
+                    Some(e) => chars[i + 1..e].iter().collect(),
+                    None => String::new(),
+                };
+                i = close.map(|e| e + 1).unwrap_or(i);
+                match body.split_once(',') {
+                    Some((lo, hi)) => Rep::Between(
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(8),
+                    ),
+                    None => Rep::Exactly(body.trim().parse().unwrap_or(1)),
+                }
+            }
+            Some('*') => {
+                i += 1;
+                Rep::Between(0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                Rep::Between(1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                Rep::Between(0, 1)
+            }
+            _ => Rep::Exactly(1),
+        };
+        atoms.push(Atom { kind, rep });
+    }
+    atoms
+}
+
+// ================= macros =================
+
+/// Assert inside a `proptest!` body; failure aborts the case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (@funcs ($config:expr)) => {};
+    (
+        @funcs ($config:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let runner = $crate::TestRunner::new($config, stringify!($name));
+            for case in 0..runner.config.cases {
+                let mut rng = runner.case_rng(case);
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                let result: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs: {}",
+                        case + 1,
+                        runner.config.cases,
+                        e,
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", "),
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_generation_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let s = "[a-c][0-9]{2,4}x".generate(&mut rng);
+            let cs: Vec<char> = s.chars().collect();
+            assert!(('a'..='c').contains(&cs[0]));
+            assert!(cs[cs.len() - 1] == 'x');
+            assert!((4..=6).contains(&cs.len()));
+        }
+    }
+
+    #[test]
+    fn any_dot_pattern_bounds_length() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            let s = ".{0,40}".generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_expansion_runs(x in 0u32..10, flip in any::<bool>()) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(flip, flip);
+        }
+    }
+}

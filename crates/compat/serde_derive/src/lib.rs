@@ -1,0 +1,405 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`
+//! available offline). Supports non-generic structs (named, tuple, unit)
+//! and enums (unit, tuple, struct variants) — the shapes this workspace
+//! derives. `#[serde(...)]` field attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ================= item model =================
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ================= parsing =================
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+
+    // Outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // Optional `!` then the bracket group.
+                if let Some(TokenTree::Punct(p)) = toks.peek() {
+                    if p.as_char() == '!' {
+                        toks.next();
+                    }
+                }
+                toks.next(); // [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // (crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let item_kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the offline shim");
+        }
+    }
+
+    let kind = match item_kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Input { name, kind }
+}
+
+/// Parse `name: Type, ...` field lists, returning the names. Type tokens
+/// are skipped up to the next comma outside angle brackets (grouped
+/// delimiters arrive as single atomic trees, so only `<...>` needs depth
+/// tracking).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+        // Expect `:` then skip the type until a top-level comma.
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:`, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut angle = 0i32;
+    let mut pending = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                n += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                toks.next();
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(g.stream()));
+                toks.next();
+                s
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an optional discriminant, then the separating comma.
+        let mut angle = 0i32;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                None => break,
+                _ => {}
+            }
+        }
+    }
+    variants
+}
+
+// ================= code generation =================
+
+fn ser_call(expr: &str) -> String {
+    format!("::serde::Serialize::serialize_value({expr})")
+}
+
+fn de_call(expr: &str) -> String {
+    format!("::serde::Deserialize::deserialize_value({expr})?")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(String::from(\"{f}\"), {});\n",
+                    ser_call(&format!("&self.{f}"))
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n).map(|i| ser_call(&format!("&self.{i}"))).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            ser_call("f0")
+                        } else {
+                            let items: Vec<String> = binds.iter().map(|b| ser_call(b)).collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut m = ::serde::Map::new(); \
+                             m.insert(String::from(\"{vn}\"), {inner}); \
+                             ::serde::Value::Object(m) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(String::from(\"{f}\"), {});\n",
+                                ser_call(f)
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} \
+                             let mut m = ::serde::Map::new(); \
+                             m.insert(String::from(\"{vn}\"), ::serde::Value::Object(fm)); \
+                             ::serde::Value::Object(m) }}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: {},\n",
+                    de_call(&format!("::serde::field(m, \"{f}\")"))
+                ));
+            }
+            format!(
+                "let m = v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        Kind::TupleStruct(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                items.push_str(&format!("{},\n", de_call(&format!("&a[{i}]"))));
+            }
+            format!(
+                "let a = v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if a.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong arity for {name}\")); }}\n\
+                 Ok({name}({items}))"
+            )
+        }
+        Kind::UnitStruct => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"))
+                    }
+                    Shape::Tuple(n) => {
+                        if *n == 1 {
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => return Ok({name}::{vn}({})),\n",
+                                de_call("inner")
+                            ));
+                        } else {
+                            let mut items = String::new();
+                            for i in 0..*n {
+                                items.push_str(&format!("{},\n", de_call(&format!("&a[{i}]"))));
+                            }
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let a = inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                                 if a.len() != {n} {{ return Err(::serde::Error::custom(\
+                                 \"wrong arity for {name}::{vn}\")); }}\n\
+                                 return Ok({name}::{vn}({items}));\n}}\n"
+                            ));
+                        }
+                    }
+                    Shape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: {},\n",
+                                de_call(&format!("::serde::field(fm, \"{f}\")"))
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let fm = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             return Ok({name}::{vn} {{ {inits} }});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                 match s {{\n{unit_arms}\
+                 other => return Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n\
+                 if let Some(m) = v.as_object() {{\n\
+                 if let Some((k, inner)) = m.single() {{\n\
+                 let _ = inner;\n\
+                 match k {{\n{data_arms}\
+                 other => return Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n}}\n\
+                 Err(::serde::Error::custom(\"expected enum {name}\"))"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}

@@ -84,7 +84,14 @@ impl Dataset {
             let logs = raw_labels.iter().map(|&y| t.apply(y)).collect();
             (Some(t), logs)
         };
-        Dataset { problem, statements, class_labels, raw_labels, log_labels, transform }
+        Dataset {
+            problem,
+            statements,
+            class_labels,
+            raw_labels,
+            log_labels,
+            transform,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -111,7 +118,11 @@ mod tests {
     use sqlan_workload::{build_sdss, Scale, SdssConfig};
 
     fn workload() -> Workload {
-        build_sdss(SdssConfig { n_sessions: 150, scale: Scale(0.02), seed: 3 })
+        build_sdss(SdssConfig {
+            n_sessions: 150,
+            scale: Scale(0.02),
+            seed: 3,
+        })
     }
 
     #[test]

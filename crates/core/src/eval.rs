@@ -56,8 +56,7 @@ pub fn evaluate_classifier(
 }
 
 /// qerror percentiles reported by the paper's Tables 3/6/7.
-pub const QERROR_PERCENTILES: [f64; 9] =
-    [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 75.0, 90.0, 95.0];
+pub const QERROR_PERCENTILES: [f64; 9] = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 75.0, 90.0, 95.0];
 
 /// Evaluate a regressor on test statements; `log_labels`/`raw_labels` are
 /// the transformed and raw truths, `transform` maps predictions back for
@@ -71,7 +70,13 @@ pub fn evaluate_regressor(
     huber_delta: f64,
 ) -> RegressionEval {
     evaluate_regressor_with_shift(
-        model, statements, log_labels, raw_labels, transform, huber_delta, 1.0,
+        model,
+        statements,
+        log_labels,
+        raw_labels,
+        transform,
+        huber_delta,
+        1.0,
     )
 }
 
@@ -131,7 +136,13 @@ mod tests {
             valid_statements: &xs,
             valid_labels: Labels::Classes(&ys),
         };
-        let m = train_model(ModelKind::MFreq, Task::Classify(2), &data, &TrainConfig::tiny(), None);
+        let m = train_model(
+            ModelKind::MFreq,
+            Task::Classify(2),
+            &data,
+            &TrainConfig::tiny(),
+            None,
+        );
         let e = evaluate_classifier(&m, &xs, &ys, 2);
         // Majority class share = 40/50.
         assert!((e.accuracy - 0.8).abs() < 1e-9);
@@ -152,7 +163,13 @@ mod tests {
             valid_statements: &xs,
             valid_labels: Labels::Values(&logs),
         };
-        let m = train_model(ModelKind::Median, Task::Regress, &data, &TrainConfig::tiny(), None);
+        let m = train_model(
+            ModelKind::Median,
+            Task::Regress,
+            &data,
+            &TrainConfig::tiny(),
+            None,
+        );
         let e = evaluate_regressor(&m, &xs, &logs, &raw, t, 1.0);
         assert!(e.loss.is_finite());
         assert!(e.mse.is_finite());

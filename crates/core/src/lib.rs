@@ -45,8 +45,8 @@ pub mod text;
 pub use config::{Granularity, TrainConfig};
 pub use dataset::{Dataset, LogTransform};
 pub use eval::{
-    evaluate_classifier, evaluate_regressor, evaluate_regressor_with_shift,
-    ClassificationEval, RegressionEval, QERROR_PERCENTILES,
+    evaluate_classifier, evaluate_regressor, evaluate_regressor_with_shift, ClassificationEval,
+    RegressionEval, QERROR_PERCENTILES,
 };
 pub use models::neural::{ArchKind, Labels, NeuralModel, Task};
 pub use models::traditional::TfidfModel;
@@ -57,12 +57,12 @@ pub use problem::{Problem, Setting};
 /// Convenient glob import for examples and the experiment harness.
 pub mod prelude {
     pub use crate::{
-        run_experiment, train_model, ClassificationEval, Dataset, Experiment, Granularity,
-        Labels, LogTransform, ModelKind, ModelRun, Problem, RegressionEval, Setting, Task,
-        TrainConfig, TrainData, TrainedModel,
+        run_experiment, train_model, ClassificationEval, Dataset, Experiment, Granularity, Labels,
+        LogTransform, ModelKind, ModelRun, Problem, RegressionEval, Setting, Task, TrainConfig,
+        TrainData, TrainedModel,
     };
     pub use sqlan_workload::{
-        build_sdss, build_sqlshare, random_split, sdss_database, split_by_user,
-        sqlshare_database, Scale, SdssConfig, SqlShareConfig, Workload,
+        build_sdss, build_sqlshare, random_split, sdss_database, split_by_user, sqlshare_database,
+        Scale, SdssConfig, SqlShareConfig, Workload,
     };
 }

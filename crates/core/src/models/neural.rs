@@ -6,14 +6,13 @@
 //! log-transformed labels, model selection on validation loss.
 
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use sqlan_features::Vocab;
 use sqlan_nn::{
-    dropout_mask, AdaMax, Conv1dBank, Embedding, Graph, Linear, LstmStack, Optimizer, Params,
-    Var,
+    dropout_mask, AdaMax, Conv1dBank, Embedding, Graph, Linear, LstmStack, Optimizer, Params, Var,
 };
 
 use crate::config::{Granularity, TrainConfig};
@@ -269,7 +268,13 @@ impl NeuralModel {
 
     /// Class probabilities for one statement (classification models).
     pub fn predict_proba(&self, statement: &str) -> Vec<f32> {
-        let seq = encode(statement, self.granularity, &self.vocab, &self.cfg, self.min_len);
+        let seq = encode(
+            statement,
+            self.granularity,
+            &self.vocab,
+            &self.cfg,
+            self.min_len,
+        );
         let mut g = Graph::new(&self.params);
         let feats = self.encode_features(&mut g, &seq, None);
         let out = self.head.forward(&mut g, feats);
@@ -283,7 +288,13 @@ impl NeuralModel {
 
     /// Predicted value in log-label space (regression models).
     pub fn predict_value(&self, statement: &str) -> f64 {
-        let seq = encode(statement, self.granularity, &self.vocab, &self.cfg, self.min_len);
+        let seq = encode(
+            statement,
+            self.granularity,
+            &self.vocab,
+            &self.cfg,
+            self.min_len,
+        );
         let mut g = Graph::new(&self.params);
         let feats = self.encode_features(&mut g, &seq, None);
         let out = self.head.forward(&mut g, feats);
@@ -314,7 +325,10 @@ mod tests {
     #[test]
     fn cnn_classifier_learns_toy_task() {
         let (xs, ys) = toy_classification();
-        let cfg = TrainConfig { epochs: 6, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 6,
+            ..TrainConfig::tiny()
+        };
         let m = NeuralModel::train(
             ArchKind::Cnn,
             Granularity::Word,
@@ -338,7 +352,10 @@ mod tests {
     #[test]
     fn lstm_classifier_learns_toy_task() {
         let (xs, ys) = toy_classification();
-        let cfg = TrainConfig { epochs: 6, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 6,
+            ..TrainConfig::tiny()
+        };
         let m = NeuralModel::train(
             ArchKind::Lstm,
             Granularity::Char,
@@ -369,7 +386,10 @@ mod tests {
             xs.push(format!("SELECT {} FROM t", vec!["x"; n + 1].join(", ")));
             ys.push(n as f64);
         }
-        let cfg = TrainConfig { epochs: 12, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 12,
+            ..TrainConfig::tiny()
+        };
         let m = NeuralModel::train(
             ArchKind::Cnn,
             Granularity::Word,
@@ -383,13 +403,19 @@ mod tests {
         // Predictions should at least order extremes correctly.
         let low = m.predict_value("SELECT x FROM t");
         let high = m.predict_value("SELECT x, x, x, x, x, x FROM t");
-        assert!(high > low, "regressor should track token count: {low} vs {high}");
+        assert!(
+            high > low,
+            "regressor should track token count: {low} vs {high}"
+        );
     }
 
     #[test]
     fn probabilities_are_normalized() {
         let (xs, ys) = toy_classification();
-        let cfg = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::tiny()
+        };
         let m = NeuralModel::train(
             ArchKind::Cnn,
             Granularity::Char,
@@ -408,7 +434,10 @@ mod tests {
     #[test]
     fn handles_arbitrary_prediction_input() {
         let (xs, ys) = toy_classification();
-        let cfg = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::tiny()
+        };
         let m = NeuralModel::train(
             ArchKind::Cnn,
             Granularity::Word,

@@ -40,7 +40,8 @@ impl TfidfModel {
     }
 
     fn featurize(&self, statement: &str) -> SparseVec {
-        self.vectorizer.transform(&tokenize(statement, self.granularity))
+        self.vectorizer
+            .transform(&tokenize(statement, self.granularity))
     }
 
     /// Train a classifier.
@@ -51,14 +52,22 @@ impl TfidfModel {
         n_classes: usize,
         cfg: &TrainConfig,
     ) -> TfidfModel {
-        let streams: Vec<Vec<String>> =
-            statements.iter().map(|s| tokenize(s, granularity)).collect();
+        let streams: Vec<Vec<String>> = statements
+            .iter()
+            .map(|s| tokenize(s, granularity))
+            .collect();
         let vectorizer = TfidfVectorizer::fit(&streams, cfg.tfidf_max_ngram, cfg.tfidf_features);
         let xs: Vec<SparseVec> = streams.iter().map(|t| vectorizer.transform(t)).collect();
-        let lcfg = LinearConfig { seed: cfg.seed, ..LinearConfig::default() };
-        let model =
-            LogisticRegression::train(&xs, labels, n_classes, vectorizer.dim(), lcfg);
-        TfidfModel { granularity, vectorizer, kind: TfidfKind::Classifier(model) }
+        let lcfg = LinearConfig {
+            seed: cfg.seed,
+            ..LinearConfig::default()
+        };
+        let model = LogisticRegression::train(&xs, labels, n_classes, vectorizer.dim(), lcfg);
+        TfidfModel {
+            granularity,
+            vectorizer,
+            kind: TfidfKind::Classifier(model),
+        }
     }
 
     /// Train a regressor on log-transformed labels.
@@ -68,8 +77,10 @@ impl TfidfModel {
         labels: &[f64],
         cfg: &TrainConfig,
     ) -> TfidfModel {
-        let streams: Vec<Vec<String>> =
-            statements.iter().map(|s| tokenize(s, granularity)).collect();
+        let streams: Vec<Vec<String>> = statements
+            .iter()
+            .map(|s| tokenize(s, granularity))
+            .collect();
         let vectorizer = TfidfVectorizer::fit(&streams, cfg.tfidf_max_ngram, cfg.tfidf_features);
         let xs: Vec<SparseVec> = streams.iter().map(|t| vectorizer.transform(t)).collect();
         let ys: Vec<f32> = labels.iter().map(|&y| y as f32).collect();
@@ -79,7 +90,11 @@ impl TfidfModel {
             ..LinearConfig::default()
         };
         let model = HuberRegression::train(&xs, &ys, vectorizer.dim(), lcfg);
-        TfidfModel { granularity, vectorizer, kind: TfidfKind::Regressor(model) }
+        TfidfModel {
+            granularity,
+            vectorizer,
+            kind: TfidfKind::Regressor(model),
+        }
     }
 
     pub fn predict_proba(&self, statement: &str) -> Vec<f32> {
@@ -155,8 +170,7 @@ mod tests {
     fn unknown_text_predicts_without_panicking() {
         let xs: Vec<String> = (0..20).map(|i| format!("SELECT {i}")).collect();
         let ys = vec![0usize; 20];
-        let m =
-            TfidfModel::train_classifier(Granularity::Word, &xs, &ys, 2, &TrainConfig::tiny());
+        let m = TfidfModel::train_classifier(Granularity::Word, &xs, &ys, 2, &TrainConfig::tiny());
         let _ = m.predict_class("całkowicie nieznany tekst");
         let _ = m.predict_class("");
     }

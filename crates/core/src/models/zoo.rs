@@ -220,7 +220,10 @@ impl TrainedModel {
             SavedModel::Tfidf(m) => Inner::Tfidf(m),
             SavedModel::Neural(m) => Inner::Neural(m),
         };
-        Ok(TrainedModel { kind: env.kind, inner })
+        Ok(TrainedModel {
+            kind: env.kind,
+            inner,
+        })
     }
 }
 
@@ -254,7 +257,9 @@ pub fn train_model(
                 Labels::Values(ys) => *ys,
                 _ => panic!("opt requires regression labels"),
             };
-            let db = opt_db.expect("opt baseline needs a Database for estimates").clone();
+            let db = opt_db
+                .expect("opt baseline needs a Database for estimates")
+                .clone();
             let xs: Vec<Vec<f64>> = data
                 .statements
                 .iter()
@@ -264,7 +269,10 @@ pub fn train_model(
                         .unwrap_or_else(|| vec![0.0, 0.0])
                 })
                 .collect();
-            Inner::Opt { model: OptBaseline::fit(&xs, ys), db }
+            Inner::Opt {
+                model: OptBaseline::fit(&xs, ys),
+                db,
+            }
         }
         ModelKind::CTfidf | ModelKind::WTfidf => {
             let g = kind.granularity().expect("tfidf has granularity");
@@ -324,14 +332,22 @@ mod tests {
     #[test]
     fn zoo_trains_all_classifier_kinds() {
         let (xs, ys, _) = toy();
-        let cfg = TrainConfig { epochs: 2, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::tiny()
+        };
         let data = TrainData {
             statements: &xs[..40],
             labels: Labels::Classes(&ys[..40]),
             valid_statements: &xs[40..],
             valid_labels: Labels::Classes(&ys[40..]),
         };
-        for kind in [ModelKind::MFreq, ModelKind::CTfidf, ModelKind::WCnn, ModelKind::CLstm] {
+        for kind in [
+            ModelKind::MFreq,
+            ModelKind::CTfidf,
+            ModelKind::WCnn,
+            ModelKind::CLstm,
+        ] {
             let m = train_model(kind, Task::Classify(2), &data, &cfg, None);
             let c = m.predict_class(&xs[0]);
             assert!(c < 2, "{}: class {c}", m.name());
@@ -343,7 +359,10 @@ mod tests {
     #[test]
     fn zoo_trains_all_regressor_kinds() {
         let (xs, _, ys) = toy();
-        let cfg = TrainConfig { epochs: 2, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::tiny()
+        };
         let data = TrainData {
             statements: &xs[..40],
             labels: Labels::Values(&ys[..40]),
@@ -355,7 +374,12 @@ mod tests {
             scale: sqlan_workload::Scale(0.01),
             seed: 1,
         });
-        for kind in [ModelKind::Median, ModelKind::Opt, ModelKind::WTfidf, ModelKind::CCnn] {
+        for kind in [
+            ModelKind::Median,
+            ModelKind::Opt,
+            ModelKind::WTfidf,
+            ModelKind::CCnn,
+        ] {
             let m = train_model(kind, Task::Regress, &data, &cfg, Some(&db));
             let v = m.predict_value(&xs[0]);
             assert!(v.is_finite(), "{}: {v}", m.name());
@@ -365,7 +389,10 @@ mod tests {
     #[test]
     fn save_load_roundtrip_preserves_predictions() {
         let (xs, ys, vals) = toy();
-        let cfg = TrainConfig { epochs: 2, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::tiny()
+        };
         let cls_data = TrainData {
             statements: &xs[..40],
             labels: Labels::Classes(&ys[..40]),
@@ -378,11 +405,21 @@ mod tests {
             valid_statements: &xs[40..],
             valid_labels: Labels::Values(&vals[40..]),
         };
-        for kind in [ModelKind::MFreq, ModelKind::CTfidf, ModelKind::WCnn, ModelKind::CLstm] {
+        for kind in [
+            ModelKind::MFreq,
+            ModelKind::CTfidf,
+            ModelKind::WCnn,
+            ModelKind::CLstm,
+        ] {
             let m = train_model(kind, Task::Classify(2), &cls_data, &cfg, None);
             let restored = TrainedModel::load_json(&m.save_json().unwrap()).unwrap();
             for s in &xs[40..50] {
-                assert_eq!(m.predict_class(s), restored.predict_class(s), "{}", kind.name());
+                assert_eq!(
+                    m.predict_class(s),
+                    restored.predict_class(s),
+                    "{}",
+                    kind.name()
+                );
                 let (a, b) = (m.predict_proba(s), restored.predict_proba(s));
                 for (x, y) in a.iter().zip(&b) {
                     assert!((x - y).abs() < 1e-6);
@@ -415,7 +452,10 @@ mod tests {
             seed: 1,
         });
         let m = train_model(ModelKind::Opt, Task::Regress, &data, &cfg, Some(&db));
-        assert!(matches!(m.save_json(), Err(PersistError::NotPersistable(_))));
+        assert!(matches!(
+            m.save_json(),
+            Err(PersistError::NotPersistable(_))
+        ));
     }
 
     #[test]

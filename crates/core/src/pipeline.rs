@@ -9,7 +9,9 @@ use sqlan_workload::{Split, Workload};
 
 use crate::config::TrainConfig;
 use crate::dataset::Dataset;
-use crate::eval::{evaluate_classifier, evaluate_regressor_with_shift, ClassificationEval, RegressionEval};
+use crate::eval::{
+    evaluate_classifier, evaluate_regressor_with_shift, ClassificationEval, RegressionEval,
+};
 use crate::models::neural::{Labels, Task};
 use crate::models::zoo::{train_model, ModelKind, TrainData, TrainedModel};
 use crate::problem::Problem;
@@ -67,7 +69,11 @@ impl Experiment {
 
     /// Test-set statement texts, in evaluation order.
     pub fn test_statements(&self) -> Vec<&str> {
-        self.split.test.iter().map(|&i| self.dataset.statements[i].as_str()).collect()
+        self.split
+            .test
+            .iter()
+            .map(|&i| self.dataset.statements[i].as_str())
+            .collect()
     }
 }
 
@@ -90,7 +96,12 @@ pub fn run_experiment(
 ) -> Experiment {
     let dataset = Dataset::build(workload, problem);
     assert!(
-        split.train.iter().chain(&split.valid).chain(&split.test).all(|&i| i < dataset.len()),
+        split
+            .train
+            .iter()
+            .chain(&split.valid)
+            .chain(&split.test)
+            .all(|&i| i < dataset.len()),
         "split indices out of range for dataset"
     );
 
@@ -161,7 +172,12 @@ pub fn run_experiment(
             });
         }
     }
-    Experiment { problem, dataset, split, runs }
+    Experiment {
+        problem,
+        dataset,
+        split,
+        runs,
+    }
 }
 
 #[cfg(test)]
@@ -170,14 +186,21 @@ mod tests {
     use sqlan_workload::{build_sdss, random_split, Scale, SdssConfig};
 
     fn workload() -> Workload {
-        build_sdss(SdssConfig { n_sessions: 250, scale: Scale(0.02), seed: 11 })
+        build_sdss(SdssConfig {
+            n_sessions: 250,
+            scale: Scale(0.02),
+            seed: 11,
+        })
     }
 
     #[test]
     fn classification_experiment_end_to_end() {
         let w = workload();
         let split = random_split(w.len(), 1);
-        let cfg = TrainConfig { epochs: 2, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::tiny()
+        };
         let exp = run_experiment(
             &w,
             Problem::ErrorClassification,
@@ -203,7 +226,10 @@ mod tests {
     fn regression_experiment_end_to_end() {
         let w = workload();
         let split = random_split(w.len(), 2);
-        let cfg = TrainConfig { epochs: 2, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::tiny()
+        };
         let db = sqlan_workload::sdss_database(SdssConfig {
             n_sessions: 250,
             scale: Scale(0.02),

@@ -19,7 +19,10 @@ pub enum Problem {
 
 impl Problem {
     pub fn is_classification(self) -> bool {
-        matches!(self, Problem::ErrorClassification | Problem::SessionClassification)
+        matches!(
+            self,
+            Problem::ErrorClassification | Problem::SessionClassification
+        )
     }
 
     /// Number of classes for classification problems.
@@ -92,6 +95,9 @@ mod tests {
     #[test]
     fn names_render() {
         assert_eq!(Problem::CpuTime.to_string(), "cpu_time");
-        assert_eq!(Setting::HomogeneousInstance.to_string(), "Homogeneous Instance");
+        assert_eq!(
+            Setting::HomogeneousInstance.to_string(),
+            "Homogeneous Instance"
+        );
     }
 }

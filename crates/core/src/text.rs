@@ -20,7 +20,13 @@ pub fn build_vocab(statements: &[String], g: Granularity, cfg: &TrainConfig) -> 
 
 /// Encode a statement to padded/truncated token ids. `min_len` covers the
 /// CNN's widest kernel; empty statements become all-PAD sequences.
-pub fn encode(statement: &str, g: Granularity, vocab: &Vocab, cfg: &TrainConfig, min_len: usize) -> Vec<u32> {
+pub fn encode(
+    statement: &str,
+    g: Granularity,
+    vocab: &Vocab,
+    cfg: &TrainConfig,
+    min_len: usize,
+) -> Vec<u32> {
     let tokens = tokenize(statement, g);
     vocab.encode(&tokens, cfg.max_len(g), min_len.max(1))
 }

@@ -81,7 +81,9 @@ impl Table {
 
     /// Index of a column by case-insensitive name.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 }
 
@@ -124,9 +126,11 @@ impl ColumnSpec {
     fn generate(&self, rows: usize, rng: &mut StdRng) -> ColumnVec {
         match self {
             ColumnSpec::SeqId => ColumnVec::Int((0..rows as i64).collect()),
-            ColumnSpec::ObjId => {
-                ColumnVec::Int((0..rows).map(|_| rng.gen_range(1i64 << 40..1i64 << 56)).collect())
-            }
+            ColumnSpec::ObjId => ColumnVec::Int(
+                (0..rows)
+                    .map(|_| rng.gen_range(1i64 << 40..1i64 << 56))
+                    .collect(),
+            ),
             ColumnSpec::Uniform(lo, hi) => {
                 ColumnVec::Float((0..rows).map(|_| rng.gen_range(*lo..*hi)).collect())
             }
@@ -136,8 +140,7 @@ impl ColumnSpec {
                         // Box–Muller transform.
                         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                         let u2: f64 = rng.gen_range(0.0..1.0);
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         mean + std * z
                     })
                     .collect(),
@@ -179,7 +182,9 @@ impl ColumnSpec {
                     .collect(),
             ),
             ColumnSpec::StrChoice(choices) => ColumnVec::Str(
-                (0..rows).map(|_| choices[rng.gen_range(0..choices.len())].to_string()).collect(),
+                (0..rows)
+                    .map(|_| choices[rng.gen_range(0..choices.len())].to_string())
+                    .collect(),
             ),
             ColumnSpec::TaggedSeq(prefix) => {
                 ColumnVec::Str((0..rows).map(|i| format!("{prefix}{i}")).collect())
@@ -198,7 +203,11 @@ pub struct TableSpec {
 
 impl TableSpec {
     pub fn new(name: impl Into<String>, rows: usize) -> Self {
-        TableSpec { name: name.into(), rows, columns: Vec::new() }
+        TableSpec {
+            name: name.into(),
+            rows,
+            columns: Vec::new(),
+        }
     }
 
     pub fn column(mut self, name: impl Into<String>, spec: ColumnSpec) -> Self {
@@ -223,16 +232,22 @@ impl Catalog {
         let mut cat = Catalog::new();
         for (i, spec) in specs.iter().enumerate() {
             // Stable per-table seed: changing one table doesn't reshuffle others.
-            let mut rng = StdRng::seed_from_u64(
-                seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let mut columns = Vec::with_capacity(spec.columns.len());
             let mut data = Vec::with_capacity(spec.columns.len());
             for (name, cspec) in &spec.columns {
-                columns.push(ColumnDef { name: name.clone(), ty: cspec.ty() });
+                columns.push(ColumnDef {
+                    name: name.clone(),
+                    ty: cspec.ty(),
+                });
                 data.push(cspec.generate(spec.rows, &mut rng));
             }
-            cat.insert(Table { name: spec.name.clone(), columns, data });
+            cat.insert(Table {
+                name: spec.name.clone(),
+                columns,
+                data,
+            });
         }
         cat
     }

@@ -5,18 +5,23 @@
 //! * [`CostCounter`] — exact, deterministic accounting charged by the
 //!   executor as it runs. This is the ground truth that becomes the CPU
 //!   time label of a workload entry.
-//! * [`estimate_cost`] — a textbook System-R-style estimator over the AST
-//!   and catalog statistics, with uniformity assumptions and **no** model
-//!   of scalar-function CPU or nested re-execution. Its imprecision is the
-//!   point: the paper's `opt` baseline (linear regression on optimizer
-//!   estimates) trails the learned models precisely because analytic cost
-//!   models simplify (§1, §6.2.3).
+//! * [`estimate_cost`] — a textbook System-R-style estimator with
+//!   uniformity assumptions and **no** model of scalar-function CPU or
+//!   nested re-execution. It walks the *optimized plan* (the same
+//!   [`QueryPlan`] the executor runs, at the default pass level), so scan
+//!   costs, join strategies, and pushed-down selectivities line up with
+//!   what will actually execute — but its imprecision is still the point:
+//!   the paper's `opt` baseline (linear regression on optimizer estimates)
+//!   trails the learned models precisely because analytic cost models
+//!   simplify (§1, §6.2.3).
 
 use serde::{Deserialize, Serialize};
 
-use sqlan_sql::{Expr, Query, Statement, TableFactor};
+use sqlan_sql::{Expr, Query, Statement};
 
 use crate::catalog::Catalog;
+use crate::optimizer::Optimizer;
+use crate::plan::{FoldStep, JoinStrategy, LogicalPlan, QueryPlan, SelectOp};
 
 /// Exact execution cost accounting, in abstract "cost units".
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,14 +102,26 @@ const SEL_JOIN: f64 = 1e-4;
 /// Default cardinality for tables missing from the catalog.
 const DEFAULT_CARD: f64 = 1000.0;
 
-/// Estimate the execution cost of a statement against a catalog.
+/// Estimate the execution cost of a statement against a catalog, at the
+/// default optimizer level. Prefer [`estimate_cost_with`] when the
+/// executing database runs a non-default pass set.
 pub fn estimate_cost(stmt: &Statement, catalog: &Catalog) -> CostEstimate {
+    estimate_cost_with(stmt, catalog, &Optimizer::default())
+}
+
+/// Estimate the execution cost of a statement over the plan the given
+/// optimizer would produce — the same plan the executor will run.
+pub fn estimate_cost_with(
+    stmt: &Statement,
+    catalog: &Catalog,
+    optimizer: &Optimizer,
+) -> CostEstimate {
     match stmt {
-        Statement::Select(q) => estimate_query(q, catalog),
+        Statement::Select(q) => estimate_query(q, catalog, optimizer),
         Statement::Dml { query, table, .. } => {
             let mut est = query
                 .as_ref()
-                .map(|q| estimate_query(q, catalog))
+                .map(|q| estimate_query(q, catalog, optimizer))
                 .unwrap_or_default();
             if let Some(t) = table {
                 let card = catalog.get(&t.canonical()).map(|t| t.row_count() as f64);
@@ -112,101 +129,159 @@ pub fn estimate_cost(stmt: &Statement, catalog: &Catalog) -> CostEstimate {
             }
             est
         }
-        Statement::Execute { .. } => CostEstimate { total_cost: 100.0, est_rows: 1.0 },
-        Statement::Ddl { .. } | Statement::Procedural => {
-            CostEstimate { total_cost: 10.0, est_rows: 0.0 }
-        }
+        Statement::Execute { .. } => CostEstimate {
+            total_cost: 100.0,
+            est_rows: 1.0,
+        },
+        Statement::Ddl { .. } | Statement::Procedural => CostEstimate {
+            total_cost: 10.0,
+            est_rows: 0.0,
+        },
     }
 }
 
-fn estimate_query(q: &Query, catalog: &Catalog) -> CostEstimate {
-    // Scan costs and cardinalities of the FROM sources.
-    let mut cards: Vec<f64> = Vec::new();
+fn estimate_query(q: &Query, catalog: &Catalog, optimizer: &Optimizer) -> CostEstimate {
+    let plan = optimizer.plan(q, catalog);
+    estimate_plan(&plan, catalog)
+}
+
+/// Estimate a lowered/optimized plan. Public so experiments can compare
+/// estimates across [`crate::OptLevel`]s.
+pub fn estimate_plan(plan: &QueryPlan, catalog: &Catalog) -> CostEstimate {
+    // Per-item cardinalities and scan/join costs.
     let mut cost = 0.0;
-    for fi in &q.from {
-        let (c0, cost0) = factor_card(&fi.factor, catalog);
-        cost += cost0;
-        let mut card = c0;
-        for j in &fi.joins {
-            let (cj, costj) = factor_card(&j.factor, catalog);
-            cost += costj;
-            // Hash join: build + probe.
-            cost += card + cj;
-            card = (card * cj * SEL_JOIN).max(1.0);
-        }
+    let mut cards: Vec<f64> = Vec::new();
+    for item in &plan.items {
+        let (card, item_cost) = estimate_node(item, catalog);
+        cost += item_cost;
         cards.push(card);
     }
-    // Comma-list: assume the optimizer finds equi-joins (it usually can on
-    // these workloads), so the product collapses similarly.
-    let mut card = cards.first().copied().unwrap_or(1.0);
-    for c in cards.iter().skip(1) {
-        cost += card + c;
-        card = (card * c * SEL_JOIN).max(1.0);
+
+    // Pushed single-item predicates narrow their item before the folds.
+    for (i, pred) in &plan.pushed {
+        if let Some(card) = cards.get_mut(*i) {
+            *card *= predicate_selectivity(pred);
+        }
     }
 
-    // WHERE selectivity.
-    if let Some(w) = &q.where_clause {
-        card *= predicate_selectivity(w, catalog);
+    // Fold the comma list with the planned strategies.
+    let mut card = cards.first().copied().unwrap_or(1.0);
+    for (k, c) in cards.iter().enumerate().skip(1) {
+        match plan.folds.get(k - 1) {
+            Some(FoldStep::Hash { .. }) => {
+                // Hash join: build + probe.
+                cost += card + c;
+                card = (card * c * SEL_JOIN).max(1.0);
+            }
+            // Cartesian product: every pair is visited.
+            _ => {
+                cost += card * c.max(1.0);
+                card *= c.max(1.0);
+            }
+        }
+    }
+
+    // Residual selectivity.
+    for pred in &plan.residual {
+        card *= predicate_selectivity(pred);
     }
     card = card.max(0.0);
 
     // Grouping/aggregation collapses cardinality.
-    if !q.group_by.is_empty() {
-        cost += card; // hash aggregation pass
-        card = (card * 0.1).max(1.0).min(card.max(1.0));
-    } else if has_aggregate(q) {
-        cost += card;
-        card = 1.0;
+    match &plan.select {
+        SelectOp::Aggregate { group_by, .. } if !group_by.is_empty() => {
+            cost += card; // hash aggregation pass
+            card = (card * 0.1).max(1.0).min(card.max(1.0));
+        }
+        SelectOp::Aggregate { .. } => {
+            cost += card;
+            card = 1.0;
+        }
+        SelectOp::Project { .. } => {}
     }
 
-    if q.distinct {
+    if plan.distinct {
         cost += card;
         card *= 0.9;
     }
 
-    if !q.order_by.is_empty() && card > 1.0 {
+    if !plan.order_by.is_empty() && card > 1.0 {
         cost += card * card.log2().max(1.0);
     }
 
-    if let Some(top) = q.top {
+    if let Some(top) = plan.top {
         card = card.min(top as f64);
     }
 
     // NOTE deliberately absent: scalar-function CPU, correlated-subquery
     // re-execution, string-operation costs. See module docs.
-    CostEstimate { total_cost: cost + card, est_rows: card }
+    CostEstimate {
+        total_cost: cost + card,
+        est_rows: card,
+    }
 }
 
-fn factor_card(factor: &TableFactor, catalog: &Catalog) -> (f64, f64) {
-    match factor {
-        TableFactor::Table { name, .. } => {
+/// (cardinality, cost) of one FROM-item operator tree.
+fn estimate_node(node: &LogicalPlan, catalog: &Catalog) -> (f64, f64) {
+    match node {
+        LogicalPlan::Scan { table, .. } => {
             let card = catalog
-                .get(&name.canonical())
+                .get(&table.canonical())
                 .map(|t| t.row_count() as f64)
                 .unwrap_or(DEFAULT_CARD);
             (card, card) // scan cost = cardinality
         }
-        TableFactor::Derived { subquery, .. } => {
-            let est = estimate_query(subquery, catalog);
+        LogicalPlan::Subquery { plan, .. } => {
+            let est = estimate_plan(plan, catalog);
             (est.est_rows, est.total_cost)
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let (card, cost) = estimate_node(input, catalog);
+            (card * predicate_selectivity(predicate), cost + card)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            strategy,
+            ..
+        } => {
+            let (lc, lcost) = estimate_node(left, catalog);
+            let (rc, rcost) = estimate_node(right, catalog);
+            let mut cost = lcost + rcost;
+            let card = match strategy {
+                JoinStrategy::Hash { .. } => {
+                    cost += lc + rc; // build + probe
+                    (lc * rc * SEL_JOIN).max(1.0)
+                }
+                JoinStrategy::NestedLoop => {
+                    cost += lc * rc.max(1.0); // every pair visited
+                    match on {
+                        Some(cond) => (lc * rc * predicate_selectivity(cond)).max(1.0),
+                        None => lc * rc.max(1.0),
+                    }
+                }
+            };
+            (card, cost)
         }
     }
 }
 
-fn predicate_selectivity(e: &Expr, catalog: &Catalog) -> f64 {
+fn predicate_selectivity(e: &Expr) -> f64 {
     match e {
         Expr::Logical { left, and, right } => {
-            let l = predicate_selectivity(left, catalog);
-            let r = predicate_selectivity(right, catalog);
+            let l = predicate_selectivity(left);
+            let r = predicate_selectivity(right);
             if *and {
                 l * r
             } else {
                 (l + r - l * r).min(1.0)
             }
         }
-        Expr::Unary { op: sqlan_sql::UnaryOp::Not, expr } => {
-            1.0 - predicate_selectivity(expr, catalog)
-        }
+        Expr::Unary {
+            op: sqlan_sql::UnaryOp::Not,
+            expr,
+        } => 1.0 - predicate_selectivity(expr),
         Expr::Binary { op, .. } if op.is_comparison() => {
             if *op == sqlan_sql::Op::Eq {
                 SEL_EQ
@@ -230,20 +305,6 @@ fn predicate_selectivity(e: &Expr, catalog: &Catalog) -> f64 {
         Expr::Exists { .. } => 0.5,
         _ => SEL_OTHER,
     }
-}
-
-fn has_aggregate(q: &Query) -> bool {
-    let mut found = false;
-    for item in &q.select {
-        sqlan_sql::visit::walk_expr(&item.expr, &mut |e| {
-            if let Expr::Function(f) = e {
-                if f.aggregate.is_some() {
-                    found = true;
-                }
-            }
-        });
-    }
-    found
 }
 
 #[cfg(test)]
@@ -307,9 +368,34 @@ mod tests {
     }
 
     #[test]
+    fn estimate_tracks_the_configured_optimizer() {
+        // A cross-product plan (no passes) must cost more than the
+        // hash-join plan the default passes produce.
+        let s = parse_script("SELECT * FROM big a, small b WHERE a.x = b.x").unwrap();
+        let default = estimate_cost(&s.statements[0], &cat());
+        let naive = estimate_cost_with(
+            &s.statements[0],
+            &cat(),
+            &Optimizer::with_level(crate::OptLevel::None),
+        );
+        assert!(
+            naive.total_cost > default.total_cost * 10.0,
+            "naive {} vs default {}",
+            naive.total_cost,
+            default.total_cost
+        );
+    }
+
+    #[test]
     fn counter_units_accumulate() {
-        let mut a = CostCounter { rows_scanned: 10, ..Default::default() };
-        let b = CostCounter { fn_units: 5, ..Default::default() };
+        let mut a = CostCounter {
+            rows_scanned: 10,
+            ..Default::default()
+        };
+        let b = CostCounter {
+            fn_units: 5,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.units(), 10 + 5 * 4);
         assert!(a.cpu_seconds() > 0.0);

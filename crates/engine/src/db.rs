@@ -10,10 +10,11 @@ use serde::{Deserialize, Serialize};
 use sqlan_sql::{parse, Query, Statement};
 
 use crate::catalog::Catalog;
-use crate::cost::{estimate_cost, CostCounter, CostEstimate};
+use crate::cost::{estimate_cost_with, CostCounter, CostEstimate};
 use crate::error::{ErrorClass, RuntimeError};
 use crate::exec::{ExecCtx, ExecLimits};
 use crate::functions::FnRegistry;
+use crate::optimizer::{OptLevel, Optimizer};
 use crate::relation::Relation;
 
 /// The observable outcome of submitting one statement to the database —
@@ -38,15 +39,34 @@ pub struct Database {
     pub catalog: Catalog,
     pub fns: FnRegistry,
     pub limits: ExecLimits,
+    pub optimizer: Optimizer,
 }
 
 impl Database {
     pub fn new(catalog: Catalog) -> Self {
-        Database { catalog, fns: FnRegistry::standard(), limits: ExecLimits::default() }
+        Database {
+            catalog,
+            fns: FnRegistry::standard(),
+            limits: ExecLimits::default(),
+            optimizer: Optimizer::default(),
+        }
     }
 
     pub fn with_limits(mut self, limits: ExecLimits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Select the optimizer pass set by level. [`OptLevel::Default`] is
+    /// the label-stable set the workload generator relies on.
+    pub fn with_opt_level(mut self, level: OptLevel) -> Self {
+        self.optimizer = Optimizer::with_level(level);
+        self
+    }
+
+    /// Install a custom pass pipeline (per-pass toggling).
+    pub fn with_optimizer(mut self, optimizer: Optimizer) -> Self {
+        self.optimizer = optimizer;
         self
     }
 
@@ -144,8 +164,7 @@ impl Database {
                 use sqlan_sql::DmlVerb;
                 // Target must be writable (MyDB); shared tables are denied.
                 if let Some(t) = table {
-                    if self.catalog.get(&t.canonical()).is_some()
-                        && !t.canonical().contains("mydb")
+                    if self.catalog.get(&t.canonical()).is_some() && !t.canonical().contains("mydb")
                     {
                         return Err(RuntimeError::Unsupported(format!(
                             "cannot modify shared table `{}`",
@@ -211,24 +230,82 @@ impl Database {
         q: &Query,
         counter: &mut CostCounter,
     ) -> Result<Relation, RuntimeError> {
-        let mut ctx = ExecCtx::new(&self.catalog, &self.fns, self.limits);
+        let mut ctx =
+            ExecCtx::with_optimizer(&self.catalog, &self.fns, self.limits, &self.optimizer);
         let result = ctx.exec_query(q, &[]);
         counter.add(&ctx.counter);
         result.map(|(rel, _)| rel)
     }
 
+    /// EXPLAIN: render the optimized plan of every statement in `text`
+    /// without executing anything. Returns `Err` with the parse error
+    /// message for statements the portal would reject.
+    pub fn explain(&self, text: &str) -> Result<String, String> {
+        let script = parse(text).result.map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for (i, stmt) in script.statements.iter().enumerate() {
+            if script.statements.len() > 1 {
+                out.push_str(&format!("-- statement {}\n", i + 1));
+            }
+            match stmt {
+                Statement::Select(q) => {
+                    out.push_str(&self.optimizer.plan(q, &self.catalog).render());
+                }
+                Statement::Dml {
+                    verb,
+                    query: Some(q),
+                    ..
+                } => {
+                    out.push_str(&format!("{verb:?}\n"));
+                    out.push_str(&self.optimizer.plan(q, &self.catalog).render());
+                }
+                other => {
+                    out.push_str(&format!("{}\n", statement_kind(other)));
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Optimizer cost estimate for the `opt` baseline. Works even for
     /// statements that would fail at runtime (the real optimizer estimates
     /// before execution), and returns `None` only for unparseable text.
+    /// Estimates walk the plan this database's own optimizer produces, so
+    /// they track `with_opt_level`/`with_optimizer` configuration.
     pub fn estimate(&self, text: &str) -> Option<CostEstimate> {
         let script = parse(text).result.ok()?;
         let mut total = CostEstimate::default();
         for stmt in &script.statements {
-            let e = estimate_cost(stmt, &self.catalog);
+            let e = estimate_cost_with(stmt, &self.catalog, &self.optimizer);
             total.total_cost += e.total_cost;
             total.est_rows = e.est_rows;
         }
         Some(total)
+    }
+}
+
+/// One-line description of a non-query statement for EXPLAIN output.
+fn statement_kind(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Select(_) => "Select".to_string(),
+        Statement::Execute { name, arg_count } => {
+            format!("Execute {} ({arg_count} args)", name.canonical())
+        }
+        Statement::Ddl { verb, object } => format!(
+            "Ddl {verb:?}{}",
+            object
+                .as_ref()
+                .map(|o| format!(" {}", o.canonical()))
+                .unwrap_or_default()
+        ),
+        Statement::Dml { verb, table, .. } => format!(
+            "Dml {verb:?}{}",
+            table
+                .as_ref()
+                .map(|t| format!(" {}", t.canonical()))
+                .unwrap_or_default()
+        ),
+        Statement::Procedural => "Procedural".to_string(),
     }
 }
 
@@ -268,7 +345,9 @@ mod tests {
     fn filters_reduce_answer_size() {
         let d = db();
         let all = d.submit("SELECT * FROM PhotoObj").answer_size;
-        let some = d.submit("SELECT * FROM PhotoObj WHERE ra < 180").answer_size;
+        let some = d
+            .submit("SELECT * FROM PhotoObj WHERE ra < 180")
+            .answer_size;
         let none = d.submit("SELECT * FROM PhotoObj WHERE ra < -5").answer_size;
         assert!(some < all);
         assert!(some > 0);
@@ -325,12 +404,10 @@ mod tests {
     #[test]
     fn left_join_keeps_unmatched() {
         let d = db();
-        let inner = d.submit(
-            "SELECT p.objid FROM PhotoObj p INNER JOIN SpecObj s ON p.objid = s.bestobjid",
-        );
-        let left = d.submit(
-            "SELECT p.objid FROM PhotoObj p LEFT JOIN SpecObj s ON p.objid = s.bestobjid",
-        );
+        let inner = d
+            .submit("SELECT p.objid FROM PhotoObj p INNER JOIN SpecObj s ON p.objid = s.bestobjid");
+        let left =
+            d.submit("SELECT p.objid FROM PhotoObj p LEFT JOIN SpecObj s ON p.objid = s.bestobjid");
         assert!(left.answer_size >= inner.answer_size);
         assert!(left.answer_size >= 2_000);
     }
@@ -338,9 +415,7 @@ mod tests {
     #[test]
     fn scalar_subquery_and_in_subquery() {
         let d = db();
-        let out = d.submit(
-            "SELECT objid FROM PhotoObj WHERE ra > (SELECT avg(ra) FROM PhotoObj)",
-        );
+        let out = d.submit("SELECT objid FROM PhotoObj WHERE ra > (SELECT avg(ra) FROM PhotoObj)");
         assert_eq!(out.error_class, ErrorClass::Success);
         assert!(out.answer_size > 0 && out.answer_size < 2_000);
 
@@ -399,9 +474,8 @@ mod tests {
     fn functions_in_where_charge_per_row() {
         let d = db();
         let plain = d.submit("SELECT objid FROM PhotoObj WHERE flags > 0");
-        let heavy = d.submit(
-            "SELECT objid FROM PhotoObj WHERE flags & dbo.fPhotoFlags('BLENDED') > 0",
-        );
+        let heavy =
+            d.submit("SELECT objid FROM PhotoObj WHERE flags & dbo.fPhotoFlags('BLENDED') > 0");
         assert_eq!(heavy.error_class, ErrorClass::Success);
         assert!(
             heavy.cpu_seconds > plain.cpu_seconds,
@@ -430,15 +504,27 @@ mod tests {
     #[test]
     fn exec_known_proc_succeeds_unknown_fails() {
         let d = db();
-        assert_eq!(d.submit("EXEC dbo.spGetNeighbors 1, 2").error_class, ErrorClass::Success);
-        assert_eq!(d.submit("EXEC dbo.blah 1").error_class, ErrorClass::NonSevere);
+        assert_eq!(
+            d.submit("EXEC dbo.spGetNeighbors 1, 2").error_class,
+            ErrorClass::Success
+        );
+        assert_eq!(
+            d.submit("EXEC dbo.blah 1").error_class,
+            ErrorClass::NonSevere
+        );
     }
 
     #[test]
     fn ddl_on_mydb_succeeds_on_shared_fails() {
         let d = db();
-        assert_eq!(d.submit("DROP TABLE mydb.results").error_class, ErrorClass::Success);
-        assert_eq!(d.submit("DROP TABLE PhotoObj").error_class, ErrorClass::NonSevere);
+        assert_eq!(
+            d.submit("DROP TABLE mydb.results").error_class,
+            ErrorClass::Success
+        );
+        assert_eq!(
+            d.submit("DROP TABLE PhotoObj").error_class,
+            ErrorClass::NonSevere
+        );
     }
 
     #[test]
@@ -462,6 +548,39 @@ mod tests {
         let out = db().submit("SELECT 1");
         assert_eq!(out.error_class, ErrorClass::Success);
         assert_eq!(out.answer_size, 1);
+    }
+
+    #[test]
+    fn explain_renders_optimized_plan() {
+        let d = db();
+        let plan = d
+            .explain(
+                "SELECT s.z FROM SpecObj s, PhotoObj p \
+                 WHERE s.bestobjid = p.objid AND p.type = 0",
+            )
+            .unwrap();
+        assert!(plan.contains("HashJoin"), "expected a hash join:\n{plan}");
+        assert!(
+            plan.contains("Filter (p.type = 0)"),
+            "expected pushed filter:\n{plan}"
+        );
+        assert!(plan.contains("Scan"), "expected scans:\n{plan}");
+
+        let naive = d
+            .clone()
+            .with_opt_level(crate::OptLevel::None)
+            .explain("SELECT s.z FROM SpecObj s, PhotoObj p WHERE s.bestobjid = p.objid")
+            .unwrap();
+        assert!(
+            naive.contains("CrossJoin"),
+            "naive plan folds with cross joins:\n{naive}"
+        );
+
+        assert!(d.explain("SELEC nonsense").is_err());
+        assert!(d
+            .explain("DROP TABLE mydb.results")
+            .unwrap()
+            .contains("Ddl"));
     }
 
     #[test]

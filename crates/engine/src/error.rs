@@ -15,7 +15,11 @@ pub enum RuntimeError {
     /// A called function is not in the registry.
     UnknownFunction(String),
     /// Wrong number of arguments for a registered function.
-    BadArity { function: String, expected: usize, got: usize },
+    BadArity {
+        function: String,
+        expected: usize,
+        got: usize,
+    },
     /// Operand types don't fit the operator.
     TypeError(String),
     /// Integer or float division by zero.
@@ -37,8 +41,15 @@ impl fmt::Display for RuntimeError {
             RuntimeError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
             RuntimeError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
             RuntimeError::UnknownFunction(x) => write!(f, "unknown function `{x}`"),
-            RuntimeError::BadArity { function, expected, got } => {
-                write!(f, "function `{function}` expects {expected} args, got {got}")
+            RuntimeError::BadArity {
+                function,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "function `{function}` expects {expected} args, got {got}"
+                )
             }
             RuntimeError::TypeError(m) => write!(f, "type error: {m}"),
             RuntimeError::DivideByZero => write!(f, "division by zero"),
@@ -89,7 +100,11 @@ impl ErrorClass {
     }
 
     /// All classes in the order the paper's Table 2 reports them.
-    pub const ALL: [ErrorClass; 3] = [ErrorClass::Severe, ErrorClass::Success, ErrorClass::NonSevere];
+    pub const ALL: [ErrorClass; 3] = [
+        ErrorClass::Severe,
+        ErrorClass::Success,
+        ErrorClass::NonSevere,
+    ];
 
     /// Class index used as the training label.
     pub fn index(self) -> usize {

@@ -64,7 +64,12 @@ pub fn eval(
             let r = eval(ctx, right, rel, row, outer, used_outer)?;
             Ok(Value::Bool(r.is_truthy()))
         }
-        Expr::Between { expr, negated, low, high } => {
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
             let v = eval(ctx, expr, rel, row, outer, used_outer)?;
             let lo = eval(ctx, low, rel, row, outer, used_outer)?;
             let hi = eval(ctx, high, rel, row, outer, used_outer)?;
@@ -77,7 +82,11 @@ pub fn eval(
             );
             Ok(Value::Bool(inside != *negated))
         }
-        Expr::InList { expr, negated, list } => {
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } => {
             let v = eval(ctx, expr, rel, row, outer, used_outer)?;
             let mut found = false;
             for item in list {
@@ -89,7 +98,11 @@ pub fn eval(
             }
             Ok(Value::Bool(found != *negated))
         }
-        Expr::Like { expr, negated, pattern } => {
+        Expr::Like {
+            expr,
+            negated,
+            pattern,
+        } => {
             let v = eval(ctx, expr, rel, row, outer, used_outer)?;
             let p = eval(ctx, pattern, rel, row, outer, used_outer)?;
             ctx.counter.eval_units += 1;
@@ -118,7 +131,11 @@ pub fn eval(
             ctx.counter.fn_units += cost;
             Ok(v)
         }
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             let op_val = match operand {
                 Some(o) => Some(eval(ctx, o, rel, row, outer, used_outer)?),
                 None => None,
@@ -160,7 +177,11 @@ pub fn eval(
             }
             Ok(v)
         }
-        Expr::InSubquery { expr, negated, subquery } => {
+        Expr::InSubquery {
+            expr,
+            negated,
+            subquery,
+        } => {
             let v = eval(ctx, expr, rel, row, outer, used_outer)?;
             let key = (&**subquery) as *const _ as usize;
             let set = match ctx.cached_subquery(key) {
@@ -234,17 +255,26 @@ pub fn apply_binary(l: &Value, op: Op, r: &Value) -> Result<Value, RuntimeError>
         Op::BitOr => l.bit_or(r),
         Op::BitXor => l.bit_xor(r),
         Op::Concat => l.concat(r),
-        Op::Eq => Ok(Value::Bool(matches!(l.sql_cmp(r), Some(std::cmp::Ordering::Equal)))),
+        Op::Eq => Ok(Value::Bool(matches!(
+            l.sql_cmp(r),
+            Some(std::cmp::Ordering::Equal)
+        ))),
         Op::Neq => Ok(Value::Bool(matches!(
             l.sql_cmp(r),
             Some(std::cmp::Ordering::Less | std::cmp::Ordering::Greater)
         ))),
-        Op::Lt => Ok(Value::Bool(matches!(l.sql_cmp(r), Some(std::cmp::Ordering::Less)))),
+        Op::Lt => Ok(Value::Bool(matches!(
+            l.sql_cmp(r),
+            Some(std::cmp::Ordering::Less)
+        ))),
         Op::Lte => Ok(Value::Bool(matches!(
             l.sql_cmp(r),
             Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
         ))),
-        Op::Gt => Ok(Value::Bool(matches!(l.sql_cmp(r), Some(std::cmp::Ordering::Greater)))),
+        Op::Gt => Ok(Value::Bool(matches!(
+            l.sql_cmp(r),
+            Some(std::cmp::Ordering::Greater)
+        ))),
         Op::Gte => Ok(Value::Bool(matches!(
             l.sql_cmp(r),
             Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
@@ -252,7 +282,7 @@ pub fn apply_binary(l: &Value, op: Op, r: &Value) -> Result<Value, RuntimeError>
     }
 }
 
-fn literal_value(l: &Literal) -> Value {
+pub(crate) fn literal_value(l: &Literal) -> Value {
     match l {
         Literal::Number(v, text) => {
             // Integers stay integers.
@@ -270,7 +300,12 @@ fn literal_value(l: &Literal) -> Value {
 }
 
 fn cast_value(v: Value, ty: &str) -> Result<Value, RuntimeError> {
-    let base = ty.split('(').next().unwrap_or(ty).trim().to_ascii_lowercase();
+    let base = ty
+        .split('(')
+        .next()
+        .unwrap_or(ty)
+        .trim()
+        .to_ascii_lowercase();
     match base.as_str() {
         "int" | "bigint" | "smallint" | "tinyint" => match &v {
             Value::Null => Ok(Value::Null),
@@ -300,7 +335,9 @@ fn cast_value(v: Value, ty: &str) -> Result<Value, RuntimeError> {
             Value::Null => Ok(Value::Null),
             other => Ok(Value::Str(other.display())),
         },
-        _ => Err(RuntimeError::TypeError(format!("unknown cast target `{ty}`"))),
+        _ => Err(RuntimeError::TypeError(format!(
+            "unknown cast target `{ty}`"
+        ))),
     }
 }
 

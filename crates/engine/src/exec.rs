@@ -1,29 +1,42 @@
-//! The query executor.
+//! Execution context and entry point.
 //!
-//! A straightforward materializing executor with a *mini optimizer*:
-//! single-table WHERE conjuncts are pushed to scans and cross-table
-//! equality conjuncts become hash joins, so that the comma-join style that
-//! dominates SDSS logs (`FROM SpecObj s, PhotoObj p WHERE s.objid=p.objid`)
-//! executes in linear rather than quadratic time. Everything else —
-//! explicit joins, grouping, HAVING, DISTINCT, ORDER BY, TOP, correlated
-//! subqueries — is evaluated directly.
+//! Queries run through an explicit three-layer pipeline:
 //!
-//! Every row touched, function called, comparison sorted and hash probed is
-//! charged to a [`CostCounter`]; the resulting deterministic cost is the
-//! CPU-time label of the workload entry.
+//! 1. [`crate::plan`] lowers the AST into a [`crate::plan::QueryPlan`];
+//! 2. [`crate::optimizer`] passes rewrite the plan (predicate pushdown,
+//!    equi-join detection, and friends — each individually toggleable);
+//! 3. [`crate::physical`] executes the optimized plan, charging every row
+//!    touched, function called, comparison sorted and hash probed to a
+//!    [`crate::CostCounter`]; the resulting deterministic cost is the
+//!    CPU-time label of the workload entry.
+//!
+//! This module owns the shared state threaded through that pipeline: the
+//! catalog/function registry borrows, resource budgets, the cost counter,
+//! the uncorrelated-subquery cache, and the per-statement plan cache
+//! (correlated subqueries re-execute per outer row; caching plans by AST
+//! identity keeps re-planning out of the hot loop **and** keeps the
+//! subquery result cache stable, since cache keys are expression
+//! addresses inside the cached plan).
 
 use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::OnceLock;
 
-use sqlan_sql::{
-    Aggregate, Expr, FromItem, JoinKind, Query, SelectItem, TableFactor, UnaryOp,
-};
+use sqlan_sql::{Expr, Query};
 
 use crate::catalog::Catalog;
 use crate::cost::CostCounter;
 use crate::error::RuntimeError;
 use crate::functions::FnRegistry;
-use crate::relation::{ColRef, Relation};
+use crate::optimizer::Optimizer;
+use crate::plan::QueryPlan;
+use crate::relation::Relation;
 use crate::value::Value;
+
+// Former residents of this module, re-exported for compatibility: conjunct
+// analysis moved into the plan/optimizer layers.
+pub use crate::optimizer::equi_join_keys;
+pub use crate::plan::{query_has_aggregate, split_conjuncts};
 
 /// Budget limits standing in for the server-side timeouts real portals
 /// enforce. Exceeding them raises [`RuntimeError::ResourceExhausted`].
@@ -37,8 +50,16 @@ pub struct ExecLimits {
 
 impl Default for ExecLimits {
     fn default() -> Self {
-        ExecLimits { max_rows: 400_000, max_units: 2_000_000_000 }
+        ExecLimits {
+            max_rows: 400_000,
+            max_units: 2_000_000_000,
+        }
     }
+}
+
+fn default_optimizer() -> &'static Optimizer {
+    static DEFAULT: OnceLock<Optimizer> = OnceLock::new();
+    DEFAULT.get_or_init(Optimizer::default)
 }
 
 /// Execution context shared down the query tree.
@@ -47,8 +68,12 @@ pub struct ExecCtx<'a> {
     pub fns: &'a FnRegistry,
     pub limits: ExecLimits,
     pub counter: CostCounter,
+    optimizer: &'a Optimizer,
     /// Cache of uncorrelated subquery results keyed by AST address.
     subquery_cache: HashMap<usize, CachedSubquery>,
+    /// Optimized plans keyed by `Query` AST address (stable for the
+    /// lifetime of this context).
+    plan_cache: HashMap<usize, Rc<QueryPlan>>,
 }
 
 #[derive(Debug, Clone)]
@@ -60,7 +85,9 @@ pub(crate) enum CachedSubquery {
 
 impl std::fmt::Debug for ExecCtx<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ExecCtx").field("counter", &self.counter).finish()
+        f.debug_struct("ExecCtx")
+            .field("counter", &self.counter)
+            .finish()
     }
 }
 
@@ -72,19 +99,36 @@ pub struct Scope<'r> {
 }
 
 impl<'a> ExecCtx<'a> {
+    /// A context using the process-wide default optimizer
+    /// ([`crate::OptLevel::Default`], the label-stable pass set).
     pub fn new(catalog: &'a Catalog, fns: &'a FnRegistry, limits: ExecLimits) -> Self {
-        ExecCtx { catalog, fns, limits, counter: CostCounter::default(), subquery_cache: HashMap::new() }
+        Self::with_optimizer(catalog, fns, limits, default_optimizer())
     }
 
-    fn check_budget(&self, extra_rows: usize) -> Result<(), RuntimeError> {
+    pub fn with_optimizer(
+        catalog: &'a Catalog,
+        fns: &'a FnRegistry,
+        limits: ExecLimits,
+        optimizer: &'a Optimizer,
+    ) -> Self {
+        ExecCtx {
+            catalog,
+            fns,
+            limits,
+            counter: CostCounter::default(),
+            optimizer,
+            subquery_cache: HashMap::new(),
+            plan_cache: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn check_budget(&self, extra_rows: usize) -> Result<(), RuntimeError> {
         if extra_rows > self.limits.max_rows || self.counter.units() > self.limits.max_units {
             Err(RuntimeError::ResourceExhausted)
         } else {
             Ok(())
         }
     }
-
-    // ================= query execution =================
 
     /// Execute a query; `outer` is the chain of enclosing row scopes for
     /// correlated subqueries (innermost last). Returns the result plus a
@@ -94,737 +138,19 @@ impl<'a> ExecCtx<'a> {
         q: &Query,
         outer: &[Scope<'_>],
     ) -> Result<(Relation, bool), RuntimeError> {
-        let mut used_outer = false;
-
-        // ---- FROM with pushdown -------------------------------------
-        let conjuncts = q.where_clause.as_ref().map(split_conjuncts).unwrap_or_default();
-        let mut item_rels: Vec<Relation> = Vec::with_capacity(q.from.len());
-        for item in &q.from {
-            let rel = self.exec_from_item(item, outer, &mut used_outer)?;
-            item_rels.push(rel);
-        }
-
-        let mut residual: Vec<&Expr> = Vec::new();
-        let mut join_conds: Vec<&Expr> = Vec::new();
-
-        if item_rels.is_empty() {
-            residual = conjuncts;
-        } else {
-            // Classify each conjunct: push to a single item, use as an
-            // equi-join between items, or keep as residual.
-            for c in conjuncts {
-                match classify_conjunct(c, &item_rels) {
-                    ConjunctClass::SingleItem(i) => {
-                        let rel = std::mem::take(&mut item_rels[i]);
-                        item_rels[i] = self.filter(rel, c, outer, &mut used_outer)?;
-                    }
-                    ConjunctClass::EquiJoin => join_conds.push(c),
-                    ConjunctClass::Residual => residual.push(c),
-                }
-            }
-        }
-
-        // Combine the comma-list items with hash joins when possible.
-        let mut source = match item_rels.len() {
-            0 => Relation::unit(),
-            _ => {
-                let mut acc = item_rels.remove(0);
-                for next in item_rels {
-                    let (cond, rest): (Vec<&Expr>, Vec<&Expr>) =
-                        join_conds.iter().partition(|c| {
-                            equi_join_keys(c, &acc, &next).is_some()
-                        });
-                    join_conds = rest;
-                    acc = self.combine(acc, next, &cond, outer, &mut used_outer)?;
-                }
-                // Join conditions that never became applicable drop to
-                // residual filtering.
-                residual.extend(join_conds);
-                acc
-            }
-        };
-
-        // ---- residual WHERE ------------------------------------------
-        for c in residual {
-            source = self.filter(source, c, outer, &mut used_outer)?;
-        }
-
-        // ---- grouping / aggregation ----------------------------------
-        let is_agg = !q.group_by.is_empty() || query_has_aggregate(q);
-        let mut projected = if is_agg {
-            self.exec_aggregate(q, &source, outer, &mut used_outer)?
-        } else {
-            self.project(q, &source, outer, &mut used_outer)?
-        };
-
-        // ---- DISTINCT --------------------------------------------------
-        if q.distinct {
-            projected = self.distinct(projected)?;
-        }
-
-        // ---- ORDER BY (on projected output, falling back to source) ----
-        if !q.order_by.is_empty() && !is_agg {
-            projected = self.order_by(q, projected, &source, outer, &mut used_outer)?;
-        } else if !q.order_by.is_empty() {
-            // Aggregate outputs sort on their projected columns only.
-            projected =
-                self.order_by(q, projected, &Relation::default(), outer, &mut used_outer)?;
-        }
-
-        // ---- TOP --------------------------------------------------------
-        if let Some(n) = q.top {
-            projected.rows.truncate(n as usize);
-        }
-
-        Ok((projected, used_outer))
+        let plan = self.plan_for(q);
+        self.exec_plan(&plan, outer)
     }
 
-    fn exec_from_item(
-        &mut self,
-        item: &FromItem,
-        outer: &[Scope<'_>],
-        used_outer: &mut bool,
-    ) -> Result<Relation, RuntimeError> {
-        let mut rel = self.exec_factor(&item.factor, outer, used_outer)?;
-        for join in &item.joins {
-            let right = self.exec_factor(&join.factor, outer, used_outer)?;
-            rel = self.join(rel, right, join.kind, join.on.as_ref(), outer, used_outer)?;
+    /// Lower + optimize `q`, memoized on the query's address.
+    fn plan_for(&mut self, q: &Query) -> Rc<QueryPlan> {
+        let key = q as *const Query as usize;
+        if let Some(plan) = self.plan_cache.get(&key) {
+            return Rc::clone(plan);
         }
-        Ok(rel)
-    }
-
-    fn exec_factor(
-        &mut self,
-        factor: &TableFactor,
-        outer: &[Scope<'_>],
-        used_outer: &mut bool,
-    ) -> Result<Relation, RuntimeError> {
-        match factor {
-            TableFactor::Table { name, alias } => {
-                let canonical = name.canonical();
-                let table = self
-                    .catalog
-                    .get(&canonical)
-                    .ok_or_else(|| RuntimeError::UnknownTable(canonical.clone()))?;
-                let n = table.row_count();
-                self.counter.rows_scanned += n as u64;
-                self.check_budget(n)?;
-                let qualifier = alias.as_ref().map(|a| a.to_ascii_lowercase());
-                let tname = table.name.to_ascii_lowercase();
-                let cols = table
-                    .columns
-                    .iter()
-                    .map(|c| ColRef {
-                        qualifier: qualifier.clone(),
-                        table: Some(tname.clone()),
-                        name: c.name.clone(),
-                    })
-                    .collect();
-                let mut rows = Vec::with_capacity(n);
-                for r in 0..n {
-                    rows.push(table.data.iter().map(|c| c.get(r)).collect());
-                }
-                Ok(Relation { cols, rows })
-            }
-            TableFactor::Derived { subquery, alias } => {
-                let (mut rel, uo) = self.exec_query(subquery, outer)?;
-                *used_outer |= uo;
-                // Rebind all columns under the derived alias.
-                let qualifier = alias.as_ref().map(|a| a.to_ascii_lowercase());
-                for c in &mut rel.cols {
-                    c.qualifier = qualifier.clone();
-                    c.table = None;
-                }
-                Ok(rel)
-            }
-        }
-    }
-
-    fn filter(
-        &mut self,
-        rel: Relation,
-        pred: &Expr,
-        outer: &[Scope<'_>],
-        used_outer: &mut bool,
-    ) -> Result<Relation, RuntimeError> {
-        let mut rows = Vec::new();
-        self.counter.eval_units += rel.rows.len() as u64;
-        // Periodic budget check so runaway predicates with functions abort.
-        for (i, row) in rel.rows.iter().enumerate() {
-            if i % 4096 == 0 {
-                self.check_budget(0)?;
-            }
-            let v = self.eval_with_row(pred, &rel, row, outer, used_outer)?;
-            if v.is_truthy() {
-                rows.push(row.clone());
-            }
-        }
-        self.counter.rows_materialized += rows.len() as u64;
-        Ok(Relation { cols: rel.cols, rows })
-    }
-
-    /// Join two relations (explicit JOIN syntax).
-    fn join(
-        &mut self,
-        left: Relation,
-        right: Relation,
-        kind: JoinKind,
-        on: Option<&Expr>,
-        outer: &[Scope<'_>],
-        used_outer: &mut bool,
-    ) -> Result<Relation, RuntimeError> {
-        let cols: Vec<ColRef> = left.cols.iter().chain(right.cols.iter()).cloned().collect();
-
-        // Try hash path for inner/left/right equi-joins.
-        if let Some(cond) = on {
-            if let Some((lk, rk)) = equi_join_keys(cond, &left, &right) {
-                return self.hash_join(left, right, cols, lk, rk, cond, kind, outer, used_outer);
-            }
-        }
-
-        // Nested-loop fallback (also handles CROSS JOIN).
-        let est = left.len().saturating_mul(right.len().max(1));
-        self.check_budget(est)?;
-        let mut rows = Vec::new();
-        let mut right_matched = vec![false; right.len()];
-        for lrow in &left.rows {
-            let mut matched = false;
-            for (ri, rrow) in right.rows.iter().enumerate() {
-                self.counter.eval_units += 1;
-                let combined: Vec<Value> = lrow.iter().chain(rrow.iter()).cloned().collect();
-                let keep = match on {
-                    None => true,
-                    Some(cond) => {
-                        let tmp = Relation { cols: cols.clone(), rows: Vec::new() };
-                        self.eval_with_row(cond, &tmp, &combined, outer, used_outer)?.is_truthy()
-                    }
-                };
-                if keep {
-                    matched = true;
-                    right_matched[ri] = true;
-                    rows.push(combined);
-                    if rows.len() > self.limits.max_rows {
-                        return Err(RuntimeError::ResourceExhausted);
-                    }
-                }
-            }
-            if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
-                let mut padded = lrow.clone();
-                padded.extend(std::iter::repeat(Value::Null).take(right.width()));
-                rows.push(padded);
-            }
-        }
-        if matches!(kind, JoinKind::Right | JoinKind::Full) {
-            for (ri, rrow) in right.rows.iter().enumerate() {
-                if !right_matched[ri] {
-                    let mut padded: Vec<Value> =
-                        std::iter::repeat(Value::Null).take(left.width()).collect();
-                    padded.extend(rrow.iter().cloned());
-                    rows.push(padded);
-                }
-            }
-        }
-        self.counter.rows_materialized += rows.len() as u64;
-        Ok(Relation { cols, rows })
-    }
-
-    /// Hash join on single-key equality, preserving outer-join semantics.
-    #[allow(clippy::too_many_arguments)]
-    fn hash_join(
-        &mut self,
-        left: Relation,
-        right: Relation,
-        cols: Vec<ColRef>,
-        lk: Expr,
-        rk: Expr,
-        full_cond: &Expr,
-        kind: JoinKind,
-        outer: &[Scope<'_>],
-        used_outer: &mut bool,
-    ) -> Result<Relation, RuntimeError> {
-        // Build on the right side.
-        let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
-        for (ri, rrow) in right.rows.iter().enumerate() {
-            let v = self.eval_with_row(&rk, &right, rrow, outer, used_outer)?;
-            if v.is_null() {
-                continue;
-            }
-            let mut key = Vec::new();
-            v.group_key(&mut key);
-            table.entry(key).or_default().push(ri);
-            self.counter.hash_ops += 1;
-        }
-
-        let mut rows = Vec::new();
-        let mut right_matched = vec![false; right.len()];
-        let tmp_cols = Relation { cols: cols.clone(), rows: Vec::new() };
-        for lrow in &left.rows {
-            self.counter.hash_ops += 1;
-            let v = self.eval_with_row(&lk, &left, lrow, outer, used_outer)?;
-            let mut matched = false;
-            if !v.is_null() {
-                let mut key = Vec::new();
-                v.group_key(&mut key);
-                if let Some(cands) = table.get(&key) {
-                    for &ri in cands {
-                        let combined: Vec<Value> =
-                            lrow.iter().chain(right.rows[ri].iter()).cloned().collect();
-                        // Re-check the full ON condition (it may have
-                        // residual conjuncts beyond the hash key).
-                        self.counter.eval_units += 1;
-                        if self
-                            .eval_with_row(full_cond, &tmp_cols, &combined, outer, used_outer)?
-                            .is_truthy()
-                        {
-                            matched = true;
-                            right_matched[ri] = true;
-                            rows.push(combined);
-                            if rows.len() > self.limits.max_rows {
-                                return Err(RuntimeError::ResourceExhausted);
-                            }
-                        }
-                    }
-                }
-            }
-            if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
-                let mut padded = lrow.clone();
-                padded.extend(std::iter::repeat(Value::Null).take(right.width()));
-                rows.push(padded);
-            }
-        }
-        if matches!(kind, JoinKind::Right | JoinKind::Full) {
-            for (ri, rrow) in right.rows.iter().enumerate() {
-                if !right_matched[ri] {
-                    let mut padded: Vec<Value> =
-                        std::iter::repeat(Value::Null).take(left.width()).collect();
-                    padded.extend(rrow.iter().cloned());
-                    rows.push(padded);
-                }
-            }
-        }
-        self.counter.rows_materialized += rows.len() as u64;
-        Ok(Relation { cols, rows })
-    }
-
-    /// Combine two comma-list items using extracted equi-join conditions
-    /// (inner-join semantics, which is what comma joins mean).
-    fn combine(
-        &mut self,
-        left: Relation,
-        right: Relation,
-        conds: &[&Expr],
-        outer: &[Scope<'_>],
-        used_outer: &mut bool,
-    ) -> Result<Relation, RuntimeError> {
-        let cols: Vec<ColRef> = left.cols.iter().chain(right.cols.iter()).cloned().collect();
-        if let Some(first) = conds.first() {
-            if let Some((lk, rk)) = equi_join_keys(first, &left, &right) {
-                // Conjoin all applicable conditions for the post-probe check.
-                let full = conds
-                    .iter()
-                    .skip(1)
-                    .fold((**first).clone(), |acc, c| Expr::Logical {
-                        left: Box::new(acc),
-                        and: true,
-                        right: Box::new((**c).clone()),
-                    });
-                return self
-                    .hash_join(left, right, cols, lk, rk, &full, JoinKind::Inner, outer, used_outer);
-            }
-        }
-        // Pure cartesian product.
-        self.join(left, right, JoinKind::Cross, None, outer, used_outer)
-    }
-
-    // ================= projection / aggregation =================
-
-    fn project(
-        &mut self,
-        q: &Query,
-        source: &Relation,
-        outer: &[Scope<'_>],
-        used_outer: &mut bool,
-    ) -> Result<Relation, RuntimeError> {
-        let (cols, plan) = self.projection_plan(&q.select, source)?;
-        let mut rows = Vec::with_capacity(source.len());
-        self.counter.eval_units += (source.len() * plan.len().max(1)) as u64;
-        for (i, row) in source.rows.iter().enumerate() {
-            if i % 4096 == 0 {
-                self.check_budget(0)?;
-            }
-            let mut out = Vec::with_capacity(cols.len());
-            for p in &plan {
-                match p {
-                    ProjStep::Passthrough(idx) => out.push(row[*idx].clone()),
-                    ProjStep::Eval(e) => {
-                        out.push(self.eval_with_row(e, source, row, outer, used_outer)?)
-                    }
-                }
-            }
-            rows.push(out);
-        }
-        self.counter.rows_materialized += rows.len() as u64;
-        Ok(Relation { cols, rows })
-    }
-
-    /// Expand wildcards and prepare per-item evaluation steps.
-    fn projection_plan<'q>(
-        &self,
-        select: &'q [SelectItem],
-        source: &Relation,
-    ) -> Result<(Vec<ColRef>, Vec<ProjStep<'q>>), RuntimeError> {
-        let mut cols = Vec::new();
-        let mut plan = Vec::new();
-        for (k, item) in select.iter().enumerate() {
-            match &item.expr {
-                Expr::Wildcard(qual) => {
-                    let idxs = source.wildcard_columns(qual.as_deref());
-                    if idxs.is_empty() && qual.is_some() {
-                        return Err(RuntimeError::UnknownColumn(format!(
-                            "{}.*",
-                            qual.clone().unwrap_or_default()
-                        )));
-                    }
-                    for i in idxs {
-                        cols.push(source.cols[i].clone());
-                        plan.push(ProjStep::Passthrough(i));
-                    }
-                }
-                e => {
-                    let name = item
-                        .alias
-                        .clone()
-                        .or_else(|| match e {
-                            Expr::Column(c) => Some(c.base().to_string()),
-                            _ => None,
-                        })
-                        .unwrap_or_else(|| format!("col{}", k + 1));
-                    cols.push(ColRef { qualifier: None, table: None, name });
-                    plan.push(ProjStep::Eval(e));
-                }
-            }
-        }
-        Ok((cols, plan))
-    }
-
-    fn exec_aggregate(
-        &mut self,
-        q: &Query,
-        source: &Relation,
-        outer: &[Scope<'_>],
-        used_outer: &mut bool,
-    ) -> Result<Relation, RuntimeError> {
-        // Group rows by the GROUP BY key (single group if absent).
-        let mut groups: Vec<Vec<usize>> = Vec::new();
-        if q.group_by.is_empty() {
-            groups.push((0..source.len()).collect());
-        } else {
-            let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
-            for (ri, row) in source.rows.iter().enumerate() {
-                let mut key = Vec::new();
-                for g in &q.group_by {
-                    let v = self.eval_with_row(g, source, row, outer, used_outer)?;
-                    v.group_key(&mut key);
-                }
-                self.counter.hash_ops += 1;
-                let gid = *index.entry(key).or_insert_with(|| {
-                    groups.push(Vec::new());
-                    groups.len() - 1
-                });
-                groups[gid].push(ri);
-            }
-        }
-
-        // HAVING filters groups.
-        let mut kept: Vec<&Vec<usize>> = Vec::new();
-        for g in &groups {
-            if q.group_by.is_empty() || !g.is_empty() {
-                let keep = match &q.having {
-                    None => true,
-                    Some(h) => self
-                        .eval_in_group(h, source, g, outer, used_outer)?
-                        .is_truthy(),
-                };
-                if keep {
-                    kept.push(g);
-                }
-            }
-        }
-        // An empty input with no GROUP BY still yields one aggregate row
-        // (COUNT(*) = 0), which `groups` already encodes.
-
-        // Project each group.
-        let mut cols = Vec::new();
-        for (k, item) in q.select.iter().enumerate() {
-            let name = item
-                .alias
-                .clone()
-                .or_else(|| match &item.expr {
-                    Expr::Column(c) => Some(c.base().to_string()),
-                    Expr::Function(f) => Some(f.name.base().to_string()),
-                    _ => None,
-                })
-                .unwrap_or_else(|| format!("col{}", k + 1));
-            cols.push(ColRef { qualifier: None, table: None, name });
-        }
-        let mut rows = Vec::with_capacity(kept.len());
-        for g in kept {
-            self.check_budget(0)?;
-            let mut out = Vec::with_capacity(q.select.len());
-            for item in &q.select {
-                out.push(self.eval_in_group(&item.expr, source, g, outer, used_outer)?);
-            }
-            rows.push(out);
-        }
-
-        // ORDER BY for aggregates: evaluate per group on the already
-        // projected row (aliases) — handled by caller via projected rel.
-        let mut rel = Relation { cols, rows };
-
-        // Sort aggregate output here if ORDER BY references aliases or
-        // aggregate expressions; the generic order_by in exec_query handles
-        // the alias case since source is empty.
-        let _ = &mut rel;
-        self.counter.rows_materialized += rel.rows.len() as u64;
-        Ok(rel)
-    }
-
-    /// Evaluate an expression in aggregate context: aggregate calls reduce
-    /// over the group's rows; bare columns take their value from the first
-    /// row of the group (lenient T-SQL-ish behaviour).
-    fn eval_in_group(
-        &mut self,
-        expr: &Expr,
-        source: &Relation,
-        group: &[usize],
-        outer: &[Scope<'_>],
-        used_outer: &mut bool,
-    ) -> Result<Value, RuntimeError> {
-        match expr {
-            Expr::Function(f) if f.aggregate.is_some() => {
-                let agg = f.aggregate.unwrap();
-                self.counter.eval_units += group.len() as u64;
-                match agg {
-                    Aggregate::Count => {
-                        if f.args.is_empty()
-                            || matches!(f.args.first(), Some(Expr::Wildcard(_)))
-                        {
-                            return Ok(Value::Int(group.len() as i64));
-                        }
-                        let mut n = 0i64;
-                        let mut seen = std::collections::HashSet::new();
-                        for &ri in group {
-                            let v = self.eval_with_row(
-                                &f.args[0],
-                                source,
-                                &source.rows[ri],
-                                outer,
-                                used_outer,
-                            )?;
-                            if !v.is_null() {
-                                if f.distinct {
-                                    let mut k = Vec::new();
-                                    v.group_key(&mut k);
-                                    if seen.insert(k) {
-                                        n += 1;
-                                    }
-                                } else {
-                                    n += 1;
-                                }
-                            }
-                        }
-                        Ok(Value::Int(n))
-                    }
-                    Aggregate::Min | Aggregate::Max | Aggregate::Sum | Aggregate::Avg => {
-                        let arg = f.args.first().ok_or_else(|| {
-                            RuntimeError::TypeError(format!("{}() needs an argument", agg.name()))
-                        })?;
-                        let mut acc: Option<Value> = None;
-                        let mut sum = 0.0f64;
-                        let mut all_int = true;
-                        let mut n = 0u64;
-                        for &ri in group {
-                            let v = self.eval_with_row(
-                                arg,
-                                source,
-                                &source.rows[ri],
-                                outer,
-                                used_outer,
-                            )?;
-                            if v.is_null() {
-                                continue;
-                            }
-                            n += 1;
-                            match agg {
-                                Aggregate::Min => {
-                                    acc = Some(match acc {
-                                        None => v,
-                                        Some(a) => {
-                                            if v.total_cmp(&a).is_lt() {
-                                                v
-                                            } else {
-                                                a
-                                            }
-                                        }
-                                    });
-                                }
-                                Aggregate::Max => {
-                                    acc = Some(match acc {
-                                        None => v,
-                                        Some(a) => {
-                                            if v.total_cmp(&a).is_gt() {
-                                                v
-                                            } else {
-                                                a
-                                            }
-                                        }
-                                    });
-                                }
-                                _ => {
-                                    if !matches!(v, Value::Int(_)) {
-                                        all_int = false;
-                                    }
-                                    sum += v.as_f64().ok_or_else(|| {
-                                        RuntimeError::TypeError(format!(
-                                            "{}() over non-numeric values",
-                                            agg.name()
-                                        ))
-                                    })?;
-                                }
-                            }
-                        }
-                        match agg {
-                            Aggregate::Min | Aggregate::Max => Ok(acc.unwrap_or(Value::Null)),
-                            Aggregate::Sum => {
-                                if n == 0 {
-                                    Ok(Value::Null)
-                                } else if all_int {
-                                    Ok(Value::Int(sum as i64))
-                                } else {
-                                    Ok(Value::Float(sum))
-                                }
-                            }
-                            Aggregate::Avg => {
-                                if n == 0 {
-                                    Ok(Value::Null)
-                                } else {
-                                    Ok(Value::Float(sum / n as f64))
-                                }
-                            }
-                            Aggregate::Count => unreachable!(),
-                        }
-                    }
-                }
-            }
-            Expr::Literal(_) => self.eval_with_row(expr, source, &[], outer, used_outer),
-            // Composite expressions: recurse, aggregating sub-calls.
-            Expr::Binary { left, op, right } => {
-                let l = self.eval_in_group(left, source, group, outer, used_outer)?;
-                let r = self.eval_in_group(right, source, group, outer, used_outer)?;
-                crate::eval::apply_binary(&l, *op, &r)
-            }
-            Expr::Logical { left, and, right } => {
-                let l = self.eval_in_group(left, source, group, outer, used_outer)?;
-                if *and && !l.is_truthy() {
-                    return Ok(Value::Bool(false));
-                }
-                if !*and && l.is_truthy() {
-                    return Ok(Value::Bool(true));
-                }
-                let r = self.eval_in_group(right, source, group, outer, used_outer)?;
-                Ok(Value::Bool(if *and {
-                    l.is_truthy() && r.is_truthy()
-                } else {
-                    l.is_truthy() || r.is_truthy()
-                }))
-            }
-            Expr::Unary { op, expr } => {
-                let v = self.eval_in_group(expr, source, group, outer, used_outer)?;
-                match op {
-                    UnaryOp::Neg => v.neg(),
-                    UnaryOp::Plus => Ok(v),
-                    UnaryOp::Not => Ok(Value::Bool(!v.is_truthy())),
-                }
-            }
-            Expr::Function(f) => {
-                // Scalar function over aggregated arguments.
-                let mut args = Vec::with_capacity(f.args.len());
-                for a in &f.args {
-                    args.push(self.eval_in_group(a, source, group, outer, used_outer)?);
-                }
-                let (v, cost) = self.fns.call(&f.name.canonical(), &args)?;
-                self.counter.fn_units += cost;
-                Ok(v)
-            }
-            // Bare columns etc.: first row of the group (empty group → NULL).
-            other => match group.first() {
-                Some(&ri) => {
-                    self.eval_with_row(other, source, &source.rows[ri], outer, used_outer)
-                }
-                None => Ok(Value::Null),
-            },
-        }
-    }
-
-    fn distinct(&mut self, rel: Relation) -> Result<Relation, RuntimeError> {
-        let mut seen = std::collections::HashSet::new();
-        let mut rows = Vec::new();
-        for row in rel.rows {
-            self.counter.hash_ops += 1;
-            let mut key = Vec::new();
-            for v in &row {
-                v.group_key(&mut key);
-            }
-            if seen.insert(key) {
-                rows.push(row);
-            }
-        }
-        Ok(Relation { cols: rel.cols, rows })
-    }
-
-    fn order_by(
-        &mut self,
-        q: &Query,
-        projected: Relation,
-        source: &Relation,
-        outer: &[Scope<'_>],
-        used_outer: &mut bool,
-    ) -> Result<Relation, RuntimeError> {
-        // Evaluate sort keys per projected row; resolution tries the
-        // projected columns (select aliases) first, then the source row.
-        let paired = !source.cols.is_empty() && source.len() == projected.len();
-        let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(projected.len());
-        for (i, row) in projected.rows.into_iter().enumerate() {
-            let mut keys = Vec::with_capacity(q.order_by.len());
-            for ob in &q.order_by {
-                let tmp = Relation { cols: projected.cols.clone(), rows: Vec::new() };
-                let v = match self.eval_with_row(&ob.expr, &tmp, &row, outer, used_outer) {
-                    Ok(v) => v,
-                    Err(RuntimeError::UnknownColumn(_)) | Err(RuntimeError::AmbiguousColumn(_))
-                        if paired =>
-                    {
-                        self.eval_with_row(&ob.expr, source, &source.rows[i], outer, used_outer)?
-                    }
-                    Err(e) => return Err(e),
-                };
-                keys.push(v);
-            }
-            keyed.push((keys, row));
-        }
-        let descs: Vec<bool> = q.order_by.iter().map(|o| o.desc).collect();
-        let mut cmp_count = 0u64;
-        keyed.sort_by(|a, b| {
-            cmp_count += 1;
-            for (k, desc) in descs.iter().enumerate() {
-                let ord = a.0[k].total_cmp(&b.0[k]);
-                if ord != std::cmp::Ordering::Equal {
-                    return if *desc { ord.reverse() } else { ord };
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        self.counter.sort_cmps += cmp_count;
-        Ok(Relation { cols: projected.cols, rows: keyed.into_iter().map(|(_, r)| r).collect() })
+        let plan = Rc::new(self.optimizer.plan(q, self.catalog));
+        self.plan_cache.insert(key, Rc::clone(&plan));
+        plan
     }
 
     // ================= scalar evaluation bridge =================
@@ -856,141 +182,4 @@ impl<'a> ExecCtx<'a> {
     pub(crate) fn cache_nonempty(&mut self, key: usize, b: bool) {
         self.subquery_cache.insert(key, CachedSubquery::NonEmpty(b));
     }
-}
-
-
-enum ProjStep<'q> {
-    Passthrough(usize),
-    Eval(&'q Expr),
-}
-
-// ================= conjunct analysis =================
-
-/// Split a boolean expression into AND-connected conjuncts.
-pub fn split_conjuncts(e: &Expr) -> Vec<&Expr> {
-    let mut out = Vec::new();
-    fn rec<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-        match e {
-            Expr::Logical { left, and: true, right } => {
-                rec(left, out);
-                rec(right, out);
-            }
-            other => out.push(other),
-        }
-    }
-    rec(e, &mut out);
-    out
-}
-
-enum ConjunctClass {
-    SingleItem(usize),
-    EquiJoin,
-    Residual,
-}
-
-/// Which FROM items does this conjunct touch?
-fn classify_conjunct(c: &Expr, items: &[Relation]) -> ConjunctClass {
-    let mut touched: Vec<usize> = Vec::new();
-    let mut unresolved = false;
-    collect_column_parts(c, &mut |parts| {
-        let mut any = false;
-        for (i, rel) in items.iter().enumerate() {
-            if let Ok(Some(_)) = rel.resolve(parts) {
-                if !touched.contains(&i) {
-                    touched.push(i);
-                }
-                any = true;
-                break;
-            }
-        }
-        if !any {
-            unresolved = true;
-        }
-    });
-    if unresolved {
-        return ConjunctClass::Residual;
-    }
-    match touched.len() {
-        0 | 1 => ConjunctClass::SingleItem(touched.first().copied().unwrap_or(0)),
-        2 if is_equality(c) => ConjunctClass::EquiJoin,
-        _ => ConjunctClass::Residual,
-    }
-}
-
-fn is_equality(e: &Expr) -> bool {
-    matches!(e, Expr::Binary { op: sqlan_sql::Op::Eq, .. })
-}
-
-fn collect_column_parts<'a>(e: &'a Expr, f: &mut impl FnMut(&'a [String])) {
-    sqlan_sql::visit::walk_expr(e, &mut |x| {
-        if let Expr::Column(c) = x {
-            f(&c.parts);
-        }
-    });
-}
-
-/// If `cond` (or its first equality conjunct) is `lhs = rhs` with `lhs`
-/// fully resolvable in `left` and `rhs` in `right` (or vice versa), return
-/// the key expressions oriented as (left_key, right_key).
-pub fn equi_join_keys(cond: &Expr, left: &Relation, right: &Relation) -> Option<(Expr, Expr)> {
-    for c in split_conjuncts(cond) {
-        if let Expr::Binary { left: l, op: sqlan_sql::Op::Eq, right: r } = c {
-            let l_in_left = expr_resolvable(l, left);
-            let r_in_right = expr_resolvable(r, right);
-            if l_in_left && r_in_right {
-                return Some(((**l).clone(), (**r).clone()));
-            }
-            let l_in_right = expr_resolvable(l, right);
-            let r_in_left = expr_resolvable(r, left);
-            if l_in_right && r_in_left {
-                return Some(((**r).clone(), (**l).clone()));
-            }
-        }
-    }
-    None
-}
-
-/// Does every column in `e` resolve within `rel`, with at least one column
-/// present (constants alone don't make a join key)?
-fn expr_resolvable(e: &Expr, rel: &Relation) -> bool {
-    let mut any = false;
-    let mut all = true;
-    collect_column_parts(e, &mut |parts| {
-        any = true;
-        if !matches!(rel.resolve(parts), Ok(Some(_))) {
-            all = false;
-        }
-    });
-    any && all && !contains_subquery(e)
-}
-
-fn contains_subquery(e: &Expr) -> bool {
-    let mut found = false;
-    sqlan_sql::visit::walk_expr(e, &mut |x| {
-        if matches!(x, Expr::Subquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. }) {
-            found = true;
-        }
-    });
-    found
-}
-
-/// Does any select item or HAVING clause contain an aggregate call?
-pub fn query_has_aggregate(q: &Query) -> bool {
-    let mut found = false;
-    let mut check = |e: &Expr| {
-        sqlan_sql::visit::walk_expr(e, &mut |x| {
-            if let Expr::Function(f) = x {
-                if f.aggregate.is_some() {
-                    found = true;
-                }
-            }
-        });
-    };
-    for item in &q.select {
-        check(&item.expr);
-    }
-    if let Some(h) = &q.having {
-        check(h);
-    }
-    found
 }

@@ -56,32 +56,147 @@ impl FnRegistry {
         };
 
         // ---- generic scalar functions ----------------------------------
-        add(ScalarFn { name: "abs", arity: Some(1), cost: 1, imp: f_abs });
-        add(ScalarFn { name: "sqrt", arity: Some(1), cost: 2, imp: f_sqrt });
-        add(ScalarFn { name: "floor", arity: Some(1), cost: 1, imp: f_floor });
-        add(ScalarFn { name: "ceiling", arity: Some(1), cost: 1, imp: f_ceiling });
-        add(ScalarFn { name: "round", arity: Some(2), cost: 1, imp: f_round });
-        add(ScalarFn { name: "power", arity: Some(2), cost: 4, imp: f_power });
-        add(ScalarFn { name: "log", arity: Some(1), cost: 4, imp: f_log });
-        add(ScalarFn { name: "log10", arity: Some(1), cost: 4, imp: f_log10 });
-        add(ScalarFn { name: "exp", arity: Some(1), cost: 4, imp: f_exp });
-        add(ScalarFn { name: "sign", arity: Some(1), cost: 1, imp: f_sign });
-        add(ScalarFn { name: "sin", arity: Some(1), cost: 4, imp: f_sin });
-        add(ScalarFn { name: "cos", arity: Some(1), cost: 4, imp: f_cos });
-        add(ScalarFn { name: "radians", arity: Some(1), cost: 1, imp: f_radians });
-        add(ScalarFn { name: "str", arity: Some(1), cost: 2, imp: f_str });
-        add(ScalarFn { name: "len", arity: Some(1), cost: 1, imp: f_len });
-        add(ScalarFn { name: "datalength", arity: Some(1), cost: 1, imp: f_len });
-        add(ScalarFn { name: "upper", arity: Some(1), cost: 2, imp: f_upper });
-        add(ScalarFn { name: "lower", arity: Some(1), cost: 2, imp: f_lower });
-        add(ScalarFn { name: "substring", arity: Some(3), cost: 2, imp: f_substring });
-        add(ScalarFn { name: "isnull", arity: Some(2), cost: 1, imp: f_isnull });
-        add(ScalarFn { name: "coalesce", arity: None, cost: 1, imp: f_coalesce });
-        add(ScalarFn { name: "nullif", arity: Some(2), cost: 1, imp: f_nullif });
+        add(ScalarFn {
+            name: "abs",
+            arity: Some(1),
+            cost: 1,
+            imp: f_abs,
+        });
+        add(ScalarFn {
+            name: "sqrt",
+            arity: Some(1),
+            cost: 2,
+            imp: f_sqrt,
+        });
+        add(ScalarFn {
+            name: "floor",
+            arity: Some(1),
+            cost: 1,
+            imp: f_floor,
+        });
+        add(ScalarFn {
+            name: "ceiling",
+            arity: Some(1),
+            cost: 1,
+            imp: f_ceiling,
+        });
+        add(ScalarFn {
+            name: "round",
+            arity: Some(2),
+            cost: 1,
+            imp: f_round,
+        });
+        add(ScalarFn {
+            name: "power",
+            arity: Some(2),
+            cost: 4,
+            imp: f_power,
+        });
+        add(ScalarFn {
+            name: "log",
+            arity: Some(1),
+            cost: 4,
+            imp: f_log,
+        });
+        add(ScalarFn {
+            name: "log10",
+            arity: Some(1),
+            cost: 4,
+            imp: f_log10,
+        });
+        add(ScalarFn {
+            name: "exp",
+            arity: Some(1),
+            cost: 4,
+            imp: f_exp,
+        });
+        add(ScalarFn {
+            name: "sign",
+            arity: Some(1),
+            cost: 1,
+            imp: f_sign,
+        });
+        add(ScalarFn {
+            name: "sin",
+            arity: Some(1),
+            cost: 4,
+            imp: f_sin,
+        });
+        add(ScalarFn {
+            name: "cos",
+            arity: Some(1),
+            cost: 4,
+            imp: f_cos,
+        });
+        add(ScalarFn {
+            name: "radians",
+            arity: Some(1),
+            cost: 1,
+            imp: f_radians,
+        });
+        add(ScalarFn {
+            name: "str",
+            arity: Some(1),
+            cost: 2,
+            imp: f_str,
+        });
+        add(ScalarFn {
+            name: "len",
+            arity: Some(1),
+            cost: 1,
+            imp: f_len,
+        });
+        add(ScalarFn {
+            name: "datalength",
+            arity: Some(1),
+            cost: 1,
+            imp: f_len,
+        });
+        add(ScalarFn {
+            name: "upper",
+            arity: Some(1),
+            cost: 2,
+            imp: f_upper,
+        });
+        add(ScalarFn {
+            name: "lower",
+            arity: Some(1),
+            cost: 2,
+            imp: f_lower,
+        });
+        add(ScalarFn {
+            name: "substring",
+            arity: Some(3),
+            cost: 2,
+            imp: f_substring,
+        });
+        add(ScalarFn {
+            name: "isnull",
+            arity: Some(2),
+            cost: 1,
+            imp: f_isnull,
+        });
+        add(ScalarFn {
+            name: "coalesce",
+            arity: None,
+            cost: 1,
+            imp: f_coalesce,
+        });
+        add(ScalarFn {
+            name: "nullif",
+            arity: Some(2),
+            cost: 1,
+            imp: f_nullif,
+        });
 
         // ---- SDSS stand-ins ---------------------------------------------
         // Flag-name → bitmask, deterministic via FNV hash of the name.
-        add(ScalarFn { name: "fphotoflags", arity: Some(1), cost: 8, imp: f_photoflags });
+        add(ScalarFn {
+            name: "fphotoflags",
+            arity: Some(1),
+            cost: 8,
+            imp: f_photoflags,
+        });
         // Angular separation in arcminutes between two (ra, dec) pairs.
         add(ScalarFn {
             name: "fdistancearcmineq",
@@ -90,13 +205,33 @@ impl FnRegistry {
             imp: f_distance_arcmin_eq,
         });
         // Object id → archive URL.
-        add(ScalarFn { name: "fgeturlexpid", arity: Some(1), cost: 16, imp: f_get_url_expid });
+        add(ScalarFn {
+            name: "fgeturlexpid",
+            arity: Some(1),
+            cost: 16,
+            imp: f_get_url_expid,
+        });
         // Magnitude → flux conversion (heavy math stand-in).
-        add(ScalarFn { name: "fmagtoflux", arity: Some(1), cost: 12, imp: f_mag_to_flux });
+        add(ScalarFn {
+            name: "fmagtoflux",
+            arity: Some(1),
+            cost: 12,
+            imp: f_mag_to_flux,
+        });
         // Type-name → type code.
-        add(ScalarFn { name: "fphototype", arity: Some(1), cost: 8, imp: f_phototype });
+        add(ScalarFn {
+            name: "fphototype",
+            arity: Some(1),
+            cost: 8,
+            imp: f_phototype,
+        });
         // Spectral class name → code.
-        add(ScalarFn { name: "fspecclass", arity: Some(1), cost: 8, imp: f_phototype });
+        add(ScalarFn {
+            name: "fspecclass",
+            arity: Some(1),
+            cost: 8,
+            imp: f_phototype,
+        });
 
         FnRegistry { fns }
     }
@@ -170,8 +305,12 @@ fn f_power(a: &[Value]) -> Result<Value, RuntimeError> {
     if a[0].is_null() || a[1].is_null() {
         return Ok(Value::Null);
     }
-    let x = a[0].as_f64().ok_or_else(|| RuntimeError::TypeError("power: base".into()))?;
-    let y = a[1].as_f64().ok_or_else(|| RuntimeError::TypeError("power: exp".into()))?;
+    let x = a[0]
+        .as_f64()
+        .ok_or_else(|| RuntimeError::TypeError("power: base".into()))?;
+    let y = a[1]
+        .as_f64()
+        .ok_or_else(|| RuntimeError::TypeError("power: exp".into()))?;
     Ok(Value::Float(x.powf(y)))
 }
 
@@ -248,11 +387,18 @@ fn f_substring(a: &[Value]) -> Result<Value, RuntimeError> {
 }
 
 fn f_isnull(a: &[Value]) -> Result<Value, RuntimeError> {
-    Ok(if a[0].is_null() { a[1].clone() } else { a[0].clone() })
+    Ok(if a[0].is_null() {
+        a[1].clone()
+    } else {
+        a[0].clone()
+    })
 }
 
 fn f_coalesce(a: &[Value]) -> Result<Value, RuntimeError> {
-    Ok(a.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null))
+    Ok(a.iter()
+        .find(|v| !v.is_null())
+        .cloned()
+        .unwrap_or(Value::Null))
 }
 
 fn f_nullif(a: &[Value]) -> Result<Value, RuntimeError> {
@@ -280,7 +426,9 @@ fn f_photoflags(a: &[Value]) -> Result<Value, RuntimeError> {
     match &a[0] {
         Value::Str(s) => Ok(Value::Int(1i64 << (fnv1a(&s.to_uppercase()) % 20))),
         Value::Null => Ok(Value::Null),
-        _ => Err(RuntimeError::TypeError("fPhotoFlags expects a flag name".into())),
+        _ => Err(RuntimeError::TypeError(
+            "fPhotoFlags expects a flag name".into(),
+        )),
     }
 }
 
@@ -295,8 +443,12 @@ fn f_distance_arcmin_eq(a: &[Value]) -> Result<Value, RuntimeError> {
             .as_f64()
             .ok_or_else(|| RuntimeError::TypeError("fDistanceArcMinEq expects numbers".into()))?;
     }
-    let (ra1, dec1, ra2, dec2) =
-        (xs[0].to_radians(), xs[1].to_radians(), xs[2].to_radians(), xs[3].to_radians());
+    let (ra1, dec1, ra2, dec2) = (
+        xs[0].to_radians(),
+        xs[1].to_radians(),
+        xs[2].to_radians(),
+        xs[3].to_radians(),
+    );
     let cosd = dec1.sin() * dec2.sin() + dec1.cos() * dec2.cos() * (ra1 - ra2).cos();
     let d = cosd.clamp(-1.0, 1.0).acos();
     Ok(Value::Float(d.to_degrees() * 60.0))
@@ -352,8 +504,12 @@ mod tests {
     #[test]
     fn photoflags_is_deterministic_single_bit() {
         let r = reg();
-        let (v1, cost) = r.call("fphotoflags", &[Value::Str("BLENDED".into())]).unwrap();
-        let (v2, _) = r.call("dbo.fPhotoFlags", &[Value::Str("blended".into())]).unwrap();
+        let (v1, cost) = r
+            .call("fphotoflags", &[Value::Str("BLENDED".into())])
+            .unwrap();
+        let (v2, _) = r
+            .call("dbo.fPhotoFlags", &[Value::Str("blended".into())])
+            .unwrap();
         assert_eq!(v1, v2);
         assert!(cost > 0);
         let m = v1.as_i64().unwrap();
@@ -363,7 +519,12 @@ mod tests {
     #[test]
     fn distance_of_identical_points_is_zero() {
         let r = reg();
-        let args = [Value::Float(185.0), Value::Float(0.5), Value::Float(185.0), Value::Float(0.5)];
+        let args = [
+            Value::Float(185.0),
+            Value::Float(0.5),
+            Value::Float(185.0),
+            Value::Float(0.5),
+        ];
         let (v, _) = r.call("fDistanceArcMinEq", &args).unwrap();
         assert!(v.as_f64().unwrap().abs() < 1e-9);
     }
@@ -371,7 +532,12 @@ mod tests {
     #[test]
     fn distance_one_degree_is_sixty_arcmin() {
         let r = reg();
-        let args = [Value::Float(10.0), Value::Float(0.0), Value::Float(11.0), Value::Float(0.0)];
+        let args = [
+            Value::Float(10.0),
+            Value::Float(0.0),
+            Value::Float(11.0),
+            Value::Float(0.0),
+        ];
         let (v, _) = r.call("fDistanceArcMinEq", &args).unwrap();
         assert!((v.as_f64().unwrap() - 60.0).abs() < 1e-6);
     }
@@ -380,12 +546,18 @@ mod tests {
     fn string_functions() {
         let r = reg();
         assert_eq!(
-            r.call("substring", &[Value::Str("hello".into()), Value::Int(2), Value::Int(3)])
-                .unwrap()
-                .0,
+            r.call(
+                "substring",
+                &[Value::Str("hello".into()), Value::Int(2), Value::Int(3)]
+            )
+            .unwrap()
+            .0,
             Value::Str("ell".into())
         );
-        assert_eq!(r.call("len", &[Value::Str("abc".into())]).unwrap().0, Value::Int(3));
+        assert_eq!(
+            r.call("len", &[Value::Str("abc".into())]).unwrap().0,
+            Value::Int(3)
+        );
         assert_eq!(
             r.call("isnull", &[Value::Null, Value::Int(7)]).unwrap().0,
             Value::Int(7)
@@ -396,7 +568,9 @@ mod tests {
     fn coalesce_is_variadic() {
         let r = reg();
         assert_eq!(
-            r.call("coalesce", &[Value::Null, Value::Null, Value::Int(3)]).unwrap().0,
+            r.call("coalesce", &[Value::Null, Value::Null, Value::Int(3)])
+                .unwrap()
+                .0,
             Value::Int(3)
         );
         assert_eq!(r.call("coalesce", &[]).unwrap().0, Value::Null);

@@ -37,14 +37,22 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod functions;
+pub mod optimizer;
+pub mod physical;
+pub mod plan;
 pub mod relation;
 pub mod value;
 
 pub use catalog::{Catalog, ColType, ColumnDef, ColumnSpec, ColumnVec, Table, TableSpec};
-pub use cost::{estimate_cost, CostCounter, CostEstimate};
+pub use cost::{estimate_cost, estimate_cost_with, estimate_plan, CostCounter, CostEstimate};
 pub use db::{Database, QueryOutcome};
 pub use error::{ErrorClass, RuntimeError};
 pub use exec::{ExecCtx, ExecLimits};
 pub use functions::{FnRegistry, ScalarFn};
+pub use optimizer::{
+    ConstantFolding, EquiJoinDetection, OptLevel, Optimizer, OptimizerPass, PredicatePushdown,
+    ProjectionPruning,
+};
+pub use plan::{lower, FoldStep, JoinStrategy, LogicalPlan, QueryPlan, SelectOp};
 pub use relation::{ColRef, Relation};
 pub use value::Value;

@@ -1,0 +1,804 @@
+//! Physical operators: execution of an optimized [`QueryPlan`] against
+//! the catalog.
+//!
+//! Every operator charges the [`crate::CostCounter`] exactly as the
+//! original monolithic executor did — rows scanned, hash build/probe
+//! operations, per-row predicate evaluations, sort comparisons, rows
+//! materialized. Those charges (and even their *order*, which becomes
+//! observable when a query aborts on a resource budget) are workload
+//! labels, so this module treats them as part of each operator's contract,
+//! not an implementation detail. The plan's phase structure (items →
+//! pushed filters → folds → residual → select → distinct → sort → limit)
+//! is executed literally.
+
+use std::collections::HashMap;
+
+use sqlan_sql::{Aggregate, Expr, JoinKind, OrderByItem, QualifiedName, SelectItem, UnaryOp};
+
+use crate::error::RuntimeError;
+use crate::exec::{ExecCtx, Scope};
+use crate::plan::{
+    projection_plan, FoldStep, JoinStrategy, LogicalPlan, ProjStep, QueryPlan, SelectOp,
+};
+use crate::relation::{ColRef, Relation};
+use crate::value::Value;
+
+impl ExecCtx<'_> {
+    /// Execute a full query plan. `outer` carries enclosing row scopes for
+    /// correlated subqueries; the returned flag reports whether any outer
+    /// scope was actually consulted (the uncorrelated-subquery cache
+    /// depends on it).
+    pub(crate) fn exec_plan(
+        &mut self,
+        plan: &QueryPlan,
+        outer: &[Scope<'_>],
+    ) -> Result<(Relation, bool), RuntimeError> {
+        let mut used_outer = false;
+
+        // ---- FROM items -------------------------------------------------
+        let mut item_rels: Vec<Relation> = Vec::with_capacity(plan.items.len());
+        for item in &plan.items {
+            let rel = self.exec_node(item, outer, &mut used_outer)?;
+            item_rels.push(rel);
+        }
+
+        // ---- pushed single-item filters, in original conjunct order ----
+        for (i, pred) in &plan.pushed {
+            let rel = std::mem::take(&mut item_rels[*i]);
+            item_rels[*i] = self.filter(rel, pred, outer, &mut used_outer)?;
+        }
+
+        // ---- fold the comma-list items ---------------------------------
+        let mut source = match item_rels.len() {
+            0 => Relation::unit(),
+            _ => {
+                let mut acc = item_rels.remove(0);
+                for (k, next) in item_rels.into_iter().enumerate() {
+                    acc = self.fold(acc, next, plan.folds.get(k), outer, &mut used_outer)?;
+                }
+                acc
+            }
+        };
+
+        // ---- residual WHERE ---------------------------------------------
+        for pred in &plan.residual {
+            source = self.filter(source, pred, outer, &mut used_outer)?;
+        }
+
+        // ---- projection / aggregation ----------------------------------
+        let is_agg = matches!(plan.select, SelectOp::Aggregate { .. });
+        let mut projected = match &plan.select {
+            SelectOp::Aggregate {
+                items,
+                group_by,
+                having,
+            } => self.aggregate(
+                items,
+                group_by,
+                having.as_ref(),
+                &source,
+                outer,
+                &mut used_outer,
+            )?,
+            SelectOp::Project { items } => self.project(items, &source, outer, &mut used_outer)?,
+        };
+
+        // ---- DISTINCT ----------------------------------------------------
+        if plan.distinct {
+            projected = self.distinct(projected)?;
+        }
+
+        // ---- ORDER BY (on projected output, falling back to source) ----
+        if !plan.order_by.is_empty() && !is_agg {
+            projected =
+                self.order_by(&plan.order_by, projected, &source, outer, &mut used_outer)?;
+        } else if !plan.order_by.is_empty() {
+            // Aggregate outputs sort on their projected columns only.
+            projected = self.order_by(
+                &plan.order_by,
+                projected,
+                &Relation::default(),
+                outer,
+                &mut used_outer,
+            )?;
+        }
+
+        // ---- TOP ----------------------------------------------------------
+        if let Some(n) = plan.top {
+            projected.rows.truncate(n as usize);
+        }
+
+        Ok((projected, used_outer))
+    }
+
+    // ================= FROM-item operator trees =================
+
+    fn exec_node(
+        &mut self,
+        node: &LogicalPlan,
+        outer: &[Scope<'_>],
+        used_outer: &mut bool,
+    ) -> Result<Relation, RuntimeError> {
+        match node {
+            LogicalPlan::Scan {
+                table,
+                alias,
+                columns,
+            } => self.scan(table, alias.as_deref(), columns.as_deref()),
+            LogicalPlan::Subquery { plan, alias } => {
+                let (mut rel, uo) = self.exec_plan(plan, outer)?;
+                *used_outer |= uo;
+                // Rebind all columns under the derived alias.
+                let qualifier = alias.as_ref().map(|a| a.to_ascii_lowercase());
+                for c in &mut rel.cols {
+                    c.qualifier = qualifier.clone();
+                    c.table = None;
+                }
+                Ok(rel)
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let rel = self.exec_node(input, outer, used_outer)?;
+                self.filter(rel, predicate, outer, used_outer)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                on,
+                strategy,
+            } => {
+                let l = self.exec_node(left, outer, used_outer)?;
+                let r = self.exec_node(right, outer, used_outer)?;
+                let cols: Vec<ColRef> = l.cols.iter().chain(r.cols.iter()).cloned().collect();
+                match (strategy, on) {
+                    (
+                        JoinStrategy::Hash {
+                            left_key,
+                            right_key,
+                        },
+                        Some(cond),
+                    ) => self.hash_join(
+                        l, r, cols, left_key, right_key, cond, *kind, outer, used_outer,
+                    ),
+                    _ => self.nested_loop_join(l, r, cols, *kind, on.as_ref(), outer, used_outer),
+                }
+            }
+        }
+    }
+
+    fn scan(
+        &mut self,
+        table: &QualifiedName,
+        alias: Option<&str>,
+        columns: Option<&[usize]>,
+    ) -> Result<Relation, RuntimeError> {
+        let canonical = table.canonical();
+        let table = self
+            .catalog
+            .get(&canonical)
+            .ok_or_else(|| RuntimeError::UnknownTable(canonical.clone()))?;
+        let n = table.row_count();
+        self.counter.rows_scanned += n as u64;
+        self.check_budget(n)?;
+        let qualifier = alias.map(|a| a.to_ascii_lowercase());
+        let tname = table.name.to_ascii_lowercase();
+        let keep: Vec<usize> = match columns {
+            None => (0..table.columns.len()).collect(),
+            Some(keep) => keep.to_vec(),
+        };
+        let cols = keep
+            .iter()
+            .filter_map(|&i| table.columns.get(i))
+            .map(|c| ColRef {
+                qualifier: qualifier.clone(),
+                table: Some(tname.clone()),
+                name: c.name.clone(),
+            })
+            .collect();
+        let mut rows = Vec::with_capacity(n);
+        for r in 0..n {
+            rows.push(
+                keep.iter()
+                    .filter_map(|&i| table.data.get(i))
+                    .map(|c| c.get(r))
+                    .collect(),
+            );
+        }
+        Ok(Relation { cols, rows })
+    }
+
+    /// Combine two comma-list items according to the planned fold step
+    /// (inner-join semantics, which is what comma joins mean).
+    fn fold(
+        &mut self,
+        left: Relation,
+        right: Relation,
+        step: Option<&FoldStep>,
+        outer: &[Scope<'_>],
+        used_outer: &mut bool,
+    ) -> Result<Relation, RuntimeError> {
+        let cols: Vec<ColRef> = left.cols.iter().chain(right.cols.iter()).cloned().collect();
+        match step {
+            Some(FoldStep::Hash {
+                left_key,
+                right_key,
+                condition,
+            }) => self.hash_join(
+                left,
+                right,
+                cols,
+                left_key,
+                right_key,
+                condition,
+                JoinKind::Inner,
+                outer,
+                used_outer,
+            ),
+            // Pure cartesian product.
+            _ => self.nested_loop_join(left, right, cols, JoinKind::Cross, None, outer, used_outer),
+        }
+    }
+
+    /// Nested-loop join (also handles CROSS JOIN and non-equi ON).
+    #[allow(clippy::too_many_arguments)]
+    fn nested_loop_join(
+        &mut self,
+        left: Relation,
+        right: Relation,
+        cols: Vec<ColRef>,
+        kind: JoinKind,
+        on: Option<&Expr>,
+        outer: &[Scope<'_>],
+        used_outer: &mut bool,
+    ) -> Result<Relation, RuntimeError> {
+        let est = left.len().saturating_mul(right.len().max(1));
+        self.check_budget(est)?;
+        let mut rows = Vec::new();
+        let mut right_matched = vec![false; right.len()];
+        let tmp_cols = Relation {
+            cols: cols.clone(),
+            rows: Vec::new(),
+        };
+        for lrow in &left.rows {
+            let mut matched = false;
+            for (ri, rrow) in right.rows.iter().enumerate() {
+                self.counter.eval_units += 1;
+                let combined: Vec<Value> = lrow.iter().chain(rrow.iter()).cloned().collect();
+                let keep = match on {
+                    None => true,
+                    Some(cond) => self
+                        .eval_with_row(cond, &tmp_cols, &combined, outer, used_outer)?
+                        .is_truthy(),
+                };
+                if keep {
+                    matched = true;
+                    right_matched[ri] = true;
+                    rows.push(combined);
+                    if rows.len() > self.limits.max_rows {
+                        return Err(RuntimeError::ResourceExhausted);
+                    }
+                }
+            }
+            if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+                let mut padded = lrow.clone();
+                padded.extend(std::iter::repeat_n(Value::Null, right.width()));
+                rows.push(padded);
+            }
+        }
+        if matches!(kind, JoinKind::Right | JoinKind::Full) {
+            for (ri, rrow) in right.rows.iter().enumerate() {
+                if !right_matched[ri] {
+                    let mut padded: Vec<Value> =
+                        std::iter::repeat_n(Value::Null, left.width()).collect();
+                    padded.extend(rrow.iter().cloned());
+                    rows.push(padded);
+                }
+            }
+        }
+        self.counter.rows_materialized += rows.len() as u64;
+        Ok(Relation { cols, rows })
+    }
+
+    /// Hash join on single-key equality, preserving outer-join semantics.
+    /// The full `ON`/fold condition is re-checked on each hash candidate
+    /// (it may carry residual conjuncts beyond the hash key).
+    #[allow(clippy::too_many_arguments)]
+    fn hash_join(
+        &mut self,
+        left: Relation,
+        right: Relation,
+        cols: Vec<ColRef>,
+        lk: &Expr,
+        rk: &Expr,
+        full_cond: &Expr,
+        kind: JoinKind,
+        outer: &[Scope<'_>],
+        used_outer: &mut bool,
+    ) -> Result<Relation, RuntimeError> {
+        // Build on the right side.
+        let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+        for (ri, rrow) in right.rows.iter().enumerate() {
+            let v = self.eval_with_row(rk, &right, rrow, outer, used_outer)?;
+            if v.is_null() {
+                continue;
+            }
+            let mut key = Vec::new();
+            v.group_key(&mut key);
+            table.entry(key).or_default().push(ri);
+            self.counter.hash_ops += 1;
+        }
+
+        let mut rows = Vec::new();
+        let mut right_matched = vec![false; right.len()];
+        let tmp_cols = Relation {
+            cols: cols.clone(),
+            rows: Vec::new(),
+        };
+        for lrow in &left.rows {
+            self.counter.hash_ops += 1;
+            let v = self.eval_with_row(lk, &left, lrow, outer, used_outer)?;
+            let mut matched = false;
+            if !v.is_null() {
+                let mut key = Vec::new();
+                v.group_key(&mut key);
+                if let Some(cands) = table.get(&key) {
+                    for &ri in cands {
+                        let combined: Vec<Value> =
+                            lrow.iter().chain(right.rows[ri].iter()).cloned().collect();
+                        self.counter.eval_units += 1;
+                        if self
+                            .eval_with_row(full_cond, &tmp_cols, &combined, outer, used_outer)?
+                            .is_truthy()
+                        {
+                            matched = true;
+                            right_matched[ri] = true;
+                            rows.push(combined);
+                            if rows.len() > self.limits.max_rows {
+                                return Err(RuntimeError::ResourceExhausted);
+                            }
+                        }
+                    }
+                }
+            }
+            if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+                let mut padded = lrow.clone();
+                padded.extend(std::iter::repeat_n(Value::Null, right.width()));
+                rows.push(padded);
+            }
+        }
+        if matches!(kind, JoinKind::Right | JoinKind::Full) {
+            for (ri, rrow) in right.rows.iter().enumerate() {
+                if !right_matched[ri] {
+                    let mut padded: Vec<Value> =
+                        std::iter::repeat_n(Value::Null, left.width()).collect();
+                    padded.extend(rrow.iter().cloned());
+                    rows.push(padded);
+                }
+            }
+        }
+        self.counter.rows_materialized += rows.len() as u64;
+        Ok(Relation { cols, rows })
+    }
+
+    // ================= row pipeline operators =================
+
+    fn filter(
+        &mut self,
+        rel: Relation,
+        pred: &Expr,
+        outer: &[Scope<'_>],
+        used_outer: &mut bool,
+    ) -> Result<Relation, RuntimeError> {
+        let mut rows = Vec::new();
+        self.counter.eval_units += rel.rows.len() as u64;
+        // Periodic budget check so runaway predicates with functions abort.
+        for (i, row) in rel.rows.iter().enumerate() {
+            if i % 4096 == 0 {
+                self.check_budget(0)?;
+            }
+            let v = self.eval_with_row(pred, &rel, row, outer, used_outer)?;
+            if v.is_truthy() {
+                rows.push(row.clone());
+            }
+        }
+        self.counter.rows_materialized += rows.len() as u64;
+        Ok(Relation {
+            cols: rel.cols,
+            rows,
+        })
+    }
+
+    fn project(
+        &mut self,
+        select: &[SelectItem],
+        source: &Relation,
+        outer: &[Scope<'_>],
+        used_outer: &mut bool,
+    ) -> Result<Relation, RuntimeError> {
+        let (cols, plan) = projection_plan(select, source)?;
+        let mut rows = Vec::with_capacity(source.len());
+        self.counter.eval_units += (source.len() * plan.len().max(1)) as u64;
+        for (i, row) in source.rows.iter().enumerate() {
+            if i % 4096 == 0 {
+                self.check_budget(0)?;
+            }
+            let mut out = Vec::with_capacity(cols.len());
+            for p in &plan {
+                match p {
+                    ProjStep::Passthrough(idx) => out.push(row[*idx].clone()),
+                    ProjStep::Eval(e) => {
+                        out.push(self.eval_with_row(e, source, row, outer, used_outer)?)
+                    }
+                }
+            }
+            rows.push(out);
+        }
+        self.counter.rows_materialized += rows.len() as u64;
+        Ok(Relation { cols, rows })
+    }
+
+    fn aggregate(
+        &mut self,
+        select: &[SelectItem],
+        group_by: &[Expr],
+        having: Option<&Expr>,
+        source: &Relation,
+        outer: &[Scope<'_>],
+        used_outer: &mut bool,
+    ) -> Result<Relation, RuntimeError> {
+        // Group rows by the GROUP BY key (single group if absent).
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        if group_by.is_empty() {
+            groups.push((0..source.len()).collect());
+        } else {
+            let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+            for (ri, row) in source.rows.iter().enumerate() {
+                let mut key = Vec::new();
+                for g in group_by {
+                    let v = self.eval_with_row(g, source, row, outer, used_outer)?;
+                    v.group_key(&mut key);
+                }
+                self.counter.hash_ops += 1;
+                let gid = *index.entry(key).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[gid].push(ri);
+            }
+        }
+
+        // HAVING filters groups.
+        let mut kept: Vec<&Vec<usize>> = Vec::new();
+        for g in &groups {
+            if group_by.is_empty() || !g.is_empty() {
+                let keep = match having {
+                    None => true,
+                    Some(h) => self
+                        .eval_in_group(h, source, g, outer, used_outer)?
+                        .is_truthy(),
+                };
+                if keep {
+                    kept.push(g);
+                }
+            }
+        }
+        // An empty input with no GROUP BY still yields one aggregate row
+        // (COUNT(*) = 0), which `groups` already encodes.
+
+        let cols = crate::plan::aggregate_output_cols(select);
+        let mut rows = Vec::with_capacity(kept.len());
+        for g in kept {
+            self.check_budget(0)?;
+            let mut out = Vec::with_capacity(select.len());
+            for item in select {
+                out.push(self.eval_in_group(&item.expr, source, g, outer, used_outer)?);
+            }
+            rows.push(out);
+        }
+
+        let rel = Relation { cols, rows };
+        self.counter.rows_materialized += rel.rows.len() as u64;
+        Ok(rel)
+    }
+
+    /// Evaluate an expression in aggregate context: aggregate calls reduce
+    /// over the group's rows; bare columns take their value from the first
+    /// row of the group (lenient T-SQL-ish behaviour).
+    fn eval_in_group(
+        &mut self,
+        expr: &Expr,
+        source: &Relation,
+        group: &[usize],
+        outer: &[Scope<'_>],
+        used_outer: &mut bool,
+    ) -> Result<Value, RuntimeError> {
+        match expr {
+            Expr::Function(f) if f.aggregate.is_some() => {
+                let agg = f.aggregate.unwrap();
+                self.counter.eval_units += group.len() as u64;
+                match agg {
+                    Aggregate::Count => {
+                        if f.args.is_empty() || matches!(f.args.first(), Some(Expr::Wildcard(_))) {
+                            return Ok(Value::Int(group.len() as i64));
+                        }
+                        let mut n = 0i64;
+                        let mut seen = std::collections::HashSet::new();
+                        for &ri in group {
+                            let v = self.eval_with_row(
+                                &f.args[0],
+                                source,
+                                &source.rows[ri],
+                                outer,
+                                used_outer,
+                            )?;
+                            if !v.is_null() {
+                                if f.distinct {
+                                    let mut k = Vec::new();
+                                    v.group_key(&mut k);
+                                    if seen.insert(k) {
+                                        n += 1;
+                                    }
+                                } else {
+                                    n += 1;
+                                }
+                            }
+                        }
+                        Ok(Value::Int(n))
+                    }
+                    Aggregate::Min | Aggregate::Max | Aggregate::Sum | Aggregate::Avg => {
+                        let arg = f.args.first().ok_or_else(|| {
+                            RuntimeError::TypeError(format!("{}() needs an argument", agg.name()))
+                        })?;
+                        let mut acc: Option<Value> = None;
+                        let mut sum = 0.0f64;
+                        let mut all_int = true;
+                        let mut n = 0u64;
+                        for &ri in group {
+                            let v = self.eval_with_row(
+                                arg,
+                                source,
+                                &source.rows[ri],
+                                outer,
+                                used_outer,
+                            )?;
+                            if v.is_null() {
+                                continue;
+                            }
+                            n += 1;
+                            match agg {
+                                Aggregate::Min => {
+                                    acc = Some(match acc {
+                                        None => v,
+                                        Some(a) => {
+                                            if v.total_cmp(&a).is_lt() {
+                                                v
+                                            } else {
+                                                a
+                                            }
+                                        }
+                                    });
+                                }
+                                Aggregate::Max => {
+                                    acc = Some(match acc {
+                                        None => v,
+                                        Some(a) => {
+                                            if v.total_cmp(&a).is_gt() {
+                                                v
+                                            } else {
+                                                a
+                                            }
+                                        }
+                                    });
+                                }
+                                _ => {
+                                    if !matches!(v, Value::Int(_)) {
+                                        all_int = false;
+                                    }
+                                    sum += v.as_f64().ok_or_else(|| {
+                                        RuntimeError::TypeError(format!(
+                                            "{}() over non-numeric values",
+                                            agg.name()
+                                        ))
+                                    })?;
+                                }
+                            }
+                        }
+                        match agg {
+                            Aggregate::Min | Aggregate::Max => Ok(acc.unwrap_or(Value::Null)),
+                            Aggregate::Sum => {
+                                if n == 0 {
+                                    Ok(Value::Null)
+                                } else if all_int {
+                                    Ok(Value::Int(sum as i64))
+                                } else {
+                                    Ok(Value::Float(sum))
+                                }
+                            }
+                            Aggregate::Avg => {
+                                if n == 0 {
+                                    Ok(Value::Null)
+                                } else {
+                                    Ok(Value::Float(sum / n as f64))
+                                }
+                            }
+                            Aggregate::Count => unreachable!(),
+                        }
+                    }
+                }
+            }
+            Expr::Literal(_) => self.eval_with_row(expr, source, &[], outer, used_outer),
+            // Composite expressions: recurse, aggregating sub-calls.
+            Expr::Binary { left, op, right } => {
+                let l = self.eval_in_group(left, source, group, outer, used_outer)?;
+                let r = self.eval_in_group(right, source, group, outer, used_outer)?;
+                crate::eval::apply_binary(&l, *op, &r)
+            }
+            Expr::Logical { left, and, right } => {
+                let l = self.eval_in_group(left, source, group, outer, used_outer)?;
+                if *and && !l.is_truthy() {
+                    return Ok(Value::Bool(false));
+                }
+                if !*and && l.is_truthy() {
+                    return Ok(Value::Bool(true));
+                }
+                let r = self.eval_in_group(right, source, group, outer, used_outer)?;
+                Ok(Value::Bool(if *and {
+                    l.is_truthy() && r.is_truthy()
+                } else {
+                    l.is_truthy() || r.is_truthy()
+                }))
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.eval_in_group(expr, source, group, outer, used_outer)?;
+                match op {
+                    UnaryOp::Neg => v.neg(),
+                    UnaryOp::Plus => Ok(v),
+                    UnaryOp::Not => Ok(Value::Bool(!v.is_truthy())),
+                }
+            }
+            Expr::Function(f) => {
+                // Scalar function over aggregated arguments.
+                let mut args = Vec::with_capacity(f.args.len());
+                for a in &f.args {
+                    args.push(self.eval_in_group(a, source, group, outer, used_outer)?);
+                }
+                let (v, cost) = self.fns.call(&f.name.canonical(), &args)?;
+                self.counter.fn_units += cost;
+                Ok(v)
+            }
+            // Bare columns etc.: first row of the group (empty group → NULL).
+            other => match group.first() {
+                Some(&ri) => self.eval_with_row(other, source, &source.rows[ri], outer, used_outer),
+                None => Ok(Value::Null),
+            },
+        }
+    }
+
+    fn distinct(&mut self, rel: Relation) -> Result<Relation, RuntimeError> {
+        let mut seen = std::collections::HashSet::new();
+        let mut rows = Vec::new();
+        for row in rel.rows {
+            self.counter.hash_ops += 1;
+            let mut key = Vec::new();
+            for v in &row {
+                v.group_key(&mut key);
+            }
+            if seen.insert(key) {
+                rows.push(row);
+            }
+        }
+        Ok(Relation {
+            cols: rel.cols,
+            rows,
+        })
+    }
+
+    fn order_by(
+        &mut self,
+        order: &[OrderByItem],
+        projected: Relation,
+        source: &Relation,
+        outer: &[Scope<'_>],
+        used_outer: &mut bool,
+    ) -> Result<Relation, RuntimeError> {
+        // Evaluate sort keys per projected row; resolution tries the
+        // projected columns (select aliases) first, then the source row.
+        let paired = !source.cols.is_empty() && source.len() == projected.len();
+        let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(projected.len());
+        let tmp = Relation {
+            cols: projected.cols.clone(),
+            rows: Vec::new(),
+        };
+        for (i, row) in projected.rows.into_iter().enumerate() {
+            let mut keys = Vec::with_capacity(order.len());
+            for ob in order {
+                let v = match self.eval_with_row(&ob.expr, &tmp, &row, outer, used_outer) {
+                    Ok(v) => v,
+                    Err(RuntimeError::UnknownColumn(_)) | Err(RuntimeError::AmbiguousColumn(_))
+                        if paired =>
+                    {
+                        self.eval_with_row(&ob.expr, source, &source.rows[i], outer, used_outer)?
+                    }
+                    Err(e) => return Err(e),
+                };
+                keys.push(v);
+            }
+            keyed.push((keys, row));
+        }
+        let descs: Vec<bool> = order.iter().map(|o| o.desc).collect();
+        let mut cmp_count = 0u64;
+        keyed.sort_by(|a, b| {
+            cmp_count += 1;
+            for (k, desc) in descs.iter().enumerate() {
+                let ord = a.0[k].total_cmp(&b.0[k]);
+                if ord != std::cmp::Ordering::Equal {
+                    return if *desc { ord.reverse() } else { ord };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.counter.sort_cmps += cmp_count;
+        Ok(Relation {
+            cols: projected.cols,
+            rows: keyed.into_iter().map(|(_, r)| r).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, ColumnSpec, TableSpec};
+    use crate::exec::{ExecCtx, ExecLimits};
+    use crate::functions::FnRegistry;
+    use crate::plan::lower;
+    use sqlan_sql::Statement;
+
+    fn catalog() -> Catalog {
+        Catalog::generate(
+            &[TableSpec::new("t", 100)
+                .column("id", ColumnSpec::SeqId)
+                .column("x", ColumnSpec::IntUniform(0, 9))],
+            5,
+        )
+    }
+
+    /// `Filter` nodes inside an item tree execute like residual filters:
+    /// same rows, same cost charges. (No current pass emits them — they
+    /// are the tree form future pushdown-below-join passes produce — but
+    /// the executor must already run them correctly.)
+    #[test]
+    fn filter_node_in_item_tree_matches_residual_filter() {
+        let cat = catalog();
+        let fns = FnRegistry::standard();
+        let script = sqlan_sql::parse_script("SELECT id FROM t WHERE x > 4").unwrap();
+        let q = match &script.statements[0] {
+            Statement::Select(q) => q.clone(),
+            _ => unreachable!(),
+        };
+
+        // Naive plan: the predicate sits in `residual`.
+        let residual_plan = lower(&q);
+        let mut ctx = ExecCtx::new(&cat, &fns, ExecLimits::default());
+        let (want, _) = ctx.exec_plan(&residual_plan, &[]).unwrap();
+        let want_counter = ctx.counter;
+
+        // Tree plan: the same predicate as a Filter node over the scan.
+        let mut tree_plan = lower(&q);
+        let pred = tree_plan.residual.remove(0);
+        let scan = tree_plan.items.remove(0);
+        tree_plan.items.insert(
+            0,
+            LogicalPlan::Filter {
+                input: Box::new(scan),
+                predicate: pred,
+            },
+        );
+        let mut ctx2 = ExecCtx::new(&cat, &fns, ExecLimits::default());
+        let (got, _) = ctx2.exec_plan(&tree_plan, &[]).unwrap();
+
+        assert_eq!(want.rows, got.rows);
+        assert_eq!(want_counter, ctx2.counter);
+        assert!(!got.rows.is_empty());
+    }
+}

@@ -37,7 +37,10 @@ pub struct Relation {
 impl Relation {
     /// A relation with a single empty row — identity for FROM-less SELECTs.
     pub fn unit() -> Self {
-        Relation { cols: Vec::new(), rows: vec![Vec::new()] }
+        Relation {
+            cols: Vec::new(),
+            rows: vec![Vec::new()],
+        }
     }
 
     pub fn width(&self) -> usize {
@@ -61,7 +64,10 @@ impl Relation {
         let (qual, name) = match parts {
             [] => return Ok(None),
             [name] => (None, name.as_str()),
-            many => (Some(many[many.len() - 2].to_ascii_lowercase()), many.last().unwrap().as_str()),
+            many => (
+                Some(many[many.len() - 2].to_ascii_lowercase()),
+                many.last().unwrap().as_str(),
+            ),
         };
         let mut found: Option<usize> = None;
         for (i, c) in self.cols.iter().enumerate() {
@@ -111,10 +117,26 @@ mod tests {
     fn rel() -> Relation {
         Relation {
             cols: vec![
-                ColRef { qualifier: Some("p".into()), table: Some("photoobj".into()), name: "ra".into() },
-                ColRef { qualifier: Some("p".into()), table: Some("photoobj".into()), name: "dec".into() },
-                ColRef { qualifier: Some("s".into()), table: Some("specobj".into()), name: "ra".into() },
-                ColRef { qualifier: None, table: Some("field".into()), name: "fid".into() },
+                ColRef {
+                    qualifier: Some("p".into()),
+                    table: Some("photoobj".into()),
+                    name: "ra".into(),
+                },
+                ColRef {
+                    qualifier: Some("p".into()),
+                    table: Some("photoobj".into()),
+                    name: "dec".into(),
+                },
+                ColRef {
+                    qualifier: Some("s".into()),
+                    table: Some("specobj".into()),
+                    name: "ra".into(),
+                },
+                ColRef {
+                    qualifier: None,
+                    table: Some("field".into()),
+                    name: "fid".into(),
+                },
             ],
             rows: vec![vec![
                 Value::Float(1.0),

@@ -256,15 +256,13 @@ impl Value {
     }
 
     fn num(&self, op: &str) -> Result<f64, RuntimeError> {
-        self.as_f64().ok_or_else(|| {
-            RuntimeError::TypeError(format!("operand of `{op}` is not numeric"))
-        })
+        self.as_f64()
+            .ok_or_else(|| RuntimeError::TypeError(format!("operand of `{op}` is not numeric")))
     }
 
     fn int(&self, op: &str) -> Result<i64, RuntimeError> {
-        self.as_i64().ok_or_else(|| {
-            RuntimeError::TypeError(format!("operand of `{op}` is not an integer"))
-        })
+        self.as_i64()
+            .ok_or_else(|| RuntimeError::TypeError(format!("operand of `{op}` is not an integer")))
     }
 
     /// SQL LIKE with `%` and `_` wildcards, case-insensitive (T-SQL default
@@ -274,7 +272,9 @@ impl Value {
             (Value::Null, _) | (_, Value::Null) => Ok(Value::Bool(false)),
             (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(like_match(s, p))),
             (a, Value::Str(p)) => Ok(Value::Bool(like_match(&a.display(), p))),
-            _ => Err(RuntimeError::TypeError("LIKE pattern must be a string".into())),
+            _ => Err(RuntimeError::TypeError(
+                "LIKE pattern must be a string".into(),
+            )),
         }
     }
 
@@ -332,9 +332,15 @@ mod tests {
     #[test]
     fn arithmetic_int_and_float() {
         assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
-        assert_eq!(Value::Int(2).mul(&Value::Float(1.5)).unwrap(), Value::Float(3.0));
+        assert_eq!(
+            Value::Int(2).mul(&Value::Float(1.5)).unwrap(),
+            Value::Float(3.0)
+        );
         assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
-        assert_eq!(Value::Float(7.0).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(
+            Value::Float(7.0).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
     }
 
     #[test]
@@ -369,15 +375,27 @@ mod tests {
 
     #[test]
     fn bitwise_ops() {
-        assert_eq!(Value::Int(0b1100).bit_and(&Value::Int(0b1010)).unwrap(), Value::Int(0b1000));
-        assert_eq!(Value::Int(0b1100).bit_or(&Value::Int(0b1010)).unwrap(), Value::Int(0b1110));
-        assert_eq!(Value::Int(0b1100).bit_xor(&Value::Int(0b1010)).unwrap(), Value::Int(0b0110));
+        assert_eq!(
+            Value::Int(0b1100).bit_and(&Value::Int(0b1010)).unwrap(),
+            Value::Int(0b1000)
+        );
+        assert_eq!(
+            Value::Int(0b1100).bit_or(&Value::Int(0b1010)).unwrap(),
+            Value::Int(0b1110)
+        );
+        assert_eq!(
+            Value::Int(0b1100).bit_xor(&Value::Int(0b1010)).unwrap(),
+            Value::Int(0b0110)
+        );
     }
 
     #[test]
     fn like_wildcards() {
         let s = |x: &str| Value::Str(x.into());
-        assert_eq!(s("QUERY_FAST").like(&s("%QUERY%")).unwrap(), Value::Bool(true));
+        assert_eq!(
+            s("QUERY_FAST").like(&s("%QUERY%")).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(s("abc").like(&s("a_c")).unwrap(), Value::Bool(true));
         assert_eq!(s("abc").like(&s("a_d")).unwrap(), Value::Bool(false));
         assert_eq!(s("ABC").like(&s("abc")).unwrap(), Value::Bool(true)); // case-insensitive

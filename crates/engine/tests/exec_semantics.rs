@@ -2,9 +2,7 @@
 //! ordering, subqueries and the error taxonomy that the property tests
 //! don't pin down exactly.
 
-use sqlan_engine::{
-    Catalog, ColumnVec, CostCounter, Database, ErrorClass, Table, Value,
-};
+use sqlan_engine::{Catalog, ColumnVec, CostCounter, Database, ErrorClass, Table, Value};
 use sqlan_sql::Statement;
 
 /// A tiny hand-built catalog with exactly known contents.
@@ -13,10 +11,22 @@ fn db() -> Database {
     cat.insert(Table {
         name: "emp".into(),
         columns: vec![
-            sqlan_engine::ColumnDef { name: "id".into(), ty: sqlan_engine::ColType::Int },
-            sqlan_engine::ColumnDef { name: "dept".into(), ty: sqlan_engine::ColType::Int },
-            sqlan_engine::ColumnDef { name: "salary".into(), ty: sqlan_engine::ColType::Float },
-            sqlan_engine::ColumnDef { name: "name".into(), ty: sqlan_engine::ColType::Str },
+            sqlan_engine::ColumnDef {
+                name: "id".into(),
+                ty: sqlan_engine::ColType::Int,
+            },
+            sqlan_engine::ColumnDef {
+                name: "dept".into(),
+                ty: sqlan_engine::ColType::Int,
+            },
+            sqlan_engine::ColumnDef {
+                name: "salary".into(),
+                ty: sqlan_engine::ColType::Float,
+            },
+            sqlan_engine::ColumnDef {
+                name: "name".into(),
+                ty: sqlan_engine::ColType::Str,
+            },
         ],
         data: vec![
             ColumnVec::Int(vec![1, 2, 3, 4, 5]),
@@ -34,8 +44,14 @@ fn db() -> Database {
     cat.insert(Table {
         name: "dept".into(),
         columns: vec![
-            sqlan_engine::ColumnDef { name: "did".into(), ty: sqlan_engine::ColType::Int },
-            sqlan_engine::ColumnDef { name: "dname".into(), ty: sqlan_engine::ColType::Str },
+            sqlan_engine::ColumnDef {
+                name: "did".into(),
+                ty: sqlan_engine::ColType::Int,
+            },
+            sqlan_engine::ColumnDef {
+                name: "dname".into(),
+                ty: sqlan_engine::ColType::Str,
+            },
         ],
         data: vec![
             ColumnVec::Int(vec![10, 20, 40]),
@@ -58,7 +74,10 @@ fn rows(db: &Database, sql: &str) -> Vec<Vec<Value>> {
 #[test]
 fn projection_and_aliases() {
     let d = db();
-    let r = rows(&d, "SELECT name AS who, salary * 2 AS double FROM emp WHERE id = 3");
+    let r = rows(
+        &d,
+        "SELECT name AS who, salary * 2 AS double FROM emp WHERE id = 3",
+    );
     assert_eq!(r, vec![vec![Value::Str("cal".into()), Value::Float(600.0)]]);
 }
 
@@ -81,7 +100,10 @@ fn group_by_with_having_and_order() {
 #[test]
 fn aggregate_over_empty_input() {
     let d = db();
-    let r = rows(&d, "SELECT count(*), sum(salary), min(salary) FROM emp WHERE id > 99");
+    let r = rows(
+        &d,
+        "SELECT count(*), sum(salary), min(salary) FROM emp WHERE id > 99",
+    );
     assert_eq!(r, vec![vec![Value::Int(0), Value::Null, Value::Null]]);
 }
 
@@ -95,7 +117,10 @@ fn left_join_pads_nulls_and_counts() {
     );
     // sales×2 + eng×2 + empty×1 = 5 rows.
     assert_eq!(r.len(), 5);
-    let empty_row = r.iter().find(|row| row[0] == Value::Str("empty".into())).unwrap();
+    let empty_row = r
+        .iter()
+        .find(|row| row[0] == Value::Str("empty".into()))
+        .unwrap();
     assert_eq!(empty_row[1], Value::Null);
 }
 
@@ -108,7 +133,9 @@ fn right_and_full_joins() {
         "SELECT d.dname, e.name FROM dept d RIGHT JOIN emp e ON d.did = e.dept",
     );
     assert_eq!(right.len(), 5); // 4 matched + eve (dept 30, no dept row)
-    assert!(right.iter().any(|r| r[0] == Value::Null && r[1] == Value::Str("eve".into())));
+    assert!(right
+        .iter()
+        .any(|r| r[0] == Value::Null && r[1] == Value::Str("eve".into())));
 
     let full = rows(
         &d,
@@ -120,7 +147,10 @@ fn right_and_full_joins() {
 #[test]
 fn in_list_and_not_in_subquery() {
     let d = db();
-    let r = rows(&d, "SELECT name FROM emp WHERE dept IN (10, 30) ORDER BY name");
+    let r = rows(
+        &d,
+        "SELECT name FROM emp WHERE dept IN (10, 30) ORDER BY name",
+    );
     let names: Vec<_> = r.iter().map(|x| x[0].display()).collect();
     assert_eq!(names, vec!["ann", "bob", "eve"]);
 
@@ -168,16 +198,26 @@ fn distinct_top_and_order_by_alias() {
     let r = rows(&d, "SELECT DISTINCT dept FROM emp ORDER BY dept DESC");
     assert_eq!(
         r,
-        vec![vec![Value::Int(30)], vec![Value::Int(20)], vec![Value::Int(10)]]
+        vec![
+            vec![Value::Int(30)],
+            vec![Value::Int(20)],
+            vec![Value::Int(10)]
+        ]
     );
     let r2 = rows(&d, "SELECT TOP 2 salary AS pay FROM emp ORDER BY pay DESC");
-    assert_eq!(r2, vec![vec![Value::Float(500.0)], vec![Value::Float(400.0)]]);
+    assert_eq!(
+        r2,
+        vec![vec![Value::Float(500.0)], vec![Value::Float(400.0)]]
+    );
 }
 
 #[test]
 fn like_and_string_predicates() {
     let d = db();
-    let r = rows(&d, "SELECT name FROM emp WHERE name LIKE '%e%' ORDER BY name");
+    let r = rows(
+        &d,
+        "SELECT name FROM emp WHERE name LIKE '%e%' ORDER BY name",
+    );
     let names: Vec<_> = r.iter().map(|x| x[0].display()).collect();
     assert_eq!(names, vec!["dee", "eve"]);
 }

@@ -172,8 +172,7 @@ mod tests {
 
     #[test]
     fn max_features_caps_dimensionality() {
-        let corpus: Vec<Vec<String>> =
-            (0..50).map(|i| toks(&["t", &format!("x{i}")])).collect();
+        let corpus: Vec<Vec<String>> = (0..50).map(|i| toks(&["t", &format!("x{i}")])).collect();
         let v = TfidfVectorizer::fit(&corpus, 1, 5);
         assert_eq!(v.dim(), 5);
     }

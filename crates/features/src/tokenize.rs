@@ -29,7 +29,9 @@ pub fn word_tokens(text: &str) -> Vec<String> {
         } else if c.is_ascii_alphabetic() || c == b'_' || c == b'@' || c == b'#' {
             let start = i;
             while i < bytes.len()
-                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'@'
+                && (bytes[i].is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'@'
                     || bytes[i] == b'#')
             {
                 i += 1;
@@ -101,8 +103,8 @@ mod tests {
         assert_eq!(
             t,
             vec![
-                "select", "ra", "from", "photoobj", "where", "objid", "=", "<DIGIT>", "and",
-                "x", "<", "<DIGIT>"
+                "select", "ra", "from", "photoobj", "where", "objid", "=", "<DIGIT>", "and", "x",
+                "<", "<DIGIT>"
             ]
         );
     }

@@ -32,8 +32,10 @@ impl Vocab {
                 *counts.entry(t.as_str()).or_default() += 1;
             }
         }
-        let mut ranked: Vec<(&str, usize)> =
-            counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
+        let mut ranked: Vec<(&str, usize)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         ranked.truncate(max_size);
 
@@ -61,15 +63,17 @@ impl Vocab {
     }
 
     pub fn token(&self, id: u32) -> &str {
-        self.items.get(id as usize).map(String::as_str).unwrap_or("<UNK>")
+        self.items
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("<UNK>")
     }
 
     /// Encode a token stream, truncating to `max_len` and padding up to
     /// `min_len` with PAD (the CNN needs sequences at least as long as its
     /// widest kernel).
     pub fn encode(&self, tokens: &[String], max_len: usize, min_len: usize) -> Vec<u32> {
-        let mut ids: Vec<u32> =
-            tokens.iter().take(max_len).map(|t| self.id(t)).collect();
+        let mut ids: Vec<u32> = tokens.iter().take(max_len).map(|t| self.id(t)).collect();
         while ids.len() < min_len {
             ids.push(PAD);
         }
@@ -82,7 +86,9 @@ mod tests {
     use super::*;
 
     fn streams(data: &[&[&str]]) -> Vec<Vec<String>> {
-        data.iter().map(|s| s.iter().map(|t| t.to_string()).collect()).collect()
+        data.iter()
+            .map(|s| s.iter().map(|t| t.to_string()).collect())
+            .collect()
     }
 
     #[test]

@@ -73,7 +73,12 @@ pub fn per_class_f_measure(cm: &ConfusionMatrix) -> Vec<ClassReport> {
             } else {
                 0.0
             };
-            ClassReport { precision, recall, f_measure, support: cm.support(c) }
+            ClassReport {
+                precision,
+                recall,
+                f_measure,
+                support: cm.support(c),
+            }
         })
         .collect()
 }

@@ -16,5 +16,7 @@ pub mod regression;
 pub use classification::{
     accuracy, mean_cross_entropy, per_class_f_measure, ClassReport, ConfusionMatrix,
 };
-pub use qerror::{qerror, qerror_percentiles, qerror_percentiles_with_shift, qerror_with_shift, QErrorTable};
+pub use qerror::{
+    qerror, qerror_percentiles, qerror_percentiles_with_shift, qerror_with_shift, QErrorTable,
+};
 pub use regression::{huber_loss, mean_huber_loss, mse, squared_error};

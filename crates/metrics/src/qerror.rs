@@ -107,7 +107,11 @@ mod tests {
         let ests: Vec<f64> = (0..100).map(|i| (i as f64) * 2.0).collect();
         let t = qerror_percentiles(&truths, &ests, &[50.0, 75.0, 90.0, 95.0]);
         for w in t.rows.windows(2) {
-            assert!(w[0].1 <= w[1].1, "percentiles must be monotone: {:?}", t.rows);
+            assert!(
+                w[0].1 <= w[1].1,
+                "percentiles must be monotone: {:?}",
+                t.rows
+            );
         }
     }
 

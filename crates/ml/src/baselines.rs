@@ -83,7 +83,7 @@ impl OptBaseline {
         assert_eq!(xs.len(), ys.len());
         let d = xs.first().map(Vec::len).unwrap_or(0);
         let da = d + 1; // augmented with the bias column
-        // Normal equations: (XᵀX + λI) w = Xᵀy.
+                        // Normal equations: (XᵀX + λI) w = Xᵀy.
         let mut xtx = vec![0.0f64; da * da];
         let mut xty = vec![0.0f64; da];
         for (x, &y) in xs.iter().zip(ys) {
@@ -101,7 +101,10 @@ impl OptBaseline {
             xtx[i * da + i] += lambda;
         }
         let w = solve_gaussian(&mut xtx, &mut xty, da);
-        OptBaseline { bias: w[d], weights: w[..d].to_vec() }
+        OptBaseline {
+            bias: w[d],
+            weights: w[..d].to_vec(),
+        }
     }
 
     pub fn predict(&self, x: &[f64]) -> f64 {

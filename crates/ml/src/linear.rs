@@ -3,9 +3,9 @@
 //! for the regression problems, both trained with mini-batch SGD.
 
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use sqlan_features::SparseVec;
 
@@ -22,7 +22,13 @@ pub struct LinearConfig {
 
 impl Default for LinearConfig {
     fn default() -> Self {
-        LinearConfig { lr: 0.5, epochs: 12, l2: 1e-6, seed: 17, huber_delta: 1.0 }
+        LinearConfig {
+            lr: 0.5,
+            epochs: 12,
+            l2: 1e-6,
+            seed: 17,
+            huber_delta: 1.0,
+        }
     }
 }
 
@@ -116,7 +122,11 @@ impl HuberRegression {
 
     pub fn train(xs: &[SparseVec], ys: &[f32], dim: usize, cfg: LinearConfig) -> HuberRegression {
         assert_eq!(xs.len(), ys.len());
-        let mut model = HuberRegression { dim, w: vec![0.0; dim], b: 0.0 };
+        let mut model = HuberRegression {
+            dim,
+            w: vec![0.0; dim],
+            b: 0.0,
+        };
         // Initialize the bias at the label *median*: the minimizer of the
         // Huber objective's linear region, robust to the outliers these
         // skewed targets carry (§4.4.1).
@@ -210,9 +220,15 @@ mod tests {
         let xs: Vec<SparseVec> = (0..200)
             .map(|i| vec![(0u32, (i % 5) as f32), (1u32, (i % 3) as f32)])
             .collect();
-        let ys: Vec<f32> =
-            xs.iter().map(|x| 2.0 * x[0].1 + 1.0 * x[1].1 + 0.5).collect();
-        let cfg = LinearConfig { epochs: 60, lr: 0.1, ..Default::default() };
+        let ys: Vec<f32> = xs
+            .iter()
+            .map(|x| 2.0 * x[0].1 + 1.0 * x[1].1 + 0.5)
+            .collect();
+        let cfg = LinearConfig {
+            epochs: 60,
+            lr: 0.1,
+            ..Default::default()
+        };
         let m = HuberRegression::train(&xs, &ys, 2, cfg);
         let pred = m.predict(&vec![(0u32, 3.0), (1u32, 2.0)]);
         assert!((pred - 8.5).abs() < 0.4, "pred {pred}");
@@ -225,7 +241,15 @@ mod tests {
         let xs: Vec<SparseVec> = (0..100).map(|_| Vec::new()).collect();
         let mut ys = vec![1.0f32; 100];
         ys[0] = 1e6;
-        let m = HuberRegression::train(&xs, &ys, 1, LinearConfig { epochs: 50, ..Default::default() });
+        let m = HuberRegression::train(
+            &xs,
+            &ys,
+            1,
+            LinearConfig {
+                epochs: 50,
+                ..Default::default()
+            },
+        );
         let pred = m.predict(&Vec::new());
         // Bias init at the (outlier-inflated) mean, then Huber pulls it to
         // the bulk.

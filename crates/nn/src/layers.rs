@@ -3,8 +3,8 @@
 //! LSTM stack of §5.2 / Appendix A.2.
 
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::graph::{Graph, Var};
 use crate::params::{ParamId, Params};
@@ -61,7 +61,9 @@ impl Embedding {
     ) -> Embedding {
         // Slightly tighter init than Xavier for lookup tables.
         let bound = (3.0 / dim as f64).sqrt() as f32;
-        let data = (0..vocab * dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        let data = (0..vocab * dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Embedding {
             table: params.add(format!("{name}.emb"), Tensor::from_vec(vocab, dim, data)),
             vocab,
@@ -106,7 +108,12 @@ impl Conv1dBank {
             ));
             biases.push(params.add_zeros(format!("{name}.conv{w}.b"), 1, kernels_per_width));
         }
-        Conv1dBank { widths: widths.to_vec(), kernels_per_width, weights, biases }
+        Conv1dBank {
+            widths: widths.to_vec(),
+            kernels_per_width,
+            weights,
+            biases,
+        }
     }
 
     /// Output feature width.
@@ -212,7 +219,13 @@ impl LstmStack {
         let mut layers = Vec::with_capacity(depth);
         for l in 0..depth {
             let d_in = if l == 0 { in_dim } else { hidden };
-            layers.push(LstmLayer::new(params, &format!("{name}.l{l}"), d_in, hidden, rng));
+            layers.push(LstmLayer::new(
+                params,
+                &format!("{name}.l{l}"),
+                d_in,
+                hidden,
+                rng,
+            ));
         }
         LstmStack { layers }
     }

@@ -23,7 +23,10 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f32) -> Sgd {
-        Sgd { lr, weight_decay: 0.0 }
+        Sgd {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -64,7 +67,11 @@ impl Moments {
                 Tensor::zeros(t.rows, t.cols)
             })
             .collect::<Vec<_>>();
-        Moments { v: m.clone(), m, t: 0 }
+        Moments {
+            v: m.clone(),
+            m,
+            t: 0,
+        }
     }
 }
 
@@ -81,13 +88,22 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f32) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, state: None }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            state: None,
+        }
     }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut Params, grads: &Grads) {
-        let state = self.state.get_or_insert_with(|| Moments::for_params(params));
+        let state = self
+            .state
+            .get_or_insert_with(|| Moments::for_params(params));
         state.t += 1;
         let bc1 = 1.0 - self.beta1.powi(state.t as i32);
         let bc2 = 1.0 - self.beta2.powi(state.t as i32);
@@ -132,13 +148,22 @@ pub struct AdaMax {
 
 impl AdaMax {
     pub fn new(lr: f32) -> AdaMax {
-        AdaMax { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, state: None }
+        AdaMax {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            state: None,
+        }
     }
 }
 
 impl Optimizer for AdaMax {
     fn step(&mut self, params: &mut Params, grads: &Grads) {
-        let state = self.state.get_or_insert_with(|| Moments::for_params(params));
+        let state = self
+            .state
+            .get_or_insert_with(|| Moments::for_params(params));
         state.t += 1;
         let bc1 = 1.0 - self.beta1.powi(state.t as i32);
         for id in params.iter_ids().collect::<Vec<_>>() {
@@ -212,7 +237,10 @@ mod tests {
         let mut params = Params::new();
         let w = params.add("w", Tensor::scalar(5.0));
         let grads = params.zero_grads(); // zero gradient
-        let mut opt = Sgd { lr: 0.1, weight_decay: 0.5 };
+        let mut opt = Sgd {
+            lr: 0.1,
+            weight_decay: 0.5,
+        };
         opt.step(&mut params, &grads);
         assert!(params.get(w).item() < 5.0);
     }

@@ -3,8 +3,8 @@
 //! (and so data-parallel workers can hold private gradient buffers).
 
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::tensor::Tensor;
 
@@ -40,7 +40,9 @@ impl Params {
         rng: &mut StdRng,
     ) -> ParamId {
         let bound = (6.0 / (rows + cols) as f64).sqrt() as f32;
-        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         self.add(name, Tensor::from_vec(rows, cols, data))
     }
 
@@ -77,7 +79,11 @@ impl Params {
     /// A zeroed gradient buffer matching this parameter set.
     pub fn zero_grads(&self) -> Grads {
         Grads {
-            bufs: self.tensors.iter().map(|t| Tensor::zeros(t.rows, t.cols)).collect(),
+            bufs: self
+                .tensors
+                .iter()
+                .map(|t| Tensor::zeros(t.rows, t.cols))
+                .collect(),
         }
     }
 
@@ -124,10 +130,14 @@ impl Grads {
 
     /// Global L2 norm across every gradient element.
     pub fn global_norm(&self) -> f32 {
-        self.bufs.iter().map(|b| {
-            let n = b.norm();
-            n * n
-        }).sum::<f32>().sqrt()
+        self.bufs
+            .iter()
+            .map(|b| {
+                let n = b.norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Clip by global norm (the paper's "clipping rate"); no-op when the

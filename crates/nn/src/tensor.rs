@@ -19,7 +19,11 @@ pub struct Tensor {
 impl Tensor {
     /// All-zero tensor.
     pub fn zeros(rows: usize, cols: usize) -> Tensor {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Tensor from a flat row-major vector.
@@ -31,12 +35,20 @@ impl Tensor {
     /// 1×n row vector.
     pub fn row(data: Vec<f32>) -> Tensor {
         let cols = data.len();
-        Tensor { rows: 1, cols, data }
+        Tensor {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Scalar (1×1) tensor.
     pub fn scalar(v: f32) -> Tensor {
-        Tensor { rows: 1, cols: 1, data: vec![v] }
+        Tensor {
+            rows: 1,
+            cols: 1,
+            data: vec![v],
+        }
     }
 
     pub fn len(&self) -> usize {

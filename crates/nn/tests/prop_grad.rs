@@ -25,8 +25,11 @@ fn check_gradients(
     for id in ids {
         let n = params.get(id).data.len();
         // Probe a few coordinates per parameter, not all (speed).
-        let probes: Vec<usize> =
-            if n <= 4 { (0..n).collect() } else { vec![0, n / 3, n / 2, n - 1] };
+        let probes: Vec<usize> = if n <= 4 {
+            (0..n).collect()
+        } else {
+            vec![0, n / 3, n / 2, n - 1]
+        };
         let (l0, _) = loss_fn(params);
         for k in probes {
             let orig = params.get(id).data[k];

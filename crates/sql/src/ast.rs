@@ -14,7 +14,9 @@ pub struct QualifiedName {
 
 impl QualifiedName {
     pub fn single(name: impl Into<String>) -> Self {
-        QualifiedName { parts: vec![name.into()] }
+        QualifiedName {
+            parts: vec![name.into()],
+        }
     }
 
     pub fn new(parts: Vec<String>) -> Self {
@@ -66,16 +68,41 @@ pub enum Expr {
     /// Unary minus / NOT.
     Unary { op: UnaryOp, expr: Box<Expr> },
     /// A binary arithmetic/comparison/bitwise expression.
-    Binary { left: Box<Expr>, op: Op, right: Box<Expr> },
+    Binary {
+        left: Box<Expr>,
+        op: Op,
+        right: Box<Expr>,
+    },
     /// AND / OR.
-    Logical { left: Box<Expr>, and: bool, right: Box<Expr> },
+    Logical {
+        left: Box<Expr>,
+        and: bool,
+        right: Box<Expr>,
+    },
     /// `expr [NOT] BETWEEN low AND high`.
-    Between { expr: Box<Expr>, negated: bool, low: Box<Expr>, high: Box<Expr> },
+    Between {
+        expr: Box<Expr>,
+        negated: bool,
+        low: Box<Expr>,
+        high: Box<Expr>,
+    },
     /// `expr [NOT] IN (list...)` or `expr [NOT] IN (subquery)`.
-    InList { expr: Box<Expr>, negated: bool, list: Vec<Expr> },
-    InSubquery { expr: Box<Expr>, negated: bool, subquery: Box<Query> },
+    InList {
+        expr: Box<Expr>,
+        negated: bool,
+        list: Vec<Expr>,
+    },
+    InSubquery {
+        expr: Box<Expr>,
+        negated: bool,
+        subquery: Box<Query>,
+    },
     /// `expr [NOT] LIKE pattern`.
-    Like { expr: Box<Expr>, negated: bool, pattern: Box<Expr> },
+    Like {
+        expr: Box<Expr>,
+        negated: bool,
+        pattern: Box<Expr>,
+    },
     /// `expr IS [NOT] NULL`.
     IsNull { expr: Box<Expr>, negated: bool },
     /// `[NOT] EXISTS (subquery)`.
@@ -160,8 +187,14 @@ pub enum JoinKind {
 /// A base table or derived table in FROM.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TableFactor {
-    Table { name: QualifiedName, alias: Option<String> },
-    Derived { subquery: Box<Query>, alias: Option<String> },
+    Table {
+        name: QualifiedName,
+        alias: Option<String>,
+    },
+    Derived {
+        subquery: Box<Query>,
+        alias: Option<String>,
+    },
 }
 
 impl TableFactor {
@@ -237,11 +270,21 @@ impl Query {
 pub enum Statement {
     Select(Query),
     /// `EXEC`/`EXECUTE proc args...`
-    Execute { name: QualifiedName, arg_count: usize },
+    Execute {
+        name: QualifiedName,
+        arg_count: usize,
+    },
     /// CREATE/DROP/ALTER/TRUNCATE of an object.
-    Ddl { verb: DdlVerb, object: Option<QualifiedName> },
+    Ddl {
+        verb: DdlVerb,
+        object: Option<QualifiedName>,
+    },
     /// INSERT/UPDATE/DELETE; the embedded query, if any, is parsed.
-    Dml { verb: DmlVerb, table: Option<QualifiedName>, query: Option<Query> },
+    Dml {
+        verb: DmlVerb,
+        table: Option<QualifiedName>,
+        query: Option<Query>,
+    },
     /// DECLARE/SET and other procedural statements.
     Procedural,
 }
@@ -286,13 +329,34 @@ impl Script {
         match self.statements.first() {
             Some(Statement::Select(_)) => "SELECT",
             Some(Statement::Execute { .. }) => "EXECUTE",
-            Some(Statement::Ddl { verb: DdlVerb::Create, .. }) => "CREATE",
-            Some(Statement::Ddl { verb: DdlVerb::Drop, .. }) => "DROP",
-            Some(Statement::Ddl { verb: DdlVerb::Alter, .. }) => "ALTER",
-            Some(Statement::Ddl { verb: DdlVerb::Truncate, .. }) => "TRUNCATE",
-            Some(Statement::Dml { verb: DmlVerb::Insert, .. }) => "INSERT",
-            Some(Statement::Dml { verb: DmlVerb::Update, .. }) => "UPDATE",
-            Some(Statement::Dml { verb: DmlVerb::Delete, .. }) => "DELETE",
+            Some(Statement::Ddl {
+                verb: DdlVerb::Create,
+                ..
+            }) => "CREATE",
+            Some(Statement::Ddl {
+                verb: DdlVerb::Drop,
+                ..
+            }) => "DROP",
+            Some(Statement::Ddl {
+                verb: DdlVerb::Alter,
+                ..
+            }) => "ALTER",
+            Some(Statement::Ddl {
+                verb: DdlVerb::Truncate,
+                ..
+            }) => "TRUNCATE",
+            Some(Statement::Dml {
+                verb: DmlVerb::Insert,
+                ..
+            }) => "INSERT",
+            Some(Statement::Dml {
+                verb: DmlVerb::Update,
+                ..
+            }) => "UPDATE",
+            Some(Statement::Dml {
+                verb: DmlVerb::Delete,
+                ..
+            }) => "DELETE",
             Some(Statement::Procedural) => "PROCEDURAL",
             None => "EMPTY",
         }
@@ -320,7 +384,9 @@ mod tests {
 
     #[test]
     fn script_statement_type() {
-        let s = Script { statements: vec![Statement::Select(Query::empty())] };
+        let s = Script {
+            statements: vec![Statement::Select(Query::empty())],
+        };
         assert_eq!(s.statement_type(), "SELECT");
         let e = Script { statements: vec![] };
         assert_eq!(e.statement_type(), "EMPTY");

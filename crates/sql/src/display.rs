@@ -48,9 +48,20 @@ impl fmt::Display for Expr {
             }
             Expr::Logical { left, and, right } => {
                 let kw = if *and { "AND" } else { "OR" };
-                write!(f, "{} {} {}", paren_logical(left, *and), kw, paren_logical(right, *and))
+                write!(
+                    f,
+                    "{} {} {}",
+                    paren_logical(left, *and),
+                    kw,
+                    paren_logical(right, *and)
+                )
             }
-            Expr::Between { expr, negated, low, high } => write!(
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => write!(
                 f,
                 "{}{} BETWEEN {} AND {}",
                 paren_operand(expr),
@@ -58,8 +69,17 @@ impl fmt::Display for Expr {
                 paren_operand(low),
                 paren_operand(high)
             ),
-            Expr::InList { expr, negated, list } => {
-                write!(f, "{}{} IN (", paren_operand(expr), if *negated { " NOT" } else { "" })?;
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => {
+                write!(
+                    f,
+                    "{}{} IN (",
+                    paren_operand(expr),
+                    if *negated { " NOT" } else { "" }
+                )?;
                 for (i, e) in list.iter().enumerate() {
                     if i > 0 {
                         f.write_str(", ")?;
@@ -68,14 +88,22 @@ impl fmt::Display for Expr {
                 }
                 f.write_char(')')
             }
-            Expr::InSubquery { expr, negated, subquery } => write!(
+            Expr::InSubquery {
+                expr,
+                negated,
+                subquery,
+            } => write!(
                 f,
                 "{}{} IN ({})",
                 paren_operand(expr),
                 if *negated { " NOT" } else { "" },
                 subquery
             ),
-            Expr::Like { expr, negated, pattern } => write!(
+            Expr::Like {
+                expr,
+                negated,
+                pattern,
+            } => write!(
                 f,
                 "{}{} LIKE {}",
                 paren_operand(expr),
@@ -108,7 +136,11 @@ impl fmt::Display for Expr {
                 }
                 f.write_char(')')
             }
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 f.write_str("CASE")?;
                 if let Some(op) = operand {
                     write!(f, " {}", op)?;
@@ -147,7 +179,9 @@ fn paren_unary(e: &Expr) -> String {
 fn paren_logical(e: &Expr, parent_is_and: bool) -> String {
     match e {
         Expr::Logical { and: false, .. } if parent_is_and => format!("({})", e),
-        Expr::Unary { op: UnaryOp::Not, .. } => format!("({})", e),
+        Expr::Unary {
+            op: UnaryOp::Not, ..
+        } => format!("({})", e),
         _ => format!("{}", e),
     }
 }

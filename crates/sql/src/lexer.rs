@@ -29,7 +29,11 @@ impl LexReport {
 
 /// Lex `input` completely. Never fails; see [`LexReport`].
 pub fn lex(input: &str) -> (Vec<SpannedTok>, LexReport) {
-    let mut lx = Lexer { src: input.as_bytes(), pos: 0, report: LexReport::default() };
+    let mut lx = Lexer {
+        src: input.as_bytes(),
+        pos: 0,
+        report: LexReport::default(),
+    };
     let mut out = Vec::with_capacity(input.len() / 4 + 4);
     while let Some(t) = lx.next_token(input) {
         out.push(t);
@@ -132,9 +136,7 @@ impl<'a> Lexer<'a> {
             b'\'' => self.lex_string(input),
             b'[' => self.lex_bracketed(input),
             b'"' => self.lex_quoted_ident(input),
-            b'0' if self.peek2() == Some(b'x') || self.peek2() == Some(b'X') => {
-                self.lex_hex(input)
-            }
+            b'0' if self.peek2() == Some(b'x') || self.peek2() == Some(b'X') => self.lex_hex(input),
             b'0'..=b'9' => self.lex_number(input),
             b'=' => {
                 self.pos += 1;
@@ -224,7 +226,10 @@ impl<'a> Lexer<'a> {
             }
         };
 
-        Some(SpannedTok { tok, span: Span::new(start, self.pos) })
+        Some(SpannedTok {
+            tok,
+            span: Span::new(start, self.pos),
+        })
     }
 
     fn lex_word(&mut self, input: &str) -> Tok {
@@ -389,31 +394,34 @@ mod tests {
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(toks("1 2.5 .5 1e3 1.5e-2 62.835405"), vec![
-            Tok::Number("1".into()),
-            Tok::Number("2.5".into()),
-            Tok::Number(".5".into()),
-            Tok::Number("1e3".into()),
-            Tok::Number("1.5e-2".into()),
-            Tok::Number("62.835405".into()),
-        ]);
+        assert_eq!(
+            toks("1 2.5 .5 1e3 1.5e-2 62.835405"),
+            vec![
+                Tok::Number("1".into()),
+                Tok::Number("2.5".into()),
+                Tok::Number(".5".into()),
+                Tok::Number("1e3".into()),
+                Tok::Number("1.5e-2".into()),
+                Tok::Number("62.835405".into()),
+            ]
+        );
     }
 
     #[test]
     fn number_then_dot_then_ident_is_not_exponent() {
         // `1.e` would be ambiguous; ensure `12e` with no digits stays split.
-        assert_eq!(toks("12easter"), vec![
-            Tok::Number("12".into()),
-            Tok::Ident("easter".into()),
-        ]);
+        assert_eq!(
+            toks("12easter"),
+            vec![Tok::Number("12".into()), Tok::Ident("easter".into()),]
+        );
     }
 
     #[test]
     fn lexes_strings_with_escapes() {
-        assert_eq!(toks("'BLENDED' 'it''s'"), vec![
-            Tok::String("BLENDED".into()),
-            Tok::String("it's".into()),
-        ]);
+        assert_eq!(
+            toks("'BLENDED' 'it''s'"),
+            vec![Tok::String("BLENDED".into()), Tok::String("it's".into()),]
+        );
     }
 
     #[test]
@@ -432,27 +440,30 @@ mod tests {
 
     #[test]
     fn bracketed_and_quoted_identifiers() {
-        assert_eq!(toks("[My Table] \"col name\""), vec![
-            Tok::Ident("My Table".into()),
-            Tok::Ident("col name".into()),
-        ]);
+        assert_eq!(
+            toks("[My Table] \"col name\""),
+            vec![Tok::Ident("My Table".into()), Tok::Ident("col name".into()),]
+        );
     }
 
     #[test]
     fn bitwise_and_comparison_operators() {
-        assert_eq!(toks("a & b <> c <= d != e || f"), vec![
-            Tok::Ident("a".into()),
-            Tok::Op(Op::BitAnd),
-            Tok::Ident("b".into()),
-            Tok::Op(Op::Neq),
-            Tok::Ident("c".into()),
-            Tok::Op(Op::Lte),
-            Tok::Ident("d".into()),
-            Tok::Op(Op::Neq),
-            Tok::Ident("e".into()),
-            Tok::Op(Op::Concat),
-            Tok::Ident("f".into()),
-        ]);
+        assert_eq!(
+            toks("a & b <> c <= d != e || f"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Op(Op::BitAnd),
+                Tok::Ident("b".into()),
+                Tok::Op(Op::Neq),
+                Tok::Ident("c".into()),
+                Tok::Op(Op::Lte),
+                Tok::Ident("d".into()),
+                Tok::Op(Op::Neq),
+                Tok::Ident("e".into()),
+                Tok::Op(Op::Concat),
+                Tok::Ident("f".into()),
+            ]
+        );
     }
 
     #[test]
@@ -464,9 +475,9 @@ mod tests {
 
     #[test]
     fn at_variables_lex_as_idents() {
-        assert_eq!(toks("@x #tmp"), vec![
-            Tok::Ident("@x".into()),
-            Tok::Ident("#tmp".into()),
-        ]);
+        assert_eq!(
+            toks("@x #tmp"),
+            vec![Tok::Ident("@x".into()), Tok::Ident("#tmp".into()),]
+        );
     }
 }

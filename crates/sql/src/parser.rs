@@ -28,7 +28,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.span.start, self.message)
+        write!(
+            f,
+            "parse error at byte {}: {}",
+            self.span.start, self.message
+        )
     }
 }
 
@@ -44,7 +48,11 @@ pub struct ParseOutcome {
 /// Parse a complete script. Never panics.
 pub fn parse(input: &str) -> ParseOutcome {
     let (toks, lex_report) = lex(input);
-    let mut p = Parser { toks: &toks, pos: 0, depth: 0 };
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+        depth: 0,
+    };
     let result = p.parse_script();
     ParseOutcome { result, lex_report }
 }
@@ -123,7 +131,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: String) -> ParseError {
-        ParseError { message, span: self.span() }
+        ParseError {
+            message,
+            span: self.span(),
+        }
     }
 
     fn enter(&mut self) -> PResult<()> {
@@ -146,7 +157,10 @@ impl<'a> Parser<'a> {
         // Skip leading semicolons.
         while self.eat_tok(&Tok::Semicolon) {}
         if self.peek().is_none() {
-            return Err(ParseError { message: "empty statement".into(), span: Span::new(0, 0) });
+            return Err(ParseError {
+                message: "empty statement".into(),
+                span: Span::new(0, 0),
+            });
         }
         while self.peek().is_some() {
             statements.push(self.parse_statement()?);
@@ -230,7 +244,7 @@ impl<'a> Parser<'a> {
 
     fn parse_ddl(&mut self, verb: DdlVerb) -> PResult<Statement> {
         self.bump(); // the verb
-        // Optional object class keyword.
+                     // Optional object class keyword.
         let _ = self.eat_kw(K::Table)
             || self.eat_kw(K::View)
             || self.eat_kw(K::Index)
@@ -272,7 +286,11 @@ impl<'a> Parser<'a> {
             }
             None
         };
-        Ok(Statement::Dml { verb: DmlVerb::Insert, table, query })
+        Ok(Statement::Dml {
+            verb: DmlVerb::Insert,
+            table,
+            query,
+        })
     }
 
     fn parse_update(&mut self) -> PResult<Statement> {
@@ -291,7 +309,11 @@ impl<'a> Parser<'a> {
         if self.eat_kw(K::Where) {
             query.where_clause = Some(self.parse_expr()?);
         }
-        Ok(Statement::Dml { verb: DmlVerb::Update, table, query: Some(query) })
+        Ok(Statement::Dml {
+            verb: DmlVerb::Update,
+            table,
+            query: Some(query),
+        })
     }
 
     fn parse_delete(&mut self) -> PResult<Statement> {
@@ -302,7 +324,11 @@ impl<'a> Parser<'a> {
         if self.eat_kw(K::Where) {
             query.where_clause = Some(self.parse_expr()?);
         }
-        Ok(Statement::Dml { verb: DmlVerb::Delete, table, query: Some(query) })
+        Ok(Statement::Dml {
+            verb: DmlVerb::Delete,
+            table,
+            query: Some(query),
+        })
     }
 
     // ---- SELECT ----------------------------------------------------------
@@ -530,7 +556,11 @@ impl<'a> Parser<'a> {
         let mut left = self.parse_and()?;
         while self.eat_kw(K::Or) {
             let right = self.parse_and()?;
-            left = Expr::Logical { left: Box::new(left), and: false, right: Box::new(right) };
+            left = Expr::Logical {
+                left: Box::new(left),
+                and: false,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -539,7 +569,11 @@ impl<'a> Parser<'a> {
         let mut left = self.parse_not()?;
         while self.eat_kw(K::And) {
             let right = self.parse_not()?;
-            left = Expr::Logical { left: Box::new(left), and: true, right: Box::new(right) };
+            left = Expr::Logical {
+                left: Box::new(left),
+                and: true,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -549,7 +583,10 @@ impl<'a> Parser<'a> {
             self.enter()?;
             let inner = self.parse_not();
             self.leave();
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner?) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner?),
+            });
         }
         self.parse_comparison()
     }
@@ -590,11 +627,19 @@ impl<'a> Parser<'a> {
                 }
             }
             self.expect_tok(&Tok::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), negated, list });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                negated,
+                list,
+            });
         }
         if self.eat_kw(K::Like) {
             let pattern = self.parse_bit_or()?;
-            return Ok(Expr::Like { expr: Box::new(left), negated, pattern: Box::new(pattern) });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                negated,
+                pattern: Box::new(pattern),
+            });
         }
         if negated {
             return Err(self.err("expected BETWEEN, IN or LIKE after NOT".into()));
@@ -602,7 +647,10 @@ impl<'a> Parser<'a> {
         if self.eat_kw(K::Is) {
             let negated = self.eat_kw(K::Not);
             self.expect_kw(K::Null)?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
 
         // Binary comparison operators (non-associative chain, applied
@@ -612,7 +660,11 @@ impl<'a> Parser<'a> {
             if matches!(op, Op::Eq | Op::Neq | Op::Lt | Op::Lte | Op::Gt | Op::Gte) {
                 self.pos += 1;
                 let right = self.parse_bit_or()?;
-                return Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) });
+                return Ok(Expr::Binary {
+                    left: Box::new(left),
+                    op,
+                    right: Box::new(right),
+                });
             }
         }
         Ok(left)
@@ -624,7 +676,11 @@ impl<'a> Parser<'a> {
             let op = *op;
             self.pos += 1;
             let right = self.parse_bit_and()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -634,7 +690,11 @@ impl<'a> Parser<'a> {
         while let Some(Tok::Op(Op::BitAnd)) = self.peek() {
             self.pos += 1;
             let right = self.parse_additive()?;
-            left = Expr::Binary { left: Box::new(left), op: Op::BitAnd, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: Op::BitAnd,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -645,7 +705,11 @@ impl<'a> Parser<'a> {
             let op = *op;
             self.pos += 1;
             let right = self.parse_multiplicative()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -656,7 +720,11 @@ impl<'a> Parser<'a> {
             let op = *op;
             self.pos += 1;
             let right = self.parse_unary()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -668,14 +736,20 @@ impl<'a> Parser<'a> {
                 self.enter()?;
                 let inner = self.parse_unary();
                 self.leave();
-                Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner?) })
+                Ok(Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(inner?),
+                })
             }
             Some(Tok::Op(Op::Plus)) => {
                 self.pos += 1;
                 self.enter()?;
                 let inner = self.parse_unary();
                 self.leave();
-                Ok(Expr::Unary { op: UnaryOp::Plus, expr: Box::new(inner?) })
+                Ok(Expr::Unary {
+                    op: UnaryOp::Plus,
+                    expr: Box::new(inner?),
+                })
             }
             _ => self.parse_primary(),
         }
@@ -716,7 +790,10 @@ impl<'a> Parser<'a> {
                 self.expect_tok(&Tok::LParen)?;
                 let q = self.parse_query()?;
                 self.expect_tok(&Tok::RParen)?;
-                Ok(Expr::Exists { negated: false, subquery: Box::new(q) })
+                Ok(Expr::Exists {
+                    negated: false,
+                    subquery: Box::new(q),
+                })
             }
             Some(Tok::Keyword(K::Case)) => self.parse_case(),
             Some(Tok::Keyword(K::Cast)) => self.parse_cast(),
@@ -727,7 +804,9 @@ impl<'a> Parser<'a> {
                     self.parse_call_args(QualifiedName::single(format!("{:?}", k).to_lowercase()))
                 } else {
                     // Bare aggregate keyword used as a column name.
-                    Ok(Expr::Column(QualifiedName::single(format!("{:?}", k).to_lowercase())))
+                    Ok(Expr::Column(QualifiedName::single(
+                        format!("{:?}", k).to_lowercase(),
+                    )))
                 }
             }
             Some(Tok::LParen) => {
@@ -753,7 +832,11 @@ impl<'a> Parser<'a> {
                 if name.base() == "*" {
                     let mut parts = name.parts;
                     parts.pop();
-                    let qual = if parts.is_empty() { None } else { Some(parts.join(".")) };
+                    let qual = if parts.is_empty() {
+                        None
+                    } else {
+                        Some(parts.join("."))
+                    };
                     return Ok(Expr::Wildcard(qual));
                 }
                 if self.peek() == Some(&Tok::LParen) {
@@ -788,7 +871,12 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect_tok(&Tok::RParen)?;
-        Ok(Expr::Function(FunctionCall { name, aggregate, distinct, args }))
+        Ok(Expr::Function(FunctionCall {
+            name,
+            aggregate,
+            distinct,
+            args,
+        }))
     }
 
     fn parse_case(&mut self) -> PResult<Expr> {
@@ -808,10 +896,17 @@ impl<'a> Parser<'a> {
         if branches.is_empty() {
             return Err(self.err("CASE requires at least one WHEN".into()));
         }
-        let else_expr =
-            if self.eat_kw(K::Else) { Some(Box::new(self.parse_expr()?)) } else { None };
+        let else_expr = if self.eat_kw(K::Else) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
         self.expect_kw(K::End)?;
-        Ok(Expr::Case { operand, branches, else_expr })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
     }
 
     fn parse_cast(&mut self) -> PResult<Expr> {
@@ -843,7 +938,10 @@ impl<'a> Parser<'a> {
             ty.push(')');
         }
         self.expect_tok(&Tok::RParen)?;
-        Ok(Expr::Cast { expr: Box::new(expr), ty })
+        Ok(Expr::Cast {
+            expr: Box::new(expr),
+            ty,
+        })
     }
 }
 
@@ -896,8 +994,14 @@ mod tests {
         let query = q(sql);
         // (flags & f(...)) > 0
         match query.where_clause.unwrap() {
-            Expr::Binary { op: Op::Gt, left, .. } => match *left {
-                Expr::Binary { op: Op::BitAnd, right, .. } => {
+            Expr::Binary {
+                op: Op::Gt, left, ..
+            } => match *left {
+                Expr::Binary {
+                    op: Op::BitAnd,
+                    right,
+                    ..
+                } => {
                     assert!(matches!(*right, Expr::Function(_)));
                 }
                 other => panic!("expected bitand, got {:?}", other),
@@ -986,24 +1090,47 @@ mod tests {
     #[test]
     fn parses_ddl_and_dml() {
         assert!(matches!(
-            parse_script("CREATE TABLE mydb.t (x int)").unwrap().statements[0],
-            Statement::Ddl { verb: DdlVerb::Create, .. }
+            parse_script("CREATE TABLE mydb.t (x int)")
+                .unwrap()
+                .statements[0],
+            Statement::Ddl {
+                verb: DdlVerb::Create,
+                ..
+            }
         ));
         assert!(matches!(
             parse_script("DROP TABLE mydb.t").unwrap().statements[0],
-            Statement::Ddl { verb: DdlVerb::Drop, .. }
+            Statement::Ddl {
+                verb: DdlVerb::Drop,
+                ..
+            }
         ));
         assert!(matches!(
-            parse_script("INSERT INTO t (a, b) VALUES (1, 'x')").unwrap().statements[0],
-            Statement::Dml { verb: DmlVerb::Insert, .. }
+            parse_script("INSERT INTO t (a, b) VALUES (1, 'x')")
+                .unwrap()
+                .statements[0],
+            Statement::Dml {
+                verb: DmlVerb::Insert,
+                ..
+            }
         ));
         assert!(matches!(
-            parse_script("UPDATE t SET a = 1 WHERE b = 2").unwrap().statements[0],
-            Statement::Dml { verb: DmlVerb::Update, .. }
+            parse_script("UPDATE t SET a = 1 WHERE b = 2")
+                .unwrap()
+                .statements[0],
+            Statement::Dml {
+                verb: DmlVerb::Update,
+                ..
+            }
         ));
         assert!(matches!(
-            parse_script("DELETE FROM t WHERE a = 1").unwrap().statements[0],
-            Statement::Dml { verb: DmlVerb::Delete, .. }
+            parse_script("DELETE FROM t WHERE a = 1")
+                .unwrap()
+                .statements[0],
+            Statement::Dml {
+                verb: DmlVerb::Delete,
+                ..
+            }
         ));
     }
 

@@ -160,7 +160,10 @@ fn accumulate_statement(stmt: &Statement, props: &mut StructuralProps) {
 
     // DML statements reference their target table too.
     match stmt {
-        Statement::Dml { table: Some(t), .. } | Statement::Ddl { object: Some(t), .. } => {
+        Statement::Dml { table: Some(t), .. }
+        | Statement::Ddl {
+            object: Some(t), ..
+        } => {
             tables.insert(t.canonical());
         }
         _ => {}
@@ -184,13 +187,18 @@ fn count_predicate_leaves(expr: &Expr, props: &mut StructuralProps) {
             count_predicate_leaves(left, props);
             count_predicate_leaves(right, props);
         }
-        Expr::Unary { op: UnaryOp::Not, expr } => count_predicate_leaves(expr, props),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => count_predicate_leaves(expr, props),
         Expr::Binary { op, left, right } if op.is_comparison() => {
             props.num_predicates += 1;
             count_columns(left, props);
             count_columns(right, props);
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             props.num_predicates += 1;
             count_columns(expr, props);
             count_columns(low, props);

@@ -17,7 +17,10 @@ pub struct Span {
 
 impl Span {
     pub fn new(start: usize, end: usize) -> Self {
-        Span { start: start as u32, end: end as u32 }
+        Span {
+            start: start as u32,
+            end: end as u32,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -36,16 +39,72 @@ impl Span {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Keyword {
-    Select, From, Where, Group, By, Having, Order, Asc, Desc,
-    Top, Distinct, All, As, Into,
-    Inner, Left, Right, Full, Outer, Cross, Join, On,
-    And, Or, Not, In, Between, Like, Is, Null, Exists, Any, Some,
-    Case, When, Then, Else, End, Cast,
-    Union, Except, Intersect,
-    Insert, Update, Delete, Create, Drop, Alter, Truncate,
-    Table, View, Index, Database, Procedure, Function,
-    Execute, Exec, Declare, Set, Values, Default,
-    Count, Min, Max, Avg, Sum,
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Asc,
+    Desc,
+    Top,
+    Distinct,
+    All,
+    As,
+    Into,
+    Inner,
+    Left,
+    Right,
+    Full,
+    Outer,
+    Cross,
+    Join,
+    On,
+    And,
+    Or,
+    Not,
+    In,
+    Between,
+    Like,
+    Is,
+    Null,
+    Exists,
+    Any,
+    Some,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Cast,
+    Union,
+    Except,
+    Intersect,
+    Insert,
+    Update,
+    Delete,
+    Create,
+    Drop,
+    Alter,
+    Truncate,
+    Table,
+    View,
+    Index,
+    Database,
+    Procedure,
+    Function,
+    Execute,
+    Exec,
+    Declare,
+    Set,
+    Values,
+    Default,
+    Count,
+    Min,
+    Max,
+    Avg,
+    Sum,
 }
 
 impl Keyword {

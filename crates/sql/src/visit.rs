@@ -22,7 +22,9 @@ pub fn walk_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
             walk_expr(left, f);
             walk_expr(right, f);
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             walk_expr(expr, f);
             walk_expr(low, f);
             walk_expr(high, f);
@@ -46,7 +48,11 @@ pub fn walk_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
                 walk_expr(a, f);
             }
         }
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             if let Some(op) = operand {
                 walk_expr(op, f);
             }
@@ -153,7 +159,12 @@ mod tests {
     use crate::parser::parse_script;
 
     fn first(stmt: &str) -> Statement {
-        parse_script(stmt).unwrap().statements.into_iter().next().unwrap()
+        parse_script(stmt)
+            .unwrap()
+            .statements
+            .into_iter()
+            .next()
+            .unwrap()
     }
 
     #[test]
@@ -166,9 +177,8 @@ mod tests {
 
     #[test]
     fn depth_counts_nested_subqueries() {
-        let s = first(
-            "SELECT x FROM t WHERE y = (SELECT max(y) FROM u WHERE z IN (SELECT z FROM v))",
-        );
+        let s =
+            first("SELECT x FROM t WHERE y = (SELECT max(y) FROM u WHERE z IN (SELECT z FROM v))");
         let qs = queries_with_depth(&s);
         let max = qs.iter().map(|(_, d)| *d).max().unwrap();
         assert_eq!(qs.len(), 3);

@@ -86,7 +86,13 @@ impl BoxStats {
     pub fn compute(values: &[f64]) -> BoxStats {
         let n = values.len();
         if n == 0 {
-            return BoxStats { q1: f64::NAN, median: f64::NAN, q3: f64::NAN, mean: f64::NAN, count: 0 };
+            return BoxStats {
+                q1: f64::NAN,
+                median: f64::NAN,
+                q3: f64::NAN,
+                mean: f64::NAN,
+                count: 0,
+            };
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(f64::total_cmp);
@@ -143,7 +149,12 @@ pub struct PropsMatrix {
 
 impl PropsMatrix {
     pub fn extract(entries: &[WorkloadEntry]) -> PropsMatrix {
-        PropsMatrix { props: entries.iter().map(|e| extract_props(&e.statement)).collect() }
+        PropsMatrix {
+            props: entries
+                .iter()
+                .map(|e| extract_props(&e.statement))
+                .collect(),
+        }
     }
 
     /// Column `k` of the property matrix (see [`StructuralProps::NAMES`]).
@@ -251,7 +262,10 @@ pub fn statement_type_shares(entries: &[WorkloadEntry]) -> Vec<(String, f64)> {
         *counts.entry(ty).or_default() += 1;
     }
     let total = entries.len().max(1) as f64;
-    counts.into_iter().map(|(k, v)| (k, v as f64 / total)).collect()
+    counts
+        .into_iter()
+        .map(|(k, v)| (k, v as f64 / total))
+        .collect()
 }
 
 #[cfg(test)]

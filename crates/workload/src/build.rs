@@ -28,7 +28,11 @@ pub struct SdssConfig {
 impl Default for SdssConfig {
     fn default() -> Self {
         // 0x5D55 ≈ "SDSS".
-        SdssConfig { n_sessions: 4_000, scale: Scale(0.25), seed: 0x5D55 }
+        SdssConfig {
+            n_sessions: 4_000,
+            scale: Scale(0.25),
+            seed: 0x5D55,
+        }
     }
 }
 
@@ -109,7 +113,11 @@ fn group_and_label(
             user_id: None,
         });
     }
-    Workload { entries, repetitions, sampled_logs }
+    Workload {
+        entries,
+        repetitions,
+        sampled_logs,
+    }
 }
 
 fn majority_class(classes: &[SessionClass]) -> SessionClass {
@@ -117,7 +125,12 @@ fn majority_class(classes: &[SessionClass]) -> SessionClass {
     for c in classes {
         counts[c.index()] += 1;
     }
-    let best = counts.iter().enumerate().max_by_key(|(_, n)| **n).map(|(i, _)| i).unwrap_or(0);
+    let best = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, n)| **n)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
     SessionClass::from_index(best).unwrap_or(SessionClass::Unknown)
 }
 
@@ -132,7 +145,12 @@ pub struct SqlShareConfig {
 
 impl Default for SqlShareConfig {
     fn default() -> Self {
-        SqlShareConfig { n_queries: 2_000, n_users: 60, scale: Scale(0.5), seed: 0x5A5E }
+        SqlShareConfig {
+            n_queries: 2_000,
+            n_users: 60,
+            scale: Scale(0.5),
+            seed: 0x5A5E,
+        }
     }
 }
 
@@ -183,7 +201,11 @@ pub fn build_sqlshare(cfg: SqlShareConfig) -> Workload {
         repetitions.push(1);
     }
     let sampled_logs = entries.len();
-    Workload { entries, repetitions, sampled_logs }
+    Workload {
+        entries,
+        repetitions,
+        sampled_logs,
+    }
 }
 
 /// Access to the database used for SQLShare labeling (needed by the `opt`
@@ -203,7 +225,11 @@ mod tests {
     use super::*;
 
     fn small_sdss() -> Workload {
-        build_sdss(SdssConfig { n_sessions: 300, scale: Scale(0.02), seed: 7 })
+        build_sdss(SdssConfig {
+            n_sessions: 300,
+            scale: Scale(0.02),
+            seed: 7,
+        })
     }
 
     #[test]
@@ -212,7 +238,11 @@ mod tests {
         assert!(!w.is_empty());
         let mut set = std::collections::HashSet::new();
         for e in &w.entries {
-            assert!(set.insert(e.statement.clone()), "duplicate: {}", e.statement);
+            assert!(
+                set.insert(e.statement.clone()),
+                "duplicate: {}",
+                e.statement
+            );
         }
         assert_eq!(w.repetitions.len(), w.entries.len());
         let total: u32 = w.repetitions.iter().sum();
@@ -221,11 +251,19 @@ mod tests {
 
     #[test]
     fn sdss_error_mix_is_dominated_by_success() {
-        let w = build_sdss(SdssConfig { n_sessions: 800, scale: Scale(0.02), seed: 8 });
+        let w = build_sdss(SdssConfig {
+            n_sessions: 800,
+            scale: Scale(0.02),
+            seed: 8,
+        });
         let frac = |c: ErrorClass| {
             w.entries.iter().filter(|e| e.error_class == c).count() as f64 / w.len() as f64
         };
-        assert!(frac(ErrorClass::Success) > 0.85, "success {}", frac(ErrorClass::Success));
+        assert!(
+            frac(ErrorClass::Success) > 0.85,
+            "success {}",
+            frac(ErrorClass::Success)
+        );
         assert!(frac(ErrorClass::Severe) < 0.08);
         assert!(frac(ErrorClass::NonSevere) < 0.12);
     }
@@ -242,7 +280,11 @@ mod tests {
 
     #[test]
     fn sdss_answer_sizes_heavy_tailed() {
-        let w = build_sdss(SdssConfig { n_sessions: 600, scale: Scale(0.05), seed: 9 });
+        let w = build_sdss(SdssConfig {
+            n_sessions: 600,
+            scale: Scale(0.05),
+            seed: 9,
+        });
         let ok: Vec<f64> = w
             .entries
             .iter()
@@ -254,23 +296,39 @@ mod tests {
         sorted.sort_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2];
         assert!(max > 100.0, "some query should return many rows, max={max}");
-        assert!(median <= 10.0, "most queries return few rows, median={median}");
+        assert!(
+            median <= 10.0,
+            "most queries return few rows, median={median}"
+        );
     }
 
     #[test]
     fn sqlshare_pipeline_attaches_users() {
-        let w = build_sqlshare(SqlShareConfig { n_queries: 150, n_users: 10, scale: Scale(0.05), seed: 4 });
+        let w = build_sqlshare(SqlShareConfig {
+            n_queries: 150,
+            n_users: 10,
+            scale: Scale(0.05),
+            seed: 4,
+        });
         assert!(w.len() >= 100);
         assert!(w.entries.iter().all(|e| e.user_id.is_some()));
         assert!(w.entries.iter().all(|e| e.session_class.is_none()));
         let users: std::collections::HashSet<_> =
             w.entries.iter().map(|e| e.user_id.unwrap()).collect();
-        assert!(users.len() >= 5, "queries should span users: {}", users.len());
+        assert!(
+            users.len() >= 5,
+            "queries should span users: {}",
+            users.len()
+        );
     }
 
     #[test]
     fn bots_repeat_statements_more_than_browsers() {
-        let w = build_sdss(SdssConfig { n_sessions: 1500, scale: Scale(0.02), seed: 10 });
+        let w = build_sdss(SdssConfig {
+            n_sessions: 1500,
+            scale: Scale(0.02),
+            seed: 10,
+        });
         // Bot point-lookups collide (same id drawn twice); others rarely do.
         let max_rep = w.repetitions.iter().copied().max().unwrap_or(1);
         assert!(max_rep >= 2, "some statement should repeat, max={max_rep}");

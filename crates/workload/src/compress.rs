@@ -112,7 +112,10 @@ pub fn compress(entries: &[WorkloadEntry]) -> CompressedWorkload {
         .collect();
     // Descending count, then template text for determinism.
     templates.sort_by(|a, b| b.count.cmp(&a.count).then(a.template.cmp(&b.template)));
-    CompressedWorkload { templates, total_entries: entries.len() }
+    CompressedWorkload {
+        templates,
+        total_entries: entries.len(),
+    }
 }
 
 #[cfg(test)]
@@ -194,7 +197,9 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(4);
         let gen = |class: SessionClass, rng: &mut StdRng| -> Vec<WorkloadEntry> {
-            (0..300).map(|_| entry(&sdss_statement(class, rng), 0.0, 0.0)).collect()
+            (0..300)
+                .map(|_| entry(&sdss_statement(class, rng), 0.0, 0.0))
+                .collect()
         };
         let bots = compress(&gen(SessionClass::Bot, &mut rng));
         let adhoc = compress(&gen(SessionClass::NoWebHit, &mut rng));

@@ -50,7 +50,10 @@ impl SessionClass {
     }
 
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|c| *c == self).expect("class in ALL")
+        Self::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("class in ALL")
     }
 
     pub fn from_index(i: usize) -> Option<SessionClass> {
@@ -104,7 +107,15 @@ mod tests {
         let names: Vec<&str> = SessionClass::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(
             names,
-            vec!["no_web_hit", "unknown", "bot", "admin", "program", "anonymous", "browser"]
+            vec![
+                "no_web_hit",
+                "unknown",
+                "bot",
+                "admin",
+                "program",
+                "anonymous",
+                "browser"
+            ]
         );
     }
 

@@ -25,8 +25,8 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
-pub mod compress;
 pub mod build;
+pub mod compress;
 pub mod labels;
 pub mod schema;
 pub mod session;
@@ -34,19 +34,18 @@ pub mod split;
 pub mod templates;
 
 pub use analysis::{
-    by_session_class, pearson, repetition_histogram, statement_type_shares, BoxStats,
-    LogHistogram, PropsMatrix, SummaryStats,
+    by_session_class, pearson, repetition_histogram, statement_type_shares, BoxStats, LogHistogram,
+    PropsMatrix, SummaryStats,
 };
-pub use compress::{compress, template_of, CompressedWorkload, TemplateStats};
 pub use build::{
     build_sdss, build_sqlshare, sdss_database, sqlshare_database, SdssConfig, SqlShareConfig,
     Workload,
 };
+pub use compress::{compress, template_of, CompressedWorkload, TemplateStats};
 pub use labels::{ErrorClass, Hit, SessionClass, WorkloadEntry};
 pub use schema::{sdss_catalog, sqlshare_catalog, Scale, UserSchema};
 pub use session::{
-    identify_sessions, simulate_sessions, GeneratedSession, IdentifiedSession,
-    SESSION_GAP_SECONDS,
+    identify_sessions, simulate_sessions, GeneratedSession, IdentifiedSession, SESSION_GAP_SECONDS,
 };
 pub use split::{random_split, split_by_user, split_with_fractions, Split};
 pub use templates::{sdss_statement, sqlshare_statement};

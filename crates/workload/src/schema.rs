@@ -116,11 +116,17 @@ pub fn sdss_table_specs(scale: Scale) -> Vec<TableSpec> {
         TableSpec::new("Jobs", rows(2_000, scale))
             .column("jobid", ColumnSpec::SeqId)
             .column("userid", ColumnSpec::IntUniform(0, 499))
-            .column("target", ColumnSpec::StrChoice(&["DR5", "DR7", "DR8", "MYDB"]))
+            .column(
+                "target",
+                ColumnSpec::StrChoice(&["DR5", "DR7", "DR8", "MYDB"]),
+            )
             .column("queue", ColumnSpec::IntUniform(1, 5))
             .column("estimate", ColumnSpec::Uniform(0.0, 500.0))
             .column("status", ColumnSpec::Categorical(6))
-            .column("outputtype", ColumnSpec::StrChoice(&["QUERY", "TABLE", "FILE"])),
+            .column(
+                "outputtype",
+                ColumnSpec::StrChoice(&["QUERY", "TABLE", "FILE"]),
+            ),
         TableSpec::new("Users", rows(500, scale))
             .column("userid", ColumnSpec::SeqId)
             .column("privilege", ColumnSpec::Categorical(3))
@@ -128,13 +134,24 @@ pub fn sdss_table_specs(scale: Scale) -> Vec<TableSpec> {
         TableSpec::new("Servers", rows(40, scale))
             .column("serverid", ColumnSpec::SeqId)
             .column("name", ColumnSpec::TaggedSeq("srv"))
-            .column("target", ColumnSpec::StrChoice(&["DR5", "DR7", "DR8", "MYDB"]))
+            .column(
+                "target",
+                ColumnSpec::StrChoice(&["DR5", "DR7", "DR8", "MYDB"]),
+            )
             .column("queue", ColumnSpec::IntUniform(1, 5)),
         TableSpec::new("Status", rows(64, scale))
             .column("statusid", ColumnSpec::SeqId)
-            .column("name", ColumnSpec::StrChoice(&[
-                "ready", "started", "finished", "failed", "cancelled", "queued",
-            ])),
+            .column(
+                "name",
+                ColumnSpec::StrChoice(&[
+                    "ready",
+                    "started",
+                    "finished",
+                    "failed",
+                    "cancelled",
+                    "queued",
+                ]),
+            ),
     ]
 }
 
@@ -147,15 +164,34 @@ pub fn sdss_catalog(scale: Scale, seed: u64) -> Catalog {
 /// ad-hoc analytics over uploaded CSVs (genomics, oceanography, sensor
 /// dumps — the domains reported in the SQLShare paper).
 const SQLSHARE_TABLE_STEMS: &[&str] = &[
-    "samples", "reads", "genes", "proteins", "taxa", "stations", "casts", "sensors",
-    "measurements", "observations", "results", "metadata", "runs", "trials", "plates",
-    "wells", "counts", "abundance", "alignment", "variants", "sites", "events",
+    "samples",
+    "reads",
+    "genes",
+    "proteins",
+    "taxa",
+    "stations",
+    "casts",
+    "sensors",
+    "measurements",
+    "observations",
+    "results",
+    "metadata",
+    "runs",
+    "trials",
+    "plates",
+    "wells",
+    "counts",
+    "abundance",
+    "alignment",
+    "variants",
+    "sites",
+    "events",
 ];
 
 const SQLSHARE_COL_STEMS: &[&str] = &[
-    "id", "name", "value", "score", "count", "depth", "temp", "salinity", "lat", "lon",
-    "time", "qc", "flag", "group", "batch", "conc", "ph", "ratio", "length", "width",
-    "mass", "seq", "gc", "cov", "freq", "pval", "fold", "rank",
+    "id", "name", "value", "score", "count", "depth", "temp", "salinity", "lat", "lon", "time",
+    "qc", "flag", "group", "batch", "conc", "ph", "ratio", "length", "width", "mass", "seq", "gc",
+    "cov", "freq", "pval", "fold", "rank",
 ];
 
 /// One SQLShare user's uploaded dataset: a private little schema.
@@ -170,11 +206,7 @@ pub struct UserSchema {
 /// Generate `n_users` SQLShare-like user schemas and a combined catalog
 /// holding all their tables (each table name is prefixed with the user id,
 /// as SQLShare scopes uploads per user).
-pub fn sqlshare_catalog(
-    n_users: u32,
-    scale: Scale,
-    seed: u64,
-) -> (Catalog, Vec<UserSchema>) {
+pub fn sqlshare_catalog(n_users: u32, scale: Scale, seed: u64) -> (Catalog, Vec<UserSchema>) {
     let mut specs = Vec::new();
     let mut users = Vec::new();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -216,7 +248,11 @@ pub fn sqlshare_catalog(
             table_names.push(name);
             table_columns.push(cols);
         }
-        users.push(UserSchema { user_id, table_names, table_columns });
+        users.push(UserSchema {
+            user_id,
+            table_names,
+            table_columns,
+        });
     }
     (Catalog::generate(&specs, seed ^ 0xD1CE), users)
 }
@@ -228,7 +264,15 @@ mod tests {
     #[test]
     fn sdss_catalog_has_expected_tables() {
         let cat = sdss_catalog(Scale(0.02), 1);
-        for t in ["PhotoObj", "PhotoTag", "SpecObj", "SpecPhoto", "Galaxy", "Jobs", "Servers"] {
+        for t in [
+            "PhotoObj",
+            "PhotoTag",
+            "SpecObj",
+            "SpecPhoto",
+            "Galaxy",
+            "Jobs",
+            "Servers",
+        ] {
             assert!(cat.get(t).is_some(), "missing {t}");
         }
     }
@@ -237,7 +281,9 @@ mod tests {
     fn scale_changes_row_counts() {
         let small = sdss_catalog(Scale(0.01), 1);
         let large = sdss_catalog(Scale(0.1), 1);
-        assert!(large.get("PhotoObj").unwrap().row_count() > small.get("PhotoObj").unwrap().row_count());
+        assert!(
+            large.get("PhotoObj").unwrap().row_count() > small.get("PhotoObj").unwrap().row_count()
+        );
     }
 
     #[test]
@@ -245,7 +291,10 @@ mod tests {
         let cat = sdss_catalog(Scale(0.05), 2);
         let photo = cat.get("PhotoObj").unwrap().row_count();
         let spec = cat.get("SpecObj").unwrap().row_count();
-        assert!(photo > 5 * spec, "PhotoObj ({photo}) should dwarf SpecObj ({spec})");
+        assert!(
+            photo > 5 * spec,
+            "PhotoObj ({photo}) should dwarf SpecObj ({spec})"
+        );
     }
 
     #[test]
@@ -264,8 +313,10 @@ mod tests {
     #[test]
     fn sqlshare_schemas_differ_between_users() {
         let (_, users) = sqlshare_catalog(20, Scale(0.1), 4);
-        let a: std::collections::BTreeSet<_> = users[0].table_columns.concat().into_iter().collect();
-        let b: std::collections::BTreeSet<_> = users[1].table_columns.concat().into_iter().collect();
+        let a: std::collections::BTreeSet<_> =
+            users[0].table_columns.concat().into_iter().collect();
+        let b: std::collections::BTreeSet<_> =
+            users[1].table_columns.concat().into_iter().collect();
         assert_ne!(a, b, "independent users should draw different columns");
     }
 

@@ -202,7 +202,11 @@ mod tests {
         // our spacing guarantees they aren't, so counts should match the
         // number of generated sessions that have distinct (ip, window)s.
         let total_hits: usize = identified.iter().map(|s| s.hit_indices.len()).sum();
-        assert_eq!(total_hits, all_hits.len(), "every hit lands in exactly one session");
+        assert_eq!(
+            total_hits,
+            all_hits.len(),
+            "every hit lands in exactly one session"
+        );
         assert!(identified.len() >= 95, "over-merged: {}", identified.len());
         assert!(identified.len() <= 100, "over-split: {}", identified.len());
     }
@@ -243,9 +247,8 @@ mod tests {
     #[test]
     fn class_mixture_is_roughly_calibrated() {
         let s = simulate_sessions(3000, 3);
-        let frac = |c: SessionClass| {
-            s.iter().filter(|x| x.class == c).count() as f64 / s.len() as f64
-        };
+        let frac =
+            |c: SessionClass| s.iter().filter(|x| x.class == c).count() as f64 / s.len() as f64;
         assert!((frac(SessionClass::NoWebHit) - 0.4478).abs() < 0.05);
         assert!((frac(SessionClass::Bot) - 0.2613).abs() < 0.05);
         assert!((frac(SessionClass::Browser) - 0.2032).abs() < 0.05);

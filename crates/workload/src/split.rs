@@ -28,7 +28,10 @@ pub fn random_split(n: usize, seed: u64) -> Split {
 
 /// Random split with explicit train/valid fractions (test gets the rest).
 pub fn split_with_fractions(n: usize, train: f64, valid: f64, seed: u64) -> Split {
-    assert!(train >= 0.0 && valid >= 0.0 && train + valid <= 1.0, "bad fractions");
+    assert!(
+        train >= 0.0 && valid >= 0.0 && train + valid <= 1.0,
+        "bad fractions"
+    );
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(&mut StdRng::seed_from_u64(seed));
     let n_train = (n as f64 * train).round() as usize;
@@ -94,7 +97,11 @@ pub fn split_by_user(entries: &[WorkloadEntry], train: f64, valid: f64, seed: u6
         }
     }
 
-    let mut split = Split { train: Vec::new(), valid: Vec::new(), test: Vec::new() };
+    let mut split = Split {
+        train: Vec::new(),
+        valid: Vec::new(),
+        test: Vec::new(),
+    };
     for (i, e) in entries.iter().enumerate() {
         match e.user_id {
             Some(u) if train_users.contains(&u) => split.train.push(i),
@@ -126,8 +133,13 @@ mod tests {
     fn random_split_partitions() {
         let s = random_split(1000, 1);
         assert_eq!(s.total(), 1000);
-        let mut all: Vec<usize> =
-            s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.valid)
+            .chain(&s.test)
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..1000).collect::<Vec<_>>());
         assert!((s.train.len() as f64 - 800.0).abs() <= 1.0);
@@ -142,8 +154,9 @@ mod tests {
 
     #[test]
     fn user_split_keeps_users_whole() {
-        let entries: Vec<WorkloadEntry> =
-            (0..30).flat_map(|u| (0..10).map(move |_| entry(u))).collect();
+        let entries: Vec<WorkloadEntry> = (0..30)
+            .flat_map(|u| (0..10).map(move |_| entry(u)))
+            .collect();
         let s = split_by_user(&entries, 0.8, 0.07, 3);
         assert_eq!(s.total(), 300);
         let users_of = |idxs: &[usize]| -> std::collections::HashSet<u32> {

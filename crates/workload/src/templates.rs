@@ -32,13 +32,34 @@ fn mistakes(class: SessionClass) -> Mistakes {
         // would degenerate, so we compress the imbalance to roughly
         // 89 / 7 / 4 while keeping the ordering
         // success ≫ non_severe > severe (documented in EXPERIMENTS.md).
-        SessionClass::Bot => Mistakes { p_severe: 0.004, p_non_severe: 0.018 },
-        SessionClass::Admin => Mistakes { p_severe: 0.0, p_non_severe: 0.0 },
-        SessionClass::Program => Mistakes { p_severe: 0.012, p_non_severe: 0.050 },
-        SessionClass::Browser => Mistakes { p_severe: 0.100, p_non_severe: 0.130 },
-        SessionClass::NoWebHit => Mistakes { p_severe: 0.035, p_non_severe: 0.085 },
-        SessionClass::Anonymous => Mistakes { p_severe: 0.120, p_non_severe: 0.150 },
-        SessionClass::Unknown => Mistakes { p_severe: 0.080, p_non_severe: 0.100 },
+        SessionClass::Bot => Mistakes {
+            p_severe: 0.004,
+            p_non_severe: 0.018,
+        },
+        SessionClass::Admin => Mistakes {
+            p_severe: 0.0,
+            p_non_severe: 0.0,
+        },
+        SessionClass::Program => Mistakes {
+            p_severe: 0.012,
+            p_non_severe: 0.050,
+        },
+        SessionClass::Browser => Mistakes {
+            p_severe: 0.100,
+            p_non_severe: 0.130,
+        },
+        SessionClass::NoWebHit => Mistakes {
+            p_severe: 0.035,
+            p_non_severe: 0.085,
+        },
+        SessionClass::Anonymous => Mistakes {
+            p_severe: 0.120,
+            p_non_severe: 0.150,
+        },
+        SessionClass::Unknown => Mistakes {
+            p_severe: 0.080,
+            p_non_severe: 0.100,
+        },
     }
 }
 
@@ -77,11 +98,11 @@ fn bot_statement(rng: &mut StdRng) -> String {
     match rng.gen_range(0..10) {
         0..=5 => format!("SELECT * FROM PhotoTag WHERE objId={}", objid(rng)),
         6..=7 => format!("SELECT * FROM PhotoObj WHERE objid={}", objid(rng)),
-        8 => format!(
-            "SELECT ra,dec FROM PhotoTag WHERE objId={}",
-            objid(rng)
+        8 => format!("SELECT ra,dec FROM PhotoTag WHERE objId={}", objid(rng)),
+        _ => format!(
+            "SELECT * FROM SpecObj WHERE specobjid={}",
+            rng.gen_range(0..9_000)
         ),
-        _ => format!("SELECT * FROM SpecObj WHERE specobjid={}", rng.gen_range(0..9_000)),
     }
 }
 
@@ -286,7 +307,11 @@ fn no_web_hit_statement(rng: &mut StdRng) -> String {
 fn anonymous_statement(rng: &mut StdRng) -> String {
     match rng.gen_range(0..3) {
         0 => format!("SELECT count(*) FROM {}", table_name(rng)),
-        1 => format!("SELECT TOP {} * FROM {}", rng.gen_range(1..30), table_name(rng)),
+        1 => format!(
+            "SELECT TOP {} * FROM {}",
+            rng.gen_range(1..30),
+            table_name(rng)
+        ),
         _ => format!("SELECT objid FROM PhotoTag WHERE objid={}", objid(rng)),
     }
 }
@@ -298,14 +323,23 @@ fn severe_statement(rng: &mut StdRng) -> String {
     // statements collapse in the dedup pass and the class starves.
     match rng.gen_range(0..5) {
         0 => format!("SELEC * FROM PhotoObj WHERE objid={}", objid(rng)),
-        1 => format!("SELECT * FORM PhotoTag WHERE ra < {:.2}", rng.gen_range(0.0..360.0)),
-        2 => format!("SELECT * FROM PhotoObj WHERE ra BETWEEN {:.2} AND", rng.gen_range(0.0..360.0)),
+        1 => format!(
+            "SELECT * FORM PhotoTag WHERE ra < {:.2}",
+            rng.gen_range(0.0..360.0)
+        ),
+        2 => format!(
+            "SELECT * FROM PhotoObj WHERE ra BETWEEN {:.2} AND",
+            rng.gen_range(0.0..360.0)
+        ),
         3 => {
             let noun = ["galaxies", "stars", "quasars", "nebulae"][rng.gen_range(0..4)];
             let target = ["m31", "ngc 1275", "the crab nebula", "sgr a*"][rng.gen_range(0..4)];
             match rng.gen_range(0..3) {
                 0 => format!("how do I find all the {noun} near {target}"),
-                1 => format!("please show me {noun} brighter than {:.1}", rng.gen_range(10.0..22.0)),
+                1 => format!(
+                    "please show me {noun} brighter than {:.1}",
+                    rng.gen_range(10.0..22.0)
+                ),
                 _ => format!("what is the redshift of {target}?"),
             }
         }
@@ -356,13 +390,26 @@ fn objid(rng: &mut StdRng) -> String {
 }
 
 fn table_name(rng: &mut StdRng) -> &'static str {
-    ["PhotoObj", "PhotoTag", "Galaxy", "Star", "SpecObj", "SpecPhoto", "Field"]
-        [rng.gen_range(0..7)]
+    [
+        "PhotoObj",
+        "PhotoTag",
+        "Galaxy",
+        "Star",
+        "SpecObj",
+        "SpecPhoto",
+        "Field",
+    ][rng.gen_range(0..7)]
 }
 
 fn flag_name(rng: &mut StdRng) -> &'static str {
-    ["BLENDED", "SATURATED", "EDGE", "CHILD", "DEBLENDED_AS_MOVING", "BRIGHT"]
-        [rng.gen_range(0..6)]
+    [
+        "BLENDED",
+        "SATURATED",
+        "EDGE",
+        "CHILD",
+        "DEBLENDED_AS_MOVING",
+        "BRIGHT",
+    ][rng.gen_range(0..6)]
 }
 
 fn word(rng: &mut StdRng) -> &'static str {
@@ -398,7 +445,9 @@ fn pick_table<'u>(user: &'u UserSchema, rng: &mut StdRng) -> (usize, &'u str) {
 
 fn pick_cols<'u>(user: &'u UserSchema, t: usize, n: usize, rng: &mut StdRng) -> Vec<&'u str> {
     let cols = &user.table_columns[t];
-    (0..n).map(|_| cols[rng.gen_range(0..cols.len())].as_str()).collect()
+    (0..n)
+        .map(|_| cols[rng.gen_range(0..cols.len())].as_str())
+        .collect()
 }
 
 fn sqlshare_clean(user: &UserSchema, rng: &mut StdRng) -> String {
@@ -420,9 +469,7 @@ fn sqlshare_clean(user: &UserSchema, rng: &mut StdRng) -> String {
         }
         1 => {
             let c = pick_cols(user, t, 1, rng)[0];
-            format!(
-                "SELECT {c}, count(*) AS n FROM {table} GROUP BY {c} ORDER BY n DESC",
-            )
+            format!("SELECT {c}, count(*) AS n FROM {table} GROUP BY {c} ORDER BY n DESC",)
         }
         2 => {
             let cols = pick_cols(user, t, 2, rng);
@@ -595,7 +642,10 @@ mod tests {
                 nested += 1;
             }
         }
-        assert!(nested > 10, "SQLShare should nest frequently, saw {nested}/300");
+        assert!(
+            nested > 10,
+            "SQLShare should nest frequently, saw {nested}/300"
+        );
     }
 
     #[test]

@@ -8,7 +8,12 @@ use sqlan_workload::{
 };
 
 fn mk_hit(t: f64, ip: u32, class: SessionClass) -> Hit {
-    Hit { timestamp: t, ip, statement: format!("SELECT {t}"), agent_class: class }
+    Hit {
+        timestamp: t,
+        ip,
+        statement: format!("SELECT {t}"),
+        agent_class: class,
+    }
 }
 
 proptest! {

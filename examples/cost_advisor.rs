@@ -11,12 +11,19 @@
 use sqlan_core::prelude::*;
 
 fn main() {
-    let sdss = SdssConfig { n_sessions: 900, scale: Scale(0.05), seed: 9 };
+    let sdss = SdssConfig {
+        n_sessions: 900,
+        scale: Scale(0.05),
+        seed: 9,
+    };
     println!("building workload...");
     let workload = build_sdss(sdss);
     let db = sdss_database(sdss);
     let split = random_split(workload.len(), 1);
-    let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::default()
+    };
 
     println!("training answer-size and CPU-time predictors (ccnn)...");
     let answer = run_experiment(
@@ -27,8 +34,14 @@ fn main() {
         &cfg,
         None,
     );
-    let cpu =
-        run_experiment(&workload, Problem::CpuTime, split, &[ModelKind::CCnn], &cfg, None);
+    let cpu = run_experiment(
+        &workload,
+        Problem::CpuTime,
+        split,
+        &[ModelKind::CCnn],
+        &cfg,
+        None,
+    );
 
     let answer_model = &answer.runs[0].model;
     let cpu_model = &cpu.runs[0].model;
@@ -47,19 +60,17 @@ fn main() {
               GROUP BY target) AS a WHERE a.target = s.target)) b \
               WHERE j.outputtype LIKE '%QUERY%' AND j.userid = u.userid";
 
-    println!("\n{:>10} {:>14} {:>14} {:>12} {:>12}", "query", "pred rows", "actual rows", "pred cpu", "actual cpu");
+    println!(
+        "\n{:>10} {:>14} {:>14} {:>12} {:>12}",
+        "query", "pred rows", "actual rows", "pred cpu", "actual cpu"
+    );
     for (name, stmt) in [("Q1 (long)", q1), ("Q2 (nested)", q2)] {
         let pred_rows = t_answer.invert(answer_model.predict_value(stmt)).max(0.0);
         let pred_cpu = t_cpu.invert(cpu_model.predict_value(stmt)).max(0.0);
         let actual = db.submit(stmt);
         println!(
             "{:>10} {:>14.0} {:>14} {:>11.2}s {:>11.2}s   [{}]",
-            name,
-            pred_rows,
-            actual.answer_size,
-            pred_cpu,
-            actual.cpu_seconds,
-            actual.error_class
+            name, pred_rows, actual.answer_size, pred_cpu, actual.cpu_seconds, actual.error_class
         );
     }
 

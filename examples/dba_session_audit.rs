@@ -18,7 +18,10 @@ fn main() {
         seed: 31,
     });
     let split = random_split(workload.len(), 3);
-    let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::default()
+    };
 
     // The paper found ctfidf best on frequent classes and the neural nets
     // better on rare ones; train both and compare.
@@ -34,7 +37,12 @@ fn main() {
 
     for run in &exp.runs {
         let eval = run.classification.as_ref().expect("classification");
-        println!("\n{} — accuracy {:.4}, loss {:.4}", run.kind.name(), eval.accuracy, eval.loss);
+        println!(
+            "\n{} — accuracy {:.4}, loss {:.4}",
+            run.kind.name(),
+            eval.accuracy,
+            eval.loss
+        );
         for class in SessionClass::ALL {
             let r = eval.per_class[class.index()];
             if r.support > 0 {

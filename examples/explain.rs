@@ -1,0 +1,54 @@
+//! EXPLAIN: print the optimized plan of a few SDSS-style queries at each
+//! optimization level, without executing them.
+//!
+//! ```sh
+//! cargo run --release --example explain
+//! # or explain your own statement:
+//! cargo run --release --example explain -- "SELECT TOP 5 * FROM PhotoObj ORDER BY ra"
+//! ```
+
+use sqlan_engine::OptLevel;
+use sqlan_workload::{sdss_database, Scale, SdssConfig};
+
+fn main() {
+    let cfg = SdssConfig {
+        n_sessions: 1,
+        scale: Scale(0.01),
+        seed: 7,
+    };
+    let db = sdss_database(cfg);
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries: Vec<String> = if args.is_empty() {
+        vec![
+            // The comma-join shape that dominates SDSS logs: pushdown +
+            // equi-join detection turn it from quadratic into linear.
+            "SELECT s.z, p.ra FROM SpecObj s, PhotoObj p \
+             WHERE s.bestobjid = p.objid AND p.type = 3 AND s.z > 0.5"
+                .to_string(),
+            // Aggregation over an explicit join, with HAVING and TOP.
+            "SELECT TOP 3 p.type, count(*) AS n FROM PhotoObj p \
+             INNER JOIN SpecObj s ON p.objid = s.bestobjid \
+             GROUP BY p.type HAVING count(*) > 5 ORDER BY n DESC"
+                .to_string(),
+            // Derived table plus a correlated subquery.
+            "SELECT d.type FROM (SELECT type, avg(ra) AS r FROM PhotoObj GROUP BY type) d \
+             WHERE d.r > (SELECT avg(ra) FROM PhotoObj)"
+                .to_string(),
+        ]
+    } else {
+        args
+    };
+
+    for sql in &queries {
+        println!("=== {sql}\n");
+        for level in [OptLevel::None, OptLevel::Default, OptLevel::Aggressive] {
+            let leveled = db.clone().with_opt_level(level);
+            println!("--- {level:?}");
+            match leveled.explain(sql) {
+                Ok(plan) => println!("{plan}"),
+                Err(e) => println!("rejected: {e}\n"),
+            }
+        }
+    }
+}

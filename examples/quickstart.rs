@@ -26,7 +26,10 @@ fn main() {
     // 2. Split and train `ccnn` — the paper's best error classifier —
     //    against the `mfreq` baseline.
     let split = random_split(workload.len(), 7);
-    let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::default()
+    };
     println!("training mfreq + ccnn on {} queries...", split.train.len());
     let exp = run_experiment(
         &workload,
@@ -54,12 +57,16 @@ fn main() {
     println!("\nper-statement P(success):");
     for stmt in [
         "SELECT TOP 5 objid, ra, dec FROM PhotoObj WHERE type = 6",
-        "SELEC * FORM PhotoObj",                       // typo → rejected at the portal
-        "SELECT nonexistent_col FROM PhotoObj",        // fails at the server
-        "please show me the brightest galaxies",       // free text
+        "SELEC * FORM PhotoObj", // typo → rejected at the portal
+        "SELECT nonexistent_col FROM PhotoObj", // fails at the server
+        "please show me the brightest galaxies", // free text
     ] {
         let probs = ccnn.predict_proba(stmt);
-        let c = probs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
+        let c = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i);
         println!(
             "  {:52} -> {:10}  P(success)={:.3}",
             if stmt.len() > 50 { &stmt[..50] } else { stmt },

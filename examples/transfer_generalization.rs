@@ -22,7 +22,10 @@ fn main() {
     println!("building SQLShare-like workload...");
     let workload = build_sqlshare(cfg_share);
     let db = sqlshare_database(cfg_share);
-    let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::default()
+    };
 
     let models = [ModelKind::Median, ModelKind::CCnn, ModelKind::WCnn];
 
@@ -46,7 +49,10 @@ fn main() {
         Some(&db),
     );
 
-    println!("\n{:>8} {:>18} {:>18} {:>10}", "model", "HomSchema loss", "HetSchema loss", "degraded");
+    println!(
+        "\n{:>8} {:>18} {:>18} {:>10}",
+        "model", "HomSchema loss", "HetSchema loss", "degraded"
+    );
     for (a, b) in hom.runs.iter().zip(&het.runs) {
         let la = a.regression.as_ref().expect("eval").loss;
         let lb = b.regression.as_ref().expect("eval").loss;

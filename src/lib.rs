@@ -1,0 +1,11 @@
+//! # sqlan
+//!
+//! Facade crate for the `sqlan` workspace — a reproduction of
+//! *"Facilitating SQL Query Composition and Analysis"* (SIGMOD 2020).
+//! Re-exports the sub-crates so examples and end-to-end tests have one
+//! import root; see the individual crates for the real APIs.
+
+pub use sqlan_core as core;
+pub use sqlan_engine as engine;
+pub use sqlan_sql as sql;
+pub use sqlan_workload as workload;

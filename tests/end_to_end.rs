@@ -4,7 +4,11 @@
 use sqlan_core::prelude::*;
 
 fn sdss() -> (Workload, sqlan_workload::Split) {
-    let w = build_sdss(SdssConfig { n_sessions: 220, scale: Scale(0.02), seed: 101 });
+    let w = build_sdss(SdssConfig {
+        n_sessions: 220,
+        scale: Scale(0.02),
+        seed: 101,
+    });
     let s = random_split(w.len(), 101);
     (w, s)
 }
@@ -12,7 +16,10 @@ fn sdss() -> (Workload, sqlan_workload::Split) {
 #[test]
 fn all_four_problems_run() {
     let (w, s) = sdss();
-    let cfg = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::tiny()
+    };
     for problem in [
         Problem::ErrorClassification,
         Problem::SessionClassification,
@@ -28,7 +35,11 @@ fn all_four_problems_run() {
         assert_eq!(exp.runs.len(), 2, "{problem}");
         for run in &exp.runs {
             let loss = exp.summary_rows()[0].loss;
-            assert!(loss.is_finite() || loss.is_nan(), "{problem}/{}", run.kind.name());
+            assert!(
+                loss.is_finite() || loss.is_nan(),
+                "{problem}/{}",
+                run.kind.name()
+            );
         }
     }
 }
@@ -36,7 +47,10 @@ fn all_four_problems_run() {
 #[test]
 fn every_model_kind_trains_on_error_classification() {
     let (w, s) = sdss();
-    let cfg = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::tiny()
+    };
     let kinds = [
         ModelKind::MFreq,
         ModelKind::CTfidf,
@@ -64,8 +78,15 @@ fn every_model_kind_trains_on_error_classification() {
 #[test]
 fn every_regressor_kind_trains_on_cpu_time_with_opt() {
     let (w, s) = sdss();
-    let db = sdss_database(SdssConfig { n_sessions: 220, scale: Scale(0.02), seed: 101 });
-    let cfg = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+    let db = sdss_database(SdssConfig {
+        n_sessions: 220,
+        scale: Scale(0.02),
+        seed: 101,
+    });
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::tiny()
+    };
     let kinds = [
         ModelKind::Median,
         ModelKind::Opt,
@@ -86,10 +107,18 @@ fn every_regressor_kind_trains_on_cpu_time_with_opt() {
 
 #[test]
 fn sqlshare_settings_run_end_to_end() {
-    let cfg_w = SqlShareConfig { n_queries: 160, n_users: 12, scale: Scale(0.03), seed: 55 };
+    let cfg_w = SqlShareConfig {
+        n_queries: 160,
+        n_users: 12,
+        scale: Scale(0.03),
+        seed: 55,
+    };
     let w = build_sqlshare(cfg_w);
     let db = sqlshare_database(cfg_w);
-    let cfg = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::tiny()
+    };
 
     // Homogeneous Schema (random) and Heterogeneous Schema (by user).
     let hom = run_experiment(
@@ -101,7 +130,10 @@ fn sqlshare_settings_run_end_to_end() {
         Some(&db),
     );
     let het_split = split_by_user(&w.entries, 0.8, 0.07, 9);
-    assert!(!het_split.test.is_empty(), "user split must produce a test set");
+    assert!(
+        !het_split.test.is_empty(),
+        "user split must produce a test set"
+    );
     let het = run_experiment(
         &w,
         Problem::CpuTime,
@@ -121,7 +153,10 @@ fn sqlshare_settings_run_end_to_end() {
 fn pipeline_is_deterministic() {
     let run = || {
         let (w, s) = sdss();
-        let cfg = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::tiny()
+        };
         let exp = run_experiment(
             &w,
             Problem::ErrorClassification,
@@ -143,7 +178,10 @@ fn pipeline_is_deterministic() {
 #[test]
 fn trained_models_are_total_on_arbitrary_input() {
     let (w, s) = sdss();
-    let cfg = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::tiny()
+    };
     let exp = run_experiment(
         &w,
         Problem::ErrorClassification,

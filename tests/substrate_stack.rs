@@ -15,7 +15,11 @@ use rand::SeedableRng;
 /// severe by the engine — never a crash, never a disagreement.
 #[test]
 fn generator_parser_engine_agree_on_severity() {
-    let cfg = SdssConfig { n_sessions: 1, scale: Scale(0.01), seed: 1 };
+    let cfg = SdssConfig {
+        n_sessions: 1,
+        scale: Scale(0.01),
+        seed: 1,
+    };
     let db = sdss_database(cfg);
     let mut rng = StdRng::seed_from_u64(77);
     for i in 0..400 {
@@ -33,7 +37,10 @@ fn generator_parser_engine_agree_on_severity() {
                 );
             }
             _ => {
-                assert!(parsed.result.is_ok(), "executed statement must parse: {stmt}");
+                assert!(
+                    parsed.result.is_ok(),
+                    "executed statement must parse: {stmt}"
+                );
             }
         }
     }
@@ -43,14 +50,22 @@ fn generator_parser_engine_agree_on_severity() {
 /// statement (single database version ⇒ labels are reproducible).
 #[test]
 fn workload_labels_match_reexecution() {
-    let cfg = SdssConfig { n_sessions: 120, scale: Scale(0.02), seed: 5 };
+    let cfg = SdssConfig {
+        n_sessions: 120,
+        scale: Scale(0.02),
+        seed: 5,
+    };
     let w = build_sdss(cfg);
     let db = sdss_database(cfg);
     for e in w.entries.iter().take(60) {
         let out = db.submit(&e.statement);
         assert_eq!(out.error_class, e.error_class, "{}", e.statement);
         assert_eq!(out.answer_size as f64, e.answer_size, "{}", e.statement);
-        assert!((out.cpu_seconds - e.cpu_seconds).abs() < 1e-12, "{}", e.statement);
+        assert!(
+            (out.cpu_seconds - e.cpu_seconds).abs() < 1e-12,
+            "{}",
+            e.statement
+        );
     }
 }
 
@@ -58,7 +73,11 @@ fn workload_labels_match_reexecution() {
 /// joins+functions+nesting cost more CPU on average.
 #[test]
 fn complexity_correlates_with_cost() {
-    let cfg = SdssConfig { n_sessions: 400, scale: Scale(0.02), seed: 6 };
+    let cfg = SdssConfig {
+        n_sessions: 400,
+        scale: Scale(0.02),
+        seed: 6,
+    };
     let w = build_sdss(cfg);
     let props = PropsMatrix::extract(&w.entries);
     let (mut cheap, mut cheap_n) = (0.0f64, 0u32);
@@ -89,7 +108,11 @@ fn complexity_correlates_with_cost() {
 /// complex class; bots the least.
 #[test]
 fn session_class_complexity_ordering() {
-    let cfg = SdssConfig { n_sessions: 500, scale: Scale(0.02), seed: 7 };
+    let cfg = SdssConfig {
+        n_sessions: 500,
+        scale: Scale(0.02),
+        seed: 7,
+    };
     let w = build_sdss(cfg);
     let avg_chars = |class: SessionClass| -> f64 {
         let xs: Vec<f64> = w
@@ -109,7 +132,11 @@ fn session_class_complexity_ordering() {
 /// same way even though their absolute values differ (the `opt` premise).
 #[test]
 fn estimates_rank_scans_like_execution() {
-    let cfg = SdssConfig { n_sessions: 1, scale: Scale(0.05), seed: 8 };
+    let cfg = SdssConfig {
+        n_sessions: 1,
+        scale: Scale(0.05),
+        seed: 8,
+    };
     let db: Database = sdss_database(cfg);
     let small = "SELECT * FROM Field";
     let large = "SELECT * FROM PhotoObj";
