@@ -1,0 +1,157 @@
+//! Thread-scaling benchmark for the deterministic parallel runtime.
+//!
+//! Measures wall-clock for the three data-parallel pipeline stages —
+//! workload build (statement execution for labels), featurization
+//! (tokenize + TF-IDF fit + transform), and experiment training — at
+//! 1/2/4/8 worker threads, verifies the outputs are byte-identical across
+//! thread counts, and writes `BENCH_par.json` for the perf trajectory.
+//!
+//! Knobs: the usual `Harness` env vars plus `SQLAN_BENCH_THREADS`
+//! (comma-separated thread counts, default `1,2,4,8`) and
+//! `SQLAN_BENCH_OUT` (output path, default `BENCH_par.json`).
+//!
+//! Note: speedup is bounded by the machine — on a single-core container
+//! every thread count measures ≈ 1×. The JSON records `cores` so readers
+//! can tell "no parallel hardware" apart from "doesn't scale".
+
+use std::time::Instant;
+
+use serde::Serialize;
+use sqlan_bench::Harness;
+use sqlan_core::prelude::*;
+use sqlan_features::{word_tokens, TfidfVectorizer};
+use sqlan_par::with_threads;
+
+#[derive(Debug, Serialize)]
+struct StageScaling {
+    /// (threads, wall-clock seconds) per measured thread count.
+    seconds: Vec<(usize, f64)>,
+    /// seconds@1 / seconds@4 (absent if 4 threads was not measured).
+    speedup_at_4: Option<f64>,
+    /// Whether the stage output was byte-identical across all thread
+    /// counts (the determinism contract, re-checked on real data).
+    deterministic: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchPar {
+    /// CPUs visible to this process; speedup is bounded by this.
+    cores: usize,
+    threads_measured: Vec<usize>,
+    sdss_sessions: usize,
+    scale: f64,
+    epochs: usize,
+    workload_build: StageScaling,
+    featurize: StageScaling,
+    train: StageScaling,
+}
+
+fn measure<T>(f: impl Fn() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+/// Run `f` at every thread count; report timings, whether the serialized
+/// outputs agree bit-for-bit, and the last run's output (so callers can
+/// reuse it instead of recomputing).
+fn scale_stage<T: Serialize>(threads: &[usize], f: impl Fn() -> T) -> (StageScaling, T) {
+    let mut seconds = Vec::new();
+    let mut fingerprints: Vec<String> = Vec::new();
+    let mut last: Option<T> = None;
+    for &t in threads {
+        let (secs, out) = with_threads(t, || measure(&f));
+        seconds.push((t, secs));
+        fingerprints.push(serde_json::to_string(&out).expect("stage output serializes"));
+        last = Some(out);
+        eprintln!("    {t} thread(s): {secs:.3}s");
+    }
+    let at = |n: usize| seconds.iter().find(|(t, _)| *t == n).map(|(_, s)| *s);
+    let scaling = StageScaling {
+        speedup_at_4: at(1).zip(at(4)).map(|(one, four)| one / four),
+        deterministic: fingerprints.windows(2).all(|w| w[0] == w[1]),
+        seconds,
+    };
+    (scaling, last.expect("at least one thread count measured"))
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let threads: Vec<usize> = std::env::var("SQLAN_BENCH_THREADS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "[bench_par] cores={cores} threads={threads:?} sessions={} scale={}",
+        h.sdss_sessions, h.scale
+    );
+
+    eprintln!("[bench_par] stage 1/3: workload build (execution labeling)");
+    let (workload_build, workload) = scale_stage(&threads, || build_sdss(h.sdss_config()));
+
+    // Featurization input: the real deduplicated statement corpus, reused
+    // from the last stage-1 run (all runs are byte-identical anyway).
+    let statements: Vec<String> = workload
+        .entries
+        .iter()
+        .map(|e| e.statement.clone())
+        .collect();
+    eprintln!(
+        "[bench_par] stage 2/3: featurize ({} statements)",
+        statements.len()
+    );
+    let (featurize, _) = scale_stage(&threads, || {
+        let streams = sqlan_par::par_map(&statements, |s| word_tokens(s));
+        let v = TfidfVectorizer::fit(&streams, 5, 20_000);
+        v.transform_batch(&streams)
+    });
+
+    eprintln!("[bench_par] stage 3/3: train (error classification zoo)");
+    let split = random_split(workload.len(), h.seed ^ 0x11);
+    let cfg = h.train_config();
+    let (train, _) = scale_stage(&threads, || {
+        let exp = run_experiment(
+            &workload,
+            Problem::ErrorClassification,
+            split.clone(),
+            &[ModelKind::MFreq, ModelKind::CTfidf, ModelKind::CCnn],
+            &cfg,
+            None,
+        );
+        // Summary rows + trained parameters: a bitwise fingerprint of the
+        // whole training run.
+        let saved: Vec<String> = exp
+            .runs
+            .iter()
+            .map(|r| r.model.save_json().expect("persistable lineup"))
+            .collect();
+        (exp.summary_rows(), saved)
+    });
+
+    let report = BenchPar {
+        cores,
+        threads_measured: threads,
+        sdss_sessions: h.sdss_sessions,
+        scale: h.scale,
+        epochs: h.epochs,
+        workload_build,
+        featurize,
+        train,
+    };
+    assert!(
+        report.workload_build.deterministic
+            && report.featurize.deterministic
+            && report.train.deterministic,
+        "thread-count invariance violated — see BENCH_par.json"
+    );
+
+    let out = std::env::var("SQLAN_BENCH_OUT").unwrap_or_else(|_| "BENCH_par.json".into());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write BENCH_par.json");
+    println!("{json}");
+    eprintln!("[saved {out}]");
+}

@@ -11,8 +11,8 @@ fn by_class_mse(exp: &Experiment, workload: &Workload) -> Vec<Vec<f64>> {
     let mut out = Vec::new();
     for run in &exp.runs {
         let eval = run.regression.as_ref().expect("regression eval");
-        let mut sums = vec![0.0f64; 8];
-        let mut counts = vec![0usize; 8];
+        let mut sums = [0.0f64; 8];
+        let mut counts = [0usize; 8];
         for (k, &i) in exp.split.test.iter().enumerate() {
             let class = workload.entries[i].session_class.expect("SDSS has classes");
             let se = squared_error(exp.dataset.log_labels[i], eval.preds_log[k]);

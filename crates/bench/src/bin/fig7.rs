@@ -26,8 +26,8 @@ fn print_matrix(title: &str, w: &Workload) -> [[f64; 10]; 10] {
     println!();
     for (i, name) in StructuralProps::NAMES.iter().enumerate() {
         print!("{:28}", name);
-        for j in 0..10 {
-            print!("{:>6.2}", m[i][j]);
+        for v in m[i].iter().take(10) {
+            print!("{:>6.2}", v);
         }
         println!();
     }

@@ -361,35 +361,34 @@ macro_rules! json {
     (@obj $m:ident $key:literal : $val:expr) => {
         $m.insert(String::from($key), $crate::json!($val));
     };
-    // ---- array element muncher: json!(@arr vec elem, ...) ----
-    (@arr $v:ident) => {};
-    (@arr $v:ident null $(, $($rest:tt)*)?) => {
-        $v.push($crate::Value::Null);
-        $crate::json!(@arr $v $($($rest)*)?);
+    // ---- array element muncher: json!(@arr [acc...] elem, ...) ----
+    // Accumulates converted elements into one `vec![...]` literal, so the
+    // whole array stays a single expression in the caller's context
+    // (`?`/`return`/`break` inside elements keep working) and the
+    // expansion never contains a Vec-init-then-push statement pair.
+    (@arr [$($acc:expr),*]) => {
+        $crate::Value::Array(vec![$($acc),*])
     };
-    (@arr $v:ident {$($inner:tt)*} $(, $($rest:tt)*)?) => {
-        $v.push($crate::json!({$($inner)*}));
-        $crate::json!(@arr $v $($($rest)*)?);
+    (@arr [$($acc:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json!(@arr [$($acc,)* $crate::Value::Null] $($($rest)*)?)
     };
-    (@arr $v:ident [$($inner:tt)*] $(, $($rest:tt)*)?) => {
-        $v.push($crate::json!([$($inner)*]));
-        $crate::json!(@arr $v $($($rest)*)?);
+    (@arr [$($acc:expr),*] {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json!(@arr [$($acc,)* $crate::json!({$($inner)*})] $($($rest)*)?)
     };
-    (@arr $v:ident $val:expr , $($rest:tt)*) => {
-        $v.push($crate::json!($val));
-        $crate::json!(@arr $v $($rest)*);
+    (@arr [$($acc:expr),*] [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json!(@arr [$($acc,)* $crate::json!([$($inner)*])] $($($rest)*)?)
     };
-    (@arr $v:ident $val:expr) => {
-        $v.push($crate::json!($val));
+    (@arr [$($acc:expr),*] $val:expr , $($rest:tt)*) => {
+        $crate::json!(@arr [$($acc,)* $crate::json!($val)] $($rest)*)
+    };
+    (@arr [$($acc:expr),*] $val:expr) => {
+        $crate::json!(@arr [$($acc,)* $crate::json!($val)])
     };
     // ---- entry points ----
     (null) => { $crate::Value::Null };
-    ([ $($tt:tt)* ]) => {{
-        #[allow(unused_mut, clippy::vec_init_then_push)]
-        let mut v: Vec<$crate::Value> = Vec::new();
-        $crate::json!(@arr v $($tt)*);
-        $crate::Value::Array(v)
-    }};
+    ([ $($tt:tt)* ]) => {
+        $crate::json!(@arr [] $($tt)*)
+    };
     ({ $($tt:tt)* }) => {{
         #[allow(unused_mut)]
         let mut m = $crate::Map::new();
@@ -453,5 +452,22 @@ mod tests {
         let v = json!({"xs": xs, "n": 5});
         assert_eq!(v.get("xs").unwrap().as_array().unwrap().len(), 2);
         assert_eq!(v.get("n").unwrap().as_i64(), Some(5));
+    }
+
+    #[test]
+    fn json_macro_arrays_stay_in_expression_context() {
+        // `?` inside an array element must propagate from the enclosing
+        // function (real serde_json semantics) — the expansion cannot
+        // hide elements behind a closure boundary.
+        fn build(x: Option<u8>) -> Option<Value> {
+            Some(json!([x?, 2, [x?], {"k": 3}]))
+        }
+        let v = build(Some(1)).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 4);
+        assert_eq!(build(None), None);
+
+        // Empty and trailing-comma forms.
+        assert_eq!(json!([]).as_array().unwrap().len(), 0);
+        assert_eq!(json!([1, 2,]).as_array().unwrap().len(), 2);
     }
 }

@@ -50,6 +50,10 @@ pub struct TrainConfig {
     pub tfidf_max_ngram: usize,
     // Infrastructure.
     pub seed: u64,
+    /// Worker threads for data-parallel training stages. `0` (the
+    /// default) inherits the global setting (`SQLAN_THREADS` env var or
+    /// available parallelism); any other value pins the count. Results
+    /// are bit-identical either way — this knob only trades wall-clock.
     pub threads: usize,
 }
 
@@ -74,7 +78,7 @@ impl Default for TrainConfig {
             tfidf_features: 20_000,
             tfidf_max_ngram: 5,
             seed: 20,
-            threads: 1,
+            threads: 0,
         }
     }
 }
@@ -94,6 +98,19 @@ impl TrainConfig {
             tfidf_features: 2_000,
             tfidf_max_ngram: 3,
             ..TrainConfig::default()
+        }
+    }
+
+    /// The worker pool this configuration selects: pinned when `threads`
+    /// is nonzero, otherwise the global `SQLAN_THREADS` default. A pinned
+    /// count is clamped to any already-installed scoped budget (we may be
+    /// running inside a pool worker that carries a share of its parent's
+    /// threads), so nesting never multiplies past the outer knob.
+    pub fn pool(&self) -> sqlan_par::Pool {
+        match (self.threads, sqlan_par::thread_override()) {
+            (0, _) => sqlan_par::Pool::current(),
+            (n, Some(budget)) => sqlan_par::Pool::new(n.min(budget)),
+            (n, None) => sqlan_par::Pool::new(n),
         }
     }
 
@@ -122,6 +139,21 @@ mod tests {
         assert!(c.max_len_char > c.max_len_word);
         assert!(c.dropout > 0.0 && c.dropout < 1.0);
         assert_eq!(c.lstm_depth, 3); // the paper's three-layer LSTM
+    }
+
+    #[test]
+    fn pinned_pool_clamps_to_installed_budget() {
+        let cfg = TrainConfig {
+            threads: 4,
+            ..TrainConfig::default()
+        };
+        // Inside a scoped budget of 2 (e.g. a pool worker), a pin of 4
+        // must clamp so nesting cannot multiply threads.
+        let clamped = sqlan_par::with_threads(2, || cfg.pool().threads());
+        assert_eq!(clamped, 2);
+        // A tighter pin than the budget stays tighter.
+        let tighter = sqlan_par::with_threads(8, || cfg.pool().threads());
+        assert_eq!(tighter, 4);
     }
 
     #[test]

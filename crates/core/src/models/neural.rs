@@ -12,10 +12,12 @@ use serde::{Deserialize, Serialize};
 
 use sqlan_features::Vocab;
 use sqlan_nn::{
-    dropout_mask, AdaMax, Conv1dBank, Embedding, Graph, Linear, LstmStack, Optimizer, Params, Var,
+    dropout_mask, AdaMax, Conv1dBank, Embedding, Grads, Graph, Linear, LstmStack, Optimizer,
+    Params, Var,
 };
 
 use crate::config::{Granularity, TrainConfig};
+use crate::models::zoo::TrainData;
 use crate::text::{build_vocab, encode};
 
 /// Which sequence encoder the model uses.
@@ -101,18 +103,38 @@ impl NeuralModel {
         self.params.num_scalars()
     }
 
-    /// Train on `(statements, labels)`, selecting the best epoch by loss
-    /// on the validation slice.
+    /// Train on `data`'s train slice, selecting the best epoch by loss on
+    /// its validation slice.
+    ///
+    /// Minibatch gradients are computed data-parallel: every example in a
+    /// batch backpropagates into its own private [`Grads`] buffer on the
+    /// [`sqlan_par`] pool, and the buffers merge in example order — a
+    /// fixed association order, so losses and trained parameters are
+    /// bit-identical at any `SQLAN_THREADS`. Dropout masks are pre-drawn
+    /// sequentially from the seeded RNG for the same reason.
     pub fn train(
         arch: ArchKind,
         granularity: Granularity,
         task: Task,
-        train_statements: &[String],
-        train_labels: Labels<'_>,
-        valid_statements: &[String],
-        valid_labels: Labels<'_>,
+        data: &TrainData<'_>,
         cfg: &TrainConfig,
     ) -> NeuralModel {
+        // Run under the configuration's thread budget so every nested
+        // stage (including `eval_loss` re-resolving the pool) honors a
+        // pinned count.
+        cfg.pool()
+            .install(|| Self::train_inner(arch, granularity, task, data, cfg))
+    }
+
+    fn train_inner(
+        arch: ArchKind,
+        granularity: Granularity,
+        task: Task,
+        data: &TrainData<'_>,
+        cfg: &TrainConfig,
+    ) -> NeuralModel {
+        let train_statements = data.statements;
+        let train_labels = data.labels.clone();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let vocab = build_vocab(train_statements, granularity, cfg);
         let min_len = match arch {
@@ -162,15 +184,14 @@ impl NeuralModel {
             min_len,
         };
 
-        // Pre-encode all statements once.
-        let train_seqs: Vec<Vec<u32>> = train_statements
-            .iter()
-            .map(|s| encode(s, granularity, &model.vocab, cfg, min_len))
-            .collect();
-        let valid_seqs: Vec<Vec<u32>> = valid_statements
-            .iter()
-            .map(|s| encode(s, granularity, &model.vocab, cfg, min_len))
-            .collect();
+        // Pre-encode all statements once (order-preserving parallel map).
+        let pool = cfg.pool();
+        let train_seqs: Vec<Vec<u32>> = pool.par_map(train_statements, |s| {
+            encode(s, granularity, &model.vocab, cfg, min_len)
+        });
+        let valid_seqs: Vec<Vec<u32>> = pool.par_map(data.valid_statements, |s| {
+            encode(s, granularity, &model.vocab, cfg, min_len)
+        });
 
         let mut optimizer = AdaMax::new(cfg.lr);
         let mut order: Vec<usize> = (0..train_seqs.len()).collect();
@@ -180,20 +201,40 @@ impl NeuralModel {
         for _epoch in 0..cfg.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(cfg.batch.max(1)) {
-                let mut grads = model.params.zero_grads();
+                // Dropout masks come off the shared RNG sequentially, in
+                // example order: the stream is independent of worker
+                // scheduling (mask length is architecture-constant).
+                let keep = 1.0 - model.cfg.dropout;
+                let jobs: Vec<(usize, Option<Vec<bool>>)> = chunk
+                    .iter()
+                    .map(|&i| {
+                        let mask = (model.cfg.dropout > 0.0)
+                            .then(|| dropout_mask(feat_dim, keep, &mut rng));
+                        (i, mask)
+                    })
+                    .collect();
                 let scale = 1.0 / chunk.len() as f32;
-                for &i in chunk {
+                // Per-example private gradient buffers, merged in example
+                // order — the fixed reduction order of the determinism
+                // contract.
+                let per_example: Vec<Grads> = pool.par_map(&jobs, |(i, mask)| {
+                    let mut item_grads = model.params.zero_grads();
                     let mut g = Graph::new(&model.params);
-                    let feats = model.encode_features(&mut g, &train_seqs[i], Some(&mut rng));
+                    let feats = model.encode_features(&mut g, &train_seqs[*i], mask.as_deref());
                     let out = model.head.forward(&mut g, feats);
                     let loss = match (&model.task, &train_labels) {
-                        (Task::Classify(_), Labels::Classes(ys)) => g.softmax_ce(out, ys[i]),
+                        (Task::Classify(_), Labels::Classes(ys)) => g.softmax_ce(out, ys[*i]),
                         (Task::Regress, Labels::Values(ys)) => {
-                            g.huber(out, ys[i] as f32, model.cfg.huber_delta)
+                            g.huber(out, ys[*i] as f32, model.cfg.huber_delta)
                         }
                         _ => panic!("task/label kind mismatch"),
                     };
-                    g.backward(loss, scale, &mut grads);
+                    g.backward(loss, scale, &mut item_grads);
+                    item_grads
+                });
+                let mut grads = model.params.zero_grads();
+                for item in &per_example {
+                    grads.merge(item);
                 }
                 if model.cfg.clip > 0.0 {
                     grads.clip_global_norm(model.cfg.clip);
@@ -202,7 +243,7 @@ impl NeuralModel {
             }
 
             // Validation for early stopping / model selection.
-            let vloss = model.eval_loss(&valid_seqs, &valid_labels);
+            let vloss = model.eval_loss(&valid_seqs, &data.valid_labels);
             let improved = best.as_ref().map(|(b, _)| vloss < *b).unwrap_or(true);
             if improved {
                 best = Some((vloss, model.params.clone()));
@@ -220,17 +261,19 @@ impl NeuralModel {
         model
     }
 
-    /// Mean loss over pre-encoded sequences (no dropout).
+    /// Mean loss over pre-encoded sequences (no dropout). Per-example
+    /// losses are computed in parallel and summed in example order, so
+    /// the mean is bit-identical at any thread count.
     fn eval_loss(&self, seqs: &[Vec<u32>], labels: &Labels<'_>) -> f64 {
         if seqs.is_empty() {
             return f64::INFINITY;
         }
-        let mut total = 0.0f64;
-        for (i, seq) in seqs.iter().enumerate() {
+        let indexed: Vec<usize> = (0..seqs.len()).collect();
+        let losses: Vec<f64> = self.cfg.pool().par_map(&indexed, |&i| {
             let mut g = Graph::new(&self.params);
-            let feats = self.encode_features(&mut g, seq, None);
+            let feats = self.encode_features(&mut g, &seqs[i], None);
             let out = self.head.forward(&mut g, feats);
-            let l = match (&self.task, labels) {
+            match (&self.task, labels) {
                 (Task::Classify(_), Labels::Classes(ys)) => {
                     g.softmax_ce(out, ys[i]);
                     let probs = g.softmax_probs(out);
@@ -241,26 +284,25 @@ impl NeuralModel {
                     sqlan_metrics::huber_loss(ys[i], pred, self.cfg.huber_delta as f64)
                 }
                 _ => panic!("task/label kind mismatch"),
-            };
-            total += l;
-        }
-        total / seqs.len() as f64
+            }
+        });
+        losses.iter().sum::<f64>() / seqs.len() as f64
     }
 
     /// Shared encoder: embedding → CNN bank or LSTM stack → (1, feat_dim).
-    /// `rng` enables dropout (training); `None` disables it (inference).
-    fn encode_features(&self, g: &mut Graph<'_>, seq: &[u32], rng: Option<&mut StdRng>) -> Var {
+    /// A pre-drawn `mask` enables dropout (training); `None` disables it
+    /// (inference). Masks are drawn by the caller so this stays a pure
+    /// function, safe to fan out across gradient workers.
+    fn encode_features(&self, g: &mut Graph<'_>, seq: &[u32], mask: Option<&[bool]>) -> Var {
         let x = self.emb.forward(g, seq);
         let feats = match &self.encoder {
             Encoder::Cnn(bank) => bank.forward(g, x),
             Encoder::Lstm(stack) => stack.forward(g, x),
         };
-        match rng {
-            Some(rng) if self.cfg.dropout > 0.0 => {
+        match mask {
+            Some(mask) if self.cfg.dropout > 0.0 => {
                 let keep = 1.0 - self.cfg.dropout;
-                let n = g.value(feats).len();
-                let mask = dropout_mask(n, keep, rng);
-                g.dropout(feats, mask, keep)
+                g.dropout(feats, mask.to_vec(), keep)
             }
             _ => feats,
         }
@@ -333,10 +375,12 @@ mod tests {
             ArchKind::Cnn,
             Granularity::Word,
             Task::Classify(2),
-            &xs[..100],
-            Labels::Classes(&ys[..100]),
-            &xs[100..],
-            Labels::Classes(&ys[100..]),
+            &TrainData {
+                statements: &xs[..100],
+                labels: Labels::Classes(&ys[..100]),
+                valid_statements: &xs[100..],
+                valid_labels: Labels::Classes(&ys[100..]),
+            },
             &cfg,
         );
         assert_eq!(m.name(), "wcnn");
@@ -360,10 +404,12 @@ mod tests {
             ArchKind::Lstm,
             Granularity::Char,
             Task::Classify(2),
-            &xs[..100],
-            Labels::Classes(&ys[..100]),
-            &xs[100..],
-            Labels::Classes(&ys[100..]),
+            &TrainData {
+                statements: &xs[..100],
+                labels: Labels::Classes(&ys[..100]),
+                valid_statements: &xs[100..],
+                valid_labels: Labels::Classes(&ys[100..]),
+            },
             &cfg,
         );
         assert_eq!(m.name(), "clstm");
@@ -394,10 +440,12 @@ mod tests {
             ArchKind::Cnn,
             Granularity::Word,
             Task::Regress,
-            &xs[..100],
-            Labels::Values(&ys[..100]),
-            &xs[100..],
-            Labels::Values(&ys[100..]),
+            &TrainData {
+                statements: &xs[..100],
+                labels: Labels::Values(&ys[..100]),
+                valid_statements: &xs[100..],
+                valid_labels: Labels::Values(&ys[100..]),
+            },
             &cfg,
         );
         // Predictions should at least order extremes correctly.
@@ -420,10 +468,12 @@ mod tests {
             ArchKind::Cnn,
             Granularity::Char,
             Task::Classify(2),
-            &xs[..40],
-            Labels::Classes(&ys[..40]),
-            &xs[40..60],
-            Labels::Classes(&ys[40..60]),
+            &TrainData {
+                statements: &xs[..40],
+                labels: Labels::Classes(&ys[..40]),
+                valid_statements: &xs[40..60],
+                valid_labels: Labels::Classes(&ys[40..60]),
+            },
             &cfg,
         );
         let p = m.predict_proba("SELECT 1");
@@ -442,10 +492,12 @@ mod tests {
             ArchKind::Cnn,
             Granularity::Word,
             Task::Classify(2),
-            &xs[..40],
-            Labels::Classes(&ys[..40]),
-            &xs[40..60],
-            Labels::Classes(&ys[40..60]),
+            &TrainData {
+                statements: &xs[..40],
+                labels: Labels::Classes(&ys[..40]),
+                valid_statements: &xs[40..60],
+                valid_labels: Labels::Classes(&ys[40..60]),
+            },
             &cfg,
         );
         // Unknown tokens, empty strings, unicode — all must predict.

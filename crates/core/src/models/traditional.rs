@@ -52,22 +52,25 @@ impl TfidfModel {
         n_classes: usize,
         cfg: &TrainConfig,
     ) -> TfidfModel {
-        let streams: Vec<Vec<String>> = statements
-            .iter()
-            .map(|s| tokenize(s, granularity))
-            .collect();
-        let vectorizer = TfidfVectorizer::fit(&streams, cfg.tfidf_max_ngram, cfg.tfidf_features);
-        let xs: Vec<SparseVec> = streams.iter().map(|t| vectorizer.transform(t)).collect();
-        let lcfg = LinearConfig {
-            seed: cfg.seed,
-            ..LinearConfig::default()
-        };
-        let model = LogisticRegression::train(&xs, labels, n_classes, vectorizer.dim(), lcfg);
-        TfidfModel {
-            granularity,
-            vectorizer,
-            kind: TfidfKind::Classifier(model),
-        }
+        // The whole body runs under the configuration's thread budget so
+        // the vectorizer's internal fan-outs honor a pinned count too.
+        cfg.pool().install(|| {
+            let streams: Vec<Vec<String>> =
+                sqlan_par::par_map(statements, |s| tokenize(s, granularity));
+            let vectorizer =
+                TfidfVectorizer::fit(&streams, cfg.tfidf_max_ngram, cfg.tfidf_features);
+            let xs: Vec<SparseVec> = vectorizer.transform_batch(&streams);
+            let lcfg = LinearConfig {
+                seed: cfg.seed,
+                ..LinearConfig::default()
+            };
+            let model = LogisticRegression::train(&xs, labels, n_classes, vectorizer.dim(), lcfg);
+            TfidfModel {
+                granularity,
+                vectorizer,
+                kind: TfidfKind::Classifier(model),
+            }
+        })
     }
 
     /// Train a regressor on log-transformed labels.
@@ -77,24 +80,25 @@ impl TfidfModel {
         labels: &[f64],
         cfg: &TrainConfig,
     ) -> TfidfModel {
-        let streams: Vec<Vec<String>> = statements
-            .iter()
-            .map(|s| tokenize(s, granularity))
-            .collect();
-        let vectorizer = TfidfVectorizer::fit(&streams, cfg.tfidf_max_ngram, cfg.tfidf_features);
-        let xs: Vec<SparseVec> = streams.iter().map(|t| vectorizer.transform(t)).collect();
-        let ys: Vec<f32> = labels.iter().map(|&y| y as f32).collect();
-        let lcfg = LinearConfig {
-            seed: cfg.seed,
-            huber_delta: cfg.huber_delta,
-            ..LinearConfig::default()
-        };
-        let model = HuberRegression::train(&xs, &ys, vectorizer.dim(), lcfg);
-        TfidfModel {
-            granularity,
-            vectorizer,
-            kind: TfidfKind::Regressor(model),
-        }
+        cfg.pool().install(|| {
+            let streams: Vec<Vec<String>> =
+                sqlan_par::par_map(statements, |s| tokenize(s, granularity));
+            let vectorizer =
+                TfidfVectorizer::fit(&streams, cfg.tfidf_max_ngram, cfg.tfidf_features);
+            let xs: Vec<SparseVec> = vectorizer.transform_batch(&streams);
+            let ys: Vec<f32> = labels.iter().map(|&y| y as f32).collect();
+            let lcfg = LinearConfig {
+                seed: cfg.seed,
+                huber_delta: cfg.huber_delta,
+                ..LinearConfig::default()
+            };
+            let model = HuberRegression::train(&xs, &ys, vectorizer.dim(), lcfg);
+            TfidfModel {
+                granularity,
+                vectorizer,
+                kind: TfidfKind::Regressor(model),
+            }
+        })
     }
 
     pub fn predict_proba(&self, statement: &str) -> Vec<f32> {

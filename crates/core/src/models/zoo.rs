@@ -83,7 +83,9 @@ enum Inner {
     Median(f64),
     Opt { model: OptBaseline, db: Database },
     Tfidf(TfidfModel),
-    Neural(NeuralModel),
+    // Boxed: the neural bundle (config + vocab + params + layers) dwarfs
+    // every other variant.
+    Neural(Box<NeuralModel>),
 }
 
 impl TrainedModel {
@@ -153,7 +155,7 @@ enum SavedModel {
     MFreq(MostFrequent),
     Median(f64),
     Tfidf(TfidfModel),
-    Neural(NeuralModel),
+    Neural(Box<NeuralModel>),
 }
 
 /// Error from [`TrainedModel::save_json`] / [`TrainedModel::load_json`].
@@ -293,16 +295,7 @@ pub fn train_model(
                 ModelKind::CCnn | ModelKind::WCnn => ArchKind::Cnn,
                 _ => ArchKind::Lstm,
             };
-            Inner::Neural(NeuralModel::train(
-                arch,
-                g,
-                task,
-                data.statements,
-                data.labels.clone(),
-                data.valid_statements,
-                data.valid_labels.clone(),
-                cfg,
-            ))
+            Inner::Neural(Box::new(NeuralModel::train(arch, g, task, data, cfg)))
         }
     };
     TrainedModel { kind, inner }

@@ -109,13 +109,16 @@ pub fn run_experiment(
     let valid_stmts = gather(&dataset.statements, &split.valid);
     let test_stmts = gather(&dataset.statements, &split.test);
 
-    let mut runs = Vec::with_capacity(kinds.len());
-    if problem.is_classification() {
+    // Models are independent given the (shared, read-only) split slices,
+    // so the whole zoo trains and evaluates on the [`sqlan_par`] pool —
+    // one worker per model, results merged in `kinds` order. Each model's
+    // internal minibatch fan-out inherits the same thread budget.
+    let runs: Vec<ModelRun> = if problem.is_classification() {
         let n = problem.n_classes();
         let train_y = gather(&dataset.class_labels, &split.train);
         let valid_y = gather(&dataset.class_labels, &split.valid);
         let test_y = gather(&dataset.class_labels, &split.test);
-        for &kind in kinds {
+        cfg.pool().par_map(kinds, |&kind| {
             let data = TrainData {
                 statements: &train_stmts,
                 labels: Labels::Classes(&train_y),
@@ -124,22 +127,22 @@ pub fn run_experiment(
             };
             let model = train_model(kind, Task::Classify(n), &data, cfg, opt_db);
             let eval = evaluate_classifier(&model, &test_stmts, &test_y, n);
-            runs.push(ModelRun {
+            ModelRun {
                 kind,
                 vocab_size: model.vocab_size(),
                 n_parameters: model.n_parameters(),
                 classification: Some(eval),
                 regression: None,
                 model,
-            });
-        }
+            }
+        })
     } else {
         let transform = dataset.transform.expect("regression dataset has transform");
         let train_y = gather(&dataset.log_labels, &split.train);
         let valid_y = gather(&dataset.log_labels, &split.valid);
         let test_y = gather(&dataset.log_labels, &split.test);
         let test_raw = gather(&dataset.raw_labels, &split.test);
-        for &kind in kinds {
+        cfg.pool().par_map(kinds, |&kind| {
             let data = TrainData {
                 statements: &train_stmts,
                 labels: Labels::Values(&train_y),
@@ -162,16 +165,16 @@ pub fn run_experiment(
                 cfg.huber_delta as f64,
                 shift,
             );
-            runs.push(ModelRun {
+            ModelRun {
                 kind,
                 vocab_size: model.vocab_size(),
                 n_parameters: model.n_parameters(),
                 classification: None,
                 regression: Some(eval),
                 model,
-            });
-        }
-    }
+            }
+        })
+    };
     Experiment {
         problem,
         dataset,

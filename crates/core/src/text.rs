@@ -57,7 +57,7 @@ mod tests {
     fn encode_truncates_long_statements() {
         let cfg = TrainConfig::tiny();
         let long = "x ".repeat(500);
-        let vocab = build_vocab(&[long.clone()], Granularity::Word, &cfg);
+        let vocab = build_vocab(std::slice::from_ref(&long), Granularity::Word, &cfg);
         let ids = encode(&long, Granularity::Word, &vocab, &cfg, 1);
         assert_eq!(ids.len(), cfg.max_len_word);
     }

@@ -34,6 +34,13 @@ pub struct QueryOutcome {
 }
 
 /// An executable database instance.
+///
+/// `Database` is immutable after construction: every `submit`/`run_query`
+/// builds its own [`ExecCtx`] (plan cache, cost counter, row budget), so
+/// one instance can be shared by any number of concurrent reader threads.
+/// The assertion below makes that `Send + Sync` guarantee a compile-time
+/// contract — adding interior mutability here would break the
+/// data-parallel workload labeler and must be confined to `ExecCtx`.
 #[derive(Debug, Clone)]
 pub struct Database {
     pub catalog: Catalog,
@@ -41,6 +48,11 @@ pub struct Database {
     pub limits: ExecLimits,
     pub optimizer: Optimizer,
 }
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+};
 
 impl Database {
     pub fn new(catalog: Catalog) -> Self {

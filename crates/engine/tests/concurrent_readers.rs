@@ -1,0 +1,89 @@
+//! Concurrency smoke test: one read-only [`Database`] shared by many
+//! reader threads.
+//!
+//! `Database` is `Send + Sync` by construction (asserted at compile time
+//! in `db.rs`): all execution state lives in a per-query `ExecCtx`, so
+//! concurrent readers cannot observe each other. Here N threads each run
+//! the full 112-query equivalence corpus against the *same* instance and
+//! must reproduce the single-threaded reference exactly — identical rows
+//! *and* identical per-component cost counters, since cost is part of the
+//! label contract the workload generator depends on.
+
+mod common;
+
+use common::{catalog, corpus, run_with_cost, CostBreakdown};
+
+use sqlan_engine::{Database, ExecLimits};
+
+type QueryResult = Result<(Vec<String>, CostBreakdown), String>;
+
+const N_READERS: usize = 8;
+
+fn reference_db() -> Database {
+    // Same budget the equivalence suite uses, so every corpus query runs.
+    Database::new(catalog()).with_limits(ExecLimits {
+        max_rows: 2_000_000,
+        max_units: u64::MAX,
+    })
+}
+
+#[test]
+fn corpus_has_the_advertised_size() {
+    assert_eq!(corpus().len(), 112);
+}
+
+#[test]
+fn concurrent_readers_see_identical_rows_and_costs() {
+    let db = reference_db();
+    let corpus = corpus();
+    let reference: Vec<QueryResult> = corpus.iter().map(|sql| run_with_cost(&db, sql)).collect();
+    assert!(
+        reference.iter().any(|r| r.is_ok()),
+        "corpus should mostly succeed"
+    );
+
+    let per_thread: Vec<Vec<QueryResult>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N_READERS)
+            .map(|k| {
+                let db = &db;
+                let corpus = &corpus;
+                s.spawn(move || {
+                    // Stagger starting points so threads hit different
+                    // queries at the same instant.
+                    let n = corpus.len();
+                    let mut out: Vec<Option<QueryResult>> = (0..n).map(|_| None).collect();
+                    for j in 0..n {
+                        let i = (j + k * 17) % n;
+                        out[i] = Some(run_with_cost(db, &corpus[i]));
+                    }
+                    out.into_iter().map(Option::unwrap).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (k, results) in per_thread.iter().enumerate() {
+        for (i, (got, want)) in results.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got, want,
+                "reader {k} diverged from the single-threaded reference \
+                 on query {i}: {}",
+                corpus[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_readers_through_the_par_pool_agree() {
+    // The same property via the production code path: sqlan-par sharing
+    // one database reference across its workers.
+    let db = reference_db();
+    let corpus = corpus();
+    let reference: Vec<QueryResult> = corpus.iter().map(|sql| run_with_cost(&db, sql)).collect();
+    for threads in [2, 8] {
+        let got = sqlan_par::Pool::new(threads).par_map(&corpus, |sql| run_with_cost(&db, sql));
+        assert_eq!(got, reference, "pool with {threads} threads diverged");
+    }
+}

@@ -36,23 +36,48 @@ pub struct TfidfVectorizer {
     idf: Vec<f32>,
 }
 
+/// Documents per accumulation chunk during [`TfidfVectorizer::fit`].
+/// Boundaries depend only on this constant (never the worker count), so
+/// the chunked document-frequency reduce merges in a fixed order.
+const FIT_CHUNK_DOCS: usize = 64;
+
 impl TfidfVectorizer {
     /// Fit on training token streams: select the `max_features` most
     /// frequent n-grams and compute their IDF.
+    ///
+    /// Document/collection-frequency accumulation fans out over the
+    /// [`sqlan_par`] pool in fixed-size chunks; per-chunk maps merge in
+    /// chunk order. Counts are integers and the ranking tiebreak is total
+    /// (count desc, then n-gram asc), so the fitted vectorizer is
+    /// identical to the sequential path at any thread count.
     pub fn fit(streams: &[Vec<String>], max_n: usize, max_features: usize) -> TfidfVectorizer {
         // Document frequency and collection frequency per n-gram.
+        type Counts = (HashMap<String, usize>, HashMap<String, usize>);
+        let per_chunk: Vec<Counts> = sqlan_par::par_chunks(streams, FIT_CHUNK_DOCS, |chunk| {
+            let mut cf: HashMap<String, usize> = HashMap::new();
+            let mut df: HashMap<String, usize> = HashMap::new();
+            for stream in chunk {
+                let grams = ngrams(stream, max_n);
+                let mut seen: HashMap<&str, ()> = HashMap::new();
+                for g in &grams {
+                    *cf.entry(g.clone()).or_default() += 1;
+                }
+                for g in &grams {
+                    if seen.insert(g.as_str(), ()).is_none() {
+                        *df.entry(g.clone()).or_default() += 1;
+                    }
+                }
+            }
+            (cf, df)
+        });
         let mut cf: HashMap<String, usize> = HashMap::new();
         let mut df: HashMap<String, usize> = HashMap::new();
-        for stream in streams {
-            let grams = ngrams(stream, max_n);
-            let mut seen: HashMap<&str, ()> = HashMap::new();
-            for g in &grams {
-                *cf.entry(g.clone()).or_default() += 1;
+        for (chunk_cf, chunk_df) in per_chunk {
+            for (g, n) in chunk_cf {
+                *cf.entry(g).or_default() += n;
             }
-            for g in &grams {
-                if seen.insert(g.as_str(), ()).is_none() {
-                    *df.entry(g.clone()).or_default() += 1;
-                }
+            for (g, n) in chunk_df {
+                *df.entry(g).or_default() += n;
             }
         }
         let mut ranked: Vec<(String, usize)> = cf.into_iter().collect();
@@ -98,6 +123,13 @@ impl TfidfVectorizer {
             .collect();
         out.sort_by_key(|(id, _)| *id);
         out
+    }
+
+    /// Transform many token streams at once, in parallel, preserving
+    /// input order. Equivalent to mapping [`TfidfVectorizer::transform`]
+    /// sequentially (each transform is a pure per-document function).
+    pub fn transform_batch(&self, streams: &[Vec<String>]) -> Vec<SparseVec> {
+        sqlan_par::par_map(streams, |s| self.transform(s))
     }
 }
 
@@ -175,6 +207,38 @@ mod tests {
         let corpus: Vec<Vec<String>> = (0..50).map(|i| toks(&["t", &format!("x{i}")])).collect();
         let v = TfidfVectorizer::fit(&corpus, 1, 5);
         assert_eq!(v.dim(), 5);
+    }
+
+    #[test]
+    fn fit_and_transform_batch_are_thread_count_invariant() {
+        // More docs than FIT_CHUNK_DOCS so the chunked reduce really runs.
+        let corpus: Vec<Vec<String>> = (0..150)
+            .map(|i| {
+                toks(&[
+                    "select",
+                    &format!("c{}", i % 17),
+                    "from",
+                    &format!("t{}", i % 5),
+                ])
+            })
+            .collect();
+        let fit_all = |threads: usize| {
+            sqlan_par::with_threads(threads, || {
+                let v = TfidfVectorizer::fit(&corpus, 3, 200);
+                (v.dim(), v.idf.clone(), v.transform_batch(&corpus))
+            })
+        };
+        let (dim1, idf1, mat1) = fit_all(1);
+        for t in [3, 8] {
+            let (dim, idf, mat) = fit_all(t);
+            assert_eq!(dim, dim1, "threads={t}");
+            assert_eq!(
+                idf.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                idf1.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                "threads={t}"
+            );
+            assert_eq!(mat, mat1, "threads={t}");
+        }
     }
 
     #[test]

@@ -70,8 +70,8 @@ impl LogisticRegression {
             let lr = cfg.lr / (1.0 + epoch as f32 * 0.3);
             for &i in &order {
                 let p = model.predict_proba(&xs[i]);
-                for c in 0..n_classes {
-                    let err = p[c] - if c == ys[i] { 1.0 } else { 0.0 };
+                for (c, &pc) in p.iter().enumerate() {
+                    let err = pc - if c == ys[i] { 1.0 } else { 0.0 };
                     if err == 0.0 {
                         continue;
                     }
@@ -90,13 +90,13 @@ impl LogisticRegression {
     /// Class probabilities for one sparse vector.
     pub fn predict_proba(&self, x: &SparseVec) -> Vec<f32> {
         let mut logits = self.b.clone();
-        for c in 0..self.n_classes {
+        for (c, logit) in logits.iter_mut().enumerate() {
             let row = &self.w[c * self.dim..(c + 1) * self.dim];
             let mut acc = 0.0f32;
             for &(id, v) in x {
                 acc += row[id as usize] * v;
             }
-            logits[c] += acc;
+            *logit += acc;
         }
         sqlan_nn_softmax(&logits)
     }

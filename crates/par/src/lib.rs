@@ -1,0 +1,335 @@
+//! # sqlan-par
+//!
+//! Deterministic data parallelism for the `sqlan` workspace: a small
+//! `std::thread`-based fork-join pool exposing [`par_map`] /
+//! [`par_chunks`] / [`scope`] with **input-order merge semantics**.
+//!
+//! ## The determinism contract
+//!
+//! Every combinator in this crate guarantees: *for a pure per-item
+//! function, the output is a pure function of the input — independent of
+//! the number of worker threads, of OS scheduling, and of which worker
+//! processes which item.*  Concretely:
+//!
+//! * [`par_map`] returns results in input order; item `i`'s result lands
+//!   at index `i` no matter which worker computed it.
+//! * [`par_chunks`] splits the input at **fixed** chunk boundaries derived
+//!   only from `chunk_size` (never from the thread count) and returns one
+//!   result per chunk, in chunk order. A caller that folds those results
+//!   left-to-right therefore performs a reduction whose association order
+//!   is fixed — which is what keeps floating-point reductions bit-identical
+//!   at 1, 3, or 8 threads.
+//! * Panics inside a worker propagate to the caller (no deadlock, no
+//!   swallowed results).
+//!
+//! ## Thread-count knob
+//!
+//! The effective worker count is resolved, in priority order, from
+//! 1. a scoped override installed by [`with_threads`] (used by tests and
+//!    benches to pin a count without touching process state),
+//! 2. the `SQLAN_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! Workers spawned by this crate inherit a *share* of the caller's
+//! resolved count (K workers each carry ⌈T/K⌉), so nested parallel calls
+//! (e.g. per-minibatch gradient sums inside a per-model training
+//! fan-out) stay within the same overall budget instead of multiplying
+//! it — and a pinned count of 1 keeps nested stages sequential too.
+//!
+//! ## Why not rayon?
+//!
+//! This environment is offline — no external crates. Beyond that, the
+//! paper pipeline's stages are coarse (milliseconds to seconds per item),
+//! so a fork-join that spawns scoped threads per call loses nothing
+//! measurable to a persistent pool, stays 100% safe (no `unsafe` lifetime
+//! erasure, which a persistent pool taking non-`'static` borrows would
+//! need), and keeps the determinism contract trivially auditable.
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub use std::thread::{scope, Scope};
+
+/// Environment variable naming the default worker count.
+pub const THREADS_ENV: &str = "SQLAN_THREADS";
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Resolve the effective worker count: scoped override → `SQLAN_THREADS`
+/// → available parallelism. Always at least 1.
+pub fn configured_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The scoped thread budget currently installed on this thread, if any —
+/// `Some` inside [`with_threads`] and inside pool workers (which carry a
+/// share of their parent's budget). Callers that pin their own count
+/// should clamp it to this so nesting never multiplies threads.
+pub fn thread_override() -> Option<usize> {
+    THREAD_OVERRIDE.with(Cell::get)
+}
+
+/// Run `f` with the worker count pinned to `n` on this thread (and, via
+/// inheritance, inside any parallel region it opens). Restores the
+/// previous setting on exit, including on panic.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// A fork-join worker pool with a fixed thread budget.
+///
+/// `Pool` is a thread *budget*, not a set of live OS threads: each
+/// parallel call spawns up to `threads` scoped workers and joins them
+/// before returning, so borrows of caller-stack data need no `'static`
+/// bound and a panicking worker can never leak past the call.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with an explicit thread budget (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The pool configured by [`with_threads`] / `SQLAN_THREADS` /
+    /// available parallelism.
+    pub fn current() -> Pool {
+        Pool::new(configured_threads())
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with this pool's budget installed as the ambient thread
+    /// count, so free-function parallel calls (`par_map`/`par_chunks`)
+    /// and nested [`Pool::current`] lookups inside `f` stay within it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_threads(self.threads, f)
+    }
+
+    /// Parallel map with input-order results. See [`par_map`].
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.run_indexed(items.len(), |i| f(&items[i]))
+    }
+
+    /// Parallel map over fixed-size chunks, one result per chunk in chunk
+    /// order. See [`par_chunks`].
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> R + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let n_chunks = items.len().div_ceil(chunk_size);
+        self.run_indexed(n_chunks, |c| {
+            let start = c * chunk_size;
+            let end = (start + chunk_size).min(items.len());
+            f(&items[start..end])
+        })
+    }
+
+    /// Dynamic (work-stealing) index dispatch with a deterministic merge:
+    /// workers grab the next unclaimed index from a shared counter, stash
+    /// `(index, result)` pairs locally, and the caller scatters them back
+    /// into input order after the join.
+    fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            // Still install this pool's budget so nested parallel calls
+            // honor an explicitly pinned count (e.g. `TrainConfig`'s
+            // `threads: 1` must keep inner stages sequential too).
+            return with_threads(self.threads, || (0..n).map(f).collect());
+        }
+        let next = AtomicUsize::new(0);
+        // Split the budget across siblings: K workers each carrying
+        // ceil(T/K) keeps the total compute-thread count ≈ T under
+        // nesting (model fan-out × minibatch fan-out) instead of K×T.
+        let inherit = self.threads.div_ceil(workers);
+        let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        // Workers inherit a share of the caller's thread
+                        // budget so nested parallel regions stay inside
+                        // the same overall knob.
+                        with_threads(inherit, || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                local.push((i, f(i)));
+                            }
+                            local
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(local) => local,
+                    // Re-raise the worker's panic on the calling thread;
+                    // remaining workers are joined by the scope on unwind.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in buckets.into_iter().flatten() {
+            debug_assert!(out[i].is_none(), "index {i} produced twice");
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index produced exactly once"))
+            .collect()
+    }
+}
+
+/// Map `f` over `items` in parallel on [`Pool::current`], returning
+/// results in input order regardless of thread count or scheduling.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    Pool::current().par_map(items, f)
+}
+
+/// Map `f` over fixed-size chunks of `items` in parallel on
+/// [`Pool::current`]. Chunk boundaries depend only on `chunk_size`, so a
+/// left-to-right fold of the returned per-chunk results is a reduction
+/// with a fixed association order — deterministic at any thread count.
+pub fn par_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    Pool::current().par_chunks(items, chunk_size, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = Pool::new(threads).par_map(&items, |&x| x * 2);
+            let want: Vec<usize> = items.iter().map(|&x| x * 2).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_boundaries_are_thread_independent() {
+        let items: Vec<u32> = (0..103).collect();
+        let sums =
+            |threads: usize| Pool::new(threads).par_chunks(&items, 10, |c| c.iter().sum::<u32>());
+        let a = sums(1);
+        for t in [2, 5, 16] {
+            assert_eq!(a, sums(t));
+        }
+        assert_eq!(a.len(), 11); // ceil(103 / 10)
+        assert_eq!(a.iter().sum::<u32>(), items.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(Pool::new(4).par_map(&empty, |&x| x).is_empty());
+        assert!(Pool::new(4).par_chunks(&empty, 3, |c| c.len()).is_empty());
+        assert_eq!(Pool::new(4).par_map(&[7u8], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let before = configured_threads();
+        let inside = with_threads(3, configured_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(configured_threads(), before);
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let before = configured_threads();
+        let result = std::panic::catch_unwind(|| with_threads(5, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(configured_threads(), before);
+    }
+
+    #[test]
+    fn workers_split_the_thread_budget() {
+        // 2 workers over a budget of 8 → each inherits 8/2 = 4 for
+        // nested regions (total stays ≈ the budget under nesting).
+        let observed = Pool::new(8).par_map(&[0, 1], |_| configured_threads());
+        assert_eq!(observed, vec![4; 2]);
+    }
+
+    #[test]
+    fn sequential_fallback_pins_nested_calls() {
+        // A pinned 1-thread pool takes the inline path but must still
+        // force nested (global-pool) stages down to 1 thread.
+        let observed = with_threads(6, || Pool::new(1).par_map(&[()], |_| configured_threads()));
+        assert_eq!(observed, vec![1]);
+    }
+
+    #[test]
+    fn panic_propagates_not_deadlocks() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).par_map(&items, |&x| {
+                if x == 13 {
+                    panic!("unlucky");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

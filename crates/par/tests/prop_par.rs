@@ -1,0 +1,69 @@
+//! Property tests for the deterministic pool: `par_map` ≡ sequential
+//! `map` for arbitrary input lengths (including 0 and 1) and arbitrary
+//! thread counts, fixed chunk semantics for `par_chunks`, and panic
+//! propagation (a panicking closure must abort the call, not deadlock).
+
+use proptest::prelude::*;
+use sqlan_par::Pool;
+
+/// A cheap non-trivial pure function to map.
+fn mix(x: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn par_map_equals_sequential_map(len in 0usize..200, threads in 1usize..12) {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let got = Pool::new(threads).par_map(&items, |&x| mix(x));
+        let want: Vec<u64> = items.iter().map(|&x| mix(x)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_chunks_boundaries_ignore_thread_count(
+        len in 0usize..300,
+        chunk in 1usize..50,
+        threads in 1usize..12,
+    ) {
+        let wsum = |c: &[u64]| c.iter().fold(0u64, |acc, &x| acc.wrapping_add(x));
+        let items: Vec<u64> = (0..len as u64).map(mix).collect();
+        let got = Pool::new(threads).par_chunks(&items, chunk, |c| (c.len(), wsum(c)));
+        let want: Vec<(usize, u64)> = items.chunks(chunk).map(|c| (c.len(), wsum(c))).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn free_functions_respect_with_threads(len in 0usize..120, threads in 1usize..9) {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let got = sqlan_par::with_threads(threads, || sqlan_par::par_map(&items, |&x| mix(x)));
+        let want: Vec<u64> = items.iter().map(|&x| mix(x)).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+proptest! {
+    // Fewer cases: each one unwinds worker threads.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn panicking_closure_propagates_not_deadlocks(
+        len in 1usize..100,
+        threads in 1usize..9,
+        victim_seed in 0u64..1_000,
+    ) {
+        let items: Vec<usize> = (0..len).collect();
+        let victim = (victim_seed as usize) % len;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Pool::new(threads).par_map(&items, |&x| {
+                if x == victim {
+                    panic!("deliberate test panic");
+                }
+                x
+            })
+        }));
+        prop_assert!(result.is_err(), "panic must propagate to the caller");
+    }
+}

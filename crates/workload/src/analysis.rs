@@ -350,9 +350,9 @@ mod tests {
         // on the diagonal via the self-pointer check.
         assert!((m[0][0] - 1.0).abs() < 1e-9);
         // Symmetry.
-        for i in 0..10 {
-            for j in 0..10 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-9);
+        for (i, row) in m.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-9);
             }
         }
     }

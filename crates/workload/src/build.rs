@@ -6,6 +6,7 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use sqlan_engine::{Database, ErrorClass, ExecLimits};
 
@@ -37,7 +38,7 @@ impl Default for SdssConfig {
 }
 
 /// A built workload plus the bookkeeping the analysis figures need.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Workload {
     pub entries: Vec<WorkloadEntry>,
     /// How many sampled log entries each unique statement absorbed
@@ -58,6 +59,14 @@ impl Workload {
 }
 
 /// Build the SDSS-like workload end to end.
+///
+/// Session simulation and per-session sampling are sequential (they share
+/// one seeded RNG stream, pinned by the golden-label tests); the expensive
+/// stage — executing every unique statement for ground-truth labels — fans
+/// out across the [`sqlan_par`] pool. `Database` is `Sync` (execution
+/// state lives in a per-query `ExecCtx`), so all workers share one
+/// instance built from the same seed, and the input-order merge makes the
+/// labels byte-identical at any `SQLAN_THREADS`.
 pub fn build_sdss(cfg: SdssConfig) -> Workload {
     let catalog = sdss_catalog(cfg.scale, cfg.seed ^ 0xCA7A);
     let db = Database::new(catalog).with_limits(ExecLimits::default());
@@ -82,9 +91,13 @@ pub fn build_sdss(cfg: SdssConfig) -> Workload {
 
 /// Group sampled (statement, session) pairs, execute each unique statement
 /// once, and aggregate labels: majority class, averaged numerics (§4.1).
+///
+/// Labeling runs on the [`sqlan_par`] pool: each unique statement is an
+/// independent execution, and the pool's input-order merge keeps the
+/// entry vector identical to the sequential loop it replaced.
 fn group_and_label(
     sampled: Vec<(String, SessionClass)>,
-    mut label: impl FnMut(&str) -> (ErrorClass, f64, f64),
+    label: impl Fn(&str) -> (ErrorClass, f64, f64) + Sync,
 ) -> Workload {
     let sampled_logs = sampled.len();
     let mut groups: HashMap<String, Vec<SessionClass>> = HashMap::new();
@@ -97,12 +110,13 @@ fn group_and_label(
         entry.or_default().push(class);
     }
 
+    let labeled = sqlan_par::par_map(&order, |stmt| label(stmt));
+
     let mut entries = Vec::with_capacity(order.len());
     let mut repetitions = Vec::with_capacity(order.len());
-    for stmt in order {
+    for (stmt, (error_class, answer, cpu)) in order.into_iter().zip(labeled) {
         let classes = &groups[&stmt];
         let session_class = majority_class(classes);
-        let (error_class, answer, cpu) = label(&stmt);
         repetitions.push(classes.len() as u32);
         entries.push(WorkloadEntry {
             statement: stmt,
@@ -157,6 +171,12 @@ impl Default for SqlShareConfig {
 /// Build the SQLShare-like workload: per-user schemas, per-user queries,
 /// CPU-time labels from execution. Session metadata is absent, as in the
 /// real SQLShare release (§4.2).
+///
+/// Statement *generation* is a sequential seeded-RNG stream (dedup-driven
+/// retries must consume the RNG in a fixed order); statement *execution*
+/// — the dominant cost — fans out over the [`sqlan_par`] pool with
+/// input-order results, so the built workload is byte-identical at any
+/// thread count.
 pub fn build_sqlshare(cfg: SqlShareConfig) -> Workload {
     let (catalog, users) = sqlshare_catalog(cfg.n_users, cfg.scale, cfg.seed ^ 0x11);
     let db = Database::new(catalog);
@@ -178,29 +198,39 @@ pub fn build_sqlshare(cfg: SqlShareConfig) -> Workload {
         n - 1
     };
 
+    // Phase 1 (sequential): draw unique statements. Acceptance depends
+    // only on the RNG stream and the dedup set, never on execution, so
+    // labeling can be deferred and batched.
     let mut seen: HashMap<String, ()> = HashMap::new();
-    let mut entries = Vec::with_capacity(cfg.n_queries);
-    let mut repetitions = Vec::new();
+    let mut planned: Vec<(String, u32)> = Vec::with_capacity(cfg.n_queries);
     let mut attempts = 0usize;
-    while entries.len() < cfg.n_queries && attempts < cfg.n_queries * 20 {
+    while planned.len() < cfg.n_queries && attempts < cfg.n_queries * 20 {
         attempts += 1;
         let u = pick_user(&mut rng, &users);
         let stmt = sqlshare_statement(&users[u], &mut rng);
         if seen.insert(stmt.clone(), ()).is_some() {
             continue; // SQLShare workload is deduplicated upstream
         }
-        let out = db.submit(&stmt);
-        entries.push(WorkloadEntry {
-            statement: stmt,
+        planned.push((stmt, users[u].user_id));
+    }
+
+    // Phase 2 (parallel): execute for labels, merged in input order.
+    let outcomes = sqlan_par::par_map(&planned, |(stmt, _)| db.submit(stmt));
+
+    let sampled_logs = planned.len();
+    let entries: Vec<WorkloadEntry> = planned
+        .into_iter()
+        .zip(outcomes)
+        .map(|((statement, user_id), out)| WorkloadEntry {
+            statement,
             error_class: out.error_class,
             session_class: None,
             answer_size: out.answer_size as f64,
             cpu_seconds: out.cpu_seconds,
-            user_id: Some(users[u].user_id),
-        });
-        repetitions.push(1);
-    }
-    let sampled_logs = entries.len();
+            user_id: Some(user_id),
+        })
+        .collect();
+    let repetitions = vec![1; entries.len()];
     Workload {
         entries,
         repetitions,

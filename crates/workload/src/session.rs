@@ -88,6 +88,11 @@ pub struct GeneratedSession {
 /// simulated year so that distinct sessions from the same IP pool don't
 /// merge. (The real logs have IP reuse — we also reuse a small fraction of
 /// IPs with start times far apart, to exercise the splitter.)
+///
+/// Deliberately sequential: every draw comes off one seeded RNG stream
+/// whose order the golden-label pins depend on, and simulation is cheap
+/// next to statement execution. The parallel stage of the workload
+/// pipeline is labeling (see `build.rs` / `sqlan-par`), not simulation.
 pub fn simulate_sessions(n_sessions: usize, seed: u64) -> Vec<GeneratedSession> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n_sessions);

@@ -187,10 +187,7 @@ fn browser_statement(rng: &mut StdRng) -> String {
         ),
         7 => format!(
             "SELECT TOP 10 objid,dbo.fGetURLExpid(objid) FROM PhotoTag WHERE ra BETWEEN {:.4} AND {:.4}",
-            {
-                let r = rng.gen_range(0.0..359.0);
-                r
-            },
+            rng.gen_range(0.0..359.0),
             rng.gen_range(0.0..360.0)
         ),
         _ => format!("SELECT count(*) FROM {}", table_name(rng)),

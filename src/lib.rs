@@ -7,5 +7,6 @@
 
 pub use sqlan_core as core;
 pub use sqlan_engine as engine;
+pub use sqlan_par as par;
 pub use sqlan_sql as sql;
 pub use sqlan_workload as workload;

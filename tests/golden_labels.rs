@@ -109,6 +109,24 @@ fn sdss_slice_labels_match_golden_bytes() {
     );
 }
 
+/// The parallel labeler must reproduce the golden bytes too: the same
+/// fixed-seed slice, built and described under a 4-thread pool, must
+/// match the identical golden file (input-order merge, shared `Sync`
+/// database, no scheduling-dependent state).
+#[test]
+fn sdss_slice_labels_match_golden_bytes_at_4_threads() {
+    if std::env::var("SQLAN_UPDATE_GOLDEN").as_deref() == Ok("1") {
+        return; // regeneration is handled by the sequential pin above
+    }
+    let rendered = sqlan_par::with_threads(4, render_slice);
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with SQLAN_UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        golden, rendered,
+        "4-thread labels diverged from the sequential golden pin"
+    );
+}
+
 /// The workload-level labels (aggregated per unique statement) are
 /// deterministic too: building the same slice twice is bit-identical.
 #[test]
