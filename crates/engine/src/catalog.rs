@@ -9,6 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::value::Value;
 
@@ -28,7 +29,7 @@ pub struct ColumnDef {
 }
 
 /// Columnar storage for one column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ColumnVec {
     Int(Vec<i64>),
     Float(Vec<f64>),
@@ -67,16 +68,19 @@ impl ColumnVec {
 }
 
 /// One table: schema + column-oriented rows.
+///
+/// Columns are `Arc`-shared so the columnar engine's scans can reference
+/// base data without copying it (the row engine still materializes rows).
 #[derive(Debug, Clone)]
 pub struct Table {
     pub name: String,
     pub columns: Vec<ColumnDef>,
-    pub data: Vec<ColumnVec>,
+    pub data: Vec<Arc<ColumnVec>>,
 }
 
 impl Table {
     pub fn row_count(&self) -> usize {
-        self.data.first().map(ColumnVec::len).unwrap_or(0)
+        self.data.first().map(|c| c.len()).unwrap_or(0)
     }
 
     /// Index of a column by case-insensitive name.
@@ -241,7 +245,7 @@ impl Catalog {
                     name: name.clone(),
                     ty: cspec.ty(),
                 });
-                data.push(cspec.generate(spec.rows, &mut rng));
+                data.push(Arc::new(cspec.generate(spec.rows, &mut rng)));
             }
             cat.insert(Table {
                 name: spec.name.clone(),

@@ -12,7 +12,7 @@ use sqlan_sql::{parse, Query, Statement};
 use crate::catalog::Catalog;
 use crate::cost::{estimate_cost_with, CostCounter, CostEstimate};
 use crate::error::{ErrorClass, RuntimeError};
-use crate::exec::{ExecCtx, ExecLimits};
+use crate::exec::{Engine, ExecCtx, ExecLimits, OpStats};
 use crate::functions::FnRegistry;
 use crate::optimizer::{OptLevel, Optimizer};
 use crate::relation::Relation;
@@ -47,6 +47,12 @@ pub struct Database {
     pub fns: FnRegistry,
     pub limits: ExecLimits,
     pub optimizer: Optimizer,
+    /// Execution engine (`SQLAN_ENGINE` env or [`Database::with_engine`]).
+    /// Both engines are label-identical: the columnar engine's success
+    /// path charges the same [`CostCounter`] totals, and its error paths
+    /// are replayed through the row engine (whose charge *order* at the
+    /// abort point is the label contract).
+    pub engine: Engine,
 }
 
 const _: () = {
@@ -61,11 +67,18 @@ impl Database {
             fns: FnRegistry::standard(),
             limits: ExecLimits::default(),
             optimizer: Optimizer::default(),
+            engine: Engine::from_env(),
         }
     }
 
     pub fn with_limits(mut self, limits: ExecLimits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Select the execution engine explicitly (overriding `SQLAN_ENGINE`).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -137,10 +150,7 @@ impl Database {
         counter: &mut CostCounter,
     ) -> Result<i64, RuntimeError> {
         match stmt {
-            Statement::Select(q) => {
-                let rel = self.run_query(q, counter)?;
-                Ok(rel.len() as i64)
-            }
+            Statement::Select(q) => self.query_row_count(q, counter),
             Statement::Execute { name, arg_count } => {
                 // Stored procedures: known `sp`-prefixed names succeed with
                 // a fixed moderate cost; anything else is unknown.
@@ -186,10 +196,7 @@ impl Database {
                 }
                 match verb {
                     DmlVerb::Insert => match query {
-                        Some(q) if !q.select.is_empty() => {
-                            let rel = self.run_query(q, counter)?;
-                            Ok(rel.len() as i64)
-                        }
+                        Some(q) if !q.select.is_empty() => self.query_row_count(q, counter),
                         _ => {
                             counter.eval_units += 10;
                             Ok(1)
@@ -216,8 +223,7 @@ impl Database {
                                         joins: Vec::new(),
                                     });
                                     scan.where_clause = q.where_clause.clone();
-                                    let rel = self.run_query(&scan, counter)?;
-                                    Ok(rel.len() as i64)
+                                    self.query_row_count(&scan, counter)
                                 } else {
                                     // Unknown user table: pretend empty.
                                     counter.eval_units += 10;
@@ -237,7 +243,22 @@ impl Database {
     }
 
     /// Execute a SELECT and return the full relation.
+    ///
+    /// Under the columnar engine, any execution error falls back to a
+    /// fresh row-engine replay: error outcomes carry the cost counter *at
+    /// the abort point*, and only the row engine's charge order defines
+    /// that label. Success paths are charge-sum-identical by construction
+    /// (enforced by the differential test suite), so no replay is needed.
     pub fn run_query(
+        &self,
+        q: &Query,
+        counter: &mut CostCounter,
+    ) -> Result<Relation, RuntimeError> {
+        self.run_dispatch(q, counter, |batch| batch.to_relation(), |rel| rel)
+    }
+
+    /// Row-engine execution (the fallback/reference path).
+    fn run_query_row(
         &self,
         q: &Query,
         counter: &mut CostCounter,
@@ -247,6 +268,42 @@ impl Database {
         let result = ctx.exec_query(q, &[]);
         counter.add(&ctx.counter);
         result.map(|(rel, _)| rel)
+    }
+
+    /// Answer size of a SELECT — the labeling hot path. The columnar
+    /// engine reads the cardinality straight off the final batch without
+    /// materializing any rows.
+    fn query_row_count(&self, q: &Query, counter: &mut CostCounter) -> Result<i64, RuntimeError> {
+        self.run_dispatch(
+            q,
+            counter,
+            |batch| batch.len() as i64,
+            |rel| rel.len() as i64,
+        )
+    }
+
+    /// Engine dispatch with the columnar→row error-replay policy in one
+    /// place: run the columnar engine and project its final batch with
+    /// `from_batch`; on any columnar error — or under [`Engine::Row`] —
+    /// run the row engine and project its relation with `from_rel`.
+    fn run_dispatch<T>(
+        &self,
+        q: &Query,
+        counter: &mut CostCounter,
+        from_batch: impl FnOnce(crate::relation::ColumnBatch) -> T,
+        from_rel: impl FnOnce(Relation) -> T,
+    ) -> Result<T, RuntimeError> {
+        if self.engine == Engine::Columnar {
+            let mut ctx =
+                ExecCtx::with_optimizer(&self.catalog, &self.fns, self.limits, &self.optimizer)
+                    .with_engine(Engine::Columnar);
+            if let Ok((batch, _)) = ctx.exec_query_batch(q, &[]) {
+                counter.add(&ctx.counter);
+                return Ok(from_batch(batch));
+            }
+            // Fall through: discard the columnar context and replay.
+        }
+        self.run_query_row(q, counter).map(from_rel)
     }
 
     /// EXPLAIN: render the optimized plan of every statement in `text`
@@ -277,6 +334,84 @@ impl Database {
             }
         }
         Ok(out)
+    }
+
+    /// EXPLAIN ANALYZE: render the optimized plan of every statement in
+    /// `text` **and execute it**, annotating the output with each
+    /// operator's observed row count and cost-unit charges (in execution
+    /// order), plus the statement's outcome labels. Observed charges
+    /// include everything the operator evaluated — nested subqueries roll
+    /// into the operator that ran them.
+    pub fn explain_analyze(&self, text: &str) -> Result<String, String> {
+        let script = parse(text).result.map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for (i, stmt) in script.statements.iter().enumerate() {
+            if script.statements.len() > 1 {
+                out.push_str(&format!("-- statement {}\n", i + 1));
+            }
+            match stmt {
+                Statement::Select(q) => {
+                    out.push_str(&self.optimizer.plan(q, &self.catalog).render());
+                    self.analyze_select(q, &mut out);
+                }
+                other => {
+                    // Non-SELECT statements have no operator pipeline; run
+                    // them for their outcome labels only.
+                    out.push_str(&format!("{}\n", statement_kind(other)));
+                    let mut counter = CostCounter::default();
+                    match self.run_statement(other, &mut counter) {
+                        Ok(rows) => out.push_str(&format!(
+                            "-- observed: rows={rows} cpu_seconds={:?}\n",
+                            counter.cpu_seconds()
+                        )),
+                        Err(e) => out.push_str(&format!("-- observed: error: {e}\n")),
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Execute one SELECT with operator instrumentation and append the
+    /// observations to `out`.
+    fn analyze_select(&self, q: &Query, out: &mut String) {
+        let run = |engine: Engine| -> (Vec<OpStats>, Result<usize, RuntimeError>, CostCounter) {
+            let mut ctx =
+                ExecCtx::with_optimizer(&self.catalog, &self.fns, self.limits, &self.optimizer)
+                    .with_engine(engine)
+                    .analyzed();
+            let res = ctx.exec_query(q, &[]).map(|(rel, _)| rel.len());
+            (ctx.take_observations(), res, ctx.counter)
+        };
+        let (obs, res, counter) = match run(self.engine) {
+            // Columnar errors replay through the row engine, same as
+            // normal execution: its abort-point charges are the labels.
+            (_, Err(_), _) if self.engine == Engine::Columnar => run(Engine::Row),
+            done => done,
+        };
+        let engine_name = match self.engine {
+            Engine::Row => "row",
+            Engine::Columnar => "columnar",
+        };
+        out.push_str(&format!(
+            "-- observed (engine={engine_name}, operators in execution order)\n"
+        ));
+        for s in &obs {
+            out.push_str(&format!(
+                "--   rows={:<9} units=+{:<11} {}\n",
+                s.rows, s.units, s.op
+            ));
+        }
+        match res {
+            Ok(rows) => out.push_str(&format!(
+                "-- answer_size={rows} cpu_seconds={:?}\n",
+                counter.cpu_seconds()
+            )),
+            Err(e) => out.push_str(&format!(
+                "-- error: {e} (cpu_seconds={:?})\n",
+                counter.cpu_seconds()
+            )),
+        }
     }
 
     /// Optimizer cost estimate for the `opt` baseline. Works even for

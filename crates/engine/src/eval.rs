@@ -1,14 +1,25 @@
-//! Scalar expression evaluation against one row, with correlated-subquery
-//! support and uncorrelated-subquery caching.
+//! Scalar expression evaluation, row-at-a-time **and** vectorized.
+//!
+//! [`eval`] is the row engine's evaluator: one expression against one row,
+//! with correlated-subquery support and uncorrelated-subquery caching.
+//! [`eval_batch`] is the columnar engine's evaluator: the same expression
+//! against a whole [`ColumnBatch`] at once, producing a typed [`Column`].
+//! The two must charge the *same total* [`crate::CostCounter`] on every
+//! successful evaluation — per-row short-circuiting (AND/OR, CASE
+//! branches, IN-list early exit) is reproduced with shrinking row
+//! subsets, so exactly the same (row, subexpression) pairs are evaluated,
+//! merely in column order instead of row order.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use sqlan_sql::{Expr, Literal, Op, UnaryOp};
 
+use crate::catalog::ColumnVec;
 use crate::error::RuntimeError;
 use crate::exec::{CachedSubquery as SubqueryCacheEntry, ExecCtx, Scope};
-use crate::relation::Relation;
-use crate::value::Value;
+use crate::relation::{gather, ColumnBatch, Relation};
+use crate::value::{Column, ColumnBuilder, Value};
 
 /// Evaluate `expr` for `row` of `rel`; `outer` carries enclosing scopes for
 /// correlated references (innermost last). Sets `used_outer` when an outer
@@ -347,4 +358,694 @@ fn scalar_from_relation(rel: &Relation) -> Result<Value, RuntimeError> {
         1 => Ok(rel.rows[0].first().cloned().unwrap_or(Value::Null)),
         _ => Err(RuntimeError::ScalarSubqueryCardinality),
     }
+}
+
+// =====================================================================
+// Vectorized evaluation over column batches
+// =====================================================================
+
+/// The set of logical batch rows an evaluation covers. Short-circuiting
+/// constructs shrink this set instead of branching per row.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RowSet<'a> {
+    /// All logical rows `0..n`.
+    All(usize),
+    /// An explicit subset of logical row indices, in increasing order of
+    /// original position (so float reductions and charge totals match the
+    /// row engine's row order).
+    Subset(&'a [usize]),
+}
+
+impl RowSet<'_> {
+    pub fn len(&self) -> usize {
+        match self {
+            RowSet::All(n) => *n,
+            RowSet::Subset(s) => s.len(),
+        }
+    }
+
+    /// The logical batch row at position `i` of this set.
+    #[inline]
+    pub fn get(&self, i: usize) -> usize {
+        match self {
+            RowSet::All(_) => i,
+            RowSet::Subset(s) => s[i],
+        }
+    }
+}
+
+/// Dense column of `batch` column `ci` over `rows` — zero-copy when the
+/// request is the whole unselected batch.
+fn column_ref(batch: &ColumnBatch, ci: usize, rows: &RowSet<'_>) -> Arc<Column> {
+    if matches!(rows, RowSet::All(_)) && batch.sel.is_none() {
+        return Arc::clone(&batch.columns[ci]);
+    }
+    let phys: Vec<usize> = (0..rows.len()).map(|i| batch.phys(rows.get(i))).collect();
+    Arc::new(gather(&batch.columns[ci], &phys))
+}
+
+/// One row of `batch`, materialized for correlated-subquery scopes.
+fn materialize_row(batch: &ColumnBatch, logical: usize) -> Vec<Value> {
+    let p = batch.phys(logical);
+    batch.columns.iter().map(|c| c.get(p)).collect()
+}
+
+/// Scalar result of a subquery executed columnar-side.
+fn scalar_from_batch(b: &ColumnBatch) -> Result<Value, RuntimeError> {
+    match b.len() {
+        0 => Ok(Value::Null),
+        1 => Ok(if b.width() == 0 {
+            Value::Null
+        } else {
+            b.value(0, 0)
+        }),
+        _ => Err(RuntimeError::ScalarSubqueryCardinality),
+    }
+}
+
+/// First-column membership set of a subquery result (IN semantics),
+/// byte-identical to the row engine's key set.
+fn set_from_batch(b: &ColumnBatch) -> HashSet<Vec<u8>> {
+    let mut s: HashSet<Vec<u8>> = HashSet::with_capacity(b.len());
+    if b.width() == 0 {
+        return s;
+    }
+    let col = &b.columns[0];
+    for i in 0..b.len() {
+        let p = b.phys(i);
+        if !col.is_null_at(p) {
+            let mut k = Vec::new();
+            col.group_key_at(p, &mut k);
+            s.insert(k);
+        }
+    }
+    s
+}
+
+/// Evaluate `expr` over the rows of `batch` named by `rows`, producing a
+/// dense column aligned with the positions of `rows`.
+///
+/// Success-path contract: identical [`crate::CostCounter`] totals and
+/// identical per-row values to running the row-engine [`eval`] on every
+/// row of `rows` in order. Error paths may charge in a different order —
+/// the caller (the `Database` layer) replays errors through the row
+/// engine, whose charge order is the label contract.
+pub(crate) fn eval_batch(
+    ctx: &mut ExecCtx<'_>,
+    expr: &Expr,
+    batch: &ColumnBatch,
+    rows: &RowSet<'_>,
+    outer: &[Scope<'_>],
+    used_outer: &mut bool,
+) -> Result<Arc<Column>, RuntimeError> {
+    let n = rows.len();
+    if n == 0 {
+        // The row engine evaluates nothing over zero rows — not even name
+        // resolution — so neither do we.
+        return Ok(Arc::new(Column::Values(Vec::new())));
+    }
+    match expr {
+        Expr::Literal(l) => Ok(Arc::new(Column::Const(literal_value(l), n))),
+        Expr::Column(name) => {
+            if let Some(ci) = batch.resolve(&name.parts)? {
+                return Ok(column_ref(batch, ci, rows));
+            }
+            for scope in outer.iter().rev() {
+                if let Some(i) = scope.rel.resolve(&name.parts)? {
+                    *used_outer = true;
+                    let v = scope.row.get(i).cloned().unwrap_or(Value::Null);
+                    return Ok(Arc::new(Column::Const(v, n)));
+                }
+            }
+            Err(RuntimeError::UnknownColumn(name.canonical()))
+        }
+        Expr::Wildcard(_) => Err(RuntimeError::TypeError(
+            "wildcard is not a scalar expression".into(),
+        )),
+        Expr::Unary { op, expr } => {
+            let v = eval_batch(ctx, expr, batch, rows, outer, used_outer)?;
+            match op {
+                UnaryOp::Plus => Ok(v),
+                UnaryOp::Not => {
+                    let out: Vec<bool> = (0..n).map(|i| !v.is_truthy_at(i)).collect();
+                    Ok(Arc::new(Column::Bool(out)))
+                }
+                UnaryOp::Neg => Ok(Arc::new(neg_column(&v, n)?)),
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval_batch(ctx, left, batch, rows, outer, used_outer)?;
+            let r = eval_batch(ctx, right, batch, rows, outer, used_outer)?;
+            Ok(Arc::new(apply_binary_batch(&l, *op, &r, n)?))
+        }
+        Expr::Logical { left, and, right } => {
+            let l = eval_batch(ctx, left, batch, rows, outer, used_outer)?;
+            // Short-circuit per row: only rows whose result is still open
+            // evaluate the right side (same charges as the row engine).
+            let mut out = vec![false; n];
+            let mut open_pos: Vec<usize> = Vec::new();
+            let mut open_rows: Vec<usize> = Vec::new();
+            for (i, slot) in out.iter_mut().enumerate() {
+                let lt = l.is_truthy_at(i);
+                if *and {
+                    if lt {
+                        open_pos.push(i);
+                        open_rows.push(rows.get(i));
+                    } // else stays false
+                } else if lt {
+                    *slot = true;
+                } else {
+                    open_pos.push(i);
+                    open_rows.push(rows.get(i));
+                }
+            }
+            let r = eval_batch(
+                ctx,
+                right,
+                batch,
+                &RowSet::Subset(&open_rows),
+                outer,
+                used_outer,
+            )?;
+            for (j, &p) in open_pos.iter().enumerate() {
+                out[p] = r.is_truthy_at(j);
+            }
+            Ok(Arc::new(Column::Bool(out)))
+        }
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
+            let v = eval_batch(ctx, expr, batch, rows, outer, used_outer)?;
+            let lo = eval_batch(ctx, low, batch, rows, outer, used_outer)?;
+            let hi = eval_batch(ctx, high, batch, rows, outer, used_outer)?;
+            let mut out = Vec::with_capacity(n);
+            if let (Some(a), Some(b), Some(c)) = (f64_view(&v), f64_view(&lo), f64_view(&hi)) {
+                for i in 0..n {
+                    let x = a.get(i);
+                    let inside = matches!(
+                        x.partial_cmp(&b.get(i)),
+                        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                    ) && matches!(
+                        x.partial_cmp(&c.get(i)),
+                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                    );
+                    out.push(inside != *negated);
+                }
+            } else {
+                for i in 0..n {
+                    let x = v.get(i);
+                    let inside = matches!(
+                        x.sql_cmp(&lo.get(i)),
+                        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                    ) && matches!(
+                        x.sql_cmp(&hi.get(i)),
+                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                    );
+                    out.push(inside != *negated);
+                }
+            }
+            Ok(Arc::new(Column::Bool(out)))
+        }
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } => {
+            let v = eval_batch(ctx, expr, batch, rows, outer, used_outer)?;
+            let mut found = vec![false; n];
+            let mut remaining: Vec<usize> = (0..n).collect(); // positions
+            for item in list {
+                if remaining.is_empty() {
+                    break;
+                }
+                let logical: Vec<usize> = remaining.iter().map(|&p| rows.get(p)).collect();
+                let w = eval_batch(
+                    ctx,
+                    item,
+                    batch,
+                    &RowSet::Subset(&logical),
+                    outer,
+                    used_outer,
+                )?;
+                let mut still = Vec::with_capacity(remaining.len());
+                for (j, &p) in remaining.iter().enumerate() {
+                    if matches!(v.get(p).sql_cmp(&w.get(j)), Some(std::cmp::Ordering::Equal)) {
+                        found[p] = true;
+                    } else {
+                        still.push(p);
+                    }
+                }
+                remaining = still;
+            }
+            let out: Vec<bool> = found.into_iter().map(|f| f != *negated).collect();
+            Ok(Arc::new(Column::Bool(out)))
+        }
+        Expr::Like {
+            expr,
+            negated,
+            pattern,
+        } => {
+            let v = eval_batch(ctx, expr, batch, rows, outer, used_outer)?;
+            let p = eval_batch(ctx, pattern, batch, rows, outer, used_outer)?;
+            ctx.counter.eval_units += n as u64;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let m = v.get(i).like(&p.get(i))?;
+                out.push(m.is_truthy() != *negated);
+            }
+            Ok(Arc::new(Column::Bool(out)))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_batch(ctx, expr, batch, rows, outer, used_outer)?;
+            let out: Vec<bool> = (0..n).map(|i| v.is_null_at(i) != *negated).collect();
+            Ok(Arc::new(Column::Bool(out)))
+        }
+        Expr::Function(f) => {
+            let mut arg_cols = Vec::with_capacity(f.args.len());
+            for a in &f.args {
+                arg_cols.push(eval_batch(ctx, a, batch, rows, outer, used_outer)?);
+            }
+            if f.aggregate.is_some() {
+                return Err(RuntimeError::TypeError(format!(
+                    "aggregate {}() not allowed here",
+                    f.name.base()
+                )));
+            }
+            let name = f.name.canonical();
+            let mut b = ColumnBuilder::with_capacity(n);
+            let mut args: Vec<Value> = Vec::with_capacity(arg_cols.len());
+            for i in 0..n {
+                args.clear();
+                args.extend(arg_cols.iter().map(|c| c.get(i)));
+                let (v, cost) = ctx.fns.call(&name, &args)?;
+                ctx.counter.fn_units += cost;
+                b.push(v);
+            }
+            Ok(Arc::new(b.finish()))
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            let op_col = match operand {
+                Some(o) => Some(eval_batch(ctx, o, batch, rows, outer, used_outer)?),
+                None => None,
+            };
+            let mut out: Vec<Value> = vec![Value::Null; n];
+            let mut remaining: Vec<usize> = (0..n).collect(); // positions
+            for (cond, result) in branches {
+                if remaining.is_empty() {
+                    break;
+                }
+                let logical: Vec<usize> = remaining.iter().map(|&p| rows.get(p)).collect();
+                let c = eval_batch(
+                    ctx,
+                    cond,
+                    batch,
+                    &RowSet::Subset(&logical),
+                    outer,
+                    used_outer,
+                )?;
+                let mut hit_pos = Vec::new();
+                let mut still = Vec::new();
+                for (j, &p) in remaining.iter().enumerate() {
+                    let hit = match &op_col {
+                        Some(oc) => matches!(
+                            oc.get(p).sql_cmp(&c.get(j)),
+                            Some(std::cmp::Ordering::Equal)
+                        ),
+                        None => c.is_truthy_at(j),
+                    };
+                    if hit {
+                        hit_pos.push(p);
+                    } else {
+                        still.push(p);
+                    }
+                }
+                if !hit_pos.is_empty() {
+                    let logical_hit: Vec<usize> = hit_pos.iter().map(|&p| rows.get(p)).collect();
+                    let r = eval_batch(
+                        ctx,
+                        result,
+                        batch,
+                        &RowSet::Subset(&logical_hit),
+                        outer,
+                        used_outer,
+                    )?;
+                    for (j, &p) in hit_pos.iter().enumerate() {
+                        out[p] = r.get(j);
+                    }
+                }
+                remaining = still;
+            }
+            if let Some(e) = else_expr {
+                if !remaining.is_empty() {
+                    let logical: Vec<usize> = remaining.iter().map(|&p| rows.get(p)).collect();
+                    let r =
+                        eval_batch(ctx, e, batch, &RowSet::Subset(&logical), outer, used_outer)?;
+                    for (j, &p) in remaining.iter().enumerate() {
+                        out[p] = r.get(j);
+                    }
+                }
+            }
+            // Unmatched rows without ELSE stay NULL, as in the row engine.
+            Ok(Arc::new(Column::from_values(out)))
+        }
+        Expr::Cast { expr, ty } => {
+            let v = eval_batch(ctx, expr, batch, rows, outer, used_outer)?;
+            let mut b = ColumnBuilder::with_capacity(n);
+            for i in 0..n {
+                b.push(cast_value(v.get(i), ty)?);
+            }
+            Ok(Arc::new(b.finish()))
+        }
+        Expr::Subquery(q) => {
+            let key = (&**q) as *const _ as usize;
+            if let Some(SubqueryCacheEntry::Scalar(v)) = ctx.cached_subquery(key) {
+                return Ok(Arc::new(Column::Const(v.clone(), n)));
+            }
+            let scope_rel = Relation {
+                cols: batch.cols.clone(),
+                rows: Vec::new(),
+            };
+            // First row decides correlation (`used_outer` cannot vary by
+            // outer row: the first outer-value-dependent branch point in
+            // the subquery itself consults the outer scope).
+            ctx.counter.subquery_execs += 1;
+            let row0 = materialize_row(batch, rows.get(0));
+            let (first, sub_used_outer) = {
+                let mut scopes: Vec<Scope<'_>> = outer.to_vec();
+                scopes.push(Scope {
+                    rel: &scope_rel,
+                    row: &row0,
+                });
+                ctx.exec_query_batch(q, &scopes)?
+            };
+            let v0 = scalar_from_batch(&first)?;
+            if !sub_used_outer {
+                ctx.cache_scalar(key, v0.clone());
+                return Ok(Arc::new(Column::Const(v0, n)));
+            }
+            *used_outer = true;
+            let mut b = ColumnBuilder::with_capacity(n);
+            b.push(v0);
+            for i in 1..n {
+                ctx.counter.subquery_execs += 1;
+                let row = materialize_row(batch, rows.get(i));
+                let (result, _) = {
+                    let mut scopes: Vec<Scope<'_>> = outer.to_vec();
+                    scopes.push(Scope {
+                        rel: &scope_rel,
+                        row: &row,
+                    });
+                    ctx.exec_query_batch(q, &scopes)?
+                };
+                b.push(scalar_from_batch(&result)?);
+            }
+            Ok(Arc::new(b.finish()))
+        }
+        Expr::InSubquery {
+            expr,
+            negated,
+            subquery,
+        } => {
+            let v = eval_batch(ctx, expr, batch, rows, outer, used_outer)?;
+            let key = (&**subquery) as *const _ as usize;
+            let contains = |set: &HashSet<Vec<u8>>, col: &Column, i: usize| {
+                if col.is_null_at(i) {
+                    false
+                } else {
+                    let mut k = Vec::new();
+                    col.group_key_at(i, &mut k);
+                    set.contains(&k)
+                }
+            };
+            let shared_set: Option<HashSet<Vec<u8>>> = match ctx.cached_subquery(key) {
+                Some(SubqueryCacheEntry::Set(s)) => Some(s.clone()),
+                _ => None,
+            };
+            let out: Vec<bool> = if let Some(set) = shared_set {
+                (0..n).map(|i| contains(&set, &v, i) != *negated).collect()
+            } else {
+                let scope_rel = Relation {
+                    cols: batch.cols.clone(),
+                    rows: Vec::new(),
+                };
+                ctx.counter.subquery_execs += 1;
+                let row0 = materialize_row(batch, rows.get(0));
+                let (first, sub_used_outer) = {
+                    let mut scopes: Vec<Scope<'_>> = outer.to_vec();
+                    scopes.push(Scope {
+                        rel: &scope_rel,
+                        row: &row0,
+                    });
+                    ctx.exec_query_batch(subquery, &scopes)?
+                };
+                let set0 = set_from_batch(&first);
+                if !sub_used_outer {
+                    ctx.cache_set(key, set0.clone());
+                    (0..n).map(|i| contains(&set0, &v, i) != *negated).collect()
+                } else {
+                    *used_outer = true;
+                    let mut out = Vec::with_capacity(n);
+                    out.push(contains(&set0, &v, 0) != *negated);
+                    for i in 1..n {
+                        ctx.counter.subquery_execs += 1;
+                        let row = materialize_row(batch, rows.get(i));
+                        let (result, _) = {
+                            let mut scopes: Vec<Scope<'_>> = outer.to_vec();
+                            scopes.push(Scope {
+                                rel: &scope_rel,
+                                row: &row,
+                            });
+                            ctx.exec_query_batch(subquery, &scopes)?
+                        };
+                        let set = set_from_batch(&result);
+                        out.push(contains(&set, &v, i) != *negated);
+                    }
+                    out
+                }
+            };
+            Ok(Arc::new(Column::Bool(out)))
+        }
+        Expr::Exists { negated, subquery } => {
+            let key = (&**subquery) as *const _ as usize;
+            let cached = match ctx.cached_subquery(key) {
+                Some(SubqueryCacheEntry::NonEmpty(b)) => Some(*b),
+                _ => None,
+            };
+            let out: Vec<bool> = if let Some(b) = cached {
+                vec![b != *negated; n]
+            } else {
+                let scope_rel = Relation {
+                    cols: batch.cols.clone(),
+                    rows: Vec::new(),
+                };
+                ctx.counter.subquery_execs += 1;
+                let row0 = materialize_row(batch, rows.get(0));
+                let (first, sub_used_outer) = {
+                    let mut scopes: Vec<Scope<'_>> = outer.to_vec();
+                    scopes.push(Scope {
+                        rel: &scope_rel,
+                        row: &row0,
+                    });
+                    ctx.exec_query_batch(subquery, &scopes)?
+                };
+                let b0 = !first.is_empty();
+                if !sub_used_outer {
+                    ctx.cache_nonempty(key, b0);
+                    vec![b0 != *negated; n]
+                } else {
+                    *used_outer = true;
+                    let mut out = Vec::with_capacity(n);
+                    out.push(b0 != *negated);
+                    for i in 1..n {
+                        ctx.counter.subquery_execs += 1;
+                        let row = materialize_row(batch, rows.get(i));
+                        let (result, _) = {
+                            let mut scopes: Vec<Scope<'_>> = outer.to_vec();
+                            scopes.push(Scope {
+                                rel: &scope_rel,
+                                row: &row,
+                            });
+                            ctx.exec_query_batch(subquery, &scopes)?
+                        };
+                        out.push(result.is_empty() == *negated);
+                    }
+                    out
+                }
+            };
+            Ok(Arc::new(Column::Bool(out)))
+        }
+    }
+}
+
+// ---- vectorized kernels ----------------------------------------------
+
+/// Borrowed numeric view of a column, for monomorphic f64 loops. `None`
+/// when the column may hold non-numeric or NULL values (generic path).
+enum F64View<'a> {
+    I(&'a [i64]),
+    F(&'a [f64]),
+    Const(f64),
+}
+
+impl F64View<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            F64View::I(v) => v[i] as f64,
+            F64View::F(v) => v[i],
+            F64View::Const(x) => *x,
+        }
+    }
+}
+
+fn f64_view(c: &Column) -> Option<F64View<'_>> {
+    match c {
+        Column::Int(v) => Some(F64View::I(v)),
+        Column::Float(v) => Some(F64View::F(v)),
+        Column::Shared(cv) => match &**cv {
+            ColumnVec::Int(v) => Some(F64View::I(v)),
+            ColumnVec::Float(v) => Some(F64View::F(v)),
+            ColumnVec::Str(_) => None,
+        },
+        Column::Const(Value::Int(i), _) => Some(F64View::Const(*i as f64)),
+        Column::Const(Value::Float(f), _) => Some(F64View::Const(*f)),
+        _ => None,
+    }
+}
+
+/// Borrowed integer view (pure `i64` data only).
+enum I64View<'a> {
+    I(&'a [i64]),
+    Const(i64),
+}
+
+impl I64View<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> i64 {
+        match self {
+            I64View::I(v) => v[i],
+            I64View::Const(x) => *x,
+        }
+    }
+}
+
+fn i64_view(c: &Column) -> Option<I64View<'_>> {
+    match c {
+        Column::Int(v) => Some(I64View::I(v)),
+        Column::Shared(cv) => match &**cv {
+            ColumnVec::Int(v) => Some(I64View::I(v)),
+            _ => None,
+        },
+        Column::Const(Value::Int(i), _) => Some(I64View::Const(*i)),
+        _ => None,
+    }
+}
+
+#[inline]
+fn cmp_truth(op: Op, ord: Option<std::cmp::Ordering>) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        Op::Eq => matches!(ord, Some(Equal)),
+        Op::Neq => matches!(ord, Some(Less | Greater)),
+        Op::Lt => matches!(ord, Some(Less)),
+        Op::Lte => matches!(ord, Some(Less | Equal)),
+        Op::Gt => matches!(ord, Some(Greater)),
+        Op::Gte => matches!(ord, Some(Greater | Equal)),
+        _ => unreachable!("cmp_truth on non-comparison"),
+    }
+}
+
+/// Element-wise binary operator over two dense columns of length `n`.
+/// Typed fast paths replicate [`apply_binary`]'s semantics exactly
+/// (numeric comparison through `f64`, checked integer arithmetic widening
+/// to float on overflow); everything else goes through [`apply_binary`]
+/// per element.
+pub(crate) fn apply_binary_batch(
+    l: &Column,
+    op: Op,
+    r: &Column,
+    n: usize,
+) -> Result<Column, RuntimeError> {
+    if matches!(op, Op::Eq | Op::Neq | Op::Lt | Op::Lte | Op::Gt | Op::Gte) {
+        if let (Some(a), Some(b)) = (f64_view(l), f64_view(r)) {
+            let out: Vec<bool> = (0..n)
+                .map(|i| cmp_truth(op, a.get(i).partial_cmp(&b.get(i))))
+                .collect();
+            return Ok(Column::Bool(out));
+        }
+    }
+    if matches!(op, Op::Plus | Op::Minus | Op::Star) {
+        if let (Some(a), Some(b)) = (i64_view(l), i64_view(r)) {
+            // Both pure ints: checked op, widening to float on overflow.
+            let mut bld = ColumnBuilder::with_capacity(n);
+            for i in 0..n {
+                let (x, y) = (a.get(i), b.get(i));
+                let checked = match op {
+                    Op::Plus => x.checked_add(y),
+                    Op::Minus => x.checked_sub(y),
+                    _ => x.checked_mul(y),
+                };
+                bld.push(match checked {
+                    Some(v) => Value::Int(v),
+                    None => Value::Float(match op {
+                        Op::Plus => x as f64 + y as f64,
+                        Op::Minus => x as f64 - y as f64,
+                        _ => x as f64 * y as f64,
+                    }),
+                });
+            }
+            return Ok(bld.finish());
+        }
+        if let (Some(a), Some(b)) = (f64_view(l), f64_view(r)) {
+            let out: Vec<f64> = (0..n)
+                .map(|i| match op {
+                    Op::Plus => a.get(i) + b.get(i),
+                    Op::Minus => a.get(i) - b.get(i),
+                    _ => a.get(i) * b.get(i),
+                })
+                .collect();
+            return Ok(Column::Float(out));
+        }
+    }
+    if matches!(op, Op::BitAnd | Op::BitOr | Op::BitXor) {
+        if let (Some(a), Some(b)) = (i64_view(l), i64_view(r)) {
+            let out: Vec<i64> = (0..n)
+                .map(|i| match op {
+                    Op::BitAnd => a.get(i) & b.get(i),
+                    Op::BitOr => a.get(i) | b.get(i),
+                    _ => a.get(i) ^ b.get(i),
+                })
+                .collect();
+            return Ok(Column::Int(out));
+        }
+    }
+    let mut b = ColumnBuilder::with_capacity(n);
+    for i in 0..n {
+        b.push(apply_binary(&l.get(i), op, &r.get(i))?);
+    }
+    Ok(b.finish())
+}
+
+/// Element-wise negation matching [`Value::neg`].
+fn neg_column(v: &Column, n: usize) -> Result<Column, RuntimeError> {
+    if let Some(a) = i64_view(v) {
+        return Ok(Column::Int(
+            (0..n).map(|i| a.get(i).wrapping_neg()).collect(),
+        ));
+    }
+    if let Some(F64View::F(f)) = f64_view(v) {
+        return Ok(Column::Float(f.iter().map(|x| -x).collect()));
+    }
+    let mut b = ColumnBuilder::with_capacity(n);
+    for i in 0..n {
+        b.push(v.get(i).neg()?);
+    }
+    Ok(b.finish())
 }

@@ -30,7 +30,7 @@ use crate::error::RuntimeError;
 use crate::functions::FnRegistry;
 use crate::optimizer::Optimizer;
 use crate::plan::QueryPlan;
-use crate::relation::Relation;
+use crate::relation::{ColumnBatch, Relation};
 use crate::value::Value;
 
 // Former residents of this module, re-exported for compatibility: conjunct
@@ -62,6 +62,67 @@ fn default_optimizer() -> &'static Optimizer {
     DEFAULT.get_or_init(Optimizer::default)
 }
 
+/// Environment variable selecting the execution engine, mirroring
+/// `SQLAN_THREADS`: `SQLAN_ENGINE=row` or `SQLAN_ENGINE=columnar`.
+pub const ENGINE_ENV: &str = "SQLAN_ENGINE";
+
+/// Which execution engine runs query plans.
+///
+/// Both engines produce byte-identical results and [`CostCounter`]
+/// charges on every statement: the columnar engine executes the success
+/// path with sum-identical charges, and the [`crate::Database`] layer
+/// replays any columnar error through the row engine, whose charge
+/// *order* (observable at resource-budget aborts) is the label contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Row-at-a-time interpretation (`Vec<Vec<Value>>` pulls).
+    Row,
+    /// Vectorized columnar batches with selection vectors (the default).
+    #[default]
+    Columnar,
+}
+
+impl Engine {
+    /// Resolve from `SQLAN_ENGINE` (unset or unrecognized → columnar).
+    pub fn from_env() -> Engine {
+        match std::env::var(ENGINE_ENV) {
+            Ok(v) if v.trim().eq_ignore_ascii_case("row") => Engine::Row,
+            _ => Engine::Columnar,
+        }
+    }
+}
+
+/// One executed operator's observed statistics (EXPLAIN ANALYZE).
+#[derive(Debug, Clone)]
+pub struct OpStats {
+    /// Operator description, e.g. `Filter (p.type = 0)`.
+    pub op: String,
+    /// Rows the operator produced.
+    pub rows: u64,
+    /// Cost units charged while it (and everything it evaluated, nested
+    /// subqueries included) ran.
+    pub units: u64,
+}
+
+/// Record one operator observation; no-op unless analysis is armed.
+pub(crate) fn observe(
+    log: &mut Option<Vec<OpStats>>,
+    counter: &CostCounter,
+    last_units: &mut u64,
+    rows: usize,
+    op: impl FnOnce() -> String,
+) {
+    if let Some(log) = log.as_mut() {
+        let units = counter.units();
+        log.push(OpStats {
+            op: op(),
+            rows: rows as u64,
+            units: units.saturating_sub(*last_units),
+        });
+        *last_units = units;
+    }
+}
+
 /// Execution context shared down the query tree.
 pub struct ExecCtx<'a> {
     pub catalog: &'a Catalog,
@@ -69,6 +130,10 @@ pub struct ExecCtx<'a> {
     pub limits: ExecLimits,
     pub counter: CostCounter,
     optimizer: &'a Optimizer,
+    engine: Engine,
+    /// Armed by EXPLAIN ANALYZE: the root plan's operators log their
+    /// observed row counts and cost charges here.
+    pub(crate) analyze: Option<Vec<OpStats>>,
     /// Cache of uncorrelated subquery results keyed by AST address.
     subquery_cache: HashMap<usize, CachedSubquery>,
     /// Optimized plans keyed by `Query` AST address (stable for the
@@ -117,9 +182,32 @@ impl<'a> ExecCtx<'a> {
             limits,
             counter: CostCounter::default(),
             optimizer,
+            engine: Engine::Row,
+            analyze: None,
             subquery_cache: HashMap::new(),
             plan_cache: HashMap::new(),
         }
+    }
+
+    /// Select the execution engine. [`ExecCtx::new`]/`with_optimizer`
+    /// default to the row engine for backward compatibility; the
+    /// [`crate::Database`] layer passes its own (env-resolved) engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Arm EXPLAIN ANALYZE instrumentation: the next root plan execution
+    /// records per-operator observations, retrievable with
+    /// [`ExecCtx::take_observations`].
+    pub fn analyzed(mut self) -> Self {
+        self.analyze = Some(Vec::new());
+        self
+    }
+
+    /// Drain the recorded per-operator observations.
+    pub fn take_observations(&mut self) -> Vec<OpStats> {
+        self.analyze.take().unwrap_or_default()
     }
 
     pub(crate) fn check_budget(&self, extra_rows: usize) -> Result<(), RuntimeError> {
@@ -133,13 +221,34 @@ impl<'a> ExecCtx<'a> {
     /// Execute a query; `outer` is the chain of enclosing row scopes for
     /// correlated subqueries (innermost last). Returns the result plus a
     /// flag saying whether any outer scope was actually consulted.
+    /// Dispatches on the configured [`Engine`]; the columnar engine
+    /// materializes its final batch as a row [`Relation`] (intermediates
+    /// stay columnar).
     pub fn exec_query(
         &mut self,
         q: &Query,
         outer: &[Scope<'_>],
     ) -> Result<(Relation, bool), RuntimeError> {
+        match self.engine {
+            Engine::Row => {
+                let plan = self.plan_for(q);
+                self.exec_plan(&plan, outer)
+            }
+            Engine::Columnar => self
+                .exec_query_batch(q, outer)
+                .map(|(b, uo)| (b.to_relation(), uo)),
+        }
+    }
+
+    /// Execute a query through the columnar engine, keeping the result
+    /// columnar (subqueries and the answer-size path need no rows).
+    pub fn exec_query_batch(
+        &mut self,
+        q: &Query,
+        outer: &[Scope<'_>],
+    ) -> Result<(ColumnBatch, bool), RuntimeError> {
         let plan = self.plan_for(q);
-        self.exec_plan(&plan, outer)
+        self.exec_plan_batch(&plan, outer)
     }
 
     /// Lower + optimize `q`, memoized on the query's address.

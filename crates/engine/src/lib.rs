@@ -41,18 +41,19 @@ pub mod optimizer;
 pub mod physical;
 pub mod plan;
 pub mod relation;
+pub mod testkit;
 pub mod value;
 
 pub use catalog::{Catalog, ColType, ColumnDef, ColumnSpec, ColumnVec, Table, TableSpec};
 pub use cost::{estimate_cost, estimate_cost_with, estimate_plan, CostCounter, CostEstimate};
 pub use db::{Database, QueryOutcome};
 pub use error::{ErrorClass, RuntimeError};
-pub use exec::{ExecCtx, ExecLimits};
+pub use exec::{Engine, ExecCtx, ExecLimits, OpStats, ENGINE_ENV};
 pub use functions::{FnRegistry, ScalarFn};
 pub use optimizer::{
     ConstantFolding, EquiJoinDetection, OptLevel, Optimizer, OptimizerPass, PredicatePushdown,
     ProjectionPruning,
 };
 pub use plan::{lower, FoldStep, JoinStrategy, LogicalPlan, QueryPlan, SelectOp};
-pub use relation::{ColRef, Relation};
-pub use value::Value;
+pub use relation::{ColRef, ColumnBatch, Relation};
+pub use value::{Column, ColumnBuilder, Value};

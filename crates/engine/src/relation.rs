@@ -1,7 +1,9 @@
-//! Materialized relations and column-name resolution.
+//! Materialized relations, columnar batches, and column-name resolution.
+
+use std::sync::Arc;
 
 use crate::error::RuntimeError;
-use crate::value::Value;
+use crate::value::{Column, ColumnBuilder, Value};
 
 /// Metadata for one column of a relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,52 +63,249 @@ impl Relation {
     /// Returns `Ok(None)` when the name simply isn't here (the caller may
     /// try an outer scope); `Err` on ambiguity.
     pub fn resolve(&self, parts: &[String]) -> Result<Option<usize>, RuntimeError> {
-        let (qual, name) = match parts {
-            [] => return Ok(None),
-            [name] => (None, name.as_str()),
-            many => (
-                Some(many[many.len() - 2].to_ascii_lowercase()),
-                many.last().unwrap().as_str(),
-            ),
-        };
-        let mut found: Option<usize> = None;
-        for (i, c) in self.cols.iter().enumerate() {
-            if !c.name.eq_ignore_ascii_case(name) {
-                continue;
-            }
-            if let Some(q) = &qual {
-                if !c.matches_qualifier(q) {
-                    continue;
-                }
-            }
-            if let Some(prev) = found {
-                // Same physical binding seen twice can't happen; two
-                // different bindings with the same column name is ambiguous
-                // only for unqualified references.
-                if qual.is_none() {
-                    return Err(RuntimeError::AmbiguousColumn(name.to_string()));
-                }
-                // Qualified and still two matches (self-join with the same
-                // alias is rejected upstream); prefer the first.
-                let _ = prev;
-            } else {
-                found = Some(i);
-            }
-        }
-        Ok(found)
+        resolve_in(&self.cols, parts)
     }
 
     /// Columns visible through a `q.*` wildcard (all when `q` is `None`).
     pub fn wildcard_columns(&self, qual: Option<&str>) -> Vec<usize> {
-        match qual {
-            None => (0..self.cols.len()).collect(),
-            Some(q) => {
-                let q = q.to_ascii_lowercase();
-                (0..self.cols.len())
-                    .filter(|&i| self.cols[i].matches_qualifier(&q))
-                    .collect()
+        wildcard_in(&self.cols, qual)
+    }
+}
+
+/// Resolution over bare column metadata — shared by the row engine's
+/// [`Relation`] and the columnar engine's [`ColumnBatch`] so the two can
+/// never disagree on what a name means.
+pub(crate) fn resolve_in(cols: &[ColRef], parts: &[String]) -> Result<Option<usize>, RuntimeError> {
+    let (qual, name) = match parts {
+        [] => return Ok(None),
+        [name] => (None, name.as_str()),
+        many => (
+            Some(many[many.len() - 2].to_ascii_lowercase()),
+            many.last().unwrap().as_str(),
+        ),
+    };
+    let mut found: Option<usize> = None;
+    for (i, c) in cols.iter().enumerate() {
+        if !c.name.eq_ignore_ascii_case(name) {
+            continue;
+        }
+        if let Some(q) = &qual {
+            if !c.matches_qualifier(q) {
+                continue;
             }
         }
+        if let Some(prev) = found {
+            // Same physical binding seen twice can't happen; two
+            // different bindings with the same column name is ambiguous
+            // only for unqualified references.
+            if qual.is_none() {
+                return Err(RuntimeError::AmbiguousColumn(name.to_string()));
+            }
+            // Qualified and still two matches (self-join with the same
+            // alias is rejected upstream); prefer the first.
+            let _ = prev;
+        } else {
+            found = Some(i);
+        }
+    }
+    Ok(found)
+}
+
+pub(crate) fn wildcard_in(cols: &[ColRef], qual: Option<&str>) -> Vec<usize> {
+    match qual {
+        None => (0..cols.len()).collect(),
+        Some(q) => {
+            let q = q.to_ascii_lowercase();
+            (0..cols.len())
+                .filter(|&i| cols[i].matches_qualifier(&q))
+                .collect()
+        }
+    }
+}
+
+// ================= columnar batches =================
+
+/// A columnar relation: column metadata, `Arc`-shared typed column
+/// vectors, and an optional selection vector.
+///
+/// The logical relation has `len()` rows; logical row `i` lives at
+/// physical index `sel[i]` of every column (or at `i` when `sel` is
+/// `None`). Filters refine `sel` without touching column data; projection
+/// passthrough re-references columns by cloning their `Arc`; sorts
+/// permute `sel`. Only joins, expression evaluation, and aggregate
+/// outputs allocate new column data.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnBatch {
+    pub cols: Vec<ColRef>,
+    pub columns: Vec<Arc<Column>>,
+    /// Logical row → physical row. `None` = identity over `0..n_rows`.
+    pub sel: Option<Arc<Vec<usize>>>,
+    /// Physical row count of the columns (kept explicitly so zero-column
+    /// batches — the FROM-less unit row — still have a cardinality).
+    n_rows: usize,
+}
+
+impl ColumnBatch {
+    /// A batch over dense (unselected) columns. All columns must share
+    /// `n_rows` physical rows.
+    pub fn new(cols: Vec<ColRef>, columns: Vec<Arc<Column>>, n_rows: usize) -> ColumnBatch {
+        debug_assert!(columns.iter().all(|c| c.len() == n_rows));
+        ColumnBatch {
+            cols,
+            columns,
+            sel: None,
+            n_rows,
+        }
+    }
+
+    /// A batch with a single empty row — identity for FROM-less SELECTs.
+    pub fn unit() -> ColumnBatch {
+        ColumnBatch {
+            cols: Vec::new(),
+            columns: Vec::new(),
+            sel: None,
+            n_rows: 1,
+        }
+    }
+
+    /// Logical row count.
+    pub fn len(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.n_rows,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Physical index of logical row `i`.
+    #[inline]
+    pub fn phys(&self, i: usize) -> usize {
+        match &self.sel {
+            Some(s) => s[i],
+            None => i,
+        }
+    }
+
+    /// The value of column `col` at logical row `i`.
+    pub fn value(&self, col: usize, i: usize) -> Value {
+        self.columns[col].get(self.phys(i))
+    }
+
+    pub fn resolve(&self, parts: &[String]) -> Result<Option<usize>, RuntimeError> {
+        resolve_in(&self.cols, parts)
+    }
+
+    pub fn wildcard_columns(&self, qual: Option<&str>) -> Vec<usize> {
+        wildcard_in(&self.cols, qual)
+    }
+
+    /// Refine the selection: `keep` holds **logical** row indices (in
+    /// increasing order for deterministic operators). Column data is
+    /// shared untouched.
+    pub fn select(&self, keep: &[usize]) -> ColumnBatch {
+        let sel: Vec<usize> = match &self.sel {
+            Some(s) => keep.iter().map(|&i| s[i]).collect(),
+            None => keep.to_vec(),
+        };
+        ColumnBatch {
+            cols: self.cols.clone(),
+            columns: self.columns.clone(),
+            sel: Some(Arc::new(sel)),
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Re-reference this batch's physical layout under new column
+    /// metadata/data (projection passthrough): same selection vector,
+    /// same physical row count, zero copies.
+    pub fn reproject(&self, cols: Vec<ColRef>, columns: Vec<Arc<Column>>) -> ColumnBatch {
+        ColumnBatch {
+            cols,
+            columns,
+            sel: self.sel.clone(),
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Keep only the first `n` logical rows (TOP).
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.len() {
+            return;
+        }
+        let sel: Vec<usize> = (0..n).map(|i| self.phys(i)).collect();
+        self.sel = Some(Arc::new(sel));
+    }
+
+    /// Gather one column densely over the current selection.
+    pub fn gather_column(&self, col: usize) -> Column {
+        let src = &self.columns[col];
+        match &self.sel {
+            None => (**src).clone(),
+            Some(s) => gather(src, s),
+        }
+    }
+
+    /// Materialize as a row-major [`Relation`] (final results only; all
+    /// intermediate operators stay columnar).
+    pub fn to_relation(&self) -> Relation {
+        let n = self.len();
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = self.phys(i);
+            rows.push(self.columns.iter().map(|c| c.get(p)).collect());
+        }
+        Relation {
+            cols: self.cols.clone(),
+            rows,
+        }
+    }
+
+    /// Columnarize a row-major relation (tests and adapters).
+    pub fn from_relation(rel: &Relation) -> ColumnBatch {
+        let n = rel.len();
+        let columns = (0..rel.width())
+            .map(|c| {
+                let mut b = ColumnBuilder::with_capacity(n);
+                for row in &rel.rows {
+                    b.push(row[c].clone());
+                }
+                Arc::new(b.finish())
+            })
+            .collect();
+        ColumnBatch {
+            cols: rel.cols.clone(),
+            columns,
+            sel: None,
+            n_rows: n,
+        }
+    }
+}
+
+/// Dense gather of `src[idx[0..]]` into a fresh typed column.
+pub(crate) fn gather(src: &Column, idx: &[usize]) -> Column {
+    match src {
+        Column::Int(v) => Column::Int(idx.iter().map(|&i| v[i]).collect()),
+        Column::Float(v) => Column::Float(idx.iter().map(|&i| v[i]).collect()),
+        Column::Str(v) => Column::Str(idx.iter().map(|&i| v[i].clone()).collect()),
+        Column::Bool(v) => Column::Bool(idx.iter().map(|&i| v[i]).collect()),
+        Column::Values(v) => Column::Values(idx.iter().map(|&i| v[i].clone()).collect()),
+        Column::Const(v, _) => Column::Const(v.clone(), idx.len()),
+        Column::Shared(c) => match &**c {
+            crate::catalog::ColumnVec::Int(v) => Column::Int(idx.iter().map(|&i| v[i]).collect()),
+            crate::catalog::ColumnVec::Float(v) => {
+                Column::Float(idx.iter().map(|&i| v[i]).collect())
+            }
+            crate::catalog::ColumnVec::Str(v) => {
+                Column::Str(idx.iter().map(|&i| v[i].clone()).collect())
+            }
+        },
     }
 }
 
@@ -202,5 +401,115 @@ mod tests {
         let r = rel();
         // mydb.dbo.p.ra → qualifier segment before the column is `p`.
         assert_eq!(r.resolve(&parts(&["mydb", "p", "ra"])).unwrap(), Some(0));
+    }
+
+    // ================= ColumnBatch =================
+
+    fn batch() -> ColumnBatch {
+        let rel = Relation {
+            cols: vec![
+                ColRef {
+                    qualifier: None,
+                    table: Some("t".into()),
+                    name: "a".into(),
+                },
+                ColRef {
+                    qualifier: None,
+                    table: Some("t".into()),
+                    name: "b".into(),
+                },
+            ],
+            rows: vec![
+                vec![Value::Int(0), Value::Str("x".into())],
+                vec![Value::Int(1), Value::Str("y".into())],
+                vec![Value::Int(2), Value::Str("z".into())],
+                vec![Value::Int(3), Value::Str("w".into())],
+            ],
+        };
+        ColumnBatch::from_relation(&rel)
+    }
+
+    #[test]
+    fn batch_roundtrips_through_relation() {
+        let b = batch();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.width(), 2);
+        let rel = b.to_relation();
+        assert_eq!(rel.rows.len(), 4);
+        assert_eq!(rel.rows[2][1], Value::Str("z".into()));
+        assert_eq!(
+            ColumnBatch::from_relation(&rel).to_relation().rows,
+            rel.rows
+        );
+    }
+
+    #[test]
+    fn empty_selection_yields_empty_batch_without_touching_columns() {
+        let b = batch();
+        let empty = b.select(&[]);
+        assert_eq!(empty.len(), 0);
+        assert!(empty.is_empty());
+        assert!(empty.to_relation().rows.is_empty());
+        // Column data is shared, not copied.
+        assert!(Arc::ptr_eq(&b.columns[0], &empty.columns[0]));
+    }
+
+    #[test]
+    fn all_selected_matches_identity() {
+        let b = batch();
+        let all = b.select(&[0, 1, 2, 3]);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all.to_relation().rows, b.to_relation().rows);
+        for i in 0..4 {
+            assert_eq!(all.phys(i), i);
+            assert_eq!(all.value(0, i), b.value(0, i));
+        }
+    }
+
+    #[test]
+    fn singleton_selection_and_nested_refinement() {
+        let b = batch();
+        let one = b.select(&[2]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.value(1, 0), Value::Str("z".into()));
+        // Refining a selected batch composes through to physical rows.
+        let sub = b.select(&[1, 3]);
+        let deeper = sub.select(&[1]);
+        assert_eq!(deeper.len(), 1);
+        assert_eq!(deeper.value(0, 0), Value::Int(3));
+        assert_eq!(deeper.phys(0), 3);
+    }
+
+    #[test]
+    fn truncate_keeps_prefix_of_selection() {
+        let b = batch();
+        let mut sel = b.select(&[3, 1, 0]);
+        sel.truncate(2);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel.value(0, 0), Value::Int(3));
+        assert_eq!(sel.value(0, 1), Value::Int(1));
+        // Truncating beyond the length is a no-op.
+        let mut all = b.clone();
+        all.truncate(10);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn gather_column_densifies_selection() {
+        let b = batch();
+        let sel = b.select(&[2, 0]);
+        match sel.gather_column(0) {
+            Column::Int(v) => assert_eq!(v, vec![2, 0]),
+            other => panic!("expected typed Int column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unit_batch_has_one_row_and_no_columns() {
+        let u = ColumnBatch::unit();
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.width(), 0);
+        let rel = u.to_relation();
+        assert_eq!(rel.rows, vec![Vec::<Value>::new()]);
     }
 }

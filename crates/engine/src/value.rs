@@ -118,26 +118,11 @@ impl Value {
     /// Grouping/DISTINCT key: a canonical byte representation.
     pub fn group_key(&self, out: &mut Vec<u8>) {
         match self {
-            Value::Null => out.push(0),
-            Value::Int(i) => {
-                out.push(1);
-                out.extend_from_slice(&(*i as f64).to_bits().to_le_bytes());
-            }
-            Value::Float(f) => {
-                out.push(1);
-                // Normalize -0.0 to 0.0 so grouping treats them equal.
-                let f = if *f == 0.0 { 0.0 } else { *f };
-                out.extend_from_slice(&f.to_bits().to_le_bytes());
-            }
-            Value::Bool(b) => {
-                out.push(2);
-                out.push(*b as u8);
-            }
-            Value::Str(s) => {
-                out.push(3);
-                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
-                out.extend_from_slice(s.as_bytes());
-            }
+            Value::Null => key_null(out),
+            Value::Int(i) => key_num(*i as f64, out),
+            Value::Float(f) => key_num(*f, out),
+            Value::Bool(b) => key_bool(*b, out),
+            Value::Str(s) => key_str(s, out),
         }
     }
 
@@ -296,6 +281,246 @@ impl fmt::Display for Value {
     }
 }
 
+// ---- grouping-key byte encoders --------------------------------------
+//
+// The single source of truth for the key format shared by joins,
+// GROUP BY, DISTINCT, and IN-set membership in *both* engines:
+// [`Value::group_key`] and [`Column::group_key_at`] must produce
+// identical bytes, so each tag's encoding lives exactly once.
+
+#[inline]
+fn key_null(out: &mut Vec<u8>) {
+    out.push(0);
+}
+
+/// Numbers key by their `f64` image, with -0.0 normalized to 0.0 so
+/// grouping treats them equal (integers cannot produce -0.0).
+#[inline]
+fn key_num(f: f64, out: &mut Vec<u8>) {
+    out.push(1);
+    let f = if f == 0.0 { 0.0 } else { f };
+    out.extend_from_slice(&f.to_bits().to_le_bytes());
+}
+
+#[inline]
+fn key_bool(b: bool, out: &mut Vec<u8>) {
+    out.push(2);
+    out.push(b as u8);
+}
+
+#[inline]
+fn key_str(s: &str, out: &mut Vec<u8>) {
+    out.push(3);
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ================= typed column vectors =================
+
+/// A typed vector of runtime values — one column of a
+/// [`crate::relation::ColumnBatch`].
+///
+/// Typed variants (`Int`, `Float`, `Str`, `Bool`) hold NULL-free
+/// homogeneous data and let vectorized kernels run monomorphic loops.
+/// Anything mixed-type or nullable degrades to `Values`; a column that is
+/// the same scalar for every row (literals, cached subquery results) is a
+/// `Const`. Every accessor agrees exactly with the [`Value`] the row
+/// engine would see, so the two engines can never diverge on data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+    Bool(Vec<bool>),
+    /// Mixed types and/or NULLs.
+    Values(Vec<Value>),
+    /// The same value repeated `len` times.
+    Const(Value, usize),
+    /// A zero-copy reference to a base-table column in the catalog.
+    Shared(std::sync::Arc<crate::catalog::ColumnVec>),
+}
+
+impl Column {
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Values(v) => v.len(),
+            Column::Const(_, n) => *n,
+            Column::Shared(c) => c.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `row` (must be in bounds), as the row engine sees it.
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[row]),
+            Column::Float(v) => Value::Float(v[row]),
+            Column::Str(v) => Value::Str(v[row].clone()),
+            Column::Bool(v) => Value::Bool(v[row]),
+            Column::Values(v) => v[row].clone(),
+            Column::Const(v, _) => v.clone(),
+            Column::Shared(c) => c.get(row),
+        }
+    }
+
+    /// Truthiness at `row` without building a [`Value`] (hot path of
+    /// selection-vector refinement).
+    pub fn is_truthy_at(&self, row: usize) -> bool {
+        match self {
+            Column::Int(v) => v[row] != 0,
+            Column::Float(v) => v[row] != 0.0,
+            Column::Str(_) => false,
+            Column::Bool(v) => v[row],
+            Column::Values(v) => v[row].is_truthy(),
+            Column::Const(v, _) => v.is_truthy(),
+            Column::Shared(c) => match &**c {
+                crate::catalog::ColumnVec::Int(v) => v[row] != 0,
+                crate::catalog::ColumnVec::Float(v) => v[row] != 0.0,
+                crate::catalog::ColumnVec::Str(_) => false,
+            },
+        }
+    }
+
+    /// Is the value at `row` NULL? Typed variants are NULL-free.
+    pub fn is_null_at(&self, row: usize) -> bool {
+        match self {
+            Column::Values(v) => v[row].is_null(),
+            Column::Const(v, _) => v.is_null(),
+            _ => false,
+        }
+    }
+
+    /// Append the grouping key of the value at `row` — byte-identical to
+    /// [`Value::group_key`] on [`Column::get`], without the `Value`
+    /// (both funnel through the same `key_*` encoders).
+    pub fn group_key_at(&self, row: usize, out: &mut Vec<u8>) {
+        match self {
+            Column::Int(v) => key_num(v[row] as f64, out),
+            Column::Float(v) => key_num(v[row], out),
+            Column::Str(v) => key_str(&v[row], out),
+            Column::Bool(v) => key_bool(v[row], out),
+            Column::Values(v) => v[row].group_key(out),
+            Column::Const(v, _) => v.group_key(out),
+            Column::Shared(c) => match &**c {
+                crate::catalog::ColumnVec::Int(v) => key_num(v[row] as f64, out),
+                crate::catalog::ColumnVec::Float(v) => key_num(v[row], out),
+                crate::catalog::ColumnVec::Str(v) => key_str(&v[row], out),
+            },
+        }
+    }
+
+    /// Build a column from already-collected values, detecting a uniform
+    /// NULL-free type so downstream kernels get typed data.
+    pub fn from_values(values: Vec<Value>) -> Column {
+        let mut b = ColumnBuilder::with_capacity(values.len());
+        for v in values {
+            b.push(v);
+        }
+        b.finish()
+    }
+}
+
+/// Incremental [`Column`] constructor: starts typed on the first value
+/// and degrades to [`Column::Values`] the moment a NULL or a differently
+/// typed value arrives. The expected length is carried until the first
+/// push, when the concrete type is known and capacity can be reserved.
+#[derive(Debug)]
+pub enum ColumnBuilder {
+    Empty(usize),
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+    Bool(Vec<bool>),
+    Values(Vec<Value>),
+}
+
+impl Default for ColumnBuilder {
+    fn default() -> Self {
+        ColumnBuilder::Empty(0)
+    }
+}
+
+impl ColumnBuilder {
+    pub fn with_capacity(n: usize) -> ColumnBuilder {
+        ColumnBuilder::Empty(n)
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnBuilder::Empty(_) => 0,
+            ColumnBuilder::Int(v) => v.len(),
+            ColumnBuilder::Float(v) => v.len(),
+            ColumnBuilder::Str(v) => v.len(),
+            ColumnBuilder::Bool(v) => v.len(),
+            ColumnBuilder::Values(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convert the accumulated typed data to generic values.
+    fn degrade(&mut self) -> &mut Vec<Value> {
+        let values: Vec<Value> = match std::mem::take(self) {
+            ColumnBuilder::Empty(n) => Vec::with_capacity(n),
+            ColumnBuilder::Int(v) => v.into_iter().map(Value::Int).collect(),
+            ColumnBuilder::Float(v) => v.into_iter().map(Value::Float).collect(),
+            ColumnBuilder::Str(v) => v.into_iter().map(Value::Str).collect(),
+            ColumnBuilder::Bool(v) => v.into_iter().map(Value::Bool).collect(),
+            ColumnBuilder::Values(v) => v,
+        };
+        *self = ColumnBuilder::Values(values);
+        match self {
+            ColumnBuilder::Values(v) => v,
+            _ => unreachable!(),
+        }
+    }
+
+    pub fn push(&mut self, value: Value) {
+        fn seeded<T>(cap: usize, first: T) -> Vec<T> {
+            let mut v = Vec::with_capacity(cap.max(1));
+            v.push(first);
+            v
+        }
+        match (&mut *self, value) {
+            (ColumnBuilder::Empty(n), Value::Int(i)) => *self = ColumnBuilder::Int(seeded(*n, i)),
+            (ColumnBuilder::Empty(n), Value::Float(f)) => {
+                *self = ColumnBuilder::Float(seeded(*n, f))
+            }
+            (ColumnBuilder::Empty(n), Value::Str(s)) => *self = ColumnBuilder::Str(seeded(*n, s)),
+            (ColumnBuilder::Empty(n), Value::Bool(b)) => *self = ColumnBuilder::Bool(seeded(*n, b)),
+            (ColumnBuilder::Empty(n), v @ Value::Null) => {
+                *self = ColumnBuilder::Values(seeded(*n, v))
+            }
+            (ColumnBuilder::Int(v), Value::Int(i)) => v.push(i),
+            (ColumnBuilder::Float(v), Value::Float(f)) => v.push(f),
+            (ColumnBuilder::Str(v), Value::Str(s)) => v.push(s),
+            (ColumnBuilder::Bool(v), Value::Bool(b)) => v.push(b),
+            (ColumnBuilder::Values(v), value) => v.push(value),
+            (_, value) => self.degrade().push(value),
+        }
+    }
+
+    pub fn finish(self) -> Column {
+        match self {
+            ColumnBuilder::Empty(_) => Column::Values(Vec::new()),
+            ColumnBuilder::Int(v) => Column::Int(v),
+            ColumnBuilder::Float(v) => Column::Float(v),
+            ColumnBuilder::Str(v) => Column::Str(v),
+            ColumnBuilder::Bool(v) => Column::Bool(v),
+            ColumnBuilder::Values(v) => Column::Values(v),
+        }
+    }
+}
+
 /// Iterative LIKE matcher (no regex dependency, no recursion).
 fn like_match(s: &str, pattern: &str) -> bool {
     let s: Vec<char> = s.chars().flat_map(|c| c.to_lowercase()).collect();
@@ -434,6 +659,51 @@ mod tests {
         Value::Str("3".into()).group_key(&mut k1);
         Value::Int(3).group_key(&mut k2);
         assert_ne!(k1, k2, "'3' and 3 are different group keys");
+    }
+
+    #[test]
+    fn column_builder_stays_typed_on_uniform_input() {
+        let c = Column::from_values(vec![Value::Int(1), Value::Int(2)]);
+        assert!(matches!(c, Column::Int(_)));
+        assert_eq!(c.get(1), Value::Int(2));
+        assert!(c.is_truthy_at(0));
+        assert!(!c.is_null_at(0));
+    }
+
+    #[test]
+    fn column_builder_degrades_on_mixed_or_null() {
+        let c = Column::from_values(vec![Value::Int(1), Value::Float(2.0)]);
+        assert!(matches!(c, Column::Values(_)));
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Float(2.0));
+
+        let c = Column::from_values(vec![Value::Int(1), Value::Null]);
+        assert!(c.is_null_at(1));
+        assert!(!c.is_null_at(0));
+    }
+
+    #[test]
+    fn column_group_key_matches_value_group_key() {
+        let vals = vec![
+            Value::Int(3),
+            Value::Float(-0.0),
+            Value::Str("ab".into()),
+            Value::Bool(true),
+            Value::Null,
+        ];
+        let col = Column::from_values(vals.clone());
+        for (i, v) in vals.iter().enumerate() {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            v.group_key(&mut a);
+            col.group_key_at(i, &mut b);
+            assert_eq!(a, b, "row {i}");
+        }
+        // Typed columns must agree too.
+        let ints = Column::Int(vec![7, -2]);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        Value::Int(-2).group_key(&mut a);
+        ints.group_key_at(1, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

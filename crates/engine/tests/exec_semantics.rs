@@ -29,16 +29,17 @@ fn db() -> Database {
             },
         ],
         data: vec![
-            ColumnVec::Int(vec![1, 2, 3, 4, 5]),
-            ColumnVec::Int(vec![10, 10, 20, 20, 30]),
-            ColumnVec::Float(vec![100.0, 200.0, 300.0, 400.0, 500.0]),
+            ColumnVec::Int(vec![1, 2, 3, 4, 5]).into(),
+            ColumnVec::Int(vec![10, 10, 20, 20, 30]).into(),
+            ColumnVec::Float(vec![100.0, 200.0, 300.0, 400.0, 500.0]).into(),
             ColumnVec::Str(vec![
                 "ann".into(),
                 "bob".into(),
                 "cal".into(),
                 "dee".into(),
                 "eve".into(),
-            ]),
+            ])
+            .into(),
         ],
     });
     cat.insert(Table {
@@ -54,8 +55,8 @@ fn db() -> Database {
             },
         ],
         data: vec![
-            ColumnVec::Int(vec![10, 20, 40]),
-            ColumnVec::Str(vec!["sales".into(), "eng".into(), "empty".into()]),
+            ColumnVec::Int(vec![10, 20, 40]).into(),
+            ColumnVec::Str(vec!["sales".into(), "eng".into(), "empty".into()]).into(),
         ],
     });
     Database::new(cat)

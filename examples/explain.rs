@@ -1,5 +1,7 @@
 //! EXPLAIN: print the optimized plan of a few SDSS-style queries at each
-//! optimization level, without executing them.
+//! optimization level, then EXPLAIN ANALYZE them — executing each plan
+//! and annotating it with per-operator observed row counts and cost-unit
+//! charges (under the active `SQLAN_ENGINE`).
 //!
 //! ```sh
 //! cargo run --release --example explain
@@ -49,6 +51,13 @@ fn main() {
                 Ok(plan) => println!("{plan}"),
                 Err(e) => println!("rejected: {e}\n"),
             }
+        }
+        // EXPLAIN ANALYZE at the default level: plan + observed
+        // per-operator rows and cost charges from a real execution.
+        println!("--- ANALYZE (engine={:?})", db.engine);
+        match db.explain_analyze(sql) {
+            Ok(report) => println!("{report}"),
+            Err(e) => println!("rejected: {e}\n"),
         }
     }
 }
