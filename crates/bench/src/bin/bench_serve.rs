@@ -1,0 +1,248 @@
+//! Closed-loop load generator for the online prediction service.
+//!
+//! Trains a small fixed-seed bundle (error classifier + answer-size
+//! regressor), saves it, boots `sqlan-serve` on an ephemeral port, and
+//! replays the SDSS + SQLShare statement corpus over keep-alive HTTP at
+//! 1/2/4/8 closed-loop client threads. Writes `BENCH_serve.json` with
+//! per-level throughput, p50/p95/p99 request latency, and the server's
+//! cache hit rate.
+//!
+//! Knobs:
+//!
+//! | env var                  | default | meaning                         |
+//! |--------------------------|---------|---------------------------------|
+//! | `SQLAN_BENCH_REQUESTS`   | 200     | requests per client thread      |
+//! | `SQLAN_BENCH_BATCH`      | 8       | statements per request          |
+//! | `SQLAN_BENCH_CLIENTS`    | 1,2,4,8 | client-thread levels (csv)      |
+//! | `SQLAN_BENCH_OUT`        | BENCH_serve.json | output path            |
+//!
+//! The harness sizing knobs (`SQLAN_SESSIONS`, `SQLAN_FAST`, …) shrink
+//! the training corpus the same way they do for every other binary.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+use sqlan_bench::Harness;
+use sqlan_core::{train_model, Dataset, Labels, ModelKind, Problem, Task, TrainData, TrainedModel};
+use sqlan_metrics::LatencySummary;
+use sqlan_serve::{
+    save_bundle, Client, MetricsSnapshot, ModelRegistry, PredictRequest, PredictResponse,
+    ScoringConfig, ServeConfig,
+};
+
+#[derive(Debug, Serialize)]
+struct LevelStats {
+    clients: usize,
+    requests: usize,
+    statements: usize,
+    seconds: f64,
+    /// Scored statements per second across all clients.
+    stmts_per_sec: f64,
+    /// Predict requests per second across all clients.
+    requests_per_sec: f64,
+    latency: LatencySummary,
+    /// Server-side cumulative cache hit rate after this level.
+    cache_hit_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchServe {
+    cores: usize,
+    corpus_statements: usize,
+    requests_per_client: usize,
+    statements_per_request: usize,
+    levels: Vec<LevelStats>,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn train_bundle(harness: &Harness) -> (std::path::PathBuf, usize, Vec<String>) {
+    eprintln!("[bench_serve] building SDSS + SQLShare corpus…");
+    let sdss = harness.sdss_workload();
+    let sqlshare = harness.sqlshare_workload();
+    let mut corpus: Vec<String> = sdss.entries.iter().map(|e| e.statement.clone()).collect();
+    corpus.extend(sqlshare.entries.iter().map(|e| e.statement.clone()));
+
+    eprintln!("[bench_serve] training bundle (wtfidf classifier + ctfidf regressor)…");
+    let cls = Dataset::build(&sdss, Problem::ErrorClassification);
+    let reg = Dataset::build(&sdss, Problem::AnswerSize);
+    let cfg = harness.train_config();
+    let cut = |n: usize| n * 4 / 5;
+    let classifier: TrainedModel = train_model(
+        ModelKind::WTfidf,
+        Task::Classify(Problem::ErrorClassification.n_classes()),
+        &TrainData {
+            statements: &cls.statements[..cut(cls.len())],
+            labels: Labels::Classes(&cls.class_labels[..cut(cls.len())]),
+            valid_statements: &cls.statements[cut(cls.len())..],
+            valid_labels: Labels::Classes(&cls.class_labels[cut(cls.len())..]),
+        },
+        &cfg,
+        None,
+    );
+    let regressor: TrainedModel = train_model(
+        ModelKind::CTfidf,
+        Task::Regress,
+        &TrainData {
+            statements: &reg.statements[..cut(reg.len())],
+            labels: Labels::Values(&reg.log_labels[..cut(reg.len())]),
+            valid_statements: &reg.statements[cut(reg.len())..],
+            valid_labels: Labels::Values(&reg.log_labels[cut(reg.len())..]),
+        },
+        &cfg,
+        None,
+    );
+    let dir = std::env::temp_dir().join(format!("sqlan-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    save_bundle(
+        &dir,
+        "bench",
+        harness.seed,
+        &[
+            (Problem::ErrorClassification, &classifier),
+            (Problem::AnswerSize, &regressor),
+        ],
+    )
+    .expect("save bundle");
+    let n = corpus.len();
+    (dir, n, corpus)
+}
+
+/// One closed-loop client: issues `requests` predictions back to back on
+/// one keep-alive connection, alternating problems, walking the corpus
+/// from a per-client offset. Returns per-request latencies (seconds).
+fn run_client(
+    addr: std::net::SocketAddr,
+    corpus: &[String],
+    requests: usize,
+    batch: usize,
+    offset: usize,
+) -> Vec<f64> {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut latencies = Vec::with_capacity(requests);
+    let mut pos = offset;
+    for r in 0..requests {
+        let statements: Vec<String> = (0..batch)
+            .map(|i| corpus[(pos + i) % corpus.len()].clone())
+            .collect();
+        pos += batch;
+        let problem = if r % 2 == 0 {
+            Problem::ErrorClassification
+        } else {
+            Problem::AnswerSize
+        };
+        let body = serde_json::to_string(&PredictRequest {
+            problem: problem.name().to_string(),
+            statements,
+        })
+        .expect("request serializes");
+        let start = Instant::now();
+        let (status, response) = client.post("/predict", &body).expect("predict");
+        latencies.push(start.elapsed().as_secs_f64());
+        assert_eq!(status, 200, "predict failed: {response}");
+        let parsed: PredictResponse = serde_json::from_str(&response).expect("predict json");
+        assert_eq!(parsed.predictions.len(), batch);
+    }
+    latencies
+}
+
+fn fetch_metrics(addr: std::net::SocketAddr) -> MetricsSnapshot {
+    let mut client = Client::connect(addr).expect("connect");
+    let (status, body) = client.get("/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    serde_json::from_str(&body).expect("metrics json")
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let requests = env_usize("SQLAN_BENCH_REQUESTS", 200);
+    let batch = env_usize("SQLAN_BENCH_BATCH", 8);
+    let levels: Vec<usize> = std::env::var("SQLAN_BENCH_CLIENTS")
+        .unwrap_or_else(|_| "1,2,4,8".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let (bundle_dir, corpus_len, corpus) = train_bundle(&harness);
+    let registry = Arc::new(ModelRegistry::open(&bundle_dir).expect("open bundle"));
+    let handle = sqlan_serve::start(
+        registry,
+        ServeConfig {
+            http_workers: levels.iter().copied().max().unwrap_or(8),
+            scoring: ScoringConfig::default(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = handle.addr();
+    eprintln!("[bench_serve] cores={cores} corpus={corpus_len} serving on {addr}");
+
+    let mut out_levels = Vec::new();
+    for &clients in &levels {
+        eprintln!("[bench_serve] level: {clients} client(s) × {requests} requests × {batch} stmts");
+        let start = Instant::now();
+        let latencies: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let corpus = &corpus;
+                    // Per-client offsets overlap across levels, so later
+                    // levels re-walk statements the cache already holds —
+                    // deliberately: that is the steady-state serving mix.
+                    s.spawn(move || run_client(addr, corpus, requests, batch, c * 37))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let seconds = start.elapsed().as_secs_f64();
+        let metrics = fetch_metrics(addr);
+        let n_requests = clients * requests;
+        let n_statements = n_requests * batch;
+        let stats = LevelStats {
+            clients,
+            requests: n_requests,
+            statements: n_statements,
+            seconds,
+            stmts_per_sec: n_statements as f64 / seconds.max(1e-9),
+            requests_per_sec: n_requests as f64 / seconds.max(1e-9),
+            latency: LatencySummary::from_seconds(&latencies),
+            cache_hit_rate: metrics.cache_hit_rate,
+        };
+        eprintln!(
+            "    {:.3}s  {:.0} stmts/s  p50 {:.2}ms  p99 {:.2}ms  cache {:.1}%",
+            stats.seconds,
+            stats.stmts_per_sec,
+            stats.latency.p50_s * 1e3,
+            stats.latency.p99_s * 1e3,
+            stats.cache_hit_rate * 100.0
+        );
+        out_levels.push(stats);
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&bundle_dir);
+
+    let report = BenchServe {
+        cores,
+        corpus_statements: corpus_len,
+        requests_per_client: requests,
+        statements_per_request: batch,
+        levels: out_levels,
+    };
+    let out = std::env::var("SQLAN_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!("[saved {out}]");
+}

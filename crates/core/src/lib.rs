@@ -50,7 +50,7 @@ pub use eval::{
 };
 pub use models::neural::{ArchKind, Labels, NeuralModel, Task};
 pub use models::traditional::TfidfModel;
-pub use models::zoo::{train_model, ModelKind, TrainData, TrainedModel};
+pub use models::zoo::{train_model, ModelKind, PersistError, TrainData, TrainedModel};
 pub use pipeline::{run_experiment, Experiment, ModelRun, SummaryRow};
 pub use problem::{Problem, Setting};
 

@@ -308,19 +308,36 @@ impl NeuralModel {
         }
     }
 
-    /// Class probabilities for one statement (classification models).
-    pub fn predict_proba(&self, statement: &str) -> Vec<f32> {
-        let seq = encode(
+    fn encode_statement(&self, statement: &str) -> Vec<u32> {
+        encode(
             statement,
             self.granularity,
             &self.vocab,
             &self.cfg,
             self.min_len,
-        );
+        )
+    }
+
+    /// Inference forward pass (no dropout) for one pre-encoded sequence.
+    fn proba_for_seq(&self, seq: &[u32]) -> Vec<f32> {
         let mut g = Graph::new(&self.params);
-        let feats = self.encode_features(&mut g, &seq, None);
+        let feats = self.encode_features(&mut g, seq, None);
         let out = self.head.forward(&mut g, feats);
         g.softmax_probs(out)
+    }
+
+    /// Inference forward pass (no dropout) for one pre-encoded sequence,
+    /// scalar head.
+    fn value_for_seq(&self, seq: &[u32]) -> f64 {
+        let mut g = Graph::new(&self.params);
+        let feats = self.encode_features(&mut g, seq, None);
+        let out = self.head.forward(&mut g, feats);
+        g.value(out).item() as f64
+    }
+
+    /// Class probabilities for one statement (classification models).
+    pub fn predict_proba(&self, statement: &str) -> Vec<f32> {
+        self.proba_for_seq(&self.encode_statement(statement))
     }
 
     /// Predicted class index.
@@ -330,17 +347,32 @@ impl NeuralModel {
 
     /// Predicted value in log-label space (regression models).
     pub fn predict_value(&self, statement: &str) -> f64 {
-        let seq = encode(
-            statement,
-            self.granularity,
-            &self.vocab,
-            &self.cfg,
-            self.min_len,
-        );
-        let mut g = Graph::new(&self.params);
-        let feats = self.encode_features(&mut g, &seq, None);
-        let out = self.head.forward(&mut g, feats);
-        g.value(out).item() as f64
+        self.value_for_seq(&self.encode_statement(statement))
+    }
+
+    /// Batch twin of [`Self::predict_proba`]: statements encode and
+    /// forward-pass in one fan-out on the [`sqlan_par`] pool (input-order
+    /// merge). Each statement is a pure function of the frozen parameters,
+    /// so the output is bit-identical to mapping the per-statement API.
+    pub fn predict_proba_batch(&self, statements: &[String]) -> Vec<Vec<f32>> {
+        sqlan_par::par_map(statements, |s| {
+            self.proba_for_seq(&self.encode_statement(s))
+        })
+    }
+
+    /// Batch twin of [`Self::predict_class`].
+    pub fn predict_class_batch(&self, statements: &[String]) -> Vec<usize> {
+        self.predict_proba_batch(statements)
+            .iter()
+            .map(|p| sqlan_ml::argmax(p))
+            .collect()
+    }
+
+    /// Batch twin of [`Self::predict_value`].
+    pub fn predict_value_batch(&self, statements: &[String]) -> Vec<f64> {
+        sqlan_par::par_map(statements, |s| {
+            self.value_for_seq(&self.encode_statement(s))
+        })
     }
 }
 

@@ -44,6 +44,16 @@ impl TfidfModel {
             .transform(&tokenize(statement, self.granularity))
     }
 
+    /// Tokenize and vectorize many statements at once on the [`sqlan_par`]
+    /// pool. Each statement is a pure per-item function of the fitted
+    /// vectorizer, so the result equals mapping [`Self::featurize`] —
+    /// bit-identical at any thread count.
+    fn featurize_batch(&self, statements: &[String]) -> Vec<SparseVec> {
+        let streams: Vec<Vec<String>> =
+            sqlan_par::par_map(statements, |s| tokenize(s, self.granularity));
+        self.vectorizer.transform_batch(&streams)
+    }
+
     /// Train a classifier.
     pub fn train_classifier(
         granularity: Granularity,
@@ -118,6 +128,44 @@ impl TfidfModel {
     pub fn predict_value(&self, statement: &str) -> f64 {
         match &self.kind {
             TfidfKind::Regressor(m) => m.predict(&self.featurize(statement)) as f64,
+            TfidfKind::Classifier(_) => panic!("classifier has no scalar output"),
+        }
+    }
+
+    /// Batch twin of [`Self::predict_proba`]: one tokenize/transform fan-out
+    /// instead of a per-statement round trip. Output equals mapping the
+    /// per-statement API.
+    pub fn predict_proba_batch(&self, statements: &[String]) -> Vec<Vec<f32>> {
+        match &self.kind {
+            TfidfKind::Classifier(m) => self
+                .featurize_batch(statements)
+                .iter()
+                .map(|x| m.predict_proba(x))
+                .collect(),
+            TfidfKind::Regressor(_) => panic!("regression model has no class probabilities"),
+        }
+    }
+
+    /// Batch twin of [`Self::predict_class`].
+    pub fn predict_class_batch(&self, statements: &[String]) -> Vec<usize> {
+        match &self.kind {
+            TfidfKind::Classifier(m) => self
+                .featurize_batch(statements)
+                .iter()
+                .map(|x| m.predict(x))
+                .collect(),
+            TfidfKind::Regressor(_) => panic!("regression model has no classes"),
+        }
+    }
+
+    /// Batch twin of [`Self::predict_value`].
+    pub fn predict_value_batch(&self, statements: &[String]) -> Vec<f64> {
+        match &self.kind {
+            TfidfKind::Regressor(m) => self
+                .featurize_batch(statements)
+                .iter()
+                .map(|x| m.predict(x) as f64)
+                .collect(),
             TfidfKind::Classifier(_) => panic!("classifier has no scalar output"),
         }
     }

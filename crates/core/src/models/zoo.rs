@@ -146,6 +146,47 @@ impl TrainedModel {
             Inner::MFreq(_) => panic!("mfreq is not a regressor"),
         }
     }
+
+    /// Batch twin of [`Self::predict_proba`]: statements featurize and
+    /// score in one fan-out over the [`sqlan_par`] pool instead of a
+    /// per-statement round trip. Output is bit-identical to mapping the
+    /// per-statement API (every backend scores statements independently
+    /// with input-order merge).
+    pub fn predict_proba_batch(&self, statements: &[String]) -> Vec<Vec<f32>> {
+        match &self.inner {
+            Inner::MFreq(m) => statements.iter().map(|_| m.predict_proba()).collect(),
+            Inner::Tfidf(m) => m.predict_proba_batch(statements),
+            Inner::Neural(m) => m.predict_proba_batch(statements),
+            _ => panic!("{} is not a classifier", self.name()),
+        }
+    }
+
+    /// Batch twin of [`Self::predict_class`].
+    pub fn predict_class_batch(&self, statements: &[String]) -> Vec<usize> {
+        match &self.inner {
+            Inner::MFreq(m) => statements.iter().map(|_| m.predict()).collect(),
+            Inner::Tfidf(m) => m.predict_class_batch(statements),
+            Inner::Neural(m) => m.predict_class_batch(statements),
+            _ => panic!("{} is not a classifier", self.name()),
+        }
+    }
+
+    /// Batch twin of [`Self::predict_value`].
+    pub fn predict_value_batch(&self, statements: &[String]) -> Vec<f64> {
+        match &self.inner {
+            Inner::Median(v) => vec![*v; statements.len()],
+            Inner::Opt { model, db } => sqlan_par::par_map(statements, |s| {
+                let feats = db
+                    .estimate(s)
+                    .map(|e| e.features().to_vec())
+                    .unwrap_or_else(|| vec![0.0, 0.0]);
+                model.predict(&feats)
+            }),
+            Inner::Tfidf(m) => m.predict_value_batch(statements),
+            Inner::Neural(m) => m.predict_value_batch(statements),
+            Inner::MFreq(_) => panic!("mfreq is not a regressor"),
+        }
+    }
 }
 
 /// Serializable snapshot of a trained model (everything except `opt`,

@@ -42,6 +42,20 @@ impl Problem {
             Problem::AnswerSize => "answer_size",
         }
     }
+
+    /// All four problems, in Definition 4 order.
+    pub const ALL: [Problem; 4] = [
+        Problem::ErrorClassification,
+        Problem::SessionClassification,
+        Problem::CpuTime,
+        Problem::AnswerSize,
+    ];
+
+    /// Inverse of [`Problem::name`] — the wire name used by the serving
+    /// API.
+    pub fn from_name(name: &str) -> Option<Problem> {
+        Problem::ALL.into_iter().find(|p| p.name() == name)
+    }
 }
 
 impl fmt::Display for Problem {

@@ -1,0 +1,185 @@
+//! Property tests: the `predict_*_batch` APIs are equivalent — bit for
+//! bit — to mapping the per-statement APIs, for every backend in the
+//! zoo, on arbitrary input text and at any thread count. This is the
+//! contract the serving layer's micro-batching relies on.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use sqlan_core::{train_model, Labels, ModelKind, Task, TrainConfig, TrainData, TrainedModel};
+
+fn toy() -> (Vec<String>, Vec<usize>, Vec<f64>) {
+    let mut xs = Vec::new();
+    let mut cls = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..60 {
+        let heavy = i % 3 == 0;
+        xs.push(if heavy {
+            format!("SELECT * FROM huge WHERE f(x) > {i}")
+        } else {
+            format!("SELECT 1 FROM small WHERE id = {i}")
+        });
+        cls.push(heavy as usize);
+        vals.push(if heavy { 4.0 } else { 1.0 });
+    }
+    (xs, cls, vals)
+}
+
+/// Every persistable classifier family (linear, CNN, LSTM, baseline),
+/// trained once and shared across property cases.
+fn classifiers() -> &'static Vec<TrainedModel> {
+    static MODELS: OnceLock<Vec<TrainedModel>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let (xs, cls, _) = toy();
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::tiny()
+        };
+        let data = TrainData {
+            statements: &xs[..40],
+            labels: Labels::Classes(&cls[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Classes(&cls[40..]),
+        };
+        [
+            ModelKind::MFreq,
+            ModelKind::CTfidf,
+            ModelKind::WTfidf,
+            ModelKind::WCnn,
+            ModelKind::CLstm,
+        ]
+        .into_iter()
+        .map(|kind| train_model(kind, Task::Classify(2), &data, &cfg, None))
+        .collect()
+    })
+}
+
+/// Every regressor family (median, linear, neural).
+fn regressors() -> &'static Vec<TrainedModel> {
+    static MODELS: OnceLock<Vec<TrainedModel>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let (xs, _, vals) = toy();
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::tiny()
+        };
+        let data = TrainData {
+            statements: &xs[..40],
+            labels: Labels::Values(&vals[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Values(&vals[40..]),
+        };
+        [ModelKind::Median, ModelKind::CTfidf, ModelKind::WCnn]
+            .into_iter()
+            .map(|kind| train_model(kind, Task::Regress, &data, &cfg, None))
+            .collect()
+    })
+}
+
+fn proba_bits(p: &[Vec<f32>]) -> Vec<Vec<u32>> {
+    p.iter()
+        .map(|row| row.iter().map(|f| f.to_bits()).collect())
+        .collect()
+}
+
+fn value_bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|f| f.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary printable statements (including empty and unicode-free
+    /// edge shapes) score identically one-at-a-time and batched.
+    #[test]
+    fn batch_equals_per_statement_on_arbitrary_text(
+        statements in prop::collection::vec("[ -~]{0,60}", 0..12),
+        threads in 1usize..5,
+    ) {
+        sqlan_par::with_threads(threads, || {
+            for model in classifiers() {
+                let batch_proba = model.predict_proba_batch(&statements);
+                let one_proba: Vec<Vec<f32>> =
+                    statements.iter().map(|s| model.predict_proba(s)).collect();
+                prop_assert_eq!(
+                    proba_bits(&batch_proba),
+                    proba_bits(&one_proba),
+                    "proba mismatch for {}",
+                    model.name()
+                );
+                let batch_class = model.predict_class_batch(&statements);
+                let one_class: Vec<usize> =
+                    statements.iter().map(|s| model.predict_class(s)).collect();
+                prop_assert_eq!(batch_class, one_class, "class mismatch for {}", model.name());
+            }
+            for model in regressors() {
+                let batch = model.predict_value_batch(&statements);
+                let one: Vec<f64> = statements.iter().map(|s| model.predict_value(s)).collect();
+                prop_assert_eq!(
+                    value_bits(&batch),
+                    value_bits(&one),
+                    "value mismatch for {}",
+                    model.name()
+                );
+            }
+            Ok(())
+        })?;
+    }
+
+    /// SQL-shaped statements (the serving hot path) as well.
+    #[test]
+    fn batch_equals_per_statement_on_sql_text(
+        ids in prop::collection::vec(0usize..1000, 1..24),
+        threads in 1usize..5,
+    ) {
+        let statements: Vec<String> = ids
+            .iter()
+            .map(|i| format!("SELECT c{} FROM t{} WHERE x > {}", i % 13, i % 7, i))
+            .collect();
+        sqlan_par::with_threads(threads, || {
+            for model in classifiers() {
+                prop_assert_eq!(
+                    proba_bits(&model.predict_proba_batch(&statements)),
+                    proba_bits(
+                        &statements.iter().map(|s| model.predict_proba(s)).collect::<Vec<_>>()
+                    ),
+                    "{}",
+                    model.name()
+                );
+            }
+            for model in regressors() {
+                prop_assert_eq!(
+                    value_bits(&model.predict_value_batch(&statements)),
+                    value_bits(
+                        &statements.iter().map(|s| model.predict_value(s)).collect::<Vec<_>>()
+                    ),
+                    "{}",
+                    model.name()
+                );
+            }
+            Ok(())
+        })?;
+    }
+}
+
+#[test]
+fn opt_baseline_batch_matches_per_statement() {
+    let (xs, _, vals) = toy();
+    let cfg = TrainConfig::tiny();
+    let db = sqlan_workload::sdss_database(sqlan_workload::SdssConfig {
+        n_sessions: 1,
+        scale: sqlan_workload::Scale(0.01),
+        seed: 1,
+    });
+    let data = TrainData {
+        statements: &xs[..40],
+        labels: Labels::Values(&vals[..40]),
+        valid_statements: &xs[40..],
+        valid_labels: Labels::Values(&vals[40..]),
+    };
+    let model = train_model(ModelKind::Opt, Task::Regress, &data, &cfg, Some(&db));
+    let statements: Vec<String> = xs[40..].to_vec();
+    let batch = model.predict_value_batch(&statements);
+    let one: Vec<f64> = statements.iter().map(|s| model.predict_value(s)).collect();
+    assert_eq!(value_bits(&batch), value_bits(&one));
+}

@@ -1,0 +1,183 @@
+//! Property tests for model persistence: `save_json` → `load_json`
+//! round-trips to bit-identical predictions for every persistable model
+//! kind in the zoo, and corrupted/truncated artifacts error instead of
+//! panicking or silently mispredicting.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use sqlan_core::{train_model, Labels, ModelKind, Task, TrainConfig, TrainData, TrainedModel};
+
+fn toy() -> (Vec<String>, Vec<usize>, Vec<f64>) {
+    let mut xs = Vec::new();
+    let mut cls = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..60 {
+        let heavy = i % 3 == 0;
+        xs.push(if heavy {
+            format!("SELECT * FROM huge WHERE f(x) > {i}")
+        } else {
+            format!("SELECT 1 FROM small WHERE id = {i}")
+        });
+        cls.push(heavy as usize);
+        vals.push(if heavy { 4.0 } else { 1.0 });
+    }
+    (xs, cls, vals)
+}
+
+/// One trained model of every persistable kind (all of the zoo except
+/// `opt`, which is rejected by `save_json` — see
+/// `zoo::tests::opt_is_not_persistable`): five kinds trained as
+/// classifiers, three as regressors, covering all eight.
+fn zoo() -> &'static Vec<TrainedModel> {
+    static MODELS: OnceLock<Vec<TrainedModel>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let (xs, cls, vals) = toy();
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::tiny()
+        };
+        let cls_data = TrainData {
+            statements: &xs[..40],
+            labels: Labels::Classes(&cls[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Classes(&cls[40..]),
+        };
+        let reg_data = TrainData {
+            statements: &xs[..40],
+            labels: Labels::Values(&vals[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Values(&vals[40..]),
+        };
+        let mut models: Vec<TrainedModel> = [
+            ModelKind::MFreq,
+            ModelKind::CTfidf,
+            ModelKind::WTfidf,
+            ModelKind::CCnn,
+            ModelKind::CLstm,
+        ]
+        .into_iter()
+        .map(|kind| train_model(kind, Task::Classify(2), &cls_data, &cfg, None))
+        .collect();
+        models.extend(
+            [ModelKind::Median, ModelKind::WCnn, ModelKind::WLstm]
+                .into_iter()
+                .map(|kind| train_model(kind, Task::Regress, &reg_data, &cfg, None)),
+        );
+        models
+    })
+}
+
+/// The kinds trained as classifiers in [`zoo`] (disjoint from the
+/// regressor kinds there, so membership decides which API to compare).
+fn zoo_classifier_kinds() -> [ModelKind; 5] {
+    [
+        ModelKind::MFreq,
+        ModelKind::CTfidf,
+        ModelKind::WTfidf,
+        ModelKind::CCnn,
+        ModelKind::CLstm,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Round-trip every kind, then compare predictions on arbitrary
+    /// printable text — bit-identical, classifier and regressor alike.
+    #[test]
+    fn roundtrip_preserves_predictions(
+        statements in prop::collection::vec("[ -~]{0,50}", 1..8),
+    ) {
+        for model in zoo() {
+            let json = model.save_json().expect("persistable kind");
+            let restored = TrainedModel::load_json(&json).expect("valid artifact");
+            prop_assert_eq!(restored.kind, model.kind);
+            let classifier = zoo_classifier_kinds().contains(&model.kind);
+            for s in &statements {
+                if classifier {
+                    prop_assert_eq!(
+                        model.predict_class(s),
+                        restored.predict_class(s),
+                        "class: {}",
+                        model.name()
+                    );
+                    let (a, b) = (model.predict_proba(s), restored.predict_proba(s));
+                    prop_assert_eq!(
+                        a.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                        b.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                        "proba: {}",
+                        model.name()
+                    );
+                } else {
+                    prop_assert_eq!(
+                        model.predict_value(s).to_bits(),
+                        restored.predict_value(s).to_bits(),
+                        "value: {}",
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// A strict prefix of an artifact never loads (a prefix of a JSON
+    /// object is always unterminated) — it errors, it never panics.
+    #[test]
+    fn truncated_artifact_errors(
+        model_idx in 0usize..8,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let model = &zoo()[model_idx % zoo().len()];
+        let json = model.save_json().expect("persistable kind");
+        let cut = ((json.len() as f64) * cut_frac) as usize;
+        let cut = cut.min(json.len().saturating_sub(1));
+        // Truncate on a char boundary.
+        let mut cut = cut;
+        while !json.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        prop_assert!(
+            TrainedModel::load_json(&json[..cut]).is_err(),
+            "truncated at {cut}/{} must not load ({})",
+            json.len(),
+            model.name()
+        );
+    }
+
+    /// Byte-level corruption either fails to load or loads to the same
+    /// model kind (flips in whitespace/float digits can be benign) — it
+    /// never panics and never changes the model kind.
+    #[test]
+    fn corrupted_artifact_never_panics(
+        model_idx in 0usize..8,
+        pos_frac in 0.0f64..1.0,
+        replacement in "[a-z#!]",
+    ) {
+        let model = &zoo()[model_idx % zoo().len()];
+        let json = model.save_json().expect("persistable kind");
+        let pos = (((json.len() - 1) as f64) * pos_frac) as usize;
+        let mut pos = pos.min(json.len() - 1);
+        while !json.is_char_boundary(pos) {
+            pos -= 1;
+        }
+        let mut corrupted = String::with_capacity(json.len());
+        corrupted.push_str(&json[..pos]);
+        corrupted.push_str(&replacement);
+        let rest = &json[pos..];
+        let skip = rest.chars().next().map(char::len_utf8).unwrap_or(0);
+        corrupted.push_str(&rest[skip..]);
+        if let Ok(loaded) = TrainedModel::load_json(&corrupted) {
+            prop_assert_eq!(loaded.kind, model.kind, "corruption changed the kind");
+        }
+    }
+}
+
+#[test]
+fn empty_and_garbage_json_error_cleanly() {
+    assert!(TrainedModel::load_json("").is_err());
+    assert!(TrainedModel::load_json("{}").is_err());
+    assert!(TrainedModel::load_json("null").is_err());
+    assert!(TrainedModel::load_json("{\"kind\": \"WTfidf\"}").is_err());
+    assert!(TrainedModel::load_json("[1, 2, 3]").is_err());
+}

@@ -26,6 +26,13 @@ use crate::plan::{
 use crate::relation::{gather, ColRef, ColumnBatch, Relation};
 use crate::value::{Column, ColumnBuilder, Value};
 
+/// Pair-evaluation chunk bound for the streaming batch nested-loop join:
+/// each condition evaluation covers at most this many left×right pairs
+/// (rounded up to whole left rows), so the join's transient working set
+/// is bounded no matter how large the cross product is. Purely a memory
+/// knob — charges and output are identical at any value.
+const NLJ_PAIR_CHUNK: usize = 4096;
+
 /// One-line operator descriptions for EXPLAIN ANALYZE observations.
 fn item_label(node: &LogicalPlan) -> String {
     match node {
@@ -1134,8 +1141,18 @@ impl ExecCtx<'_> {
         }
     }
 
-    /// Batch nested-loop join. The `est` budget check bounds the pair
-    /// count by `max_rows`, so the full pair list can be materialized.
+    /// Batch nested-loop join, streaming the cross product in bounded
+    /// pair chunks.
+    ///
+    /// The condition is evaluated over [`NLJ_PAIR_CHUNK`]-bounded slices
+    /// of whole left rows instead of one materialized `ln × rn` pair
+    /// list, so the transient working set is O(chunk + output) rather
+    /// than O(pairs). Chunking is charge-transparent: `eval_units` is
+    /// charged for the full pair count up front exactly as before,
+    /// per-pair condition evaluation is row-independent, uncorrelated
+    /// subqueries stay cached across chunks in [`ExecCtx`], and the emit
+    /// order (per left row, matching pairs in right order, outer pads
+    /// last) is untouched — the differential suite holds.
     #[allow(clippy::too_many_arguments)]
     fn nested_loop_join_batch(
         &mut self,
@@ -1152,41 +1169,75 @@ impl ExecCtx<'_> {
         let (ln, rn) = (left.len(), right.len());
         let n_pairs = ln * rn;
         self.counter.eval_units += n_pairs as u64;
-        let keep: Vec<bool> = match on {
-            None => vec![true; n_pairs],
-            Some(cond) => {
-                let mut li = Vec::with_capacity(n_pairs);
-                let mut ri = Vec::with_capacity(n_pairs);
-                for l in 0..ln {
-                    for r in 0..rn {
-                        li.push(l);
-                        ri.push(r);
-                    }
-                }
-                let pairs = gather_pair_batch(&left, &right, &cols, &li, &ri);
-                let c = eval_batch(self, cond, &pairs, &RowSet::All(n_pairs), outer, used_outer)?;
-                (0..n_pairs).map(|i| c.is_truthy_at(i)).collect()
+        if n_pairs == 0 {
+            // Degenerate cross product: keep the pre-streaming call shape
+            // (one evaluation over the empty pair set) so charge order is
+            // bit-compatible with the row engine's.
+            if let Some(cond) = on {
+                let pairs = gather_pair_batch(&left, &right, &cols, &[], &[]);
+                eval_batch(self, cond, &pairs, &RowSet::All(0), outer, used_outer)?;
             }
-        };
+        }
 
         // Emit in the row engine's order: per left row, matching pairs in
         // right order, then the outer-join pad if unmatched.
+        let rows_per_chunk = (NLJ_PAIR_CHUNK / rn.max(1)).max(1);
         let mut emit: Vec<(Option<usize>, Option<usize>)> = Vec::new();
         let mut right_matched = vec![false; rn];
-        for l in 0..ln {
-            let mut matched = false;
-            for r in 0..rn {
-                if keep[l * rn + r] {
-                    matched = true;
-                    right_matched[r] = true;
-                    emit.push((Some(l), Some(r)));
-                    if emit.len() > self.limits.max_rows {
-                        return Err(RuntimeError::ResourceExhausted);
+        let mut l0 = 0;
+        while l0 < ln && n_pairs > 0 {
+            let l1 = (l0 + rows_per_chunk).min(ln);
+            let chunk_pairs = (l1 - l0) * rn;
+            // `None` for an unconditional (cross) join: every pair kept,
+            // nothing to evaluate.
+            let keep: Option<Vec<bool>> = match on {
+                None => None,
+                Some(cond) => {
+                    let mut li = Vec::with_capacity(chunk_pairs);
+                    let mut ri = Vec::with_capacity(chunk_pairs);
+                    for l in l0..l1 {
+                        for r in 0..rn {
+                            li.push(l);
+                            ri.push(r);
+                        }
+                    }
+                    let pairs = gather_pair_batch(&left, &right, &cols, &li, &ri);
+                    let c = eval_batch(
+                        self,
+                        cond,
+                        &pairs,
+                        &RowSet::All(chunk_pairs),
+                        outer,
+                        used_outer,
+                    )?;
+                    Some((0..chunk_pairs).map(|i| c.is_truthy_at(i)).collect())
+                }
+            };
+            for l in l0..l1 {
+                let mut matched = false;
+                for r in 0..rn {
+                    let kept = keep.as_ref().map(|k| k[(l - l0) * rn + r]).unwrap_or(true);
+                    if kept {
+                        matched = true;
+                        right_matched[r] = true;
+                        emit.push((Some(l), Some(r)));
+                        if emit.len() > self.limits.max_rows {
+                            return Err(RuntimeError::ResourceExhausted);
+                        }
                     }
                 }
+                if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+                    emit.push((Some(l), None));
+                }
             }
-            if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
-                emit.push((Some(l), None));
+            l0 = l1;
+        }
+        if n_pairs == 0 {
+            // No pairs at all: only the left-side outer pads can emit.
+            if matches!(kind, JoinKind::Left | JoinKind::Full) {
+                for l in 0..ln {
+                    emit.push((Some(l), None));
+                }
             }
         }
         if matches!(kind, JoinKind::Right | JoinKind::Full) {

@@ -1,0 +1,237 @@
+//! Versioned on-disk model artifacts.
+//!
+//! A *bundle* is a directory holding one JSON model artifact per problem
+//! plus a `manifest.json` describing them:
+//!
+//! ```text
+//! bundle/
+//!   manifest.json             ← written LAST (commit point)
+//!   error_classification.json ← TrainedModel::save_json output
+//!   answer_size.json
+//! ```
+//!
+//! Model files are written before the manifest, each via a
+//! write-to-temp-then-rename, so a crashed or concurrent writer can never
+//! produce a loadable-but-torn bundle: until `manifest.json` lands, the
+//! directory does not parse as a bundle at all.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use sqlan_core::{ModelKind, PersistError, Problem, TrainedModel};
+
+/// The bundle format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Manifest file name inside a bundle directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// One problem's entry in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    pub problem: Problem,
+    pub kind: ModelKind,
+    /// Model artifact file name, relative to the bundle directory.
+    pub file: String,
+    /// Artifact size in bytes — a cheap integrity check at load time.
+    pub bytes: u64,
+}
+
+/// `manifest.json`: what the bundle contains and how it was produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BundleManifest {
+    pub format_version: u32,
+    /// Free-form bundle name (e.g. the training workload).
+    pub name: String,
+    /// Seed the models were trained with (provenance only).
+    pub seed: u64,
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// Everything that can go wrong saving or loading a bundle.
+#[derive(Debug)]
+pub enum BundleError {
+    Io(PathBuf, io::Error),
+    /// Manifest or model JSON failed to parse.
+    Json(PathBuf, String),
+    /// The bundle was written by an incompatible format version.
+    Version {
+        found: u32,
+        supported: u32,
+    },
+    /// An artifact's on-disk size disagrees with the manifest.
+    Truncated {
+        file: PathBuf,
+        expected: u64,
+        found: u64,
+    },
+    /// A loaded model's kind disagrees with its manifest entry.
+    KindMismatch {
+        problem: Problem,
+        manifest: ModelKind,
+        loaded: ModelKind,
+    },
+    /// A model that cannot be persisted (e.g. `opt`) was handed to
+    /// [`save_bundle`].
+    NotPersistable(&'static str),
+    /// The manifest lists the same problem twice.
+    DuplicateProblem(Problem),
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            BundleError::Json(p, e) => write!(f, "{}: {e}", p.display()),
+            BundleError::Version { found, supported } => {
+                write!(
+                    f,
+                    "bundle format v{found} unsupported (this build reads v{supported})"
+                )
+            }
+            BundleError::Truncated {
+                file,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{}: truncated artifact ({found} bytes on disk, manifest says {expected})",
+                file.display()
+            ),
+            BundleError::KindMismatch {
+                problem,
+                manifest,
+                loaded,
+            } => write!(
+                f,
+                "{problem}: manifest says {}, artifact holds {}",
+                manifest.name(),
+                loaded.name()
+            ),
+            BundleError::NotPersistable(name) => {
+                write!(f, "model `{name}` cannot be bundled")
+            }
+            BundleError::DuplicateProblem(p) => write!(f, "problem {p} listed twice"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl From<PersistError> for BundleError {
+    fn from(e: PersistError) -> BundleError {
+        match e {
+            PersistError::NotPersistable(name) => BundleError::NotPersistable(name),
+            PersistError::Json(err) => BundleError::Json(PathBuf::new(), err.to_string()),
+        }
+    }
+}
+
+/// A bundle loaded into memory, ready to serve.
+#[derive(Debug)]
+pub struct Bundle {
+    pub manifest: BundleManifest,
+    models: HashMap<Problem, TrainedModel>,
+}
+
+impl Bundle {
+    /// The model serving `problem`, if the bundle carries one.
+    pub fn model(&self, problem: Problem) -> Option<&TrainedModel> {
+        self.models.get(&problem)
+    }
+
+    /// Problems this bundle can answer, in manifest order.
+    pub fn problems(&self) -> Vec<Problem> {
+        self.manifest.entries.iter().map(|e| e.problem).collect()
+    }
+}
+
+fn write_atomic(path: &Path, contents: &str) -> Result<(), BundleError> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents).map_err(|e| BundleError::Io(tmp.clone(), e))?;
+    std::fs::rename(&tmp, path).map_err(|e| BundleError::Io(path.to_path_buf(), e))
+}
+
+/// Save `(problem, model)` pairs as a bundle under `dir` (created if
+/// missing). Model files land first (each atomically), `manifest.json`
+/// last — the manifest is the commit point.
+pub fn save_bundle(
+    dir: &Path,
+    name: &str,
+    seed: u64,
+    models: &[(Problem, &TrainedModel)],
+) -> Result<BundleManifest, BundleError> {
+    std::fs::create_dir_all(dir).map_err(|e| BundleError::Io(dir.to_path_buf(), e))?;
+    let mut entries = Vec::with_capacity(models.len());
+    let mut seen: Vec<Problem> = Vec::new();
+    for (problem, model) in models {
+        if seen.contains(problem) {
+            return Err(BundleError::DuplicateProblem(*problem));
+        }
+        seen.push(*problem);
+        let json = model.save_json()?;
+        let file = format!("{}.json", problem.name());
+        write_atomic(&dir.join(&file), &json)?;
+        entries.push(ManifestEntry {
+            problem: *problem,
+            kind: model.kind,
+            file,
+            bytes: json.len() as u64,
+        });
+    }
+    let manifest = BundleManifest {
+        format_version: FORMAT_VERSION,
+        name: name.to_string(),
+        seed,
+        entries,
+    };
+    let manifest_json = serde_json::to_string_pretty(&manifest)
+        .map_err(|e| BundleError::Json(dir.join(MANIFEST_FILE), e.to_string()))?;
+    write_atomic(&dir.join(MANIFEST_FILE), &manifest_json)?;
+    Ok(manifest)
+}
+
+/// Load and validate a bundle from `dir`: manifest parses, format version
+/// matches, every artifact is present with the manifest's exact byte
+/// count, parses as a model, and holds the model kind the manifest claims.
+pub fn load_bundle(dir: &Path) -> Result<Bundle, BundleError> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let manifest_json = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| BundleError::Io(manifest_path.clone(), e))?;
+    let manifest: BundleManifest = serde_json::from_str(&manifest_json)
+        .map_err(|e| BundleError::Json(manifest_path.clone(), e.to_string()))?;
+    if manifest.format_version != FORMAT_VERSION {
+        return Err(BundleError::Version {
+            found: manifest.format_version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let mut models = HashMap::with_capacity(manifest.entries.len());
+    for entry in &manifest.entries {
+        if models.contains_key(&entry.problem) {
+            return Err(BundleError::DuplicateProblem(entry.problem));
+        }
+        let path = dir.join(&entry.file);
+        let json = std::fs::read_to_string(&path).map_err(|e| BundleError::Io(path.clone(), e))?;
+        if json.len() as u64 != entry.bytes {
+            return Err(BundleError::Truncated {
+                file: path,
+                expected: entry.bytes,
+                found: json.len() as u64,
+            });
+        }
+        let model = TrainedModel::load_json(&json)
+            .map_err(|e| BundleError::Json(path.clone(), e.to_string()))?;
+        if model.kind != entry.kind {
+            return Err(BundleError::KindMismatch {
+                problem: entry.problem,
+                manifest: entry.kind,
+                loaded: model.kind,
+            });
+        }
+        models.insert(entry.problem, model);
+    }
+    Ok(Bundle { manifest, models })
+}

@@ -1,0 +1,287 @@
+//! Sharded LRU prediction cache.
+//!
+//! Keys are `(problem, normalized statement)`; values carry the bundle
+//! generation they were computed under, so a hot-swap implicitly
+//! invalidates every stale entry (checked on read — no global flush, no
+//! reader stall). Sharding by key hash keeps lock contention bounded
+//! under many server workers.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sqlan_core::Problem;
+
+use crate::scoring::Prediction;
+
+/// Collapse whitespace runs outside quoted regions to a single space and
+/// trim the ends.
+///
+/// Both tokenizers (`char_tokens`, `word_tokens`) drop whitespace, and
+/// the SQL lexer treats it only as a separator — *except inside `'...'`
+/// string literals and `"..."` quoted identifiers*, whose exact text can
+/// reach the `opt` baseline's catalog estimates. So two statements
+/// sharing a normalized form are guaranteed the same prediction from
+/// every model family, which is the correctness contract a cache key
+/// must honor.
+pub fn normalize_statement(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut quote: Option<char> = None;
+    let mut pending_space = false;
+    for c in text.chars() {
+        if let Some(q) = quote {
+            out.push(c);
+            if c == q {
+                // A doubled quote re-enters the region at the next quote
+                // char; treating it as leave-then-enter preserves bytes
+                // either way.
+                quote = None;
+            }
+            continue;
+        }
+        if c.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space && !out.is_empty() {
+            out.push(' ');
+        }
+        pending_space = false;
+        out.push(c);
+        if c == '\'' || c == '"' {
+            quote = Some(c);
+        }
+    }
+    out
+}
+
+#[derive(Debug)]
+struct Entry {
+    generation: u64,
+    prediction: Prediction,
+    /// Last-touch stamp from the shard's logical clock.
+    stamp: u64,
+}
+
+/// Position of a problem in [`Shard::maps`].
+fn problem_idx(p: Problem) -> usize {
+    Problem::ALL
+        .iter()
+        .position(|&q| q == p)
+        .expect("Problem::ALL is exhaustive")
+}
+
+/// One map per problem, keyed by normalized statement alone, so lookups
+/// borrow the `&str` key — no per-`get` allocation on the hot path.
+#[derive(Debug, Default)]
+struct Shard {
+    maps: [HashMap<String, Entry>; 4],
+    clock: u64,
+}
+
+/// Entries sampled per eviction. Eviction picks the oldest stamp among a
+/// bounded sample of the shard (Redis-style approximate LRU), so inserts
+/// at capacity stay O(1) instead of scanning the whole shard under its
+/// lock. For shards at or below the sample size the scan is total, so
+/// eviction is *exact* LRU there (which keeps small-cache behavior, and
+/// the unit tests, deterministic).
+const EVICTION_SAMPLE: usize = 8;
+
+impl Shard {
+    fn len(&self) -> usize {
+        self.maps.iter().map(HashMap::len).sum()
+    }
+
+    /// Evict an approximately least-recently-used entry (see
+    /// [`EVICTION_SAMPLE`]): sample a bounded prefix of every problem's
+    /// map and drop the oldest stamp found. `HashMap` iteration order
+    /// varies, which is exactly what makes a bounded prefix an
+    /// unbiased-enough sample.
+    fn evict_one(&mut self) {
+        let victim = self
+            .maps
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, m)| m.iter().take(EVICTION_SAMPLE).map(move |(k, e)| (pi, k, e)))
+            .min_by_key(|(_, _, e)| e.stamp)
+            .map(|(pi, k, _)| (pi, k.clone()));
+        if let Some((pi, key)) = victim {
+            self.maps[pi].remove(&key);
+        }
+    }
+}
+
+/// Sharded LRU cache of predictions.
+#[derive(Debug)]
+pub struct PredictionCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PredictionCache {
+    /// `capacity` entries total across `shards` shards (each shard gets an
+    /// equal slice, at least 1). `capacity == 0` disables caching.
+    pub fn new(capacity: usize, shards: usize) -> PredictionCache {
+        let shards = shards.max(1);
+        PredictionCache {
+            per_shard_capacity: if capacity == 0 {
+                0
+            } else {
+                capacity.div_ceil(shards).max(1)
+            },
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, problem: Problem, normalized: &str) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        problem.hash(&mut h);
+        normalized.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up a prediction computed under `generation`. Entries from any
+    /// other generation miss (and are dropped lazily on overwrite).
+    pub fn get(&self, problem: Problem, normalized: &str, generation: u64) -> Option<Prediction> {
+        if self.per_shard_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self
+            .shard_for(problem, normalized)
+            .lock()
+            .expect("cache shard poisoned");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        match shard.maps[problem_idx(problem)].get_mut(normalized) {
+            Some(e) if e.generation == generation => {
+                e.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.prediction.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a prediction computed under `generation`, evicting the
+    /// shard's least-recently-used entry at capacity.
+    pub fn put(&self, problem: Problem, normalized: String, generation: u64, p: Prediction) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self
+            .shard_for(problem, &normalized)
+            .lock()
+            .expect("cache shard poisoned");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if !shard.maps[problem_idx(problem)].contains_key(&normalized)
+            && shard.len() >= self.per_shard_capacity
+        {
+            shard.evict_one();
+        }
+        shard.maps[problem_idx(problem)].insert(
+            normalized,
+            Entry {
+                generation,
+                prediction: p,
+                stamp,
+            },
+        );
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Entries currently cached (across all shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(v: f64) -> Prediction {
+        Prediction {
+            class: None,
+            proba: None,
+            value: Some(v),
+        }
+    }
+
+    #[test]
+    fn normalization_collapses_outside_literals_only() {
+        assert_eq!(
+            normalize_statement("  SELECT   x\n FROM\tt  "),
+            "SELECT x FROM t"
+        );
+        assert_eq!(
+            normalize_statement("SELECT 'a   b'  FROM t"),
+            "SELECT 'a   b' FROM t"
+        );
+        assert_eq!(
+            normalize_statement("SELECT  \"My   Col\" FROM \"My  Table\""),
+            "SELECT \"My   Col\" FROM \"My  Table\""
+        );
+        assert_eq!(normalize_statement(""), "");
+        assert_eq!(normalize_statement("   "), "");
+    }
+
+    #[test]
+    fn hit_after_put_same_generation_only() {
+        let c = PredictionCache::new(16, 4);
+        c.put(Problem::CpuTime, "q".into(), 1, pred(2.0));
+        assert!(c.get(Problem::CpuTime, "q", 1).is_some());
+        // Different generation, different problem, different key: misses.
+        assert!(c.get(Problem::CpuTime, "q", 2).is_none());
+        assert!(c.get(Problem::AnswerSize, "q", 1).is_none());
+        assert!(c.get(Problem::CpuTime, "other", 1).is_none());
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (1, 3));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard() {
+        let c = PredictionCache::new(2, 1); // one shard, two entries
+        c.put(Problem::CpuTime, "a".into(), 1, pred(1.0));
+        c.put(Problem::CpuTime, "b".into(), 1, pred(2.0));
+        // Touch "a" so "b" is the LRU.
+        assert!(c.get(Problem::CpuTime, "a", 1).is_some());
+        c.put(Problem::CpuTime, "c".into(), 1, pred(3.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(Problem::CpuTime, "a", 1).is_some());
+        assert!(c.get(Problem::CpuTime, "b", 1).is_none());
+        assert!(c.get(Problem::CpuTime, "c", 1).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = PredictionCache::new(0, 4);
+        c.put(Problem::CpuTime, "a".into(), 1, pred(1.0));
+        assert!(c.get(Problem::CpuTime, "a", 1).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! A minimal HTTP/1.1 implementation on `std::net` — request parsing,
+//! keep-alive, and JSON responses. No network dependencies, consistent
+//! with the workspace's offline compat-shim policy.
+//!
+//! Supported surface (all this service needs): request line + headers,
+//! `Content-Length` bodies, `Connection: close`/`keep-alive`, and JSON
+//! responses with correct `Content-Length`. Requests beyond the size
+//! bounds are rejected rather than buffered.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum request-head (request line + headers) bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Clean end of stream before a request started — connection done.
+    Eof,
+    Io(io::Error),
+    /// Malformed request head → 400.
+    Malformed(&'static str),
+    /// Head or body over the size bound → 431/413.
+    TooLarge(&'static str),
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> ParseError {
+        ParseError::Io(e)
+    }
+}
+
+/// Read one request from a keep-alive connection. `max_body` bounds the
+/// accepted `Content-Length`.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, ParseError> {
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+    // Request line (tolerate a leading blank line, per RFC 7230 §3.5).
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ParseError::Eof);
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge("request head"));
+        }
+        if !line.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing method"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing path"))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = !version.ends_with("1.0");
+
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ParseError::Malformed("eof in headers"));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge("request head"));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(ParseError::Malformed("header without colon"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ParseError::Malformed("bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(ParseError::TooLarge("request body"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a JSON response. `keep_alive` controls the `Connection` header;
+/// the caller decides whether to actually reuse the stream.
+pub fn write_json_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    // One buffer, one write: head and body in the same segment, so a
+    // Nagle + delayed-ACK interaction can never stall the response.
+    let mut response = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        status_text(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    response.push_str(body);
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trip a raw request through a local socket pair.
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(raw.as_bytes()).expect("write");
+        drop(client); // half-close: server sees EOF after the payload
+        let (server, _) = listener.accept().expect("accept");
+        read_request(&mut BufReader::new(server), 1 << 20)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse("POST /predict HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd").expect("parse");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/predict");
+        assert_eq!(r.body, b"abcd");
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_and_http10() {
+        let r = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parse");
+        assert!(!r.keep_alive);
+        let r = parse("GET /healthz HTTP/1.0\r\n\r\n").expect("parse");
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn eof_before_request_is_eof() {
+        assert!(matches!(parse(""), Err(ParseError::Eof)));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = "POST /predict HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n";
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(raw.as_bytes()).expect("write");
+        let (server, _) = listener.accept().expect("accept");
+        let got = read_request(&mut BufReader::new(server), 1024);
+        assert!(matches!(got, Err(ParseError::TooLarge(_))));
+    }
+
+    #[test]
+    fn malformed_header_rejected() {
+        let got = parse("GET / HTTP/1.1\r\nbroken header line\r\n\r\n");
+        assert!(matches!(got, Err(ParseError::Malformed(_))));
+    }
+}

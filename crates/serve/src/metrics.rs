@@ -1,0 +1,109 @@
+//! Service counters and the `/metrics` snapshot.
+//!
+//! Counters are lock-free atomics; request latencies go into a fixed-size
+//! ring (last `RING_CAPACITY` requests) that `/metrics` snapshots and
+//! summarizes with [`sqlan_metrics::LatencySummary`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use sqlan_metrics::LatencySummary;
+
+/// Latency samples retained for percentile estimation.
+const RING_CAPACITY: usize = 8192;
+
+#[derive(Debug)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+/// Live counters for one server instance.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    started: Instant,
+    /// All HTTP requests, any route.
+    pub http_requests: AtomicU64,
+    /// `POST /predict` requests answered 200.
+    pub predict_requests: AtomicU64,
+    /// Statements scored across all 200 responses.
+    pub statements: AtomicU64,
+    /// Requests shed with 503.
+    pub shed: AtomicU64,
+    /// 4xx responses (bad JSON, unknown routes/problems).
+    pub client_errors: AtomicU64,
+    latencies_us: Mutex<LatencyRing>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> ServeMetrics {
+        ServeMetrics {
+            started: Instant::now(),
+            http_requests: AtomicU64::new(0),
+            predict_requests: AtomicU64::new(0),
+            statements: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            latencies_us: Mutex::new(LatencyRing {
+                samples: Vec::with_capacity(RING_CAPACITY),
+                next: 0,
+            }),
+        }
+    }
+}
+
+impl ServeMetrics {
+    /// Record one served `/predict` request.
+    pub fn observe_predict(&self, statements: u64, latency_us: u64) {
+        self.predict_requests.fetch_add(1, Ordering::Relaxed);
+        self.statements.fetch_add(statements, Ordering::Relaxed);
+        let mut ring = self.latencies_us.lock().expect("latency ring poisoned");
+        if ring.samples.len() < RING_CAPACITY {
+            ring.samples.push(latency_us);
+        } else {
+            let i = ring.next;
+            ring.samples[i] = latency_us;
+        }
+        ring.next = (ring.next + 1) % RING_CAPACITY;
+    }
+
+    /// Summarize the retained latency window.
+    pub fn latency_summary(&self) -> LatencySummary {
+        let ring = self.latencies_us.lock().expect("latency ring poisoned");
+        LatencySummary::from_micros(&ring.samples)
+    }
+
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// The JSON body `/metrics` returns (also consumed by `bench_serve`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub uptime_s: f64,
+    pub generation: u64,
+    pub http_requests: u64,
+    pub predict_requests: u64,
+    pub statements: u64,
+    pub shed: u64,
+    pub client_errors: u64,
+    /// Scored statements per second of uptime.
+    pub statement_qps: f64,
+    /// Served predict requests per second of uptime.
+    pub request_qps: f64,
+    pub latency: LatencySummary,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// hits / (hits + misses), 0 when nothing has been looked up.
+    pub cache_hit_rate: f64,
+    pub cache_entries: u64,
+    pub batches: u64,
+    pub batched_statements: u64,
+    /// batched_statements / batches — the achieved micro-batch size.
+    pub mean_batch: f64,
+    pub max_batch: u64,
+    pub queue_depth: u64,
+}

@@ -1,0 +1,77 @@
+//! The model registry: which bundle is live, with atomic hot-swap.
+//!
+//! Readers call [`ModelRegistry::current`], which clones an `Arc` under a
+//! briefly-held read lock — they never wait on a reload. A reload parses
+//! and validates the whole new bundle *before* taking the write lock; the
+//! lock is held only for the pointer swap, so in-flight scoring keeps
+//! using the old generation until it drops its `Arc` and the old bundle
+//! frees itself when the last reader finishes.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+use crate::bundle::{load_bundle, Bundle, BundleError};
+
+/// A live, immutable, generation-stamped bundle.
+#[derive(Debug)]
+pub struct LiveBundle {
+    /// Monotonic reload counter: generation 1 is the bundle the registry
+    /// opened with, each successful reload increments it.
+    pub generation: u64,
+    /// Directory the bundle was loaded from.
+    pub dir: PathBuf,
+    pub bundle: Bundle,
+}
+
+/// Registry handing out the current [`LiveBundle`] and swapping in new
+/// ones without blocking readers.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    current: RwLock<Arc<LiveBundle>>,
+}
+
+impl ModelRegistry {
+    /// Open the registry on the bundle at `dir` (generation 1).
+    pub fn open(dir: &Path) -> Result<ModelRegistry, BundleError> {
+        let bundle = load_bundle(dir)?;
+        Ok(ModelRegistry {
+            current: RwLock::new(Arc::new(LiveBundle {
+                generation: 1,
+                dir: dir.to_path_buf(),
+                bundle,
+            })),
+        })
+    }
+
+    /// The live bundle. Cheap (one `Arc` clone under a read lock);
+    /// callers hold the returned `Arc` for as long as they score against
+    /// it, pinning that generation even across a concurrent reload.
+    pub fn current(&self) -> Arc<LiveBundle> {
+        Arc::clone(&self.current.read().expect("registry lock poisoned"))
+    }
+
+    /// The live generation number (same cheap read lock as
+    /// [`ModelRegistry::current`]).
+    pub fn generation(&self) -> u64 {
+        self.current
+            .read()
+            .expect("registry lock poisoned")
+            .generation
+    }
+
+    /// Load the bundle at `dir`, validate it, and atomically swap it in.
+    /// On any error the previous bundle stays live. Returns the new
+    /// generation.
+    pub fn reload(&self, dir: &Path) -> Result<u64, BundleError> {
+        // All I/O and validation happens before the write lock.
+        let bundle = load_bundle(dir)?;
+        let mut slot = self.current.write().expect("registry lock poisoned");
+        let generation = slot.generation + 1;
+        *slot = Arc::new(LiveBundle {
+            generation,
+            dir: dir.to_path_buf(),
+            bundle,
+        });
+        Ok(generation)
+    }
+}

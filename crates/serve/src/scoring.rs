@@ -1,0 +1,395 @@
+//! The batched scoring engine.
+//!
+//! Requests are admitted into a bounded micro-batching queue; scoring
+//! workers drain up to `max_batch` statements for one problem (waiting at
+//! most `max_wait` for stragglers to fill the batch) and score them in a
+//! single `predict_*_batch` call — which internally fans out across the
+//! [`sqlan_par`] pool. A full queue sheds the request instead of queueing
+//! unbounded work ([`ScoreError::Saturated`] → HTTP 503 upstream).
+//!
+//! The cache sits in front of the queue: hits answer immediately from the
+//! sharded LRU ([`crate::cache::PredictionCache`]); only misses are
+//! queued, and workers populate the cache under the generation they
+//! scored with, so a hot-swapped bundle never serves stale entries.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use sqlan_core::Problem;
+
+use crate::cache::{normalize_statement, PredictionCache};
+use crate::registry::{LiveBundle, ModelRegistry};
+
+/// One scored statement. Classification problems fill `class` + `proba`,
+/// regression problems fill `value` (log-label space, matching
+/// `TrainedModel::predict_value`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    pub class: Option<usize>,
+    pub proba: Option<Vec<f32>>,
+    pub value: Option<f64>,
+}
+
+/// A scored request: the predictions plus the bundle generation that
+/// produced them (the generation the request was *admitted* under —
+/// jobs pin that bundle even across a concurrent hot swap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredBatch {
+    pub generation: u64,
+    pub predictions: Vec<Prediction>,
+}
+
+/// Why a scoring request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScoreError {
+    /// The queue is full — shed instead of queueing unbounded work.
+    Saturated,
+    /// The live bundle has no model for this problem.
+    UnknownProblem(Problem),
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScoreError::Saturated => f.write_str("scoring queue saturated"),
+            ScoreError::UnknownProblem(p) => write!(f, "no model for problem `{p}`"),
+            ScoreError::ShuttingDown => f.write_str("engine shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+/// Micro-batching and cache knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoringConfig {
+    /// Scoring worker threads. `0` scores inline on the caller thread
+    /// (no queue — useful for tests and single-tenant embedding).
+    pub workers: usize,
+    /// Statements per scoring batch.
+    pub max_batch: usize,
+    /// How long a worker holds a non-full batch open for stragglers.
+    pub max_wait: Duration,
+    /// Queued-statement bound; admission beyond it sheds the request.
+    pub queue_capacity: usize,
+    /// Total prediction-cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Cache shard count.
+    pub cache_shards: usize,
+}
+
+impl Default for ScoringConfig {
+    fn default() -> ScoringConfig {
+        ScoringConfig {
+            workers: 2,
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 4096,
+            cache_capacity: 65_536,
+            cache_shards: 16,
+        }
+    }
+}
+
+struct Job {
+    problem: Problem,
+    normalized: String,
+    /// The bundle the job was admitted against. Scoring uses exactly
+    /// this bundle, so a concurrent hot swap to one *without* the
+    /// problem can never strand the job (admission already validated
+    /// it here), and the cache entry lands under the right generation.
+    live: Arc<LiveBundle>,
+    /// Caller's scatter index and reply channel.
+    index: usize,
+    reply: mpsc::Sender<(usize, Prediction)>,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("problem", &self.problem)
+            .field("index", &self.index)
+            .finish()
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct BatchStats {
+    /// Scoring batches executed.
+    pub batches: AtomicU64,
+    /// Statements scored through batches (batched_statements / batches =
+    /// achieved batch size).
+    pub statements: AtomicU64,
+    /// Largest batch observed.
+    pub max_batch: AtomicU64,
+}
+
+/// The engine: cache → queue → scoring workers.
+#[derive(Debug)]
+pub struct ScoringEngine {
+    registry: Arc<ModelRegistry>,
+    cache: PredictionCache,
+    cfg: ScoringConfig,
+    queue: Mutex<VecDeque<Job>>,
+    /// Signals workers (new work / shutdown).
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    pub batch_stats: BatchStats,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ScoringEngine {
+    /// Build the engine and spawn its scoring workers.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: ScoringConfig) -> Arc<ScoringEngine> {
+        let engine = Arc::new(ScoringEngine {
+            registry,
+            cache: PredictionCache::new(cfg.cache_capacity, cfg.cache_shards),
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            batch_stats: BatchStats::default(),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let e = Arc::clone(&engine);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sqlan-score-{i}"))
+                    .spawn(move || e.worker_loop())
+                    .expect("spawn scoring worker"),
+            );
+        }
+        *engine.workers.lock().expect("workers lock") = handles;
+        engine
+    }
+
+    /// The registry this engine scores against.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The prediction cache (for metrics).
+    pub fn cache(&self) -> &PredictionCache {
+        &self.cache
+    }
+
+    /// Statements currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("queue lock").len()
+    }
+
+    /// Score `statements` for `problem`: cache hits answer immediately,
+    /// misses ride the micro-batching queue. Results come back in input
+    /// order, stamped with the generation that scored them. Sheds
+    /// (without enqueueing anything) if the misses would overflow the
+    /// queue.
+    pub fn score(
+        &self,
+        problem: Problem,
+        statements: &[String],
+    ) -> Result<ScoredBatch, ScoreError> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(ScoreError::ShuttingDown);
+        }
+        let live = self.registry.current();
+        if live.bundle.model(problem).is_none() {
+            return Err(ScoreError::UnknownProblem(problem));
+        }
+        let generation = live.generation;
+
+        let normalized: Vec<String> = statements.iter().map(|s| normalize_statement(s)).collect();
+        let mut out: Vec<Option<Prediction>> = vec![None; statements.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, n) in normalized.iter().enumerate() {
+            // Duplicate statements within one request dedup through the
+            // cache only if an earlier batch already stored them; within
+            // this request each occurrence is scored (identical inputs
+            // produce identical outputs, so semantics are unaffected).
+            match self.cache.get(problem, n, generation) {
+                Some(p) => out[i] = Some(p),
+                None => misses.push(i),
+            }
+        }
+
+        if !misses.is_empty() {
+            if self.cfg.workers == 0 {
+                // Inline path: one batch call on the caller thread.
+                let stmts: Vec<String> = misses.iter().map(|&i| normalized[i].clone()).collect();
+                let preds = self.score_batch_now(&live, problem, &stmts);
+                for (&i, p) in misses.iter().zip(preds) {
+                    out[i] = Some(p);
+                }
+            } else {
+                let (tx, rx) = mpsc::channel();
+                {
+                    let mut q = self.queue.lock().expect("queue lock");
+                    // Re-checked under the queue lock: `shutdown()` joins
+                    // workers after setting the flag, so a store observed
+                    // here means no worker will ever drain jobs we would
+                    // push — without this check a racing caller could
+                    // enqueue past a completed shutdown and block on
+                    // `recv` forever.
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return Err(ScoreError::ShuttingDown);
+                    }
+                    if q.len() + misses.len() > self.cfg.queue_capacity {
+                        return Err(ScoreError::Saturated);
+                    }
+                    for &i in &misses {
+                        q.push_back(Job {
+                            problem,
+                            normalized: normalized[i].clone(),
+                            live: Arc::clone(&live),
+                            index: i,
+                            reply: tx.clone(),
+                        });
+                    }
+                }
+                self.work_ready.notify_all();
+                drop(tx);
+                for _ in 0..misses.len() {
+                    let (i, p) = rx.recv().map_err(|_| ScoreError::ShuttingDown)?;
+                    out[i] = Some(p);
+                }
+            }
+        }
+        Ok(ScoredBatch {
+            generation,
+            predictions: out
+                .into_iter()
+                .map(|p| p.expect("every slot filled"))
+                .collect(),
+        })
+    }
+
+    /// Score one batch against the bundle it was admitted under and
+    /// populate the cache for that generation.
+    fn score_batch_now(
+        &self,
+        live: &LiveBundle,
+        problem: Problem,
+        normalized: &[String],
+    ) -> Vec<Prediction> {
+        let model = live
+            .bundle
+            .model(problem)
+            .expect("admission validated the problem against this same bundle");
+        let preds: Vec<Prediction> = if problem.is_classification() {
+            let proba = model.predict_proba_batch(normalized);
+            proba
+                .into_iter()
+                .map(|p| Prediction {
+                    class: Some(sqlan_ml::argmax(&p)),
+                    proba: Some(p),
+                    value: None,
+                })
+                .collect()
+        } else {
+            model
+                .predict_value_batch(normalized)
+                .into_iter()
+                .map(|v| Prediction {
+                    class: None,
+                    proba: None,
+                    value: Some(v),
+                })
+                .collect()
+        };
+        let n = normalized.len() as u64;
+        self.batch_stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_stats.statements.fetch_add(n, Ordering::Relaxed);
+        self.batch_stats.max_batch.fetch_max(n, Ordering::Relaxed);
+        for (s, p) in normalized.iter().zip(&preds) {
+            self.cache
+                .put(problem, s.clone(), live.generation, p.clone());
+        }
+        preds
+    }
+
+    /// Worker: pop the oldest job, hold the batch open (up to `max_wait`)
+    /// for more jobs of the same problem, score, reply. Jobs for other
+    /// problems stay queued in order — FIFO across problems, batching
+    /// within one.
+    fn worker_loop(&self) {
+        loop {
+            let batch: Vec<Job> = {
+                let mut q = self.queue.lock().expect("queue lock");
+                loop {
+                    if !q.is_empty() {
+                        break;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    q = self
+                        .work_ready
+                        .wait_timeout(q, Duration::from_millis(50))
+                        .expect("queue lock")
+                        .0;
+                }
+                let first = q.pop_front().expect("non-empty");
+                let problem = first.problem;
+                let live = Arc::clone(&first.live);
+                let same = |j: &Job| j.problem == problem && Arc::ptr_eq(&j.live, &live);
+                let mut batch = vec![first];
+                let deadline = Instant::now() + self.cfg.max_wait;
+                loop {
+                    while batch.len() < self.cfg.max_batch && q.front().map(&same).unwrap_or(false)
+                    {
+                        batch.push(q.pop_front().expect("front checked"));
+                    }
+                    if batch.len() >= self.cfg.max_batch || self.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timed_out) = self
+                        .work_ready
+                        .wait_timeout(q, deadline - now)
+                        .expect("queue lock");
+                    q = guard;
+                    if timed_out.timed_out() {
+                        // Drain anything that raced in, then close the batch.
+                        while batch.len() < self.cfg.max_batch
+                            && q.front().map(&same).unwrap_or(false)
+                        {
+                            batch.push(q.pop_front().expect("front checked"));
+                        }
+                        break;
+                    }
+                }
+                batch
+            };
+            let problem = batch[0].problem;
+            let live = Arc::clone(&batch[0].live);
+            let stmts: Vec<String> = batch.iter().map(|j| j.normalized.clone()).collect();
+            let preds = self.score_batch_now(&live, problem, &stmts);
+            for (job, pred) in batch.into_iter().zip(preds) {
+                // A dropped receiver (caller gave up) is fine.
+                let _ = job.reply.send((job.index, pred));
+            }
+        }
+    }
+
+    /// Stop accepting work, finish queued jobs, join workers.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.work_ready.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+        // Workers exit only on an empty queue; anything that raced in
+        // after the flag gets its sender dropped here, unblocking callers.
+        self.queue.lock().expect("queue lock").clear();
+    }
+}

@@ -1,0 +1,378 @@
+//! The HTTP front end: a thread-per-worker accept loop over
+//! `std::net::TcpListener` with keep-alive connections, routing to the
+//! scoring engine.
+//!
+//! | route            | body                                  | answer |
+//! |------------------|---------------------------------------|--------|
+//! | `POST /predict`  | `{"problem": "...", "statements": []}`| predictions + generation |
+//! | `GET /healthz`   | —                                     | status, generation, models |
+//! | `GET /metrics`   | —                                     | [`MetricsSnapshot`] |
+//! | `POST /reload`   | `{"dir": "..."}`                      | new generation (hot swap) |
+//!
+//! Saturation sheds with 503 (`{"error": ...}`), malformed input gets
+//! 400, oversized requests 413/431. Every worker owns one connection at
+//! a time; `workers` bounds concurrent connections and the OS backlog
+//! absorbs bursts.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use sqlan_core::Problem;
+
+use crate::http::{read_request, write_json_response, ParseError, Request};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::registry::ModelRegistry;
+use crate::scoring::{Prediction, ScoreError, ScoringConfig, ScoringEngine};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Connection-handling threads (one connection at a time each).
+    pub http_workers: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Idle keep-alive read timeout before the worker drops the
+    /// connection.
+    pub idle_timeout: Duration,
+    pub scoring: ScoringConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            http_workers: 4,
+            max_body_bytes: 1 << 20,
+            idle_timeout: Duration::from_secs(5),
+            scoring: ScoringConfig::default(),
+        }
+    }
+}
+
+/// `POST /predict` request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Problem wire name (`Problem::name`), e.g. `"error_classification"`.
+    pub problem: String,
+    pub statements: Vec<String>,
+}
+
+/// `POST /predict` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Bundle generation the request was admitted under — the one that
+    /// scored it: jobs pin their admitted bundle even across a
+    /// concurrent hot swap.
+    pub generation: u64,
+    pub predictions: Vec<Prediction>,
+}
+
+/// `POST /reload` request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReloadRequest {
+    pub dir: String,
+}
+
+/// `POST /reload` / error envelope bodies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReloadResponse {
+    pub generation: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    pub error: String,
+}
+
+/// `GET /healthz` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthResponse {
+    pub status: String,
+    pub generation: u64,
+    pub bundle: String,
+    /// Wire names of the problems the live bundle answers.
+    pub problems: Vec<String>,
+    /// Model kind per problem, same order.
+    pub models: Vec<String>,
+}
+
+/// A running server. Dropping the handle does NOT stop it; call
+/// [`ServerHandle::shutdown`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<ScoringEngine>,
+    metrics: Arc<ServeMetrics>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn engine(&self) -> &Arc<ScoringEngine> {
+        &self.engine
+    }
+
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// Stop accepting, wake blocked acceptors, drain scoring, join all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // One wake-up connection per acceptor thread unblocks `accept`.
+        for _ in 0..self.threads.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.engine.shutdown();
+    }
+}
+
+/// Start a server: bind, spawn scoring workers and HTTP workers, return
+/// immediately.
+pub fn start(registry: Arc<ModelRegistry>, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let engine = ScoringEngine::start(Arc::clone(&registry), cfg.scoring);
+    let metrics = Arc::new(ServeMetrics::default());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut threads = Vec::with_capacity(cfg.http_workers.max(1));
+    for i in 0..cfg.http_workers.max(1) {
+        let listener = listener.try_clone()?;
+        let engine = Arc::clone(&engine);
+        let metrics = Arc::clone(&metrics);
+        let stop = Arc::clone(&stop);
+        let cfg = cfg.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("sqlan-http-{i}"))
+                .spawn(move || loop {
+                    let (stream, _) = match listener.accept() {
+                        Ok(conn) => conn,
+                        Err(_) => {
+                            // Persistent accept errors (e.g. EMFILE under
+                            // fd exhaustion) must not busy-spin the
+                            // worker; back off briefly and re-check stop.
+                            if stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                            continue;
+                        }
+                    };
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let _ = handle_connection(stream, &engine, &metrics, &stop, &cfg);
+                })
+                .expect("spawn http worker"),
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        engine,
+        metrics,
+        stop,
+        threads,
+    })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &ScoringEngine,
+    metrics: &ServeMetrics,
+    stop: &AtomicBool,
+    cfg: &ServeConfig,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(cfg.idle_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader, cfg.max_body_bytes) {
+            Ok(req) => req,
+            Err(ParseError::Eof) | Err(ParseError::Io(_)) => return Ok(()),
+            Err(ParseError::Malformed(what)) => {
+                metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+                let body = error_body(&format!("malformed request: {what}"));
+                return write_json_response(&mut writer, 400, &body, false);
+            }
+            Err(ParseError::TooLarge(what)) => {
+                metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+                let status = if what == "request body" { 413 } else { 431 };
+                let body = error_body(&format!("{what} too large"));
+                return write_json_response(&mut writer, status, &body, false);
+            }
+        };
+        metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = req.keep_alive && !stop.load(Ordering::Acquire);
+        let (status, body) = route(&req, engine, metrics);
+        if (400..500).contains(&status) {
+            metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+        } else if status == 503 {
+            metrics.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        write_json_response(&mut writer, status, &body, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    serde_json::to_string(&ErrorResponse {
+        error: message.to_string(),
+    })
+    .expect("error body serializes")
+}
+
+fn route(req: &Request, engine: &ScoringEngine, metrics: &ServeMetrics) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/predict") => predict(req, engine, metrics),
+        ("GET", "/healthz") => healthz(engine),
+        ("GET", "/metrics") => metrics_route(engine, metrics),
+        ("POST", "/reload") => reload(req, engine),
+        ("GET", _) | ("POST", _) => (404, error_body("no such route")),
+        _ => (405, error_body("method not allowed")),
+    }
+}
+
+fn predict(req: &Request, engine: &ScoringEngine, metrics: &ServeMetrics) -> (u16, String) {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return (400, error_body("body is not UTF-8"));
+    };
+    let parsed: Result<PredictRequest, _> = serde_json::from_str(text);
+    let request = match parsed {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(&format!("bad predict request: {e}"))),
+    };
+    let Some(problem) = Problem::from_name(&request.problem) else {
+        return (
+            400,
+            error_body(&format!("unknown problem `{}`", request.problem)),
+        );
+    };
+    let start = Instant::now();
+    match engine.score(problem, &request.statements) {
+        Ok(scored) => {
+            metrics.observe_predict(
+                request.statements.len() as u64,
+                start.elapsed().as_micros() as u64,
+            );
+            let body = PredictResponse {
+                generation: scored.generation,
+                predictions: scored.predictions,
+            };
+            (
+                200,
+                serde_json::to_string(&body).expect("response serializes"),
+            )
+        }
+        Err(ScoreError::Saturated) => (503, error_body("scoring queue saturated")),
+        Err(ScoreError::ShuttingDown) => (503, error_body("shutting down")),
+        Err(e @ ScoreError::UnknownProblem(_)) => (400, error_body(&e.to_string())),
+    }
+}
+
+fn healthz(engine: &ScoringEngine) -> (u16, String) {
+    let live = engine.registry().current();
+    let body = HealthResponse {
+        status: "ok".to_string(),
+        generation: live.generation,
+        bundle: live.bundle.manifest.name.clone(),
+        problems: live
+            .bundle
+            .manifest
+            .entries
+            .iter()
+            .map(|e| e.problem.name().to_string())
+            .collect(),
+        models: live
+            .bundle
+            .manifest
+            .entries
+            .iter()
+            .map(|e| e.kind.name().to_string())
+            .collect(),
+    };
+    (
+        200,
+        serde_json::to_string(&body).expect("health serializes"),
+    )
+}
+
+fn metrics_route(engine: &ScoringEngine, metrics: &ServeMetrics) -> (u16, String) {
+    let (hits, misses) = engine.cache().stats();
+    let uptime = metrics.uptime_s().max(1e-9);
+    let statements = metrics.statements.load(Ordering::Relaxed);
+    let predict_requests = metrics.predict_requests.load(Ordering::Relaxed);
+    let batches = engine.batch_stats.batches.load(Ordering::Relaxed);
+    let batched = engine.batch_stats.statements.load(Ordering::Relaxed);
+    let snapshot = MetricsSnapshot {
+        uptime_s: uptime,
+        generation: engine.registry().generation(),
+        http_requests: metrics.http_requests.load(Ordering::Relaxed),
+        predict_requests,
+        statements,
+        shed: metrics.shed.load(Ordering::Relaxed),
+        client_errors: metrics.client_errors.load(Ordering::Relaxed),
+        statement_qps: statements as f64 / uptime,
+        request_qps: predict_requests as f64 / uptime,
+        latency: metrics.latency_summary(),
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        cache_entries: engine.cache().len() as u64,
+        batches,
+        batched_statements: batched,
+        mean_batch: if batches == 0 {
+            0.0
+        } else {
+            batched as f64 / batches as f64
+        },
+        max_batch: engine.batch_stats.max_batch.load(Ordering::Relaxed),
+        queue_depth: engine.queue_depth() as u64,
+    };
+    (
+        200,
+        serde_json::to_string(&snapshot).expect("metrics serialize"),
+    )
+}
+
+fn reload(req: &Request, engine: &ScoringEngine) -> (u16, String) {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return (400, error_body("body is not UTF-8"));
+    };
+    let parsed: Result<ReloadRequest, _> = serde_json::from_str(text);
+    let request = match parsed {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(&format!("bad reload request: {e}"))),
+    };
+    match engine.registry().reload(Path::new(&request.dir)) {
+        Ok(generation) => (
+            200,
+            serde_json::to_string(&ReloadResponse { generation }).expect("reload serializes"),
+        ),
+        Err(e) => (400, error_body(&format!("reload failed: {e}"))),
+    }
+}

@@ -1,0 +1,213 @@
+//! Bundle save → load → registry hot-swap, plus every validation error
+//! path (truncation, corruption, version skew, kind mismatch).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sqlan_core::{train_model, Labels, ModelKind, Problem, Task, TrainConfig, TrainData};
+use sqlan_serve::bundle::{load_bundle, save_bundle, BundleError, MANIFEST_FILE};
+use sqlan_serve::ModelRegistry;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sqlan-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn toy() -> (Vec<String>, Vec<usize>, Vec<f64>) {
+    let mut xs = Vec::new();
+    let mut cls = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..60 {
+        let heavy = i % 3 == 0;
+        xs.push(if heavy {
+            format!("SELECT * FROM huge WHERE f(x) > {i}")
+        } else {
+            format!("SELECT 1 FROM small WHERE id = {i}")
+        });
+        cls.push(heavy as usize);
+        vals.push(if heavy { 4.0 } else { 1.0 });
+    }
+    (xs, cls, vals)
+}
+
+fn train_pair() -> (sqlan_core::TrainedModel, sqlan_core::TrainedModel) {
+    let (xs, cls, vals) = toy();
+    let cfg = TrainConfig::tiny();
+    let classifier = train_model(
+        ModelKind::WTfidf,
+        Task::Classify(2),
+        &TrainData {
+            statements: &xs[..40],
+            labels: Labels::Classes(&cls[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Classes(&cls[40..]),
+        },
+        &cfg,
+        None,
+    );
+    let regressor = train_model(
+        ModelKind::Median,
+        Task::Regress,
+        &TrainData {
+            statements: &xs[..40],
+            labels: Labels::Values(&vals[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Values(&vals[40..]),
+        },
+        &cfg,
+        None,
+    );
+    (classifier, regressor)
+}
+
+#[test]
+fn save_load_preserves_predictions_and_manifest() {
+    let dir = tmp_dir("roundtrip");
+    let (classifier, regressor) = train_pair();
+    let manifest = save_bundle(
+        &dir,
+        "toy",
+        7,
+        &[
+            (Problem::ErrorClassification, &classifier),
+            (Problem::AnswerSize, &regressor),
+        ],
+    )
+    .expect("save");
+    assert_eq!(manifest.entries.len(), 2);
+    assert_eq!(manifest.format_version, sqlan_serve::bundle::FORMAT_VERSION);
+
+    let bundle = load_bundle(&dir).expect("load");
+    let restored = bundle.model(Problem::ErrorClassification).expect("model");
+    let (xs, _, _) = toy();
+    for s in &xs {
+        assert_eq!(restored.predict_class(s), classifier.predict_class(s));
+        let (a, b) = (restored.predict_proba(s), classifier.predict_proba(s));
+        assert_eq!(
+            a.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+    }
+    let reg = bundle.model(Problem::AnswerSize).expect("regressor");
+    assert_eq!(
+        reg.predict_value(&xs[0]).to_bits(),
+        regressor.predict_value(&xs[0]).to_bits()
+    );
+    assert!(bundle.model(Problem::CpuTime).is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_manifest_means_no_bundle() {
+    let dir = tmp_dir("nomanifest");
+    assert!(matches!(load_bundle(&dir), Err(BundleError::Io(_, _))));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_artifact_is_rejected() {
+    let dir = tmp_dir("truncated");
+    let (classifier, _) = train_pair();
+    save_bundle(
+        &dir,
+        "toy",
+        7,
+        &[(Problem::ErrorClassification, &classifier)],
+    )
+    .expect("save");
+    let artifact = dir.join("error_classification.json");
+    let full = std::fs::read_to_string(&artifact).expect("read");
+    std::fs::write(&artifact, &full[..full.len() / 2]).expect("truncate");
+    assert!(matches!(
+        load_bundle(&dir),
+        Err(BundleError::Truncated { .. })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_artifact_json_is_rejected() {
+    let dir = tmp_dir("corrupt");
+    let (classifier, _) = train_pair();
+    save_bundle(
+        &dir,
+        "toy",
+        7,
+        &[(Problem::ErrorClassification, &classifier)],
+    )
+    .expect("save");
+    let artifact = dir.join("error_classification.json");
+    let full = std::fs::read_to_string(&artifact).expect("read");
+    // Same byte count (the manifest's size check passes), broken JSON.
+    let corrupted = format!("#{}", &full[1..]);
+    std::fs::write(&artifact, corrupted).expect("corrupt");
+    assert!(matches!(load_bundle(&dir), Err(BundleError::Json(_, _))));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_skew_is_rejected() {
+    let dir = tmp_dir("version");
+    let (classifier, _) = train_pair();
+    save_bundle(
+        &dir,
+        "toy",
+        7,
+        &[(Problem::ErrorClassification, &classifier)],
+    )
+    .expect("save");
+    let manifest = dir.join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&manifest).expect("read");
+    std::fs::write(
+        &manifest,
+        text.replace("\"format_version\": 1", "\"format_version\": 99"),
+    )
+    .expect("write");
+    assert!(matches!(
+        load_bundle(&dir),
+        Err(BundleError::Version { found: 99, .. })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn registry_hot_swap_is_atomic_for_readers() {
+    let dir_a = tmp_dir("swap-a");
+    let dir_b = tmp_dir("swap-b");
+    let (classifier, regressor) = train_pair();
+    save_bundle(
+        &dir_a,
+        "a",
+        1,
+        &[(Problem::ErrorClassification, &classifier)],
+    )
+    .expect("save a");
+    save_bundle(&dir_b, "b", 2, &[(Problem::AnswerSize, &regressor)]).expect("save b");
+
+    let registry = Arc::new(ModelRegistry::open(&dir_a).expect("open"));
+    assert_eq!(registry.generation(), 1);
+    // A reader pins generation 1 across the swap.
+    let pinned = registry.current();
+    let generation = registry.reload(&dir_b).expect("reload");
+    assert_eq!(generation, 2);
+    assert_eq!(pinned.generation, 1);
+    assert!(pinned.bundle.model(Problem::ErrorClassification).is_some());
+    let live = registry.current();
+    assert_eq!(live.generation, 2);
+    assert!(live.bundle.model(Problem::ErrorClassification).is_none());
+    assert!(live.bundle.model(Problem::AnswerSize).is_some());
+
+    // A failed reload keeps the previous bundle live.
+    let bogus = dir_a.join("does-not-exist");
+    assert!(registry.reload(&bogus).is_err());
+    assert_eq!(registry.generation(), 2);
+    assert!(registry
+        .current()
+        .bundle
+        .model(Problem::AnswerSize)
+        .is_some());
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

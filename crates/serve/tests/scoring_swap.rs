@@ -1,0 +1,102 @@
+//! Regression: a hot swap that *removes* a problem must not strand jobs
+//! already admitted for it. Jobs pin the bundle they were admitted
+//! against, so the batch worker scores them under that generation even
+//! if the live bundle no longer carries the model.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sqlan_core::{train_model, Labels, ModelKind, Problem, Task, TrainConfig, TrainData};
+use sqlan_serve::{save_bundle, ModelRegistry, ScoreError, ScoringConfig, ScoringEngine};
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sqlan-swap-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+#[test]
+fn swap_removing_problem_does_not_strand_admitted_jobs() {
+    let xs: Vec<String> = (0..40).map(|i| format!("SELECT {i} FROM t")).collect();
+    let cls: Vec<usize> = (0..40).map(|i| i % 2).collect();
+    let vals: Vec<f64> = (0..40).map(|i| i as f64).collect();
+    let cfg = TrainConfig::tiny();
+    let classifier = train_model(
+        ModelKind::MFreq,
+        Task::Classify(2),
+        &TrainData {
+            statements: &xs[..30],
+            labels: Labels::Classes(&cls[..30]),
+            valid_statements: &xs[30..],
+            valid_labels: Labels::Classes(&cls[30..]),
+        },
+        &cfg,
+        None,
+    );
+    let regressor = train_model(
+        ModelKind::Median,
+        Task::Regress,
+        &TrainData {
+            statements: &xs[..30],
+            labels: Labels::Values(&vals[..30]),
+            valid_statements: &xs[30..],
+            valid_labels: Labels::Values(&vals[30..]),
+        },
+        &cfg,
+        None,
+    );
+
+    let dir_a = tmp_dir("a");
+    let dir_b = tmp_dir("b");
+    save_bundle(
+        &dir_a,
+        "a",
+        1,
+        &[(Problem::ErrorClassification, &classifier)],
+    )
+    .expect("save a");
+    // Bundle B has no error_classification model at all.
+    save_bundle(&dir_b, "b", 1, &[(Problem::AnswerSize, &regressor)]).expect("save b");
+
+    let registry = Arc::new(ModelRegistry::open(&dir_a).expect("open"));
+    // One worker that holds its batch open long enough for the reload
+    // below to land before scoring starts.
+    let engine = ScoringEngine::start(
+        Arc::clone(&registry),
+        ScoringConfig {
+            workers: 1,
+            max_batch: 64,
+            max_wait: Duration::from_millis(300),
+            ..ScoringConfig::default()
+        },
+    );
+
+    let result = std::thread::scope(|s| {
+        let engine = &engine;
+        let scorer = s.spawn(move || {
+            engine.score(
+                Problem::ErrorClassification,
+                &["SELECT 1 FROM t".to_string()],
+            )
+        });
+        // Let the job be admitted and picked up, then swap the problem
+        // away while the worker is still holding the batch open.
+        std::thread::sleep(Duration::from_millis(50));
+        registry.reload(&dir_b).expect("reload");
+        scorer.join().expect("scorer thread must not panic")
+    });
+    let scored = result.expect("admitted job must be served from its pinned bundle");
+    assert_eq!(scored.generation, 1, "scored under the admitted generation");
+    assert_eq!(scored.predictions.len(), 1);
+    assert!(scored.predictions[0].class.is_some());
+
+    // New admissions, by contrast, see the swapped bundle and reject.
+    assert!(matches!(
+        engine.score(Problem::ErrorClassification, &["SELECT 2".to_string()]),
+        Err(ScoreError::UnknownProblem(_))
+    ));
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

@@ -1,0 +1,119 @@
+//! End-to-end serving demo: train models, save a versioned bundle, boot
+//! the online prediction service, and query it over HTTP — the paper's
+//! "tell the user before execution" promise as a running system.
+//!
+//! ```bash
+//! cargo run --release --example serve
+//! ```
+
+use std::sync::Arc;
+
+use sqlan_core::prelude::*;
+use sqlan_core::{train_model, Dataset};
+use sqlan_serve::{
+    save_bundle, Client, ModelRegistry, PredictRequest, PredictResponse, ServeConfig,
+};
+
+fn main() {
+    // 1. Train: a small fixed-seed SDSS-like workload, one classifier
+    //    (will this query error?) and one regressor (how many rows?).
+    println!("building workload...");
+    let workload = build_sdss(SdssConfig {
+        n_sessions: 300,
+        scale: Scale(0.03),
+        seed: 42,
+    });
+    let cls = Dataset::build(&workload, Problem::ErrorClassification);
+    let reg = Dataset::build(&workload, Problem::AnswerSize);
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::tiny()
+    };
+    let cut = |n: usize| n * 4 / 5;
+    println!("training wtfidf classifier + ctfidf regressor...");
+    let classifier = train_model(
+        ModelKind::WTfidf,
+        Task::Classify(Problem::ErrorClassification.n_classes()),
+        &TrainData {
+            statements: &cls.statements[..cut(cls.len())],
+            labels: Labels::Classes(&cls.class_labels[..cut(cls.len())]),
+            valid_statements: &cls.statements[cut(cls.len())..],
+            valid_labels: Labels::Classes(&cls.class_labels[cut(cls.len())..]),
+        },
+        &cfg,
+        None,
+    );
+    let regressor = train_model(
+        ModelKind::CTfidf,
+        Task::Regress,
+        &TrainData {
+            statements: &reg.statements[..cut(reg.len())],
+            labels: Labels::Values(&reg.log_labels[..cut(reg.len())]),
+            valid_statements: &reg.statements[cut(reg.len())..],
+            valid_labels: Labels::Values(&reg.log_labels[cut(reg.len())..]),
+        },
+        &cfg,
+        None,
+    );
+
+    // 2. Save a versioned bundle: manifest + one artifact per problem.
+    let dir = std::env::temp_dir().join(format!("sqlan-serve-demo-{}", std::process::id()));
+    let manifest = save_bundle(
+        &dir,
+        "demo",
+        42,
+        &[
+            (Problem::ErrorClassification, &classifier),
+            (Problem::AnswerSize, &regressor),
+        ],
+    )
+    .expect("save bundle");
+    println!(
+        "saved bundle `{}` (v{}) to {}",
+        manifest.name,
+        manifest.format_version,
+        dir.display()
+    );
+
+    // 3. Serve: registry (hot-swappable) + batched scoring + HTTP.
+    let registry = Arc::new(ModelRegistry::open(&dir).expect("open bundle"));
+    let handle = sqlan_serve::start(registry, ServeConfig::default()).expect("start server");
+    println!("serving on http://{}", handle.addr());
+
+    // 4. Query it like a client would.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let probes = vec![
+        "SELECT TOP 10 objID, ra, dec FROM PhotoObj WHERE ra > 180".to_string(),
+        "SELECT p.objID FROM PhotoObj p JOIN SpecObj s ON p.objID = s.bestObjID".to_string(),
+        "SELCT * FORM PhotoObj".to_string(), // a typo a user is about to run
+    ];
+    for problem in [Problem::ErrorClassification, Problem::AnswerSize] {
+        let body = serde_json::to_string(&PredictRequest {
+            problem: problem.name().to_string(),
+            statements: probes.clone(),
+        })
+        .expect("serialize");
+        let (status, response) = client.post("/predict", &body).expect("predict");
+        assert_eq!(status, 200, "{response}");
+        let parsed: PredictResponse = serde_json::from_str(&response).expect("parse");
+        println!("\n{problem} (bundle generation {}):", parsed.generation);
+        for (stmt, p) in probes.iter().zip(&parsed.predictions) {
+            let headline = match (p.class, p.value) {
+                (Some(c), _) => format!("class {c} {:?}", p.proba.as_deref().unwrap_or(&[])),
+                (_, Some(v)) => format!("log-rows {v:.3}"),
+                _ => "?".to_string(),
+            };
+            println!("  {headline}  ←  {}", &stmt[..stmt.len().min(58)]);
+        }
+    }
+
+    // 5. Ops surface: health and metrics.
+    let (_, health) = client.get("/healthz").expect("healthz");
+    println!("\nhealthz: {health}");
+    let (_, metrics) = client.get("/metrics").expect("metrics");
+    println!("metrics: {metrics}");
+
+    drop(client);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
