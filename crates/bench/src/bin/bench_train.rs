@@ -1,0 +1,225 @@
+//! Neural-training throughput benchmark: per-example vs batched.
+//!
+//! Trains the paper's neural models (`wcnn` + `clstm`, error
+//! classification on the fixed-seed SDSS workload) through both training
+//! paths — `SQLAN_NN_TRAIN=per_example` (one autograd tape per example,
+//! the pre-batching baseline) and the default tensorized minibatch path
+//! (length-bucketed tiles, one batched tape each) — at 1/2/4/8 worker
+//! threads, and reports epoch throughput in examples/second.
+//!
+//! Besides speed, the run re-checks the correctness contracts on real
+//! data and fails loudly if they break:
+//!
+//! * trained parameters byte-identical across all thread counts (the
+//!   determinism contract, per mode);
+//! * `predict_proba_batch` bit-identical to per-statement
+//!   `predict_proba` on the test slice (the serving contract);
+//! * batched throughput ≥ per-example throughput at every thread count.
+//!
+//! Knobs: the usual `Harness` env vars plus `SQLAN_BENCH_THREADS`
+//! (default `1,2,4,8`) and `SQLAN_BENCH_OUT` (default
+//! `BENCH_train.json`). The checked-in `BENCH_train.json` is the pinned
+//! run from the development container; the CI artifact tracks the
+//! numbers per commit.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use sqlan_bench::Harness;
+use sqlan_core::prelude::*;
+use sqlan_core::Dataset;
+
+#[derive(Debug, Serialize)]
+struct ModeScaling {
+    /// (threads, wall-clock seconds, examples/second) per thread count.
+    runs: Vec<(usize, f64, f64)>,
+    /// Trained parameters byte-identical across all thread counts.
+    deterministic: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct ModelBench {
+    model: String,
+    n_train: usize,
+    epochs: usize,
+    per_example: ModeScaling,
+    batched: ModeScaling,
+    /// batched examples/s ÷ per-example examples/s at the lowest
+    /// measured thread count (1 unless `SQLAN_BENCH_THREADS` omits it).
+    speedup_batched_at_1_thread: f64,
+    /// `predict_proba_batch` ≡ mapped `predict_proba`, bit for bit, on
+    /// the test slice (batched-path model, every measured thread count).
+    batch_predict_bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchTrain {
+    /// CPUs visible to this process; thread-scaling is bounded by this.
+    cores: usize,
+    threads_measured: Vec<usize>,
+    sdss_sessions: usize,
+    scale: f64,
+    models: Vec<ModelBench>,
+}
+
+fn train_mode(
+    mode: &str,
+    kind: ModelKind,
+    threads: &[usize],
+    data: &TrainData<'_>,
+    cfg: &TrainConfig,
+) -> (ModeScaling, TrainedModel) {
+    std::env::set_var("SQLAN_NN_TRAIN", mode);
+    let n_examples = data.statements.len() * cfg.epochs;
+    let mut runs = Vec::new();
+    let mut fingerprints: Vec<String> = Vec::new();
+    let mut last = None;
+    for &t in threads {
+        let start = Instant::now();
+        let model =
+            sqlan_par::with_threads(t, || train_model(kind, Task::Classify(3), data, cfg, None));
+        let secs = start.elapsed().as_secs_f64();
+        let exps = n_examples as f64 / secs;
+        eprintln!("    {mode:>11} {t} thread(s): {secs:.3}s ({exps:.0} examples/s)");
+        runs.push((t, secs, exps));
+        fingerprints.push(model.save_json().expect("neural models persist"));
+        last = Some(model);
+    }
+    let scaling = ModeScaling {
+        deterministic: fingerprints.windows(2).all(|w| w[0] == w[1]),
+        runs,
+    };
+    (scaling, last.expect("at least one thread count"))
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let threads: Vec<usize> = std::env::var("SQLAN_BENCH_THREADS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "[bench_train] cores={cores} threads={threads:?} sessions={} scale={}",
+        h.sdss_sessions, h.scale
+    );
+
+    eprintln!("[bench_train] building fixed-seed SDSS workload…");
+    let workload = build_sdss(h.sdss_config());
+    let dataset = Dataset::build(&workload, Problem::ErrorClassification);
+    let split = random_split(dataset.statements.len(), h.seed ^ 0x11);
+    let gather = |idx: &[usize]| -> (Vec<String>, Vec<usize>) {
+        (
+            idx.iter().map(|&i| dataset.statements[i].clone()).collect(),
+            idx.iter().map(|&i| dataset.class_labels[i]).collect(),
+        )
+    };
+    let (train_x, train_y) = gather(&split.train);
+    let (valid_x, valid_y) = gather(&split.valid);
+    let (test_x, _) = gather(&split.test);
+    let test_x: Vec<String> = test_x.into_iter().take(256).collect();
+    let data = TrainData {
+        statements: &train_x,
+        labels: Labels::Classes(&train_y),
+        valid_statements: &valid_x,
+        valid_labels: Labels::Classes(&valid_y),
+    };
+    // Fixed epoch count (no early stopping) so throughput is comparable.
+    let cfg = TrainConfig {
+        patience: 0,
+        ..h.train_config()
+    };
+    eprintln!(
+        "[bench_train] {} train / {} valid statements, {} epochs",
+        train_x.len(),
+        valid_x.len(),
+        cfg.epochs
+    );
+
+    let mut models = Vec::new();
+    for kind in [ModelKind::WCnn, ModelKind::CLstm] {
+        eprintln!("[bench_train] model {}", kind.name());
+        let (per_example, _) = train_mode("per_example", kind, &threads, &data, &cfg);
+        let (batched, model) = train_mode("batched", kind, &threads, &data, &cfg);
+
+        // Serving contract on the batched-path model: batched inference
+        // must be byte-equal to per-statement inference at every
+        // measured thread count.
+        let solo: Vec<Vec<u32>> = test_x
+            .iter()
+            .map(|s| model.predict_proba(s).iter().map(|f| f.to_bits()).collect())
+            .collect();
+        let batch_predict_bit_identical = threads.iter().all(|&t| {
+            sqlan_par::with_threads(t, || {
+                model
+                    .predict_proba_batch(&test_x)
+                    .iter()
+                    .map(|p| p.iter().map(|f| f.to_bits()).collect::<Vec<u32>>())
+                    .collect::<Vec<_>>()
+                    == solo
+            })
+        });
+
+        // Ratio at the lowest measured thread count (the acceptance
+        // number is the 1-thread ratio when 1 is measured).
+        let at_lowest = |m: &ModeScaling| {
+            m.runs
+                .iter()
+                .min_by_key(|(t, _, _)| *t)
+                .map(|&(_, _, e)| e)
+                .expect("at least one thread count")
+        };
+        let speedup = at_lowest(&batched) / at_lowest(&per_example);
+        eprintln!(
+            "    single-thread speedup batched/per-example: {speedup:.2}x; \
+             deterministic: pe={} b={}; predict bit-identical: {}",
+            per_example.deterministic, batched.deterministic, batch_predict_bit_identical
+        );
+        models.push(ModelBench {
+            model: kind.name().to_string(),
+            n_train: train_x.len(),
+            epochs: cfg.epochs,
+            per_example,
+            batched,
+            speedup_batched_at_1_thread: speedup,
+            batch_predict_bit_identical,
+        });
+    }
+
+    let report = BenchTrain {
+        cores,
+        threads_measured: threads,
+        sdss_sessions: h.sdss_sessions,
+        scale: h.scale,
+        models,
+    };
+    // Persist before the contract asserts: a failing assert should
+    // leave the run's evidence on disk, not discard it.
+    let out = std::env::var("SQLAN_BENCH_OUT").unwrap_or_else(|_| "BENCH_train.json".into());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write BENCH_train.json");
+    for m in &report.models {
+        assert!(
+            m.per_example.deterministic && m.batched.deterministic,
+            "{}: thread-count invariance violated — see BENCH_train.json",
+            m.model
+        );
+        assert!(
+            m.batch_predict_bit_identical,
+            "{}: batched prediction diverged from per-statement — see BENCH_train.json",
+            m.model
+        );
+        assert!(
+            m.speedup_batched_at_1_thread >= 1.0,
+            "{}: batched training slower than per-example ({}x)",
+            m.model,
+            m.speedup_batched_at_1_thread
+        );
+    }
+
+    println!("{json}");
+    eprintln!("[saved {out}]");
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for `fxhash` / `rustc-hash`.
+//!
+//! The standard library's `HashMap` defaults to SipHash-1-3, which is
+//! DoS-resistant but costs ~1 ns/byte plus a fixed per-key setup — far
+//! too heavy for the featurization hot path, where every n-gram of every
+//! statement does a vocabulary probe. This crate provides the classic
+//! "Fx" multiply-rotate hash used by rustc: the input is consumed in
+//! 8-byte words folded as `hash = (hash.rotl(5) ^ word) * K` with an
+//! odd 64-bit constant. It is *not* DoS-resistant and must only be used
+//! for internal keys (tokens, feature ids), never attacker-controlled
+//! map keys on a trust boundary — which is exactly how the workspace
+//! uses it.
+//!
+//! Determinism: unlike `RandomState`, [`FxHasher`] has no per-process
+//! random seed, so iteration order of an `FxHashMap` is stable for a
+//! fixed insertion sequence. Nothing in the workspace relies on map
+//! iteration order (every ranked extraction sorts with a total order),
+//! but stability is a nice property for debugging.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from Firefox's original Fx hash (the 64-bit
+/// golden-ratio-derived odd constant rustc also uses).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let word = u64::from_le_bytes(c.try_into().expect("exact chunk"));
+            self.fold(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            // Pack the tail into one word, length-tagged so "ab" and
+            // "ab\0" hash differently.
+            let mut word = rest.len() as u64;
+            for (i, &b) in rest.iter().enumerate() {
+                word ^= (b as u64) << (8 * (i + 1) % 64);
+            }
+            self.fold(word);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.fold(v as u64);
+        self.fold((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (no random state).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the Fx hash.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(b"select * from t"), hash_of(b"select * from t"));
+    }
+
+    #[test]
+    fn distinguishes_close_keys() {
+        assert_ne!(hash_of(b"a"), hash_of(b"b"));
+        assert_ne!(hash_of(b"ab"), hash_of(b"ab\0"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+        assert_ne!(hash_of(b"12345678"), hash_of(b"123456789"));
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for (i, k) in ["a", "b", "select", "<DIGIT>"].iter().enumerate() {
+            m.insert(k.to_string(), i as u32);
+        }
+        assert_eq!(m.get("select"), Some(&2));
+        assert_eq!(m.get("missing"), None);
+        assert_eq!(m.len(), 4);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn spreads_small_integers() {
+        // Small sequential ids must not collide in the low bits (the
+        // bits HashMap actually uses for bucketing).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..1000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish() >> 57); // top 7 bits, like hashbrown
+        }
+        assert!(seen.len() > 64, "top bits poorly distributed");
+    }
+}

@@ -489,7 +489,10 @@ tuple_impl! {
     (A.0, B.1, C.2, D.3)
 }
 
-impl<V: Serialize> Serialize for HashMap<String, V> {
+// Generic over the hasher so maps keyed with a custom `BuildHasher`
+// (e.g. the workspace's `fxhash` stand-in) serialize identically to the
+// SipHash default — the wire form is key-sorted either way.
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
     fn serialize_value(&self) -> Value {
         // Sort keys so serialization is deterministic.
         let mut keys: Vec<&String> = self.keys().collect();
@@ -502,7 +505,7 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
     }
 }
 
-impl<V: Deserialize> Deserialize for HashMap<String, V> {
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
     fn deserialize_value(v: &Value) -> Result<Self, Error> {
         match v.as_object() {
             Some(m) => m

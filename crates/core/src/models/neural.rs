@@ -4,6 +4,18 @@
 //! Training follows the paper: AdaMax, lr 1e-3, batch 16, gradient-norm
 //! clipping, cross-entropy for classification, Huber for regression over
 //! log-transformed labels, model selection on validation loss.
+//!
+//! Execution is **tensorized**: a minibatch is planned into
+//! length-bucketed tiles ([`sqlan_nn::plan_tiles`]) and each tile runs
+//! one batched tape — packed-segment convolution for the CNN, padded
+//! batch with per-row masks for the LSTM, one `(B,K)·(K,N)` matmul per
+//! linear layer — instead of one graph per example. Inference rows are
+//! bit-identical to the per-example path (the kernels batch along rows
+//! only); training gradients accumulate across a tile's rows in example
+//! order and per-tile buffers merge in tile order, so trained parameters
+//! are bit-identical at any `SQLAN_THREADS`. Set
+//! `SQLAN_NN_TRAIN=per_example` to fall back to the pre-batching
+//! one-graph-per-example training loop (kept as the benchmark baseline).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -12,13 +24,30 @@ use serde::{Deserialize, Serialize};
 
 use sqlan_features::Vocab;
 use sqlan_nn::{
-    dropout_mask, AdaMax, Conv1dBank, Embedding, Grads, Graph, Linear, LstmStack, Optimizer,
-    Params, Var,
+    dropout_mask, plan_tiles, AdaMax, Conv1dBank, Embedding, Grads, Graph, Linear, LstmStack,
+    Optimizer, Params, Var,
 };
 
 use crate::config::{Granularity, TrainConfig};
 use crate::models::zoo::TrainData;
 use crate::text::{build_vocab, encode};
+
+/// Examples per batched tape during training. Small enough that one
+/// 16-example paper minibatch still fans out across workers; large
+/// enough to amortize tape/clone overhead ~an order of magnitude.
+const TRAIN_TILE: usize = 8;
+
+/// Examples per batched tape during inference (serving batches are
+/// bigger and have no gradient memory, so tiles can be wider).
+const PREDICT_TILE: usize = 32;
+
+/// Batched training unless `SQLAN_NN_TRAIN=per_example` (the
+/// pre-batching baseline, kept for `bench_train`'s comparison).
+fn batched_training() -> bool {
+    std::env::var("SQLAN_NN_TRAIN")
+        .map(|v| v != "per_example")
+        .unwrap_or(true)
+}
 
 /// Which sequence encoder the model uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -106,12 +135,16 @@ impl NeuralModel {
     /// Train on `data`'s train slice, selecting the best epoch by loss on
     /// its validation slice.
     ///
-    /// Minibatch gradients are computed data-parallel: every example in a
-    /// batch backpropagates into its own private [`Grads`] buffer on the
-    /// [`sqlan_par`] pool, and the buffers merge in example order — a
-    /// fixed association order, so losses and trained parameters are
-    /// bit-identical at any `SQLAN_THREADS`. Dropout masks are pre-drawn
-    /// sequentially from the seeded RNG for the same reason.
+    /// Each minibatch is planned into length-bucketed tiles and every
+    /// tile forward/backwards as one batched tape on the [`sqlan_par`]
+    /// pool. Determinism contract (pinned by `tests/par_determinism.rs`):
+    /// the tile plan is a pure function of sequence lengths; per-example
+    /// gradient rows accumulate inside a tape in example order (the
+    /// matmul-transpose kernels walk batch rows ascending); and per-tile
+    /// gradient buffers merge in tile order — so losses and trained
+    /// parameters are bit-identical at any `SQLAN_THREADS`. Dropout
+    /// masks are pre-drawn sequentially from the seeded RNG in chunk
+    /// order and travel with their example into its tile.
     pub fn train(
         arch: ArchKind,
         granularity: Granularity,
@@ -198,48 +231,108 @@ impl NeuralModel {
         let mut best: Option<(f64, Params)> = None;
         let mut since_best = 0usize;
 
+        let batched = batched_training();
         for _epoch in 0..cfg.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(cfg.batch.max(1)) {
                 // Dropout masks come off the shared RNG sequentially, in
-                // example order: the stream is independent of worker
-                // scheduling (mask length is architecture-constant).
+                // chunk order: the stream is independent of both worker
+                // scheduling and the tile plan (mask length is
+                // architecture-constant).
                 let keep = 1.0 - model.cfg.dropout;
-                let jobs: Vec<(usize, Option<Vec<bool>>)> = chunk
+                let masks: Vec<Option<Vec<bool>>> = chunk
                     .iter()
-                    .map(|&i| {
-                        let mask = (model.cfg.dropout > 0.0)
-                            .then(|| dropout_mask(feat_dim, keep, &mut rng));
-                        (i, mask)
+                    .map(|_| {
+                        (model.cfg.dropout > 0.0).then(|| dropout_mask(feat_dim, keep, &mut rng))
                     })
                     .collect();
                 let scale = 1.0 / chunk.len() as f32;
-                // Per-example private gradient buffers, merged in example
-                // order — the fixed reduction order of the determinism
-                // contract.
-                let per_example: Vec<Grads> = pool.par_map(&jobs, |(i, mask)| {
-                    let mut item_grads = model.params.zero_grads();
-                    let mut g = Graph::new(&model.params);
-                    let feats = model.encode_features(&mut g, &train_seqs[*i], mask.as_deref());
-                    let out = model.head.forward(&mut g, feats);
-                    let loss = match (&model.task, &train_labels) {
-                        (Task::Classify(_), Labels::Classes(ys)) => g.softmax_ce(out, ys[*i]),
-                        (Task::Regress, Labels::Values(ys)) => {
-                            g.huber(out, ys[*i] as f32, model.cfg.huber_delta)
-                        }
-                        _ => panic!("task/label kind mismatch"),
-                    };
-                    g.backward(loss, scale, &mut item_grads);
-                    item_grads
-                });
                 let mut grads = model.params.zero_grads();
-                for item in &per_example {
-                    grads.merge(item);
+                if batched {
+                    // Length-bucketed tiles; one batched tape per tile.
+                    let lens: Vec<usize> = chunk.iter().map(|&i| train_seqs[i].len()).collect();
+                    let tiles = plan_tiles(&lens, TRAIN_TILE);
+                    let per_tile: Vec<Grads> = pool.par_map(&tiles, |tile| {
+                        let mut tile_grads = model.params.zero_grads();
+                        let mut g = Graph::new(&model.params);
+                        let seqs: Vec<&[u32]> = tile
+                            .indices
+                            .iter()
+                            .map(|&p| train_seqs[chunk[p]].as_slice())
+                            .collect();
+                        let mask_cat: Option<Vec<bool>> = (model.cfg.dropout > 0.0).then(|| {
+                            tile.indices
+                                .iter()
+                                .flat_map(|&p| {
+                                    masks[p].as_deref().expect("mask drawn").iter().copied()
+                                })
+                                .collect()
+                        });
+                        let logits = model.logits_for_tile(&mut g, &seqs, mask_cat.as_deref());
+                        let losses = match (&model.task, &train_labels) {
+                            (Task::Classify(_), Labels::Classes(ys)) => {
+                                let ts: Vec<usize> =
+                                    tile.indices.iter().map(|&p| ys[chunk[p]]).collect();
+                                g.softmax_ce_rows(logits, ts)
+                            }
+                            (Task::Regress, Labels::Values(ys)) => {
+                                let ts: Vec<f32> =
+                                    tile.indices.iter().map(|&p| ys[chunk[p]] as f32).collect();
+                                g.huber_rows(logits, ts, model.cfg.huber_delta)
+                            }
+                            _ => panic!("task/label kind mismatch"),
+                        };
+                        // Seeding the summed loss with 1/batch hands every
+                        // per-row loss the same 1/batch gradient the
+                        // per-example path seeds directly.
+                        let loss = g.sum_all(losses);
+                        g.backward(loss, scale, &mut tile_grads);
+                        tile_grads
+                    });
+                    for tg in per_tile {
+                        grads.merge(&tg);
+                        tg.recycle();
+                    }
+                } else {
+                    // Pre-batching baseline: one graph per example with
+                    // fresh per-node allocations (no buffer arena — the
+                    // exact pre-tentpole behavior), private buffers
+                    // merged in example order.
+                    let jobs: Vec<(usize, Option<Vec<bool>>)> =
+                        chunk.iter().zip(masks).map(|(&i, m)| (i, m)).collect();
+                    let per_example: Vec<Grads> = pool.par_map(&jobs, |(i, mask)| {
+                        sqlan_nn::without_buffer_pool(|| {
+                            let mut item_grads = model.params.zero_grads();
+                            let mut g = Graph::new(&model.params);
+                            let feats = model.encode_features_legacy(
+                                &mut g,
+                                &train_seqs[*i],
+                                mask.as_deref(),
+                            );
+                            let out = model.head.forward(&mut g, feats);
+                            let loss = match (&model.task, &train_labels) {
+                                (Task::Classify(_), Labels::Classes(ys)) => {
+                                    g.softmax_ce(out, ys[*i])
+                                }
+                                (Task::Regress, Labels::Values(ys)) => {
+                                    g.huber(out, ys[*i] as f32, model.cfg.huber_delta)
+                                }
+                                _ => panic!("task/label kind mismatch"),
+                            };
+                            g.backward(loss, scale, &mut item_grads);
+                            item_grads
+                        })
+                    });
+                    for item in per_example {
+                        grads.merge(&item);
+                        item.recycle();
+                    }
                 }
                 if model.cfg.clip > 0.0 {
                     grads.clip_global_norm(model.cfg.clip);
                 }
                 optimizer.step(&mut model.params, &grads);
+                grads.recycle();
             }
 
             // Validation for early stopping / model selection.
@@ -261,32 +354,114 @@ impl NeuralModel {
         model
     }
 
-    /// Mean loss over pre-encoded sequences (no dropout). Per-example
-    /// losses are computed in parallel and summed in example order, so
-    /// the mean is bit-identical at any thread count.
+    /// Mean loss over pre-encoded sequences (no dropout). Tiles are
+    /// planned deterministically and per-tile sums reduce in tile order
+    /// (rows in example order within a tile), so the mean is
+    /// bit-identical at any thread count.
     fn eval_loss(&self, seqs: &[Vec<u32>], labels: &Labels<'_>) -> f64 {
         if seqs.is_empty() {
             return f64::INFINITY;
         }
-        let indexed: Vec<usize> = (0..seqs.len()).collect();
-        let losses: Vec<f64> = self.cfg.pool().par_map(&indexed, |&i| {
+        if !batched_training() {
+            return self.eval_loss_per_example(seqs, labels);
+        }
+        let lens: Vec<usize> = seqs.iter().map(Vec::len).collect();
+        let tiles = plan_tiles(&lens, PREDICT_TILE);
+        let per_tile: Vec<f64> = self.cfg.pool().par_map(&tiles, |tile| {
             let mut g = Graph::new(&self.params);
-            let feats = self.encode_features(&mut g, &seqs[i], None);
-            let out = self.head.forward(&mut g, feats);
+            let tile_seqs: Vec<&[u32]> = tile.indices.iter().map(|&i| seqs[i].as_slice()).collect();
+            let logits = self.logits_for_tile(&mut g, &tile_seqs, None);
             match (&self.task, labels) {
                 (Task::Classify(_), Labels::Classes(ys)) => {
-                    g.softmax_ce(out, ys[i]);
-                    let probs = g.softmax_probs(out);
-                    -(probs[ys[i]].max(1e-12) as f64).ln()
+                    let probs = g.softmax_probs_rows(logits);
+                    let mut sum = 0.0;
+                    for (r, &i) in tile.indices.iter().enumerate() {
+                        sum += -(probs.at(r, ys[i]).max(1e-12) as f64).ln();
+                    }
+                    probs.recycle();
+                    sum
                 }
                 (Task::Regress, Labels::Values(ys)) => {
-                    let pred = g.value(out).item() as f64;
-                    sqlan_metrics::huber_loss(ys[i], pred, self.cfg.huber_delta as f64)
+                    let out = g.value(logits);
+                    let mut sum = 0.0;
+                    for (r, &i) in tile.indices.iter().enumerate() {
+                        let pred = out.data[r] as f64;
+                        sum += sqlan_metrics::huber_loss(ys[i], pred, self.cfg.huber_delta as f64);
+                    }
+                    sum
                 }
                 _ => panic!("task/label kind mismatch"),
             }
         });
+        per_tile.iter().sum::<f64>() / seqs.len() as f64
+    }
+
+    /// The pre-batching evaluation loop (per-example graphs, summed in
+    /// example order) — the `SQLAN_NN_TRAIN=per_example` baseline.
+    fn eval_loss_per_example(&self, seqs: &[Vec<u32>], labels: &Labels<'_>) -> f64 {
+        let indexed: Vec<usize> = (0..seqs.len()).collect();
+        let losses: Vec<f64> = self.cfg.pool().par_map(&indexed, |&i| {
+            sqlan_nn::without_buffer_pool(|| {
+                let mut g = Graph::new(&self.params);
+                let feats = self.encode_features_legacy(&mut g, &seqs[i], None);
+                let out = self.head.forward(&mut g, feats);
+                match (&self.task, labels) {
+                    (Task::Classify(_), Labels::Classes(ys)) => {
+                        g.softmax_ce(out, ys[i]);
+                        let probs = g.softmax_probs(out);
+                        -(probs[ys[i]].max(1e-12) as f64).ln()
+                    }
+                    (Task::Regress, Labels::Values(ys)) => {
+                        let pred = g.value(out).item() as f64;
+                        sqlan_metrics::huber_loss(ys[i], pred, self.cfg.huber_delta as f64)
+                    }
+                    _ => panic!("task/label kind mismatch"),
+                }
+            })
+        });
         losses.iter().sum::<f64>() / seqs.len() as f64
+    }
+
+    /// Batched tile forward: embeddings → encoder batch twin → optional
+    /// dropout (per-example masks concatenated in tile row order) → head
+    /// logits, (B, n_outputs). Row i is bit-identical to the per-example
+    /// forward of `seqs[i]`: the CNN consumes exact packed segments, the
+    /// LSTM pads to the tile max with masked (frozen-state) steps, and
+    /// every kernel batches along rows only.
+    fn logits_for_tile(&self, g: &mut Graph<'_>, seqs: &[&[u32]], mask: Option<&[bool]>) -> Var {
+        assert!(!seqs.is_empty(), "empty tile");
+        let feats = match &self.encoder {
+            Encoder::Cnn(bank) => {
+                let total: usize = seqs.iter().map(|s| s.len()).sum();
+                let mut flat: Vec<u32> = Vec::with_capacity(total);
+                let mut segs: Vec<(usize, usize)> = Vec::with_capacity(seqs.len());
+                for s in seqs {
+                    segs.push((flat.len(), s.len()));
+                    flat.extend_from_slice(s);
+                }
+                let x = g.embed(self.emb.table, &flat);
+                bank.forward_packed(g, x, &segs)
+            }
+            Encoder::Lstm(stack) => {
+                let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+                let padded = lens.iter().copied().max().expect("non-empty tile");
+                let mut flat: Vec<u32> = Vec::with_capacity(seqs.len() * padded);
+                for s in seqs {
+                    flat.extend_from_slice(s);
+                    flat.resize(flat.len() + (padded - s.len()), sqlan_features::PAD);
+                }
+                let x = g.embed(self.emb.table, &flat);
+                stack.forward_batch(g, x, &lens, padded)
+            }
+        };
+        let feats = match mask {
+            Some(mask) if self.cfg.dropout > 0.0 => {
+                let keep = 1.0 - self.cfg.dropout;
+                g.dropout(feats, mask.to_vec(), keep)
+            }
+            _ => feats,
+        };
+        self.head.forward(g, feats)
     }
 
     /// Shared encoder: embedding → CNN bank or LSTM stack → (1, feat_dim).
@@ -298,6 +473,25 @@ impl NeuralModel {
         let feats = match &self.encoder {
             Encoder::Cnn(bank) => bank.forward(g, x),
             Encoder::Lstm(stack) => stack.forward(g, x),
+        };
+        match mask {
+            Some(mask) if self.cfg.dropout > 0.0 => {
+                let keep = 1.0 - self.cfg.dropout;
+                g.dropout(feats, mask.to_vec(), keep)
+            }
+            _ => feats,
+        }
+    }
+
+    /// The pre-batching encoder (seed conv kernel, op-by-op LSTM cell
+    /// with per-step parameter pushes). Used only by the
+    /// `SQLAN_NN_TRAIN=per_example` baseline so `bench_train` measures
+    /// this PR's batched path against what actually shipped before it.
+    fn encode_features_legacy(&self, g: &mut Graph<'_>, seq: &[u32], mask: Option<&[bool]>) -> Var {
+        let x = self.emb.forward(g, seq);
+        let feats = match &self.encoder {
+            Encoder::Cnn(bank) => bank.forward_legacy(g, x),
+            Encoder::Lstm(stack) => stack.forward_legacy(g, x),
         };
         match mask {
             Some(mask) if self.cfg.dropout > 0.0 => {
@@ -350,14 +544,35 @@ impl NeuralModel {
         self.value_for_seq(&self.encode_statement(statement))
     }
 
-    /// Batch twin of [`Self::predict_proba`]: statements encode and
-    /// forward-pass in one fan-out on the [`sqlan_par`] pool (input-order
-    /// merge). Each statement is a pure function of the frozen parameters,
-    /// so the output is bit-identical to mapping the per-statement API.
+    /// Batch twin of [`Self::predict_proba`], via *true batched
+    /// forward*: statements encode in one fan-out, tiles plan by length,
+    /// and each tile runs one batched tape (one `(B,K)·(K,N)` matmul per
+    /// layer instead of B vector-matrix products). Because every kernel
+    /// batches along rows only — preserving each row's accumulation
+    /// order — the output is bit-identical to mapping the per-statement
+    /// API, at any thread count.
     pub fn predict_proba_batch(&self, statements: &[String]) -> Vec<Vec<f32>> {
-        sqlan_par::par_map(statements, |s| {
-            self.proba_for_seq(&self.encode_statement(s))
-        })
+        let seqs: Vec<Vec<u32>> = sqlan_par::par_map(statements, |s| self.encode_statement(s));
+        let lens: Vec<usize> = seqs.iter().map(Vec::len).collect();
+        let tiles = plan_tiles(&lens, PREDICT_TILE);
+        let per_tile: Vec<Vec<Vec<f32>>> = sqlan_par::par_map(&tiles, |tile| {
+            let mut g = Graph::new(&self.params);
+            let tile_seqs: Vec<&[u32]> = tile.indices.iter().map(|&i| seqs[i].as_slice()).collect();
+            let logits = self.logits_for_tile(&mut g, &tile_seqs, None);
+            let probs = g.softmax_probs_rows(logits);
+            let rows: Vec<Vec<f32>> = (0..probs.rows)
+                .map(|r| probs.row_slice(r).to_vec())
+                .collect();
+            probs.recycle();
+            rows
+        });
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); statements.len()];
+        for (tile, rows) in tiles.iter().zip(per_tile) {
+            for (&i, row) in tile.indices.iter().zip(rows) {
+                out[i] = row;
+            }
+        }
+        out
     }
 
     /// Batch twin of [`Self::predict_class`].
@@ -368,11 +583,25 @@ impl NeuralModel {
             .collect()
     }
 
-    /// Batch twin of [`Self::predict_value`].
+    /// Batch twin of [`Self::predict_value`] (same true-batched forward
+    /// as [`Self::predict_proba_batch`]).
     pub fn predict_value_batch(&self, statements: &[String]) -> Vec<f64> {
-        sqlan_par::par_map(statements, |s| {
-            self.value_for_seq(&self.encode_statement(s))
-        })
+        let seqs: Vec<Vec<u32>> = sqlan_par::par_map(statements, |s| self.encode_statement(s));
+        let lens: Vec<usize> = seqs.iter().map(Vec::len).collect();
+        let tiles = plan_tiles(&lens, PREDICT_TILE);
+        let per_tile: Vec<Vec<f64>> = sqlan_par::par_map(&tiles, |tile| {
+            let mut g = Graph::new(&self.params);
+            let tile_seqs: Vec<&[u32]> = tile.indices.iter().map(|&i| seqs[i].as_slice()).collect();
+            let logits = self.logits_for_tile(&mut g, &tile_seqs, None);
+            g.value(logits).data.iter().map(|&v| v as f64).collect()
+        });
+        let mut out: Vec<f64> = vec![0.0; statements.len()];
+        for (tile, vals) in tiles.iter().zip(per_tile) {
+            for (&i, v) in tile.indices.iter().zip(vals) {
+                out[i] = v;
+            }
+        }
+        out
     }
 }
 

@@ -162,6 +162,54 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The true-batched neural path specifically: statement lengths vary
+    /// wildly (empty → hundreds of tokens) so one request spans many
+    /// length buckets, and batch sizes exceed the predict tile width so
+    /// tiles split — every composition must still be bit-identical to
+    /// per-statement scoring.
+    #[test]
+    fn neural_batching_is_bit_identical_across_buckets_and_tiles(
+        lens in prop::collection::vec(0usize..300, 1..40),
+        threads in 1usize..5,
+    ) {
+        // Length `n` repeats of a token, so sequences land in distinct
+        // buckets; the token itself varies with the length.
+        let statements: Vec<String> = lens
+            .iter()
+            .map(|&n| {
+                let tok = ["x", "sel", "FROM", "9", "?"][n % 5];
+                vec![tok; n].join(" ")
+            })
+            .collect();
+        sqlan_par::with_threads(threads, || {
+            // Neural classifiers (wcnn + clstm) from the shared zoo.
+            for model in classifiers()
+                .iter()
+                .filter(|m| matches!(m.kind, ModelKind::WCnn | ModelKind::CLstm))
+            {
+                let batch = model.predict_proba_batch(&statements);
+                let solo: Vec<Vec<f32>> =
+                    statements.iter().map(|s| model.predict_proba(s)).collect();
+                prop_assert_eq!(proba_bits(&batch), proba_bits(&solo), "{}", model.name());
+            }
+            // Neural regressor (wcnn head with one output).
+            for model in regressors()
+                .iter()
+                .filter(|m| matches!(m.kind, ModelKind::WCnn | ModelKind::CLstm))
+            {
+                let batch = model.predict_value_batch(&statements);
+                let solo: Vec<f64> =
+                    statements.iter().map(|s| model.predict_value(s)).collect();
+                prop_assert_eq!(value_bits(&batch), value_bits(&solo), "{}", model.name());
+            }
+            Ok(())
+        })?;
+    }
+}
+
 #[test]
 fn opt_baseline_batch_matches_per_statement() {
     let (xs, _, vals) = toy();

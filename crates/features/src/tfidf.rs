@@ -4,34 +4,63 @@
 //! 5-grams) from the training set. … the weight of token tᵢ is computed
 //! using TFIDF(tᵢ,Q,𝒬) = TF(tᵢ,Q) × IDF(tᵢ,𝒬)", with TF the normalized
 //! in-query frequency and IDF = log(|𝒬| / (1 + |{Q : tᵢ ∈ Q}|)).
+//!
+//! Hot-path notes: [`TfidfVectorizer::transform`] runs once per labeled
+//! statement and once per served prediction, so it avoids both SipHash
+//! (the vocabulary and count maps use the [`fxhash`] multiply-rotate
+//! hasher) and per-n-gram `String` allocation (n-gram keys are rendered
+//! into one reusable scratch buffer and probed by `&str`). The count map
+//! and key buffer live in a thread-local scratch reused across calls, so
+//! a transform allocates only its output vector.
 
+use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cell::RefCell;
 
 /// A sparse feature vector: sorted (feature id, weight) pairs.
 pub type SparseVec = Vec<(u32, f32)>;
 
+/// Separator between tokens of one rendered n-gram key.
+const SEP: char = '\u{1f}';
+
 /// Generate all n-grams of `tokens` for n in `1..=max_n`, rendered as
-/// separator-joined strings.
+/// separator-joined strings. (Allocating; the vectorizer hot paths
+/// render keys into a scratch buffer instead — keep this for callers
+/// that want the materialized list.)
 pub fn ngrams(tokens: &[String], max_n: usize) -> Vec<String> {
     let mut out = Vec::new();
+    for_each_ngram(tokens, max_n, |key| out.push(key.to_string()));
+    out
+}
+
+/// Visit every n-gram of `tokens` for n in `1..=max_n`, rendered into a
+/// reused buffer — the borrowed-key scheme behind [`ngrams`] without its
+/// per-n-gram allocation.
+fn for_each_ngram(tokens: &[String], max_n: usize, mut visit: impl FnMut(&str)) {
+    let mut key = String::new();
     for n in 1..=max_n {
         if tokens.len() < n {
             break;
         }
         for w in tokens.windows(n) {
-            out.push(w.join("\u{1f}"));
+            key.clear();
+            for (i, t) in w.iter().enumerate() {
+                if i > 0 {
+                    key.push(SEP);
+                }
+                key.push_str(t);
+            }
+            visit(&key);
         }
     }
-    out
 }
 
 /// A fitted bag-of-ngrams TF-IDF vectorizer.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TfidfVectorizer {
     pub max_n: usize,
-    /// n-gram → feature id.
-    vocab: HashMap<String, u32>,
+    /// n-gram → feature id (Fx-hashed: internal keys, no DoS surface).
+    vocab: FxHashMap<String, u32>,
     /// Per-feature inverse document frequency.
     idf: Vec<f32>,
 }
@@ -40,6 +69,13 @@ pub struct TfidfVectorizer {
 /// Boundaries depend only on this constant (never the worker count), so
 /// the chunked document-frequency reduce merges in a fixed order.
 const FIT_CHUNK_DOCS: usize = 64;
+
+thread_local! {
+    /// Reused across [`TfidfVectorizer::transform`] calls: the feature
+    /// count map (cleared, capacity kept). One per thread — transforms
+    /// fan out over the pool, and each worker gets its own scratch.
+    static COUNT_SCRATCH: RefCell<FxHashMap<u32, f32>> = RefCell::new(FxHashMap::default());
+}
 
 impl TfidfVectorizer {
     /// Fit on training token streams: select the `max_features` most
@@ -51,45 +87,47 @@ impl TfidfVectorizer {
     /// (count desc, then n-gram asc), so the fitted vectorizer is
     /// identical to the sequential path at any thread count.
     pub fn fit(streams: &[Vec<String>], max_n: usize, max_features: usize) -> TfidfVectorizer {
-        // Document frequency and collection frequency per n-gram.
-        type Counts = (HashMap<String, usize>, HashMap<String, usize>);
+        // Collection frequency and document frequency per n-gram.
+        type Counts = FxHashMap<String, (usize, usize)>;
         let per_chunk: Vec<Counts> = sqlan_par::par_chunks(streams, FIT_CHUNK_DOCS, |chunk| {
-            let mut cf: HashMap<String, usize> = HashMap::new();
-            let mut df: HashMap<String, usize> = HashMap::new();
+            let mut counts: Counts = FxHashMap::default();
+            // Per-stream occurrence counts, merged so each distinct
+            // n-gram bumps the chunk's df exactly once per stream.
+            let mut local: FxHashMap<String, usize> = FxHashMap::default();
             for stream in chunk {
-                let grams = ngrams(stream, max_n);
-                let mut seen: HashMap<&str, ()> = HashMap::new();
-                for g in &grams {
-                    *cf.entry(g.clone()).or_default() += 1;
-                }
-                for g in &grams {
-                    if seen.insert(g.as_str(), ()).is_none() {
-                        *df.entry(g.clone()).or_default() += 1;
+                local.clear();
+                for_each_ngram(stream, max_n, |key| match local.get_mut(key) {
+                    Some(c) => *c += 1,
+                    None => {
+                        local.insert(key.to_string(), 1);
                     }
+                });
+                for (g, n) in local.drain() {
+                    let slot = counts.entry(g).or_insert((0, 0));
+                    slot.0 += n;
+                    slot.1 += 1;
                 }
             }
-            (cf, df)
+            counts
         });
-        let mut cf: HashMap<String, usize> = HashMap::new();
-        let mut df: HashMap<String, usize> = HashMap::new();
-        for (chunk_cf, chunk_df) in per_chunk {
-            for (g, n) in chunk_cf {
-                *cf.entry(g).or_default() += n;
-            }
-            for (g, n) in chunk_df {
-                *df.entry(g).or_default() += n;
+        let mut merged: Counts = FxHashMap::default();
+        for chunk in per_chunk {
+            for (g, (cf, df)) in chunk {
+                let slot = merged.entry(g).or_insert((0, 0));
+                slot.0 += cf;
+                slot.1 += df;
             }
         }
-        let mut ranked: Vec<(String, usize)> = cf.into_iter().collect();
-        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut ranked: Vec<(String, (usize, usize))> = merged.into_iter().collect();
+        ranked.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
         ranked.truncate(max_features);
 
         let n_docs = streams.len().max(1) as f32;
-        let mut vocab = HashMap::with_capacity(ranked.len());
+        let mut vocab = FxHashMap::default();
+        vocab.reserve(ranked.len());
         let mut idf = Vec::with_capacity(ranked.len());
-        for (i, (gram, _)) in ranked.into_iter().enumerate() {
-            let d = df.get(&gram).copied().unwrap_or(0) as f32;
-            idf.push((n_docs / (1.0 + d)).ln().max(0.0));
+        for (i, (gram, (_, df))) in ranked.into_iter().enumerate() {
+            idf.push((n_docs / (1.0 + df as f32)).ln().max(0.0));
             vocab.insert(gram, i as u32);
         }
         TfidfVectorizer { max_n, vocab, idf }
@@ -106,23 +144,27 @@ impl TfidfVectorizer {
     /// n-grams in the query ("the normalization prevents bias towards
     /// longer queries").
     pub fn transform(&self, tokens: &[String]) -> SparseVec {
-        let grams = ngrams(tokens, self.max_n);
-        if grams.is_empty() {
-            return Vec::new();
-        }
-        let total = grams.len() as f32;
-        let mut counts: HashMap<u32, f32> = HashMap::new();
-        for g in &grams {
-            if let Some(&id) = self.vocab.get(g) {
-                *counts.entry(id).or_default() += 1.0;
+        COUNT_SCRATCH.with(|scratch| {
+            let counts = &mut *scratch.borrow_mut();
+            counts.clear();
+            let mut total = 0usize;
+            for_each_ngram(tokens, self.max_n, |key| {
+                total += 1;
+                if let Some(&id) = self.vocab.get(key) {
+                    *counts.entry(id).or_default() += 1.0;
+                }
+            });
+            if total == 0 {
+                return Vec::new();
             }
-        }
-        let mut out: SparseVec = counts
-            .into_iter()
-            .map(|(id, c)| (id, (c / total) * self.idf[id as usize]))
-            .collect();
-        out.sort_by_key(|(id, _)| *id);
-        out
+            let total = total as f32;
+            let mut out: SparseVec = counts
+                .iter()
+                .map(|(&id, &c)| (id, (c / total) * self.idf[id as usize]))
+                .collect();
+            out.sort_by_key(|(id, _)| *id);
+            out
+        })
     }
 
     /// Transform many token streams at once, in parallel, preserving
@@ -238,6 +280,38 @@ mod tests {
                 "threads={t}"
             );
             assert_eq!(mat, mat1, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn borrowed_key_transform_matches_materialized_ngrams() {
+        // The scratch-buffer n-gram walk must visit exactly the n-grams
+        // `ngrams` materializes, in the same multiset.
+        let corpus = vec![
+            toks(&["select", "x", "from", "t", "where", "x"]),
+            toks(&["select", "x", "x", "x"]),
+        ];
+        let v = TfidfVectorizer::fit(&corpus, 3, 100);
+        for stream in &corpus {
+            let grams = ngrams(stream, v.max_n);
+            let mut visited = Vec::new();
+            for_each_ngram(stream, v.max_n, |k| visited.push(k.to_string()));
+            assert_eq!(grams, visited);
+            // And the transform agrees with a from-scratch recount.
+            let total = grams.len() as f32;
+            let mut expect: Vec<(u32, f32)> = {
+                let mut m: std::collections::BTreeMap<u32, f32> = Default::default();
+                for g in &grams {
+                    if let Some(&id) = v.vocab.get(g.as_str()) {
+                        *m.entry(id).or_default() += 1.0;
+                    }
+                }
+                m.into_iter().collect()
+            };
+            for e in &mut expect {
+                e.1 = (e.1 / total) * v.idf[e.0 as usize];
+            }
+            assert_eq!(v.transform(stream), expect);
         }
     }
 

@@ -6,10 +6,13 @@
 /// Whitespace is dropped (the paper counts Figure 2a at "48 tokens at the
 /// character level (excluding spaces)").
 pub fn char_tokens(text: &str) -> Vec<String> {
-    text.chars()
-        .filter(|c| !c.is_whitespace())
-        .map(|c| c.to_string())
-        .collect()
+    let mut out = Vec::with_capacity(text.len());
+    for c in text.chars() {
+        if !c.is_whitespace() {
+            out.push(c.to_string());
+        }
+    }
+    out
 }
 
 /// Word-level tokens.
@@ -19,7 +22,9 @@ pub fn char_tokens(text: &str) -> Vec<String> {
 /// collapse to `<DIGIT>`, string literals become `<STR>`, every other
 /// non-space character is its own token.
 pub fn word_tokens(text: &str) -> Vec<String> {
-    let mut out = Vec::new();
+    // ~1 token per 4 bytes of SQL in practice; a one-shot reservation
+    // keeps the push loop realloc-free for typical statements.
+    let mut out = Vec::with_capacity(text.len() / 4 + 1);
     let bytes = text.as_bytes();
     let mut i = 0;
     while i < bytes.len() {

@@ -1,8 +1,8 @@
 //! Token vocabularies with frequency-based capping (§4.4.1's open-
 //! vocabulary control) and sequence encoding for the neural models.
 
+use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Reserved token ids.
 pub const PAD: u32 = 0;
@@ -13,7 +13,10 @@ pub const FIRST_TOKEN_ID: u32 = 2;
 /// A frozen token → id mapping.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Vocab {
-    map: HashMap<String, u32>,
+    /// Token → id. Fx-hashed: the lookup runs once per token of every
+    /// encoded statement (training *and* serving), and keys are internal
+    /// vocabulary strings with no DoS surface.
+    map: FxHashMap<String, u32>,
     items: Vec<String>,
 }
 
@@ -26,7 +29,7 @@ impl Vocab {
         max_size: usize,
         min_count: usize,
     ) -> Vocab {
-        let mut counts: HashMap<&'a str, usize> = HashMap::new();
+        let mut counts: FxHashMap<&'a str, usize> = FxHashMap::default();
         for stream in streams {
             for t in stream {
                 *counts.entry(t.as_str()).or_default() += 1;

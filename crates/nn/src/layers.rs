@@ -1,6 +1,15 @@
 //! Reusable layers built on the autograd tape: Linear, Embedding, the
 //! multi-width convolution bank of the paper's shallow CNN (§5.3), and the
 //! LSTM stack of §5.2 / Appendix A.2.
+//!
+//! Every layer is batch-capable. [`Linear::forward`] is shape-generic
+//! (one `(B,K)·(K,N)` matmul covers a whole minibatch); the sequence
+//! encoders have explicit batch twins — [`Conv1dBank::forward_packed`]
+//! over per-example segments of a packed embedding, and
+//! [`LstmStack::forward_batch`] over a length-bucketed padded batch with
+//! per-row masks. The twins run the exact same per-row kernels as the
+//! per-example paths, so batched inference is bit-identical to running
+//! examples one at a time.
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -35,6 +44,9 @@ impl Linear {
         }
     }
 
+    /// `x @ W + b`. Batch twin for free: `x` may be `(B, in_dim)` — the
+    /// matmul kernel's per-row contract makes each output row identical
+    /// to the row's solo forward.
     pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
         let w = g.param(self.w);
         let b = g.param(self.b);
@@ -124,13 +136,47 @@ impl Conv1dBank {
     /// Apply to an embedded sequence (seq, d). The caller must pad the
     /// sequence to at least `max(widths)` tokens.
     pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        let seq = g.value(x).rows;
+        self.forward_packed(g, x, &[(0, seq)])
+    }
+
+    /// The pre-batching forward, one example at a time with the seed's
+    /// scalar convolution kernel (same bits, see
+    /// [`Graph::conv1d_seed_kernel`]). Benchmark baseline only.
+    pub fn forward_legacy(&self, g: &mut Graph<'_>, x: Var) -> Var {
         let mut pooled = Vec::with_capacity(self.widths.len());
         for (i, &w) in self.widths.iter().enumerate() {
             let weight = g.param(self.weights[i]);
             let bias = g.param(self.biases[i]);
-            let conv = g.conv1d(x, weight, bias, w);
+            let conv = g.conv1d_seed_kernel(x, weight, bias, w);
             let act = g.relu(conv);
             pooled.push(g.max_over_time(act));
+        }
+        g.concat_cols(&pooled)
+    }
+
+    /// Batch twin: apply to a packed embedding (Σseqᵢ, d) whose
+    /// per-example spans are `segs`, producing one pooled feature row
+    /// per example — (B, out_dim). Every sequence must be at least
+    /// `max(widths)` tokens (the encoder pads on encode). Convolution,
+    /// ReLU, and max-over-time all run per segment with the per-example
+    /// kernels, so row i is bit-identical to `forward` on example i.
+    pub fn forward_packed(&self, g: &mut Graph<'_>, x: Var, segs: &[(usize, usize)]) -> Var {
+        let mut pooled = Vec::with_capacity(self.widths.len());
+        for (i, &w) in self.widths.iter().enumerate() {
+            let weight = g.param(self.weights[i]);
+            let bias = g.param(self.biases[i]);
+            let conv = g.conv1d_packed(x, weight, bias, w, segs.to_vec());
+            let act = g.relu(conv);
+            // Output segments shrink by w−1 rows each.
+            let mut out_segs = Vec::with_capacity(segs.len());
+            let mut off = 0usize;
+            for &(_, len) in segs {
+                let out_len = len - w + 1;
+                out_segs.push((off, out_len));
+                off += out_len;
+            }
+            pooled.push(g.max_over_segs(act, out_segs));
         }
         g.concat_cols(&pooled)
     }
@@ -173,31 +219,34 @@ impl LstmLayer {
         }
     }
 
-    /// One timestep: `(x_t, h_{t-1}, c_{t-1}) → (h_t, c_t)`.
-    pub fn step(&self, g: &mut Graph<'_>, x: Var, h: Var, c: Var) -> (Var, Var) {
-        let k = self.hidden;
-        let wx = g.param(self.wx);
-        let wh = g.param(self.wh);
-        let b = g.param(self.b);
-        let xw = g.matmul(x, wx);
-        let hw = g.matmul(h, wh);
-        let sum = g.add(xw, hw);
-        let gates = g.add_row(sum, b);
-        let c_tilde_lin = g.slice_cols(gates, 0, k);
-        let u_lin = g.slice_cols(gates, k, 2 * k);
-        let f_lin = g.slice_cols(gates, 2 * k, 3 * k);
-        let o_lin = g.slice_cols(gates, 3 * k, 4 * k);
-        let c_tilde = g.tanh(c_tilde_lin);
-        let u = g.sigmoid(u_lin);
-        let f = g.sigmoid(f_lin);
-        let o = g.sigmoid(o_lin);
-        let uc = g.mul(u, c_tilde);
-        let fc = g.mul(f, c);
-        let c_next = g.add(uc, fc);
-        let c_act = g.tanh(c_next);
-        let h_next = g.mul(o, c_act);
-        (h_next, c_next)
+    /// Push this layer's parameters onto the tape once, so a sequence
+    /// loop doesn't re-clone `wx`/`wh`/`b` at every timestep.
+    pub fn param_vars(&self, g: &mut Graph<'_>) -> LstmParamVars {
+        LstmParamVars {
+            wx: g.param(self.wx),
+            wh: g.param(self.wh),
+            b: g.param(self.b),
+        }
     }
+
+    /// One timestep on the fused-cell state: previous hidden state `h`
+    /// (B, k), previous cell state inside `hc` (B, 7k; see
+    /// [`Graph::lstm_cell`]), input rows `x` (B, in_dim) → next fused
+    /// state (B, 7k). Two tape nodes per step instead of the sixteen an
+    /// op-by-op cell costs.
+    pub fn step(&self, g: &mut Graph<'_>, x: Var, h: Var, hc: Var, pv: &LstmParamVars) -> Var {
+        let gates = g.lstm_gates(x, h, pv.wx, pv.wh, pv.b);
+        g.lstm_cell(gates, hc, self.hidden)
+    }
+}
+
+/// One LSTM layer's parameters pushed onto a tape (see
+/// [`LstmLayer::param_vars`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LstmParamVars {
+    wx: Var,
+    wh: Var,
+    b: Var,
 }
 
 /// A stack of LSTM layers (the paper uses three); the last layer's final
@@ -231,11 +280,23 @@ impl LstmStack {
     }
 
     /// Run the full stack over an embedded sequence (seq, d); returns the
-    /// top layer's final hidden state (1, hidden).
+    /// top layer's final hidden state (1, hidden). This *is* the batch
+    /// twin at B = 1 — one code path, so per-example and batched
+    /// execution cannot drift.
     pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
         let seq = g.value(x).rows;
+        self.forward_batch(g, x, &[seq], seq)
+    }
+
+    /// The pre-batching forward: one timestep at a time with the
+    /// op-by-op cell (matmul/add/add_row/slice/tanh/sigmoid/mul — 16
+    /// tape nodes per layer-step), libm activations, and parameters
+    /// re-pushed at every step, exactly as this crate shipped before
+    /// the fused gate/cell ops. Benchmark baseline only
+    /// (`SQLAN_NN_TRAIN=per_example`).
+    pub fn forward_legacy(&self, g: &mut Graph<'_>, x: Var) -> Var {
+        let seq = g.value(x).rows;
         let hidden = self.layers[0].hidden;
-        // Per-layer state.
         let mut hs: Vec<Var> = Vec::with_capacity(self.layers.len());
         let mut cs: Vec<Var> = Vec::with_capacity(self.layers.len());
         for _ in &self.layers {
@@ -245,10 +306,90 @@ impl LstmStack {
         for t in 0..seq {
             let mut inp = g.select_row(x, t);
             for (l, layer) in self.layers.iter().enumerate() {
-                let (h, c) = layer.step(g, inp, hs[l], cs[l]);
-                hs[l] = h;
-                cs[l] = c;
-                inp = h;
+                let k = layer.hidden;
+                let wx = g.param(layer.wx);
+                let wh = g.param(layer.wh);
+                let b = g.param(layer.b);
+                let xw = g.matmul(inp, wx);
+                let hw = g.matmul(hs[l], wh);
+                let sum = g.add(xw, hw);
+                let gates = g.add_row(sum, b);
+                let c_tilde_lin = g.slice_cols(gates, 0, k);
+                let u_lin = g.slice_cols(gates, k, 2 * k);
+                let f_lin = g.slice_cols(gates, 2 * k, 3 * k);
+                let o_lin = g.slice_cols(gates, 3 * k, 4 * k);
+                let c_tilde = g.tanh_seed_kernel(c_tilde_lin);
+                let u = g.sigmoid_seed_kernel(u_lin);
+                let f = g.sigmoid_seed_kernel(f_lin);
+                let o = g.sigmoid_seed_kernel(o_lin);
+                let uc = g.mul(u, c_tilde);
+                let fc = g.mul(f, cs[l]);
+                let c_next = g.add(uc, fc);
+                let c_act = g.tanh_seed_kernel(c_next);
+                let h_next = g.mul(o, c_act);
+                hs[l] = h_next;
+                cs[l] = c_next;
+                inp = h_next;
+            }
+        }
+        hs[self.layers.len() - 1]
+    }
+
+    /// Batch twin: run the stack over a length-bucketed padded batch.
+    ///
+    /// `x` is the packed padded embedding — `B · padded_len` rows, row
+    /// `i · padded_len + t` holding example i's token t (PAD beyond the
+    /// true length) — and `lens` the true lengths (each ≥ 1 and ≤
+    /// `padded_len`). Each timestep gathers the batch's token rows and
+    /// steps every layer on `(B, ·)` state through the fused gate/cell
+    /// ops; finished rows freeze with a masked select, keeping their
+    /// exact previous bits, so the final state row of every example is
+    /// bit-identical to running that example alone. Returns the top
+    /// layer's final hidden state, (B, hidden).
+    pub fn forward_batch(
+        &self,
+        g: &mut Graph<'_>,
+        x: Var,
+        lens: &[usize],
+        padded_len: usize,
+    ) -> Var {
+        let bsz = lens.len();
+        assert!(bsz > 0, "forward_batch: empty batch");
+        assert_eq!(
+            g.value(x).rows,
+            bsz * padded_len,
+            "forward_batch: packed row count"
+        );
+        assert!(
+            lens.iter().all(|&l| l >= 1 && l <= padded_len),
+            "forward_batch: lengths must be in 1..=padded_len"
+        );
+        let hidden = self.layers[0].hidden;
+        let pvs: Vec<LstmParamVars> = self.layers.iter().map(|l| l.param_vars(g)).collect();
+        // Per-layer fused state [h|c|stash] plus the h view consumed by
+        // the gates matmul and the next layer.
+        let mut hcs: Vec<Var> = Vec::with_capacity(self.layers.len());
+        let mut hs: Vec<Var> = Vec::with_capacity(self.layers.len());
+        for _ in &self.layers {
+            hcs.push(g.input(Tensor::zeros_pooled(bsz, 7 * hidden)));
+            hs.push(g.input(Tensor::zeros_pooled(bsz, hidden)));
+        }
+        for t in 0..padded_len {
+            let keep: Vec<bool> = lens.iter().map(|&l| t < l).collect();
+            let all_active = keep.iter().all(|&k| k);
+            let idx: Vec<usize> = (0..bsz).map(|i| i * padded_len + t).collect();
+            let mut inp = g.gather_rows(x, idx);
+            for (l, layer) in self.layers.iter().enumerate() {
+                let hc_new = layer.step(g, inp, hs[l], hcs[l], &pvs[l]);
+                hcs[l] = if all_active {
+                    hc_new
+                } else {
+                    // Finished rows keep their frozen state (and the
+                    // padded step's would-be update gets no gradient).
+                    g.select_rows_where(keep.clone(), hc_new, hcs[l])
+                };
+                hs[l] = g.slice_cols(hcs[l], 0, hidden);
+                inp = hs[l];
             }
         }
         hs[self.layers.len() - 1]
@@ -360,6 +501,46 @@ mod tests {
         for k in 0..pat.len() {
             assert!(a[k] >= pat[k] - 1e-5, "a[{k}]={} < pat={}", a[k], pat[k]);
             assert!(b[k] >= pat[k] - 1e-5, "b[{k}]={} < pat={}", b[k], pat[k]);
+        }
+    }
+
+    #[test]
+    fn legacy_cnn_forward_is_bit_identical_to_current() {
+        // The benchmark baseline must measure the old loop shape, not
+        // different numerics: same bits, slower kernel.
+        let mut r = rng();
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 10, 8, &mut r);
+        let bank = Conv1dBank::new(&mut params, "cnn", &[3, 4, 5], 16, 8, &mut r);
+        let tokens: Vec<u32> = (0..40u32).map(|i| i % 10).collect();
+        let mut g = Graph::new(&params);
+        let x = emb.forward(&mut g, &tokens);
+        let now = bank.forward(&mut g, x);
+        let legacy = bank.forward_legacy(&mut g, x);
+        let now_bits: Vec<u32> = g.value(now).data.iter().map(|f| f.to_bits()).collect();
+        let legacy_bits: Vec<u32> = g.value(legacy).data.iter().map(|f| f.to_bits()).collect();
+        assert_eq!(now_bits, legacy_bits);
+    }
+
+    #[test]
+    fn legacy_lstm_forward_matches_current_closely() {
+        // The fused cell changed the gate-sum association (bias-first)
+        // and the activation implementation, so legacy is not bitwise —
+        // but it must still be the same function numerically.
+        let mut r = rng();
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 20, 8, &mut r);
+        let stack = LstmStack::new(&mut params, "lstm", 8, 12, 2, &mut r);
+        let mut g = Graph::new(&params);
+        let x = emb.forward(&mut g, &[1, 5, 3, 7, 2, 9]);
+        let now_var = stack.forward(&mut g, x);
+        let now = g.value(now_var).clone();
+        let x2 = emb.forward(&mut g, &[1, 5, 3, 7, 2, 9]);
+        let legacy_var = stack.forward_legacy(&mut g, x2);
+        let legacy = g.value(legacy_var).clone();
+        assert_eq!(now.shape(), legacy.shape());
+        for (a, b) in now.data.iter().zip(&legacy.data) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
         }
     }
 

@@ -209,6 +209,9 @@ mod tests {
             let wv = g.param(w);
             let loss = g.huber(wv, 2.0, 1.0);
             g.backward(loss, 1.0, &mut grads);
+            // Graph implements Drop (arena recycling), so its borrow of
+            // `params` must end before the mutable optimizer step.
+            drop(g);
             opt.step(&mut params, &grads);
         }
         params.get(w).item()

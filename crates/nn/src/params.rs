@@ -76,13 +76,15 @@ impl Params {
         self.tensors.iter().map(Tensor::len).sum()
     }
 
-    /// A zeroed gradient buffer matching this parameter set.
+    /// A zeroed gradient buffer matching this parameter set. Backed by
+    /// the thread-local buffer arena — short-lived per-tile/per-example
+    /// buffers should go back via [`Grads::recycle`] once merged.
     pub fn zero_grads(&self) -> Grads {
         Grads {
             bufs: self
                 .tensors
                 .iter()
-                .map(|t| Tensor::zeros(t.rows, t.cols))
+                .map(|t| Tensor::zeros_pooled(t.rows, t.cols))
                 .collect(),
         }
     }
@@ -138,6 +140,14 @@ impl Grads {
             })
             .sum::<f32>()
             .sqrt()
+    }
+
+    /// Return every gradient buffer to the thread-local arena (call on
+    /// worker-private buffers after merging them).
+    pub fn recycle(self) {
+        for b in self.bufs {
+            b.recycle();
+        }
     }
 
     /// Clip by global norm (the paper's "clipping rate"); no-op when the

@@ -5,8 +5,17 @@
 //! `(seq_len, dim)` and vectors are `(1, dim)`. Keeping a single concrete
 //! shape rules out a whole class of broadcasting bugs and keeps the
 //! autograd tape simple.
+//!
+//! Hot-path storage comes from the thread-local [buffer arena]: the
+//! `*_pooled` constructors pop recycled buffers and [`Tensor::recycle`]
+//! files them back, so steady-state training/inference steps allocate
+//! O(1) fresh buffers.
+//!
+//! [buffer arena]: crate::arena
 
 use serde::{Deserialize, Serialize};
+
+use crate::arena;
 
 /// Row-major 2-D tensor.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,6 +33,43 @@ impl Tensor {
             cols,
             data: vec![0.0; rows * cols],
         }
+    }
+
+    /// All-zero tensor backed by the thread-local buffer arena.
+    pub fn zeros_pooled(rows: usize, cols: usize) -> Tensor {
+        Tensor {
+            rows,
+            cols,
+            data: arena::take_zeroed(rows * cols),
+        }
+    }
+
+    /// Copy of `self` backed by the arena.
+    pub fn copy_pooled(&self) -> Tensor {
+        let mut data = arena::take_empty(self.data.len());
+        data.extend_from_slice(&self.data);
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Build from an exact-size iterator into an arena buffer.
+    pub(crate) fn collect_pooled(
+        rows: usize,
+        cols: usize,
+        it: impl Iterator<Item = f32>,
+    ) -> Tensor {
+        let mut data = arena::take_empty(rows * cols);
+        data.extend(it);
+        assert_eq!(data.len(), rows * cols, "shape/iterator mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Return this tensor's buffer to the thread-local arena.
+    pub fn recycle(mut self) {
+        arena::give(std::mem::take(&mut self.data));
     }
 
     /// Tensor from a flat row-major vector.
@@ -88,38 +134,131 @@ impl Tensor {
         self.data[0]
     }
 
-    /// Matrix multiply: (m,k) × (k,n) → (m,n). Plain ikj loop with the
-    /// inner dimension contiguous — fast enough at model sizes (≤ a few
-    /// hundred) without pulling in BLAS.
+    /// Matrix multiply: (m,k) × (k,n) → (m,n).
+    ///
+    /// This is the workspace's one matmul kernel, and its numeric order
+    /// is a *contract*: each output element accumulates its k-products
+    /// in ascending `p` order starting from its initial value (ikj
+    /// order, no k-tiling), and rows never mix. Because of that, the
+    /// result row for input row `i` is bit-identical whether `i` arrives
+    /// alone as a (1,k) vector or stacked into a (B,k) batch — the
+    /// property the batched inference path relies on to stay byte-equal
+    /// to the per-example path.
+    ///
+    /// Mechanically the kernel *row-blocks*: four output rows advance
+    /// through `p` together so each `b` row is loaded once per block
+    /// instead of once per row — the concrete reason one `(B,k)·(k,n)`
+    /// product beats B vector-matrix products. Blocking shares loads
+    /// only; every row still performs its own adds in the contract
+    /// order, and the inner axpy vectorizes without reassociating any
+    /// sum.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(m, n, out)
+        let (m, n) = (self.rows, other.cols);
+        let mut out = Tensor::from_vec(m, n, arena::take_zeroed(m * n));
+        out.matmul_acc(self, other);
+        out
     }
 
-    /// Transposed copy.
-    pub fn transpose(&self) -> Tensor {
-        let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                *out.at_mut(c, r) = self.at(r, c);
+    /// Matrix-multiply-accumulate: `self += a · b` with the
+    /// [`Tensor::matmul`] kernel (same contract) into an existing
+    /// buffer — the fused-layer ops use it to skip intermediate
+    /// products.
+    pub fn matmul_acc(&mut self, a: &Tensor, b: &Tensor) {
+        assert_eq!(a.cols, b.rows, "matmul_acc shape mismatch");
+        assert_eq!(self.shape(), (a.rows, b.cols), "matmul_acc out shape");
+        let (m, k, n) = (a.rows, a.cols, b.cols);
+        // Register tile: 4 output rows × 16 columns of accumulators live
+        // across the whole k loop, so each output element is read and
+        // written once per call and `b` streams from L1. Every
+        // accumulator still receives its k-products in ascending `p`
+        // order from its initial value — tiling moves loads and stores,
+        // never adds.
+        const TJ: usize = 16;
+        let mut i = 0;
+        while i + 4 <= m {
+            let (ar0, ar1, ar2, ar3) = (
+                &a.data[i * k..(i + 1) * k],
+                &a.data[(i + 1) * k..(i + 2) * k],
+                &a.data[(i + 2) * k..(i + 3) * k],
+                &a.data[(i + 3) * k..(i + 4) * k],
+            );
+            let mut jt = 0;
+            while jt + TJ <= n {
+                let mut acc = [[0.0f32; TJ]; 4];
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    accr.copy_from_slice(&self.data[(i + r) * n + jt..(i + r) * n + jt + TJ]);
+                }
+                for p in 0..k {
+                    let bt = &b.data[p * n + jt..p * n + jt + TJ];
+                    let avs = [ar0[p], ar1[p], ar2[p], ar3[p]];
+                    for (accr, &av) in acc.iter_mut().zip(&avs) {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        for (o, &bv) in accr.iter_mut().zip(bt) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    self.data[(i + r) * n + jt..(i + r) * n + jt + TJ].copy_from_slice(accr);
+                }
+                jt += TJ;
+            }
+            // Column tail of the 4-row block.
+            if jt < n {
+                for (r, ar) in [ar0, ar1, ar2, ar3].into_iter().enumerate() {
+                    let out_row = &mut self.data[(i + r) * n + jt..(i + r + 1) * n];
+                    for (p, &av) in ar.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let bt = &b.data[p * n + jt..(p + 1) * n];
+                        for (o, &bv) in out_row.iter_mut().zip(bt) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+            i += 4;
+        }
+        // Remainder rows: plain single-row ikj.
+        for i in i..m {
+            let a_row = &a.data[i * k..(i + 1) * k];
+            let out_row = &mut self.data[i * n..(i + 1) * n];
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
             }
         }
-        out
+    }
+
+    /// Transposed copy (blocked: both source and destination are walked
+    /// in 32×32 tiles so neither side strides a whole row per element —
+    /// the naive loop thrashes cache on the tall matrices backward
+    /// passes transpose).
+    pub fn transpose(&self) -> Tensor {
+        const B: usize = 32;
+        let (r, c) = (self.rows, self.cols);
+        let mut out = arena::take_zeroed(r * c);
+        for r0 in (0..r).step_by(B) {
+            let r1 = (r0 + B).min(r);
+            for c0 in (0..c).step_by(B) {
+                let c1 = (c0 + B).min(c);
+                for i in r0..r1 {
+                    for j in c0..c1 {
+                        out[j * r + i] = self.data[i * c + j];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(c, r, out)
     }
 
     /// Element-wise in-place accumulate: `self += other`.
@@ -149,11 +288,7 @@ impl Tensor {
 
     /// Map a unary function over a copy.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Tensor::collect_pooled(self.rows, self.cols, self.data.iter().map(|&v| f(v)))
     }
 }
 
@@ -193,10 +328,53 @@ mod tests {
     }
 
     #[test]
+    fn matmul_rows_are_batch_invariant() {
+        // The kernel contract: row i of a (B,k)·(k,n) product is bitwise
+        // the row produced by the (1,k)·(k,n) product of that row alone.
+        let b = Tensor::from_vec(3, 4, (0..12).map(|i| (i as f32).sin()).collect());
+        let batch = Tensor::from_vec(5, 3, (0..15).map(|i| (i as f32).cos()).collect());
+        let full = batch.matmul(&b);
+        for r in 0..batch.rows {
+            let solo = Tensor::row(batch.row_slice(r).to_vec()).matmul(&b);
+            let full_bits: Vec<u32> = full.row_slice(r).iter().map(|f| f.to_bits()).collect();
+            let solo_bits: Vec<u32> = solo.row_slice(0).iter().map(|f| f.to_bits()).collect();
+            assert_eq!(full_bits, solo_bits, "row {r}");
+        }
+    }
+
+    #[test]
     fn transpose_roundtrip() {
         let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
         assert_eq!(a.transpose().transpose(), a);
         assert_eq!(a.transpose().at(2, 1), 6.0);
+    }
+
+    #[test]
+    fn transpose_blocked_matches_naive_on_odd_shapes() {
+        // Shapes straddling the 32-tile boundary.
+        for (r, c) in [(1, 1), (31, 33), (32, 32), (33, 65), (100, 7)] {
+            let a = Tensor::from_vec(r, c, (0..r * c).map(|i| i as f32).collect());
+            let t = a.transpose();
+            assert_eq!(t.shape(), (c, r));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t.at(j, i), a.at(i, j), "({i},{j}) of {r}x{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_zeros_and_recycle_roundtrip() {
+        let t = Tensor::zeros_pooled(4, 5);
+        assert_eq!(t.shape(), (4, 5));
+        assert!(t.data.iter().all(|&v| v == 0.0));
+        let u = t.copy_pooled();
+        t.recycle();
+        u.recycle();
+        // A fresh pooled tensor after recycling must still be zeroed.
+        let z = Tensor::zeros_pooled(4, 5);
+        assert!(z.data.iter().all(|&v| v == 0.0));
     }
 
     #[test]

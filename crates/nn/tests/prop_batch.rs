@@ -1,0 +1,162 @@
+//! Bit-identity of batched execution: for arbitrary sequences, batch
+//! compositions, and bucket boundaries, the batch twins of the encoders
+//! and head produce rows **bitwise equal** (`to_bits`) to running each
+//! example through the per-example path alone. This is the contract that
+//! lets `predict_*_batch` feed the serving layer without changing a
+//! single prediction byte.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sqlan_nn::{plan_tiles, Conv1dBank, Embedding, Graph, Linear, LstmStack, Params, Tensor};
+
+fn bits(t: &Tensor) -> Vec<Vec<u32>> {
+    (0..t.rows)
+        .map(|r| t.row_slice(r).iter().map(|f| f.to_bits()).collect())
+        .collect()
+}
+
+/// Random token sequences with the given length bounds.
+fn seqs_strategy(
+    min_len: usize,
+    max_len: usize,
+    max_batch: usize,
+) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(
+        prop::collection::vec(0u32..12, min_len..max_len + 1),
+        1..max_batch + 1,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CNN: packed-segment batch forward ≡ per-example forward, bitwise.
+    #[test]
+    fn cnn_batch_rows_equal_per_example_bits(
+        seed in 0u64..500,
+        seqs in seqs_strategy(5, 40, 9),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 12, 6, &mut rng);
+        let bank = Conv1dBank::new(&mut params, "cnn", &[3, 4, 5], 4, 6, &mut rng);
+        let head = Linear::new(&mut params, "head", bank.out_dim(), 3, &mut rng);
+
+        // Batched: pack all sequences into one tape.
+        let mut flat = Vec::new();
+        let mut segs = Vec::new();
+        for s in &seqs {
+            segs.push((flat.len(), s.len()));
+            flat.extend_from_slice(s);
+        }
+        let mut g = Graph::new(&params);
+        let x = emb.forward(&mut g, &flat);
+        let feats = bank.forward_packed(&mut g, x, &segs);
+        let logits = head.forward(&mut g, feats);
+        let batched = bits(g.value(logits));
+        let batched_probs = bits(&g.softmax_probs_rows(logits));
+        drop(g);
+
+        // Per-example.
+        for (i, s) in seqs.iter().enumerate() {
+            let mut g = Graph::new(&params);
+            let x = emb.forward(&mut g, s);
+            let feats = bank.forward(&mut g, x);
+            let logits = head.forward(&mut g, feats);
+            prop_assert_eq!(&batched[i], &bits(g.value(logits))[0], "logits row {}", i);
+            let probs = g.softmax_probs(logits);
+            let probs_bits: Vec<u32> = probs.iter().map(|f| f.to_bits()).collect();
+            prop_assert_eq!(&batched_probs[i], &probs_bits, "probs row {}", i);
+        }
+    }
+
+    /// LSTM: padded + masked batch forward ≡ per-example forward,
+    /// bitwise — across arbitrary length mixes (bucket boundaries land
+    /// wherever the lengths do; padding is exercised whenever lengths
+    /// differ within the batch).
+    #[test]
+    fn lstm_batch_rows_equal_per_example_bits(
+        seed in 0u64..500,
+        seqs in seqs_strategy(1, 24, 7),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 12, 5, &mut rng);
+        let stack = LstmStack::new(&mut params, "lstm", 5, 6, 2, &mut rng);
+        let head = Linear::new(&mut params, "head", 6, 1, &mut rng);
+
+        let lens: Vec<usize> = seqs.iter().map(Vec::len).collect();
+        let padded = *lens.iter().max().expect("non-empty");
+        let mut flat = Vec::new();
+        for s in &seqs {
+            flat.extend_from_slice(s);
+            flat.resize(flat.len() + (padded - s.len()), 0);
+        }
+        let mut g = Graph::new(&params);
+        let x = emb.forward(&mut g, &flat);
+        let h = stack.forward_batch(&mut g, x, &lens, padded);
+        let logits = head.forward(&mut g, h);
+        let batched = bits(g.value(logits));
+        drop(g);
+
+        for (i, s) in seqs.iter().enumerate() {
+            let mut g = Graph::new(&params);
+            let x = emb.forward(&mut g, s);
+            let h = stack.forward(&mut g, x);
+            let logits = head.forward(&mut g, h);
+            prop_assert_eq!(&batched[i], &bits(g.value(logits))[0], "row {}", i);
+        }
+    }
+
+    /// Tile plans partition the input for any length mix, and running
+    /// the batch tile-by-tile reproduces the full-batch rows (tiling is
+    /// invisible to the numbers).
+    #[test]
+    fn tiled_execution_is_partition_invariant(
+        seed in 0u64..500,
+        seqs in seqs_strategy(5, 60, 12),
+        max_tile in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 12, 4, &mut rng);
+        let bank = Conv1dBank::new(&mut params, "cnn", &[3], 3, 4, &mut rng);
+        let head = Linear::new(&mut params, "head", bank.out_dim(), 2, &mut rng);
+
+        let forward_tile = |tile_seqs: &[&[u32]]| -> Vec<Vec<u32>> {
+            let mut flat = Vec::new();
+            let mut segs = Vec::new();
+            for s in tile_seqs {
+                segs.push((flat.len(), s.len()));
+                flat.extend_from_slice(s);
+            }
+            let mut g = Graph::new(&params);
+            let x = emb.forward(&mut g, &flat);
+            let feats = bank.forward_packed(&mut g, x, &segs);
+            let logits = head.forward(&mut g, feats);
+            bits(g.value(logits))
+        };
+
+        // Whole batch as one tile.
+        let all: Vec<&[u32]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let whole = forward_tile(&all);
+
+        // Arbitrary bucketed tiling of the same batch.
+        let lens: Vec<usize> = seqs.iter().map(Vec::len).collect();
+        let tiles = plan_tiles(&lens, max_tile);
+        let mut covered = vec![false; seqs.len()];
+        for tile in &tiles {
+            let tile_seqs: Vec<&[u32]> =
+                tile.indices.iter().map(|&i| seqs[i].as_slice()).collect();
+            let rows = forward_tile(&tile_seqs);
+            for (r, &i) in tile.indices.iter().enumerate() {
+                prop_assert!(!covered[i]);
+                covered[i] = true;
+                prop_assert_eq!(&rows[r], &whole[i], "example {}", i);
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+}

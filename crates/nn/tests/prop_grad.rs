@@ -204,3 +204,65 @@ proptest! {
         check_gradients(&mut params, &f)?;
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Batched CNN tape: packed-segment convolution, per-segment max
+    /// pooling, row-wise cross-entropy, and sum_all — the whole
+    /// minibatch training graph of the CNN models.
+    #[test]
+    fn grad_batched_cnn_tape(seed in 0u64..1000, t0 in 0usize..2, t1 in 0usize..2) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 7, 4, &mut rng);
+        let bank = Conv1dBank::new(&mut params, "cnn", &[2, 3], 3, 4, &mut rng);
+        let head = Linear::new(&mut params, "head", 6, 2, &mut rng);
+        // Two sequences of different lengths, packed back to back.
+        let flat: Vec<u32> = vec![1, 4, 2, 6, 0, 3, 5, 2, 1];
+        let segs = vec![(0usize, 4usize), (4, 5)];
+        let targets = vec![t0, t1];
+        let f = move |p: &Params| {
+            let mut g = Graph::new(p);
+            let x = emb.forward(&mut g, &flat);
+            let feats = bank.forward_packed(&mut g, x, &segs);
+            let logits = head.forward(&mut g, feats);
+            let losses = g.softmax_ce_rows(logits, targets.clone());
+            let loss = g.sum_all(losses);
+            let mut grads = p.zero_grads();
+            let l = g.value(loss).item();
+            g.backward(loss, 0.5, &mut grads);
+            (l * 0.5, grads)
+        };
+        check_gradients(&mut params, &f)?;
+    }
+
+    /// Batched LSTM tape: row gather from the padded embedding, masked
+    /// state freezing (select_rows_where), and row-wise Huber — the
+    /// minibatch training graph of the LSTM models.
+    #[test]
+    fn grad_batched_lstm_tape(seed in 0u64..1000, y0 in -1.0f32..1.0, y1 in -1.0f32..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "e", 6, 3, &mut rng);
+        let lstm = LstmStack::new(&mut params, "lstm", 3, 4, 2, &mut rng);
+        let head = Linear::new(&mut params, "head", 4, 1, &mut rng);
+        // Lengths 4 and 2, padded to 4 → two masked steps for row 1.
+        let flat: Vec<u32> = vec![2, 5, 1, 3, 4, 1, 0, 0];
+        let lens = vec![4usize, 2];
+        let targets = vec![y0, y1];
+        let f = move |p: &Params| {
+            let mut g = Graph::new(p);
+            let x = emb.forward(&mut g, &flat);
+            let h = lstm.forward_batch(&mut g, x, &lens, 4);
+            let y = head.forward(&mut g, h);
+            let losses = g.huber_rows(y, targets.clone(), 1.0);
+            let loss = g.sum_all(losses);
+            let mut grads = p.zero_grads();
+            let l = g.value(loss).item();
+            g.backward(loss, 1.0, &mut grads);
+            (l, grads)
+        };
+        check_gradients(&mut params, &f)?;
+    }
+}

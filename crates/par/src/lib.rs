@@ -44,6 +44,18 @@
 //! measurable to a persistent pool, stays 100% safe (no `unsafe` lifetime
 //! erasure, which a persistent pool taking non-`'static` borrows would
 //! need), and keeps the determinism contract trivially auditable.
+//!
+//! ## Thread-locals and scoped workers
+//!
+//! Because workers are per-call scoped threads, worker `thread_local!`
+//! state does **not** persist across parallel calls — it lives for one
+//! `par_map`/`par_chunks` invocation. Callers that keep thread-local
+//! caches for reuse (e.g. `sqlan-nn`'s tensor buffer arena) get full
+//! cross-call reuse on the caller thread (which runs the whole input
+//! when the resolved count is 1 — the single-core hot path) and
+//! within-call reuse on workers (a worker processes many items per
+//! invocation, warming its cache on the first). This is the deliberate
+//! trade for the safety/determinism properties above.
 
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]

@@ -3,9 +3,14 @@
 //! Requests are admitted into a bounded micro-batching queue; scoring
 //! workers drain up to `max_batch` statements for one problem (waiting at
 //! most `max_wait` for stragglers to fill the batch) and score them in a
-//! single `predict_*_batch` call — which internally fans out across the
-//! [`sqlan_par`] pool. A full queue sheds the request instead of queueing
-//! unbounded work ([`ScoreError::Saturated`] → HTTP 503 upstream).
+//! single `predict_*_batch` call. For the neural models that call is
+//! *true batched forward* — the batch plans into length-bucketed tiles
+//! and each tile runs one tensorized tape (one `(B,K)·(K,N)` matmul per
+//! layer), bit-identical to per-statement scoring, rather than a
+//! `par_map` of per-statement graphs — so the micro-batching queue buys
+//! real kernel-level batching, not just thread fan-out. A full queue
+//! sheds the request instead of queueing unbounded work
+//! ([`ScoreError::Saturated`] → HTTP 503 upstream).
 //!
 //! The cache sits in front of the queue: hits answer immediately from the
 //! sharded LRU ([`crate::cache::PredictionCache`]); only misses are
