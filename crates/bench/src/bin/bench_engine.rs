@@ -7,14 +7,22 @@
 //! `SQLAN_ENGINE` settings, verifies the produced labels are
 //! byte-identical, and writes `BENCH_engine.json`.
 //!
+//! The run is also the in-binary scalar-vs-SIMD A/B: the columnar
+//! engine (whose filter/arith hot loops dispatch through `sqlan-simd`)
+//! is measured twice more with the kernel tier forced to the scalar
+//! oracle and to the auto-detected tier, and the labels from both tiers
+//! must be byte-identical (the bit-exactness contract on real queries).
+//!
 //! Knobs: `SQLAN_BENCH_REPEATS` (corpus passes per engine, default 20)
 //! and `SQLAN_BENCH_OUT` (output path, default `BENCH_engine.json`).
 
 use std::time::Instant;
 
 use serde::Serialize;
+use sqlan_bench::{KernelAb, MachineInfo};
 use sqlan_engine::testkit::{equivalence_catalog, equivalence_corpus};
 use sqlan_engine::{Database, Engine};
+use sqlan_simd::Tier;
 
 #[derive(Debug, Serialize)]
 struct EngineStats {
@@ -26,18 +34,87 @@ struct EngineStats {
 
 #[derive(Debug, Serialize)]
 struct BenchEngine {
-    /// CPUs visible to this process (single-threaded benchmark; recorded
-    /// for context only).
-    cores: usize,
+    machine: MachineInfo,
     corpus_queries: usize,
     repeats: usize,
     row: EngineStats,
     columnar: EngineStats,
     /// row.seconds / columnar.seconds — ≥ 1 means columnar wins.
     speedup_columnar_over_row: f64,
+    /// Columnar engine with the kernel tier forced to the scalar oracle.
+    columnar_scalar_tier: EngineStats,
+    /// columnar_scalar_tier.seconds / columnar.seconds under the
+    /// auto-detected tier — ≥ 1 means the SIMD tier wins. 1.0 on
+    /// hardware without AVX2 (both runs resolve to scalar).
+    speedup_simd_over_scalar: f64,
     /// Whether both engines produced byte-identical labels (error class,
     /// answer size, cpu seconds) for every statement. Must be true.
     labels_identical: bool,
+    /// Whether the columnar labels were byte-identical between the
+    /// scalar and auto kernel tiers. Must be true.
+    tiers_identical: bool,
+    /// Isolated filter-kernel A/B at a column length where kernel time
+    /// dominates (the corpus above runs 25–240-row tables, where parse
+    /// and plan overhead swamps lane width). Absent without AVX2.
+    filter_kernels: Option<Vec<KernelAb>>,
+}
+
+/// Direct scalar-vs-AVX2 timing of the columnar filter kernels on an
+/// 8192-element column (the batch engine's typical chunk scale).
+fn filter_kernel_ab() -> Option<Vec<KernelAb>> {
+    use sqlan_simd::{paths, ArgF64, CmpOp};
+    if !sqlan_simd::cpu_features().avx2 {
+        return None;
+    }
+    let n = 8192usize;
+    let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7919) % 100.0).collect();
+    let ys: Vec<f64> = (0..n).map(|i| ((i + 13) as f64 * 1.3171) % 100.0).collect();
+    let (xs, ys) = (&xs, &ys);
+    // Each timed closure owns its output buffer (the two closures are
+    // alive at once inside `measure`).
+    let buf = || vec![false; n];
+    Some(vec![
+        KernelAb::measure(
+            "cmp_f64_lt_col_col",
+            n,
+            {
+                let mut o = buf();
+                move || paths::scalar::cmp_f64(CmpOp::Lt, ArgF64::F(xs), ArgF64::F(ys), &mut o)
+            },
+            {
+                let mut o = buf();
+                move || paths::avx2::cmp_f64(CmpOp::Lt, ArgF64::F(xs), ArgF64::F(ys), &mut o)
+            },
+        ),
+        KernelAb::measure(
+            "between_f64_col_const",
+            n,
+            {
+                let mut o = buf();
+                move || {
+                    paths::scalar::between_f64(
+                        ArgF64::F(xs),
+                        ArgF64::C(25.0),
+                        ArgF64::C(75.0),
+                        false,
+                        &mut o,
+                    )
+                }
+            },
+            {
+                let mut o = buf();
+                move || {
+                    paths::avx2::between_f64(
+                        ArgF64::F(xs),
+                        ArgF64::C(25.0),
+                        ArgF64::C(75.0),
+                        false,
+                        &mut o,
+                    )
+                }
+            },
+        ),
+    ])
 }
 
 /// Label the whole corpus once; returns the serialized labels.
@@ -69,12 +146,12 @@ fn main() {
         .ok()
         .and_then(|s| s.trim().parse().ok())
         .unwrap_or(20);
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let machine = sqlan_bench::machine_info();
     let corpus = equivalence_corpus();
     eprintln!(
-        "[bench_engine] cores={cores} corpus={} repeats={repeats}",
+        "[bench_engine] cores={} simd={} corpus={} repeats={repeats}",
+        machine.cores,
+        machine.simd_tier,
         corpus.len()
     );
 
@@ -91,19 +168,52 @@ fn main() {
         columnar.seconds, columnar.stmts_per_sec
     );
 
+    // SIMD A/B on the columnar engine: forced scalar oracle vs the
+    // auto-detected tier, same corpus, labels must not move a bit.
+    eprintln!("[bench_engine] kernel A/B: columnar, scalar tier");
+    sqlan_simd::force(Some(Tier::Scalar));
+    let (columnar_scalar_tier, scalar_labels) = measure(&col_db, &corpus, repeats);
+    sqlan_simd::force(None);
+    eprintln!(
+        "    {:.3}s ({:.0} stmts/s)",
+        columnar_scalar_tier.seconds, columnar_scalar_tier.stmts_per_sec
+    );
+
+    eprintln!("[bench_engine] kernel A/B: isolated filter kernels (n=8192)");
+    let filter_kernels = filter_kernel_ab();
+    if let Some(rows) = &filter_kernels {
+        for k in rows {
+            eprintln!(
+                "    {}: scalar {:.0}ns avx2 {:.0}ns ({:.2}x)",
+                k.kernel, k.scalar_ns, k.avx2_ns, k.speedup
+            );
+        }
+    } else {
+        eprintln!("    (no AVX2 on this CPU — skipped)");
+    }
+
     let labels_identical = row_labels == col_labels;
+    let tiers_identical = scalar_labels == col_labels;
     let report = BenchEngine {
-        cores,
+        machine,
         corpus_queries: corpus.len(),
         repeats,
         speedup_columnar_over_row: row.seconds / columnar.seconds.max(1e-9),
+        speedup_simd_over_scalar: columnar_scalar_tier.seconds / columnar.seconds.max(1e-9),
         row,
         columnar,
+        columnar_scalar_tier,
         labels_identical,
+        tiers_identical,
+        filter_kernels,
     };
     assert!(
         report.labels_identical,
         "row/columnar labels diverged — differential contract violated"
+    );
+    assert!(
+        report.tiers_identical,
+        "scalar/simd kernel tiers produced different labels — bit-exactness contract violated"
     );
     // Wall-clock on shared CI runners is noisy; gate with a margin so a
     // scheduler hiccup can't fail the build. The checked-in pinned run

@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use serde::Serialize;
-use sqlan_bench::Harness;
+use sqlan_bench::{Harness, MachineInfo};
 use sqlan_core::prelude::*;
 use sqlan_features::{word_tokens, TfidfVectorizer};
 use sqlan_par::with_threads;
@@ -35,8 +35,8 @@ struct StageScaling {
 
 #[derive(Debug, Serialize)]
 struct BenchPar {
-    /// CPUs visible to this process; speedup is bounded by this.
-    cores: usize,
+    /// CPUs and kernel tier; thread speedup is bounded by `machine.cores`.
+    machine: MachineInfo,
     threads_measured: Vec<usize>,
     sdss_sessions: usize,
     scale: f64,
@@ -82,12 +82,10 @@ fn main() {
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect();
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let machine = sqlan_bench::machine_info();
     eprintln!(
-        "[bench_par] cores={cores} threads={threads:?} sessions={} scale={}",
-        h.sdss_sessions, h.scale
+        "[bench_par] cores={} simd={} threads={threads:?} sessions={} scale={}",
+        machine.cores, machine.simd_tier, h.sdss_sessions, h.scale
     );
 
     eprintln!("[bench_par] stage 1/3: workload build (execution labeling)");
@@ -133,7 +131,7 @@ fn main() {
     });
 
     let report = BenchPar {
-        cores,
+        machine,
         threads_measured: threads,
         sdss_sessions: h.sdss_sessions,
         scale: h.scale,

@@ -48,7 +48,7 @@ struct LevelStats {
 
 #[derive(Debug, Serialize)]
 struct BenchServe {
-    cores: usize,
+    machine: sqlan_bench::MachineInfo,
     corpus_statements: usize,
     requests_per_client: usize,
     statements_per_request: usize,
@@ -168,9 +168,7 @@ fn main() {
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect();
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let machine = sqlan_bench::machine_info();
 
     let (bundle_dir, corpus_len, corpus) = train_bundle(&harness);
     let registry = Arc::new(ModelRegistry::open(&bundle_dir).expect("open bundle"));
@@ -184,7 +182,10 @@ fn main() {
     )
     .expect("start server");
     let addr = handle.addr();
-    eprintln!("[bench_serve] cores={cores} corpus={corpus_len} serving on {addr}");
+    eprintln!(
+        "[bench_serve] cores={} simd={} corpus={corpus_len} serving on {addr}",
+        machine.cores, machine.simd_tier
+    );
 
     let mut out_levels = Vec::new();
     for &clients in &levels {
@@ -234,7 +235,7 @@ fn main() {
     let _ = std::fs::remove_dir_all(&bundle_dir);
 
     let report = BenchServe {
-        cores,
+        machine,
         corpus_statements: corpus_len,
         requests_per_client: requests,
         statements_per_request: batch,

@@ -14,7 +14,10 @@
 //!   determinism contract, per mode);
 //! * `predict_proba_batch` bit-identical to per-statement
 //!   `predict_proba` on the test slice (the serving contract);
-//! * batched throughput ≥ per-example throughput at every thread count.
+//! * batched throughput ≥ per-example throughput at every thread count;
+//! * trained parameters byte-identical between the auto kernel tier and
+//!   the forced scalar oracle (the in-binary scalar-vs-SIMD A/B, which
+//!   also reports the tier speedup at the lowest thread count).
 //!
 //! Knobs: the usual `Harness` env vars plus `SQLAN_BENCH_THREADS`
 //! (default `1,2,4,8`) and `SQLAN_BENCH_OUT` (default
@@ -25,9 +28,10 @@
 use std::time::Instant;
 
 use serde::Serialize;
-use sqlan_bench::Harness;
+use sqlan_bench::{Harness, KernelAb, MachineInfo};
 use sqlan_core::prelude::*;
 use sqlan_core::Dataset;
+use sqlan_simd::Tier;
 
 #[derive(Debug, Serialize)]
 struct ModeScaling {
@@ -50,16 +54,76 @@ struct ModelBench {
     /// `predict_proba_batch` ≡ mapped `predict_proba`, bit for bit, on
     /// the test slice (batched-path model, every measured thread count).
     batch_predict_bit_identical: bool,
+    /// Batched training re-run with the kernel tier forced to the scalar
+    /// oracle, at the lowest measured thread count: (seconds,
+    /// examples/second).
+    batched_scalar_tier: (f64, f64),
+    /// batched examples/s under the auto tier ÷ under the forced scalar
+    /// oracle, lowest thread count. ≈ 1 on hardware without AVX2.
+    speedup_simd_at_1_thread: f64,
+    /// Trained parameters byte-identical between the scalar and auto
+    /// kernel tiers (the matmul/activation bit-exactness contract,
+    /// re-checked on a real training run). Must be true.
+    tiers_bit_identical: bool,
 }
 
 #[derive(Debug, Serialize)]
 struct BenchTrain {
-    /// CPUs visible to this process; thread-scaling is bounded by this.
-    cores: usize,
+    machine: MachineInfo,
     threads_measured: Vec<usize>,
     sdss_sessions: usize,
     scale: f64,
     models: Vec<ModelBench>,
+    /// Isolated scalar-vs-AVX2 timings of the training hot kernels at
+    /// training-realistic shapes. End-to-end training above mixes these
+    /// with tokenization, scatter/gather, and small-shape calls, so the
+    /// whole-run tier speedup is much smaller than the kernel-level gap.
+    /// Absent without AVX2.
+    train_kernels: Option<Vec<KernelAb>>,
+}
+
+/// Scalar-vs-AVX2 A/B of the matmul at LSTM/CNN training shapes
+/// (m = tile rows, k = input width, n = gate/feature width) plus the
+/// activation map.
+fn train_kernel_ab() -> Option<Vec<KernelAb>> {
+    use sqlan_simd::paths;
+    if !sqlan_simd::cpu_features().avx2 {
+        return None;
+    }
+    let mut rows = Vec::new();
+    for (m, k, n) in [(8usize, 32usize, 128usize), (32, 24, 128), (64, 32, 256)] {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7) as f32 * 0.013).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 3) as f32 * 0.011).cos()).collect();
+        let (a, b) = (&a, &b);
+        rows.push(KernelAb::measure(
+            &format!("matmul_acc_f32_{m}x{k}x{n}"),
+            m * n,
+            {
+                let mut o = vec![0.0f32; m * n];
+                move || paths::scalar::matmul_acc_f32(&mut o, a, b, m, k, n)
+            },
+            {
+                let mut o = vec![0.0f32; m * n];
+                move || paths::avx2::matmul_acc_f32(&mut o, a, b, m, k, n)
+            },
+        ));
+    }
+    let n = 4096usize;
+    let src: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01) - 20.0).collect();
+    let src = &src;
+    rows.push(KernelAb::measure(
+        "tanh_map_4096",
+        n,
+        {
+            let mut o = vec![0.0f32; n];
+            move || paths::scalar::tanh_map(src, &mut o)
+        },
+        {
+            let mut o = vec![0.0f32; n];
+            move || paths::avx2::tanh_map(src, &mut o)
+        },
+    ));
+    Some(rows)
 }
 
 fn train_mode(
@@ -99,12 +163,10 @@ fn main() {
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect();
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let machine = sqlan_bench::machine_info();
     eprintln!(
-        "[bench_train] cores={cores} threads={threads:?} sessions={} scale={}",
-        h.sdss_sessions, h.scale
+        "[bench_train] cores={} simd={} threads={threads:?} sessions={} scale={}",
+        machine.cores, machine.simd_tier, h.sdss_sessions, h.scale
     );
 
     eprintln!("[bench_train] building fixed-seed SDSS workload…");
@@ -145,6 +207,19 @@ fn main() {
         let (per_example, _) = train_mode("per_example", kind, &threads, &data, &cfg);
         let (batched, model) = train_mode("batched", kind, &threads, &data, &cfg);
 
+        // SIMD A/B: batched training once more at the lowest measured
+        // thread count with the kernel tier forced to the scalar oracle.
+        // The trained parameters must match the auto-tier run bit for
+        // bit (the adaptive training tile resolves once per process, so
+        // only the kernel tier differs between the two runs).
+        let lowest = *threads.iter().min().expect("at least one thread count");
+        sqlan_simd::force(Some(Tier::Scalar));
+        let (scalar_scaling, scalar_model) = train_mode("batched", kind, &[lowest], &data, &cfg);
+        sqlan_simd::force(None);
+        let &(_, scalar_secs, scalar_exps) = &scalar_scaling.runs[0];
+        let tiers_bit_identical = scalar_model.save_json().expect("neural models persist")
+            == model.save_json().expect("neural models persist");
+
         // Serving contract on the batched-path model: batched inference
         // must be byte-equal to per-statement inference at every
         // measured thread count.
@@ -173,9 +248,12 @@ fn main() {
                 .expect("at least one thread count")
         };
         let speedup = at_lowest(&batched) / at_lowest(&per_example);
+        let speedup_simd = at_lowest(&batched) / scalar_exps.max(1e-9);
         eprintln!(
-            "    single-thread speedup batched/per-example: {speedup:.2}x; \
-             deterministic: pe={} b={}; predict bit-identical: {}",
+            "    single-thread speedup batched/per-example: {speedup:.2}x, \
+             simd/scalar: {speedup_simd:.2}x; \
+             deterministic: pe={} b={}; predict bit-identical: {}; \
+             tiers bit-identical: {tiers_bit_identical}",
             per_example.deterministic, batched.deterministic, batch_predict_bit_identical
         );
         models.push(ModelBench {
@@ -186,15 +264,32 @@ fn main() {
             batched,
             speedup_batched_at_1_thread: speedup,
             batch_predict_bit_identical,
+            batched_scalar_tier: (scalar_secs, scalar_exps),
+            speedup_simd_at_1_thread: speedup_simd,
+            tiers_bit_identical,
         });
     }
 
+    eprintln!("[bench_train] kernel A/B: isolated training kernels");
+    let train_kernels = train_kernel_ab();
+    if let Some(rows) = &train_kernels {
+        for k in rows {
+            eprintln!(
+                "    {}: scalar {:.0}ns avx2 {:.0}ns ({:.2}x)",
+                k.kernel, k.scalar_ns, k.avx2_ns, k.speedup
+            );
+        }
+    } else {
+        eprintln!("    (no AVX2 on this CPU — skipped)");
+    }
+
     let report = BenchTrain {
-        cores,
+        machine,
         threads_measured: threads,
         sdss_sessions: h.sdss_sessions,
         scale: h.scale,
         models,
+        train_kernels,
     };
     // Persist before the contract asserts: a failing assert should
     // leave the run's evidence on disk, not discard it.
@@ -217,6 +312,12 @@ fn main() {
             "{}: batched training slower than per-example ({}x)",
             m.model,
             m.speedup_batched_at_1_thread
+        );
+        assert!(
+            m.tiers_bit_identical,
+            "{}: scalar/simd kernel tiers trained different parameters — \
+             bit-exactness contract violated",
+            m.model
         );
     }
 

@@ -32,10 +32,79 @@ use crate::config::{Granularity, TrainConfig};
 use crate::models::zoo::TrainData;
 use crate::text::{build_vocab, encode};
 
-/// Examples per batched tape during training. Small enough that one
-/// 16-example paper minibatch still fans out across workers; large
-/// enough to amortize tape/clone overhead ~an order of magnitude.
-const TRAIN_TILE: usize = 8;
+/// Historical training tile: small enough that one 16-example paper
+/// minibatch still fans out across workers; large enough to amortize
+/// tape/clone overhead ~an order of magnitude.
+const TRAIN_TILE_DEFAULT: usize = 8;
+
+/// Examples per batched tape during training, resolved once per
+/// process: `SQLAN_NN_TILE=<n>` pins it; otherwise a one-shot
+/// micro-measurement of the training-shaped matmul picks between the
+/// historical tile and a wider one (wider tiles amortize better when
+/// the AVX2 kernel tier is active, but the win is machine-dependent).
+///
+/// The winner must beat the default *decisively* (>20% per example) so
+/// scheduling noise cannot flip the choice run to run. Note the tile
+/// does shape gradient summation: per-tile gradient sums merge in tile
+/// order, so a different tile width regroups the float adds. Parameters
+/// stay bit-identical across thread counts and SIMD tiers for whatever
+/// tile is chosen (the battery pins that); pin `SQLAN_NN_TILE` when two
+/// *separate runs* must train byte-identical parameters.
+fn train_tile() -> usize {
+    static TILE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *TILE.get_or_init(|| {
+        if let Ok(v) = std::env::var("SQLAN_NN_TILE") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+            eprintln!("[sqlan-core] ignoring invalid SQLAN_NN_TILE={v:?}");
+        }
+        measure_train_tile()
+    })
+}
+
+/// Time the LSTM-gate-shaped matmul `(tile, h)·(h, 4h)` per example for
+/// each candidate tile and keep the historical default unless a wider
+/// tile is decisively faster.
+fn measure_train_tile() -> usize {
+    const HIDDEN: usize = 32; // default `TrainConfig::hidden`
+    let mut best = (TRAIN_TILE_DEFAULT, f64::INFINITY);
+    for (ci, &tile) in [TRAIN_TILE_DEFAULT, 16, 32].iter().enumerate() {
+        let a = sqlan_nn::Tensor::from_vec(
+            tile,
+            HIDDEN,
+            (0..tile * HIDDEN)
+                .map(|i| (i as f32 * 0.37).sin())
+                .collect(),
+        );
+        let b = sqlan_nn::Tensor::from_vec(
+            HIDDEN,
+            4 * HIDDEN,
+            (0..HIDDEN * 4 * HIDDEN)
+                .map(|i| (i as f32 * 0.11).cos())
+                .collect(),
+        );
+        let mut out = sqlan_nn::Tensor::zeros(tile, 4 * HIDDEN);
+        // Min over batches: scheduling noise only ever inflates a
+        // sample, so the minimum is the stable estimate.
+        let mut t_min = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = std::time::Instant::now();
+            for _ in 0..50 {
+                out.matmul_acc(&a, &b);
+            }
+            t_min = t_min.min(t0.elapsed().as_secs_f64());
+        }
+        let per_example = t_min / tile as f64;
+        let decisive = if ci == 0 { 1.0 } else { 0.8 };
+        if per_example < best.1 * decisive {
+            best = (tile, per_example);
+        }
+    }
+    best.0
+}
 
 /// Examples per batched tape during inference (serving batches are
 /// bigger and have no gradient memory, so tiles can be wider).
@@ -251,7 +320,7 @@ impl NeuralModel {
                 if batched {
                     // Length-bucketed tiles; one batched tape per tile.
                     let lens: Vec<usize> = chunk.iter().map(|&i| train_seqs[i].len()).collect();
-                    let tiles = plan_tiles(&lens, TRAIN_TILE);
+                    let tiles = plan_tiles(&lens, train_tile());
                     let per_tile: Vec<Grads> = pool.par_map(&tiles, |tile| {
                         let mut tile_grads = model.params.zero_grads();
                         let mut g = Graph::new(&model.params);

@@ -541,20 +541,13 @@ pub(crate) fn eval_batch(
             let v = eval_batch(ctx, expr, batch, rows, outer, used_outer)?;
             let lo = eval_batch(ctx, low, batch, rows, outer, used_outer)?;
             let hi = eval_batch(ctx, high, batch, rows, outer, used_outer)?;
-            let mut out = Vec::with_capacity(n);
             if let (Some(a), Some(b), Some(c)) = (f64_view(&v), f64_view(&lo), f64_view(&hi)) {
-                for i in 0..n {
-                    let x = a.get(i);
-                    let inside = matches!(
-                        x.partial_cmp(&b.get(i)),
-                        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
-                    ) && matches!(
-                        x.partial_cmp(&c.get(i)),
-                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
-                    );
-                    out.push(inside != *negated);
-                }
-            } else {
+                let mut out = vec![false; n];
+                sqlan_simd::between_f64(a.as_arg(), b.as_arg(), c.as_arg(), *negated, &mut out);
+                return Ok(Arc::new(Column::Bool(out)));
+            }
+            let mut out = Vec::with_capacity(n);
+            {
                 for i in 0..n {
                     let x = v.get(i);
                     let inside = matches!(
@@ -894,13 +887,16 @@ enum F64View<'a> {
     Const(f64),
 }
 
-impl F64View<'_> {
+impl<'a> F64View<'a> {
+    /// The kernel-side mirror of this view (`sqlan-simd` runs the
+    /// tiered loops; the truth tables are the engine's — see the crate
+    /// docs there).
     #[inline]
-    fn get(&self, i: usize) -> f64 {
+    fn as_arg(&self) -> sqlan_simd::ArgF64<'a> {
         match self {
-            F64View::I(v) => v[i] as f64,
-            F64View::F(v) => v[i],
-            F64View::Const(x) => *x,
+            F64View::I(v) => sqlan_simd::ArgF64::I(v),
+            F64View::F(v) => sqlan_simd::ArgF64::F(v),
+            F64View::Const(x) => sqlan_simd::ArgF64::C(*x),
         }
     }
 }
@@ -926,12 +922,20 @@ enum I64View<'a> {
     Const(i64),
 }
 
-impl I64View<'_> {
+impl<'a> I64View<'a> {
     #[inline]
     fn get(&self, i: usize) -> i64 {
         match self {
             I64View::I(v) => v[i],
             I64View::Const(x) => *x,
+        }
+    }
+
+    #[inline]
+    fn as_arg(&self) -> sqlan_simd::ArgI64<'a> {
+        match self {
+            I64View::I(v) => sqlan_simd::ArgI64::I(v),
+            I64View::Const(x) => sqlan_simd::ArgI64::C(*x),
         }
     }
 }
@@ -948,17 +952,20 @@ fn i64_view(c: &Column) -> Option<I64View<'_>> {
     }
 }
 
+/// The kernel-side comparison operator. `sqlan_simd::CmpOp`'s truth
+/// table is `matches!(partial_cmp, ...)`'s (NaN false everywhere,
+/// including `Neq`) — the differential tests in `sqlan-simd` pin that
+/// equivalence against [`Value::sql_cmp`]'s numeric arm.
 #[inline]
-fn cmp_truth(op: Op, ord: Option<std::cmp::Ordering>) -> bool {
-    use std::cmp::Ordering::*;
+fn cmp_kernel_op(op: Op) -> sqlan_simd::CmpOp {
     match op {
-        Op::Eq => matches!(ord, Some(Equal)),
-        Op::Neq => matches!(ord, Some(Less | Greater)),
-        Op::Lt => matches!(ord, Some(Less)),
-        Op::Lte => matches!(ord, Some(Less | Equal)),
-        Op::Gt => matches!(ord, Some(Greater)),
-        Op::Gte => matches!(ord, Some(Greater | Equal)),
-        _ => unreachable!("cmp_truth on non-comparison"),
+        Op::Eq => sqlan_simd::CmpOp::Eq,
+        Op::Neq => sqlan_simd::CmpOp::Neq,
+        Op::Lt => sqlan_simd::CmpOp::Lt,
+        Op::Lte => sqlan_simd::CmpOp::Lte,
+        Op::Gt => sqlan_simd::CmpOp::Gt,
+        Op::Gte => sqlan_simd::CmpOp::Gte,
+        _ => unreachable!("cmp_kernel_op on non-comparison"),
     }
 }
 
@@ -975,9 +982,8 @@ pub(crate) fn apply_binary_batch(
 ) -> Result<Column, RuntimeError> {
     if matches!(op, Op::Eq | Op::Neq | Op::Lt | Op::Lte | Op::Gt | Op::Gte) {
         if let (Some(a), Some(b)) = (f64_view(l), f64_view(r)) {
-            let out: Vec<bool> = (0..n)
-                .map(|i| cmp_truth(op, a.get(i).partial_cmp(&b.get(i))))
-                .collect();
+            let mut out = vec![false; n];
+            sqlan_simd::cmp_f64(cmp_kernel_op(op), a.as_arg(), b.as_arg(), &mut out);
             return Ok(Column::Bool(out));
         }
     }
@@ -1004,25 +1010,25 @@ pub(crate) fn apply_binary_batch(
             return Ok(bld.finish());
         }
         if let (Some(a), Some(b)) = (f64_view(l), f64_view(r)) {
-            let out: Vec<f64> = (0..n)
-                .map(|i| match op {
-                    Op::Plus => a.get(i) + b.get(i),
-                    Op::Minus => a.get(i) - b.get(i),
-                    _ => a.get(i) * b.get(i),
-                })
-                .collect();
+            let kop = match op {
+                Op::Plus => sqlan_simd::ArithOp::Add,
+                Op::Minus => sqlan_simd::ArithOp::Sub,
+                _ => sqlan_simd::ArithOp::Mul,
+            };
+            let mut out = vec![0.0f64; n];
+            sqlan_simd::arith_f64(kop, a.as_arg(), b.as_arg(), &mut out);
             return Ok(Column::Float(out));
         }
     }
     if matches!(op, Op::BitAnd | Op::BitOr | Op::BitXor) {
         if let (Some(a), Some(b)) = (i64_view(l), i64_view(r)) {
-            let out: Vec<i64> = (0..n)
-                .map(|i| match op {
-                    Op::BitAnd => a.get(i) & b.get(i),
-                    Op::BitOr => a.get(i) | b.get(i),
-                    _ => a.get(i) ^ b.get(i),
-                })
-                .collect();
+            let kop = match op {
+                Op::BitAnd => sqlan_simd::BitOp::And,
+                Op::BitOr => sqlan_simd::BitOp::Or,
+                _ => sqlan_simd::BitOp::Xor,
+            };
+            let mut out = vec![0i64; n];
+            sqlan_simd::bit_i64(kop, a.as_arg(), b.as_arg(), &mut out);
             return Ok(Column::Int(out));
         }
     }

@@ -75,6 +75,10 @@ thread_local! {
     /// count map (cleared, capacity kept). One per thread — transforms
     /// fan out over the pool, and each worker gets its own scratch.
     static COUNT_SCRATCH: RefCell<FxHashMap<u32, f32>> = RefCell::new(FxHashMap::default());
+    /// Structure-of-arrays scratch for the weighting tail: sorted ids,
+    /// their counts, and the computed weights, as parallel columns the
+    /// tiered `tfidf_weights` kernel can stream.
+    static SOA_SCRATCH: RefCell<(Vec<u32>, Vec<f32>, Vec<f32>)> = RefCell::new(Default::default());
 }
 
 impl TfidfVectorizer {
@@ -158,12 +162,22 @@ impl TfidfVectorizer {
                 return Vec::new();
             }
             let total = total as f32;
-            let mut out: SparseVec = counts
-                .iter()
-                .map(|(&id, &c)| (id, (c / total) * self.idf[id as usize]))
-                .collect();
-            out.sort_by_key(|(id, _)| *id);
-            out
+            // Flatten the count map into id-sorted parallel columns and
+            // let the tiered kernel do the per-feature `(c/total)·idf`
+            // (same association as the old per-pair expression, so the
+            // weights are bit-identical on every tier).
+            SOA_SCRATCH.with(|soa| {
+                let (ids, cnts, wts) = &mut *soa.borrow_mut();
+                ids.clear();
+                ids.extend(counts.keys().copied());
+                ids.sort_unstable();
+                cnts.clear();
+                cnts.extend(ids.iter().map(|id| counts[id]));
+                wts.clear();
+                wts.resize(ids.len(), 0.0);
+                sqlan_simd::tfidf_weights(ids, cnts, &self.idf, total, wts);
+                ids.iter().copied().zip(wts.iter().copied()).collect()
+            })
         })
     }
 

@@ -21,28 +21,34 @@
 //! inference.
 
 /// `tanh(x)` to ~1e-6 absolute error, exactly bounded in `[-1, 1]`.
+///
+/// The rational body lives in `sqlan-simd` so the slice maps below can
+/// compile it per dispatch tier; the per-element arithmetic is identical
+/// on every tier.
 #[inline]
 pub fn fast_tanh(x: f32) -> f32 {
-    // Beyond ±7.90531 f32 tanh is 1.0 to the last ulp; clamping first
-    // keeps the rational in its fitted range and saturates smoothly.
-    let x = x.clamp(-7.905_31, 7.905_31);
-    let x2 = x * x;
-    // Odd rational x·P(x²)/Q(x²), minimax-fitted on the clamped range.
-    let p = x
-        * (4.893_525e-3
-            + x2 * (6.372_619e-4
-                + x2 * (1.485_722_4e-5
-                    + x2 * (5.122_297e-8
-                        + x2 * (-8.604_672e-11 + x2 * (2.000_188e-13 + x2 * -2.760_768_4e-16))))));
-    let q = 4.893_526e-3 + x2 * (2.268_434_6e-3 + x2 * (1.185_347_1e-4 + x2 * 1.198_258_4e-6));
-    p / q
+    sqlan_simd::tanh_f32(x)
 }
 
 /// Logistic sigmoid via the tanh identity `σ(x) = ½·(tanh(x/2) + 1)`;
 /// bounded in `[0, 1]`.
 #[inline]
 pub fn fast_sigmoid(x: f32) -> f32 {
-    0.5 * fast_tanh(0.5 * x) + 0.5
+    sqlan_simd::sigmoid_f32(x)
+}
+
+/// `dst[i] = fast_tanh(src[i])`, runtime-dispatched (8-wide under AVX2,
+/// bit-identical to mapping [`fast_tanh`] per element on any tier).
+#[inline]
+pub fn fast_tanh_map(src: &[f32], dst: &mut [f32]) {
+    sqlan_simd::tanh_map(src, dst);
+}
+
+/// `dst[i] = fast_sigmoid(src[i])`, runtime-dispatched like
+/// [`fast_tanh_map`].
+#[inline]
+pub fn fast_sigmoid_map(src: &[f32], dst: &mut [f32]) {
+    sqlan_simd::sigmoid_map(src, dst);
 }
 
 #[cfg(test)]

@@ -164,79 +164,18 @@ impl Tensor {
     /// [`Tensor::matmul`] kernel (same contract) into an existing
     /// buffer — the fused-layer ops use it to skip intermediate
     /// products.
+    ///
+    /// The kernel body lives in `sqlan-simd` (`matmul_acc_f32`), which
+    /// compiles it once at the scalar baseline — byte-for-byte the
+    /// historical 4×16 register-tiled loop — and once under AVX2 with a
+    /// wider tile, dispatching at runtime. Both copies honor the
+    /// accumulation-order contract above, so the tier is invisible to
+    /// results.
     pub fn matmul_acc(&mut self, a: &Tensor, b: &Tensor) {
         assert_eq!(a.cols, b.rows, "matmul_acc shape mismatch");
         assert_eq!(self.shape(), (a.rows, b.cols), "matmul_acc out shape");
         let (m, k, n) = (a.rows, a.cols, b.cols);
-        // Register tile: 4 output rows × 16 columns of accumulators live
-        // across the whole k loop, so each output element is read and
-        // written once per call and `b` streams from L1. Every
-        // accumulator still receives its k-products in ascending `p`
-        // order from its initial value — tiling moves loads and stores,
-        // never adds.
-        const TJ: usize = 16;
-        let mut i = 0;
-        while i + 4 <= m {
-            let (ar0, ar1, ar2, ar3) = (
-                &a.data[i * k..(i + 1) * k],
-                &a.data[(i + 1) * k..(i + 2) * k],
-                &a.data[(i + 2) * k..(i + 3) * k],
-                &a.data[(i + 3) * k..(i + 4) * k],
-            );
-            let mut jt = 0;
-            while jt + TJ <= n {
-                let mut acc = [[0.0f32; TJ]; 4];
-                for (r, accr) in acc.iter_mut().enumerate() {
-                    accr.copy_from_slice(&self.data[(i + r) * n + jt..(i + r) * n + jt + TJ]);
-                }
-                for p in 0..k {
-                    let bt = &b.data[p * n + jt..p * n + jt + TJ];
-                    let avs = [ar0[p], ar1[p], ar2[p], ar3[p]];
-                    for (accr, &av) in acc.iter_mut().zip(&avs) {
-                        if av == 0.0 {
-                            continue;
-                        }
-                        for (o, &bv) in accr.iter_mut().zip(bt) {
-                            *o += av * bv;
-                        }
-                    }
-                }
-                for (r, accr) in acc.iter().enumerate() {
-                    self.data[(i + r) * n + jt..(i + r) * n + jt + TJ].copy_from_slice(accr);
-                }
-                jt += TJ;
-            }
-            // Column tail of the 4-row block.
-            if jt < n {
-                for (r, ar) in [ar0, ar1, ar2, ar3].into_iter().enumerate() {
-                    let out_row = &mut self.data[(i + r) * n + jt..(i + r + 1) * n];
-                    for (p, &av) in ar.iter().enumerate() {
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let bt = &b.data[p * n + jt..(p + 1) * n];
-                        for (o, &bv) in out_row.iter_mut().zip(bt) {
-                            *o += av * bv;
-                        }
-                    }
-                }
-            }
-            i += 4;
-        }
-        // Remainder rows: plain single-row ikj.
-        for i in i..m {
-            let a_row = &a.data[i * k..(i + 1) * k];
-            let out_row = &mut self.data[i * n..(i + 1) * n];
-            for (p, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b.data[p * n..(p + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
-        }
+        sqlan_simd::matmul_acc_f32(&mut self.data, &a.data, &b.data, m, k, n);
     }
 
     /// Transposed copy (blocked: both source and destination are walked
@@ -264,16 +203,12 @@ impl Tensor {
     /// Element-wise in-place accumulate: `self += other`.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        sqlan_simd::add_assign_f32(&mut self.data, &other.data);
     }
 
     /// In-place scale.
     pub fn scale_assign(&mut self, k: f32) {
-        for a in &mut self.data {
-            *a *= k;
-        }
+        sqlan_simd::scale_f32(&mut self.data, k);
     }
 
     /// Zero out in place (for gradient reuse).

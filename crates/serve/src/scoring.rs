@@ -134,13 +134,66 @@ pub struct BatchStats {
     pub max_batch: AtomicU64,
 }
 
+/// Queue state shared by admission and the workers: the jobs plus the
+/// per-problem deficit-round-robin credit that decides which problem
+/// the next batch serves.
+#[derive(Debug, Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Carried-over service credit per problem (indexed by position in
+    /// [`Problem::ALL`]). A problem earns one quantum each time a batch
+    /// is cut while it has jobs waiting, and spends what a batch serves;
+    /// unspent credit carries over, so a trickle of jobs for one problem
+    /// cannot be starved behind a flood for another.
+    credit: [u32; Problem::ALL.len()],
+}
+
+#[inline]
+fn pidx(p: Problem) -> usize {
+    Problem::ALL
+        .iter()
+        .position(|&q| q == p)
+        .expect("problem in ALL")
+}
+
+/// Deficit-round-robin selection: every present problem (`first[i]` is
+/// the queue position of its oldest job) earns `quantum`, then the
+/// highest-credit present problem wins, ties broken FIFO by oldest job.
+/// Absent problems forfeit their credit (no hoarding while idle).
+/// Credit is capped at `4 * quantum` so a long-present, rarely-chosen
+/// problem cannot bank unbounded priority. Returns the winning index
+/// into [`Problem::ALL`].
+fn drr_select(first: &[Option<usize>], credit: &mut [u32], quantum: u32) -> usize {
+    let mut winner: Option<usize> = None;
+    for i in 0..first.len() {
+        match first[i] {
+            None => credit[i] = 0,
+            Some(pos) => {
+                credit[i] = (credit[i] + quantum).min(4 * quantum);
+                let better = match winner {
+                    None => true,
+                    Some(w) => {
+                        credit[i] > credit[w]
+                            || (credit[i] == credit[w]
+                                && pos < first[w].expect("winner is present"))
+                    }
+                };
+                if better {
+                    winner = Some(i);
+                }
+            }
+        }
+    }
+    winner.expect("at least one problem present")
+}
+
 /// The engine: cache → queue → scoring workers.
 #[derive(Debug)]
 pub struct ScoringEngine {
     registry: Arc<ModelRegistry>,
     cache: PredictionCache,
     cfg: ScoringConfig,
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<QueueState>,
     /// Signals workers (new work / shutdown).
     work_ready: Condvar,
     shutdown: AtomicBool,
@@ -155,7 +208,7 @@ impl ScoringEngine {
             registry,
             cache: PredictionCache::new(cfg.cache_capacity, cfg.cache_shards),
             cfg,
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(QueueState::default()),
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             batch_stats: BatchStats::default(),
@@ -187,7 +240,7 @@ impl ScoringEngine {
 
     /// Statements currently queued.
     pub fn queue_depth(&self) -> usize {
-        self.queue.lock().expect("queue lock").len()
+        self.queue.lock().expect("queue lock").jobs.len()
     }
 
     /// Score `statements` for `problem`: cache hits answer immediately,
@@ -244,11 +297,11 @@ impl ScoringEngine {
                     if self.shutdown.load(Ordering::Acquire) {
                         return Err(ScoreError::ShuttingDown);
                     }
-                    if q.len() + misses.len() > self.cfg.queue_capacity {
+                    if q.jobs.len() + misses.len() > self.cfg.queue_capacity {
                         return Err(ScoreError::Saturated);
                     }
                     for &i in &misses {
-                        q.push_back(Job {
+                        q.jobs.push_back(Job {
                             problem,
                             normalized: normalized[i].clone(),
                             live: Arc::clone(&live),
@@ -318,16 +371,35 @@ impl ScoringEngine {
         preds
     }
 
-    /// Worker: pop the oldest job, hold the batch open (up to `max_wait`)
-    /// for more jobs of the same problem, score, reply. Jobs for other
-    /// problems stay queued in order — FIFO across problems, batching
-    /// within one.
+    /// Gather up to the remaining batch capacity of jobs matching `same`
+    /// from anywhere in the queue, preserving their relative order.
+    fn gather_matching(
+        &self,
+        q: &mut QueueState,
+        batch: &mut Vec<Job>,
+        same: &impl Fn(&Job) -> bool,
+    ) {
+        let mut i = 0;
+        while i < q.jobs.len() && batch.len() < self.cfg.max_batch {
+            if same(&q.jobs[i]) {
+                batch.push(q.jobs.remove(i).expect("index checked"));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Worker: pick the next problem by deficit round robin (per-problem
+    /// credit carries over between batches, so no problem starves behind
+    /// a flood for another), gather its jobs from anywhere in the queue,
+    /// hold the batch open (up to `max_wait`) for stragglers, score,
+    /// reply. Within one problem jobs stay in arrival order.
     fn worker_loop(&self) {
         loop {
             let batch: Vec<Job> = {
                 let mut q = self.queue.lock().expect("queue lock");
                 loop {
-                    if !q.is_empty() {
+                    if !q.jobs.is_empty() {
                         break;
                     }
                     if self.shutdown.load(Ordering::Acquire) {
@@ -339,17 +411,27 @@ impl ScoringEngine {
                         .expect("queue lock")
                         .0;
                 }
-                let first = q.pop_front().expect("non-empty");
-                let problem = first.problem;
-                let live = Arc::clone(&first.live);
+                // Oldest queue position per present problem, then the
+                // carried-credit winner takes the batch.
+                let mut first: [Option<usize>; Problem::ALL.len()] = Default::default();
+                for (pos, j) in q.jobs.iter().enumerate() {
+                    let slot = &mut first[pidx(j.problem)];
+                    if slot.is_none() {
+                        *slot = Some(pos);
+                    }
+                }
+                let win = drr_select(&first, &mut q.credit, self.cfg.max_batch as u32);
+                let lead = q
+                    .jobs
+                    .remove(first[win].expect("winner is present"))
+                    .expect("position valid");
+                let problem = lead.problem;
+                let live = Arc::clone(&lead.live);
                 let same = |j: &Job| j.problem == problem && Arc::ptr_eq(&j.live, &live);
-                let mut batch = vec![first];
+                let mut batch = vec![lead];
                 let deadline = Instant::now() + self.cfg.max_wait;
                 loop {
-                    while batch.len() < self.cfg.max_batch && q.front().map(&same).unwrap_or(false)
-                    {
-                        batch.push(q.pop_front().expect("front checked"));
-                    }
+                    self.gather_matching(&mut q, &mut batch, &same);
                     if batch.len() >= self.cfg.max_batch || self.shutdown.load(Ordering::Acquire) {
                         break;
                     }
@@ -364,14 +446,11 @@ impl ScoringEngine {
                     q = guard;
                     if timed_out.timed_out() {
                         // Drain anything that raced in, then close the batch.
-                        while batch.len() < self.cfg.max_batch
-                            && q.front().map(&same).unwrap_or(false)
-                        {
-                            batch.push(q.pop_front().expect("front checked"));
-                        }
+                        self.gather_matching(&mut q, &mut batch, &same);
                         break;
                     }
                 }
+                q.credit[win] = q.credit[win].saturating_sub(batch.len() as u32);
                 batch
             };
             let problem = batch[0].problem;
@@ -395,6 +474,52 @@ impl ScoringEngine {
         }
         // Workers exit only on an empty queue; anything that raced in
         // after the flag gets its sender dropped here, unblocking callers.
-        self.queue.lock().expect("queue lock").clear();
+        self.queue.lock().expect("queue lock").jobs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drr_first_round_is_fifo() {
+        // All credits start equal, so the tie breaks to the oldest job.
+        let mut credit = [0u32; 4];
+        let first = [Some(3), Some(0), None, Some(1)];
+        assert_eq!(drr_select(&first, &mut credit, 64), 1);
+    }
+
+    #[test]
+    fn drr_carried_credit_beats_fifo_flood() {
+        // Problem 0 floods (always first in the queue) but problem 1's
+        // carried-over credit wins it a batch after waiting one round.
+        let mut credit = [0u32; 4];
+        let first = [Some(0), Some(5), None, None];
+        let w = drr_select(&first, &mut credit, 64);
+        assert_eq!(w, 0, "first round is FIFO");
+        credit[w] = credit[w].saturating_sub(64); // full batch served
+        let w2 = drr_select(&first, &mut credit, 64);
+        assert_eq!(w2, 1, "waiting problem carried its credit over");
+    }
+
+    #[test]
+    fn drr_absent_problem_forfeits_credit() {
+        let mut credit = [0u32, 200, 0, 0];
+        let first = [Some(0), None, None, None];
+        assert_eq!(drr_select(&first, &mut credit, 64), 0);
+        assert_eq!(credit[1], 0, "idle problem cannot hoard credit");
+    }
+
+    #[test]
+    fn drr_credit_is_capped() {
+        let mut credit = [0u32; 4];
+        // Present but never served: credit must not grow unbounded.
+        let first = [Some(0), Some(1), None, None];
+        for _ in 0..100 {
+            let w = drr_select(&first, &mut credit, 64);
+            credit[w] = credit[w].saturating_sub(64);
+        }
+        assert!(credit.iter().all(|&c| c <= 4 * 64));
     }
 }

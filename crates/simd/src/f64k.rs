@@ -1,0 +1,283 @@
+//! `f64`/`i64` kernels: the columnar engine's typed fast paths.
+//!
+//! The engine's `apply_binary_batch` compares and combines numeric
+//! columns through an `f64` lens (matching the row engine's
+//! `Value::sql_cmp`). Its column views — int slice, float slice, or a
+//! broadcast constant — map onto [`ArgF64`]/[`ArgI64`] here, and each of
+//! the 3×3 view combinations expands to a monomorphic loop so LLVM can
+//! vectorize every one.
+//!
+//! NaN semantics are load-bearing: the row engine evaluates comparisons
+//! as `matches!(partial_cmp, ...)`, which is *false* whenever either
+//! side is NaN. Direct `<`, `<=`, `>`, `>=`, `==` operators agree with
+//! that — but `!=` does **not** (`NaN != NaN` is true while
+//! `partial_cmp ∈ {Less, Greater}` is false), so [`CmpOp::Neq`] lowers
+//! to `a < b || a > b`.
+//!
+//! Checked `i64` arithmetic (overflow widening to float) stays in the
+//! engine as a scalar loop: per-element overflow branches don't
+//! vectorize and the widening path is a value-type change, not a lane
+//! operation.
+
+/// Borrowed numeric argument viewed through `f64` — the kernel-side
+/// mirror of the engine's numeric column views.
+#[derive(Debug, Clone, Copy)]
+pub enum ArgF64<'a> {
+    /// Dense float column.
+    F(&'a [f64]),
+    /// Dense int column, widened per lane with `as f64`.
+    I(&'a [i64]),
+    /// Broadcast constant.
+    C(f64),
+}
+
+/// Borrowed pure-integer argument.
+#[derive(Debug, Clone, Copy)]
+pub enum ArgI64<'a> {
+    /// Dense int column.
+    I(&'a [i64]),
+    /// Broadcast constant.
+    C(i64),
+}
+
+/// Comparison operators with the row engine's `partial_cmp` truth table
+/// (NaN compares false everywhere, including `Neq`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+}
+
+/// Float arithmetic operators (`+`, `-`, `*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+/// Integer bit operators (`&`, `|`, `^`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitOp {
+    And,
+    Or,
+    Xor,
+}
+
+// Per-op lane loops. `$i` is the loop binder passed by the pair
+// dispatcher so the `$ax`/`$bx` accessor expressions can reference it
+// (macro hygiene: the binder and the accessors share the dispatcher's
+// context).
+macro_rules! cmp_lanes {
+    ($op:expr, $out:expr, $i:ident, $ax:expr, $bx:expr) => {
+        match $op {
+            CmpOp::Eq => {
+                for ($i, o) in $out.iter_mut().enumerate() {
+                    *o = $ax == $bx;
+                }
+            }
+            // NOT `!=`: NaN != NaN is true, but the row engine's
+            // `partial_cmp ∈ {Less, Greater}` is false for NaN — so
+            // clippy's `double_comparisons` suggestion would change the
+            // truth table.
+            CmpOp::Neq =>
+            {
+                #[allow(clippy::double_comparisons)]
+                for ($i, o) in $out.iter_mut().enumerate() {
+                    let (x, y) = ($ax, $bx);
+                    *o = x < y || x > y;
+                }
+            }
+            CmpOp::Lt => {
+                for ($i, o) in $out.iter_mut().enumerate() {
+                    *o = $ax < $bx;
+                }
+            }
+            CmpOp::Lte => {
+                for ($i, o) in $out.iter_mut().enumerate() {
+                    *o = $ax <= $bx;
+                }
+            }
+            CmpOp::Gt => {
+                for ($i, o) in $out.iter_mut().enumerate() {
+                    *o = $ax > $bx;
+                }
+            }
+            CmpOp::Gte => {
+                for ($i, o) in $out.iter_mut().enumerate() {
+                    *o = $ax >= $bx;
+                }
+            }
+        }
+    };
+}
+
+macro_rules! arith_lanes {
+    ($op:expr, $out:expr, $i:ident, $ax:expr, $bx:expr) => {
+        match $op {
+            ArithOp::Add => {
+                for ($i, o) in $out.iter_mut().enumerate() {
+                    *o = $ax + $bx;
+                }
+            }
+            ArithOp::Sub => {
+                for ($i, o) in $out.iter_mut().enumerate() {
+                    *o = $ax - $bx;
+                }
+            }
+            ArithOp::Mul => {
+                for ($i, o) in $out.iter_mut().enumerate() {
+                    *o = $ax * $bx;
+                }
+            }
+        }
+    };
+}
+
+// Second BETWEEN pass: AND the upper-bound test into the lower-bound
+// result already in `$out`. `&` not `&&` — both sides are pure and the
+// branchless form vectorizes.
+macro_rules! and_lte_lanes {
+    ($_op:expr, $out:expr, $i:ident, $ax:expr, $bx:expr) => {
+        for ($i, o) in $out.iter_mut().enumerate() {
+            *o &= $ax <= $bx;
+        }
+    };
+}
+
+macro_rules! bit_lanes {
+    ($op:expr, $out:expr, $i:ident, $ax:expr, $bx:expr) => {
+        match $op {
+            BitOp::And => {
+                for ($i, o) in $out.iter_mut().enumerate() {
+                    *o = $ax & $bx;
+                }
+            }
+            BitOp::Or => {
+                for ($i, o) in $out.iter_mut().enumerate() {
+                    *o = $ax | $bx;
+                }
+            }
+            BitOp::Xor => {
+                for ($i, o) in $out.iter_mut().enumerate() {
+                    *o = $ax ^ $bx;
+                }
+            }
+        }
+    };
+}
+
+/// Monomorphize a lane macro over the 3×3 [`ArgF64`] variant pairs.
+/// Slices are cut to `out.len()` up front so the loops are bounds-check
+/// free (shorter inputs panic here, which is the length contract).
+macro_rules! f64_pairs {
+    ($lanes:ident, $op:expr, $out:expr, $a:expr, $b:expr) => {{
+        let n = $out.len();
+        match ($a, $b) {
+            (ArgF64::F(x), ArgF64::F(y)) => {
+                let (x, y) = (&x[..n], &y[..n]);
+                $lanes!($op, $out, i, x[i], y[i])
+            }
+            (ArgF64::F(x), ArgF64::I(y)) => {
+                let (x, y) = (&x[..n], &y[..n]);
+                $lanes!($op, $out, i, x[i], y[i] as f64)
+            }
+            (ArgF64::F(x), ArgF64::C(yc)) => {
+                let x = &x[..n];
+                $lanes!($op, $out, i, x[i], yc)
+            }
+            (ArgF64::I(x), ArgF64::F(y)) => {
+                let (x, y) = (&x[..n], &y[..n]);
+                $lanes!($op, $out, i, x[i] as f64, y[i])
+            }
+            (ArgF64::I(x), ArgF64::I(y)) => {
+                let (x, y) = (&x[..n], &y[..n]);
+                $lanes!($op, $out, i, x[i] as f64, y[i] as f64)
+            }
+            (ArgF64::I(x), ArgF64::C(yc)) => {
+                let x = &x[..n];
+                $lanes!($op, $out, i, x[i] as f64, yc)
+            }
+            (ArgF64::C(xc), ArgF64::F(y)) => {
+                let y = &y[..n];
+                $lanes!($op, $out, i, xc, y[i])
+            }
+            (ArgF64::C(xc), ArgF64::I(y)) => {
+                let y = &y[..n];
+                $lanes!($op, $out, i, xc, y[i] as f64)
+            }
+            (ArgF64::C(xc), ArgF64::C(yc)) => {
+                $lanes!($op, $out, _i, xc, yc)
+            }
+        }
+    }};
+}
+
+/// Same dispatch over the 2×2 [`ArgI64`] pairs.
+macro_rules! i64_pairs {
+    ($lanes:ident, $op:expr, $out:expr, $a:expr, $b:expr) => {{
+        let n = $out.len();
+        match ($a, $b) {
+            (ArgI64::I(x), ArgI64::I(y)) => {
+                let (x, y) = (&x[..n], &y[..n]);
+                $lanes!($op, $out, i, x[i], y[i])
+            }
+            (ArgI64::I(x), ArgI64::C(yc)) => {
+                let x = &x[..n];
+                $lanes!($op, $out, i, x[i], yc)
+            }
+            (ArgI64::C(xc), ArgI64::I(y)) => {
+                let y = &y[..n];
+                $lanes!($op, $out, i, xc, y[i])
+            }
+            (ArgI64::C(xc), ArgI64::C(yc)) => {
+                $lanes!($op, $out, _i, xc, yc)
+            }
+        }
+    }};
+}
+
+tier_kernels! {
+    /// Lane-wise numeric comparison through `f64`, writing a selection
+    /// vector. Truth table matches the row engine's
+    /// `matches!(partial_cmp, ...)` exactly, including NaN (always
+    /// false, even for `Neq`).
+    pub fn cmp_f64(op: CmpOp, a: ArgF64<'_>, b: ArgF64<'_>, out: &mut [bool]) {
+        f64_pairs!(cmp_lanes, op, out, a, b)
+    }
+
+    /// Lane-wise float arithmetic through `f64`.
+    pub fn arith_f64(op: ArithOp, a: ArgF64<'_>, b: ArgF64<'_>, out: &mut [f64]) {
+        f64_pairs!(arith_lanes, op, out, a, b)
+    }
+
+    /// `out[i] = ((x >= lo) && (x <= hi)) != negated`, the engine's
+    /// BETWEEN fast path. Two passes (lower bound, then AND the upper
+    /// bound in) so the 27 view combinations stay 2×9 monomorphic
+    /// loops; pure lane math, so dropping the row engine's `&&`
+    /// short-circuit cannot change any result.
+    pub fn between_f64(
+        x: ArgF64<'_>,
+        lo: ArgF64<'_>,
+        hi: ArgF64<'_>,
+        negated: bool,
+        out: &mut [bool],
+    ) {
+        f64_pairs!(cmp_lanes, CmpOp::Gte, out, x, lo);
+        f64_pairs!(and_lte_lanes, (), out, x, hi);
+        if negated {
+            for o in out.iter_mut() {
+                *o = !*o;
+            }
+        }
+    }
+
+    /// Lane-wise `i64` bit operators.
+    pub fn bit_i64(op: BitOp, a: ArgI64<'_>, b: ArgI64<'_>, out: &mut [i64]) {
+        i64_pairs!(bit_lanes, op, out, a, b)
+    }
+}

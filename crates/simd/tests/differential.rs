@@ -1,0 +1,371 @@
+//! Differential suite: every AVX2 kernel against its scalar oracle, on
+//! random inputs with special values (±0, NaN, ±inf, subnormals)
+//! injected, odd lengths, empty slices, and register-tile-boundary
+//! sizes. The crate's claim is *bit identity by construction* — same
+//! Rust body, wider registers, no FMA, no reassociated reductions —
+//! and these tests pin it with `to_bits` equality, never tolerance.
+//!
+//! The one carve-out is NaN *payloads*: Rust leaves the bit pattern of
+//! a NaN produced by an arithmetic op unspecified, and LLVM really does
+//! canonicalize commutative operands differently in the two compiled
+//! copies (release-mode `0.0 * inf + NaN` picks up a different quiet
+//! NaN sign bit per tier). So the comparison maps every NaN to one
+//! canonical bit pattern first: a NaN result must be a NaN result on
+//! both tiers, but its payload is not part of the contract. Every
+//! non-NaN bit — including ±0 and subnormals — still compares exactly.
+//!
+//! On hardware without AVX2 every test passes vacuously (there is only
+//! one tier to run).
+
+use proptest::prelude::*;
+
+use sqlan_simd::{paths, ArgF64, ArgI64, ArithOp, BitOp, CmpOp};
+
+fn has_avx2() -> bool {
+    sqlan_simd::cpu_features().avx2
+}
+
+/// Replace a slice's values with special floats where tagged. Tag space
+/// is 0..16: 0–5 map to specials, the rest keep the drawn value, so
+/// roughly a third of the lanes exercise the edge cases (including the
+/// exact zeros the matmul skip-test branches on).
+fn spice(vals: &[f32], tags: &[u8]) -> Vec<f32> {
+    vals.iter()
+        .zip(tags)
+        .map(|(&v, &t)| match t {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f32::NAN,
+            3 => f32::INFINITY,
+            4 => f32::NEG_INFINITY,
+            5 => 1.0e-41, // subnormal
+            _ => v,
+        })
+        .collect()
+}
+
+fn spice64(vals: &[f64], tags: &[u8]) -> Vec<f64> {
+    vals.iter()
+        .zip(tags)
+        .map(|(&v, &t)| match t {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::NAN,
+            3 => f64::INFINITY,
+            4 => f64::NEG_INFINITY,
+            5 => 5.0e-324, // subnormal
+            _ => v,
+        })
+        .collect()
+}
+
+/// Bit patterns with NaNs canonicalized (payloads are outside the
+/// contract — see module docs); every non-NaN value compares exactly.
+fn bits32(v: &[f32]) -> Vec<u32> {
+    v.iter()
+        .map(|f| if f.is_nan() { 0x7FC0_0000 } else { f.to_bits() })
+        .collect()
+}
+
+fn bits64(v: &[f64]) -> Vec<u64> {
+    v.iter()
+        .map(|f| {
+            if f.is_nan() {
+                0x7FF8_0000_0000_0000
+            } else {
+                f.to_bits()
+            }
+        })
+        .collect()
+}
+
+/// All f64 argument views over the same logical data: float column, int
+/// column, and broadcast constant — the engine's 3×3 combinations come
+/// from pairing these.
+fn f64_args<'a>(which: u8, f: &'a [f64], i: &'a [i64], c: f64) -> ArgF64<'a> {
+    match which % 3 {
+        0 => ArgF64::F(f),
+        1 => ArgF64::I(i),
+        _ => ArgF64::C(c),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Matmul: scalar vs AVX2, bitwise, across shapes that straddle the
+    /// 4-row block and both tiers' column tiles (16 and 32), with zeros
+    /// and NaN/inf in `a` exercising the skip-test and propagation.
+    #[test]
+    fn matmul_acc_f32_tiers_are_bit_identical(
+        m in 1usize..10,
+        k in 0usize..20,
+        n in 0usize..70,
+        vals in prop::collection::vec(-100.0f32..100.0, 0..4000),
+        tags in prop::collection::vec(0u8..16, 0..4000),
+    ) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        let need = m * k + k * n + m * n;
+        if vals.len() < need || tags.len() < need {
+            return Ok(());
+        }
+        let spiced = spice(&vals[..need], &tags[..need]);
+        let a = &spiced[..m * k];
+        let b = &spiced[m * k..m * k + k * n];
+        let init = &spiced[m * k + k * n..];
+        let mut out_s = init.to_vec();
+        let mut out_v = init.to_vec();
+        paths::scalar::matmul_acc_f32(&mut out_s, a, b, m, k, n);
+        paths::avx2::matmul_acc_f32(&mut out_v, a, b, m, k, n);
+        prop_assert_eq!(bits32(&out_s), bits32(&out_v), "m={} k={} n={}", m, k, n);
+    }
+
+    /// Activation maps: the rational evaluates identically lane by lane.
+    #[test]
+    fn activation_maps_tiers_are_bit_identical(
+        vals in prop::collection::vec(-30.0f32..30.0, 0..130),
+        tags in prop::collection::vec(0u8..16, 0..130),
+    ) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        let n = vals.len().min(tags.len());
+        let src = spice(&vals[..n], &tags[..n]);
+        let (mut ts, mut tv) = (vec![0.0f32; n], vec![0.0f32; n]);
+        paths::scalar::tanh_map(&src, &mut ts);
+        paths::avx2::tanh_map(&src, &mut tv);
+        prop_assert_eq!(bits32(&ts), bits32(&tv));
+        paths::scalar::sigmoid_map(&src, &mut ts);
+        paths::avx2::sigmoid_map(&src, &mut tv);
+        prop_assert_eq!(bits32(&ts), bits32(&tv));
+    }
+
+    /// Elementwise f32 kernels (accumulate, scale, axpy, mul, the LSTM
+    /// gate update): one strided body each, bitwise across tiers.
+    #[test]
+    fn elementwise_f32_tiers_are_bit_identical(
+        vals in prop::collection::vec(-100.0f32..100.0, 0..600),
+        tags in prop::collection::vec(0u8..16, 0..600),
+        alpha in -10.0f32..10.0,
+    ) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        let n = (vals.len().min(tags.len())) / 5;
+        let spiced = spice(&vals[..5 * n], &tags[..5 * n]);
+        let (a, rest) = spiced.split_at(n);
+        let (b, rest) = rest.split_at(n);
+        let (c, rest) = rest.split_at(n);
+        let (d, init) = rest.split_at(n);
+
+        let (mut s, mut v) = (init.to_vec(), init.to_vec());
+        paths::scalar::add_assign_f32(&mut s, a);
+        paths::avx2::add_assign_f32(&mut v, a);
+        prop_assert_eq!(bits32(&s), bits32(&v));
+
+        paths::scalar::scale_f32(&mut s, alpha);
+        paths::avx2::scale_f32(&mut v, alpha);
+        prop_assert_eq!(bits32(&s), bits32(&v));
+
+        paths::scalar::axpy_f32(&mut s, alpha, b);
+        paths::avx2::axpy_f32(&mut v, alpha, b);
+        prop_assert_eq!(bits32(&s), bits32(&v));
+
+        paths::scalar::mul_f32(&mut s, a, b);
+        paths::avx2::mul_f32(&mut v, a, b);
+        prop_assert_eq!(bits32(&s), bits32(&v));
+
+        paths::scalar::mul2_add_f32(&mut s, a, b, c, d);
+        paths::avx2::mul2_add_f32(&mut v, a, b, c, d);
+        prop_assert_eq!(bits32(&s), bits32(&v));
+    }
+
+    /// TF-IDF weighting: gather + divide-multiply, bitwise across tiers.
+    #[test]
+    fn tfidf_weights_tiers_are_bit_identical(
+        counts in prop::collection::vec(1.0f32..50.0, 0..80),
+        idf in prop::collection::vec(0.0f32..10.0, 1..600),
+        total in 1.0f32..500.0,
+        id_seed in prop::collection::vec(0u32..1_000_000, 0..80),
+    ) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        let n = counts.len().min(id_seed.len());
+        let ids: Vec<u32> = id_seed[..n].iter().map(|s| s % idf.len() as u32).collect();
+        let (mut s, mut v) = (vec![0.0f32; n], vec![0.0f32; n]);
+        paths::scalar::tfidf_weights(&ids, &counts[..n], &idf, total, &mut s);
+        paths::avx2::tfidf_weights(&ids, &counts[..n], &idf, total, &mut v);
+        prop_assert_eq!(bits32(&s), bits32(&v));
+    }
+
+    /// Engine comparison kernels: every operator over every pairing of
+    /// float-column / int-column / constant views, with NaN and ±0 in
+    /// the lanes. Also pins the NaN truth table (false everywhere,
+    /// including `Neq`) against a `partial_cmp` reference.
+    #[test]
+    fn cmp_f64_tiers_and_truth_table(
+        fvals in prop::collection::vec(-1000.0f64..1000.0, 1..130),
+        tags in prop::collection::vec(0u8..16, 1..130),
+        ivals in prop::collection::vec(-1000i64..1000, 1..130),
+        wa in 0u8..3,
+        wb in 0u8..3,
+        ca in -5.0f64..5.0,
+    ) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        let n = fvals.len().min(tags.len()).min(ivals.len());
+        let f = spice64(&fvals[..n], &tags[..n]);
+        let f2: Vec<f64> = f.iter().rev().copied().collect();
+        let i = &ivals[..n];
+        let i2: Vec<i64> = ivals[..n].iter().rev().copied().collect();
+        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Lte, CmpOp::Gt, CmpOp::Gte] {
+            let a = f64_args(wa, &f, i, ca);
+            let b = f64_args(wb, &f2, &i2, -ca);
+            let (mut s, mut v) = (vec![false; n], vec![false; n]);
+            paths::scalar::cmp_f64(op, a, b, &mut s);
+            paths::avx2::cmp_f64(op, a, b, &mut v);
+            prop_assert_eq!(&s, &v, "op {:?}", op);
+            // Truth-table reference: the row engine's matches!(partial_cmp).
+            for (idx, &got) in s.iter().enumerate() {
+                let (x, y) = (arg_at(a, idx), arg_at(b, idx));
+                let want = match op {
+                    CmpOp::Eq => x.partial_cmp(&y) == Some(std::cmp::Ordering::Equal),
+                    CmpOp::Neq => matches!(
+                        x.partial_cmp(&y),
+                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Greater)
+                    ),
+                    CmpOp::Lt => x.partial_cmp(&y) == Some(std::cmp::Ordering::Less),
+                    CmpOp::Lte => matches!(
+                        x.partial_cmp(&y),
+                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                    ),
+                    CmpOp::Gt => x.partial_cmp(&y) == Some(std::cmp::Ordering::Greater),
+                    CmpOp::Gte => matches!(
+                        x.partial_cmp(&y),
+                        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                    ),
+                };
+                prop_assert_eq!(got, want, "op {:?} lane {}", op, idx);
+            }
+        }
+    }
+
+    /// Engine arithmetic + BETWEEN + bit kernels across tiers.
+    #[test]
+    fn arith_between_bit_tiers_are_bit_identical(
+        fvals in prop::collection::vec(-1000.0f64..1000.0, 1..130),
+        tags in prop::collection::vec(0u8..16, 1..130),
+        ivals in prop::collection::vec(-1000i64..1000, 1..130),
+        wa in 0u8..3,
+        wb in 0u8..3,
+        wc in 0u8..3,
+        negated in any::<bool>(),
+        ca in -5.0f64..5.0,
+    ) {
+        if !has_avx2() {
+            return Ok(());
+        }
+        let n = fvals.len().min(tags.len()).min(ivals.len());
+        let f = spice64(&fvals[..n], &tags[..n]);
+        let f2: Vec<f64> = f.iter().rev().copied().collect();
+        let i = &ivals[..n];
+        let i2: Vec<i64> = ivals[..n].iter().rev().copied().collect();
+        let a = f64_args(wa, &f, i, ca);
+        let b = f64_args(wb, &f2, &i2, -ca);
+        for op in [ArithOp::Add, ArithOp::Sub, ArithOp::Mul] {
+            let (mut s, mut v) = (vec![0.0f64; n], vec![0.0f64; n]);
+            paths::scalar::arith_f64(op, a, b, &mut s);
+            paths::avx2::arith_f64(op, a, b, &mut v);
+            prop_assert_eq!(bits64(&s), bits64(&v), "op {:?}", op);
+        }
+        {
+            let c = f64_args(wc, &f, &i2, ca + 3.0);
+            let (mut s, mut v) = (vec![false; n], vec![false; n]);
+            paths::scalar::between_f64(a, b, c, negated, &mut s);
+            paths::avx2::between_f64(a, b, c, negated, &mut v);
+            prop_assert_eq!(&s, &v, "negated {}", negated);
+            // Reference semantics: (x >= lo) && (x <= hi), NaN false.
+            for (idx, &got) in s.iter().enumerate() {
+                let (x, lo, hi) = (arg_at(a, idx), arg_at(b, idx), arg_at(c, idx));
+                let want = (x >= lo && x <= hi) != negated;
+                prop_assert_eq!(got, want, "lane {}", idx);
+            }
+        }
+        for op in [BitOp::And, BitOp::Or, BitOp::Xor] {
+            let ia = if wa % 2 == 0 { ArgI64::I(i) } else { ArgI64::C(7) };
+            let ib = if wb % 2 == 0 { ArgI64::I(&i2) } else { ArgI64::C(-3) };
+            let (mut s, mut v) = (vec![0i64; n], vec![0i64; n]);
+            paths::scalar::bit_i64(op, ia, ib, &mut s);
+            paths::avx2::bit_i64(op, ia, ib, &mut v);
+            prop_assert_eq!(&s, &v, "op {:?}", op);
+        }
+    }
+}
+
+/// Reference per-lane read of an [`ArgF64`] (what the engine's old
+/// per-element views computed).
+fn arg_at(a: ArgF64<'_>, i: usize) -> f64 {
+    match a {
+        ArgF64::F(v) => v[i],
+        ArgF64::I(v) => v[i] as f64,
+        ArgF64::C(c) => c,
+    }
+}
+
+/// Tile-boundary shapes deserve exact coverage, not just random draws:
+/// every combination around the 4-row block and 16/32-column tiles.
+#[test]
+fn matmul_tile_boundary_sweep() {
+    if !has_avx2() {
+        return;
+    }
+    for m in [1, 3, 4, 5, 8, 9] {
+        for n in [1, 15, 16, 17, 31, 32, 33, 48] {
+            for k in [0, 1, 7, 16] {
+                let a: Vec<f32> = (0..m * k)
+                    .map(|i| {
+                        if i % 5 == 0 {
+                            0.0
+                        } else {
+                            (i as f32 * 0.37).sin()
+                        }
+                    })
+                    .collect();
+                let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.11).cos()).collect();
+                let mut s = vec![0.5f32; m * n];
+                let mut v = vec![0.5f32; m * n];
+                paths::scalar::matmul_acc_f32(&mut s, &a, &b, m, k, n);
+                paths::avx2::matmul_acc_f32(&mut v, &a, &b, m, k, n);
+                assert_eq!(bits32(&s), bits32(&v), "m={m} k={k} n={n}");
+            }
+        }
+    }
+}
+
+/// Empty slices are legal inputs everywhere.
+#[test]
+fn empty_inputs_are_fine() {
+    if !has_avx2() {
+        return;
+    }
+    let mut out_f: Vec<f32> = Vec::new();
+    paths::scalar::matmul_acc_f32(&mut out_f, &[], &[], 0, 0, 0);
+    paths::avx2::matmul_acc_f32(&mut out_f, &[], &[], 0, 0, 0);
+    paths::avx2::tanh_map(&[], &mut out_f);
+    paths::avx2::add_assign_f32(&mut out_f, &[]);
+    let mut sel: Vec<bool> = Vec::new();
+    paths::avx2::cmp_f64(CmpOp::Lt, ArgF64::F(&[]), ArgF64::C(1.0), &mut sel);
+    paths::avx2::between_f64(
+        ArgF64::F(&[]),
+        ArgF64::C(0.0),
+        ArgF64::C(1.0),
+        false,
+        &mut sel,
+    );
+    let mut iout: Vec<i64> = Vec::new();
+    paths::avx2::bit_i64(BitOp::And, ArgI64::I(&[]), ArgI64::C(1), &mut iout);
+}

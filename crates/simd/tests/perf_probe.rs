@@ -1,0 +1,286 @@
+//! Ignored-by-default probe: rough scalar-vs-AVX2 kernel timing, for
+//! hand-running on dev machines (`cargo test -p sqlan-simd --release
+//! -- --ignored --nocapture perf_probe`). The real measured numbers
+//! live in the bench crate's A/B mode; this just sanity-checks that the
+//! AVX2 twins genuinely run wider code.
+
+use std::time::Instant;
+
+/// Hand-unrolled 4×32 AVX2 variant: named accumulator rows instead of
+/// the generic `[[f32; TJ]; RB]`, to test whether the array-based body
+/// leaves register allocation on the table.
+///
+/// # Safety
+/// Caller must ensure AVX2 is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mm_named(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    const TJ: usize = 32;
+    let mut i = 0;
+    while i + 4 <= m {
+        let ar0 = &a[i * k..(i + 1) * k];
+        let ar1 = &a[(i + 1) * k..(i + 2) * k];
+        let ar2 = &a[(i + 2) * k..(i + 3) * k];
+        let ar3 = &a[(i + 3) * k..(i + 4) * k];
+        let mut jt = 0;
+        while jt + TJ <= n {
+            let mut acc0 = [0.0f32; TJ];
+            let mut acc1 = [0.0f32; TJ];
+            let mut acc2 = [0.0f32; TJ];
+            let mut acc3 = [0.0f32; TJ];
+            acc0.copy_from_slice(&out[i * n + jt..i * n + jt + TJ]);
+            acc1.copy_from_slice(&out[(i + 1) * n + jt..(i + 1) * n + jt + TJ]);
+            acc2.copy_from_slice(&out[(i + 2) * n + jt..(i + 2) * n + jt + TJ]);
+            acc3.copy_from_slice(&out[(i + 3) * n + jt..(i + 3) * n + jt + TJ]);
+            for p in 0..k {
+                let bt = &b[p * n + jt..p * n + jt + TJ];
+                let av0 = ar0[p];
+                if av0.to_bits() & 0x7FFF_FFFF != 0 {
+                    for (o, &bv) in acc0.iter_mut().zip(bt) {
+                        *o += av0 * bv;
+                    }
+                }
+                let av1 = ar1[p];
+                if av1.to_bits() & 0x7FFF_FFFF != 0 {
+                    for (o, &bv) in acc1.iter_mut().zip(bt) {
+                        *o += av1 * bv;
+                    }
+                }
+                let av2 = ar2[p];
+                if av2.to_bits() & 0x7FFF_FFFF != 0 {
+                    for (o, &bv) in acc2.iter_mut().zip(bt) {
+                        *o += av2 * bv;
+                    }
+                }
+                let av3 = ar3[p];
+                if av3.to_bits() & 0x7FFF_FFFF != 0 {
+                    for (o, &bv) in acc3.iter_mut().zip(bt) {
+                        *o += av3 * bv;
+                    }
+                }
+            }
+            out[i * n + jt..i * n + jt + TJ].copy_from_slice(&acc0);
+            out[(i + 1) * n + jt..(i + 1) * n + jt + TJ].copy_from_slice(&acc1);
+            out[(i + 2) * n + jt..(i + 2) * n + jt + TJ].copy_from_slice(&acc2);
+            out[(i + 3) * n + jt..(i + 3) * n + jt + TJ].copy_from_slice(&acc3);
+            jt += TJ;
+        }
+        if jt < n {
+            for (r, ar) in [ar0, ar1, ar2, ar3].into_iter().enumerate() {
+                let out_row = &mut out[(i + r) * n + jt..(i + r + 1) * n];
+                for (p, &av) in ar.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let bt = &b[p * n + jt..(p + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(bt) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        i += 4;
+    }
+    for i in i..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+fn time(reps: usize, mut f: impl FnMut()) -> f64 {
+    // Min over 7 batches: robust against the scheduling noise of a
+    // shared container (means swing ±50% run to run).
+    let mut best = f64::INFINITY;
+    f();
+    for _ in 0..7 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / reps as f64);
+    }
+    best
+}
+
+#[test]
+#[ignore = "timing probe, run by hand with --nocapture"]
+fn perf_probe() {
+    if !sqlan_simd::cpu_features().avx2 {
+        eprintln!("no AVX2 on this CPU, nothing to probe");
+        return;
+    }
+    // Tile-shaped matmul: (64,256)·(256,256).
+    let (m, k, n) = (64usize, 256usize, 256usize);
+    let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.11).cos()).collect();
+    let mut out = vec![0.0f32; m * n];
+    let reps = 60;
+    let ts = time(reps, || {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        sqlan_simd::paths::scalar::matmul_acc_f32(&mut out, &a, &b, m, k, n);
+    });
+    let tv = time(reps, || {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        sqlan_simd::paths::avx2::matmul_acc_f32(&mut out, &a, &b, m, k, n);
+    });
+    println!(
+        "matmul {m}x{k}x{n}: scalar {:.3}ms avx2 {:.3}ms speedup {:.2}x",
+        ts * 1e3,
+        tv * 1e3,
+        ts / tv
+    );
+
+    // Tile-shape sweep (tuning hooks).
+    macro_rules! sweep {
+        ($name:expr, $f:expr) => {{
+            let t = time(reps, || {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                $f(&mut out, &a, &b, m, k, n);
+            });
+            println!("  {}: {:.3}ms ({:.2}x vs scalar)", $name, t * 1e3, ts / t);
+        }};
+    }
+    sweep!("scalar 4x16", sqlan_simd::tune::matmul_scalar::<4, 16>);
+    sweep!("avx2   4x16", sqlan_simd::tune::matmul_avx2::<4, 16>);
+    sweep!("avx2   4x32", sqlan_simd::tune::matmul_avx2::<4, 32>);
+    sweep!("avx2   8x16", sqlan_simd::tune::matmul_avx2::<8, 16>);
+    sweep!("avx2   6x16", sqlan_simd::tune::matmul_avx2::<6, 16>);
+    sweep!("avx2   8x8 ", sqlan_simd::tune::matmul_avx2::<8, 8>);
+    sweep!("avx2 named  ", |o: &mut [f32],
+                            a: &[f32],
+                            b: &[f32],
+                            m,
+                            k,
+                            n| unsafe {
+        mm_named(o, a, b, m, k, n)
+    });
+
+    // Training-shaped matmuls (hidden=32 → gates n=128; tile m=8).
+    for (m, k, n) in [(8, 24, 128), (8, 32, 128), (32, 24, 128), (64, 32, 256)] {
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut out = vec![0.0f32; m * n];
+        let r = 2000;
+        let ts = time(r, || {
+            sqlan_simd::paths::scalar::matmul_acc_f32(&mut out, &a, &b, m, k, n);
+        });
+        let tv = time(r, || {
+            sqlan_simd::paths::avx2::matmul_acc_f32(&mut out, &a, &b, m, k, n);
+        });
+        println!(
+            "matmul {m}x{k}x{n}: scalar {:.2}us avx2 {:.2}us speedup {:.2}x",
+            ts * 1e6,
+            tv * 1e6,
+            ts / tv
+        );
+    }
+
+    // Wide f64 compare — 8K rows, the L1/L2-resident columnar batch
+    // shape (65K-element inputs are memory-bound and hide compute).
+    let nn = 1 << 13;
+    let x: Vec<f64> = (0..nn).map(|i| (i as f64 * 0.7).sin()).collect();
+    let y: Vec<f64> = (0..nn).map(|i| (i as f64 * 0.3).cos()).collect();
+    let mut sel = vec![false; nn];
+    use sqlan_simd::{ArgF64, CmpOp};
+    let ts = time(2000, || {
+        sqlan_simd::paths::scalar::cmp_f64(CmpOp::Lt, ArgF64::F(&x), ArgF64::F(&y), &mut sel);
+    });
+    let tv = time(2000, || {
+        sqlan_simd::paths::avx2::cmp_f64(CmpOp::Lt, ArgF64::F(&x), ArgF64::F(&y), &mut sel);
+    });
+    println!(
+        "cmp_f64 n={nn}: scalar {:.3}us avx2 {:.3}us speedup {:.2}x",
+        ts * 1e6,
+        tv * 1e6,
+        ts / tv
+    );
+
+    // BETWEEN on ints (the labeling filter shape).
+    let xi: Vec<i64> = (0..nn as i64).collect();
+    let ts = time(2000, || {
+        sqlan_simd::paths::scalar::between_f64(
+            ArgF64::I(&xi),
+            ArgF64::C(100.0),
+            ArgF64::C(40000.0),
+            false,
+            &mut sel,
+        );
+    });
+    let tv = time(2000, || {
+        sqlan_simd::paths::avx2::between_f64(
+            ArgF64::I(&xi),
+            ArgF64::C(100.0),
+            ArgF64::C(40000.0),
+            false,
+            &mut sel,
+        );
+    });
+    println!(
+        "between_f64 n={nn}: scalar {:.3}us avx2 {:.3}us speedup {:.2}x",
+        ts * 1e6,
+        tv * 1e6,
+        ts / tv
+    );
+
+    // BETWEEN on floats (no i64→f64 conversion in the loop).
+    let ts = time(2000, || {
+        sqlan_simd::paths::scalar::between_f64(
+            ArgF64::F(&x),
+            ArgF64::C(-0.5),
+            ArgF64::C(0.5),
+            false,
+            &mut sel,
+        );
+    });
+    let tv = time(2000, || {
+        sqlan_simd::paths::avx2::between_f64(
+            ArgF64::F(&x),
+            ArgF64::C(-0.5),
+            ArgF64::C(0.5),
+            false,
+            &mut sel,
+        );
+    });
+    println!(
+        "between_f64(float) n={nn}: scalar {:.3}us avx2 {:.3}us speedup {:.2}x",
+        ts * 1e6,
+        tv * 1e6,
+        ts / tv
+    );
+
+    // Compare on int columns (conversion-bound shape).
+    let yi: Vec<i64> = (0..nn as i64).rev().collect();
+    let ts = time(2000, || {
+        sqlan_simd::paths::scalar::cmp_f64(CmpOp::Lt, ArgF64::I(&xi), ArgF64::I(&yi), &mut sel);
+    });
+    let tv = time(2000, || {
+        sqlan_simd::paths::avx2::cmp_f64(CmpOp::Lt, ArgF64::I(&xi), ArgF64::I(&yi), &mut sel);
+    });
+    println!(
+        "cmp_f64(int) n={nn}: scalar {:.3}us avx2 {:.3}us speedup {:.2}x",
+        ts * 1e6,
+        tv * 1e6,
+        ts / tv
+    );
+
+    // Activation map.
+    let src: Vec<f32> = (0..nn).map(|i| (i as f32 * 0.01) - 300.0).collect();
+    let mut dst = vec![0.0f32; nn];
+    let ts = time(2000, || sqlan_simd::paths::scalar::tanh_map(&src, &mut dst));
+    let tv = time(2000, || sqlan_simd::paths::avx2::tanh_map(&src, &mut dst));
+    println!(
+        "tanh_map n={nn}: scalar {:.3}us avx2 {:.3}us speedup {:.2}x",
+        ts * 1e6,
+        tv * 1e6,
+        ts / tv
+    );
+}

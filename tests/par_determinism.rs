@@ -9,26 +9,50 @@
 //! A failure here means somebody introduced scheduling-dependent state —
 //! a shared accumulator with worker-order writes, an RNG drawn inside a
 //! worker, a float reduction with a thread-dependent association order.
+//!
+//! Since the SIMD tier landed, the battery also sweeps the kernel
+//! dispatch tier (scalar oracle vs AVX2, when the CPU has it): every
+//! `sqlan-simd` kernel is bit-identical across tiers by construction
+//! (up to NaN payloads, which this pipeline never produces), so the
+//! full tier × thread-count grid must render one byte sequence.
 
 use sqlan_core::prelude::*;
 use sqlan_features::{word_tokens, TfidfVectorizer};
 use sqlan_par::with_threads;
+use sqlan_simd::Tier;
 use sqlan_workload::{build_sdss, build_sqlshare, Scale, SdssConfig, SqlShareConfig};
 
 const THREAD_COUNTS: [usize; 3] = [1, 3, 8];
 
-/// Render one build per thread count and assert all renderings agree.
-fn assert_invariant(what: &str, render: impl Fn() -> String) {
-    let mut outputs: Vec<(usize, String)> = Vec::new();
-    for t in THREAD_COUNTS {
-        outputs.push((t, with_threads(t, &render)));
+/// The dispatch tiers to sweep: the env-resolved policy (`None`), the
+/// forced scalar oracle, and forced AVX2 where the hardware has it.
+fn tiers() -> Vec<(&'static str, Option<Tier>)> {
+    let mut t = vec![("auto", None), ("scalar", Some(Tier::Scalar))];
+    if sqlan_simd::cpu_features().avx2 {
+        t.push(("avx2", Some(Tier::Avx2)));
     }
-    let (t0, reference) = &outputs[0];
-    for (t, out) in &outputs[1..] {
-        assert_eq!(
-            out, reference,
-            "{what}: output at {t} threads differs from {t0} threads"
-        );
+    t
+}
+
+/// Render one build per (tier, thread count) cell and assert all
+/// renderings agree byte-for-byte.
+///
+/// `sqlan_simd::force` is process-global and the test binary runs tests
+/// concurrently, so cells from different tests can race on the forced
+/// tier — that is deliberately fine: tiers are bit-identical, so a race
+/// only changes which (equally correct) code path executes.
+fn assert_invariant(what: &str, render: impl Fn() -> String) {
+    let mut outputs: Vec<(String, String)> = Vec::new();
+    for (tier_name, tier) in tiers() {
+        sqlan_simd::force(tier);
+        for t in THREAD_COUNTS {
+            outputs.push((format!("{tier_name}/{t}t"), with_threads(t, &render)));
+        }
+    }
+    sqlan_simd::force(None);
+    let (c0, reference) = &outputs[0];
+    for (cell, out) in &outputs[1..] {
+        assert_eq!(out, reference, "{what}: output at {cell} differs from {c0}");
     }
 }
 
