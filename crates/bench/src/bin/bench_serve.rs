@@ -14,10 +14,22 @@
 //! | `SQLAN_BENCH_REQUESTS`   | 200     | requests per client thread      |
 //! | `SQLAN_BENCH_BATCH`      | 8       | statements per request          |
 //! | `SQLAN_BENCH_CLIENTS`    | 1,2,4,8 | client-thread levels (csv)      |
+//! | `SQLAN_BENCH_C10K`       | 10000   | idle keep-alive conns to hold   |
 //! | `SQLAN_BENCH_OUT`        | BENCH_serve.json | output path            |
 //!
 //! The harness sizing knobs (`SQLAN_SESSIONS`, `SQLAN_FAST`, …) shrink
 //! the training corpus the same way they do for every other binary.
+//!
+//! ## The c10k section (Linux + epoll mode)
+//!
+//! After the closed-loop levels, the bench holds `SQLAN_BENCH_C10K` idle
+//! keep-alive connections open against the server *at once* — the load
+//! the thread-per-connection front end could never carry — then measures
+//! predict throughput and sampled keep-alive liveness while they are
+//! held. One process cannot own both sides of 10k sockets within the fd
+//! limit, so the bench re-execs itself into child processes (marked by
+//! `SQLAN_C10K_CHILD`) that each hold a slice of the connections and
+//! answer probe commands over stdin/stdout.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -47,12 +59,36 @@ struct LevelStats {
 }
 
 #[derive(Debug, Serialize)]
+struct C10kStats {
+    /// Connections asked for (after clamping to the fd budget).
+    target: usize,
+    /// Connections the child processes actually established and held.
+    held: usize,
+    /// The server's own open-connection count while the hold was live.
+    server_connections: u64,
+    /// Sampled held connections that still answered a keep-alive
+    /// request after the hold + load phase.
+    probe_alive: usize,
+    probe_sampled: usize,
+    /// Predict throughput while all `held` connections stayed open.
+    stmts_per_sec_under_hold: f64,
+    p99_s_under_hold: f64,
+    /// `RLIMIT_NOFILE` soft limit after raising it — the fd budget that
+    /// clamped `target`.
+    nofile_soft: u64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchServe {
     machine: sqlan_bench::MachineInfo,
+    /// Front end under test: `epoll` or `threads` (`SQLAN_HTTP`).
+    http_mode: String,
     corpus_statements: usize,
     requests_per_client: usize,
     statements_per_request: usize,
     levels: Vec<LevelStats>,
+    /// Present only in epoll mode on Linux.
+    c10k: Option<C10kStats>,
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -152,6 +188,206 @@ fn run_client(
     latencies
 }
 
+/// One raw keep-alive HTTP round trip on an already-open socket: write a
+/// `GET /healthz`, read status line + headers + `content-length` body.
+/// Uses a single fd per connection (no stream cloning) so a child can
+/// hold 2 500 of them comfortably.
+#[cfg(target_os = "linux")]
+fn healthz_roundtrip(stream: &mut std::net::TcpStream) -> std::io::Result<()> {
+    use std::io::{Read, Write};
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")?;
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut tmp = [0u8; 1024];
+    let (head_end, content_length) = loop {
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&tmp[..n]);
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..pos]);
+            let content_length = head
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    name.eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse::<usize>().ok())
+                        .flatten()
+                })
+                .unwrap_or(0);
+            break (pos + 4, content_length);
+        }
+    };
+    while buf.len() < head_end + content_length {
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "closed mid-body",
+            ));
+        }
+        buf.extend_from_slice(&tmp[..n]);
+    }
+    Ok(())
+}
+
+/// Child-process mode (`SQLAN_C10K_CHILD="<addr> <n>"`): open and hold
+/// `n` keep-alive connections, report `ready <count>`, then answer
+/// `probe` (sample liveness) and `exit` commands on stdin.
+#[cfg(target_os = "linux")]
+fn c10k_child(spec: &str) {
+    use std::io::{BufRead, Write};
+    let mut parts = spec.split_whitespace();
+    let addr: std::net::SocketAddr = parts.next().expect("child addr").parse().expect("addr");
+    let n: usize = parts.next().expect("child count").parse().expect("count");
+    let _ = sqlan_net::raise_nofile_limit();
+    let mut conns: Vec<std::net::TcpStream> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let Ok(mut stream) = std::net::TcpStream::connect(addr) else {
+            break;
+        };
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+        // Prove the connection end to end once, then leave it idle.
+        if healthz_roundtrip(&mut stream).is_err() {
+            break;
+        }
+        conns.push(stream);
+    }
+    let stdout = std::io::stdout();
+    writeln!(stdout.lock(), "ready {}", conns.len()).expect("report ready");
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_default();
+        match line.trim() {
+            "probe" => {
+                // Sample across the held range: first, last, and a spread.
+                let sample = conns.len().min(50);
+                let mut alive = 0usize;
+                for i in 0..sample {
+                    let idx = i * conns.len() / sample.max(1);
+                    if healthz_roundtrip(&mut conns[idx]).is_ok() {
+                        alive += 1;
+                    }
+                }
+                writeln!(stdout.lock(), "alive {alive} {sample}").expect("report probe");
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Hold `target` idle keep-alive connections from child processes while
+/// this process keeps serving, measure predict throughput under the
+/// hold, then probe that the held connections still answer.
+#[cfg(target_os = "linux")]
+fn run_c10k(
+    handle: &sqlan_serve::ServerHandle,
+    corpus: &[String],
+    batch: usize,
+    nofile_soft: u64,
+) -> C10kStats {
+    use std::io::{BufRead, BufReader, Write};
+    let addr = handle.addr();
+    // fd budget: this process holds one fd per server-side connection
+    // plus the bundle/pipes/epoll overhead; leave a 2 000-fd margin.
+    let requested = env_usize("SQLAN_BENCH_C10K", 10_000);
+    let target = requested.min(nofile_soft.saturating_sub(2_000) as usize);
+    if target < requested {
+        eprintln!(
+            "[bench_serve] c10k: clamped {requested} -> {target} by RLIMIT_NOFILE={nofile_soft}"
+        );
+    }
+    const PER_CHILD: usize = 2_500;
+    let exe = std::env::current_exe().expect("current exe");
+    let mut children = Vec::new();
+    let mut remaining = target;
+    while remaining > 0 {
+        let slice = remaining.min(PER_CHILD);
+        remaining -= slice;
+        let child = std::process::Command::new(&exe)
+            .env("SQLAN_C10K_CHILD", format!("{addr} {slice}"))
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn c10k child");
+        children.push(child);
+    }
+    // Children establish concurrently; collect their ready counts.
+    let mut readers: Vec<BufReader<std::process::ChildStdout>> = children
+        .iter_mut()
+        .map(|c| BufReader::new(c.stdout.take().expect("child stdout")))
+        .collect();
+    let mut held = 0usize;
+    for reader in &mut readers {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("child ready");
+        let n: usize = line
+            .trim()
+            .strip_prefix("ready ")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("bad child handshake: {line:?}"));
+        held += n;
+    }
+    let server_connections = handle.connections();
+    eprintln!(
+        "[bench_serve] c10k: holding {held} connections (server sees {server_connections}); \
+         measuring predict throughput under the hold…"
+    );
+
+    // Closed-loop predict load while every held connection stays open.
+    let requests = env_usize("SQLAN_BENCH_REQUESTS", 200);
+    let start = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|c| s.spawn(move || run_client(addr, corpus, requests, batch, c * 37)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let stmts = 2 * requests * batch;
+
+    // The held connections must have survived the load phase: probe a
+    // sample on every child.
+    let (mut probe_alive, mut probe_sampled) = (0usize, 0usize);
+    for (child, reader) in children.iter_mut().zip(&mut readers) {
+        let stdin = child.stdin.as_mut().expect("child stdin");
+        writeln!(stdin, "probe").expect("send probe");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("probe answer");
+        let mut parts = line.trim().strip_prefix("alive ").unwrap_or("").split(' ');
+        probe_alive += parts
+            .next()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        probe_sampled += parts
+            .next()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+    }
+    for mut child in children {
+        if let Some(stdin) = child.stdin.as_mut() {
+            let _ = writeln!(stdin, "exit");
+        }
+        let _ = child.wait();
+    }
+    C10kStats {
+        target,
+        held,
+        server_connections,
+        probe_alive,
+        probe_sampled,
+        stmts_per_sec_under_hold: stmts as f64 / seconds.max(1e-9),
+        p99_s_under_hold: LatencySummary::from_seconds(&latencies).p99_s,
+        nofile_soft,
+    }
+}
+
 fn fetch_metrics(addr: std::net::SocketAddr) -> MetricsSnapshot {
     let mut client = Client::connect(addr).expect("connect");
     let (status, body) = client.get("/metrics").expect("metrics");
@@ -160,6 +396,17 @@ fn fetch_metrics(addr: std::net::SocketAddr) -> MetricsSnapshot {
 }
 
 fn main() {
+    // Re-exec'd child holding a slice of the c10k connections?
+    #[cfg(target_os = "linux")]
+    if let Ok(spec) = std::env::var("SQLAN_C10K_CHILD") {
+        c10k_child(&spec);
+        return;
+    }
+    #[cfg(target_os = "linux")]
+    let nofile_soft = sqlan_net::raise_nofile_limit()
+        .map(|(soft, _)| soft)
+        .unwrap_or(1024);
+
     let harness = Harness::from_env();
     let requests = env_usize("SQLAN_BENCH_REQUESTS", 200);
     let batch = env_usize("SQLAN_BENCH_BATCH", 8);
@@ -176,14 +423,18 @@ fn main() {
         registry,
         ServeConfig {
             http_workers: levels.iter().copied().max().unwrap_or(8),
+            // The c10k hold keeps connections idle for the whole load
+            // phase; the sweep must not reap them mid-measurement.
+            idle_timeout: std::time::Duration::from_secs(300),
             scoring: ScoringConfig::default(),
             ..ServeConfig::default()
         },
     )
     .expect("start server");
     let addr = handle.addr();
+    let http_mode = format!("{:?}", handle.http_mode()).to_lowercase();
     eprintln!(
-        "[bench_serve] cores={} simd={} corpus={corpus_len} serving on {addr}",
+        "[bench_serve] cores={} simd={} corpus={corpus_len} http={http_mode} serving on {addr}",
         machine.cores, machine.simd_tier
     );
 
@@ -231,15 +482,36 @@ fn main() {
         out_levels.push(stats);
     }
 
+    // The c10k hold: epoll mode only — thread-per-connection would need
+    // 10 000 OS threads to even accept the sockets.
+    #[cfg(target_os = "linux")]
+    let c10k = (handle.http_mode() == sqlan_serve::HttpMode::Epoll)
+        .then(|| run_c10k(&handle, &corpus, batch, nofile_soft));
+    #[cfg(not(target_os = "linux"))]
+    let c10k: Option<C10kStats> = None;
+    if let Some(stats) = &c10k {
+        eprintln!(
+            "    c10k: held {} (server {})  probe {}/{}  {:.0} stmts/s under hold  p99 {:.2}ms",
+            stats.held,
+            stats.server_connections,
+            stats.probe_alive,
+            stats.probe_sampled,
+            stats.stmts_per_sec_under_hold,
+            stats.p99_s_under_hold * 1e3
+        );
+    }
+
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&bundle_dir);
 
     let report = BenchServe {
         machine,
+        http_mode,
         corpus_statements: corpus_len,
         requests_per_client: requests,
         statements_per_request: batch,
         levels: out_levels,
+        c10k,
     };
     let out = std::env::var("SQLAN_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

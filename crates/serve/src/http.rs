@@ -1,38 +1,32 @@
-//! A minimal HTTP/1.1 implementation on `std::net` — request parsing,
-//! keep-alive, and JSON responses. No network dependencies, consistent
-//! with the workspace's offline compat-shim policy.
+//! HTTP plumbing for the blocking (thread-per-connection) front end: an
+//! adapter that feeds socket bytes into the shared sans-io parser
+//! ([`sqlan_net::HttpParser`]) and a response writer.
 //!
-//! Supported surface (all this service needs): request line + headers,
-//! `Content-Length` bodies, `Connection: close`/`keep-alive`, and JSON
-//! responses with correct `Content-Length`. Requests beyond the size
-//! bounds are rejected rather than buffered.
+//! All parsing rules — the head byte bound enforced *during* buffering,
+//! the byte-level head parse (non-UTF-8 → 400, not a silent drop),
+//! `Content-Length` hygiene, `Connection` list tokenization — live in
+//! `sqlan-net`, where the epoll event loop consumes the identical state
+//! machine. This module only moves bytes and classifies I/O errors:
+//! a read timeout on an idle keep-alive connection is [`ParseError::
+//! Timeout`], a clean close at a request boundary is [`ParseError::Eof`],
+//! and neither is confused with a protocol violation.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 
-/// Maximum request-head (request line + headers) bytes.
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub use sqlan_net::{HttpError, HttpParser, Request, MAX_HEAD_BYTES};
 
-/// One parsed request.
-#[derive(Debug)]
-pub struct Request {
-    pub method: String,
-    pub path: String,
-    pub body: Vec<u8>,
-    /// Whether the client asked to keep the connection open.
-    pub keep_alive: bool,
-}
-
-/// Why a request could not be parsed.
+/// Why no request came back from a connection read.
 #[derive(Debug)]
 pub enum ParseError {
-    /// Clean end of stream before a request started — connection done.
+    /// Clean end of stream at a request boundary — connection done.
     Eof,
+    /// The socket read timed out (idle keep-alive or stalled client).
+    Timeout,
+    /// Transport failure.
     Io(io::Error),
-    /// Malformed request head → 400.
-    Malformed(&'static str),
-    /// Head or body over the size bound → 431/413.
-    TooLarge(&'static str),
+    /// Protocol violation → answer with [`HttpError::status`] and close.
+    Http(HttpError),
 }
 
 impl From<io::Error> for ParseError {
@@ -41,140 +35,87 @@ impl From<io::Error> for ParseError {
     }
 }
 
-/// Read one request from a keep-alive connection. `max_body` bounds the
-/// accepted `Content-Length`.
+/// Largest slice fed to the parser per read — keeps the parser's
+/// bounded-absorb contract (chunks ≤ `MAX_HEAD_BYTES`).
+const READ_CHUNK: usize = 8 * 1024;
+
+/// Read one request from a keep-alive connection, feeding the
+/// connection's persistent parser (pipelined bytes survive between
+/// calls).
 pub fn read_request(
     reader: &mut BufReader<TcpStream>,
-    max_body: usize,
+    parser: &mut HttpParser,
 ) -> Result<Request, ParseError> {
-    let mut line = String::new();
-    let mut head_bytes = 0usize;
-    // Request line (tolerate a leading blank line, per RFC 7230 §3.5).
-    loop {
-        line.clear();
-        let n = reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ParseError::Eof);
-        }
-        head_bytes += n;
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(ParseError::TooLarge("request head"));
-        }
-        if !line.trim().is_empty() {
-            break;
-        }
+    // A pipelined request may already be fully buffered.
+    match parser.poll() {
+        sqlan_net::Parse::Request(r) => return Ok(r),
+        sqlan_net::Parse::Error(e) => return Err(ParseError::Http(e)),
+        sqlan_net::Parse::Partial => {}
     }
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or(ParseError::Malformed("missing method"))?
-        .to_string();
-    let path = parts
-        .next()
-        .ok_or(ParseError::Malformed("missing path"))?
-        .to_string();
-    let version = parts.next().unwrap_or("HTTP/1.1");
-    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
-    let mut keep_alive = !version.ends_with("1.0");
-
-    let mut content_length = 0usize;
     loop {
-        line.clear();
-        let n = reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ParseError::Malformed("eof in headers"));
-        }
-        head_bytes += n;
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(ParseError::TooLarge("request head"));
-        }
-        let trimmed = line.trim_end();
-        if trimmed.is_empty() {
-            break;
-        }
-        let Some((name, value)) = trimmed.split_once(':') else {
-            return Err(ParseError::Malformed("header without colon"));
-        };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| ParseError::Malformed("bad content-length"))?;
-        } else if name.eq_ignore_ascii_case("connection") {
-            if value.eq_ignore_ascii_case("close") {
-                keep_alive = false;
-            } else if value.eq_ignore_ascii_case("keep-alive") {
-                keep_alive = true;
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(ParseError::Timeout)
             }
+            Err(e) => return Err(ParseError::Io(e)),
+        };
+        if chunk.is_empty() {
+            return Err(if parser.is_idle() {
+                ParseError::Eof
+            } else {
+                ParseError::Http(HttpError::Malformed("eof mid-request"))
+            });
         }
-    }
-    if content_length > max_body {
-        return Err(ParseError::TooLarge("request body"));
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(Request {
-        method,
-        path,
-        body,
-        keep_alive,
-    })
-}
-
-fn status_text(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        413 => "Payload Too Large",
-        431 => "Request Header Fields Too Large",
-        500 => "Internal Server Error",
-        503 => "Service Unavailable",
-        _ => "Unknown",
+        let n = chunk.len().min(READ_CHUNK);
+        let outcome = parser.feed(&chunk[..n]);
+        reader.consume(n);
+        match outcome {
+            sqlan_net::Parse::Partial => {}
+            sqlan_net::Parse::Request(r) => return Ok(r),
+            sqlan_net::Parse::Error(e) => return Err(ParseError::Http(e)),
+        }
     }
 }
 
 /// Write a JSON response. `keep_alive` controls the `Connection` header;
-/// the caller decides whether to actually reuse the stream.
+/// the caller decides whether to actually reuse the stream. Renders
+/// through [`sqlan_net::render_json_response`] so the threaded and epoll
+/// front ends emit byte-identical responses.
 pub fn write_json_response(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
-    // One buffer, one write: head and body in the same segment, so a
-    // Nagle + delayed-ACK interaction can never stall the response.
-    let mut response = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
-        status_text(status),
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    response.push_str(body);
-    stream.write_all(response.as_bytes())?;
+    stream.write_all(&sqlan_net::render_json_response(status, body, keep_alive))?;
     stream.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
     use std::net::{TcpListener, TcpStream};
 
     /// Round-trip a raw request through a local socket pair.
-    fn parse(raw: &str) -> Result<Request, ParseError> {
+    fn parse(raw: &[u8]) -> Result<Request, ParseError> {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
         let mut client = TcpStream::connect(addr).expect("connect");
-        client.write_all(raw.as_bytes()).expect("write");
+        client.write_all(raw).expect("write");
         drop(client); // half-close: server sees EOF after the payload
         let (server, _) = listener.accept().expect("accept");
-        read_request(&mut BufReader::new(server), 1 << 20)
+        let mut parser = HttpParser::new(1 << 20);
+        read_request(&mut BufReader::new(server), &mut parser)
     }
 
     #[test]
     fn parses_post_with_body() {
-        let r = parse("POST /predict HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd").expect("parse");
+        let r = parse(b"POST /predict HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd").expect("parse");
         assert_eq!(r.method, "POST");
         assert_eq!(r.path, "/predict");
         assert_eq!(r.body, b"abcd");
@@ -183,32 +124,98 @@ mod tests {
 
     #[test]
     fn connection_close_and_http10() {
-        let r = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parse");
+        let r = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parse");
         assert!(!r.keep_alive);
-        let r = parse("GET /healthz HTTP/1.0\r\n\r\n").expect("parse");
+        let r = parse(b"GET /healthz HTTP/1.0\r\n\r\n").expect("parse");
         assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn connection_list_value_keeps_alive() {
+        let r = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive, upgrade\r\n\r\n").expect("parse");
+        assert!(r.keep_alive, "comma list must honor keep-alive");
     }
 
     #[test]
     fn eof_before_request_is_eof() {
-        assert!(matches!(parse(""), Err(ParseError::Eof)));
+        assert!(matches!(parse(b""), Err(ParseError::Eof)));
+    }
+
+    #[test]
+    fn eof_mid_request_is_malformed_not_eof() {
+        let got = parse(b"POST /p HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc");
+        assert!(matches!(
+            got,
+            Err(ParseError::Http(HttpError::Malformed("eof mid-request")))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_head_is_http_400_not_io() {
+        let got = parse(b"GET /\xff\xfe HTTP/1.1\r\n\r\n");
+        assert!(
+            matches!(got, Err(ParseError::Http(HttpError::Malformed(_)))),
+            "junk bytes must surface as a 400, not an I/O close"
+        );
+    }
+
+    #[test]
+    fn signed_content_length_rejected() {
+        let got = parse(b"POST / HTTP/1.1\r\ncontent-length: +4\r\n\r\nabcd");
+        assert!(matches!(
+            got,
+            Err(ParseError::Http(HttpError::Malformed("bad content-length")))
+        ));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_rejected() {
+        let got = parse(b"POST / HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 5\r\n\r\nabcd");
+        assert!(matches!(
+            got,
+            Err(ParseError::Http(HttpError::Malformed(_)))
+        ));
     }
 
     #[test]
     fn oversized_body_rejected() {
-        let raw = "POST /predict HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n";
+        let raw = b"POST /predict HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n";
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
         let mut client = TcpStream::connect(addr).expect("connect");
-        client.write_all(raw.as_bytes()).expect("write");
+        client.write_all(raw).expect("write");
         let (server, _) = listener.accept().expect("accept");
-        let got = read_request(&mut BufReader::new(server), 1024);
-        assert!(matches!(got, Err(ParseError::TooLarge(_))));
+        let mut parser = HttpParser::new(1024);
+        let got = read_request(&mut BufReader::new(server), &mut parser);
+        assert!(matches!(
+            got,
+            Err(ParseError::Http(HttpError::BodyTooLarge))
+        ));
     }
 
     #[test]
     fn malformed_header_rejected() {
-        let got = parse("GET / HTTP/1.1\r\nbroken header line\r\n\r\n");
-        assert!(matches!(got, Err(ParseError::Malformed(_))));
+        let got = parse(b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n");
+        assert!(matches!(
+            got,
+            Err(ParseError::Http(HttpError::Malformed(_)))
+        ));
+    }
+
+    #[test]
+    fn read_timeout_is_distinguished_from_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        // Half a request, then silence (no close).
+        client.write_all(b"GET / HT").expect("write");
+        let (server, _) = listener.accept().expect("accept");
+        server
+            .set_read_timeout(Some(std::time::Duration::from_millis(100)))
+            .expect("timeout");
+        let mut parser = HttpParser::new(1 << 20);
+        let got = read_request(&mut BufReader::new(server), &mut parser);
+        assert!(matches!(got, Err(ParseError::Timeout)));
+        drop(client);
     }
 }

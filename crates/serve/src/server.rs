@@ -1,6 +1,19 @@
-//! The HTTP front end: a thread-per-worker accept loop over
-//! `std::net::TcpListener` with keep-alive connections, routing to the
-//! scoring engine.
+//! The HTTP front end, in two interchangeable flavors behind
+//! `SQLAN_HTTP`:
+//!
+//! * **`epoll`** (default on Linux): the readiness-driven event loop
+//!   from [`sqlan_net`] — one I/O thread holds every connection
+//!   (non-blocking accept, per-connection buffers, idle sweep), and
+//!   `http_workers` handler threads run the routing below, so tens of
+//!   thousands of idle keep-alive connections cost an fd each, not a
+//!   thread each.
+//! * **`threads`** (fallback, and the default off-Linux): the classic
+//!   thread-per-connection accept loop on `std::net` — `http_workers`
+//!   bounds concurrent connections.
+//!
+//! Both flavors feed the same sans-io parser and the same routing, and
+//! render responses through the same byte renderer, so served bytes are
+//! identical across modes (pinned by `tests/e2e_http.rs`).
 //!
 //! | route            | body                                  | answer |
 //! |------------------|---------------------------------------|--------|
@@ -10,9 +23,7 @@
 //! | `POST /reload`   | `{"dir": "..."}`                      | new generation (hot swap) |
 //!
 //! Saturation sheds with 503 (`{"error": ...}`), malformed input gets
-//! 400, oversized requests 413/431. Every worker owns one connection at
-//! a time; `workers` bounds concurrent connections and the OS backlog
-//! absorbs bursts.
+//! 400, oversized requests 413/431.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -24,23 +35,53 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 use sqlan_core::Problem;
 
-use crate::http::{read_request, write_json_response, ParseError, Request};
+use crate::http::{read_request, write_json_response, HttpParser, ParseError, Request};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::ModelRegistry;
 use crate::scoring::{Prediction, ScoreError, ScoringConfig, ScoringEngine};
+
+/// Which front end serves the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpMode {
+    /// Readiness-driven epoll event loop (Linux only).
+    Epoll,
+    /// Blocking thread-per-connection accept loop.
+    Threads,
+}
+
+impl HttpMode {
+    /// Resolve the mode from `SQLAN_HTTP` (`epoll` | `threads`). Epoll
+    /// is the default on Linux; everywhere else the threaded fallback is
+    /// forced regardless of the variable.
+    pub fn from_env() -> HttpMode {
+        if !cfg!(target_os = "linux") {
+            return HttpMode::Threads;
+        }
+        match std::env::var("SQLAN_HTTP").as_deref() {
+            Ok("threads") => HttpMode::Threads,
+            _ => HttpMode::Epoll,
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Connection-handling threads (one connection at a time each).
+    /// Request-handling threads. In `threads` mode each owns one
+    /// connection at a time (bounding concurrent connections); in
+    /// `epoll` mode they run routing for the single I/O loop (bounding
+    /// concurrent in-flight requests).
     pub http_workers: usize,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
-    /// Idle keep-alive read timeout before the worker drops the
-    /// connection.
+    /// Idle keep-alive connections are dropped after this long.
     pub idle_timeout: Duration,
+    /// Front-end flavor; defaults from `SQLAN_HTTP`.
+    pub http_mode: HttpMode,
+    /// Epoll mode only: accept stops above this many open connections.
+    pub max_connections: usize,
     pub scoring: ScoringConfig,
 }
 
@@ -51,6 +92,8 @@ impl Default for ServeConfig {
             http_workers: 4,
             max_body_bytes: 1 << 20,
             idle_timeout: Duration::from_secs(5),
+            http_mode: HttpMode::from_env(),
+            max_connections: 120_000,
             scoring: ScoringConfig::default(),
         }
     }
@@ -103,6 +146,17 @@ pub struct HealthResponse {
     pub models: Vec<String>,
 }
 
+#[derive(Debug)]
+enum Backend {
+    Threads {
+        stop: Arc<AtomicBool>,
+        addr: SocketAddr,
+        threads: Vec<std::thread::JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Epoll(sqlan_net::EventLoopHandle),
+}
+
 /// A running server. Dropping the handle does NOT stop it; call
 /// [`ServerHandle::shutdown`].
 #[derive(Debug)]
@@ -110,8 +164,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     engine: Arc<ScoringEngine>,
     metrics: Arc<ServeMetrics>,
-    stop: Arc<AtomicBool>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    backend: Backend,
 }
 
 impl ServerHandle {
@@ -128,30 +181,83 @@ impl ServerHandle {
         &self.metrics
     }
 
-    /// Stop accepting, wake blocked acceptors, drain scoring, join all
-    /// threads.
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Release);
-        // One wake-up connection per acceptor thread unblocks `accept`.
-        for _ in 0..self.threads.len() {
-            let _ = TcpStream::connect(self.addr);
+    /// The front-end flavor actually serving.
+    pub fn http_mode(&self) -> HttpMode {
+        match self.backend {
+            Backend::Threads { .. } => HttpMode::Threads,
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(_) => HttpMode::Epoll,
         }
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+    }
+
+    /// Open connections (epoll mode; the threaded front end does not
+    /// track this — it reports 0).
+    pub fn connections(&self) -> u64 {
+        match &self.backend {
+            Backend::Threads { .. } => 0,
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(h) => h.connections(),
+        }
+    }
+
+    /// Stop accepting, drain in-flight work, join all threads.
+    pub fn shutdown(self) {
+        match self.backend {
+            Backend::Threads {
+                stop,
+                addr,
+                mut threads,
+            } => {
+                stop.store(true, Ordering::Release);
+                // One wake-up connection per acceptor thread unblocks
+                // `accept`.
+                for _ in 0..threads.len() {
+                    let _ = TcpStream::connect(addr);
+                }
+                for t in threads.drain(..) {
+                    let _ = t.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(h) => h.shutdown(),
         }
         self.engine.shutdown();
     }
 }
 
-/// Start a server: bind, spawn scoring workers and HTTP workers, return
-/// immediately.
+/// Start a server: bind, spawn scoring workers and the chosen HTTP front
+/// end, return immediately.
 pub fn start(registry: Arc<ModelRegistry>, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let engine = ScoringEngine::start(Arc::clone(&registry), cfg.scoring);
     let metrics = Arc::new(ServeMetrics::default());
-    let stop = Arc::new(AtomicBool::new(false));
 
+    #[cfg(target_os = "linux")]
+    if cfg.http_mode == HttpMode::Epoll {
+        let service = Arc::new(EpollService {
+            engine: Arc::clone(&engine),
+            metrics: Arc::clone(&metrics),
+        });
+        let handle = sqlan_net::serve(
+            listener,
+            service,
+            sqlan_net::NetConfig {
+                handler_threads: cfg.http_workers.max(1),
+                max_body_bytes: cfg.max_body_bytes,
+                idle_timeout: cfg.idle_timeout,
+                max_connections: cfg.max_connections,
+            },
+        )?;
+        return Ok(ServerHandle {
+            addr,
+            engine,
+            metrics,
+            backend: Backend::Epoll(handle),
+        });
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::with_capacity(cfg.http_workers.max(1));
     for i in 0..cfg.http_workers.max(1) {
         let listener = listener.try_clone()?;
@@ -188,9 +294,32 @@ pub fn start(registry: Arc<ModelRegistry>, cfg: ServeConfig) -> std::io::Result<
         addr,
         engine,
         metrics,
-        stop,
-        threads,
+        backend: Backend::Threads {
+            stop,
+            addr,
+            threads,
+        },
     })
+}
+
+/// The epoll front end's application callback: identical routing and
+/// counter semantics to the threaded path, via [`respond`].
+#[cfg(target_os = "linux")]
+#[derive(Debug)]
+struct EpollService {
+    engine: Arc<ScoringEngine>,
+    metrics: Arc<ServeMetrics>,
+}
+
+#[cfg(target_os = "linux")]
+impl sqlan_net::Service for EpollService {
+    fn call(&self, req: &Request) -> (u16, String) {
+        respond(req, &self.engine, &self.metrics)
+    }
+
+    fn on_parse_error(&self, _err: &sqlan_net::HttpError) {
+        self.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 fn handle_connection(
@@ -204,30 +333,40 @@ fn handle_connection(
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // One parser for the connection's lifetime: pipelined bytes carry
+    // over between requests, and the head bound applies during
+    // buffering.
+    let mut parser = HttpParser::new(cfg.max_body_bytes);
     loop {
-        let req = match read_request(&mut reader, cfg.max_body_bytes) {
+        let req = match read_request(&mut reader, &mut parser) {
             Ok(req) => req,
-            Err(ParseError::Eof) | Err(ParseError::Io(_)) => return Ok(()),
-            Err(ParseError::Malformed(what)) => {
-                metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-                let body = error_body(&format!("malformed request: {what}"));
-                return write_json_response(&mut writer, 400, &body, false);
+            // Clean close, idle/stalled timeout, transport error: done.
+            Err(ParseError::Eof) | Err(ParseError::Timeout) | Err(ParseError::Io(_)) => {
+                return Ok(())
             }
-            Err(ParseError::TooLarge(what)) => {
+            // Protocol violations answer with their status (400/413/431)
+            // — including non-UTF-8 heads, which used to die as Io.
+            Err(ParseError::Http(e)) => {
                 metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-                let status = if what == "request body" { 413 } else { 431 };
-                let body = error_body(&format!("{what} too large"));
-                return write_json_response(&mut writer, status, &body, false);
+                let body = error_body(&e.describe());
+                write_json_response(&mut writer, e.status(), &body, false)?;
+                // Lingering close: drain the bytes the client already
+                // sent (e.g. the body after a rejected head) so close
+                // sends FIN, not an RST that could destroy the response
+                // in the client's receive queue.
+                let _ = writer.set_read_timeout(Some(Duration::from_millis(50)));
+                let mut scrap = [0u8; 8 * 1024];
+                for _ in 0..64 {
+                    match std::io::Read::read(&mut reader, &mut scrap) {
+                        Ok(n) if n > 0 => continue,
+                        _ => break,
+                    }
+                }
+                return Ok(());
             }
         };
-        metrics.http_requests.fetch_add(1, Ordering::Relaxed);
         let keep_alive = req.keep_alive && !stop.load(Ordering::Acquire);
-        let (status, body) = route(&req, engine, metrics);
-        if (400..500).contains(&status) {
-            metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-        } else if status == 503 {
-            metrics.shed.fetch_add(1, Ordering::Relaxed);
-        }
+        let (status, body) = respond(&req, engine, metrics);
         write_json_response(&mut writer, status, &body, keep_alive)?;
         if !keep_alive {
             return Ok(());
@@ -240,6 +379,19 @@ fn error_body(message: &str) -> String {
         error: message.to_string(),
     })
     .expect("error body serializes")
+}
+
+/// Route one request and maintain the request/error counters — shared
+/// verbatim by both front ends.
+fn respond(req: &Request, engine: &ScoringEngine, metrics: &ServeMetrics) -> (u16, String) {
+    metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+    let (status, body) = route(req, engine, metrics);
+    if (400..500).contains(&status) {
+        metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+    } else if status == 503 {
+        metrics.shed.fetch_add(1, Ordering::Relaxed);
+    }
+    (status, body)
 }
 
 fn route(req: &Request, engine: &ScoringEngine, metrics: &ServeMetrics) -> (u16, String) {

@@ -11,6 +11,8 @@ use std::time::Duration;
 use sqlan_core::{
     train_model, Dataset, Labels, ModelKind, Problem, Task, TrainConfig, TrainData, TrainedModel,
 };
+#[cfg(target_os = "linux")]
+use sqlan_serve::HttpMode;
 use sqlan_serve::{
     save_bundle, Client, ModelRegistry, PredictRequest, PredictResponse, ScoringConfig, ServeConfig,
 };
@@ -242,6 +244,127 @@ fn http_predictions_match_in_process_including_hot_swap() {
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// The two front ends must be indistinguishable on the wire: for every
+/// request shape — happy path, routing errors, and each hardened parse
+/// error — the complete response byte stream (status line, headers,
+/// body) is compared across a threaded and an epoll server booted on
+/// the same bundle.
+#[cfg(target_os = "linux")]
+#[test]
+fn front_ends_serve_byte_identical_responses() {
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+
+    let (cls_ds, _) = datasets();
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::tiny()
+    };
+    let classifier = train_classifier(ModelKind::WTfidf, &cls_ds, &cfg);
+    let dir = tmp_dir("byte-identity");
+    save_bundle(
+        &dir,
+        "byte-identity",
+        2020,
+        &[(Problem::ErrorClassification, &classifier)],
+    )
+    .expect("save");
+    let registry = Arc::new(ModelRegistry::open(&dir).expect("open"));
+    let boot = |mode: HttpMode| {
+        sqlan_serve::start(
+            Arc::clone(&registry),
+            ServeConfig {
+                http_workers: 2,
+                http_mode: mode,
+                scoring: ScoringConfig {
+                    workers: 1,
+                    max_batch: 16,
+                    max_wait: Duration::from_millis(1),
+                    ..ScoringConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .expect("start server")
+    };
+    let epoll = boot(HttpMode::Epoll);
+    let threads = boot(HttpMode::Threads);
+    assert_eq!(epoll.http_mode(), HttpMode::Epoll);
+    assert_eq!(threads.http_mode(), HttpMode::Threads);
+
+    /// One connection, one request, read to EOF (every probe either sends
+    /// `Connection: close` or triggers an error that closes).
+    fn raw_exchange(addr: SocketAddr, raw: &[u8]) -> Vec<u8> {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        stream.write_all(raw).expect("write");
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).expect("read");
+        response
+    }
+
+    let predict = predict_body(Problem::ErrorClassification, &cls_ds.statements[..8]);
+    let probes: Vec<(&str, Vec<u8>)> = vec![
+        (
+            "healthz",
+            b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n".to_vec(),
+        ),
+        (
+            "predict",
+            format!(
+                "POST /predict HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+                predict.len(),
+                predict
+            )
+            .into_bytes(),
+        ),
+        (
+            "bad json",
+            b"POST /predict HTTP/1.1\r\ncontent-length: 9\r\nconnection: close\r\n\r\n{not json"
+                .to_vec(),
+        ),
+        (
+            "404",
+            b"GET /no-such-route HTTP/1.1\r\nconnection: close\r\n\r\n".to_vec(),
+        ),
+        (
+            "405",
+            b"DELETE /predict HTTP/1.1\r\nconnection: close\r\n\r\n".to_vec(),
+        ),
+        (
+            "signed content-length",
+            b"POST /predict HTTP/1.1\r\ncontent-length: +4\r\n\r\nabcd".to_vec(),
+        ),
+        (
+            "conflicting content-lengths",
+            b"POST /predict HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 5\r\n\r\nabcd"
+                .to_vec(),
+        ),
+        ("non-UTF-8 head", b"GET /\xff\xfe HTTP/1.1\r\n\r\n".to_vec()),
+        ("oversized head", {
+            let mut raw = b"GET / HTTP/1.1\r\nx-filler: ".to_vec();
+            raw.resize(20 * 1024, b'a'); // > MAX_HEAD_BYTES in one write
+            raw
+        }),
+    ];
+    for (name, raw) in &probes {
+        let from_epoll = raw_exchange(epoll.addr(), raw);
+        let from_threads = raw_exchange(threads.addr(), raw);
+        assert_eq!(
+            String::from_utf8_lossy(&from_epoll),
+            String::from_utf8_lossy(&from_threads),
+            "probe `{name}` must serve identical bytes in both modes"
+        );
+        assert!(!from_epoll.is_empty(), "probe `{name}` got no response");
+    }
+
+    epoll.shutdown();
+    threads.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

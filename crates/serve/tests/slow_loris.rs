@@ -1,0 +1,156 @@
+//! Slow-loris regression, end to end against the real server in BOTH
+//! front-end modes: a client that dribbles a never-ending header must be
+//! answered with `431` as soon as the 16 KiB head bound fills — the
+//! server must not buffer without limit waiting for a line terminator
+//! that never comes — and a client that stalls mid-request must be
+//! disconnected by the idle timeout, not hold its slot forever.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sqlan_core::{train_model, Dataset, Labels, ModelKind, Problem, Task, TrainConfig, TrainData};
+use sqlan_serve::{save_bundle, HttpMode, ModelRegistry, ScoringConfig, ServeConfig, ServerHandle};
+use sqlan_workload::{build_sdss, Scale, SdssConfig};
+
+fn boot(mode: HttpMode, tag: &str) -> (ServerHandle, std::path::PathBuf) {
+    let w = build_sdss(SdssConfig {
+        n_sessions: 40,
+        scale: Scale(0.02),
+        seed: 7,
+    });
+    let ds = Dataset::build(&w, Problem::ErrorClassification);
+    let cut = ds.len() * 4 / 5;
+    let model = train_model(
+        ModelKind::MFreq,
+        Task::Classify(Problem::ErrorClassification.n_classes()),
+        &TrainData {
+            statements: &ds.statements[..cut],
+            labels: Labels::Classes(&ds.class_labels[..cut]),
+            valid_statements: &ds.statements[cut..],
+            valid_labels: Labels::Classes(&ds.class_labels[cut..]),
+        },
+        &TrainConfig {
+            epochs: 1,
+            ..TrainConfig::tiny()
+        },
+        None,
+    );
+    let dir = std::env::temp_dir().join(format!(
+        "sqlan-loris-{tag}-{:?}-{}",
+        mode,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    save_bundle(&dir, "loris", 7, &[(Problem::ErrorClassification, &model)]).expect("save");
+    let registry = Arc::new(ModelRegistry::open(&dir).expect("open"));
+    let handle = sqlan_serve::start(
+        registry,
+        ServeConfig {
+            http_workers: 1,
+            http_mode: mode,
+            idle_timeout: Duration::from_millis(400),
+            scoring: ScoringConfig {
+                workers: 1,
+                ..ScoringConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start");
+    (handle, dir)
+}
+
+fn modes() -> Vec<HttpMode> {
+    if cfg!(target_os = "linux") {
+        vec![HttpMode::Epoll, HttpMode::Threads]
+    } else {
+        vec![HttpMode::Threads]
+    }
+}
+
+/// Dribble an endless header in small chunks. The server must answer
+/// `431` once `MAX_HEAD_BYTES` (16 KiB) have been buffered — well before
+/// the dribble would ever finish — and then close.
+#[test]
+fn endless_header_dribble_gets_431_within_the_head_bound() {
+    for mode in modes() {
+        let (handle, dir) = boot(mode, "dribble");
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nx-loris: ")
+            .expect("head start");
+        // 64 dribbles * 512 B ≈ 2 * MAX_HEAD_BYTES, never a terminator.
+        // The server must answer midway (431 at the 16 KiB mark) — it
+        // must NOT absorb all of it silently. Poll for the response
+        // between dribbles and stop writing once it appears, so the
+        // server's close cannot RST the answer out of our receive queue.
+        stream
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .expect("poll timeout");
+        let chunk = [b'z'; 512];
+        let mut sent = 32usize;
+        let mut response = Vec::new();
+        let mut probe = [0u8; 1024];
+        for _ in 0..64 {
+            if stream.write_all(&chunk).is_err() {
+                break; // already rejected and closed — fine
+            }
+            sent += chunk.len();
+            match stream.read(&mut probe) {
+                Ok(0) => break,
+                Ok(n) => {
+                    response.extend_from_slice(&probe[..n]);
+                    break;
+                }
+                Err(_) => {} // nothing yet: keep dribbling
+            }
+        }
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("drain timeout");
+        let _ = stream.read_to_end(&mut response); // tolerate RST tail
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            text.starts_with("HTTP/1.1 431 "),
+            "[{mode:?}] expected 431, got {text:?} after {sent} dribbled bytes"
+        );
+        assert!(
+            text.contains("request head too large"),
+            "[{mode:?}] body: {text:?}"
+        );
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A client that sends half a request and then stalls is dropped by the
+/// idle timeout — the connection cannot be parked forever.
+#[test]
+fn stalled_mid_request_connection_is_dropped_by_idle_timeout() {
+    for mode in modes() {
+        let (handle, dir) = boot(mode, "stall");
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        stream.write_all(b"GET /healthz HT").expect("partial head");
+        let start = Instant::now();
+        let mut buf = [0u8; 64];
+        // The server closes (EOF or reset) without ever getting a full
+        // request; it must happen on the idle-timeout scale, not ours.
+        let n = stream.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "[{mode:?}] expected close, got data");
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "[{mode:?}] connection held too long"
+        );
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
