@@ -13,6 +13,12 @@
 //! oracle and to the auto-detected tier, and the labels from both tiers
 //! must be byte-identical (the bit-exactness contract on real queries).
 //!
+//! The run also A/Bs the template plan cache: the SDSS golden-slice
+//! statements (the same fixed-seed workload the golden-label pin runs)
+//! are labeled with `SQLAN_PLAN_CACHE` effectively on and off, labels
+//! must be byte-identical, and the cache-on run must not be slower —
+//! the pinned numbers show the real speedup and template hit rate.
+//!
 //! Knobs: `SQLAN_BENCH_REPEATS` (corpus passes per engine, default 20)
 //! and `SQLAN_BENCH_OUT` (output path, default `BENCH_engine.json`).
 
@@ -23,6 +29,7 @@ use sqlan_bench::{KernelAb, MachineInfo};
 use sqlan_engine::testkit::{equivalence_catalog, equivalence_corpus};
 use sqlan_engine::{Database, Engine};
 use sqlan_simd::Tier;
+use sqlan_workload::{build_sdss, sdss_database, Scale, SdssConfig};
 
 #[derive(Debug, Serialize)]
 struct EngineStats {
@@ -57,6 +64,178 @@ struct BenchEngine {
     /// dominates (the corpus above runs 25–240-row tables, where parse
     /// and plan overhead swamps lane width). Absent without AVX2.
     filter_kernels: Option<Vec<KernelAb>>,
+    /// Template plan cache A/B on the SDSS golden-slice statements.
+    plan_cache: PlanCacheAb,
+}
+
+#[derive(Debug, Serialize)]
+struct PlanCacheAb {
+    /// Unique statements in the SDSS golden slice.
+    statements: usize,
+    cache_off: EngineStats,
+    cache_on: EngineStats,
+    /// cache_off.seconds / cache_on.seconds — ≥ 1 means caching wins.
+    /// End-to-end labeling includes execution, which dominates this
+    /// slice (Amdahl caps the whole-pipeline gain); `front_end` isolates
+    /// the stage the cache actually removes.
+    speedup_cache_on_over_off: f64,
+    /// Fraction of cache probes answered by a resident template during
+    /// the timed passes.
+    template_hit_rate: f64,
+    /// Whether both runs produced byte-identical labels. Must be true.
+    labels_identical: bool,
+    /// A/B of the statement → executable-plan front end alone.
+    front_end: FrontEndAb,
+}
+
+#[derive(Debug, Serialize)]
+struct FrontEndAb {
+    /// lex + parse + optimize, per full slice pass (the miss path).
+    fresh: EngineStats,
+    /// fingerprint probe + template clone + literal rebind (the hit
+    /// path's replacement for `fresh`).
+    cached: EngineStats,
+    /// fresh.seconds / cached.seconds — ≥ 1 means the cached front end
+    /// wins.
+    speedup_cached_over_fresh: f64,
+}
+
+/// Time the two front ends over the slice: what every statement pays
+/// before execution with the cache off (lex → parse → optimize) vs on a
+/// template hit (fingerprint probe → clone → rebind).
+fn front_end_ab(db: &Database, statements: &[String], repeats: usize) -> FrontEndAb {
+    use sqlan_engine::plan_cache::{rebind_plan, rebind_statement, CachedTemplate, PlanCache};
+    use sqlan_sql::Statement;
+    use std::sync::Arc;
+
+    // Populate a standalone cache exactly as `submit`'s miss path would.
+    let cache = PlanCache::new(1024);
+    for s in statements {
+        let fp = sqlan_sql::lex_fingerprint(s);
+        if fp.report.unterminated_string || fp.report.unterminated_comment {
+            continue;
+        }
+        if let Ok(script) = sqlan_sql::parse_tokens(&fp.toks, fp.report.clone(), &fp.params).result
+        {
+            let plans = script
+                .statements
+                .iter()
+                .map(|st| match st {
+                    Statement::Select(q) => Some(db.optimizer.plan(q, &db.catalog)),
+                    _ => None,
+                })
+                .collect();
+            let param_count = fp.literals.len();
+            cache.insert(
+                fp.fingerprint,
+                Arc::new(CachedTemplate {
+                    script,
+                    plans,
+                    param_count,
+                }),
+            );
+        }
+    }
+
+    let repeats = repeats * 10; // front-end passes are cheap; fight timer noise
+    let start = Instant::now();
+    for _ in 0..repeats {
+        for s in statements {
+            let out = sqlan_sql::parse(s);
+            if let Ok(script) = out.result {
+                for st in &script.statements {
+                    if let Statement::Select(q) = st {
+                        std::hint::black_box(db.optimizer.plan(q, &db.catalog).top);
+                    }
+                }
+            }
+        }
+    }
+    let fresh_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for _ in 0..repeats {
+        for s in statements {
+            let probe = sqlan_sql::fingerprint(s);
+            let Some(tpl) = cache.get(probe.fingerprint) else {
+                continue;
+            };
+            if tpl.param_count != probe.literals.len() {
+                continue;
+            }
+            for (st, plan) in tpl.script.statements.iter().zip(&tpl.plans) {
+                let mut st = st.clone();
+                rebind_statement(&mut st, &probe.literals);
+                std::hint::black_box(&st);
+                if let Some(skeleton) = plan {
+                    let mut plan = skeleton.clone();
+                    rebind_plan(&mut plan, &probe.literals);
+                    std::hint::black_box(plan.top);
+                }
+            }
+        }
+    }
+    let cached_s = start.elapsed().as_secs_f64();
+
+    let stats = |seconds: f64| EngineStats {
+        seconds,
+        stmts_per_sec: (statements.len() * repeats) as f64 / seconds.max(1e-9),
+    };
+    FrontEndAb {
+        fresh: stats(fresh_s),
+        cached: stats(cached_s),
+        speedup_cached_over_fresh: fresh_s / cached_s.max(1e-9),
+    }
+}
+
+/// Label the SDSS golden-slice statements with the template plan cache
+/// on and off; labels must not move a bit.
+fn plan_cache_ab(repeats: usize) -> PlanCacheAb {
+    const CONFIG: SdssConfig = SdssConfig {
+        n_sessions: 160,
+        scale: Scale(0.05),
+        seed: 0x5EED,
+    };
+    let statements: Vec<String> = build_sdss(CONFIG)
+        .entries
+        .iter()
+        .map(|e| e.statement.clone())
+        .collect();
+    let db_off = sdss_database(CONFIG).with_plan_cache(0);
+    let db_on = sdss_database(CONFIG).with_plan_cache(1024);
+
+    eprintln!("[bench_engine] plan cache A/B: off");
+    let (cache_off, off_labels) = measure(&db_off, &statements, repeats);
+    eprintln!(
+        "    {:.3}s ({:.0} stmts/s)",
+        cache_off.seconds, cache_off.stmts_per_sec
+    );
+    eprintln!("[bench_engine] plan cache A/B: on");
+    let (cache_on, on_labels) = measure(&db_on, &statements, repeats);
+    let stats = db_on.plan_cache_stats().expect("cache is on");
+    eprintln!(
+        "    {:.3}s ({:.0} stmts/s, hit rate {:.1}%)",
+        cache_on.seconds,
+        cache_on.stmts_per_sec,
+        stats.hit_rate() * 100.0
+    );
+
+    eprintln!("[bench_engine] plan cache A/B: front end (parse+plan vs probe+rebind)");
+    let front_end = front_end_ab(&db_off, &statements, repeats);
+    eprintln!(
+        "    fresh {:.3}s vs cached {:.3}s ({:.2}x)",
+        front_end.fresh.seconds, front_end.cached.seconds, front_end.speedup_cached_over_fresh
+    );
+
+    PlanCacheAb {
+        statements: statements.len(),
+        speedup_cache_on_over_off: cache_off.seconds / cache_on.seconds.max(1e-9),
+        template_hit_rate: stats.hit_rate(),
+        labels_identical: off_labels == on_labels,
+        cache_off,
+        cache_on,
+        front_end,
+    }
 }
 
 /// Direct scalar-vs-AVX2 timing of the columnar filter kernels on an
@@ -192,6 +371,8 @@ fn main() {
         eprintln!("    (no AVX2 on this CPU — skipped)");
     }
 
+    let plan_cache = plan_cache_ab(repeats);
+
     let labels_identical = row_labels == col_labels;
     let tiers_identical = scalar_labels == col_labels;
     let report = BenchEngine {
@@ -206,6 +387,7 @@ fn main() {
         labels_identical,
         tiers_identical,
         filter_kernels,
+        plan_cache,
     };
     assert!(
         report.labels_identical,
@@ -222,6 +404,27 @@ fn main() {
         report.speedup_columnar_over_row >= 0.9,
         "columnar labeling much slower than row ({:.2}x) — vectorization regressed",
         report.speedup_columnar_over_row
+    );
+    assert!(
+        report.plan_cache.labels_identical,
+        "plan cache changed labels — rebind-equivalence contract violated"
+    );
+    // Same CI noise margin as above; the pinned run shows the real gaps
+    // (~3x on the front end, execution-bound end to end).
+    assert!(
+        report.plan_cache.speedup_cache_on_over_off >= 0.9,
+        "plan cache slowed labeling down ({:.2}x)",
+        report.plan_cache.speedup_cache_on_over_off
+    );
+    assert!(
+        report.plan_cache.front_end.speedup_cached_over_fresh >= 1.5,
+        "cached front end must beat parse+plan by 1.5x, got {:.2}x",
+        report.plan_cache.front_end.speedup_cached_over_fresh
+    );
+    assert!(
+        report.plan_cache.template_hit_rate >= 0.5,
+        "SDSS slice should share templates heavily, hit rate {:.2}",
+        report.plan_cache.template_hit_rate
     );
 
     let out = std::env::var("SQLAN_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());

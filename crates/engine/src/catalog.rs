@@ -8,7 +8,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::value::Value;
@@ -223,7 +222,12 @@ impl TableSpec {
 /// A database instance: named tables plus a per-instance identity.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    /// Tables paired with their precomputed ASCII-lowercased lookup key.
+    /// A flat vector beats a hash map here: catalogs hold at most a few
+    /// dozen tables, and scanning with `eq_ignore_ascii_case` against the
+    /// prebuilt key makes every lookup allocation-free (the old map
+    /// lowercased the probe name on each call).
+    tables: Vec<(String, Table)>,
 }
 
 impl Catalog {
@@ -257,18 +261,27 @@ impl Catalog {
     }
 
     pub fn insert(&mut self, table: Table) {
-        self.tables.insert(table.name.to_ascii_lowercase(), table);
+        let key = table.name.to_ascii_lowercase();
+        match self.tables.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = table,
+            None => self.tables.push((key, table)),
+        }
     }
 
     /// Case-insensitive lookup; qualified names resolve by their base name
-    /// (SDSS queries qualify with `dbo.` or MyDB paths).
+    /// (SDSS queries qualify with `dbo.` or MyDB paths). Allocation-free:
+    /// the stored key is already lowercase, so a byte-wise
+    /// case-insensitive comparison suffices.
     pub fn get(&self, name: &str) -> Option<&Table> {
         let base = name.rsplit('.').next().unwrap_or(name);
-        self.tables.get(&base.to_ascii_lowercase())
+        self.tables
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(base))
+            .map(|(_, t)| t)
     }
 
     pub fn table_names(&self) -> impl Iterator<Item = &str> {
-        self.tables.values().map(|t| t.name.as_str())
+        self.tables.iter().map(|(_, t)| t.name.as_str())
     }
 
     pub fn len(&self) -> usize {

@@ -5,9 +5,12 @@
 //! extracts from the SDSS logs — error class, answer size (`rows`), and
 //! CPU time (`busy`) — deterministically.
 
+use std::rc::Rc;
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
-use sqlan_sql::{parse, Query, Statement};
+use sqlan_sql::{parse, Literal, QualifiedName, Query, Statement};
 
 use crate::catalog::Catalog;
 use crate::cost::{estimate_cost_with, CostCounter, CostEstimate};
@@ -15,6 +18,11 @@ use crate::error::{ErrorClass, RuntimeError};
 use crate::exec::{Engine, ExecCtx, ExecLimits, OpStats};
 use crate::functions::FnRegistry;
 use crate::optimizer::{OptLevel, Optimizer};
+use crate::plan::QueryPlan;
+use crate::plan_cache::{
+    plan_cache_capacity_from_env, rebind_plan, rebind_statement, CachedTemplate, PlanCache,
+    PlanCacheStats,
+};
 use crate::relation::Relation;
 
 /// The observable outcome of submitting one statement to the database —
@@ -36,11 +44,15 @@ pub struct QueryOutcome {
 /// An executable database instance.
 ///
 /// `Database` is immutable after construction: every `submit`/`run_query`
-/// builds its own [`ExecCtx`] (plan cache, cost counter, row budget), so
+/// builds its own [`ExecCtx`] (plan memo, cost counter, row budget), so
 /// one instance can be shared by any number of concurrent reader threads.
 /// The assertion below makes that `Send + Sync` guarantee a compile-time
-/// contract — adding interior mutability here would break the
-/// data-parallel workload labeler and must be confined to `ExecCtx`.
+/// contract.  The single sanctioned piece of interior mutability is the
+/// template [`PlanCache`]: it is thread-safe, shared across clones, and
+/// **result-invisible** — it only changes how an outcome is computed,
+/// never what the outcome is (see `plan_cache.rs` for the rebind
+/// contract).  Any other result-bearing mutable state must stay confined
+/// to `ExecCtx`, or the data-parallel workload labeler breaks.
 #[derive(Debug, Clone)]
 pub struct Database {
     pub catalog: Catalog,
@@ -53,6 +65,10 @@ pub struct Database {
     /// are replayed through the row engine (whose charge *order* at the
     /// abort point is the label contract).
     pub engine: Engine,
+    /// Template → optimized-plan cache (`SQLAN_PLAN_CACHE` env or
+    /// [`Database::with_plan_cache`]); `None` when caching is disabled or
+    /// the optimizer pass set is not [`Optimizer::cache_safe`].
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 const _: () = {
@@ -62,12 +78,24 @@ const _: () = {
 
 impl Database {
     pub fn new(catalog: Catalog) -> Self {
+        let optimizer = Optimizer::default();
+        let plan_cache = Self::build_plan_cache(&optimizer, plan_cache_capacity_from_env());
         Database {
             catalog,
             fns: FnRegistry::standard(),
             limits: ExecLimits::default(),
-            optimizer: Optimizer::default(),
+            optimizer,
             engine: Engine::from_env(),
+            plan_cache,
+        }
+    }
+
+    /// A fresh cache of the given capacity, unless caching is disabled or
+    /// the pass set is value-dependent (not [`Optimizer::cache_safe`]).
+    fn build_plan_cache(optimizer: &Optimizer, capacity: Option<usize>) -> Option<Arc<PlanCache>> {
+        match capacity {
+            Some(n) if optimizer.cache_safe() => Some(Arc::new(PlanCache::new(n))),
+            _ => None,
         }
     }
 
@@ -84,19 +112,139 @@ impl Database {
 
     /// Select the optimizer pass set by level. [`OptLevel::Default`] is
     /// the label-stable set the workload generator relies on.
+    ///
+    /// Resets the plan cache: cached skeletons belong to a pass set, and
+    /// value-dependent pass sets disable caching entirely.  Call
+    /// [`Database::with_plan_cache`] *after* this to set an explicit
+    /// capacity.
     pub fn with_opt_level(mut self, level: OptLevel) -> Self {
         self.optimizer = Optimizer::with_level(level);
+        self.plan_cache = Self::build_plan_cache(&self.optimizer, plan_cache_capacity_from_env());
         self
     }
 
-    /// Install a custom pass pipeline (per-pass toggling).
+    /// Install a custom pass pipeline (per-pass toggling).  Resets the
+    /// plan cache, same as [`Database::with_opt_level`].
     pub fn with_optimizer(mut self, optimizer: Optimizer) -> Self {
         self.optimizer = optimizer;
+        self.plan_cache = Self::build_plan_cache(&self.optimizer, plan_cache_capacity_from_env());
         self
+    }
+
+    /// Set the template plan cache capacity explicitly, overriding
+    /// `SQLAN_PLAN_CACHE`.  `0` disables caching.  A value-dependent
+    /// optimizer pass set still disables the cache regardless.
+    pub fn with_plan_cache(mut self, capacity: usize) -> Self {
+        self.plan_cache =
+            Self::build_plan_cache(&self.optimizer, (capacity > 0).then_some(capacity));
+        self
+    }
+
+    /// Hit/miss/occupancy counters of the template plan cache, if one is
+    /// active.
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        self.plan_cache.as_ref().map(|c| c.stats())
     }
 
     /// Submit raw statement text, as an end user would. Never panics.
+    ///
+    /// When the template plan cache is active, the text is fingerprinted
+    /// first (one literal-stripping scan, no parse): a template hit skips
+    /// the parse → plan pipeline and executes a rebound copy of the
+    /// cached skeleton; a miss parses once with literal slots lifted to
+    /// parameters and caches the optimized template for the next
+    /// instance.  Anything irregular — unclean lex, parse error, slot
+    /// mismatch — falls back to the uncached path, so outcomes (labels,
+    /// error messages, charge order) are bit-identical with the cache on
+    /// or off.
     pub fn submit(&self, text: &str) -> QueryOutcome {
+        if let Some(cache) = &self.plan_cache {
+            if let Some(outcome) = self.submit_cached(cache, text) {
+                return outcome;
+            }
+        }
+        self.submit_uncached(text)
+    }
+
+    fn submit_cached(&self, cache: &PlanCache, text: &str) -> Option<QueryOutcome> {
+        let probe = sqlan_sql::fingerprint(text);
+        // Portal-level lex rejections take the legacy path: its error
+        // outcome (and its precedence against parse errors) is the label.
+        if probe.report.unterminated_string || probe.report.unterminated_comment {
+            return None;
+        }
+        if let Some(tpl) = cache.get(probe.fingerprint) {
+            if tpl.param_count == probe.literals.len() {
+                return Some(self.run_template(&tpl, &probe.literals));
+            }
+            // Defensive: equal fingerprints imply equal slot structure,
+            // so this only fires on a 128-bit collision.
+            return None;
+        }
+        // Miss: lex once more materializing tokens, parse with literal
+        // slots lifted to `Expr::Param`, plan the template eagerly.
+        let fp = sqlan_sql::lex_fingerprint(text);
+        let script = match sqlan_sql::parse_tokens(&fp.toks, fp.report, &fp.params).result {
+            // Parse errors embed literal spellings in their messages —
+            // never cache them; the legacy path reproduces them exactly.
+            Err(_) => return None,
+            Ok(s) => s,
+        };
+        let plans = script
+            .statements
+            .iter()
+            .map(|stmt| match stmt {
+                Statement::Select(q) => Some(self.optimizer.plan(q, &self.catalog)),
+                _ => None,
+            })
+            .collect();
+        let tpl = Arc::new(CachedTemplate {
+            script,
+            plans,
+            param_count: fp.literals.len(),
+        });
+        let outcome = self.run_template(&tpl, &fp.literals);
+        cache.insert(fp.fingerprint, tpl);
+        Some(outcome)
+    }
+
+    /// Execute one cached template instance: clone the template, splice
+    /// the statement's literals into every parameter slot (statement and
+    /// plan skeleton both), and run the same statement loop as
+    /// [`Database::submit_uncached`].
+    fn run_template(&self, tpl: &CachedTemplate, literals: &[Literal]) -> QueryOutcome {
+        let mut counter = CostCounter::default();
+        let mut answer: i64 = 0;
+        for (stmt, plan) in tpl.script.statements.iter().zip(&tpl.plans) {
+            let mut stmt = stmt.clone();
+            rebind_statement(&mut stmt, literals);
+            let seed = plan.as_ref().map(|skeleton| {
+                let mut plan = skeleton.clone();
+                rebind_plan(&mut plan, literals);
+                Rc::new(plan)
+            });
+            match self.run_statement_seeded(&stmt, &mut counter, seed) {
+                Ok(rows) => answer = rows,
+                Err(e) => {
+                    return QueryOutcome {
+                        error_class: ErrorClass::NonSevere,
+                        answer_size: -1,
+                        cpu_seconds: counter.cpu_seconds(),
+                        error_message: Some(e.to_string()),
+                    };
+                }
+            }
+        }
+        QueryOutcome {
+            error_class: ErrorClass::Success,
+            answer_size: answer,
+            cpu_seconds: counter.cpu_seconds(),
+            error_message: None,
+        }
+    }
+
+    /// The uncached submit path: parse → execute, no templates involved.
+    fn submit_uncached(&self, text: &str) -> QueryOutcome {
         let outcome = parse(text);
         let script = match outcome.result {
             Err(e) => {
@@ -149,13 +297,23 @@ impl Database {
         stmt: &Statement,
         counter: &mut CostCounter,
     ) -> Result<i64, RuntimeError> {
+        self.run_statement_seeded(stmt, counter, None)
+    }
+
+    /// [`Database::run_statement`] with an optional pre-optimized plan
+    /// for the top-level SELECT (the template cache's rebound skeleton).
+    fn run_statement_seeded(
+        &self,
+        stmt: &Statement,
+        counter: &mut CostCounter,
+        seed: Option<Rc<QueryPlan>>,
+    ) -> Result<i64, RuntimeError> {
         match stmt {
-            Statement::Select(q) => self.query_row_count(q, counter),
+            Statement::Select(q) => self.query_row_count(q, counter, seed),
             Statement::Execute { name, arg_count } => {
                 // Stored procedures: known `sp`-prefixed names succeed with
                 // a fixed moderate cost; anything else is unknown.
-                let base = name.base().to_ascii_lowercase();
-                if base.starts_with("sp") || base.starts_with("usp") {
+                if starts_with_ci(name.base(), "sp") || starts_with_ci(name.base(), "usp") {
                     counter.eval_units += 5_000 + (*arg_count as u64) * 500;
                     Ok(1)
                 } else {
@@ -167,10 +325,7 @@ impl Database {
                 // against shared catalog tables is denied (the portal's
                 // read-only enforcement).
                 match object {
-                    Some(o)
-                        if self.catalog.get(&o.canonical()).is_some()
-                            && !o.canonical().contains("mydb") =>
-                    {
+                    Some(o) if self.catalog.get(o.base()).is_some() && !name_mentions_mydb(o) => {
                         Err(RuntimeError::Unsupported(format!(
                             "cannot modify shared table `{}`",
                             o.canonical()
@@ -186,8 +341,7 @@ impl Database {
                 use sqlan_sql::DmlVerb;
                 // Target must be writable (MyDB); shared tables are denied.
                 if let Some(t) = table {
-                    if self.catalog.get(&t.canonical()).is_some() && !t.canonical().contains("mydb")
-                    {
+                    if self.catalog.get(t.base()).is_some() && !name_mentions_mydb(t) {
                         return Err(RuntimeError::Unsupported(format!(
                             "cannot modify shared table `{}`",
                             t.canonical()
@@ -196,7 +350,7 @@ impl Database {
                 }
                 match verb {
                     DmlVerb::Insert => match query {
-                        Some(q) if !q.select.is_empty() => self.query_row_count(q, counter),
+                        Some(q) if !q.select.is_empty() => self.query_row_count(q, counter, None),
                         _ => {
                             counter.eval_units += 10;
                             Ok(1)
@@ -207,7 +361,7 @@ impl Database {
                         // a scan over the target, when the target exists.
                         match (table, query) {
                             (Some(t), Some(q)) => {
-                                if let Some(tab) = self.catalog.get(&t.canonical()) {
+                                if let Some(tab) = self.catalog.get(t.base()) {
                                     let mut scan = Query::empty();
                                     scan.select.push(sqlan_sql::SelectItem {
                                         expr: sqlan_sql::Expr::Wildcard(None),
@@ -223,7 +377,7 @@ impl Database {
                                         joins: Vec::new(),
                                     });
                                     scan.where_clause = q.where_clause.clone();
-                                    self.query_row_count(&scan, counter)
+                                    self.query_row_count(&scan, counter, None)
                                 } else {
                                     // Unknown user table: pretend empty.
                                     counter.eval_units += 10;
@@ -254,7 +408,7 @@ impl Database {
         q: &Query,
         counter: &mut CostCounter,
     ) -> Result<Relation, RuntimeError> {
-        self.run_dispatch(q, counter, |batch| batch.to_relation(), |rel| rel)
+        self.run_dispatch(q, counter, None, |batch| batch.to_relation(), |rel| rel)
     }
 
     /// Row-engine execution (the fallback/reference path).
@@ -262,9 +416,13 @@ impl Database {
         &self,
         q: &Query,
         counter: &mut CostCounter,
+        seed: Option<Rc<QueryPlan>>,
     ) -> Result<Relation, RuntimeError> {
         let mut ctx =
             ExecCtx::with_optimizer(&self.catalog, &self.fns, self.limits, &self.optimizer);
+        if let Some(plan) = seed {
+            ctx.seed_plan(q, plan);
+        }
         let result = ctx.exec_query(q, &[]);
         counter.add(&ctx.counter);
         result.map(|(rel, _)| rel)
@@ -273,10 +431,16 @@ impl Database {
     /// Answer size of a SELECT — the labeling hot path. The columnar
     /// engine reads the cardinality straight off the final batch without
     /// materializing any rows.
-    fn query_row_count(&self, q: &Query, counter: &mut CostCounter) -> Result<i64, RuntimeError> {
+    fn query_row_count(
+        &self,
+        q: &Query,
+        counter: &mut CostCounter,
+        seed: Option<Rc<QueryPlan>>,
+    ) -> Result<i64, RuntimeError> {
         self.run_dispatch(
             q,
             counter,
+            seed,
             |batch| batch.len() as i64,
             |rel| rel.len() as i64,
         )
@@ -286,10 +450,13 @@ impl Database {
     /// place: run the columnar engine and project its final batch with
     /// `from_batch`; on any columnar error — or under [`Engine::Row`] —
     /// run the row engine and project its relation with `from_rel`.
+    /// `seed` is the template cache's rebound plan for `q`, if any; both
+    /// engines receive it, so a cache hit never changes which plan runs.
     fn run_dispatch<T>(
         &self,
         q: &Query,
         counter: &mut CostCounter,
+        seed: Option<Rc<QueryPlan>>,
         from_batch: impl FnOnce(crate::relation::ColumnBatch) -> T,
         from_rel: impl FnOnce(Relation) -> T,
     ) -> Result<T, RuntimeError> {
@@ -297,13 +464,16 @@ impl Database {
             let mut ctx =
                 ExecCtx::with_optimizer(&self.catalog, &self.fns, self.limits, &self.optimizer)
                     .with_engine(Engine::Columnar);
+            if let Some(plan) = &seed {
+                ctx.seed_plan(q, Rc::clone(plan));
+            }
             if let Ok((batch, _)) = ctx.exec_query_batch(q, &[]) {
                 counter.add(&ctx.counter);
                 return Ok(from_batch(batch));
             }
             // Fall through: discard the columnar context and replay.
         }
-        self.run_query_row(q, counter).map(from_rel)
+        self.run_query_row(q, counter, seed).map(from_rel)
     }
 
     /// EXPLAIN: render the optimized plan of every statement in `text`
@@ -333,7 +503,31 @@ impl Database {
                 }
             }
         }
+        out.push_str(&self.plan_cache_provenance(text));
         Ok(out)
+    }
+
+    /// One `-- plan cache: …` line describing how [`Database::submit`]
+    /// would treat this text.  Probe-only: no counters move, nothing is
+    /// inserted, LRU stamps stay put.
+    fn plan_cache_provenance(&self, text: &str) -> String {
+        let Some(cache) = &self.plan_cache else {
+            return "-- plan cache: status=off\n".to_string();
+        };
+        let probe = sqlan_sql::fingerprint(text);
+        if probe.report.unterminated_string || probe.report.unterminated_comment {
+            return "-- plan cache: status=bypass (unclean lex)\n".to_string();
+        }
+        let status = if cache.contains(probe.fingerprint) {
+            "hit"
+        } else {
+            "miss"
+        };
+        format!(
+            "-- plan cache: status={status} fp={:#034x} params={}\n",
+            probe.fingerprint,
+            probe.literals.len()
+        )
     }
 
     /// EXPLAIN ANALYZE: render the optimized plan of every statement in
@@ -343,7 +537,9 @@ impl Database {
     /// include everything the operator evaluated — nested subqueries roll
     /// into the operator that ran them.
     pub fn explain_analyze(&self, text: &str) -> Result<String, String> {
+        let t_parse = std::time::Instant::now();
         let script = parse(text).result.map_err(|e| e.to_string())?;
+        let parse_ns = t_parse.elapsed().as_nanos() as u64;
         let mut out = String::new();
         for (i, stmt) in script.statements.iter().enumerate() {
             if script.statements.len() > 1 {
@@ -351,8 +547,19 @@ impl Database {
             }
             match stmt {
                 Statement::Select(q) => {
-                    out.push_str(&self.optimizer.plan(q, &self.catalog).render());
+                    let t_plan = std::time::Instant::now();
+                    let rendered = self.optimizer.plan(q, &self.catalog).render();
+                    let plan_ns = t_plan.elapsed().as_nanos() as u64;
+                    out.push_str(&rendered);
+                    let t_exec = std::time::Instant::now();
                     self.analyze_select(q, &mut out);
+                    let exec_ns = t_exec.elapsed().as_nanos() as u64;
+                    out.push_str(&format!(
+                        "-- wall: parse={}us plan={}us execute={}us\n",
+                        parse_ns / 1_000,
+                        plan_ns / 1_000,
+                        exec_ns / 1_000
+                    ));
                 }
                 other => {
                     // Non-SELECT statements have no operator pipeline; run
@@ -369,6 +576,7 @@ impl Database {
                 }
             }
         }
+        out.push_str(&self.plan_cache_provenance(text));
         Ok(out)
     }
 
@@ -398,8 +606,11 @@ impl Database {
         ));
         for s in &obs {
             out.push_str(&format!(
-                "--   rows={:<9} units=+{:<11} {}\n",
-                s.rows, s.units, s.op
+                "--   rows={:<9} units=+{:<11} wall=+{:<8} {}\n",
+                s.rows,
+                s.units,
+                format!("{}us", s.wall_ns / 1_000),
+                s.op
             ));
         }
         match res {
@@ -429,6 +640,34 @@ impl Database {
         }
         Some(total)
     }
+}
+
+/// Byte-wise ASCII-case-insensitive prefix test — the allocation-free
+/// equivalent of `s.to_ascii_lowercase().starts_with(prefix)` for an
+/// ASCII-lowercase `prefix`.
+fn starts_with_ci(s: &str, prefix: &str) -> bool {
+    let (s, p) = (s.as_bytes(), prefix.as_bytes());
+    s.len() >= p.len() && s[..p.len()].eq_ignore_ascii_case(p)
+}
+
+/// Does any part of `name` contain "mydb" (case-insensitively)?
+///
+/// Equivalent to `name.canonical().contains("mydb")` without building the
+/// canonical string: "mydb" cannot contain the `.` separator, so a match
+/// in the joined rendering always lies within a single part, and for the
+/// rare non-ASCII part the Unicode-lowercase fallback matches
+/// `canonical()`'s per-char lowering ("mydb" is ASCII, so the one
+/// context-sensitive case, final sigma, cannot affect the answer).
+fn name_mentions_mydb(name: &QualifiedName) -> bool {
+    name.parts.iter().any(|p| {
+        if p.is_ascii() {
+            p.as_bytes()
+                .windows(4)
+                .any(|w| w.eq_ignore_ascii_case(b"mydb"))
+        } else {
+            p.to_lowercase().contains("mydb")
+        }
+    })
 }
 
 /// One-line description of a non-query statement for EXPLAIN output.

@@ -34,6 +34,10 @@ pub fn eval(
 ) -> Result<Value, RuntimeError> {
     match expr {
         Expr::Literal(l) => Ok(literal_value(l)),
+        // Plan-cache templates rebind every Param to a Literal before
+        // execution; if one slips through, its carried value is still the
+        // literal the template was built from.
+        Expr::Param { value, .. } => Ok(literal_value(value)),
         Expr::Column(name) => {
             // Current row first, then outer scopes from innermost out.
             if let Some(i) = rel.resolve(&name.parts)? {
@@ -466,6 +470,7 @@ pub(crate) fn eval_batch(
     }
     match expr {
         Expr::Literal(l) => Ok(Arc::new(Column::Const(literal_value(l), n))),
+        Expr::Param { value, .. } => Ok(Arc::new(Column::Const(literal_value(value), n))),
         Expr::Column(name) => {
             if let Some(ci) = batch.resolve(&name.parts)? {
                 return Ok(column_ref(batch, ci, rows));

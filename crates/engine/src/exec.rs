@@ -102,6 +102,9 @@ pub struct OpStats {
     /// Cost units charged while it (and everything it evaluated, nested
     /// subqueries included) ran.
     pub units: u64,
+    /// Wall-clock nanoseconds elapsed while it ran.  Unlike `units`, this
+    /// is real machine time — diagnostic only, never part of any label.
+    pub wall_ns: u64,
 }
 
 /// Record one operator observation; no-op unless analysis is armed.
@@ -109,17 +112,21 @@ pub(crate) fn observe(
     log: &mut Option<Vec<OpStats>>,
     counter: &CostCounter,
     last_units: &mut u64,
+    last_instant: &mut std::time::Instant,
     rows: usize,
     op: impl FnOnce() -> String,
 ) {
     if let Some(log) = log.as_mut() {
         let units = counter.units();
+        let now = std::time::Instant::now();
         log.push(OpStats {
             op: op(),
             rows: rows as u64,
             units: units.saturating_sub(*last_units),
+            wall_ns: now.duration_since(*last_instant).as_nanos() as u64,
         });
         *last_units = units;
+        *last_instant = now;
     }
 }
 
@@ -249,6 +256,15 @@ impl<'a> ExecCtx<'a> {
     ) -> Result<(ColumnBatch, bool), RuntimeError> {
         let plan = self.plan_for(q);
         self.exec_plan_batch(&plan, outer)
+    }
+
+    /// Pre-seed the per-context plan memo with an already-optimized plan
+    /// for `q` (keyed by AST address, like [`ExecCtx::plan_for`]).  The
+    /// database-level template cache uses this to hand a rebound cached
+    /// skeleton to execution without re-planning; nested subqueries not
+    /// covered by the seed still plan lazily as usual.
+    pub(crate) fn seed_plan(&mut self, q: &Query, plan: Rc<QueryPlan>) {
+        self.plan_cache.insert(q as *const Query as usize, plan);
     }
 
     /// Lower + optimize `q`, memoized on the query's address.

@@ -40,6 +40,7 @@ pub mod functions;
 pub mod optimizer;
 pub mod physical;
 pub mod plan;
+pub mod plan_cache;
 pub mod relation;
 pub mod testkit;
 pub mod value;
@@ -55,5 +56,9 @@ pub use optimizer::{
     ProjectionPruning,
 };
 pub use plan::{lower, FoldStep, JoinStrategy, LogicalPlan, QueryPlan, SelectOp};
+pub use plan_cache::{
+    plan_cache_capacity_from_env, CachedTemplate, PlanCache, PlanCacheStats,
+    DEFAULT_PLAN_CACHE_CAPACITY, PLAN_CACHE_ENV,
+};
 pub use relation::{ColRef, ColumnBatch, Relation};
 pub use value::{Column, ColumnBuilder, Value};

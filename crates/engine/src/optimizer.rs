@@ -105,6 +105,27 @@ impl Optimizer {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
+    /// True when every pass in the pipeline is **value-independent**: its
+    /// decisions depend only on query structure (column references, join
+    /// shape, projection names), never on literal values. Value-independent
+    /// pipelines produce the same plan *shape* for every statement of a
+    /// template, which is the precondition for the cross-statement plan
+    /// cache: a cached template plan rebound with fresh literals is then
+    /// provably identical to fresh parse+optimize.
+    ///
+    /// `constant_folding` reads literal values (it evaluates them), and an
+    /// unknown custom pass could do anything — either disables caching
+    /// entirely (the uncacheable-template escape hatch; see
+    /// `crates/engine/ARCHITECTURE.md`).
+    pub fn cache_safe(&self) -> bool {
+        self.passes.iter().all(|p| {
+            matches!(
+                p.name(),
+                "predicate_pushdown" | "equi_join_detection" | "projection_pruning"
+            )
+        })
+    }
+
     /// Lower `q` and run every pass over the plan (nested subquery plans
     /// included, innermost first).
     pub fn plan(&self, q: &Query, catalog: &Catalog) -> QueryPlan {
@@ -530,10 +551,16 @@ fn fold_expr(e: &mut Expr) {
         }
         Expr::Cast { expr, .. } => fold_expr(expr),
         // Subqueries are separate execution scopes; leave their ASTs
-        // untouched (their plans are optimized when they run).
+        // untouched (their plans are optimized when they run). Params are
+        // opaque leaves: folding one would bake a template's seed literal
+        // into the plan shape, which is exactly what makes a template
+        // uncacheable — the plan cache refuses to cache under this pass
+        // (see `Optimizer::cache_safe`), and `literal_of` below never
+        // looks through a Param.
         Expr::Column(_)
         | Expr::Wildcard(_)
         | Expr::Literal(_)
+        | Expr::Param { .. }
         | Expr::Subquery(_)
         | Expr::InSubquery { .. }
         | Expr::Exists { .. } => {}

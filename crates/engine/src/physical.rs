@@ -108,14 +108,20 @@ impl ExecCtx<'_> {
     ) -> Result<(Relation, bool), RuntimeError> {
         let mut used_outer = false;
         let mut last = self.counter.units();
+        let mut t_last = std::time::Instant::now();
 
         // ---- FROM items -------------------------------------------------
         let mut item_rels: Vec<Relation> = Vec::with_capacity(plan.items.len());
         for item in &plan.items {
             let rel = self.exec_node(item, outer, &mut used_outer)?;
-            observe(alog, &self.counter, &mut last, rel.len(), || {
-                item_label(item)
-            });
+            observe(
+                alog,
+                &self.counter,
+                &mut last,
+                &mut t_last,
+                rel.len(),
+                || item_label(item),
+            );
             item_rels.push(rel);
         }
 
@@ -123,9 +129,14 @@ impl ExecCtx<'_> {
         for (i, pred) in &plan.pushed {
             let rel = std::mem::take(&mut item_rels[*i]);
             let rel = self.filter(rel, pred, outer, &mut used_outer)?;
-            observe(alog, &self.counter, &mut last, rel.len(), || {
-                format!("Filter ({pred})")
-            });
+            observe(
+                alog,
+                &self.counter,
+                &mut last,
+                &mut t_last,
+                rel.len(),
+                || format!("Filter ({pred})"),
+            );
             item_rels[*i] = rel;
         }
 
@@ -136,9 +147,14 @@ impl ExecCtx<'_> {
                 let mut acc = item_rels.remove(0);
                 for (k, next) in item_rels.into_iter().enumerate() {
                     acc = self.fold(acc, next, plan.folds.get(k), outer, &mut used_outer)?;
-                    observe(alog, &self.counter, &mut last, acc.len(), || {
-                        fold_label(plan.folds.get(k))
-                    });
+                    observe(
+                        alog,
+                        &self.counter,
+                        &mut last,
+                        &mut t_last,
+                        acc.len(),
+                        || fold_label(plan.folds.get(k)),
+                    );
                 }
                 acc
             }
@@ -147,9 +163,14 @@ impl ExecCtx<'_> {
         // ---- residual WHERE ---------------------------------------------
         for pred in &plan.residual {
             source = self.filter(source, pred, outer, &mut used_outer)?;
-            observe(alog, &self.counter, &mut last, source.len(), || {
-                format!("Filter ({pred})")
-            });
+            observe(
+                alog,
+                &self.counter,
+                &mut last,
+                &mut t_last,
+                source.len(),
+                || format!("Filter ({pred})"),
+            );
         }
 
         // ---- projection / aggregation ----------------------------------
@@ -169,16 +190,26 @@ impl ExecCtx<'_> {
             )?,
             SelectOp::Project { items } => self.project(items, &source, outer, &mut used_outer)?,
         };
-        observe(alog, &self.counter, &mut last, projected.len(), || {
-            select_label(&plan.select)
-        });
+        observe(
+            alog,
+            &self.counter,
+            &mut last,
+            &mut t_last,
+            projected.len(),
+            || select_label(&plan.select),
+        );
 
         // ---- DISTINCT ----------------------------------------------------
         if plan.distinct {
             projected = self.distinct(projected)?;
-            observe(alog, &self.counter, &mut last, projected.len(), || {
-                "Distinct".into()
-            });
+            observe(
+                alog,
+                &self.counter,
+                &mut last,
+                &mut t_last,
+                projected.len(),
+                || "Distinct".into(),
+            );
         }
 
         // ---- ORDER BY (on projected output, falling back to source) ----
@@ -196,17 +227,27 @@ impl ExecCtx<'_> {
             )?;
         }
         if !plan.order_by.is_empty() {
-            observe(alog, &self.counter, &mut last, projected.len(), || {
-                format!("Sort [{} keys]", plan.order_by.len())
-            });
+            observe(
+                alog,
+                &self.counter,
+                &mut last,
+                &mut t_last,
+                projected.len(),
+                || format!("Sort [{} keys]", plan.order_by.len()),
+            );
         }
 
         // ---- TOP ----------------------------------------------------------
         if let Some(n) = plan.top {
             projected.rows.truncate(n as usize);
-            observe(alog, &self.counter, &mut last, projected.len(), || {
-                format!("Limit {n}")
-            });
+            observe(
+                alog,
+                &self.counter,
+                &mut last,
+                &mut t_last,
+                projected.len(),
+                || format!("Limit {n}"),
+            );
         }
 
         Ok((projected, used_outer))
@@ -896,14 +937,20 @@ impl ExecCtx<'_> {
     ) -> Result<(ColumnBatch, bool), RuntimeError> {
         let mut used_outer = false;
         let mut last = self.counter.units();
+        let mut t_last = std::time::Instant::now();
 
         // ---- FROM items -------------------------------------------------
         let mut item_rels: Vec<ColumnBatch> = Vec::with_capacity(plan.items.len());
         for item in &plan.items {
             let rel = self.exec_node_batch(item, outer, &mut used_outer)?;
-            observe(alog, &self.counter, &mut last, rel.len(), || {
-                item_label(item)
-            });
+            observe(
+                alog,
+                &self.counter,
+                &mut last,
+                &mut t_last,
+                rel.len(),
+                || item_label(item),
+            );
             item_rels.push(rel);
         }
 
@@ -911,9 +958,14 @@ impl ExecCtx<'_> {
         for (i, pred) in &plan.pushed {
             let rel = std::mem::take(&mut item_rels[*i]);
             let rel = self.filter_batch(rel, pred, outer, &mut used_outer)?;
-            observe(alog, &self.counter, &mut last, rel.len(), || {
-                format!("Filter ({pred})")
-            });
+            observe(
+                alog,
+                &self.counter,
+                &mut last,
+                &mut t_last,
+                rel.len(),
+                || format!("Filter ({pred})"),
+            );
             item_rels[*i] = rel;
         }
 
@@ -924,9 +976,14 @@ impl ExecCtx<'_> {
                 let mut acc = item_rels.remove(0);
                 for (k, next) in item_rels.into_iter().enumerate() {
                     acc = self.fold_batch(acc, next, plan.folds.get(k), outer, &mut used_outer)?;
-                    observe(alog, &self.counter, &mut last, acc.len(), || {
-                        fold_label(plan.folds.get(k))
-                    });
+                    observe(
+                        alog,
+                        &self.counter,
+                        &mut last,
+                        &mut t_last,
+                        acc.len(),
+                        || fold_label(plan.folds.get(k)),
+                    );
                 }
                 acc
             }
@@ -935,9 +992,14 @@ impl ExecCtx<'_> {
         // ---- residual WHERE ---------------------------------------------
         for pred in &plan.residual {
             source = self.filter_batch(source, pred, outer, &mut used_outer)?;
-            observe(alog, &self.counter, &mut last, source.len(), || {
-                format!("Filter ({pred})")
-            });
+            observe(
+                alog,
+                &self.counter,
+                &mut last,
+                &mut t_last,
+                source.len(),
+                || format!("Filter ({pred})"),
+            );
         }
 
         // ---- projection / aggregation ----------------------------------
@@ -959,16 +1021,26 @@ impl ExecCtx<'_> {
                 self.project_batch(items, &source, outer, &mut used_outer)?
             }
         };
-        observe(alog, &self.counter, &mut last, projected.len(), || {
-            select_label(&plan.select)
-        });
+        observe(
+            alog,
+            &self.counter,
+            &mut last,
+            &mut t_last,
+            projected.len(),
+            || select_label(&plan.select),
+        );
 
         // ---- DISTINCT ----------------------------------------------------
         if plan.distinct {
             projected = self.distinct_batch(projected)?;
-            observe(alog, &self.counter, &mut last, projected.len(), || {
-                "Distinct".into()
-            });
+            observe(
+                alog,
+                &self.counter,
+                &mut last,
+                &mut t_last,
+                projected.len(),
+                || "Distinct".into(),
+            );
         }
 
         // ---- ORDER BY (on projected output, falling back to source) ----
@@ -986,17 +1058,27 @@ impl ExecCtx<'_> {
             )?;
         }
         if !plan.order_by.is_empty() {
-            observe(alog, &self.counter, &mut last, projected.len(), || {
-                format!("Sort [{} keys]", plan.order_by.len())
-            });
+            observe(
+                alog,
+                &self.counter,
+                &mut last,
+                &mut t_last,
+                projected.len(),
+                || format!("Sort [{} keys]", plan.order_by.len()),
+            );
         }
 
         // ---- TOP ----------------------------------------------------------
         if let Some(n) = plan.top {
             projected.truncate(n as usize);
-            observe(alog, &self.counter, &mut last, projected.len(), || {
-                format!("Limit {n}")
-            });
+            observe(
+                alog,
+                &self.counter,
+                &mut last,
+                &mut t_last,
+                projected.len(),
+                || format!("Limit {n}"),
+            );
         }
 
         Ok((projected, used_outer))

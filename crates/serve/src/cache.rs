@@ -26,36 +26,13 @@ use crate::scoring::Prediction;
 /// sharing a normalized form are guaranteed the same prediction from
 /// every model family, which is the correctness contract a cache key
 /// must honor.
-pub fn normalize_statement(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    let mut quote: Option<char> = None;
-    let mut pending_space = false;
-    for c in text.chars() {
-        if let Some(q) = quote {
-            out.push(c);
-            if c == q {
-                // A doubled quote re-enters the region at the next quote
-                // char; treating it as leave-then-enter preserves bytes
-                // either way.
-                quote = None;
-            }
-            continue;
-        }
-        if c.is_whitespace() {
-            pending_space = true;
-            continue;
-        }
-        if pending_space && !out.is_empty() {
-            out.push(' ');
-        }
-        pending_space = false;
-        out.push(c);
-        if c == '\'' || c == '"' {
-            quote = Some(c);
-        }
-    }
-    out
-}
+///
+/// The implementation lives beside the engine's template-fingerprint
+/// lexer in `sqlan-sql` — one source of truth for what "the same
+/// statement modulo whitespace" means across the serving cache and the
+/// plan cache.  Re-exported here so existing call sites and cache keys
+/// are unchanged.
+pub use sqlan_sql::normalize_statement;
 
 #[derive(Debug)]
 struct Entry {

@@ -56,6 +56,25 @@ pub enum Literal {
     Null,
 }
 
+impl Literal {
+    /// Convert a numeric literal's source text to its value, exactly as the
+    /// parser does. Shared with the fingerprint pass so a literal extracted
+    /// into a plan-cache slot is bit-identical to the parsed one.
+    pub fn number_from_text(text: String) -> Literal {
+        let v = text.parse::<f64>().unwrap_or(f64::NAN);
+        Literal::Number(v, text)
+    }
+
+    /// Convert a hex literal's source text (`0x…`), reducing modulo u64 by
+    /// keeping the trailing 16 hex digits. Shared with the fingerprint pass.
+    pub fn hex_from_text(text: String) -> Literal {
+        let digits = &text[2..];
+        let tail = &digits[digits.len().saturating_sub(16)..];
+        let v = u64::from_str_radix(tail, 16).unwrap_or(0);
+        Literal::Hex(v, text)
+    }
+}
+
 /// Scalar expressions.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Expr {
@@ -65,6 +84,12 @@ pub enum Expr {
     Wildcard(Option<String>),
     /// A literal.
     Literal(Literal),
+    /// A literal lifted into a plan-cache template parameter slot. Carries
+    /// the value it was parsed from so a template behaves exactly like the
+    /// statement it was built from; the cache rebinds every `Param` to the
+    /// incoming statement's literal (by `slot`) before execution, so
+    /// evaluation never sees this variant on a correct path.
+    Param { slot: u32, value: Literal },
     /// Unary minus / NOT.
     Unary { op: UnaryOp, expr: Box<Expr> },
     /// A binary arithmetic/comparison/bitwise expression.

@@ -38,6 +38,9 @@ impl fmt::Display for Expr {
             Expr::Wildcard(None) => f.write_str("*"),
             Expr::Wildcard(Some(q)) => write!(f, "{}.*", q),
             Expr::Literal(l) => write!(f, "{}", l),
+            // A template parameter renders as the literal it was built
+            // from, so a template displays exactly like its seed statement.
+            Expr::Param { value, .. } => write!(f, "{}", value),
             Expr::Unary { op, expr } => match op {
                 UnaryOp::Neg => write!(f, "-{}", paren_unary(expr)),
                 UnaryOp::Plus => write!(f, "+{}", paren_unary(expr)),
@@ -170,7 +173,9 @@ fn paren_operand(e: &Expr) -> String {
 
 fn paren_unary(e: &Expr) -> String {
     match e {
-        Expr::Column(_) | Expr::Literal(_) | Expr::Function(_) => format!("{}", e),
+        Expr::Column(_) | Expr::Literal(_) | Expr::Param { .. } | Expr::Function(_) => {
+            format!("{}", e)
+        }
         _ => format!("({})", e),
     }
 }

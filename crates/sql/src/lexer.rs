@@ -6,6 +6,13 @@
 //! strings are recorded via [`LexReport::unterminated_string`] while still
 //! producing a token stream, so downstream consumers (feature extractors,
 //! the error model) always have something to work with.
+//!
+//! Internally the lexer is split into a span-only scanner ([`RawLexer`],
+//! crate-private) and a materializing wrapper ([`lex`]). The raw scanner
+//! allocates nothing; it is shared with the template-fingerprint pass in
+//! [`crate::fingerprint`], which guarantees that the fingerprint probe and
+//! the full tokenization agree on every byte of every input by
+//! construction — there is exactly one tokenizer.
 
 use crate::token::{Keyword, Op, Span, SpannedTok, Tok};
 
@@ -29,14 +36,13 @@ impl LexReport {
 
 /// Lex `input` completely. Never fails; see [`LexReport`].
 pub fn lex(input: &str) -> (Vec<SpannedTok>, LexReport) {
-    let mut lx = Lexer {
-        src: input.as_bytes(),
-        pos: 0,
-        report: LexReport::default(),
-    };
+    let mut lx = RawLexer::new(input);
     let mut out = Vec::with_capacity(input.len() / 4 + 4);
-    while let Some(t) = lx.next_token(input) {
-        out.push(t);
+    while let Some(rt) = lx.next_raw() {
+        out.push(SpannedTok {
+            tok: materialize(input, &rt),
+            span: Span::new(rt.lo, rt.hi),
+        });
     }
     (out, lx.report)
 }
@@ -46,13 +52,117 @@ pub fn lex_tokens(input: &str) -> Vec<SpannedTok> {
     lex(input).0
 }
 
-struct Lexer<'a> {
-    src: &'a [u8],
-    pos: usize,
-    report: LexReport,
+/// Kind of a raw (span-only) token. No text is materialized; the span plus
+/// the flags carried here are sufficient to reconstruct the [`Tok`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum RawKind {
+    Keyword(Keyword),
+    /// A bare identifier word that is not a keyword.
+    Word,
+    Number,
+    HexNumber,
+    /// Single-quoted string. The span includes the quotes; `escaped` is set
+    /// when the body contains a doubled-quote escape.
+    Str {
+        terminated: bool,
+        escaped: bool,
+    },
+    /// `[bracketed]` identifier; span includes the brackets.
+    Bracketed {
+        terminated: bool,
+    },
+    /// `"quoted"` identifier; span includes the quotes.
+    Quoted {
+        terminated: bool,
+    },
+    Op(Op),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Unknown(char),
 }
 
-impl<'a> Lexer<'a> {
+/// A raw token: kind plus the half-open byte range it covers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RawTok {
+    pub(crate) kind: RawKind,
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
+}
+
+impl RawTok {
+    /// The source text covered by this token.
+    pub(crate) fn text<'a>(&self, input: &'a str) -> &'a str {
+        &input[self.lo..self.hi]
+    }
+
+    /// For string/bracketed/quoted tokens: the text between the delimiters
+    /// (still escaped for strings). For everything else, the full text.
+    pub(crate) fn inner<'a>(&self, input: &'a str) -> &'a str {
+        match self.kind {
+            RawKind::Str { terminated, .. }
+            | RawKind::Bracketed { terminated }
+            | RawKind::Quoted { terminated } => {
+                let hi = if terminated { self.hi - 1 } else { self.hi };
+                &input[self.lo + 1..hi]
+            }
+            _ => self.text(input),
+        }
+    }
+}
+
+/// Unescape a raw string token's body. Allocation-free unless the body
+/// contains a `''` escape.
+pub(crate) fn str_value<'a>(input: &'a str, rt: &RawTok) -> std::borrow::Cow<'a, str> {
+    let inner = rt.inner(input);
+    match rt.kind {
+        RawKind::Str { escaped: true, .. } => std::borrow::Cow::Owned(inner.replace("''", "'")),
+        _ => std::borrow::Cow::Borrowed(inner),
+    }
+}
+
+/// Turn a raw token into the owned [`Tok`] the parser consumes.
+pub(crate) fn materialize(input: &str, rt: &RawTok) -> Tok {
+    match rt.kind {
+        RawKind::Keyword(kw) => Tok::Keyword(kw),
+        RawKind::Word => Tok::Ident(rt.text(input).to_string()),
+        RawKind::Number => Tok::Number(rt.text(input).to_string()),
+        RawKind::HexNumber => Tok::HexNumber(rt.text(input).to_string()),
+        RawKind::Str { .. } => Tok::String(str_value(input, rt).into_owned()),
+        RawKind::Bracketed { .. } | RawKind::Quoted { .. } => {
+            Tok::Ident(rt.inner(input).to_string())
+        }
+        RawKind::Op(op) => Tok::Op(op),
+        RawKind::LParen => Tok::LParen,
+        RawKind::RParen => Tok::RParen,
+        RawKind::Comma => Tok::Comma,
+        RawKind::Dot => Tok::Dot,
+        RawKind::Semicolon => Tok::Semicolon,
+        RawKind::Unknown(c) => Tok::Unknown(c),
+    }
+}
+
+/// The span-only scanner. Crate-private; use [`lex`] or the fingerprint
+/// entry points in [`crate::fingerprint`].
+pub(crate) struct RawLexer<'a> {
+    src: &'a [u8],
+    input: &'a str,
+    pos: usize,
+    pub(crate) report: LexReport,
+}
+
+impl<'a> RawLexer<'a> {
+    pub(crate) fn new(input: &'a str) -> Self {
+        RawLexer {
+            src: input.as_bytes(),
+            input,
+            pos: 0,
+            report: LexReport::default(),
+        }
+    }
+
     fn peek(&self) -> Option<u8> {
         self.src.get(self.pos).copied()
     }
@@ -102,137 +212,132 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn next_token(&mut self, input: &str) -> Option<SpannedTok> {
+    pub(crate) fn next_raw(&mut self) -> Option<RawTok> {
         self.skip_trivia();
         let start = self.pos;
         let b = self.peek()?;
 
-        let tok = match b {
+        let kind = match b {
             b'(' => {
                 self.pos += 1;
-                Tok::LParen
+                RawKind::LParen
             }
             b')' => {
                 self.pos += 1;
-                Tok::RParen
+                RawKind::RParen
             }
             b',' => {
                 self.pos += 1;
-                Tok::Comma
+                RawKind::Comma
             }
             b';' => {
                 self.pos += 1;
-                Tok::Semicolon
+                RawKind::Semicolon
             }
             b'.' => {
                 // `.5` is a number; `a.b` is a dot.
                 if self.peek2().is_some_and(|c| c.is_ascii_digit()) {
-                    self.lex_number(input)
+                    self.lex_number()
                 } else {
                     self.pos += 1;
-                    Tok::Dot
+                    RawKind::Dot
                 }
             }
-            b'\'' => self.lex_string(input),
-            b'[' => self.lex_bracketed(input),
-            b'"' => self.lex_quoted_ident(input),
-            b'0' if self.peek2() == Some(b'x') || self.peek2() == Some(b'X') => self.lex_hex(input),
-            b'0'..=b'9' => self.lex_number(input),
+            b'\'' => self.lex_string(),
+            b'[' => self.lex_delimited(b']'),
+            b'"' => self.lex_delimited(b'"'),
+            b'0' if self.peek2() == Some(b'x') || self.peek2() == Some(b'X') => self.lex_hex(),
+            b'0'..=b'9' => self.lex_number(),
             b'=' => {
                 self.pos += 1;
-                Tok::Op(Op::Eq)
+                RawKind::Op(Op::Eq)
             }
             b'<' => {
                 self.pos += 1;
                 match self.peek() {
                     Some(b'=') => {
                         self.pos += 1;
-                        Tok::Op(Op::Lte)
+                        RawKind::Op(Op::Lte)
                     }
                     Some(b'>') => {
                         self.pos += 1;
-                        Tok::Op(Op::Neq)
+                        RawKind::Op(Op::Neq)
                     }
-                    _ => Tok::Op(Op::Lt),
+                    _ => RawKind::Op(Op::Lt),
                 }
             }
             b'>' => {
                 self.pos += 1;
                 if self.peek() == Some(b'=') {
                     self.pos += 1;
-                    Tok::Op(Op::Gte)
+                    RawKind::Op(Op::Gte)
                 } else {
-                    Tok::Op(Op::Gt)
+                    RawKind::Op(Op::Gt)
                 }
             }
             b'!' => {
                 self.pos += 1;
                 if self.peek() == Some(b'=') {
                     self.pos += 1;
-                    Tok::Op(Op::Neq)
+                    RawKind::Op(Op::Neq)
                 } else {
                     self.report.unknown_bytes += 1;
-                    Tok::Unknown('!')
+                    RawKind::Unknown('!')
                 }
             }
             b'+' => {
                 self.pos += 1;
-                Tok::Op(Op::Plus)
+                RawKind::Op(Op::Plus)
             }
             b'-' => {
                 self.pos += 1;
-                Tok::Op(Op::Minus)
+                RawKind::Op(Op::Minus)
             }
             b'*' => {
                 self.pos += 1;
-                Tok::Op(Op::Star)
+                RawKind::Op(Op::Star)
             }
             b'/' => {
                 self.pos += 1;
-                Tok::Op(Op::Slash)
+                RawKind::Op(Op::Slash)
             }
             b'%' => {
                 self.pos += 1;
-                Tok::Op(Op::Percent)
+                RawKind::Op(Op::Percent)
             }
             b'&' => {
                 self.pos += 1;
-                Tok::Op(Op::BitAnd)
+                RawKind::Op(Op::BitAnd)
             }
             b'|' => {
                 self.pos += 1;
                 if self.peek() == Some(b'|') {
                     self.pos += 1;
-                    Tok::Op(Op::Concat)
+                    RawKind::Op(Op::Concat)
                 } else {
-                    Tok::Op(Op::BitOr)
+                    RawKind::Op(Op::BitOr)
                 }
             }
-            b'^' => {
-                self.pos += 1;
-                Tok::Op(Op::BitXor)
-            }
-            c if c.is_ascii_alphabetic() || c == b'_' || c == b'@' || c == b'#' => {
-                self.lex_word(input)
-            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'@' || c == b'#' => self.lex_word(),
             _ => {
                 // Multi-byte UTF-8 or stray punctuation: emit one char as
                 // Unknown so arbitrary text survives.
-                let s = &input[self.pos..];
+                let s = &self.input[self.pos..];
                 let ch = s.chars().next().expect("non-empty by peek");
                 self.pos += ch.len_utf8();
                 self.report.unknown_bytes += ch.len_utf8();
-                Tok::Unknown(ch)
+                RawKind::Unknown(ch)
             }
         };
 
-        Some(SpannedTok {
-            tok,
-            span: Span::new(start, self.pos),
+        Some(RawTok {
+            kind,
+            lo: start,
+            hi: self.pos,
         })
     }
 
-    fn lex_word(&mut self, input: &str) -> Tok {
+    fn lex_word(&mut self) -> RawKind {
         let start = self.pos;
         while let Some(b) = self.peek() {
             if b.is_ascii_alphanumeric() || b == b'_' || b == b'@' || b == b'#' || b == b'$' {
@@ -241,15 +346,14 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let word = &input[start..self.pos];
+        let word = &self.input[start..self.pos];
         match Keyword::parse(word) {
-            Some(kw) => Tok::Keyword(kw),
-            None => Tok::Ident(word.to_string()),
+            Some(kw) => RawKind::Keyword(kw),
+            None => RawKind::Word,
         }
     }
 
-    fn lex_number(&mut self, input: &str) -> Tok {
-        let start = self.pos;
+    fn lex_number(&mut self) -> RawKind {
         let mut seen_dot = false;
         let mut seen_exp = false;
         while let Some(b) = self.peek() {
@@ -273,18 +377,14 @@ impl<'a> Lexer<'a> {
                     }
                     seen_exp = true;
                     self.pos += 2; // e and sign-or-digit
-                    if next == Some(b'+') || next == Some(b'-') {
-                        // consumed sign; digit comes via the loop
-                    }
                 }
                 _ => break,
             }
         }
-        Tok::Number(input[start..self.pos].to_string())
+        RawKind::Number
     }
 
-    fn lex_hex(&mut self, input: &str) -> Tok {
-        let start = self.pos;
+    fn lex_hex(&mut self) -> RawKind {
         self.pos += 2; // 0x
         while let Some(b) = self.peek() {
             if b.is_ascii_hexdigit() {
@@ -293,12 +393,15 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        Tok::HexNumber(input[start..self.pos].to_string())
+        RawKind::HexNumber
     }
 
-    fn lex_string(&mut self, input: &str) -> Tok {
+    fn lex_string(&mut self) -> RawKind {
         self.pos += 1; // opening quote
-        let mut value = String::new();
+        let mut terminated = false;
+        let mut escaped = false;
+        // Byte-wise scan is UTF-8 safe: `'` (0x27) never appears inside a
+        // multi-byte sequence.
         loop {
             match self.bump() {
                 None => {
@@ -308,60 +411,41 @@ impl<'a> Lexer<'a> {
                 Some(b'\'') => {
                     if self.peek() == Some(b'\'') {
                         // '' escape
-                        value.push('\'');
+                        escaped = true;
                         self.pos += 1;
                     } else {
+                        terminated = true;
                         break;
                     }
                 }
-                Some(b) if b.is_ascii() => value.push(b as char),
-                Some(_) => {
-                    // Re-decode the full UTF-8 char.
-                    let prev = self.pos - 1;
-                    let s = &input[prev..];
-                    let ch = s.chars().next().expect("non-empty");
-                    value.push(ch);
-                    self.pos = prev + ch.len_utf8();
-                }
+                Some(_) => {}
             }
         }
-        Tok::String(value)
+        RawKind::Str {
+            terminated,
+            escaped,
+        }
     }
 
-    fn lex_bracketed(&mut self, input: &str) -> Tok {
-        self.pos += 1; // [
-        let start = self.pos;
+    fn lex_delimited(&mut self, close: u8) -> RawKind {
+        self.pos += 1; // [ or "
         while let Some(b) = self.peek() {
-            if b == b']' {
+            if b == close {
                 break;
             }
             self.pos += 1;
         }
-        let name = input[start..self.pos].to_string();
-        if self.peek() == Some(b']') {
+        let terminated = self.peek() == Some(close);
+        if terminated {
             self.pos += 1;
         } else {
             self.report.unterminated_string = true;
         }
-        Tok::Ident(name)
-    }
-
-    fn lex_quoted_ident(&mut self, input: &str) -> Tok {
-        self.pos += 1; // "
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b == b'"' {
-                break;
-            }
-            self.pos += 1;
-        }
-        let name = input[start..self.pos].to_string();
-        if self.peek() == Some(b'"') {
-            self.pos += 1;
+        if close == b']' {
+            RawKind::Bracketed { terminated }
         } else {
-            self.report.unterminated_string = true;
+            RawKind::Quoted { terminated }
         }
-        Tok::Ident(name)
     }
 }
 
@@ -425,10 +509,23 @@ mod tests {
     }
 
     #[test]
+    fn utf8_inside_string_survives() {
+        assert_eq!(
+            toks("'señor ''¿que?'''"),
+            vec![Tok::String("señor '¿que?'".into())]
+        );
+    }
+
+    #[test]
     fn unterminated_string_is_reported_not_fatal() {
         let (t, rep) = lex("SELECT 'oops");
         assert!(rep.unterminated_string);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_with_escape_keeps_escape() {
+        assert_eq!(toks("'it''s"), vec![Tok::String("it's".into())]);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 pub mod ast;
 pub mod display;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod props;
@@ -40,7 +41,8 @@ pub use ast::{
     Aggregate, DdlVerb, DmlVerb, Expr, FromItem, FunctionCall, Join, JoinKind, Literal,
     OrderByItem, QualifiedName, Query, Script, SelectItem, Statement, TableFactor, UnaryOp,
 };
+pub use fingerprint::{fingerprint, lex_fingerprint, normalize_statement, FingerprintedLex};
 pub use lexer::{lex, lex_tokens, LexReport};
-pub use parser::{parse, parse_script, ParseError, ParseOutcome};
+pub use parser::{parse, parse_script, parse_tokens, ParseError, ParseOutcome};
 pub use props::{extract_props, extract_statement_props, word_count, StructuralProps};
 pub use token::{Keyword, Op, Span, SpannedTok, Tok};

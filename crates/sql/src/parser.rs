@@ -48,10 +48,27 @@ pub struct ParseOutcome {
 /// Parse a complete script. Never panics.
 pub fn parse(input: &str) -> ParseOutcome {
     let (toks, lex_report) = lex(input);
+    parse_tokens(&toks, lex_report, &[])
+}
+
+/// Parse a pre-lexed token stream. `params` is parallel to `toks` (or
+/// empty): where `params[i] = Some(slot)`, the literal at token `i` parses
+/// as [`Expr::Param`] with that slot instead of [`Expr::Literal`]. This is
+/// the plan-cache miss path — the tokens and slot map come from
+/// [`crate::fingerprint::lex_fingerprint`], and the resulting script is a
+/// reusable template. With empty `params` the result is identical to
+/// [`parse`]: the slot map is only consulted when a literal token is
+/// successfully consumed, so error behavior cannot differ.
+pub fn parse_tokens(
+    toks: &[SpannedTok],
+    lex_report: LexReport,
+    params: &[Option<u32>],
+) -> ParseOutcome {
     let mut p = Parser {
-        toks: &toks,
+        toks,
         pos: 0,
         depth: 0,
+        params,
     };
     let result = p.parse_script();
     ParseOutcome { result, lex_report }
@@ -66,6 +83,9 @@ struct Parser<'a> {
     toks: &'a [SpannedTok],
     pos: usize,
     depth: u32,
+    /// Parallel to `toks`; `Some(slot)` marks a literal to parse as a
+    /// template parameter. Empty for plain parsing.
+    params: &'a [Option<u32>],
 }
 
 type PResult<T> = Result<T, ParseError>;
@@ -755,27 +775,39 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// The parameter slot assigned to the token at the cursor, if any.
+    fn param_slot(&self) -> Option<u32> {
+        self.params.get(self.pos).copied().flatten()
+    }
+
+    /// Wrap a just-consumed literal: plain `Literal`, or `Param` when the
+    /// token carried a plan-cache slot.
+    fn lift_literal(slot: Option<u32>, value: Literal) -> Expr {
+        match slot {
+            Some(slot) => Expr::Param { slot, value },
+            None => Expr::Literal(value),
+        }
+    }
+
     fn parse_primary(&mut self) -> PResult<Expr> {
         match self.peek() {
             Some(Tok::Number(n)) => {
                 let text = n.clone();
+                let slot = self.param_slot();
                 self.pos += 1;
-                let v = text.parse::<f64>().unwrap_or(f64::NAN);
-                Ok(Expr::Literal(Literal::Number(v, text)))
+                Ok(Self::lift_literal(slot, Literal::number_from_text(text)))
             }
             Some(Tok::HexNumber(h)) => {
                 let text = h.clone();
+                let slot = self.param_slot();
                 self.pos += 1;
-                // Strip 0x, truncate to last 16 hex digits for u64.
-                let digits = &text[2..];
-                let tail = &digits[digits.len().saturating_sub(16)..];
-                let v = u64::from_str_radix(tail, 16).unwrap_or(0);
-                Ok(Expr::Literal(Literal::Hex(v, text)))
+                Ok(Self::lift_literal(slot, Literal::hex_from_text(text)))
             }
             Some(Tok::String(s)) => {
                 let s = s.clone();
+                let slot = self.param_slot();
                 self.pos += 1;
-                Ok(Expr::Literal(Literal::String(s)))
+                Ok(Self::lift_literal(slot, Literal::String(s)))
             }
             Some(Tok::Keyword(K::Null)) => {
                 self.pos += 1;

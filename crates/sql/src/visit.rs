@@ -12,7 +12,7 @@ use crate::ast::*;
 pub fn walk_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
     f(expr);
     match expr {
-        Expr::Column(_) | Expr::Wildcard(_) | Expr::Literal(_) => {}
+        Expr::Column(_) | Expr::Wildcard(_) | Expr::Literal(_) | Expr::Param { .. } => {}
         Expr::Unary { expr, .. } => walk_expr(expr, f),
         Expr::Binary { left, right, .. } => {
             walk_expr(left, f);
@@ -132,6 +132,113 @@ fn walk_expr_queries_shallow<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Query)) {
         Expr::InSubquery { subquery, .. }
         | Expr::Exists { subquery, .. }
         | Expr::Subquery(subquery) => f(subquery),
+        _ => {}
+    }
+}
+
+/// Mutably walk every sub-expression of `expr` (including `expr` itself),
+/// calling `f` on each node *before* recursing into its children, and
+/// entering subqueries (via [`walk_query_exprs_mut`]). Used by the plan
+/// cache to rebind [`Expr::Param`] slots to fresh literal values; unlike
+/// [`walk_expr`], this traversal is exhaustive over nested queries so no
+/// parameter can hide from a rebind.
+pub fn walk_expr_mut(expr: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    f(expr);
+    match expr {
+        Expr::Column(_) | Expr::Wildcard(_) | Expr::Literal(_) | Expr::Param { .. } => {}
+        Expr::Unary { expr, .. } => walk_expr_mut(expr, f),
+        Expr::Binary { left, right, .. } | Expr::Logical { left, right, .. } => {
+            walk_expr_mut(left, f);
+            walk_expr_mut(right, f);
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            walk_expr_mut(expr, f);
+            walk_expr_mut(low, f);
+            walk_expr_mut(high, f);
+        }
+        Expr::InList { expr, list, .. } => {
+            walk_expr_mut(expr, f);
+            for e in list {
+                walk_expr_mut(e, f);
+            }
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            walk_expr_mut(expr, f);
+            walk_query_exprs_mut(subquery, f);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            walk_expr_mut(expr, f);
+            walk_expr_mut(pattern, f);
+        }
+        Expr::IsNull { expr, .. } => walk_expr_mut(expr, f),
+        Expr::Exists { subquery, .. } => walk_query_exprs_mut(subquery, f),
+        Expr::Subquery(subquery) => walk_query_exprs_mut(subquery, f),
+        Expr::Function(call) => {
+            for a in &mut call.args {
+                walk_expr_mut(a, f);
+            }
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(op) = operand {
+                walk_expr_mut(op, f);
+            }
+            for (c, v) in branches {
+                walk_expr_mut(c, f);
+                walk_expr_mut(v, f);
+            }
+            if let Some(e) = else_expr {
+                walk_expr_mut(e, f);
+            }
+        }
+        Expr::Cast { expr, .. } => walk_expr_mut(expr, f),
+    }
+}
+
+/// Mutably visit every expression reachable from `query`, including those
+/// inside derived tables, join conditions, and subqueries at any depth.
+pub fn walk_query_exprs_mut(query: &mut Query, f: &mut impl FnMut(&mut Expr)) {
+    for item in &mut query.select {
+        walk_expr_mut(&mut item.expr, f);
+    }
+    for fi in &mut query.from {
+        if let TableFactor::Derived { subquery, .. } = &mut fi.factor {
+            walk_query_exprs_mut(subquery, f);
+        }
+        for j in &mut fi.joins {
+            if let TableFactor::Derived { subquery, .. } = &mut j.factor {
+                walk_query_exprs_mut(subquery, f);
+            }
+            if let Some(on) = &mut j.on {
+                walk_expr_mut(on, f);
+            }
+        }
+    }
+    if let Some(w) = &mut query.where_clause {
+        walk_expr_mut(w, f);
+    }
+    for g in &mut query.group_by {
+        walk_expr_mut(g, f);
+    }
+    if let Some(h) = &mut query.having {
+        walk_expr_mut(h, f);
+    }
+    for o in &mut query.order_by {
+        walk_expr_mut(&mut o.expr, f);
+    }
+}
+
+/// Mutably visit every expression in a statement (see
+/// [`walk_query_exprs_mut`]); statements without expressions are no-ops.
+pub fn walk_statement_exprs_mut(stmt: &mut Statement, f: &mut impl FnMut(&mut Expr)) {
+    match stmt {
+        Statement::Select(q) => walk_query_exprs_mut(q, f),
+        Statement::Dml { query: Some(q), .. } => walk_query_exprs_mut(q, f),
         _ => {}
     }
 }
