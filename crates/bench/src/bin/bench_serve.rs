@@ -78,6 +78,21 @@ struct C10kStats {
     nofile_soft: u64,
 }
 
+/// Warm-cache throughput with observability on vs off (`SQLAN_OBS`).
+/// The serving layer's contract is that metrics and tracing are pure
+/// observers; this block pins the performance half of that contract.
+#[derive(Debug, Serialize)]
+struct ObsAbStats {
+    rounds: usize,
+    requests_per_round: usize,
+    statements_per_round: usize,
+    /// Best round, scored statements per second.
+    obs_on_stmts_per_sec: f64,
+    obs_off_stmts_per_sec: f64,
+    /// `(off - on) / off` — positive when observability costs throughput.
+    overhead_frac: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchServe {
     machine: sqlan_bench::MachineInfo,
@@ -87,6 +102,7 @@ struct BenchServe {
     requests_per_client: usize,
     statements_per_request: usize,
     levels: Vec<LevelStats>,
+    obs_ab: ObsAbStats,
     /// Present only in epoll mode on Linux.
     c10k: Option<C10kStats>,
 }
@@ -395,6 +411,94 @@ fn fetch_metrics(addr: std::net::SocketAddr) -> MetricsSnapshot {
     serde_json::from_str(&body).expect("metrics json")
 }
 
+/// One closed-loop round: `clients` threads × `requests` requests.
+/// Returns scored statements per second.
+fn measure_round(
+    addr: std::net::SocketAddr,
+    corpus: &[String],
+    requests: usize,
+    batch: usize,
+    clients: usize,
+) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| s.spawn(move || run_client(addr, corpus, requests, batch, c * 37)))
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+    (clients * requests * batch) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// A/B the serving hot path with observability on vs off over the same
+/// warm-cache load, best of `rounds` each (interleaved to share thermal
+/// and scheduler conditions). Asserts the <3% overhead contract.
+fn run_obs_ab(
+    addr: std::net::SocketAddr,
+    corpus: &[String],
+    requests: usize,
+    batch: usize,
+) -> ObsAbStats {
+    const CLIENTS: usize = 2;
+    const ROUNDS: usize = 3;
+    // One warmup pass so every template in the walk is cache-resident
+    // before either arm is timed.
+    measure_round(addr, corpus, requests, batch, CLIENTS);
+    let (mut best_on, mut best_off) = (0.0f64, 0.0f64);
+    for _ in 0..ROUNDS {
+        sqlan_obs::set_enabled(false);
+        best_off = best_off.max(measure_round(addr, corpus, requests, batch, CLIENTS));
+        sqlan_obs::set_enabled(true);
+        best_on = best_on.max(measure_round(addr, corpus, requests, batch, CLIENTS));
+    }
+    let overhead_frac = (best_off - best_on) / best_off.max(1e-9);
+    let stats = ObsAbStats {
+        rounds: ROUNDS,
+        requests_per_round: CLIENTS * requests,
+        statements_per_round: CLIENTS * requests * batch,
+        obs_on_stmts_per_sec: best_on,
+        obs_off_stmts_per_sec: best_off,
+        overhead_frac,
+    };
+    eprintln!(
+        "    obs A/B: on {:.0} stmts/s  off {:.0} stmts/s  overhead {:+.2}%",
+        best_on,
+        best_off,
+        overhead_frac * 100.0
+    );
+    assert!(
+        overhead_frac < 0.03,
+        "observability overhead {:.2}% exceeds the 3% warm-cache budget \
+         (on {best_on:.0} stmts/s, off {best_off:.0} stmts/s)",
+        overhead_frac * 100.0
+    );
+    stats
+}
+
+/// Counter-algebra invariants served by `/metrics`, checked while the
+/// server is quiescent: every counted request landed in exactly one
+/// response class, and the statement total is the sum of its per-problem
+/// decomposition. Exact equalities — a lost increment fails the bench.
+fn check_metrics_consistency(addr: std::net::SocketAddr) {
+    let m = fetch_metrics(addr);
+    assert_eq!(
+        m.http_requests,
+        m.responses_2xx + m.responses_4xx + m.responses_5xx,
+        "requests must equal the sum of response classes"
+    );
+    assert_eq!(
+        m.statements,
+        m.statements_by_problem.iter().sum::<u64>(),
+        "statement total must equal the per-problem sum"
+    );
+    eprintln!(
+        "    metrics consistent: {} requests = {} 2xx + {} 4xx + {} 5xx; {} statements",
+        m.http_requests, m.responses_2xx, m.responses_4xx, m.responses_5xx, m.statements
+    );
+}
+
 fn main() {
     // Re-exec'd child holding a slice of the c10k connections?
     #[cfg(target_os = "linux")]
@@ -482,6 +586,11 @@ fn main() {
         out_levels.push(stats);
     }
 
+    // Observability A/B on the now-warm cache, then the counter-algebra
+    // invariants while nothing else is in flight.
+    let obs_ab = run_obs_ab(addr, &corpus, requests, batch);
+    check_metrics_consistency(addr);
+
     // The c10k hold: epoll mode only — thread-per-connection would need
     // 10 000 OS threads to even accept the sockets.
     #[cfg(target_os = "linux")]
@@ -511,6 +620,7 @@ fn main() {
         requests_per_client: requests,
         statements_per_request: batch,
         levels: out_levels,
+        obs_ab,
         c10k,
     };
     let out = std::env::var("SQLAN_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());

@@ -153,39 +153,45 @@ impl TrainedModel {
     /// per-statement API (every backend scores statements independently
     /// with input-order merge).
     pub fn predict_proba_batch(&self, statements: &[String]) -> Vec<Vec<f32>> {
-        match &self.inner {
-            Inner::MFreq(m) => statements.iter().map(|_| m.predict_proba()).collect(),
-            Inner::Tfidf(m) => m.predict_proba_batch(statements),
-            Inner::Neural(m) => m.predict_proba_batch(statements),
-            _ => panic!("{} is not a classifier", self.name()),
-        }
+        sqlan_obs::trace::timed("model_forward", statements.len() as u64, || {
+            match &self.inner {
+                Inner::MFreq(m) => statements.iter().map(|_| m.predict_proba()).collect(),
+                Inner::Tfidf(m) => m.predict_proba_batch(statements),
+                Inner::Neural(m) => m.predict_proba_batch(statements),
+                _ => panic!("{} is not a classifier", self.name()),
+            }
+        })
     }
 
     /// Batch twin of [`Self::predict_class`].
     pub fn predict_class_batch(&self, statements: &[String]) -> Vec<usize> {
-        match &self.inner {
-            Inner::MFreq(m) => statements.iter().map(|_| m.predict()).collect(),
-            Inner::Tfidf(m) => m.predict_class_batch(statements),
-            Inner::Neural(m) => m.predict_class_batch(statements),
-            _ => panic!("{} is not a classifier", self.name()),
-        }
+        sqlan_obs::trace::timed("model_forward", statements.len() as u64, || {
+            match &self.inner {
+                Inner::MFreq(m) => statements.iter().map(|_| m.predict()).collect(),
+                Inner::Tfidf(m) => m.predict_class_batch(statements),
+                Inner::Neural(m) => m.predict_class_batch(statements),
+                _ => panic!("{} is not a classifier", self.name()),
+            }
+        })
     }
 
     /// Batch twin of [`Self::predict_value`].
     pub fn predict_value_batch(&self, statements: &[String]) -> Vec<f64> {
-        match &self.inner {
-            Inner::Median(v) => vec![*v; statements.len()],
-            Inner::Opt { model, db } => sqlan_par::par_map(statements, |s| {
-                let feats = db
-                    .estimate(s)
-                    .map(|e| e.features().to_vec())
-                    .unwrap_or_else(|| vec![0.0, 0.0]);
-                model.predict(&feats)
-            }),
-            Inner::Tfidf(m) => m.predict_value_batch(statements),
-            Inner::Neural(m) => m.predict_value_batch(statements),
-            Inner::MFreq(_) => panic!("mfreq is not a regressor"),
-        }
+        sqlan_obs::trace::timed("model_forward", statements.len() as u64, || {
+            match &self.inner {
+                Inner::Median(v) => vec![*v; statements.len()],
+                Inner::Opt { model, db } => sqlan_par::par_map(statements, |s| {
+                    let feats = db
+                        .estimate(s)
+                        .map(|e| e.features().to_vec())
+                        .unwrap_or_else(|| vec![0.0, 0.0]);
+                    model.predict(&feats)
+                }),
+                Inner::Tfidf(m) => m.predict_value_batch(statements),
+                Inner::Neural(m) => m.predict_value_batch(statements),
+                Inner::MFreq(_) => panic!("mfreq is not a regressor"),
+            }
+        })
     }
 }
 

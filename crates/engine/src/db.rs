@@ -157,17 +157,39 @@ impl Database {
     /// mismatch — falls back to the uncached path, so outcomes (labels,
     /// error messages, charge order) are bit-identical with the cache on
     /// or off.
+    ///
+    /// Observability is write-only: when `SQLAN_OBS` is on, submits are
+    /// counted by outcome class and cache bypasses are mirrored into the
+    /// global registry, and span timings are recorded against any trace
+    /// installed on the calling thread — none of it feeds back into how
+    /// the outcome is computed.
     pub fn submit(&self, text: &str) -> QueryOutcome {
-        if let Some(cache) = &self.plan_cache {
-            if let Some(outcome) = self.submit_cached(cache, text) {
-                return outcome;
+        let outcome = if let Some(cache) = &self.plan_cache {
+            match self.submit_cached(cache, text) {
+                Some(outcome) => outcome,
+                None => {
+                    if sqlan_obs::enabled() {
+                        crate::obs::plan_cache_counters().bypass.inc();
+                    }
+                    self.submit_uncached(text)
+                }
+            }
+        } else {
+            self.submit_uncached(text)
+        };
+        if sqlan_obs::enabled() {
+            let c = crate::obs::submit_counters();
+            match outcome.error_class {
+                ErrorClass::Success => c.success.inc(),
+                ErrorClass::NonSevere => c.non_severe.inc(),
+                ErrorClass::Severe => c.severe.inc(),
             }
         }
-        self.submit_uncached(text)
+        outcome
     }
 
     fn submit_cached(&self, cache: &PlanCache, text: &str) -> Option<QueryOutcome> {
-        let probe = sqlan_sql::fingerprint(text);
+        let probe = sqlan_obs::trace::timed("cache_probe", 1, || sqlan_sql::fingerprint(text));
         // Portal-level lex rejections take the legacy path: its error
         // outcome (and its precedence against parse errors) is the label.
         if probe.report.unterminated_string || probe.report.unterminated_comment {
@@ -184,20 +206,24 @@ impl Database {
         // Miss: lex once more materializing tokens, parse with literal
         // slots lifted to `Expr::Param`, plan the template eagerly.
         let fp = sqlan_sql::lex_fingerprint(text);
-        let script = match sqlan_sql::parse_tokens(&fp.toks, fp.report, &fp.params).result {
+        let script = match sqlan_obs::trace::timed("sql_parse", 1, || {
+            sqlan_sql::parse_tokens(&fp.toks, fp.report, &fp.params).result
+        }) {
             // Parse errors embed literal spellings in their messages —
             // never cache them; the legacy path reproduces them exactly.
             Err(_) => return None,
             Ok(s) => s,
         };
-        let plans = script
-            .statements
-            .iter()
-            .map(|stmt| match stmt {
-                Statement::Select(q) => Some(self.optimizer.plan(q, &self.catalog)),
-                _ => None,
-            })
-            .collect();
+        let plans = sqlan_obs::trace::timed("plan", 1, || {
+            script
+                .statements
+                .iter()
+                .map(|stmt| match stmt {
+                    Statement::Select(q) => Some(self.optimizer.plan(q, &self.catalog)),
+                    _ => None,
+                })
+                .collect()
+        });
         let tpl = Arc::new(CachedTemplate {
             script,
             plans,
@@ -216,14 +242,19 @@ impl Database {
         let mut counter = CostCounter::default();
         let mut answer: i64 = 0;
         for (stmt, plan) in tpl.script.statements.iter().zip(&tpl.plans) {
-            let mut stmt = stmt.clone();
-            rebind_statement(&mut stmt, literals);
-            let seed = plan.as_ref().map(|skeleton| {
-                let mut plan = skeleton.clone();
-                rebind_plan(&mut plan, literals);
-                Rc::new(plan)
+            let (stmt, seed) = sqlan_obs::trace::timed("rebind", 1, || {
+                let mut stmt = stmt.clone();
+                rebind_statement(&mut stmt, literals);
+                let seed = plan.as_ref().map(|skeleton| {
+                    let mut plan = skeleton.clone();
+                    rebind_plan(&mut plan, literals);
+                    Rc::new(plan)
+                });
+                (stmt, seed)
             });
-            match self.run_statement_seeded(&stmt, &mut counter, seed) {
+            match sqlan_obs::trace::timed("execute", 1, || {
+                self.run_statement_seeded(&stmt, &mut counter, seed)
+            }) {
                 Ok(rows) => answer = rows,
                 Err(e) => {
                     return QueryOutcome {
@@ -245,7 +276,7 @@ impl Database {
 
     /// The uncached submit path: parse → execute, no templates involved.
     fn submit_uncached(&self, text: &str) -> QueryOutcome {
-        let outcome = parse(text);
+        let outcome = sqlan_obs::trace::timed("sql_parse", 1, || parse(text));
         let script = match outcome.result {
             Err(e) => {
                 // Rejected before reaching the server: severe (§4.1).
@@ -271,7 +302,7 @@ impl Database {
         let mut counter = CostCounter::default();
         let mut answer: i64 = 0;
         for stmt in &script.statements {
-            match self.run_statement(stmt, &mut counter) {
+            match sqlan_obs::trace::timed("execute", 1, || self.run_statement(stmt, &mut counter)) {
                 Ok(rows) => answer = rows,
                 Err(e) => {
                     return QueryOutcome {
@@ -601,6 +632,14 @@ impl Database {
             Engine::Row => "row",
             Engine::Columnar => "columnar",
         };
+        // Bridge the per-operator observations into the global registry
+        // so EXPLAIN ANALYZE runs show up on /metrics?format=prom.
+        if sqlan_obs::enabled() {
+            let h = crate::obs::op_wall_hist();
+            for s in &obs {
+                h.record(s.wall_ns);
+            }
+        }
         out.push_str(&format!(
             "-- observed (engine={engine_name}, operators in execution order)\n"
         ));

@@ -37,6 +37,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod functions;
+mod obs;
 pub mod optimizer;
 pub mod physical;
 pub mod plan;

@@ -181,6 +181,12 @@ impl PlanCache {
     }
 
     /// Look up a template by fingerprint, refreshing its LRU stamp.
+    ///
+    /// The per-instance atomics below are the source of truth for
+    /// [`PlanCache::stats`]; the global [`sqlan_obs`] counters are a
+    /// write-only mirror (never read back by execution code) so the
+    /// serving layer's Prometheus endpoint sees cache behavior without
+    /// holding a reference to any particular `Database`.
     pub fn get(&self, fp: u128) -> Option<Arc<CachedTemplate>> {
         let guard = self.shard(fp).read().expect("plan cache shard poisoned");
         match guard.get(&fp) {
@@ -188,10 +194,16 @@ impl PlanCache {
                 let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
                 entry.stamp.store(now, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if sqlan_obs::enabled() {
+                    crate::obs::plan_cache_counters().hits.inc();
+                }
                 Some(Arc::clone(&entry.tpl))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if sqlan_obs::enabled() {
+                    crate::obs::plan_cache_counters().misses.inc();
+                }
                 None
             }
         }

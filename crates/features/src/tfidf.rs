@@ -184,9 +184,37 @@ impl TfidfVectorizer {
     /// Transform many token streams at once, in parallel, preserving
     /// input order. Equivalent to mapping [`TfidfVectorizer::transform`]
     /// sequentially (each transform is a pure per-document function).
+    ///
+    /// When `SQLAN_OBS` is on, the batch records a `featurize` span on
+    /// any trace installed on the calling thread (the `par_map` workers
+    /// do not inherit the install stack, so timing wraps the whole batch
+    /// here) and its wall time lands in the global
+    /// `sqlan_featurize_seconds` histogram.  The transform itself is
+    /// identical either way.
     pub fn transform_batch(&self, streams: &[Vec<String>]) -> Vec<SparseVec> {
-        sqlan_par::par_map(streams, |s| self.transform(s))
+        if !sqlan_obs::enabled() {
+            return sqlan_par::par_map(streams, |s| self.transform(s));
+        }
+        let start = std::time::Instant::now();
+        let out = sqlan_obs::trace::timed("featurize", streams.len() as u64, || {
+            sqlan_par::par_map(streams, |s| self.transform(s))
+        });
+        featurize_hist().record(start.elapsed().as_nanos() as u64);
+        out
     }
+}
+
+/// Global wall-time histogram for whole featurize batches, seconds.
+fn featurize_hist() -> &'static std::sync::Arc<sqlan_obs::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<sqlan_obs::Histogram>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        sqlan_obs::global().histogram(
+            "sqlan_featurize_seconds",
+            "Wall time per TF-IDF featurize batch",
+            1e-9,
+        )
+    })
 }
 
 #[cfg(test)]

@@ -54,6 +54,31 @@ impl LatencySummary {
         let secs: Vec<f64> = samples.iter().map(|&u| u as f64 / 1e6).collect();
         LatencySummary::from_seconds(&secs)
     }
+
+    /// Build a summary from pre-computed statistics — e.g. a bucketed
+    /// histogram snapshot that already knows its count, mean and
+    /// quantiles. A zero `count` yields the same NaN-filled shape as an
+    /// empty sample set, regardless of the other arguments.
+    pub fn from_stats(
+        count: usize,
+        mean_s: f64,
+        p50_s: f64,
+        p95_s: f64,
+        p99_s: f64,
+        max_s: f64,
+    ) -> LatencySummary {
+        if count == 0 {
+            return LatencySummary::from_seconds(&[]);
+        }
+        LatencySummary {
+            count,
+            mean_s,
+            p50_s,
+            p95_s,
+            p99_s,
+            max_s,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +109,15 @@ mod tests {
         let s = LatencySummary::from_micros(&[1_000_000, 1_000_000]);
         assert_eq!(s.p50_s, 1.0);
         assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn from_stats_normalizes_empty() {
+        let s = LatencySummary::from_stats(0, 1.0, 2.0, 3.0, 4.0, 5.0);
+        assert_eq!(s.count, 0);
+        assert!(s.p50_s.is_nan() && s.mean_s.is_nan());
+        let s = LatencySummary::from_stats(3, 1.0, 2.0, 3.0, 4.0, 5.0);
+        assert_eq!((s.count, s.mean_s, s.max_s), (3, 1.0, 5.0));
     }
 
     #[test]

@@ -37,14 +37,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::parser::{render_json_response, HttpError, HttpParser, Parse, Request};
+use crate::parser::{render_json_response, Answer, HttpError, HttpParser, Parse, Request};
 use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
 /// The application side of the event loop: turns one parsed request into
-/// a `(status, json_body)` answer. Called on a handler thread, so it may
-/// block (the scoring queue does).
+/// an [`Answer`]. Called on a handler thread, so it may block (the
+/// scoring queue does).
 pub trait Service: Send + Sync + 'static {
-    fn call(&self, req: &Request) -> (u16, String);
+    fn call(&self, req: &Request) -> Answer;
     /// A connection produced unparseable bytes (already answered with
     /// the right status by the loop) — hook for error counters.
     fn on_parse_error(&self, _err: &HttpError) {}
@@ -95,8 +95,7 @@ struct Work {
 struct Completion {
     token: usize,
     generation: u64,
-    status: u16,
-    body: String,
+    answer: Answer,
     keep_alive: bool,
 }
 
@@ -209,7 +208,7 @@ pub fn serve<S: Service>(
                         Ok(w) => w,
                         Err(_) => return, // loop exited, channel closed
                     };
-                    let (status, body) = service.call(&work.request);
+                    let answer = service.call(&work.request);
                     shared
                         .completions
                         .lock()
@@ -217,8 +216,7 @@ pub fn serve<S: Service>(
                         .push(Completion {
                             token: work.token,
                             generation: work.generation,
-                            status,
-                            body,
+                            answer,
                             keep_alive: work.request.keep_alive,
                         });
                     // A full wake pipe already has a pending wakeup.
@@ -419,7 +417,7 @@ impl<F: FnMut(&HttpError)> EventLoop<F> {
             conn.in_flight = false;
             conn.last_activity = now;
             let keep_alive = c.keep_alive && !stopping;
-            conn.out = render_json_response(c.status, &c.body, keep_alive);
+            conn.out = c.answer.render(keep_alive);
             conn.out_pos = 0;
             if !keep_alive {
                 conn.closing = true;

@@ -30,7 +30,10 @@ pub mod sys;
 #[cfg(target_os = "linux")]
 pub mod event_loop;
 
-pub use parser::{render_json_response, HttpError, HttpParser, Parse, Request, MAX_HEAD_BYTES};
+pub use parser::{
+    render_json_response, render_response, Answer, HttpError, HttpParser, Parse, Request,
+    MAX_HEAD_BYTES,
+};
 
 #[cfg(target_os = "linux")]
 pub use event_loop::{serve, EventLoopHandle, NetConfig, Service};

@@ -420,19 +420,62 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// Render a JSON response to bytes — head and body in one buffer so a
-/// single write can never straddle a Nagle + delayed-ACK stall. Both the
+/// One application-layer answer: status, content type, and body. Both
+/// front ends render it with [`Answer::render`], which is what keeps
+/// their wire bytes identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answer {
+    pub status: u16,
+    /// `content-type` header value; static because routes pick from a
+    /// fixed set (JSON, Prometheus text).
+    pub content_type: &'static str,
+    pub body: String,
+}
+
+impl Answer {
+    /// The JSON answer every pre-existing route returns.
+    pub fn json(status: u16, body: String) -> Answer {
+        Answer {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text answer under an explicit content type.
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Answer {
+        Answer {
+            status,
+            content_type,
+            body,
+        }
+    }
+
+    /// Render to wire bytes.
+    pub fn render(&self, keep_alive: bool) -> Vec<u8> {
+        render_response(self.status, self.content_type, &self.body, keep_alive)
+    }
+}
+
+/// Render a response to bytes — head and body in one buffer so a single
+/// write can never straddle a Nagle + delayed-ACK stall. Both the
 /// threaded and the epoll front ends emit exactly these bytes, which is
 /// what makes the cross-mode byte-identity pin possible.
-pub fn render_json_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+pub fn render_response(status: u16, content_type: &str, body: &str, keep_alive: bool) -> Vec<u8> {
     let mut response = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
         status_text(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
     response.push_str(body);
     response.into_bytes()
+}
+
+/// [`render_response`] with the `application/json` content type every
+/// JSON route shares.
+pub fn render_json_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    render_response(status, "application/json", body, keep_alive)
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sqlan_net::{serve, HttpError, NetConfig, Request, Service};
+use sqlan_net::{serve, Answer, HttpError, NetConfig, Request, Service};
 
 #[derive(Debug, Default)]
 struct Echo {
@@ -20,9 +20,9 @@ struct Echo {
 }
 
 impl Service for Echo {
-    fn call(&self, req: &Request) -> (u16, String) {
+    fn call(&self, req: &Request) -> Answer {
         self.calls.fetch_add(1, Ordering::Relaxed);
-        (
+        Answer::json(
             200,
             format!(
                 "{{\"path\":\"{}\",\"body_len\":{}}}",

@@ -1,0 +1,78 @@
+//! Scalar metric primitives: monotonic counters and float gauges.
+//!
+//! Both are single atomics — one `fetch_add`/`store` per touch, no
+//! locks, safe to share across every server thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value. Only for scrape-time synchronization from an
+    /// external source that is itself monotonic (e.g. the plan cache's
+    /// own hit/miss atomics); never for live increments.
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins float value (queue depths, uptimes, rates).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.store(10);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn gauge_round_trips_floats() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(3.25);
+        assert_eq!(g.get(), 3.25);
+        g.set(-1.5e-9);
+        assert_eq!(g.get(), -1.5e-9);
+    }
+}

@@ -1,0 +1,250 @@
+//! Prometheus text exposition format (version 0.0.4) rendering.
+//!
+//! Renders one or more [`RegistrySnapshot`]s into a single scrape body.
+//! Families with the same name across snapshots merge under one
+//! `# HELP`/`# TYPE` header (the exposition format forbids repeating a
+//! metric name). Histograms emit cumulative `_bucket{le="..."}` lines
+//! for every non-empty bucket plus the mandatory `le="+Inf"`, then
+//! `_sum` and `_count`; bucket bounds and sums are multiplied by the
+//! family's unit scale so nanosecond-recorded histograms expose in
+//! seconds, the Prometheus base unit.
+
+use crate::hist::{bucket_bounds, HistSnapshot};
+use crate::registry::{FamilySnapshot, RegistrySnapshot, SeriesValue};
+
+/// MIME type a `/metrics` endpoint should serve this body under.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Render snapshots into one exposition body.
+pub fn render(snapshots: &[&RegistrySnapshot]) -> String {
+    // Merge same-named families so each name gets exactly one header.
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut merged: Vec<Vec<&FamilySnapshot>> = Vec::new();
+    for snap in snapshots {
+        for fam in &snap.families {
+            match order.iter().position(|&n| n == fam.name) {
+                Some(i) => merged[i].push(fam),
+                None => {
+                    order.push(fam.name);
+                    merged.push(vec![fam]);
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for group in &merged {
+        let head = group[0];
+        out.push_str("# HELP ");
+        out.push_str(head.name);
+        out.push(' ');
+        out.push_str(head.help);
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(head.name);
+        out.push(' ');
+        out.push_str(head.kind.as_str());
+        out.push('\n');
+        for fam in group {
+            for series in &fam.series {
+                match &series.value {
+                    SeriesValue::Counter(v) => {
+                        sample(&mut out, fam.name, "", &series.labels, &[], &v.to_string());
+                    }
+                    SeriesValue::Gauge(v) => {
+                        sample(&mut out, fam.name, "", &series.labels, &[], &fmt_f64(*v));
+                    }
+                    SeriesValue::Histogram(h) => {
+                        histogram(&mut out, fam.name, fam.scale, &series.labels, h);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn histogram(
+    out: &mut String,
+    name: &str,
+    scale: f64,
+    labels: &[(String, String)],
+    h: &HistSnapshot,
+) {
+    let mut cum = 0u64;
+    for (i, &c) in h.counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        let (_, hi) = bucket_bounds(i);
+        let le = fmt_f64(hi as f64 * scale);
+        sample(
+            out,
+            name,
+            "_bucket",
+            labels,
+            &[("le", &le)],
+            &cum.to_string(),
+        );
+    }
+    sample(
+        out,
+        name,
+        "_bucket",
+        labels,
+        &[("le", "+Inf")],
+        &cum.to_string(),
+    );
+    sample(
+        out,
+        name,
+        "_sum",
+        labels,
+        &[],
+        &fmt_f64(h.sum as f64 * scale),
+    );
+    sample(out, name, "_count", labels, &[], &cum.to_string());
+}
+
+fn sample(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &[(String, String)],
+    extra: &[(&str, &str)],
+    value: &str,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra.iter().copied())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(out, v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline.
+fn escape_into(out: &mut String, v: &str) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Prometheus float formatting: Rust's `Display` for `f64` is already
+/// Go-`ParseFloat` compatible; just normalize non-finite values.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricRegistry;
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let r = MetricRegistry::new();
+        r.counter("sqlan_x_total", "things").add(3);
+        r.counter_with("sqlan_y_total", "labeled things", &[("problem", "error")])
+            .add(2);
+        r.gauge("sqlan_depth", "queue depth").set(4.0);
+        let h = r.histogram("sqlan_lat_seconds", "latency", 1e-9);
+        h.record(500);
+        h.record(1_000_000);
+        let body = render(&[&r.snapshot()]);
+        assert!(body.contains("# HELP sqlan_x_total things\n"));
+        assert!(body.contains("# TYPE sqlan_x_total counter\n"));
+        assert!(body.contains("sqlan_x_total 3\n"));
+        assert!(body.contains("sqlan_y_total{problem=\"error\"} 2\n"));
+        assert!(body.contains("# TYPE sqlan_depth gauge\n"));
+        assert!(body.contains("sqlan_depth 4\n"));
+        assert!(body.contains("# TYPE sqlan_lat_seconds histogram\n"));
+        assert!(body.contains("sqlan_lat_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(body.contains("sqlan_lat_seconds_count 2\n"));
+        assert!(body.contains("sqlan_lat_seconds_sum 0.0010005\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_ordered() {
+        let r = MetricRegistry::new();
+        let h = r.histogram("h_seconds", "h", 1.0);
+        for v in [1u64, 1, 50, 5000] {
+            h.record(v);
+        }
+        let body = render(&[&r.snapshot()]);
+        let mut last_cum = 0u64;
+        let mut last_le = f64::NEG_INFINITY;
+        let mut saw_inf = false;
+        for line in body.lines().filter(|l| l.starts_with("h_seconds_bucket")) {
+            let le_str = line
+                .split("le=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap();
+            let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(cum >= last_cum, "buckets must be cumulative: {line}");
+            last_cum = cum;
+            if le_str == "+Inf" {
+                saw_inf = true;
+                assert_eq!(cum, 4);
+            } else {
+                let le: f64 = le_str.parse().unwrap();
+                assert!(le > last_le, "le bounds must increase: {line}");
+                last_le = le;
+            }
+        }
+        assert!(saw_inf, "+Inf bucket is mandatory");
+    }
+
+    #[test]
+    fn same_family_across_registries_gets_one_header() {
+        let a = MetricRegistry::new();
+        let b = MetricRegistry::new();
+        a.counter_with("shared_total", "shared", &[("src", "a")])
+            .inc();
+        b.counter_with("shared_total", "shared", &[("src", "b")])
+            .inc();
+        let body = render(&[&a.snapshot(), &b.snapshot()]);
+        assert_eq!(body.matches("# TYPE shared_total").count(), 1);
+        assert!(body.contains("shared_total{src=\"a\"} 1\n"));
+        assert!(body.contains("shared_total{src=\"b\"} 1\n"));
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,302 @@
+//! Metric registry: named, labeled families of counters, gauges and
+//! histograms with point-in-time snapshots.
+//!
+//! Registration is get-or-register — asking for the same `(name,
+//! labels)` twice returns the *same* handle, so independent components
+//! (several `Database`s, several server instances) can share one
+//! namespace without coordination. The registry's internal `Mutex` is
+//! touched only at registration and snapshot time; the request hot path
+//! holds pre-registered `Arc` handles and never takes a lock.
+
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{HistSnapshot, Histogram};
+use crate::metric::{Counter, Gauge};
+
+/// What a metric family measures, mirroring the Prometheus `# TYPE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Series {
+    labels: Vec<(&'static str, String)>,
+    handle: Handle,
+}
+
+struct Family {
+    name: &'static str,
+    help: &'static str,
+    kind: Kind,
+    /// Multiplier turning the raw recorded unit into the exposition
+    /// unit (e.g. `1e-9` for nanosecond histograms exposed in seconds).
+    scale: f64,
+    series: Vec<Series>,
+}
+
+/// A set of metric families. One per server instance for serving
+/// metrics; [`crate::global`] for process-wide engine/featurizer
+/// instrumentation.
+#[derive(Default)]
+pub struct MetricRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl std::fmt::Debug for MetricRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.families.lock().map(|fs| fs.len()).unwrap_or(0);
+        f.debug_struct("MetricRegistry")
+            .field("families", &n)
+            .finish()
+    }
+}
+
+impl MetricRegistry {
+    pub fn new() -> MetricRegistry {
+        MetricRegistry::default()
+    }
+
+    /// Get-or-register an unlabeled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get-or-register a counter with label pairs.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Counter> {
+        match self.series(name, help, Kind::Counter, 1.0, labels, || {
+            Handle::Counter(Arc::new(Counter::new()))
+        }) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Get-or-register an unlabeled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        match self.series(name, help, Kind::Gauge, 1.0, &[], || {
+            Handle::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Get-or-register an unlabeled histogram whose raw unit times
+    /// `scale` is the exposition unit.
+    pub fn histogram(&self, name: &'static str, help: &'static str, scale: f64) -> Arc<Histogram> {
+        self.histogram_with(name, help, scale, &[])
+    }
+
+    /// Get-or-register a histogram with label pairs.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        scale: f64,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Histogram> {
+        match self.series(name, help, Kind::Histogram, scale, labels, || {
+            Handle::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    fn series(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: Kind,
+        scale: f64,
+        labels: &[(&'static str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut families = self.families.lock().expect("metric registry poisoned");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert_eq!(
+                    f.kind, kind,
+                    "metric {name} registered twice with different kinds"
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name,
+                    help,
+                    kind,
+                    scale,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(s) = family.series.iter().find(|s| {
+            s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|(a, b)| a.0 == b.0 && a.1 == b.1)
+        }) {
+            return match &s.handle {
+                Handle::Counter(c) => Handle::Counter(Arc::clone(c)),
+                Handle::Gauge(g) => Handle::Gauge(Arc::clone(g)),
+                Handle::Histogram(h) => Handle::Histogram(Arc::clone(h)),
+            };
+        }
+        let handle = make();
+        let clone = match &handle {
+            Handle::Counter(c) => Handle::Counter(Arc::clone(c)),
+            Handle::Gauge(g) => Handle::Gauge(Arc::clone(g)),
+            Handle::Histogram(h) => Handle::Histogram(Arc::clone(h)),
+        };
+        family.series.push(Series {
+            labels: labels.iter().map(|(k, v)| (*k, v.to_string())).collect(),
+            handle,
+        });
+        clone
+    }
+
+    /// Point-in-time copy of every family and series, in registration
+    /// order (stable output for exposition and tests).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let families = self.families.lock().expect("metric registry poisoned");
+        RegistrySnapshot {
+            families: families
+                .iter()
+                .map(|f| FamilySnapshot {
+                    name: f.name,
+                    help: f.help,
+                    kind: f.kind,
+                    scale: f.scale,
+                    series: f
+                        .series
+                        .iter()
+                        .map(|s| SeriesSnapshot {
+                            labels: s
+                                .labels
+                                .iter()
+                                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                                .collect(),
+                            value: match &s.handle {
+                                Handle::Counter(c) => SeriesValue::Counter(c.get()),
+                                Handle::Gauge(g) => SeriesValue::Gauge(g.get()),
+                                Handle::Histogram(h) => SeriesValue::Histogram(h.snapshot()),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Snapshot of a whole registry.
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    pub families: Vec<FamilySnapshot>,
+}
+
+/// Snapshot of one named family.
+#[derive(Debug, Clone)]
+pub struct FamilySnapshot {
+    pub name: &'static str,
+    pub help: &'static str,
+    pub kind: Kind,
+    pub scale: f64,
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// Snapshot of one labeled series.
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    pub labels: Vec<(String, String)>,
+    pub value: SeriesValue,
+}
+
+#[derive(Debug, Clone)]
+pub enum SeriesValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistSnapshot),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_same_handle() {
+        let r = MetricRegistry::new();
+        let a = r.counter("x_total", "x");
+        let b = r.counter("x_total", "x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn labels_distinguish_series() {
+        let r = MetricRegistry::new();
+        let a = r.counter_with("y_total", "y", &[("problem", "error")]);
+        let b = r.counter_with("y_total", "y", &[("problem", "answer_size")]);
+        assert!(!Arc::ptr_eq(&a, &b));
+        a.add(3);
+        b.add(4);
+        let snap = r.snapshot();
+        let fam = &snap.families[0];
+        assert_eq!(fam.name, "y_total");
+        assert_eq!(fam.series.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kinds")]
+    fn kind_conflict_panics() {
+        let r = MetricRegistry::new();
+        let _ = r.counter("z", "z");
+        let _ = r.gauge("z", "z");
+    }
+
+    #[test]
+    fn snapshot_reflects_values() {
+        let r = MetricRegistry::new();
+        r.counter("c_total", "c").add(7);
+        r.gauge("g", "g").set(2.5);
+        r.histogram("h_seconds", "h", 1e-9).record(1000);
+        let snap = r.snapshot();
+        assert_eq!(snap.families.len(), 3);
+        match &snap.families[0].series[0].value {
+            SeriesValue::Counter(v) => assert_eq!(*v, 7),
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match &snap.families[2].series[0].value {
+            SeriesValue::Histogram(h) => assert_eq!(h.count(), 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Request-scoped tracing: spans, the completed-trace ring, and the
+//! thread-local "current trace" bridge.
+//!
+//! A [`TraceCtx`] is minted at the HTTP edge (one per request when
+//! observability is on), carried by `Arc` through the scoring queue, and
+//! *installed* thread-locally around engine/featurizer calls so layers
+//! that know nothing about serving ([`timed`] call sites in the engine
+//! and the featurizers) can attach spans to whichever requests are
+//! currently being served on the thread. A scoring worker batches
+//! statements from several requests at once, so the install stack holds
+//! a set of traces and every recorded span fans out to all of them.
+//!
+//! Span storage is a fixed array of `OnceLock` slots claimed by a
+//! `fetch_add` — recording never locks and never blocks; past
+//! [`MAX_SPANS`] further spans drop. Completed traces publish into a
+//! bounded [`TraceRing`] via `try_lock`: a scrape holding a slot makes a
+//! concurrent publisher drop its trace rather than wait, keeping the
+//! request path wait-free at the cost of best-effort retention.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Environment variable: log requests slower than this many milliseconds
+/// to stderr. Unset or unparsable disables the slow log.
+pub const SLOW_MS_ENV: &str = "SQLAN_SLOW_MS";
+
+/// Spans retained per trace; later spans drop silently.
+pub const MAX_SPANS: usize = 32;
+
+/// One completed stage inside a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Stage name (`parse`, `plan_cache`, `execute`, `featurize`, ...).
+    pub name: &'static str,
+    /// Offset from the trace origin, nanoseconds.
+    pub start_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Work-item count the span covered (statements, operators, ...).
+    pub n: u64,
+}
+
+/// A live, in-flight request trace.
+#[derive(Debug)]
+pub struct TraceCtx {
+    pub id: u64,
+    pub route: &'static str,
+    origin: Instant,
+    slots: [OnceLock<SpanRec>; MAX_SPANS],
+    len: AtomicUsize,
+}
+
+impl TraceCtx {
+    /// Mint a trace, or `None` when observability is off — callers
+    /// thread the `Option` through and every span becomes free.
+    pub fn start(route: &'static str) -> Option<Arc<TraceCtx>> {
+        if !crate::enabled() {
+            return None;
+        }
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        Some(Arc::new(TraceCtx {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            route,
+            origin: Instant::now(),
+            slots: std::array::from_fn(|_| OnceLock::new()),
+            len: AtomicUsize::new(0),
+        }))
+    }
+
+    /// The instant the trace was minted (span offsets are relative to it).
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+
+    /// Attach a completed span. Lock-free; drops past [`MAX_SPANS`].
+    pub fn record(&self, name: &'static str, start: Instant, dur: Duration, n: u64) {
+        let i = self.len.fetch_add(1, Ordering::Relaxed);
+        if i >= MAX_SPANS {
+            return;
+        }
+        let _ = self.slots[i].set(SpanRec {
+            name,
+            start_ns: start.saturating_duration_since(self.origin).as_nanos() as u64,
+            dur_ns: dur.as_nanos() as u64,
+            n,
+        });
+    }
+
+    /// Seal the trace with the response status. All span recording
+    /// happens-before the response is composed, so the snapshot is
+    /// complete by construction.
+    pub fn finish(&self, status: u16) -> CompletedTrace {
+        let n = self.len.load(Ordering::Acquire).min(MAX_SPANS);
+        CompletedTrace {
+            id: self.id,
+            route: self.route,
+            status,
+            total_ns: self.origin.elapsed().as_nanos() as u64,
+            spans: (0..n)
+                .filter_map(|i| self.slots[i].get().cloned())
+                .collect(),
+        }
+    }
+}
+
+/// An immutable finished trace, as served by `/debug/trace`.
+#[derive(Debug, Clone)]
+pub struct CompletedTrace {
+    pub id: u64,
+    pub route: &'static str,
+    pub status: u16,
+    pub total_ns: u64,
+    pub spans: Vec<SpanRec>,
+}
+
+/// Bounded ring of recently completed traces.
+pub struct TraceRing {
+    slots: Vec<Mutex<Option<Arc<CompletedTrace>>>>,
+    head: AtomicUsize,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.slots.len())
+            .field("published", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TraceRing {
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publish a completed trace. Never blocks: a slot contended by a
+    /// concurrent reader makes this publish drop instead of wait.
+    pub fn publish(&self, trace: Arc<CompletedTrace>) {
+        let i = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        if let Ok(mut slot) = self.slots[i].try_lock() {
+            *slot = Some(trace);
+        }
+    }
+
+    /// Up to `n` most recent traces, newest first.
+    pub fn recent(&self, n: usize) -> Vec<Arc<CompletedTrace>> {
+        let head = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len();
+        let mut out = Vec::with_capacity(n.min(cap));
+        for back in 0..cap {
+            if out.len() >= n {
+                break;
+            }
+            let i = (head + cap - 1 - back) % cap;
+            if let Ok(slot) = self.slots[i].try_lock() {
+                if let Some(t) = slot.as_ref() {
+                    out.push(Arc::clone(t));
+                }
+            }
+        }
+        out
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<TraceCtx>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard restoring the thread's install stack on drop.
+#[derive(Debug)]
+pub struct InstallGuard {
+    restore: usize,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.borrow_mut().truncate(self.restore));
+    }
+}
+
+/// Install traces as the thread's current set until the guard drops.
+/// Nested installs stack (the engine under a worker that already
+/// installed sees the union).
+pub fn install(traces: &[Arc<TraceCtx>]) -> InstallGuard {
+    CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        let restore = cur.len();
+        cur.extend(traces.iter().map(Arc::clone));
+        InstallGuard { restore }
+    })
+}
+
+/// [`install`] for the common single-trace case.
+pub fn install_one(trace: &Arc<TraceCtx>) -> InstallGuard {
+    CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        let restore = cur.len();
+        cur.push(Arc::clone(trace));
+        InstallGuard { restore }
+    })
+}
+
+/// Run `f`, attaching a `name` span covering `n` work items to every
+/// installed trace. When observability is off or nothing is installed,
+/// this is a branch and a thread-local read — no clock is touched.
+pub fn timed<T>(name: &'static str, n: u64, f: impl FnOnce() -> T) -> T {
+    if !crate::enabled() || CURRENT.with(|c| c.borrow().is_empty()) {
+        return f();
+    }
+    let start = Instant::now();
+    let out = f();
+    let dur = start.elapsed();
+    CURRENT.with(|c| {
+        for t in c.borrow().iter() {
+            t.record(name, start, dur, n);
+        }
+    });
+    out
+}
+
+const SLOW_UNRESOLVED: u64 = u64::MAX;
+const SLOW_DISABLED: u64 = u64::MAX - 1;
+static SLOW_NS: AtomicU64 = AtomicU64::new(SLOW_UNRESOLVED);
+
+/// Slow-request threshold in nanoseconds from `SQLAN_SLOW_MS`, `None`
+/// when the slow log is disabled. Resolved once, overridable with
+/// [`set_slow_ms`].
+pub fn slow_threshold_ns() -> Option<u64> {
+    match SLOW_NS.load(Ordering::Relaxed) {
+        SLOW_UNRESOLVED => {
+            let ns = std::env::var(SLOW_MS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(|ms| ms.saturating_mul(1_000_000))
+                .unwrap_or(SLOW_DISABLED);
+            SLOW_NS.store(ns, Ordering::Relaxed);
+            (ns != SLOW_DISABLED).then_some(ns)
+        }
+        SLOW_DISABLED => None,
+        ns => Some(ns),
+    }
+}
+
+/// Programmatic override of the slow-log threshold (tests, benches).
+pub fn set_slow_ms(ms: Option<u64>) {
+    SLOW_NS.store(
+        ms.map(|m| m.saturating_mul(1_000_000))
+            .unwrap_or(SLOW_DISABLED),
+        Ordering::Relaxed,
+    );
+}
+
+/// Format a completed trace for the slow log (single stderr line).
+pub fn slow_log_line(trace: &CompletedTrace) -> String {
+    use std::fmt::Write as _;
+    let mut line = format!(
+        "[sqlan-obs] slow request trace_id={} route={} status={} total_ms={:.3}",
+        trace.id,
+        trace.route,
+        trace.status,
+        trace.total_ns as f64 / 1e6
+    );
+    for s in &trace.spans {
+        let _ = write!(
+            line,
+            " {}={:.3}ms(n={})",
+            s.name,
+            s.dur_ns as f64 / 1e6,
+            s.n
+        );
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `set_enabled` is process-global; tests toggling it must not
+    /// interleave with tests expecting it on.
+    fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_record_and_finish() {
+        let _l = flag_lock();
+        crate::set_enabled(true);
+        let t = TraceCtx::start("/predict").expect("obs forced on");
+        let s = Instant::now();
+        t.record("parse", s, Duration::from_micros(5), 3);
+        t.record("execute", s, Duration::from_micros(10), 3);
+        let done = t.finish(200);
+        assert_eq!(done.status, 200);
+        assert_eq!(done.spans.len(), 2);
+        assert_eq!(done.spans[0].name, "parse");
+        assert_eq!(done.spans[1].dur_ns, 10_000);
+        assert_eq!(done.spans[1].n, 3);
+    }
+
+    #[test]
+    fn disabled_obs_mints_no_trace() {
+        let _l = flag_lock();
+        crate::set_enabled(false);
+        assert!(TraceCtx::start("/predict").is_none());
+        crate::set_enabled(true);
+    }
+
+    #[test]
+    fn span_overflow_drops_not_panics() {
+        let _l = flag_lock();
+        crate::set_enabled(true);
+        let t = TraceCtx::start("/predict").expect("obs forced on");
+        let s = Instant::now();
+        for _ in 0..(MAX_SPANS + 10) {
+            t.record("x", s, Duration::ZERO, 1);
+        }
+        assert_eq!(t.finish(200).spans.len(), MAX_SPANS);
+    }
+
+    #[test]
+    fn timed_fans_out_to_all_installed() {
+        let _l = flag_lock();
+        crate::set_enabled(true);
+        let a = TraceCtx::start("/predict").expect("obs on");
+        let b = TraceCtx::start("/predict").expect("obs on");
+        {
+            let _g = install(&[Arc::clone(&a), Arc::clone(&b)]);
+            let out = timed("featurize", 7, || 42);
+            assert_eq!(out, 42);
+        }
+        for t in [&a, &b] {
+            let done = t.finish(200);
+            assert_eq!(done.spans.len(), 1);
+            assert_eq!(done.spans[0].name, "featurize");
+            assert_eq!(done.spans[0].n, 7);
+        }
+        // Guard dropped: nothing installed, timed records nowhere.
+        timed("featurize", 1, || ());
+        assert_eq!(a.finish(200).spans.len(), 1);
+    }
+
+    #[test]
+    fn install_stacks_and_restores() {
+        let _l = flag_lock();
+        crate::set_enabled(true);
+        let a = TraceCtx::start("/a").expect("obs on");
+        let g1 = install_one(&a);
+        let b = TraceCtx::start("/b").expect("obs on");
+        {
+            let _g2 = install_one(&b);
+            timed("inner", 1, || ());
+        }
+        timed("outer", 1, || ());
+        drop(g1);
+        assert_eq!(a.finish(200).spans.len(), 2);
+        let done_b = b.finish(200);
+        assert_eq!(done_b.spans.len(), 1);
+        assert_eq!(done_b.spans[0].name, "inner");
+    }
+
+    #[test]
+    fn ring_keeps_newest_first() {
+        let _l = flag_lock();
+        crate::set_enabled(true);
+        let ring = TraceRing::new(4);
+        for status in [201u16, 202, 203, 204, 205, 206] {
+            let t = TraceCtx::start("/predict").expect("obs on");
+            ring.publish(Arc::new(t.finish(status)));
+        }
+        let recent = ring.recent(10);
+        assert_eq!(recent.len(), 4);
+        let statuses: Vec<u16> = recent.iter().map(|t| t.status).collect();
+        assert_eq!(statuses, vec![206, 205, 204, 203]);
+        assert_eq!(ring.recent(2).len(), 2);
+    }
+
+    #[test]
+    fn slow_log_line_formats() {
+        let _l = flag_lock();
+        crate::set_enabled(true);
+        let t = TraceCtx::start("/predict").expect("obs on");
+        t.record("parse", Instant::now(), Duration::from_millis(2), 1);
+        let line = slow_log_line(&t.finish(200));
+        assert!(line.contains("route=/predict"));
+        assert!(line.contains("parse="));
+    }
+
+    #[test]
+    fn slow_threshold_override() {
+        set_slow_ms(Some(25));
+        assert_eq!(slow_threshold_ns(), Some(25_000_000));
+        set_slow_ms(None);
+        assert_eq!(slow_threshold_ns(), None);
+    }
+}

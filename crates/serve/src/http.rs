@@ -95,6 +95,19 @@ pub fn write_json_response(
     stream.flush()
 }
 
+/// Write a routed [`sqlan_net::Answer`] (carries its own content type —
+/// `/metrics?format=prom` serves Prometheus text, everything else JSON).
+/// Renders through [`sqlan_net::Answer::render`], the same byte renderer
+/// the epoll front end uses.
+pub fn write_answer(
+    stream: &mut TcpStream,
+    answer: &sqlan_net::Answer,
+    keep_alive: bool,
+) -> io::Result<()> {
+    stream.write_all(&answer.render(keep_alive))?;
+    stream.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

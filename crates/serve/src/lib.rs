@@ -47,5 +47,5 @@ pub use registry::{LiveBundle, ModelRegistry};
 pub use scoring::{Prediction, ScoreError, ScoredBatch, ScoringConfig, ScoringEngine};
 pub use server::{
     start, ErrorResponse, HealthResponse, HttpMode, PredictRequest, PredictResponse, ReloadRequest,
-    ReloadResponse, ServeConfig, ServerHandle,
+    ReloadResponse, ServeConfig, ServerHandle, TraceDump, TraceEntry, TraceSpan,
 };

@@ -24,6 +24,8 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use sqlan_core::Problem;
+use sqlan_obs::trace::{install, timed};
+use sqlan_obs::TraceCtx;
 
 use crate::cache::{normalize_statement, PredictionCache};
 use crate::registry::{LiveBundle, ModelRegistry};
@@ -112,6 +114,13 @@ struct Job {
     /// Caller's scatter index and reply channel.
     index: usize,
     reply: mpsc::Sender<(usize, Prediction)>,
+    /// The request trace this job belongs to, if one was minted at the
+    /// HTTP edge. Workers dedup per-trace before recording spans, so a
+    /// many-statement request gets one `queue_wait` / `batch_score`
+    /// span per batch, not one per statement.
+    trace: Option<Arc<TraceCtx>>,
+    /// When the job entered the queue (start of its `queue_wait` span).
+    admitted: Instant,
 }
 
 impl std::fmt::Debug for Job {
@@ -253,6 +262,19 @@ impl ScoringEngine {
         problem: Problem,
         statements: &[String],
     ) -> Result<ScoredBatch, ScoreError> {
+        self.score_traced(problem, statements, None)
+    }
+
+    /// [`ScoringEngine::score`] carrying the request trace minted at the
+    /// HTTP edge: jobs pin it across the queue so spans recorded on a
+    /// scoring worker (`queue_wait`, `batch_score`, `featurize`) attach
+    /// to the originating request.
+    pub fn score_traced(
+        &self,
+        problem: Problem,
+        statements: &[String],
+        trace: Option<&Arc<TraceCtx>>,
+    ) -> Result<ScoredBatch, ScoreError> {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(ScoreError::ShuttingDown);
         }
@@ -262,19 +284,23 @@ impl ScoringEngine {
         }
         let generation = live.generation;
 
-        let normalized: Vec<String> = statements.iter().map(|s| normalize_statement(s)).collect();
+        let normalized: Vec<String> = timed("normalize", statements.len() as u64, || {
+            statements.iter().map(|s| normalize_statement(s)).collect()
+        });
         let mut out: Vec<Option<Prediction>> = vec![None; statements.len()];
         let mut misses: Vec<usize> = Vec::new();
-        for (i, n) in normalized.iter().enumerate() {
-            // Duplicate statements within one request dedup through the
-            // cache only if an earlier batch already stored them; within
-            // this request each occurrence is scored (identical inputs
-            // produce identical outputs, so semantics are unaffected).
-            match self.cache.get(problem, n, generation) {
-                Some(p) => out[i] = Some(p),
-                None => misses.push(i),
+        timed("cache_probe", statements.len() as u64, || {
+            for (i, n) in normalized.iter().enumerate() {
+                // Duplicate statements within one request dedup through the
+                // cache only if an earlier batch already stored them; within
+                // this request each occurrence is scored (identical inputs
+                // produce identical outputs, so semantics are unaffected).
+                match self.cache.get(problem, n, generation) {
+                    Some(p) => out[i] = Some(p),
+                    None => misses.push(i),
+                }
             }
-        }
+        });
 
         if !misses.is_empty() {
             if self.cfg.workers == 0 {
@@ -300,6 +326,7 @@ impl ScoringEngine {
                     if q.jobs.len() + misses.len() > self.cfg.queue_capacity {
                         return Err(ScoreError::Saturated);
                     }
+                    let admitted = Instant::now();
                     for &i in &misses {
                         q.jobs.push_back(Job {
                             problem,
@@ -307,6 +334,8 @@ impl ScoringEngine {
                             live: Arc::clone(&live),
                             index: i,
                             reply: tx.clone(),
+                            trace: trace.map(Arc::clone),
+                            admitted,
                         });
                     }
                 }
@@ -339,27 +368,29 @@ impl ScoringEngine {
             .bundle
             .model(problem)
             .expect("admission validated the problem against this same bundle");
-        let preds: Vec<Prediction> = if problem.is_classification() {
-            let proba = model.predict_proba_batch(normalized);
-            proba
-                .into_iter()
-                .map(|p| Prediction {
-                    class: Some(sqlan_ml::argmax(&p)),
-                    proba: Some(p),
-                    value: None,
-                })
-                .collect()
-        } else {
-            model
-                .predict_value_batch(normalized)
-                .into_iter()
-                .map(|v| Prediction {
-                    class: None,
-                    proba: None,
-                    value: Some(v),
-                })
-                .collect()
-        };
+        let preds: Vec<Prediction> = timed("batch_score", normalized.len() as u64, || {
+            if problem.is_classification() {
+                let proba = model.predict_proba_batch(normalized);
+                proba
+                    .into_iter()
+                    .map(|p| Prediction {
+                        class: Some(sqlan_ml::argmax(&p)),
+                        proba: Some(p),
+                        value: None,
+                    })
+                    .collect()
+            } else {
+                model
+                    .predict_value_batch(normalized)
+                    .into_iter()
+                    .map(|v| Prediction {
+                        class: None,
+                        proba: None,
+                        value: Some(v),
+                    })
+                    .collect()
+            }
+        });
         let n = normalized.len() as u64;
         self.batch_stats.batches.fetch_add(1, Ordering::Relaxed);
         self.batch_stats.statements.fetch_add(n, Ordering::Relaxed);
@@ -456,7 +487,39 @@ impl ScoringEngine {
             let problem = batch[0].problem;
             let live = Arc::clone(&batch[0].live);
             let stmts: Vec<String> = batch.iter().map(|j| j.normalized.clone()).collect();
-            let preds = self.score_batch_now(&live, problem, &stmts);
+            // One `queue_wait` span per distinct member request (earliest
+            // admission among its jobs), then score with every member
+            // trace installed so `batch_score` / `featurize` spans fan
+            // out to all requests the batch serves.
+            let mut member_traces: Vec<(Arc<TraceCtx>, Instant, u64)> = Vec::new();
+            for j in &batch {
+                if let Some(t) = &j.trace {
+                    match member_traces.iter_mut().find(|(x, _, _)| Arc::ptr_eq(x, t)) {
+                        Some(e) => {
+                            e.1 = e.1.min(j.admitted);
+                            e.2 += 1;
+                        }
+                        None => member_traces.push((Arc::clone(t), j.admitted, 1)),
+                    }
+                }
+            }
+            let drained = Instant::now();
+            for (t, admitted, n) in &member_traces {
+                t.record(
+                    "queue_wait",
+                    *admitted,
+                    drained.saturating_duration_since(*admitted),
+                    *n,
+                );
+            }
+            let installed: Vec<Arc<TraceCtx>> = member_traces
+                .iter()
+                .map(|(t, _, _)| Arc::clone(t))
+                .collect();
+            let preds = {
+                let _g = install(&installed);
+                self.score_batch_now(&live, problem, &stmts)
+            };
             for (job, pred) in batch.into_iter().zip(preds) {
                 // A dropped receiver (caller gave up) is fine.
                 let _ = job.reply.send((job.index, pred));

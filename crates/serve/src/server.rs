@@ -15,15 +15,22 @@
 //! render responses through the same byte renderer, so served bytes are
 //! identical across modes (pinned by `tests/e2e_http.rs`).
 //!
-//! | route            | body                                  | answer |
-//! |------------------|---------------------------------------|--------|
-//! | `POST /predict`  | `{"problem": "...", "statements": []}`| predictions + generation |
-//! | `GET /healthz`   | —                                     | status, generation, models |
-//! | `GET /metrics`   | —                                     | [`MetricsSnapshot`] |
-//! | `POST /reload`   | `{"dir": "..."}`                      | new generation (hot swap) |
+//! | route              | body                                  | answer |
+//! |--------------------|---------------------------------------|--------|
+//! | `POST /predict`    | `{"problem": "...", "statements": []}`| predictions + generation |
+//! | `GET /healthz`     | —                                     | status, generation, uptime, tier, models |
+//! | `GET /metrics`     | — (`?format=prom` for Prometheus text)| [`MetricsSnapshot`] |
+//! | `GET /debug/trace` | — (`?n=` caps the count)              | recent per-stage request traces |
+//! | `POST /reload`     | `{"dir": "..."}`                      | new generation (hot swap) |
 //!
 //! Saturation sheds with 503 (`{"error": ...}`), malformed input gets
 //! 400, oversized requests 413/431.
+//!
+//! When observability is on (`SQLAN_OBS`, default on) every request
+//! mints a [`TraceCtx`] whose id and per-stage spans (`parse`,
+//! `cache_probe`, `queue_wait`, `batch_score`, `featurize`, ...) land in
+//! the trace ring behind `GET /debug/trace`; requests slower than
+//! `SQLAN_SLOW_MS` additionally log one stderr line.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -34,8 +41,12 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use sqlan_core::Problem;
+use sqlan_net::Answer;
+use sqlan_obs::TraceCtx;
 
-use crate::http::{read_request, write_json_response, HttpParser, ParseError, Request};
+use crate::http::{
+    read_request, write_answer, write_json_response, HttpParser, ParseError, Request,
+};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::ModelRegistry;
 use crate::scoring::{Prediction, ScoreError, ScoringConfig, ScoringEngine};
@@ -144,6 +155,40 @@ pub struct HealthResponse {
     pub problems: Vec<String>,
     /// Model kind per problem, same order.
     pub models: Vec<String>,
+    /// Seconds since this server instance started — lets a probe detect
+    /// a silently restarted (and therefore possibly stale-bundle) server.
+    pub uptime_s: f64,
+    /// Active HTTP front end: `"epoll"` or `"threads"`.
+    pub http_tier: String,
+}
+
+/// One span inside a [`TraceEntry`], as served by `GET /debug/trace`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSpan {
+    pub name: String,
+    /// Offset from the trace origin, nanoseconds.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Work items the span covered (statements, operators, ...).
+    pub n: u64,
+}
+
+/// One completed request trace, as served by `GET /debug/trace`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceEntry {
+    pub trace_id: u64,
+    pub route: String,
+    pub status: u16,
+    pub total_ns: u64,
+    pub spans: Vec<TraceSpan>,
+}
+
+/// `GET /debug/trace` response body: recent traces, newest first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceDump {
+    /// Whether observability is currently enabled (`SQLAN_OBS`).
+    pub enabled: bool,
+    pub traces: Vec<TraceEntry>,
 }
 
 #[derive(Debug)]
@@ -313,12 +358,12 @@ struct EpollService {
 
 #[cfg(target_os = "linux")]
 impl sqlan_net::Service for EpollService {
-    fn call(&self, req: &Request) -> (u16, String) {
-        respond(req, &self.engine, &self.metrics)
+    fn call(&self, req: &Request) -> Answer {
+        respond(req, &self.engine, &self.metrics, "epoll")
     }
 
     fn on_parse_error(&self, _err: &sqlan_net::HttpError) {
-        self.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+        self.metrics.on_parse_error();
     }
 }
 
@@ -347,7 +392,7 @@ fn handle_connection(
             // Protocol violations answer with their status (400/413/431)
             // — including non-UTF-8 heads, which used to die as Io.
             Err(ParseError::Http(e)) => {
-                metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.on_parse_error();
                 let body = error_body(&e.describe());
                 write_json_response(&mut writer, e.status(), &body, false)?;
                 // Lingering close: drain the bytes the client already
@@ -366,8 +411,8 @@ fn handle_connection(
             }
         };
         let keep_alive = req.keep_alive && !stop.load(Ordering::Acquire);
-        let (status, body) = respond(&req, engine, metrics);
-        write_json_response(&mut writer, status, &body, keep_alive)?;
+        let answer = respond(&req, engine, metrics, "threads");
+        write_answer(&mut writer, &answer, keep_alive)?;
         if !keep_alive {
             return Ok(());
         }
@@ -381,68 +426,128 @@ fn error_body(message: &str) -> String {
     .expect("error body serializes")
 }
 
+/// Split a request target into path and query (`""` when absent).
+fn split_target(target: &str) -> (&str, &str) {
+    target.split_once('?').unwrap_or((target, ""))
+}
+
+/// First value of `key` in an `a=b&c=d` query string.
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+/// Static route label for trace grouping.
+fn route_label(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("POST", "/predict") => "/predict",
+        ("GET", "/healthz") => "/healthz",
+        ("GET", "/metrics") => "/metrics",
+        ("GET", "/debug/trace") => "/debug/trace",
+        ("POST", "/reload") => "/reload",
+        _ => "other",
+    }
+}
+
 /// Route one request and maintain the request/error counters — shared
-/// verbatim by both front ends.
-fn respond(req: &Request, engine: &ScoringEngine, metrics: &ServeMetrics) -> (u16, String) {
-    metrics.http_requests.fetch_add(1, Ordering::Relaxed);
-    let (status, body) = route(req, engine, metrics);
-    if (400..500).contains(&status) {
-        metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-    } else if status == 503 {
-        metrics.shed.fetch_add(1, Ordering::Relaxed);
-    }
-    (status, body)
-}
-
-fn route(req: &Request, engine: &ScoringEngine, metrics: &ServeMetrics) -> (u16, String) {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/predict") => predict(req, engine, metrics),
-        ("GET", "/healthz") => healthz(engine),
-        ("GET", "/metrics") => metrics_route(engine, metrics),
-        ("POST", "/reload") => reload(req, engine),
-        ("GET", _) | ("POST", _) => (404, error_body("no such route")),
-        _ => (405, error_body("method not allowed")),
-    }
-}
-
-fn predict(req: &Request, engine: &ScoringEngine, metrics: &ServeMetrics) -> (u16, String) {
-    let Ok(text) = std::str::from_utf8(&req.body) else {
-        return (400, error_body("body is not UTF-8"));
+/// verbatim by both front ends. Counters move *after* routing so every
+/// counted request has already landed in exactly one response class.
+fn respond(
+    req: &Request,
+    engine: &ScoringEngine,
+    metrics: &ServeMetrics,
+    tier: &'static str,
+) -> Answer {
+    let (path, query) = split_target(&req.path);
+    let trace = TraceCtx::start(route_label(req.method.as_str(), path));
+    let answer = {
+        // Install the trace for this thread so `obs::timed` call sites
+        // anywhere below (parsing, cache probe, featurizers) attach
+        // spans without threading the context explicitly.
+        let _installed = trace.as_ref().map(sqlan_obs::trace::install_one);
+        route(req, path, query, engine, metrics, tier, trace.as_ref())
     };
-    let parsed: Result<PredictRequest, _> = serde_json::from_str(text);
+    if let Some(t) = trace {
+        let done = t.finish(answer.status);
+        if let Some(limit) = sqlan_obs::trace::slow_threshold_ns() {
+            if done.total_ns >= limit {
+                eprintln!("{}", sqlan_obs::trace::slow_log_line(&done));
+            }
+        }
+        metrics.traces().publish(Arc::new(done));
+    }
+    metrics.on_response(answer.status);
+    answer
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route(
+    req: &Request,
+    path: &str,
+    query: &str,
+    engine: &ScoringEngine,
+    metrics: &ServeMetrics,
+    tier: &'static str,
+    trace: Option<&Arc<TraceCtx>>,
+) -> Answer {
+    match (req.method.as_str(), path) {
+        ("POST", "/predict") => predict(req, engine, metrics, trace),
+        ("GET", "/healthz") => healthz(engine, metrics, tier),
+        ("GET", "/metrics") => metrics_route(engine, metrics, query),
+        ("GET", "/debug/trace") => trace_route(metrics, query),
+        ("POST", "/reload") => reload(req, engine),
+        ("GET", _) | ("POST", _) => Answer::json(404, error_body("no such route")),
+        _ => Answer::json(405, error_body("method not allowed")),
+    }
+}
+
+fn predict(
+    req: &Request,
+    engine: &ScoringEngine,
+    metrics: &ServeMetrics,
+    trace: Option<&Arc<TraceCtx>>,
+) -> Answer {
+    let parsed = sqlan_obs::trace::timed("parse", 1, || {
+        let text = std::str::from_utf8(&req.body).map_err(|_| error_body("body is not UTF-8"))?;
+        serde_json::from_str::<PredictRequest>(text)
+            .map_err(|e| error_body(&format!("bad predict request: {e}")))
+    });
     let request = match parsed {
         Ok(r) => r,
-        Err(e) => return (400, error_body(&format!("bad predict request: {e}"))),
+        Err(body) => return Answer::json(400, body),
     };
     let Some(problem) = Problem::from_name(&request.problem) else {
-        return (
+        return Answer::json(
             400,
             error_body(&format!("unknown problem `{}`", request.problem)),
         );
     };
     let start = Instant::now();
-    match engine.score(problem, &request.statements) {
+    match engine.score_traced(problem, &request.statements, trace) {
         Ok(scored) => {
             metrics.observe_predict(
+                problem,
                 request.statements.len() as u64,
-                start.elapsed().as_micros() as u64,
+                start.elapsed().as_nanos() as u64,
             );
             let body = PredictResponse {
                 generation: scored.generation,
                 predictions: scored.predictions,
             };
-            (
+            Answer::json(
                 200,
                 serde_json::to_string(&body).expect("response serializes"),
             )
         }
-        Err(ScoreError::Saturated) => (503, error_body("scoring queue saturated")),
-        Err(ScoreError::ShuttingDown) => (503, error_body("shutting down")),
-        Err(e @ ScoreError::UnknownProblem(_)) => (400, error_body(&e.to_string())),
+        Err(ScoreError::Saturated) => Answer::json(503, error_body("scoring queue saturated")),
+        Err(ScoreError::ShuttingDown) => Answer::json(503, error_body("shutting down")),
+        Err(e @ ScoreError::UnknownProblem(_)) => Answer::json(400, error_body(&e.to_string())),
     }
 }
 
-fn healthz(engine: &ScoringEngine) -> (u16, String) {
+fn healthz(engine: &ScoringEngine, metrics: &ServeMetrics, tier: &'static str) -> Answer {
     let live = engine.registry().current();
     let body = HealthResponse {
         status: "ok".to_string(),
@@ -462,28 +567,54 @@ fn healthz(engine: &ScoringEngine) -> (u16, String) {
             .iter()
             .map(|e| e.kind.name().to_string())
             .collect(),
+        uptime_s: metrics.uptime_s(),
+        http_tier: tier.to_string(),
     };
-    (
+    Answer::json(
         200,
         serde_json::to_string(&body).expect("health serializes"),
     )
 }
 
-fn metrics_route(engine: &ScoringEngine, metrics: &ServeMetrics) -> (u16, String) {
+fn metrics_route(engine: &ScoringEngine, metrics: &ServeMetrics, query: &str) -> Answer {
     let (hits, misses) = engine.cache().stats();
-    let uptime = metrics.uptime_s().max(1e-9);
-    let statements = metrics.statements.load(Ordering::Relaxed);
-    let predict_requests = metrics.predict_requests.load(Ordering::Relaxed);
     let batches = engine.batch_stats.batches.load(Ordering::Relaxed);
     let batched = engine.batch_stats.statements.load(Ordering::Relaxed);
+    let generation = engine.registry().generation();
+    metrics.sync_engine_stats(
+        hits,
+        misses,
+        engine.cache().len() as u64,
+        batches,
+        batched,
+        engine.queue_depth() as u64,
+        generation,
+    );
+    if query_param(query, "format") == Some("prom") {
+        let serve_snap = metrics.registry().snapshot();
+        let global_snap = sqlan_obs::global().snapshot();
+        return Answer::text(
+            200,
+            sqlan_obs::prom::CONTENT_TYPE,
+            sqlan_obs::prom::render(&[&serve_snap, &global_snap]),
+        );
+    }
+    let uptime = metrics.uptime_s().max(1e-9);
+    let statements = metrics.statements_total();
+    let predict_requests = metrics.predict_requests();
+    let [responses_2xx, responses_4xx, responses_5xx] = metrics.responses_by_class();
     let snapshot = MetricsSnapshot {
         uptime_s: uptime,
-        generation: engine.registry().generation(),
-        http_requests: metrics.http_requests.load(Ordering::Relaxed),
+        generation,
+        http_requests: metrics.http_requests(),
         predict_requests,
         statements,
-        shed: metrics.shed.load(Ordering::Relaxed),
-        client_errors: metrics.client_errors.load(Ordering::Relaxed),
+        shed: metrics.shed(),
+        client_errors: metrics.client_errors(),
+        responses_2xx,
+        responses_4xx,
+        responses_5xx,
+        statements_by_problem: metrics.statements_per_problem(),
         statement_qps: statements as f64 / uptime,
         request_qps: predict_requests as f64 / uptime,
         latency: metrics.latency_summary(),
@@ -505,26 +636,61 @@ fn metrics_route(engine: &ScoringEngine, metrics: &ServeMetrics) -> (u16, String
         max_batch: engine.batch_stats.max_batch.load(Ordering::Relaxed),
         queue_depth: engine.queue_depth() as u64,
     };
-    (
+    Answer::json(
         200,
         serde_json::to_string(&snapshot).expect("metrics serialize"),
     )
 }
 
-fn reload(req: &Request, engine: &ScoringEngine) -> (u16, String) {
+fn trace_route(metrics: &ServeMetrics, query: &str) -> Answer {
+    let n = query_param(query, "n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(16);
+    let traces: Vec<TraceEntry> = metrics
+        .traces()
+        .recent(n)
+        .iter()
+        .map(|t| TraceEntry {
+            trace_id: t.id,
+            route: t.route.to_string(),
+            status: t.status,
+            total_ns: t.total_ns,
+            spans: t
+                .spans
+                .iter()
+                .map(|s| TraceSpan {
+                    name: s.name.to_string(),
+                    start_ns: s.start_ns,
+                    dur_ns: s.dur_ns,
+                    n: s.n,
+                })
+                .collect(),
+        })
+        .collect();
+    let dump = TraceDump {
+        enabled: sqlan_obs::enabled(),
+        traces,
+    };
+    Answer::json(
+        200,
+        serde_json::to_string(&dump).expect("trace dump serializes"),
+    )
+}
+
+fn reload(req: &Request, engine: &ScoringEngine) -> Answer {
     let Ok(text) = std::str::from_utf8(&req.body) else {
-        return (400, error_body("body is not UTF-8"));
+        return Answer::json(400, error_body("body is not UTF-8"));
     };
     let parsed: Result<ReloadRequest, _> = serde_json::from_str(text);
     let request = match parsed {
         Ok(r) => r,
-        Err(e) => return (400, error_body(&format!("bad reload request: {e}"))),
+        Err(e) => return Answer::json(400, error_body(&format!("bad reload request: {e}"))),
     };
     match engine.registry().reload(Path::new(&request.dir)) {
-        Ok(generation) => (
+        Ok(generation) => Answer::json(
             200,
             serde_json::to_string(&ReloadResponse { generation }).expect("reload serializes"),
         ),
-        Err(e) => (400, error_body(&format!("reload failed: {e}"))),
+        Err(e) => Answer::json(400, error_body(&format!("reload failed: {e}"))),
     }
 }

@@ -310,10 +310,6 @@ fn front_ends_serve_byte_identical_responses() {
     let predict = predict_body(Problem::ErrorClassification, &cls_ds.statements[..8]);
     let probes: Vec<(&str, Vec<u8>)> = vec![
         (
-            "healthz",
-            b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n".to_vec(),
-        ),
-        (
             "predict",
             format!(
                 "POST /predict HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
@@ -361,6 +357,29 @@ fn front_ends_serve_byte_identical_responses() {
         );
         assert!(!from_epoll.is_empty(), "probe `{name}` got no response");
     }
+
+    // `/healthz` intentionally differs per instance (uptime, HTTP tier),
+    // so it is compared structurally with those fields masked.
+    let health_probe = b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n";
+    let parse_health = |raw: Vec<u8>| -> sqlan_serve::HealthResponse {
+        let text = String::from_utf8(raw).expect("utf8 health response");
+        let body = text.split("\r\n\r\n").nth(1).expect("health body");
+        serde_json::from_str(body).expect("health json")
+    };
+    let mut from_epoll = parse_health(raw_exchange(epoll.addr(), health_probe));
+    let mut from_threads = parse_health(raw_exchange(threads.addr(), health_probe));
+    assert_eq!(from_epoll.http_tier, "epoll");
+    assert_eq!(from_threads.http_tier, "threads");
+    assert!(from_epoll.uptime_s >= 0.0 && from_threads.uptime_s >= 0.0);
+    from_epoll.uptime_s = 0.0;
+    from_threads.uptime_s = 0.0;
+    from_epoll.http_tier.clear();
+    from_threads.http_tier.clear();
+    assert_eq!(
+        serde_json::to_string(&from_epoll).expect("health json"),
+        serde_json::to_string(&from_threads).expect("health json"),
+        "healthz must be identical across modes apart from uptime/tier"
+    );
 
     epoll.shutdown();
     threads.shutdown();
