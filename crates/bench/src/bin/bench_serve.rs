@@ -93,6 +93,27 @@ struct ObsAbStats {
     overhead_frac: f64,
 }
 
+/// Throughput under an installed fault plane (injected scoring panics
+/// and stalls, degradation on) and how fast the service returns to
+/// non-degraded answers once the plane clears.
+#[derive(Debug, Serialize)]
+struct ChaosStats {
+    /// The installed `SQLAN_FAULTS`-grammar spec.
+    spec: String,
+    seed: u64,
+    /// Same closed-loop round as the levels, faults off (warm cache).
+    baseline_stmts_per_sec: f64,
+    /// The same round with the fault plane installed.
+    degraded_stmts_per_sec: f64,
+    /// `(baseline - degraded) / baseline`.
+    degradation_frac: f64,
+    /// Server counters accumulated during the chaos round.
+    degraded_responses: u64,
+    worker_panics: u64,
+    /// Time from clearing the plane to the first non-degraded 200.
+    recovery_ms: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchServe {
     machine: sqlan_bench::MachineInfo,
@@ -105,6 +126,7 @@ struct BenchServe {
     obs_ab: ObsAbStats,
     /// Present only in epoll mode on Linux.
     c10k: Option<C10kStats>,
+    chaos: ChaosStats,
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -499,6 +521,91 @@ fn check_metrics_consistency(addr: std::net::SocketAddr) {
     );
 }
 
+/// The chaos round: a dedicated server with degradation enabled, the
+/// same closed-loop load with and without injected scoring faults, and
+/// the recovery time back to non-degraded answers.
+fn run_chaos(bundle_dir: &std::path::Path, requests: usize, batch: usize, seed: u64) -> ChaosStats {
+    let spec = "score.panic=0.05,score.stall=0.02/5".to_string();
+    let registry = Arc::new(ModelRegistry::open(bundle_dir).expect("open bundle"));
+    let handle = sqlan_serve::start(
+        registry,
+        ServeConfig {
+            http_workers: 2,
+            scoring: ScoringConfig {
+                degrade: true,
+                ..ScoringConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start chaos server");
+    let addr = handle.addr();
+    eprintln!("[bench_serve] chaos: seed {seed} spec {spec}");
+
+    // Cold synthetic corpora, one per round: scoring faults only fire
+    // when scoring actually runs, so a warm-cache walk would measure
+    // nothing. Same shape for both rounds keeps the comparison fair.
+    let fresh_corpus = |tag: &str| -> Vec<String> {
+        (0..2 * requests * batch + 128)
+            .map(|i| format!("SELECT col_{i} FROM {tag} WHERE id = {i}"))
+            .collect()
+    };
+    let baseline = measure_round(addr, &fresh_corpus("chaos_base"), requests, batch, 2);
+    let before = fetch_metrics(addr);
+    let guard = sqlan_fault::install(seed, &spec).expect("install fault plane");
+    let degraded = measure_round(addr, &fresh_corpus("chaos_fault"), requests, batch, 2);
+    let after = fetch_metrics(addr);
+    drop(guard);
+
+    // Recovery: with the plane cleared, time until a fresh (uncached)
+    // statement comes back non-degraded.
+    let recover_start = Instant::now();
+    let mut client = Client::connect(addr).expect("connect");
+    let mut recovery_ms = f64::NAN;
+    for i in 0..1_000 {
+        let body = serde_json::to_string(&PredictRequest {
+            problem: Problem::ErrorClassification.name().to_string(),
+            statements: vec![format!("SELECT recovery_{i} FROM chaos_probe")],
+        })
+        .expect("request serializes");
+        let (status, response) = client.post("/predict", &body).expect("recovery probe");
+        if status == 200 {
+            let parsed: PredictResponse = serde_json::from_str(&response).expect("predict json");
+            if !parsed.degraded {
+                recovery_ms = recover_start.elapsed().as_secs_f64() * 1e3;
+                break;
+            }
+        }
+    }
+    assert!(
+        recovery_ms.is_finite(),
+        "service never recovered to non-degraded answers after faults cleared"
+    );
+    handle.shutdown();
+
+    let stats = ChaosStats {
+        spec,
+        seed,
+        baseline_stmts_per_sec: baseline,
+        degraded_stmts_per_sec: degraded,
+        degradation_frac: (baseline - degraded) / baseline.max(1e-9),
+        degraded_responses: after.degraded_responses - before.degraded_responses,
+        worker_panics: after.worker_panics - before.worker_panics,
+        recovery_ms,
+    };
+    eprintln!(
+        "    chaos: baseline {:.0} stmts/s  degraded {:.0} stmts/s ({:+.1}%)  \
+         {} degraded responses  {} panics caught  recovery {:.1}ms",
+        stats.baseline_stmts_per_sec,
+        stats.degraded_stmts_per_sec,
+        -stats.degradation_frac * 100.0,
+        stats.degraded_responses,
+        stats.worker_panics,
+        stats.recovery_ms
+    );
+    stats
+}
+
 fn main() {
     // Re-exec'd child holding a slice of the c10k connections?
     #[cfg(target_os = "linux")]
@@ -611,6 +718,10 @@ fn main() {
     }
 
     handle.shutdown();
+
+    // The chaos round runs on its own server instance (degradation is
+    // an engine-start decision) after the main one is gone.
+    let chaos = run_chaos(&bundle_dir, requests, batch, harness.seed);
     let _ = std::fs::remove_dir_all(&bundle_dir);
 
     let report = BenchServe {
@@ -622,6 +733,7 @@ fn main() {
         levels: out_levels,
         obs_ab,
         c10k,
+        chaos,
     };
     let out = std::env::var("SQLAN_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -28,6 +28,24 @@
 //! idle past the configured timeout. In-flight connections are exempt
 //! (the handler will answer); half-parsed ones are not, so a stalled
 //! client mid-head is dropped rather than held forever.
+//!
+//! ## Fault injection
+//!
+//! Four `sqlan-fault` points sit on the syscall edges, all free when no
+//! fault plane is installed (one relaxed atomic load):
+//!
+//! * `net.read.eagain` — a ready connection's read pass returns early,
+//!   as if the kernel reported `EAGAIN` (level-triggered epoll retries).
+//! * `net.write.short` — a response flush writes a single byte and
+//!   defers the rest to `EPOLLOUT`, forcing the partial-write path.
+//! * `net.write.reset` — a flush behaves as if the peer reset the
+//!   connection mid-write.
+//! * `net.accept.emfile` — an accept pass fails as if the process were
+//!   out of file descriptors, exercising the listener backoff.
+//!
+//! Handler threads additionally wrap [`Service::call`] in
+//! `catch_unwind`: a panicking handler answers 500 and the thread keeps
+//! serving, so one poisoned request cannot shrink the pool.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -208,7 +226,15 @@ pub fn serve<S: Service>(
                         Ok(w) => w,
                         Err(_) => return, // loop exited, channel closed
                     };
-                    let answer = service.call(&work.request);
+                    // Panic isolation: a handler that panics answers 500
+                    // and the thread survives — otherwise one poisoned
+                    // request would permanently shrink the handler pool.
+                    let answer = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        service.call(&work.request)
+                    }))
+                    .unwrap_or_else(|_| {
+                        Answer::json(500, "{\"error\":\"internal server error\"}".to_string())
+                    });
                     shared
                         .completions
                         .lock()
@@ -348,6 +374,13 @@ impl<F: FnMut(&HttpError)> EventLoop<F> {
         if self.accept_paused_until.is_some() {
             return;
         }
+        if sqlan_fault::fires("net.accept.emfile") {
+            // Injected fd exhaustion: take the same backoff path a real
+            // EMFILE would, without consuming the pending connection.
+            let _ = self.epoll.del(self.listener.as_raw_fd());
+            self.accept_paused_until = Some(now + Duration::from_millis(50));
+            return;
+        }
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
@@ -453,6 +486,11 @@ impl<F: FnMut(&HttpError)> EventLoop<F> {
     /// Read until `WouldBlock` (or a request completes / fails), feeding
     /// the parser.
     fn read_and_parse(&mut self, token: usize, now: Instant) {
+        if sqlan_fault::fires("net.read.eagain") {
+            // Injected EAGAIN: pretend the kernel had nothing for us.
+            // Level-triggered epoll re-reports readiness next tick.
+            return;
+        }
         let mut chunk = [0u8; READ_CHUNK];
         loop {
             let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
@@ -537,7 +575,22 @@ impl<F: FnMut(&HttpError)> EventLoop<F> {
             if conn.out_pos == conn.out.len() {
                 break;
             }
-            match conn.stream.write(&conn.out[conn.out_pos..]) {
+            if sqlan_fault::fires("net.write.reset") {
+                // Injected mid-write reset: the peer is gone.
+                self.close(token);
+                return;
+            }
+            let cap = if sqlan_fault::fires("net.write.short") {
+                // Injected short write: one byte, then wait for
+                // `EPOLLOUT` like a genuinely full socket buffer.
+                1
+            } else {
+                conn.out.len() - conn.out_pos
+            };
+            match conn
+                .stream
+                .write(&conn.out[conn.out_pos..conn.out_pos + cap])
+            {
                 Ok(0) => {
                     self.close(token);
                     return;
@@ -545,6 +598,10 @@ impl<F: FnMut(&HttpError)> EventLoop<F> {
                 Ok(n) => {
                     conn.out_pos += n;
                     conn.last_activity = now;
+                    if cap == 1 && conn.out_pos < conn.out.len() {
+                        self.set_interest(token, EPOLLOUT);
+                        return;
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     self.set_interest(token, EPOLLOUT);

@@ -47,6 +47,12 @@ pub struct Request {
     /// (HTTP/1.1 default, `Connection` header honored, comma lists
     /// tokenized).
     pub keep_alive: bool,
+    /// Per-request deadline budget from the `x-sqlan-deadline-ms`
+    /// header, in milliseconds from request arrival. Lenient: a missing
+    /// or non-numeric value is `None` (no deadline), never a parse
+    /// error — deadlines are an optimization hint, not a correctness
+    /// input.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Why a byte stream could not be parsed into a request. Terminal: the
@@ -100,6 +106,7 @@ struct Head {
     path: String,
     keep_alive: bool,
     content_length: usize,
+    deadline_ms: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -241,6 +248,7 @@ impl HttpParser {
                         path: head.path,
                         body,
                         keep_alive: head.keep_alive,
+                        deadline_ms: head.deadline_ms,
                     });
                 }
             }
@@ -319,6 +327,7 @@ fn parse_head(head: &[u8], max_body: usize) -> Result<Head, HttpError> {
     let mut keep_alive = !version.ends_with("1.0");
 
     let mut content_length: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
     for line in lines {
         if line.is_empty() {
             break; // the head terminator's blank line
@@ -348,6 +357,30 @@ fn parse_head(head: &[u8], max_body: usize) -> Result<Head, HttpError> {
                     keep_alive = true;
                 }
             }
+        } else if eq_ignore_case(name, b"x-sqlan-deadline-ms") {
+            // Deadline propagation hint. Digits-only like
+            // content-length, but lenient: junk means "no deadline",
+            // not a 400 — a broken client clock must not break the
+            // request.
+            if !value.is_empty() && value.iter().all(|b| b.is_ascii_digit()) {
+                let mut n: u64 = 0;
+                let mut ok = true;
+                for &b in value {
+                    match n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((b - b'0') as u64))
+                    {
+                        Some(next) => n = next,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    deadline_ms = Some(n);
+                }
+            }
         } else if eq_ignore_case(name, b"transfer-encoding") {
             // Not implemented; silently ignoring it while honoring
             // content-length is the request-smuggling shape, so reject.
@@ -363,6 +396,7 @@ fn parse_head(head: &[u8], max_body: usize) -> Result<Head, HttpError> {
         path,
         keep_alive,
         content_length,
+        deadline_ms,
     })
 }
 
@@ -416,6 +450,7 @@ fn status_text(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -640,6 +675,29 @@ mod tests {
         assert_eq!(b.path, "/b");
         assert_eq!(b.body, b"hi");
         assert!(p.is_idle());
+    }
+
+    #[test]
+    fn deadline_header_parsed_leniently() {
+        let cases: &[(&str, Option<u64>)] = &[
+            ("x-sqlan-deadline-ms: 250", Some(250)),
+            ("X-Sqlan-Deadline-Ms: 0", Some(0)),
+            ("x-sqlan-deadline-ms: -5", None),
+            ("x-sqlan-deadline-ms: abc", None),
+            ("x-sqlan-deadline-ms:", None),
+            ("x-sqlan-deadline-ms: 99999999999999999999999", None),
+        ];
+        for (header, expect) in cases {
+            let raw = format!("GET / HTTP/1.1\r\n{header}\r\n\r\n");
+            let Parse::Request(r) = parse_all(raw.as_bytes(), 0) else {
+                panic!("expected request for {header}");
+            };
+            assert_eq!(r.deadline_ms, *expect, "{header}");
+        }
+        let Parse::Request(r) = parse_all(b"GET / HTTP/1.1\r\n\r\n", 0) else {
+            panic!("expected request");
+        };
+        assert_eq!(r.deadline_ms, None);
     }
 
     #[test]

@@ -5,18 +5,35 @@
 //!
 //! ```text
 //! bundle/
-//!   manifest.json             ← written LAST (commit point)
-//!   error_classification.json ← TrainedModel::save_json output
-//!   answer_size.json
+//!   manifest.json                              ← written LAST (commit point)
+//!   error_classification-a63b99f01c22d407.json ← TrainedModel::save_json output
+//!   answer_size-5f0e331908a4be72.json
 //! ```
 //!
-//! Model files are written before the manifest, each via a
-//! write-to-temp-then-rename, so a crashed or concurrent writer can never
-//! produce a loadable-but-torn bundle: until `manifest.json` lands, the
-//! directory does not parse as a bundle at all.
+//! Artifact file names are **content-addressed** (`{problem}-{hash}.json`),
+//! so re-saving over a live bundle directory never touches the files the
+//! committed manifest references: new-generation artifacts land beside the
+//! old ones, and the atomic `manifest.json` rename is the *only* state
+//! transition a reader can observe. A writer that dies at any point —
+//! provable with the `bundle.crash` injection point, which the crash-sweep
+//! test fires at every syscall boundary of a save — leaves either the old
+//! bundle or the new one, never a torn state.
+//!
+//! Durability matches atomicity: every file is fsynced before its rename
+//! and the directory is fsynced after the manifest rename, so the commit
+//! survives power loss, not just process death. Orphans from a crashed
+//! save (`*.json.tmp`, unreferenced artifacts) are removed by
+//! [`sweep_bundle_dir`], which runs at registry startup and before each
+//! save. Bundle directories are single-writer: concurrent saves to one
+//! directory race on temp names and sweep away each other's work.
+//!
+//! Fault injection points (all no-ops unless a `sqlan-fault` plane is
+//! installed): `bundle.crash`, `bundle.write.short`, `bundle.write.enospc`,
+//! `bundle.fsync`, `bundle.corrupt`, `bundle.load.read`.
 
 use std::collections::HashMap;
-use std::io;
+use std::fs::File;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
@@ -78,6 +95,16 @@ pub enum BundleError {
     NotPersistable(&'static str),
     /// The manifest lists the same problem twice.
     DuplicateProblem(Problem),
+    /// An injected crash (`bundle.crash`) abandoned the save at commit
+    /// point `point`, leaving on-disk state exactly as the crash found it.
+    Crashed {
+        point: u64,
+    },
+    /// The reload circuit breaker is open after repeated load failures;
+    /// retry after the cooldown.
+    CircuitOpen {
+        failures: u32,
+    },
 }
 
 impl std::fmt::Display for BundleError {
@@ -114,6 +141,13 @@ impl std::fmt::Display for BundleError {
                 write!(f, "model `{name}` cannot be bundled")
             }
             BundleError::DuplicateProblem(p) => write!(f, "problem {p} listed twice"),
+            BundleError::Crashed { point } => {
+                write!(f, "injected crash at save commit point #{point}")
+            }
+            BundleError::CircuitOpen { failures } => write!(
+                f,
+                "reload circuit breaker open after {failures} consecutive load failures"
+            ),
         }
     }
 }
@@ -148,15 +182,152 @@ impl Bundle {
     }
 }
 
-fn write_atomic(path: &Path, contents: &str) -> Result<(), BundleError> {
+/// ENOSPC — the errno injected write faults surface as.
+const ENOSPC: i32 = 28;
+/// EIO — the errno injected fsync/read faults surface as.
+const EIO: i32 = 5;
+
+/// An injected crash: the save is abandoned *right here*, no cleanup, no
+/// further writes — on-disk state is whatever the syscalls so far left.
+/// Call counts index the commit points, so the crash sweep can fire each
+/// one in turn with `bundle.crash=@k`.
+fn crash_point() -> Result<(), BundleError> {
+    if sqlan_fault::fires("bundle.crash") {
+        return Err(BundleError::Crashed {
+            point: sqlan_fault::calls("bundle.crash").saturating_sub(1),
+        });
+    }
+    Ok(())
+}
+
+/// Flip one seeded bit of the buffer when `bundle.corrupt` fires —
+/// a silent-corruption model the size check cannot catch, forcing the
+/// loader's JSON/kind validation to do the work.
+fn maybe_corrupt(contents: &[u8]) -> std::borrow::Cow<'_, [u8]> {
+    match sqlan_fault::fire_arg("bundle.corrupt") {
+        Some(_) if !contents.is_empty() => {
+            let seed = sqlan_fault::seed().unwrap_or(0);
+            let n = sqlan_fault::fired("bundle.corrupt");
+            let bit = (sqlan_fault::unit_value(seed, "bundle.corrupt.bit", n)
+                * (contents.len() * 8) as f64) as usize;
+            let mut owned = contents.to_vec();
+            let byte = (bit / 8).min(owned.len() - 1);
+            owned[byte] ^= 1 << (bit % 8);
+            std::borrow::Cow::Owned(owned)
+        }
+        _ => std::borrow::Cow::Borrowed(contents),
+    }
+}
+
+/// Write `contents` durably at `path`: temp file → fsync → rename.
+/// Crash points bracket every syscall; write/fsync faults inject ENOSPC
+/// and EIO mid-sequence, leaving the same partial states a real disk
+/// would.
+fn write_durable(path: &Path, contents: &[u8]) -> Result<(), BundleError> {
     let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, contents).map_err(|e| BundleError::Io(tmp.clone(), e))?;
-    std::fs::rename(&tmp, path).map_err(|e| BundleError::Io(path.to_path_buf(), e))
+    crash_point()?; // nothing written yet
+    let mut f = File::create(&tmp).map_err(|e| BundleError::Io(tmp.clone(), e))?;
+    if sqlan_fault::fires("bundle.write.enospc") {
+        return Err(BundleError::Io(tmp, io::Error::from_raw_os_error(ENOSPC)));
+    }
+    let data = maybe_corrupt(contents);
+    let mid = data.len() / 2;
+    f.write_all(&data[..mid])
+        .map_err(|e| BundleError::Io(tmp.clone(), e))?;
+    if sqlan_fault::fires("bundle.write.short") {
+        // Half the bytes landed, then the disk filled: a torn temp file.
+        return Err(BundleError::Io(tmp, io::Error::from_raw_os_error(ENOSPC)));
+    }
+    crash_point()?; // torn temp file on disk
+    f.write_all(&data[mid..])
+        .map_err(|e| BundleError::Io(tmp.clone(), e))?;
+    crash_point()?; // full temp file, not yet durable
+    if sqlan_fault::fires("bundle.fsync") {
+        return Err(BundleError::Io(tmp, io::Error::from_raw_os_error(EIO)));
+    }
+    f.sync_all().map_err(|e| BundleError::Io(tmp.clone(), e))?;
+    drop(f);
+    crash_point()?; // durable temp file, not yet visible
+    std::fs::rename(&tmp, path).map_err(|e| BundleError::Io(path.to_path_buf(), e))?;
+    crash_point()?; // visible under the final name
+    Ok(())
+}
+
+/// fsync the bundle directory so a just-renamed file survives power loss
+/// (rename durability is a property of the *directory*, not the file).
+fn sync_dir(dir: &Path) -> Result<(), BundleError> {
+    if sqlan_fault::fires("bundle.fsync") {
+        return Err(BundleError::Io(
+            dir.to_path_buf(),
+            io::Error::from_raw_os_error(EIO),
+        ));
+    }
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| BundleError::Io(dir.to_path_buf(), e))
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content-addressed artifact name: distinct model bytes get distinct
+/// files, so a re-save never overwrites what the live manifest references.
+fn artifact_file(problem: Problem, json: &str) -> String {
+    format!("{}-{:016x}.json", problem.name(), fnv1a(json.as_bytes()))
+}
+
+/// What [`sweep_bundle_dir`] removed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SweepReport {
+    /// `*.json.tmp` files a crashed save left behind.
+    pub temps_removed: usize,
+    /// Committed-looking artifacts no longer referenced by the manifest
+    /// (a superseded generation, or a save that died pre-commit).
+    pub orphans_removed: usize,
+}
+
+/// Recovery sweep for a bundle directory: delete temp files from crashed
+/// saves, and — when a valid manifest exists — artifacts it does not
+/// reference. Artifacts are *kept* when no manifest parses (nothing
+/// proves they are ours to delete). Runs at registry startup and before
+/// each save; assumes a single writer.
+pub fn sweep_bundle_dir(dir: &Path) -> io::Result<SweepReport> {
+    let referenced: Option<Vec<String>> = std::fs::read_to_string(dir.join(MANIFEST_FILE))
+        .ok()
+        .and_then(|s| serde_json::from_str::<BundleManifest>(&s).ok())
+        .map(|m| m.entries.into_iter().map(|e| e.file).collect());
+    let mut report = SweepReport::default();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".json.tmp") {
+            if std::fs::remove_file(entry.path()).is_ok() {
+                report.temps_removed += 1;
+            }
+        } else if name.ends_with(".json") && name != MANIFEST_FILE {
+            if let Some(live) = &referenced {
+                if !live.iter().any(|f| f == &name) && std::fs::remove_file(entry.path()).is_ok() {
+                    report.orphans_removed += 1;
+                }
+            }
+        }
+    }
+    Ok(report)
 }
 
 /// Save `(problem, model)` pairs as a bundle under `dir` (created if
-/// missing). Model files land first (each atomically), `manifest.json`
-/// last — the manifest is the commit point.
+/// missing). Artifacts land first under content-addressed names (each
+/// durably: temp → fsync → rename), `manifest.json` last — its rename is
+/// the commit point, made durable by a directory fsync.
 pub fn save_bundle(
     dir: &Path,
     name: &str,
@@ -164,6 +335,8 @@ pub fn save_bundle(
     models: &[(Problem, &TrainedModel)],
 ) -> Result<BundleManifest, BundleError> {
     std::fs::create_dir_all(dir).map_err(|e| BundleError::Io(dir.to_path_buf(), e))?;
+    // Best-effort cleanup of a previous crashed save before adding files.
+    let _ = sweep_bundle_dir(dir);
     let mut entries = Vec::with_capacity(models.len());
     let mut seen: Vec<Problem> = Vec::new();
     for (problem, model) in models {
@@ -172,8 +345,8 @@ pub fn save_bundle(
         }
         seen.push(*problem);
         let json = model.save_json()?;
-        let file = format!("{}.json", problem.name());
-        write_atomic(&dir.join(&file), &json)?;
+        let file = artifact_file(*problem, &json);
+        write_durable(&dir.join(&file), json.as_bytes())?;
         entries.push(ManifestEntry {
             problem: *problem,
             kind: model.kind,
@@ -189,7 +362,9 @@ pub fn save_bundle(
     };
     let manifest_json = serde_json::to_string_pretty(&manifest)
         .map_err(|e| BundleError::Json(dir.join(MANIFEST_FILE), e.to_string()))?;
-    write_atomic(&dir.join(MANIFEST_FILE), &manifest_json)?;
+    write_durable(&dir.join(MANIFEST_FILE), manifest_json.as_bytes())?;
+    sync_dir(dir)?;
+    crash_point()?; // fully committed and durable
     Ok(manifest)
 }
 
@@ -198,6 +373,12 @@ pub fn save_bundle(
 /// count, parses as a model, and holds the model kind the manifest claims.
 pub fn load_bundle(dir: &Path) -> Result<Bundle, BundleError> {
     let manifest_path = dir.join(MANIFEST_FILE);
+    if sqlan_fault::fires("bundle.load.read") {
+        return Err(BundleError::Io(
+            manifest_path,
+            io::Error::from_raw_os_error(EIO),
+        ));
+    }
     let manifest_json = std::fs::read_to_string(&manifest_path)
         .map_err(|e| BundleError::Io(manifest_path.clone(), e))?;
     let manifest: BundleManifest = serde_json::from_str(&manifest_json)

@@ -2,35 +2,125 @@
 //! enough for the load generator, the end-to-end tests, and the example.
 //! Not a general client: it assumes the well-formed responses this
 //! server writes (`content-length` always present).
+//!
+//! [`Client::request_with_retry`] adds the resilience half: transport
+//! errors reconnect and retry, 503/504 answers retry after a capped
+//! exponential backoff with *deterministic* jitter — the jitter stream
+//! is a pure function of the [`RetryPolicy`] seed and the attempt
+//! number, so a chaos run replays the exact same retry schedule under
+//! the same seed.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Retry schedule for [`Client::request_with_retry`]: up to `attempts`
+/// tries, sleeping `min(cap, base * 2^n) * jitter(seed, n)` between
+/// them, where jitter is a deterministic factor in `[0.5, 1.0)`.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries, including the first (0 behaves like 1).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Backoff ceiling (the exponential curve clips here).
+    pub cap: Duration,
+    /// Jitter seed: same seed → same sleep schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(250),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based). Pure: the
+    /// whole schedule can be computed — and asserted on — up front.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        // splitmix64-style finalizer over (seed, attempt): uniform
+        // enough for jitter, dependency-free, and reproducible.
+        let mut x = self
+            .seed
+            .wrapping_add((attempt as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        exp.mul_f64(0.5 + unit / 2.0)
+    }
+}
 
 /// One keep-alive connection to a server.
 #[derive(Debug)]
 pub struct Client {
+    addr: SocketAddr,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
 impl Client {
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let (reader, writer) = Client::open(addr)?;
+        Ok(Client {
+            addr,
+            reader,
+            writer,
+        })
+    }
+
+    fn open(addr: SocketAddr) -> io::Result<(BufReader<TcpStream>, TcpStream)> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
-        })
+        Ok((BufReader::new(stream.try_clone()?), stream))
+    }
+
+    /// Drop the current connection and dial a fresh one (after a
+    /// transport error the old socket's state is unknowable).
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let (reader, writer) = Client::open(self.addr)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
     }
 
     /// Send one request, read one response. Returns `(status, body)`.
     pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request_with(method, path, body, &[])
+    }
+
+    /// [`Client::request`] with extra headers (`name: value` pairs,
+    /// e.g. `("x-sqlan-deadline-ms", "250")`).
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<(u16, String)> {
         // Single write: avoids a Nagle/delayed-ACK stall between head and
         // body (mirrors the server's response writer).
         let mut request = format!(
-            "{method} {path} HTTP/1.1\r\nhost: sqlan\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nhost: sqlan\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            request.push_str(name);
+            request.push_str(": ");
+            request.push_str(value);
+            request.push_str("\r\n");
+        }
+        request.push_str("\r\n");
         request.push_str(body);
         self.writer.write_all(request.as_bytes())?;
         self.writer.flush()?;
@@ -70,11 +160,79 @@ impl Client {
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
     }
 
+    /// [`Client::request_with`] under a [`RetryPolicy`]: a transport
+    /// error reconnects and retries; a 503 (overload, breaker) or 504
+    /// (deadline) retries on the same connection. Any other status —
+    /// success or not — returns immediately; retrying a 400 cannot
+    /// help. The last attempt's outcome is returned as-is.
+    pub fn request_with_retry(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+        policy: &RetryPolicy,
+    ) -> io::Result<(u16, String)> {
+        let attempts = policy.attempts.max(1);
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff(attempt - 1));
+            }
+            match self.request_with(method, path, body, headers) {
+                Ok((status, text)) if matches!(status, 503 | 504) && attempt + 1 < attempts => {
+                    last_err = Some(io::Error::other(format!("retryable status {status}")));
+                    let _ = (status, text); // retry after backoff
+                }
+                Ok(outcome) => return Ok(outcome),
+                Err(e) => {
+                    // The connection may be mid-response; only a fresh
+                    // one is safe to reuse.
+                    last_err = Some(e);
+                    if let Err(e) = self.reconnect() {
+                        last_err = Some(e);
+                    }
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("no attempts made")))
+    }
+
     pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
         self.request("GET", path, "")
     }
 
     pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
         self.request("POST", path, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            seed: 42,
+        };
+        let a: Vec<Duration> = (0..8).map(|n| policy.backoff(n)).collect();
+        let b: Vec<Duration> = (0..8).map(|n| policy.backoff(n)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        for (n, d) in a.iter().enumerate() {
+            // Jitter keeps each sleep in [exp/2, exp), exp ≤ cap.
+            assert!(*d <= Duration::from_millis(100), "attempt {n}: {d:?}");
+            let floor = Duration::from_millis(10)
+                .saturating_mul(1 << n.min(16))
+                .min(Duration::from_millis(100))
+                / 2;
+            assert!(*d >= floor, "attempt {n}: {d:?} under jitter floor");
+        }
+        let other = RetryPolicy { seed: 43, ..policy };
+        let c: Vec<Duration> = (0..8).map(|n| other.backoff(n)).collect();
+        assert_ne!(a, c, "different seed, different jitter");
     }
 }

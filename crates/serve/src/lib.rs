@@ -41,7 +41,7 @@ pub mod server;
 
 pub use bundle::{load_bundle, save_bundle, Bundle, BundleError, BundleManifest, ManifestEntry};
 pub use cache::{normalize_statement, PredictionCache};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use registry::{LiveBundle, ModelRegistry};
 pub use scoring::{Prediction, ScoreError, ScoredBatch, ScoringConfig, ScoringEngine};

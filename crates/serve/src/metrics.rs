@@ -62,6 +62,14 @@ pub struct ServeMetrics {
     cache_entries: Arc<Gauge>,
     generation: Arc<Gauge>,
     uptime: Arc<Gauge>,
+    // Resilience mirrors (engine / registry owned, synced at scrape).
+    degraded_responses: Arc<Counter>,
+    degraded_statements: Arc<Counter>,
+    deadline_expired: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+    worker_respawns: Arc<Counter>,
+    breaker_opens: Arc<Counter>,
+    breaker_open: Arc<Gauge>,
 }
 
 impl Default for ServeMetrics {
@@ -120,6 +128,34 @@ impl Default for ServeMetrics {
             registry.gauge("sqlan_prediction_cache_entries", "resident cache entries");
         let generation = registry.gauge("sqlan_bundle_generation", "live bundle generation");
         let uptime = registry.gauge("sqlan_uptime_seconds", "seconds since server start");
+        let degraded_responses = registry.counter(
+            "sqlan_degraded_responses_total",
+            "responses served from the degradation ladder (synced at scrape)",
+        );
+        let degraded_statements = registry.counter(
+            "sqlan_degraded_statements_total",
+            "statements inside degraded responses (synced at scrape)",
+        );
+        let deadline_expired = registry.counter(
+            "sqlan_deadline_expired_total",
+            "requests shed 504 because their deadline passed (synced at scrape)",
+        );
+        let worker_panics = registry.counter(
+            "sqlan_score_panics_total",
+            "scoring batches that panicked and were caught (synced at scrape)",
+        );
+        let worker_respawns = registry.counter(
+            "sqlan_score_worker_respawns_total",
+            "scoring worker threads respawned after an escaped unwind (synced at scrape)",
+        );
+        let breaker_opens = registry.counter(
+            "sqlan_reload_breaker_opens_total",
+            "times the reload circuit breaker opened (synced at scrape)",
+        );
+        let breaker_open = registry.gauge(
+            "sqlan_reload_breaker_open",
+            "1 while the reload circuit breaker is fast-failing",
+        );
         ServeMetrics {
             started: Instant::now(),
             registry,
@@ -139,6 +175,13 @@ impl Default for ServeMetrics {
             cache_entries,
             generation,
             uptime,
+            degraded_responses,
+            degraded_statements,
+            deadline_expired,
+            worker_panics,
+            worker_respawns,
+            breaker_opens,
+            breaker_open,
         }
     }
 }
@@ -207,6 +250,28 @@ impl ServeMetrics {
         self.queue_depth.set(queue_depth as f64);
         self.generation.set(generation as f64);
         self.uptime.set(self.uptime_s());
+    }
+
+    /// Mirror the engine's [`crate::scoring::ResilienceStats`] and the
+    /// registry breaker state into the registry; called from `/metrics`.
+    pub fn sync_resilience(
+        &self,
+        stats: &crate::scoring::ResilienceStats,
+        breaker_opens: u64,
+        breaker_open: bool,
+    ) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.degraded_responses
+            .store(stats.degraded_responses.load(Relaxed));
+        self.degraded_statements
+            .store(stats.degraded_statements.load(Relaxed));
+        self.deadline_expired
+            .store(stats.deadline_expired.load(Relaxed));
+        self.worker_panics.store(stats.worker_panics.load(Relaxed));
+        self.worker_respawns
+            .store(stats.worker_respawns.load(Relaxed));
+        self.breaker_opens.store(breaker_opens);
+        self.breaker_open.set(if breaker_open { 1.0 } else { 0.0 });
     }
 
     pub fn http_requests(&self) -> u64 {
@@ -302,6 +367,20 @@ pub struct MetricsSnapshot {
     pub mean_batch: f64,
     pub max_batch: u64,
     pub queue_depth: u64,
+    /// Responses served from the degradation ladder (`degraded:true`).
+    pub degraded_responses: u64,
+    /// Statements inside those responses.
+    pub degraded_statements: u64,
+    /// Requests shed 504 because their deadline passed.
+    pub deadline_expired: u64,
+    /// Scoring batches that panicked and were caught.
+    pub worker_panics: u64,
+    /// Scoring worker threads respawned after an escaped unwind.
+    pub worker_respawns: u64,
+    /// Times the reload circuit breaker opened.
+    pub breaker_opens: u64,
+    /// 1 while the breaker is currently fast-failing reloads.
+    pub breaker_open: u64,
 }
 
 impl MetricsSnapshot {

@@ -16,8 +16,22 @@
 //! sharded LRU ([`crate::cache::PredictionCache`]); only misses are
 //! queued, and workers populate the cache under the generation they
 //! scored with, so a hot-swapped bundle never serves stale entries.
+//!
+//! Resilience (PR 10): requests can carry a **deadline** — already-expired
+//! work is shed at admission and queued jobs that expire before their
+//! batch is cut are dropped without a model forward
+//! ([`ScoreError::DeadlineExceeded`] → HTTP 504 upstream). Batch scoring
+//! runs under `catch_unwind`, so a panicking model (or an injected
+//! `score.panic` fault) fails its batch with typed errors instead of
+//! stranding callers, and a worker thread that somehow unwinds anyway is
+//! respawned. With [`ScoringConfig::degrade`] on, failures downgrade
+//! instead of erroring: an unknown problem falls back to the previous
+//! pinned generation, and saturation or a panicked batch falls back to a
+//! cheap length-heuristic predictor — in every case the response is
+//! stamped `degraded: true` and counted in [`ResilienceStats`].
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -47,6 +61,9 @@ pub struct Prediction {
 pub struct ScoredBatch {
     pub generation: u64,
     pub predictions: Vec<Prediction>,
+    /// `true` when any prediction came from a fallback (previous
+    /// generation or length heuristic) rather than the live model.
+    pub degraded: bool,
 }
 
 /// Why a scoring request was rejected.
@@ -58,6 +75,10 @@ pub enum ScoreError {
     UnknownProblem(Problem),
     /// The engine is shutting down.
     ShuttingDown,
+    /// The request's deadline passed before its statements were scored.
+    DeadlineExceeded,
+    /// Batch scoring panicked (and degradation is off).
+    WorkerPanicked,
 }
 
 impl std::fmt::Display for ScoreError {
@@ -66,6 +87,8 @@ impl std::fmt::Display for ScoreError {
             ScoreError::Saturated => f.write_str("scoring queue saturated"),
             ScoreError::UnknownProblem(p) => write!(f, "no model for problem `{p}`"),
             ScoreError::ShuttingDown => f.write_str("engine shutting down"),
+            ScoreError::DeadlineExceeded => f.write_str("request deadline exceeded"),
+            ScoreError::WorkerPanicked => f.write_str("scoring failed internally"),
         }
     }
 }
@@ -88,6 +111,24 @@ pub struct ScoringConfig {
     pub cache_capacity: usize,
     /// Cache shard count.
     pub cache_shards: usize,
+    /// Graceful degradation: serve fallback predictions (previous pinned
+    /// generation, else a length heuristic) marked `degraded:true`
+    /// instead of erroring on saturation, unknown problems, or panicked
+    /// batches. Off by default — shedding with 503 stays the contract
+    /// unless an operator opts in (here or via `SQLAN_DEGRADE=on`).
+    pub degrade: bool,
+}
+
+/// Environment variable opting into graceful degradation
+/// (`on`/`1`/`true`); [`ScoringConfig::degrade`] set programmatically
+/// also enables it.
+pub const DEGRADE_ENV: &str = "SQLAN_DEGRADE";
+
+fn degrade_env() -> bool {
+    matches!(
+        std::env::var(DEGRADE_ENV).as_deref().map(str::trim),
+        Ok("on") | Ok("1") | Ok("true")
+    )
 }
 
 impl Default for ScoringConfig {
@@ -99,8 +140,45 @@ impl Default for ScoringConfig {
             queue_capacity: 4096,
             cache_capacity: 65_536,
             cache_shards: 16,
+            degrade: false,
         }
     }
+}
+
+/// Per-request options for [`ScoringEngine::score_opts`].
+#[derive(Debug, Default)]
+pub struct ScoreOptions<'a> {
+    /// Request trace minted at the HTTP edge, if any.
+    pub trace: Option<&'a Arc<TraceCtx>>,
+    /// Absolute deadline: expired work is shed (504) before a model
+    /// forward is spent on it.
+    pub deadline: Option<Instant>,
+}
+
+/// Resilience counters, mirrored into `/metrics` at scrape time.
+#[derive(Debug, Default)]
+pub struct ResilienceStats {
+    /// Requests shed because their deadline passed (at admission or in
+    /// the queue).
+    pub deadline_expired: AtomicU64,
+    /// Batches whose scoring panicked (caught, never escaped).
+    pub worker_panics: AtomicU64,
+    /// Scoring worker threads respawned after an unwind escaped the
+    /// batch guard.
+    pub worker_respawns: AtomicU64,
+    /// Responses served degraded.
+    pub degraded_responses: AtomicU64,
+    /// Statements inside degraded responses.
+    pub degraded_statements: AtomicU64,
+}
+
+/// How one queued job failed, reported over the reply channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobFail {
+    /// Deadline passed while queued; dropped before scoring.
+    Expired,
+    /// The batch's scoring call panicked.
+    Panicked,
 }
 
 struct Job {
@@ -113,7 +191,10 @@ struct Job {
     live: Arc<LiveBundle>,
     /// Caller's scatter index and reply channel.
     index: usize,
-    reply: mpsc::Sender<(usize, Prediction)>,
+    reply: mpsc::Sender<(usize, Result<Prediction, JobFail>)>,
+    /// Absolute deadline; a job still queued past it is dropped without
+    /// a model forward.
+    deadline: Option<Instant>,
     /// The request trace this job belongs to, if one was minted at the
     /// HTTP edge. Workers dedup per-trace before recording spans, so a
     /// many-statement request gets one `queue_wait` / `batch_score`
@@ -207,6 +288,9 @@ pub struct ScoringEngine {
     work_ready: Condvar,
     shutdown: AtomicBool,
     pub batch_stats: BatchStats,
+    pub resilience: ResilienceStats,
+    /// Resolved once at start: `cfg.degrade || SQLAN_DEGRADE=on`.
+    degrade: bool,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -221,6 +305,8 @@ impl ScoringEngine {
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             batch_stats: BatchStats::default(),
+            resilience: ResilienceStats::default(),
+            degrade: cfg.degrade || degrade_env(),
             workers: Mutex::new(Vec::new()),
         });
         let mut handles = Vec::with_capacity(cfg.workers);
@@ -229,12 +315,32 @@ impl ScoringEngine {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("sqlan-score-{i}"))
-                    .spawn(move || e.worker_loop())
+                    .spawn(move || {
+                        // Batch scoring is individually unwind-guarded; if
+                        // a panic escapes the loop anyway (a poisoned
+                        // invariant, an injected fault in an unexpected
+                        // place), respawn the loop rather than silently
+                        // shrinking the pool.
+                        loop {
+                            if catch_unwind(AssertUnwindSafe(|| e.worker_loop())).is_ok() {
+                                break;
+                            }
+                            e.resilience.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                            if e.shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                        }
+                    })
                     .expect("spawn scoring worker"),
             );
         }
         *engine.workers.lock().expect("workers lock") = handles;
         engine
+    }
+
+    /// Whether graceful degradation is on for this engine.
+    pub fn degrade_enabled(&self) -> bool {
+        self.degrade
     }
 
     /// The registry this engine scores against.
@@ -262,7 +368,7 @@ impl ScoringEngine {
         problem: Problem,
         statements: &[String],
     ) -> Result<ScoredBatch, ScoreError> {
-        self.score_traced(problem, statements, None)
+        self.score_opts(problem, statements, ScoreOptions::default())
     }
 
     /// [`ScoringEngine::score`] carrying the request trace minted at the
@@ -275,14 +381,46 @@ impl ScoringEngine {
         statements: &[String],
         trace: Option<&Arc<TraceCtx>>,
     ) -> Result<ScoredBatch, ScoreError> {
+        self.score_opts(
+            problem,
+            statements,
+            ScoreOptions {
+                trace,
+                deadline: None,
+            },
+        )
+    }
+
+    /// The full scoring entry point: cache → queue → workers, honoring a
+    /// per-request deadline and the degradation ladder.
+    pub fn score_opts(
+        &self,
+        problem: Problem,
+        statements: &[String],
+        opts: ScoreOptions<'_>,
+    ) -> Result<ScoredBatch, ScoreError> {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(ScoreError::ShuttingDown);
         }
+        if let Some(d) = opts.deadline {
+            // Shed before spending anything — not even a cache probe —
+            // on a request whose client has already given up.
+            if Instant::now() >= d {
+                self.resilience
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ScoreError::DeadlineExceeded);
+            }
+        }
         let live = self.registry.current();
         if live.bundle.model(problem).is_none() {
+            if self.degrade {
+                return Ok(self.degraded_unknown_problem(problem, statements, &live));
+            }
             return Err(ScoreError::UnknownProblem(problem));
         }
         let generation = live.generation;
+        let trace = opts.trace;
 
         let normalized: Vec<String> = timed("normalize", statements.len() as u64, || {
             statements.iter().map(|s| normalize_statement(s)).collect()
@@ -302,18 +440,36 @@ impl ScoringEngine {
             }
         });
 
+        let mut degraded = false;
         if !misses.is_empty() {
             if self.cfg.workers == 0 {
                 // Inline path: one batch call on the caller thread.
                 let stmts: Vec<String> = misses.iter().map(|&i| normalized[i].clone()).collect();
-                let preds = self.score_batch_now(&live, problem, &stmts);
-                for (&i, p) in misses.iter().zip(preds) {
-                    out[i] = Some(p);
+                match catch_unwind(AssertUnwindSafe(|| {
+                    self.score_batch_now(&live, problem, &stmts)
+                })) {
+                    Ok(preds) => {
+                        for (&i, p) in misses.iter().zip(preds) {
+                            out[i] = Some(p);
+                        }
+                    }
+                    Err(_) => {
+                        self.resilience
+                            .worker_panics
+                            .fetch_add(1, Ordering::Relaxed);
+                        if !self.degrade {
+                            return Err(ScoreError::WorkerPanicked);
+                        }
+                        degraded = true;
+                        for &i in &misses {
+                            out[i] = Some(heuristic_predict(problem, &normalized[i]));
+                        }
+                    }
                 }
             } else {
                 let (tx, rx) = mpsc::channel();
-                {
-                    let mut q = self.queue.lock().expect("queue lock");
+                let enqueued = {
+                    let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
                     // Re-checked under the queue lock: `shutdown()` joins
                     // workers after setting the flag, so a store observed
                     // here means no worker will ever drain jobs we would
@@ -324,36 +480,123 @@ impl ScoringEngine {
                         return Err(ScoreError::ShuttingDown);
                     }
                     if q.jobs.len() + misses.len() > self.cfg.queue_capacity {
-                        return Err(ScoreError::Saturated);
+                        if !self.degrade {
+                            return Err(ScoreError::Saturated);
+                        }
+                        false
+                    } else {
+                        let admitted = Instant::now();
+                        for &i in &misses {
+                            q.jobs.push_back(Job {
+                                problem,
+                                normalized: normalized[i].clone(),
+                                live: Arc::clone(&live),
+                                index: i,
+                                reply: tx.clone(),
+                                deadline: opts.deadline,
+                                trace: trace.map(Arc::clone),
+                                admitted,
+                            });
+                        }
+                        true
                     }
-                    let admitted = Instant::now();
+                };
+                if enqueued {
+                    self.work_ready.notify_all();
+                    drop(tx);
+                    let mut expired = false;
+                    let mut panicked: Vec<usize> = Vec::new();
+                    for _ in 0..misses.len() {
+                        let (i, r) = rx.recv().map_err(|_| ScoreError::ShuttingDown)?;
+                        match r {
+                            Ok(p) => out[i] = Some(p),
+                            Err(JobFail::Expired) => expired = true,
+                            Err(JobFail::Panicked) => panicked.push(i),
+                        }
+                    }
+                    if expired {
+                        self.resilience
+                            .deadline_expired
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(ScoreError::DeadlineExceeded);
+                    }
+                    if !panicked.is_empty() {
+                        if !self.degrade {
+                            return Err(ScoreError::WorkerPanicked);
+                        }
+                        degraded = true;
+                        for i in panicked {
+                            out[i] = Some(heuristic_predict(problem, &normalized[i]));
+                        }
+                    }
+                } else {
+                    // Saturated with degradation on: answer every miss
+                    // from the heuristic instead of shedding.
+                    degraded = true;
                     for &i in &misses {
-                        q.jobs.push_back(Job {
-                            problem,
-                            normalized: normalized[i].clone(),
-                            live: Arc::clone(&live),
-                            index: i,
-                            reply: tx.clone(),
-                            trace: trace.map(Arc::clone),
-                            admitted,
-                        });
+                        out[i] = Some(heuristic_predict(problem, &normalized[i]));
                     }
-                }
-                self.work_ready.notify_all();
-                drop(tx);
-                for _ in 0..misses.len() {
-                    let (i, p) = rx.recv().map_err(|_| ScoreError::ShuttingDown)?;
-                    out[i] = Some(p);
                 }
             }
         }
+        if degraded {
+            self.note_degraded(statements.len());
+        }
         Ok(ScoredBatch {
             generation,
+            degraded,
             predictions: out
                 .into_iter()
                 .map(|p| p.expect("every slot filled"))
                 .collect(),
         })
+    }
+
+    fn note_degraded(&self, statements: usize) {
+        self.resilience
+            .degraded_responses
+            .fetch_add(1, Ordering::Relaxed);
+        self.resilience
+            .degraded_statements
+            .fetch_add(statements as u64, Ordering::Relaxed);
+    }
+
+    /// Degradation ladder for a problem the live bundle cannot answer:
+    /// the previous pinned generation if it can (responses stamped with
+    /// *its* generation), else the length heuristic.
+    fn degraded_unknown_problem(
+        &self,
+        problem: Problem,
+        statements: &[String],
+        live: &LiveBundle,
+    ) -> ScoredBatch {
+        let normalized: Vec<String> = statements.iter().map(|s| normalize_statement(s)).collect();
+        if let Some(prev) = self.registry.previous() {
+            if prev.bundle.model(problem).is_some() {
+                if let Ok(predictions) = catch_unwind(AssertUnwindSafe(|| {
+                    self.score_batch_now(&prev, problem, &normalized)
+                })) {
+                    self.note_degraded(statements.len());
+                    return ScoredBatch {
+                        generation: prev.generation,
+                        degraded: true,
+                        predictions,
+                    };
+                }
+                self.resilience
+                    .worker_panics
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.note_degraded(statements.len());
+        ScoredBatch {
+            generation: live.generation,
+            degraded: true,
+            predictions: normalized
+                .iter()
+                .map(|n| heuristic_predict(problem, n))
+                .collect(),
+        }
     }
 
     /// Score one batch against the bundle it was admitted under and
@@ -364,6 +607,15 @@ impl ScoringEngine {
         problem: Problem,
         normalized: &[String],
     ) -> Vec<Prediction> {
+        // Injection points for the chaos suite: an artificial stall
+        // (arg = milliseconds) and a worker panic — both caught by the
+        // unwind guards around every call site.
+        if let Some(ms) = sqlan_fault::fire_arg("score.stall") {
+            std::thread::sleep(Duration::from_millis(ms.max(1)));
+        }
+        if sqlan_fault::fires("score.panic") {
+            panic!("injected: scoring panic");
+        }
         let model = live
             .bundle
             .model(problem)
@@ -428,7 +680,7 @@ impl ScoringEngine {
     fn worker_loop(&self) {
         loop {
             let batch: Vec<Job> = {
-                let mut q = self.queue.lock().expect("queue lock");
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
                     if !q.jobs.is_empty() {
                         break;
@@ -484,6 +736,18 @@ impl ScoringEngine {
                 q.credit[win] = q.credit[win].saturating_sub(batch.len() as u32);
                 batch
             };
+            // Expired jobs are dropped here, before the model forward —
+            // their callers get 504s; the batch scores only live work.
+            let now = Instant::now();
+            let (batch, expired): (Vec<Job>, Vec<Job>) = batch
+                .into_iter()
+                .partition(|j| j.deadline.is_none_or(|d| now < d));
+            for j in expired {
+                let _ = j.reply.send((j.index, Err(JobFail::Expired)));
+            }
+            if batch.is_empty() {
+                continue;
+            }
             let problem = batch[0].problem;
             let live = Arc::clone(&batch[0].live);
             let stmts: Vec<String> = batch.iter().map(|j| j.normalized.clone()).collect();
@@ -516,13 +780,28 @@ impl ScoringEngine {
                 .iter()
                 .map(|(t, _, _)| Arc::clone(t))
                 .collect();
-            let preds = {
+            // The scoring call is unwind-guarded: a panicking model (or
+            // injected fault) fails this batch with typed replies instead
+            // of killing the worker and stranding every caller in it.
+            let result = catch_unwind(AssertUnwindSafe(|| {
                 let _g = install(&installed);
                 self.score_batch_now(&live, problem, &stmts)
-            };
-            for (job, pred) in batch.into_iter().zip(preds) {
-                // A dropped receiver (caller gave up) is fine.
-                let _ = job.reply.send((job.index, pred));
+            }));
+            match result {
+                Ok(preds) => {
+                    for (job, pred) in batch.into_iter().zip(preds) {
+                        // A dropped receiver (caller gave up) is fine.
+                        let _ = job.reply.send((job.index, Ok(pred)));
+                    }
+                }
+                Err(_) => {
+                    self.resilience
+                        .worker_panics
+                        .fetch_add(1, Ordering::Relaxed);
+                    for job in batch {
+                        let _ = job.reply.send((job.index, Err(JobFail::Panicked)));
+                    }
+                }
             }
         }
     }
@@ -537,7 +816,35 @@ impl ScoringEngine {
         }
         // Workers exit only on an empty queue; anything that raced in
         // after the flag gets its sender dropped here, unblocking callers.
-        self.queue.lock().expect("queue lock").jobs.clear();
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .clear();
+    }
+}
+
+/// The degradation ladder's last rung: a deterministic, model-free
+/// prediction from statement length alone. Clearly worse than a trained
+/// model — the point is a well-formed answer under `degraded:true`
+/// instead of an error.
+pub fn heuristic_predict(problem: Problem, normalized: &str) -> Prediction {
+    if problem.is_classification() {
+        let n = problem.n_classes().max(1);
+        let class = normalized.len() % n;
+        let mut proba = vec![0.0f32; n];
+        proba[class] = 1.0;
+        Prediction {
+            class: Some(class),
+            proba: Some(proba),
+            value: None,
+        }
+    } else {
+        Prediction {
+            class: None,
+            proba: None,
+            value: Some((1.0 + normalized.len() as f64).ln()),
+        }
     }
 }
 

@@ -49,7 +49,7 @@ use crate::http::{
 };
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::ModelRegistry;
-use crate::scoring::{Prediction, ScoreError, ScoringConfig, ScoringEngine};
+use crate::scoring::{Prediction, ScoreError, ScoreOptions, ScoringConfig, ScoringEngine};
 
 /// Which front end serves the sockets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,8 +123,12 @@ pub struct PredictRequest {
 pub struct PredictResponse {
     /// Bundle generation the request was admitted under — the one that
     /// scored it: jobs pin their admitted bundle even across a
-    /// concurrent hot swap.
+    /// concurrent hot swap. For a degraded response served from the
+    /// previous pinned generation, this is *that* generation.
     pub generation: u64,
+    /// `true` when the predictions came from the degradation ladder
+    /// (previous generation or length heuristic), not the live model.
+    pub degraded: bool,
     pub predictions: Vec<Prediction>,
 }
 
@@ -330,7 +334,12 @@ pub fn start(registry: Arc<ModelRegistry>, cfg: ServeConfig) -> std::io::Result<
                     if stop.load(Ordering::Acquire) {
                         return;
                     }
-                    let _ = handle_connection(stream, &engine, &metrics, &stop, &cfg);
+                    // Unwind guard: a panic while serving one connection
+                    // must drop that connection, not kill this acceptor
+                    // thread and silently shrink the front end.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(stream, &engine, &metrics, &stop, &cfg)
+                    }));
                 })
                 .expect("spawn http worker"),
         );
@@ -375,6 +384,10 @@ fn handle_connection(
     cfg: &ServeConfig,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(cfg.idle_timeout))?;
+    // Write-path bound: a client that stops reading while we hold a
+    // large response must not pin this handler thread past the idle
+    // timeout (epoll mode bounds the same case via its idle sweep).
+    stream.set_write_timeout(Some(cfg.idle_timeout))?;
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -525,7 +538,14 @@ fn predict(
         );
     };
     let start = Instant::now();
-    match engine.score_traced(problem, &request.statements, trace) {
+    // `x-sqlan-deadline-ms` anchors at request receipt; the engine sheds
+    // expired work (admission and queue) with 504 before a model forward.
+    let deadline = req.deadline_ms.map(|ms| start + Duration::from_millis(ms));
+    match engine.score_opts(
+        problem,
+        &request.statements,
+        ScoreOptions { trace, deadline },
+    ) {
         Ok(scored) => {
             metrics.observe_predict(
                 problem,
@@ -534,6 +554,7 @@ fn predict(
             );
             let body = PredictResponse {
                 generation: scored.generation,
+                degraded: scored.degraded,
                 predictions: scored.predictions,
             };
             Answer::json(
@@ -543,6 +564,8 @@ fn predict(
         }
         Err(ScoreError::Saturated) => Answer::json(503, error_body("scoring queue saturated")),
         Err(ScoreError::ShuttingDown) => Answer::json(503, error_body("shutting down")),
+        Err(e @ ScoreError::DeadlineExceeded) => Answer::json(504, error_body(&e.to_string())),
+        Err(e @ ScoreError::WorkerPanicked) => Answer::json(500, error_body(&e.to_string())),
         Err(e @ ScoreError::UnknownProblem(_)) => Answer::json(400, error_body(&e.to_string())),
     }
 }
@@ -590,6 +613,12 @@ fn metrics_route(engine: &ScoringEngine, metrics: &ServeMetrics, query: &str) ->
         engine.queue_depth() as u64,
         generation,
     );
+    let registry = engine.registry();
+    metrics.sync_resilience(
+        &engine.resilience,
+        registry.breaker_opens(),
+        registry.breaker_open(),
+    );
     if query_param(query, "format") == Some("prom") {
         let serve_snap = metrics.registry().snapshot();
         let global_snap = sqlan_obs::global().snapshot();
@@ -635,6 +664,16 @@ fn metrics_route(engine: &ScoringEngine, metrics: &ServeMetrics, query: &str) ->
         },
         max_batch: engine.batch_stats.max_batch.load(Ordering::Relaxed),
         queue_depth: engine.queue_depth() as u64,
+        degraded_responses: engine.resilience.degraded_responses.load(Ordering::Relaxed),
+        degraded_statements: engine
+            .resilience
+            .degraded_statements
+            .load(Ordering::Relaxed),
+        deadline_expired: engine.resilience.deadline_expired.load(Ordering::Relaxed),
+        worker_panics: engine.resilience.worker_panics.load(Ordering::Relaxed),
+        worker_respawns: engine.resilience.worker_respawns.load(Ordering::Relaxed),
+        breaker_opens: registry.breaker_opens(),
+        breaker_open: registry.breaker_open() as u64,
     };
     Answer::json(
         200,
@@ -691,6 +730,11 @@ fn reload(req: &Request, engine: &ScoringEngine) -> Answer {
             200,
             serde_json::to_string(&ReloadResponse { generation }).expect("reload serializes"),
         ),
+        // An open breaker is a transient server-side condition (retry
+        // after cooldown), not a caller mistake: 503, not 400.
+        Err(e @ crate::bundle::BundleError::CircuitOpen { .. }) => {
+            Answer::json(503, error_body(&format!("reload failed: {e}")))
+        }
         Err(e) => Answer::json(400, error_body(&format!("reload failed: {e}"))),
     }
 }

@@ -1,12 +1,31 @@
 //! Bundle save → load → registry hot-swap, plus every validation error
-//! path (truncation, corruption, version skew, kind mismatch).
+//! path (truncation, corruption, version skew, kind mismatch), and a
+//! partial-write sweep: any prefix of an artifact or the manifest must
+//! come back as a typed [`BundleError`] — never a panic, never a
+//! half-loaded bundle.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use sqlan_core::{train_model, Labels, ModelKind, Problem, Task, TrainConfig, TrainData};
 use sqlan_serve::bundle::{load_bundle, save_bundle, BundleError, MANIFEST_FILE};
 use sqlan_serve::ModelRegistry;
+
+/// Resolve the on-disk artifact path for `problem` through the manifest
+/// (artifact file names are content-addressed, so tests must not guess
+/// them).
+fn artifact_path(dir: &Path, problem: Problem) -> PathBuf {
+    let manifest: sqlan_serve::bundle::BundleManifest = serde_json::from_str(
+        &std::fs::read_to_string(dir.join(MANIFEST_FILE)).expect("read manifest"),
+    )
+    .expect("parse manifest");
+    let entry = manifest
+        .entries
+        .iter()
+        .find(|e| e.problem == problem)
+        .expect("entry for problem");
+    dir.join(&entry.file)
+}
 
 fn tmp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("sqlan-serve-{tag}-{}", std::process::id()));
@@ -117,7 +136,7 @@ fn truncated_artifact_is_rejected() {
         &[(Problem::ErrorClassification, &classifier)],
     )
     .expect("save");
-    let artifact = dir.join("error_classification.json");
+    let artifact = artifact_path(&dir, Problem::ErrorClassification);
     let full = std::fs::read_to_string(&artifact).expect("read");
     std::fs::write(&artifact, &full[..full.len() / 2]).expect("truncate");
     assert!(matches!(
@@ -138,12 +157,62 @@ fn corrupted_artifact_json_is_rejected() {
         &[(Problem::ErrorClassification, &classifier)],
     )
     .expect("save");
-    let artifact = dir.join("error_classification.json");
+    let artifact = artifact_path(&dir, Problem::ErrorClassification);
     let full = std::fs::read_to_string(&artifact).expect("read");
     // Same byte count (the manifest's size check passes), broken JSON.
     let corrupted = format!("#{}", &full[1..]);
     std::fs::write(&artifact, corrupted).expect("corrupt");
     assert!(matches!(load_bundle(&dir), Err(BundleError::Json(_, _))));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn any_partial_write_prefix_is_a_typed_error() {
+    let dir = tmp_dir("prefix");
+    let (classifier, _) = train_pair();
+    save_bundle(
+        &dir,
+        "toy",
+        7,
+        &[(Problem::ErrorClassification, &classifier)],
+    )
+    .expect("save");
+    let artifact = artifact_path(&dir, Problem::ErrorClassification);
+    let manifest = dir.join(MANIFEST_FILE);
+
+    for target in [&artifact, &manifest] {
+        let full = std::fs::read(target).expect("read");
+        // Every prefix class matters (empty, mid-JSON, off-by-one), but
+        // sweeping all of them byte-by-byte is slow; a prime stride
+        // covers misaligned cut points, and the endpoints are explicit.
+        let mut cuts: Vec<usize> = (0..full.len()).step_by(127).collect();
+        cuts.extend([1, full.len().saturating_sub(1)]);
+        for cut in cuts {
+            std::fs::write(target, &full[..cut]).expect("truncate");
+            let outcome = std::panic::catch_unwind(|| load_bundle(&dir));
+            let result = outcome.unwrap_or_else(|_| {
+                panic!(
+                    "load_bundle panicked on a {cut}-byte prefix of {}",
+                    target.display()
+                )
+            });
+            let err = result.expect_err("a torn file must never load");
+            // Typed, not stringly: every arm the loader can take.
+            assert!(
+                matches!(
+                    err,
+                    BundleError::Io(_, _)
+                        | BundleError::Json(_, _)
+                        | BundleError::Truncated { .. }
+                        | BundleError::Version { .. }
+                        | BundleError::KindMismatch { .. }
+                ),
+                "unexpected error class for cut {cut}: {err:?}"
+            );
+        }
+        std::fs::write(target, &full).expect("restore");
+        load_bundle(&dir).expect("restored bundle loads again");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

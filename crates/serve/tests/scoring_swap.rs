@@ -2,6 +2,13 @@
 //! already admitted for it. Jobs pin the bundle they were admitted
 //! against, so the batch worker scores them under that generation even
 //! if the live bundle no longer carries the model.
+//!
+//! Plus the reload-storm regression: under a barrage of concurrent
+//! reloads, every scored batch must come from exactly one bundle
+//! (bitwise — the generation-aware cache and the pinned-bundle worker
+//! must never mix generations within a batch), and displaced
+//! generations must actually free — only the live bundle and the single
+//! pinned `previous` may stay alive.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -97,6 +104,124 @@ fn swap_removing_problem_does_not_strand_admitted_jobs() {
         Err(ScoreError::UnknownProblem(_))
     ));
     engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// Train a classifier whose per-statement probabilities depend on
+/// `flip`, so bundles built from the two are bitwise distinguishable.
+fn train_flip_classifier(flip: bool) -> sqlan_core::TrainedModel {
+    let mut xs = Vec::new();
+    let mut cls = Vec::new();
+    for i in 0..60 {
+        let heavy = (i % 3 == 0) ^ flip;
+        xs.push(if heavy {
+            format!("SELECT * FROM huge WHERE f(x) > {i}")
+        } else {
+            format!("SELECT 1 FROM small WHERE id = {i}")
+        });
+        cls.push(heavy as usize);
+    }
+    train_model(
+        ModelKind::WTfidf,
+        Task::Classify(2),
+        &TrainData {
+            statements: &xs[..40],
+            labels: Labels::Classes(&cls[..40]),
+            valid_statements: &xs[40..],
+            valid_labels: Labels::Classes(&cls[40..]),
+        },
+        &TrainConfig::tiny(),
+        None,
+    )
+}
+
+fn proba_bits(p: &[f32]) -> Vec<u32> {
+    p.iter().map(|f| f.to_bits()).collect()
+}
+
+#[test]
+fn reload_storm_never_mixes_generations_within_a_batch() {
+    let model_a = train_flip_classifier(false);
+    let model_b = train_flip_classifier(true);
+    let probes: Vec<String> = (0..8)
+        .map(|i| format!("SELECT * FROM huge WHERE f(x) > {}", 100 + i))
+        .collect();
+    let expect_a: Vec<Vec<u32>> = probes
+        .iter()
+        .map(|s| proba_bits(&model_a.predict_proba(s)))
+        .collect();
+    let expect_b: Vec<Vec<u32>> = probes
+        .iter()
+        .map(|s| proba_bits(&model_b.predict_proba(s)))
+        .collect();
+    for (i, (a, b)) in expect_a.iter().zip(&expect_b).enumerate() {
+        assert_ne!(a, b, "probe {i} cannot distinguish the bundles");
+    }
+
+    let dir_a = tmp_dir("storm-a");
+    let dir_b = tmp_dir("storm-b");
+    save_bundle(&dir_a, "a", 1, &[(Problem::ErrorClassification, &model_a)]).expect("save a");
+    save_bundle(&dir_b, "b", 1, &[(Problem::ErrorClassification, &model_b)]).expect("save b");
+
+    let registry = Arc::new(ModelRegistry::open(&dir_a).expect("open"));
+    // A generation that will be displaced early in the storm: if the
+    // swap path leaks pinned Arcs, this is the one that stays alive.
+    let displaced_early = Arc::downgrade(&registry.current());
+    let engine = ScoringEngine::start(
+        Arc::clone(&registry),
+        ScoringConfig {
+            workers: 2,
+            ..ScoringConfig::default()
+        },
+    );
+
+    std::thread::scope(|s| {
+        for r in 0..4 {
+            let registry = Arc::clone(&registry);
+            let (dir_a, dir_b) = (dir_a.clone(), dir_b.clone());
+            s.spawn(move || {
+                for i in 0..25 {
+                    let dir = if (i + r) % 2 == 0 { &dir_a } else { &dir_b };
+                    registry.reload(dir).expect("storm reload");
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            });
+        }
+        for _ in 0..4 {
+            let engine = &engine;
+            let (probes, expect_a, expect_b) = (&probes, &expect_a, &expect_b);
+            s.spawn(move || {
+                for i in 0..50 {
+                    let scored = engine
+                        .score(Problem::ErrorClassification, probes)
+                        .expect("storm score");
+                    assert_eq!(scored.predictions.len(), probes.len());
+                    let got: Vec<Vec<u32>> = scored
+                        .predictions
+                        .iter()
+                        .map(|p| proba_bits(p.proba.as_deref().expect("classifier proba")))
+                        .collect();
+                    // All-A or all-B; anything else is a mixed batch.
+                    assert!(
+                        got == *expect_a || got == *expect_b,
+                        "iteration {i}: batch mixes generations \
+                         (admitted generation {})",
+                        scored.generation
+                    );
+                }
+            });
+        }
+    });
+
+    engine.shutdown();
+    // 100 reloads displaced ~100 generations. All but the live bundle
+    // and the one pinned `previous` must have freed.
+    assert!(
+        displaced_early.upgrade().is_none(),
+        "generation 1 still pinned after the storm — reload leaks bundles"
+    );
+    assert!(registry.previous().is_some(), "previous generation pinned");
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
 }

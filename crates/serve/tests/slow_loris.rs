@@ -129,6 +129,68 @@ fn endless_header_dribble_gets_431_within_the_head_bound() {
     }
 }
 
+/// The write-path mirror of slow-loris, threads mode: a client that
+/// pipelines a pile of requests and never reads a byte of the responses
+/// must not pin its worker thread forever on a blocked `write`. The
+/// write timeout frees the worker, so a second client gets served on
+/// the timeout scale — not never.
+#[test]
+fn slow_reader_cannot_pin_a_threads_worker_past_the_write_timeout() {
+    let (handle, dir) = boot(HttpMode::Threads, "slowreader");
+    let mut hog = TcpStream::connect(handle.addr()).expect("connect hog");
+    hog.set_write_timeout(Some(Duration::from_secs(2)))
+        .expect("hog write timeout");
+    hog.set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("hog read timeout");
+    // ~8000 pipelined /metrics requests → several MB of responses, far
+    // past what loopback socket buffers absorb with nobody reading.
+    // The single worker (boot uses http_workers: 1) answers until its
+    // write blocks, then the 400 ms write timeout must kill the
+    // connection. Ignore write errors: the server may drop us mid-pile.
+    let pile = "GET /metrics HTTP/1.1\r\n\r\n".repeat(8000);
+    let _ = hog.write_all(pile.as_bytes());
+
+    // The worker must come free and serve someone else promptly.
+    let start = Instant::now();
+    let mut client = TcpStream::connect(handle.addr()).expect("connect second");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    client
+        .write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .expect("healthz");
+    let mut response = Vec::new();
+    client.read_to_end(&mut response).expect("read healthz");
+    let text = String::from_utf8_lossy(&response);
+    assert!(
+        text.starts_with("HTTP/1.1 200 "),
+        "second client not served: {text:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(15),
+        "worker pinned by the slow reader for {:?}",
+        start.elapsed()
+    );
+
+    // And the hog itself was disconnected (write timeout or idle
+    // timeout), not parked: draining without reading our backlog of
+    // responses must hit EOF/reset in bounded time.
+    let mut sink = [0u8; 64 * 1024];
+    let drained = Instant::now();
+    loop {
+        match hog.read(&mut sink) {
+            Ok(0) => break,  // FIN
+            Err(_) => break, // reset or timeout
+            Ok(_) if drained.elapsed() > Duration::from_secs(20) => {
+                panic!("hog connection still alive and streaming after 20s")
+            }
+            Ok(_) => {}
+        }
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A client that sends half a request and then stalls is dropped by the
 /// idle timeout — the connection cannot be parked forever.
 #[test]
